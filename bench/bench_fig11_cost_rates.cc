@@ -1,0 +1,50 @@
+// Figure 11: 1/estimated-cost of the left-deep and right-deep plans for
+// Query 5 with varying relative event rates — the cost-model
+// counterpart of Figure 10. The crossover must sit at the uniform rate.
+#include "bench_util.h"
+
+#include "opt/cost_model.h"
+
+namespace zstream::bench {
+namespace {
+
+constexpr char kQuery[] =
+    "PATTERN IBM;Sun;Oracle "
+    "WHERE IBM.name='IBM' AND Sun.name='Sun' AND Oracle.name='Oracle' "
+    "WITHIN 200";
+
+int Run() {
+  Banner("Figure 11",
+         "1/estimated-cost vs relative event rate for Query 5 (x1e-6)");
+
+  auto pattern = AnalyzeQuery(kQuery, StockSchema());
+  if (!pattern.ok()) return 1;
+  const PatternPtr p = *pattern;
+  const PhysicalPlan left = LeftDeepPlan(*p);
+  const PhysicalPlan right = RightDeepPlan(*p);
+
+  const std::vector<std::string> ratios = {
+      "25:1:1", "10:1:1", "5:1:1", "1:1:1", "1:5:5", "1:10:10", "1:25:25"};
+
+  Table table({"rate IBM:Sun:Oracle", "left-deep 1/cost(1e-6)",
+               "right-deep 1/cost(1e-6)", "winner"});
+  for (const std::string& ratio : ratios) {
+    const std::vector<double> w = ParseRateRatio(ratio);
+    const double total = w[0] + w[1] + w[2];
+    StatsCatalog stats(3, 200.0);
+    for (int c = 0; c < 3; ++c) stats.set_rate(c, w[static_cast<size_t>(c)] / total);
+    const CostModel model(p.get(), &stats);
+    const double cl = model.PlanCost(left);
+    const double cr = model.PlanCost(right);
+    table.AddRow({ratio, FormatDouble(1e6 / cl, 3),
+                  FormatDouble(1e6 / cr, 3),
+                  cl < cr ? "left-deep" : (cr < cl ? "right-deep" : "tie")});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace zstream::bench
+
+int main() { return zstream::bench::Run(); }

@@ -1,0 +1,46 @@
+// Figure 13: 1/estimated-cost of the four fixed plans for Query 6 under
+// the same three regimes as Figure 12 — the cost model must predict the
+// same per-regime winners the throughput experiment shows.
+#include "query6_common.h"
+
+#include "opt/cost_model.h"
+
+namespace zstream::bench {
+namespace {
+
+int Run() {
+  Banner("Figure 13",
+         "1/estimated-cost (x1e-5) of the four Query 6 plans per regime");
+
+  auto pattern = AnalyzeQuery(kQuery6, StockSchema());
+  if (!pattern.ok()) return 1;
+  const PatternPtr p = *pattern;
+  const auto plans = Query6Plans(*p);
+
+  Table table(
+      {"case", "left-deep", "right-deep", "bushy", "inner", "model winner"});
+  for (const Query6Case& c : Query6Cases()) {
+    const StatsCatalog stats = Query6Stats(c);
+    const CostModel model(p.get(), &stats);
+    std::vector<std::string> row{c.label};
+    std::string winner;
+    double best = 0.0;
+    for (const NamedPlan& np : plans) {
+      const double cost = model.PlanCost(np.plan);
+      row.push_back(FormatDouble(1e5 / cost, 3));
+      if (winner.empty() || 1.0 / cost > best) {
+        best = 1.0 / cost;
+        winner = np.name;
+      }
+    }
+    row.push_back(winner);
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace zstream::bench
+
+int main() { return zstream::bench::Run(); }

@@ -1,0 +1,11 @@
+// Figure 15: Query 7 (IBM;!Sun;Oracle) throughput for negation pushed
+// down (NSEQ) vs negation-on-top, increasing the Oracle rate.
+#include "negation_common.h"
+
+int main() {
+  return zstream::bench::RunNegationSweep(
+      "Figure 15",
+      "Query 7 negation strategies, varying Oracle rate "
+      "(NSEQ vs NEG filter on top), window 200",
+      {"1:1:1", "1:1:10", "1:1:20", "1:1:30", "1:1:40", "1:1:50"});
+}

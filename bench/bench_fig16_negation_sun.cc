@@ -1,0 +1,11 @@
+// Figure 16: Query 7 (IBM;!Sun;Oracle) throughput for negation pushed
+// down (NSEQ) vs negation-on-top, increasing the Sun (negated) rate.
+#include "negation_common.h"
+
+int main() {
+  return zstream::bench::RunNegationSweep(
+      "Figure 16",
+      "Query 7 negation strategies, varying Sun (negated class) rate "
+      "(NSEQ vs NEG filter on top), window 200",
+      {"1:1:1", "1:10:1", "1:20:1", "1:30:1", "1:40:1", "1:50:1"});
+}

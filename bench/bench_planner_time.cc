@@ -1,0 +1,54 @@
+// Section 5.2.3 claim: the dynamic program (Algorithm 5) finds an
+// optimal plan for a pattern of length 20 in under 10 ms. This bench
+// times OptimalPlan() for lengths 2..20 under randomized statistics.
+#include "bench_util.h"
+
+#include "opt/planner.h"
+
+namespace zstream::bench {
+namespace {
+
+int Run() {
+  Banner("Planner timing (Section 5.2.3)",
+         "Algorithm 5 planning time vs pattern length; paper claims "
+         "< 10 ms at length 20");
+
+  Table table({"pattern length", "plan time (ms)", "plan cost",
+               "shape (first 40 chars)"});
+  Random rng(52);
+  bool ok = true;
+  for (int n = 2; n <= 20; n += 2) {
+    std::string q = "PATTERN C0";
+    for (int i = 1; i < n; ++i) q += ";C" + std::to_string(i);
+    q += " WITHIN 100";
+    auto pattern = AnalyzeQuery(q, StockSchema());
+    if (!pattern.ok()) return 1;
+    StatsCatalog stats(n, 100.0);
+    for (int c = 0; c < n; ++c) {
+      stats.set_rate(c, 0.01 + rng.NextDouble());
+    }
+    Planner planner(*pattern, &stats);
+    // Warm up once, then average a few runs.
+    auto plan = planner.OptimalPlan();
+    if (!plan.ok()) return 1;
+    double total_us = 0.0;
+    const int reps = 5;
+    for (int r = 0; r < reps; ++r) {
+      plan = planner.OptimalPlan();
+      total_us += planner.last_plan_micros();
+    }
+    const double ms = total_us / reps / 1000.0;
+    if (n == 20 && ms >= 10.0) ok = false;
+    std::string shape = plan->Explain(**pattern).substr(0, 40);
+    table.AddRow({std::to_string(n), FormatDouble(ms, 3),
+                  FormatDouble(plan->estimated_cost, 1), shape});
+  }
+  table.Print();
+  std::printf("\n  length-20 under 10 ms: %s\n", ok ? "YES" : "NO");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace zstream::bench
+
+int main() { return zstream::bench::Run(); }

@@ -1,0 +1,79 @@
+// Shared setup for the Query 6 experiments (Figures 12-14, Table 3).
+#ifndef ZSTREAM_BENCH_QUERY6_COMMON_H_
+#define ZSTREAM_BENCH_QUERY6_COMMON_H_
+
+#include "bench_util.h"
+
+namespace zstream::bench {
+
+inline constexpr char kQuery6[] =
+    "PATTERN IBM;Sun;Oracle;Google "
+    "WHERE IBM.name='IBM' AND Sun.name='Sun' AND Oracle.name='Oracle' "
+    "AND Google.name='Google' "
+    "AND Oracle.price > Sun.price AND Oracle.price > Google.price "
+    "WITHIN 100";
+
+/// One experimental regime of Section 6.2.
+struct Query6Case {
+  std::string label;
+  std::string rates;  // IBM:Sun:Oracle:Google
+  double sel1 = 1.0;  // P(Oracle.price > Sun.price)
+  double sel2 = 1.0;  // P(Oracle.price > Google.price)
+};
+
+inline std::vector<Query6Case> Query6Cases() {
+  return {
+      {"rate 1:100:100:100", "1:100:100:100", 1.0, 1.0},
+      {"sel1 = 1/50", "1:1:1:1", 1.0 / 50, 1.0},
+      {"sel2 = 1/50", "1:1:1:1", 1.0, 1.0 / 50},
+  };
+}
+
+/// Generates one regime's stream. Oracle's price is uniform; Sun's and
+/// Google's are pinned at the quantiles matching sel1/sel2.
+inline std::vector<EventPtr> Query6Workload(const Query6Case& c,
+                                            int64_t num_events,
+                                            uint64_t seed) {
+  StockGenOptions gen;
+  gen.names = {"IBM", "Sun", "Oracle", "Google"};
+  gen.weights = ParseRateRatio(c.rates);
+  gen.num_events = num_events;
+  gen.seed = seed;
+  gen.fixed_price = {
+      {"Sun", FixedPriceForSelectivity(c.sel1, 0, 100)},
+      {"Google", FixedPriceForSelectivity(c.sel2, 0, 100)},
+  };
+  return GenerateStockTrades(gen);
+}
+
+/// Statistics catalog mirroring a regime (for the cost-model figures).
+inline StatsCatalog Query6Stats(const Query6Case& c) {
+  const std::vector<double> w = ParseRateRatio(c.rates);
+  const double total = w[0] + w[1] + w[2] + w[3];
+  StatsCatalog stats(4, 100.0);
+  for (int i = 0; i < 4; ++i) {
+    stats.set_rate(i, w[static_cast<size_t>(i)] / total);
+  }
+  stats.SetPairSel(1, 2, c.sel1);  // Sun-Oracle
+  stats.SetPairSel(2, 3, c.sel2);  // Oracle-Google
+  return stats;
+}
+
+/// The four fixed plans of Section 6.2, in paper order.
+struct NamedPlan {
+  std::string name;
+  PhysicalPlan plan;
+};
+
+inline std::vector<NamedPlan> Query6Plans(const Pattern& p) {
+  std::vector<NamedPlan> plans;
+  plans.push_back({"left-deep", LeftDeepPlan(p)});
+  plans.push_back({"right-deep", RightDeepPlan(p)});
+  plans.push_back({"bushy", *PlanFromShape(p, "((0 1) (2 3))")});
+  plans.push_back({"inner", *PlanFromShape(p, "(0 ((1 2) 3))")});
+  return plans;
+}
+
+}  // namespace zstream::bench
+
+#endif  // ZSTREAM_BENCH_QUERY6_COMMON_H_

@@ -1,0 +1,67 @@
+// Web-access pattern detection (Section 6.5): find visitors who
+// download a publication, then browse a project page, then a course
+// page from the same IP within 10 hours (the paper's Query 8), on a
+// synthetic month of logs matching Table 4's class cardinalities.
+#include <cstdio>
+
+#include <map>
+
+#include "api/zstream.h"
+#include "workload/weblog_gen.h"
+
+using namespace zstream;
+
+int main() {
+  WebLogGenOptions gen;
+  gen.total_records = 300000;  // a ~6-day slice keeps the demo snappy
+  gen.publication_accesses = 1355;
+  gen.project_accesses = 2322;
+  gen.course_accesses = 3216;
+  gen.num_ips = 1500;
+  WebLogStats stats;
+  const auto log = GenerateWebLog(gen, &stats);
+  std::printf("log: %zu records, %lld publications, %lld projects, "
+              "%lld courses\n",
+              log.size(), static_cast<long long>(stats.publications),
+              static_cast<long long>(stats.projects),
+              static_cast<long long>(stats.courses));
+
+  ZStream zs(WebLogSchema());
+  auto query = zs.Compile(
+      "PATTERN Pub;Proj;Course "
+      "WHERE Pub.category='publication' AND Proj.category='project' "
+      "AND Course.category='course' "
+      "AND Pub.ip = Proj.ip = Course.ip "
+      "WITHIN 10 hours "
+      "RETURN Pub.ip");
+  if (!query.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("plan: %s\n", (*query)->Explain().c_str());
+
+  // Count research-minded visitors by IP.
+  std::map<std::string, int> by_ip;
+  (*query)->SetMatchCallback([&](Match&& m) {
+    const std::vector<Value> row = ProjectMatch((*query)->pattern(), m);
+    ++by_ip[row[0].string_value()];
+  });
+
+  for (const EventPtr& e : log) (*query)->Push(e);
+  (*query)->Finish();
+
+  std::printf("\n%llu publication->project->course sessions from %zu "
+              "distinct IPs\n",
+              static_cast<unsigned long long>((*query)->num_matches()),
+              by_ip.size());
+  std::printf("top visitors:\n");
+  std::vector<std::pair<int, std::string>> top;
+  for (const auto& [ip, n] : by_ip) top.emplace_back(n, ip);
+  std::sort(top.rbegin(), top.rend());
+  for (size_t i = 0; i < top.size() && i < 5; ++i) {
+    std::printf("  %-16s %d sessions\n", top[i].second.c_str(),
+                top[i].first);
+  }
+  return 0;
+}

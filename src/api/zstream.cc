@@ -1,0 +1,95 @@
+#include "api/zstream.h"
+
+namespace zstream {
+
+Result<PhysicalPlan> BuildPlan(const PatternPtr& pattern,
+                               const CompileOptions& options) {
+  switch (options.strategy) {
+    case PlanStrategy::kLeftDeep:
+      return LeftDeepPlan(*pattern);
+    case PlanStrategy::kRightDeep:
+      return RightDeepPlan(*pattern);
+    case PlanStrategy::kShape:
+      return PlanFromShape(*pattern, options.shape);
+    case PlanStrategy::kNegationTop:
+      return NegationTopPlan(*pattern);
+    case PlanStrategy::kOptimal: {
+      const StatsCatalog defaults(pattern->num_classes(),
+                                  static_cast<double>(pattern->window));
+      const StatsCatalog& stats =
+          options.stats.has_value() ? *options.stats : defaults;
+      Planner planner(pattern, &stats, options.planner);
+      return planner.OptimalPlan();
+    }
+  }
+  return Status::Internal("unknown plan strategy");
+}
+
+void CompiledQuery::Push(const EventPtr& event) {
+  if (partitioned_ != nullptr) {
+    partitioned_->Push(event);
+  } else {
+    engine_->Push(event);
+  }
+}
+
+void CompiledQuery::Finish() {
+  if (partitioned_ != nullptr) {
+    partitioned_->Finish();
+  } else {
+    engine_->Finish();
+  }
+}
+
+void CompiledQuery::SetMatchCallback(Engine::MatchCallback cb) {
+  if (partitioned_ != nullptr) {
+    partitioned_->SetMatchCallback(std::move(cb));
+  } else {
+    engine_->SetMatchCallback(std::move(cb));
+  }
+}
+
+uint64_t CompiledQuery::num_matches() const {
+  return partitioned_ != nullptr ? partitioned_->num_matches()
+                                 : engine_->num_matches();
+}
+
+std::string CompiledQuery::Explain() const {
+  std::string out = plan_.Explain(*pattern_);
+  if (partitioned_ != nullptr) {
+    out += " [hash-partitioned on " + pattern_->partition->field_name + "]";
+  }
+  return out;
+}
+
+MemoryTracker& CompiledQuery::memory() {
+  return partitioned_ != nullptr ? partitioned_->memory()
+                                 : engine_->memory();
+}
+
+Result<PatternPtr> ZStream::Analyze(const std::string& text,
+                                    const AnalyzerOptions& options) const {
+  return AnalyzeQuery(text, schema_, options);
+}
+
+Result<std::unique_ptr<CompiledQuery>> ZStream::Compile(
+    const std::string& text, const CompileOptions& options) const {
+  ZS_ASSIGN_OR_RETURN(PatternPtr pattern,
+                      AnalyzeQuery(text, schema_, options.analyzer));
+  ZS_ASSIGN_OR_RETURN(PhysicalPlan plan, BuildPlan(pattern, options));
+
+  auto query = std::unique_ptr<CompiledQuery>(new CompiledQuery());
+  query->pattern_ = pattern;
+  query->plan_ = plan;
+  if (pattern->partition.has_value()) {
+    ZS_ASSIGN_OR_RETURN(
+        query->partitioned_,
+        PartitionedEngine::Create(pattern, plan, options.engine));
+  } else {
+    ZS_ASSIGN_OR_RETURN(query->engine_,
+                        Engine::Create(pattern, plan, options.engine));
+  }
+  return query;
+}
+
+}  // namespace zstream

@@ -1,0 +1,102 @@
+// Public facade: compile a query string, push events, receive matches.
+//
+//   zstream::ZStream zs(zstream::StockSchema());
+//   auto query = zs.Compile(
+//       "PATTERN IBM;Sun;Oracle WHERE IBM.price > Sun.price "
+//       "WITHIN 200 RETURN IBM, Sun, Oracle");
+//   (*query)->SetMatchCallback([](zstream::Match&& m) { ... });
+//   for (const auto& e : events) (*query)->Push(e);
+//   (*query)->Finish();
+//
+// Compile() runs parse -> rewrite -> analyze -> optimize -> instantiate.
+// Plans come from the cost-based planner by default; fixed shapes
+// (left-deep, right-deep, or an explicit shape string) are available for
+// experiments, as are adaptivity and the NFA-free execution engine
+// internals via CompiledQuery accessors.
+#ifndef ZSTREAM_API_ZSTREAM_H_
+#define ZSTREAM_API_ZSTREAM_H_
+
+#include <memory>
+#include <string>
+
+#include "exec/engine.h"
+#include "exec/partitioned_engine.h"
+#include "opt/planner.h"
+#include "query/analyzer.h"
+
+namespace zstream {
+
+enum class PlanStrategy : char {
+  kOptimal,    // cost-based DP (Algorithm 5)
+  kLeftDeep,
+  kRightDeep,
+  kShape,      // explicit shape string, see PlanFromShape()
+  kNegationTop,  // negation as a top filter (Section 6.4's Plan 2)
+};
+
+struct CompileOptions {
+  PlanStrategy strategy = PlanStrategy::kOptimal;
+  std::string shape;  // for PlanStrategy::kShape
+  EngineOptions engine;
+  AnalyzerOptions analyzer;
+  /// Statistics for the cost-based planner; when absent, uniform
+  /// defaults are used (rate 1, selectivity defaults).
+  std::optional<StatsCatalog> stats;
+  PlannerOptions planner;
+};
+
+/// \brief A compiled, runnable query (partitioned automatically when the
+/// analyzer found a full-coverage equality key).
+class CompiledQuery {
+ public:
+  void Push(const EventPtr& event);
+  void Finish();
+  void SetMatchCallback(Engine::MatchCallback cb);
+
+  uint64_t num_matches() const;
+  const Pattern& pattern() const { return *pattern_; }
+  const PhysicalPlan& plan() const { return plan_; }
+  std::string Explain() const;
+  MemoryTracker& memory();
+  bool partitioned() const { return partitioned_ != nullptr; }
+
+  /// Single-partition engine (null when partitioned).
+  Engine* engine() { return engine_.get(); }
+  PartitionedEngine* partitioned_engine() { return partitioned_.get(); }
+
+ private:
+  friend class ZStream;
+  PatternPtr pattern_;
+  PhysicalPlan plan_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<PartitionedEngine> partitioned_;
+};
+
+/// \brief Entry point bound to one input stream schema.
+class ZStream {
+ public:
+  explicit ZStream(SchemaPtr input_schema)
+      : schema_(std::move(input_schema)) {}
+
+  /// Parses, analyzes, plans and instantiates `text`.
+  Result<std::unique_ptr<CompiledQuery>> Compile(
+      const std::string& text, const CompileOptions& options = {}) const;
+
+  /// Analyze only (no engine); useful for planning experiments.
+  Result<PatternPtr> Analyze(const std::string& text,
+                             const AnalyzerOptions& options = {}) const;
+
+  const SchemaPtr& schema() const { return schema_; }
+
+ private:
+  SchemaPtr schema_;
+};
+
+/// Builds the physical plan for `pattern` under `options` (shared by
+/// Compile and by benchmarks that instantiate engines directly).
+Result<PhysicalPlan> BuildPlan(const PatternPtr& pattern,
+                               const CompileOptions& options);
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_API_ZSTREAM_H_

@@ -1,0 +1,42 @@
+// Minimal leveled logger (stderr). Quiet by default so benchmarks measure
+// query processing, not I/O.
+#ifndef ZSTREAM_COMMON_LOGGING_H_
+#define ZSTREAM_COMMON_LOGGING_H_
+
+#include <sstream>
+
+namespace zstream {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace zstream
+
+#define ZS_LOG(level)                                            \
+  ::zstream::internal::LogMessage(::zstream::LogLevel::k##level, \
+                                  __FILE__, __LINE__)
+
+#endif  // ZSTREAM_COMMON_LOGGING_H_

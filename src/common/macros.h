@@ -1,0 +1,42 @@
+// Common macros used across ZStream.
+#ifndef ZSTREAM_COMMON_MACROS_H_
+#define ZSTREAM_COMMON_MACROS_H_
+
+#include <cassert>
+
+#define ZS_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;         \
+  TypeName& operator=(const TypeName&) = delete
+
+// Propagates a non-OK Status out of the enclosing function.
+#define ZS_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::zstream::Status _zs_status = (expr);       \
+    if (!_zs_status.ok()) return _zs_status;     \
+  } while (0)
+
+// Assigns the value of a Result<T> expression to `lhs`, or propagates its
+// error Status.
+#define ZS_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  ZS_ASSIGN_OR_RETURN_IMPL(                          \
+      ZS_CONCAT_NAME(_zs_result, __COUNTER__), lhs, rexpr)
+
+#define ZS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define ZS_CONCAT_NAME(x, y) ZS_CONCAT_NAME_IMPL(x, y)
+#define ZS_CONCAT_NAME_IMPL(x, y) x##y
+
+#define ZS_DCHECK(cond) assert(cond)
+
+#if defined(__GNUC__)
+#define ZS_LIKELY(x) __builtin_expect(!!(x), 1)
+#define ZS_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define ZS_LIKELY(x) (x)
+#define ZS_UNLIKELY(x) (x)
+#endif
+
+#endif  // ZSTREAM_COMMON_MACROS_H_

@@ -1,0 +1,5 @@
+#include "common/memory_tracker.h"
+
+// MemoryTracker is header-only today; this translation unit anchors the
+// library target and leaves room for future instrumentation hooks.
+namespace zstream {}  // namespace zstream

@@ -1,0 +1,54 @@
+// Byte accounting for buffers and resident events.
+//
+// The paper reports peak memory usage for different physical plans
+// (Tables 3 and 5). We reproduce that with deterministic byte accounting:
+// every buffer reports record/event bytes to a MemoryTracker, whose peak
+// is read out after a run.
+#ifndef ZSTREAM_COMMON_MEMORY_TRACKER_H_
+#define ZSTREAM_COMMON_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace zstream {
+
+/// \brief Tracks current and peak tracked bytes. Not thread-safe; ZStream
+/// engines are single-threaded like the paper's prototype.
+class MemoryTracker {
+ public:
+  MemoryTracker() = default;
+  ZS_DISALLOW_COPY_AND_ASSIGN(MemoryTracker);
+
+  void Allocate(size_t bytes) {
+    current_ += static_cast<int64_t>(bytes);
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  void Release(size_t bytes) {
+    current_ -= static_cast<int64_t>(bytes);
+    ZS_DCHECK(current_ >= 0);
+  }
+
+  int64_t current_bytes() const { return current_; }
+  int64_t peak_bytes() const { return peak_; }
+
+  double peak_mb() const {
+    return static_cast<double>(peak_) / (1024.0 * 1024.0);
+  }
+
+  void ResetPeak() { peak_ = current_; }
+  void Reset() {
+    current_ = 0;
+    peak_ = 0;
+  }
+
+ private:
+  int64_t current_ = 0;
+  int64_t peak_ = 0;
+};
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_COMMON_MEMORY_TRACKER_H_

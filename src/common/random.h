@@ -1,0 +1,65 @@
+// Fast deterministic RNG for workload generation and property tests.
+#ifndef ZSTREAM_COMMON_RANDOM_H_
+#define ZSTREAM_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace zstream {
+
+/// \brief xorshift128+ generator: fast, seedable, reproducible across
+/// platforms (unlike std::default_random_engine distributions).
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x5deece66dULL) {
+    // SplitMix64 seeding to avoid weak states.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+    for (int i = 0; i < 2; ++i) {
+      z ^= z >> 30;
+      z *= 0xbf58476d1ce4e5b9ULL;
+      z ^= z >> 27;
+      z *= 0x94d049bb133111ebULL;
+      z ^= z >> 31;
+      state_[i] = z | 1;
+      z += 0x9e3779b97f4a7c15ULL;
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t s1 = state_[0];
+    const uint64_t s0 = state_[1];
+    state_[0] = s0;
+    s1 ^= s1 << 23;
+    state_[1] = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+    return state_[1] + s0;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    ZS_DCHECK(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    ZS_DCHECK(hi >= lo);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_[2];
+};
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_COMMON_RANDOM_H_

@@ -1,0 +1,57 @@
+// Result<T>: a Status or a value, in the style of arrow::Result.
+#ifndef ZSTREAM_COMMON_RESULT_H_
+#define ZSTREAM_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace zstream {
+
+/// \brief Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions intended: functions can `return value;` or
+  // `return Status::...;`.
+  Result(T value) : value_(std::move(value)) {}       // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    ZS_DCHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    ZS_DCHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    ZS_DCHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    ZS_DCHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `alternative` if this holds an error.
+  T ValueOr(T alternative) const {
+    return ok() ? *value_ : std::move(alternative);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_COMMON_RESULT_H_

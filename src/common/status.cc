@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+namespace zstream {
+
+namespace {
+const std::string kEmpty;
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kSemanticError:
+      return "SemanticError";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+const std::string& Status::message() const {
+  return ok() ? kEmpty : state_->msg;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(state_->code);
+  out += ": ";
+  out += state_->msg;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace zstream

@@ -1,0 +1,84 @@
+// Status: lightweight error propagation, in the style of Arrow / RocksDB.
+//
+// ZStream does not use exceptions on any query-processing path; fallible
+// operations return Status (or Result<T>, see result.h).
+#ifndef ZSTREAM_COMMON_STATUS_H_
+#define ZSTREAM_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace zstream {
+
+enum class StatusCode : char {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kSemanticError,
+  kNotSupported,
+  kInternal,
+  kOutOfRange,
+};
+
+/// \brief Result status of a fallible operation.
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// human-readable message.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status SemanticError(std::string msg) {
+    return Status(StatusCode::kSemanticError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsSemanticError() const { return code() == StatusCode::kSemanticError; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+
+  /// Human-readable rendering, e.g. "ParseError: unexpected token ';'".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  Status(StatusCode code, std::string msg)
+      : state_(std::make_shared<State>(State{code, std::move(msg)})) {}
+
+  std::shared_ptr<State> state_;  // nullptr means OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_COMMON_STATUS_H_

@@ -1,0 +1,21 @@
+// Small string helpers shared by the parser and plan printers.
+#ifndef ZSTREAM_COMMON_STRING_UTIL_H_
+#define ZSTREAM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zstream {
+
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+std::string_view Trim(std::string_view s);
+std::vector<std::string> Split(std::string_view s, char sep);
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,37 @@
+// Logical time in ZStream.
+//
+// Following the paper, every primitive event carries one timestamp; every
+// composite event carries a [start, end] timestamp pair and must satisfy
+// end - start <= time window (Section 3).
+#ifndef ZSTREAM_COMMON_TIMESTAMP_H_
+#define ZSTREAM_COMMON_TIMESTAMP_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace zstream {
+
+/// Logical timestamp. ZStream is unit-agnostic; the query language maps
+/// `secs`/`mins`/`hours` onto milliseconds and bare numbers onto raw units.
+using Timestamp = int64_t;
+
+/// Duration between two timestamps (same unit as Timestamp).
+using Duration = int64_t;
+
+inline constexpr Timestamp kMinTimestamp =
+    std::numeric_limits<Timestamp>::min();
+inline constexpr Timestamp kMaxTimestamp =
+    std::numeric_limits<Timestamp>::max();
+
+/// A half-open interval of occurrence for a (composite) event.
+struct TimeSpan {
+  Timestamp start = 0;
+  Timestamp end = 0;
+
+  Duration duration() const { return end - start; }
+  bool operator==(const TimeSpan&) const = default;
+};
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_COMMON_TIMESTAMP_H_

@@ -1,0 +1,92 @@
+// Typed runtime values for event attributes and expression evaluation.
+#ifndef ZSTREAM_COMMON_VALUE_H_
+#define ZSTREAM_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace zstream {
+
+enum class ValueType : char { kNull = 0, kBool, kInt64, kDouble, kString };
+
+const char* ValueTypeName(ValueType type);
+
+/// \brief A dynamically typed scalar: null, bool, int64, double or string.
+///
+/// Numeric comparisons and arithmetic coerce int64 and double to double.
+/// Any operation touching a null yields null (three-valued logic at the
+/// predicate level: null never satisfies a predicate).
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  explicit Value(bool v) : rep_(v) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(int v) : rep_(static_cast<int64_t>(v)) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(rep_.index() == 0 ? 0 : rep_.index());
+  }
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+  bool is_bool() const { return std::holds_alternative<bool>(rep_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_double() const { return std::holds_alternative<double>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_numeric() const { return is_int64() || is_double(); }
+
+  bool bool_value() const { return std::get<bool>(rep_); }
+  int64_t int64_value() const { return std::get<int64_t>(rep_); }
+  double double_value() const { return std::get<double>(rep_); }
+  const std::string& string_value() const { return std::get<std::string>(rep_); }
+
+  /// Numeric view: int64 and double both read as double.
+  double AsDouble() const {
+    return is_int64() ? static_cast<double>(int64_value()) : double_value();
+  }
+
+  /// True when the value is usable as a predicate outcome and is true.
+  /// Nulls and non-bool values are not truthy.
+  bool IsTruthy() const { return is_bool() && bool_value(); }
+
+  /// Three-way comparison for ordering; values must be comparable
+  /// (both numeric, or both strings, or both bools). Nulls and mixed
+  /// categories return an error.
+  Result<int> Compare(const Value& other) const;
+
+  /// Strict equality used by hash indexes (type category + content).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Hash consistent with operator== (numeric 3 == numeric 3.0).
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> rep_;
+};
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+// Arithmetic. Numeric-only; int64 op int64 stays int64 (division by zero
+// and modulo follow SQL-ish semantics and return null).
+Value Add(const Value& a, const Value& b);
+Value Subtract(const Value& a, const Value& b);
+Value Multiply(const Value& a, const Value& b);
+Value Divide(const Value& a, const Value& b);
+Value Modulo(const Value& a, const Value& b);
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_COMMON_VALUE_H_

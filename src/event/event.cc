@@ -1,0 +1,65 @@
+#include "event/event.h"
+
+#include <sstream>
+
+namespace zstream {
+
+namespace {
+size_t ValueBytes(const Value& v) {
+  size_t b = sizeof(Value);
+  if (v.is_string()) b += v.string_value().capacity();
+  return b;
+}
+}  // namespace
+
+Event::Event(SchemaPtr schema, std::vector<Value> values, Timestamp ts)
+    : schema_(std::move(schema)), values_(std::move(values)), ts_(ts) {
+  ZS_DCHECK(static_cast<int>(values_.size()) == schema_->num_fields());
+  byte_size_ = sizeof(Event);
+  for (const Value& v : values_) byte_size_ += ValueBytes(v);
+}
+
+Result<Value> Event::ValueOf(const std::string& field_name) const {
+  ZS_ASSIGN_OR_RETURN(const int idx, schema_->RequireField(field_name));
+  return values_[static_cast<size_t>(idx)];
+}
+
+std::string Event::ToString() const {
+  std::ostringstream os;
+  os << "{ts=" << ts_;
+  for (int i = 0; i < schema_->num_fields(); ++i) {
+    os << ", " << schema_->field(i).name << "="
+       << values_[static_cast<size_t>(i)].ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+EventBuilder& EventBuilder::Set(const std::string& field, Value v) {
+  const int idx = schema_->FieldIndex(field);
+  ZS_DCHECK(idx >= 0);
+  values_[static_cast<size_t>(idx)] = std::move(v);
+  return *this;
+}
+
+SchemaPtr StockSchema() {
+  static const SchemaPtr schema = Schema::Make({
+      {"id", ValueType::kInt64},
+      {"name", ValueType::kString},
+      {"price", ValueType::kDouble},
+      {"volume", ValueType::kInt64},
+      {"ts", ValueType::kInt64},
+  });
+  return schema;
+}
+
+SchemaPtr WebLogSchema() {
+  static const SchemaPtr schema = Schema::Make({
+      {"ip", ValueType::kString},
+      {"url", ValueType::kString},
+      {"category", ValueType::kString},
+  });
+  return schema;
+}
+
+}  // namespace zstream

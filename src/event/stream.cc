@@ -1,0 +1,34 @@
+#include "event/stream.h"
+
+namespace zstream {
+
+EventPtr ConcatStream::Next() {
+  while (idx_ < streams_.size()) {
+    EventPtr e = streams_[idx_]->Next();
+    if (e != nullptr) return e;
+    ++idx_;
+  }
+  return nullptr;
+}
+
+int64_t ConcatStream::SizeHint() const {
+  int64_t total = 0;
+  for (const auto& s : streams_) {
+    const int64_t n = s->SizeHint();
+    if (n < 0) return -1;
+    total += n;
+  }
+  return total;
+}
+
+std::vector<EventPtr> DrainStream(EventStream* stream) {
+  std::vector<EventPtr> out;
+  const int64_t hint = stream->SizeHint();
+  if (hint > 0) out.reserve(static_cast<size_t>(hint));
+  while (EventPtr e = stream->Next()) {
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace zstream

@@ -1,0 +1,69 @@
+// Event streams: pull-based sources of time-ordered primitive events.
+//
+// The paper runs ZStream over pre-recorded data files "pulled into the
+// system at the maximum rate the system could accept"; VectorStream models
+// exactly that. ConcatStream supports the plan-adaptation experiment
+// (Figure 14), which concatenates three differently-parameterized streams.
+#ifndef ZSTREAM_EVENT_STREAM_H_
+#define ZSTREAM_EVENT_STREAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "event/event.h"
+
+namespace zstream {
+
+/// \brief Pull interface. Next() returns nullptr when exhausted.
+/// Implementations must yield events in non-decreasing timestamp order.
+class EventStream {
+ public:
+  virtual ~EventStream() = default;
+  virtual EventPtr Next() = 0;
+
+  /// Number of events if known up front, else -1.
+  virtual int64_t SizeHint() const { return -1; }
+};
+
+/// \brief In-memory, pre-recorded stream.
+class VectorStream : public EventStream {
+ public:
+  explicit VectorStream(std::vector<EventPtr> events)
+      : events_(std::move(events)) {}
+
+  EventPtr Next() override {
+    if (pos_ >= events_.size()) return nullptr;
+    return events_[pos_++];
+  }
+  int64_t SizeHint() const override {
+    return static_cast<int64_t>(events_.size());
+  }
+  void Reset() { pos_ = 0; }
+
+ private:
+  std::vector<EventPtr> events_;
+  size_t pos_ = 0;
+};
+
+/// \brief Concatenation of several streams (timestamps must continue to be
+/// non-decreasing across the seam; generators take a start-ts offset for
+/// this purpose).
+class ConcatStream : public EventStream {
+ public:
+  explicit ConcatStream(std::vector<std::unique_ptr<EventStream>> streams)
+      : streams_(std::move(streams)) {}
+
+  EventPtr Next() override;
+  int64_t SizeHint() const override;
+
+ private:
+  std::vector<std::unique_ptr<EventStream>> streams_;
+  size_t idx_ = 0;
+};
+
+/// Drains a stream into a vector (helper for benchmarks that pre-record).
+std::vector<EventPtr> DrainStream(EventStream* stream);
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_EVENT_STREAM_H_

@@ -1,0 +1,61 @@
+#include "exec/buffer.h"
+
+namespace zstream {
+
+RecordId Buffer::Append(Record record) {
+  ZS_DCHECK(records_.empty() || record.end_ts >= records_.back().end_ts);
+  const RecordId id = end_id();
+  Account(record);
+  if (index_.has_value()) index_->Insert(record, id);
+  records_.push_back(std::move(record));
+  return id;
+}
+
+void Buffer::PurgeBefore(Timestamp eat) {
+  size_t removed = 0;
+  while (!records_.empty() && records_.front().start_ts < eat) {
+    Unaccount(records_.front());
+    records_.pop_front();
+    ++base_id_;
+    ++removed;
+  }
+  // Amortize index cleanup: compact when a meaningful chunk was purged.
+  if (index_.has_value() && removed > 64) {
+    index_->Compact(base_id_);
+  }
+}
+
+void Buffer::Clear() {
+  for (const Record& r : records_) Unaccount(r);
+  base_id_ = end_id();
+  records_.clear();
+  if (index_.has_value()) index_->Compact(base_id_);
+}
+
+void Buffer::EnableHashIndex(int class_idx, int field_idx) {
+  if (index_.has_value() && index_->class_idx() == class_idx &&
+      index_->field_idx() == field_idx) {
+    return;
+  }
+  index_.emplace(class_idx, field_idx);
+  for (RecordId id = base_id_; id < end_id(); ++id) {
+    index_->Insert(Get(id), id);
+  }
+}
+
+void Buffer::DisableHashIndex() { index_.reset(); }
+
+void Buffer::Account(const Record& r) {
+  const size_t b = r.ByteSize(count_event_bytes_);
+  tracked_bytes_ += b;
+  if (tracker_ != nullptr) tracker_->Allocate(b);
+}
+
+void Buffer::Unaccount(const Record& r) {
+  const size_t b = r.ByteSize(count_event_bytes_);
+  ZS_DCHECK(tracked_bytes_ >= b);
+  tracked_bytes_ -= b;
+  if (tracker_ != nullptr) tracker_->Release(b);
+}
+
+}  // namespace zstream

@@ -1,0 +1,99 @@
+// End-timestamp-ordered record buffers (Section 4.2).
+//
+// Records are addressed by a monotonically increasing *sequence id* so
+// that hash-index entries and consumption watermarks survive front
+// purges. Purging removes expired records from the front; records that
+// expire mid-buffer are skipped by the operators' EAT checks and
+// reclaimed once they reach the front (the retained tail is still
+// bounded by one time window, matching the paper's memory behaviour).
+#ifndef ZSTREAM_EXEC_BUFFER_H_
+#define ZSTREAM_EXEC_BUFFER_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/memory_tracker.h"
+#include "exec/hash_index.h"
+#include "exec/record.h"
+
+namespace zstream {
+
+/// Sequence id of a record within a buffer (monotone, never reused).
+using RecordId = uint64_t;
+
+/// \brief Ordered record store with watermark-based consumption, EAT
+/// purging and an optional equality hash index.
+class Buffer {
+ public:
+  /// `count_event_bytes` is set for leaf buffers, which account the
+  /// resident primitive events' bytes in addition to record overhead.
+  explicit Buffer(MemoryTracker* tracker, bool count_event_bytes = false)
+      : tracker_(tracker), count_event_bytes_(count_event_bytes) {}
+
+  ZS_DISALLOW_COPY_AND_ASSIGN(Buffer);
+  ~Buffer() { Clear(); }
+
+  /// Appends a record; end timestamps must be non-decreasing.
+  RecordId Append(Record record);
+
+  bool empty() const { return records_.empty(); }
+  size_t size() const { return records_.size(); }
+  RecordId base_id() const { return base_id_; }
+  RecordId end_id() const { return base_id_ + records_.size(); }
+
+  const Record& Get(RecordId id) const {
+    ZS_DCHECK(id >= base_id_ && id < end_id());
+    return records_[static_cast<size_t>(id - base_id_)];
+  }
+
+  /// Consumption watermark: first id not yet consumed by this buffer's
+  /// reader (the parent operator's outer loop).
+  RecordId watermark() const { return watermark_ < base_id_ ? base_id_ : watermark_; }
+  void SetWatermark(RecordId id) { watermark_ = id; }
+  /// Resets consumption so the next round re-reads everything still
+  /// buffered (used by the plan-switch rebuild round, Section 5.3).
+  void RewindWatermark() { watermark_ = base_id_; }
+  bool HasUnconsumed() const { return watermark() < end_id(); }
+
+  /// Earliest end timestamp among unconsumed records (EAT input).
+  std::optional<Timestamp> FirstUnconsumedEndTs() const {
+    return HasUnconsumed() ? std::optional<Timestamp>(Get(watermark()).end_ts)
+                           : std::nullopt;
+  }
+
+  /// Removes expired records (start_ts < eat) from the front.
+  void PurgeBefore(Timestamp eat);
+
+  /// Removes every record ("Clear RBuf", Algorithm 1 step 7 — applied to
+  /// internal right-child buffers after their round is consumed).
+  void Clear();
+
+  /// Enables an equality hash index keyed on slot `class_idx`'s
+  /// attribute `field_idx`; indexes existing and future records.
+  void EnableHashIndex(int class_idx, int field_idx);
+  void DisableHashIndex();
+  bool has_hash_index() const { return index_.has_value(); }
+  const HashIndex* hash_index() const {
+    return index_.has_value() ? &*index_ : nullptr;
+  }
+
+  /// Total bytes currently accounted by this buffer.
+  size_t tracked_bytes() const { return tracked_bytes_; }
+
+ private:
+  void Account(const Record& r);
+  void Unaccount(const Record& r);
+
+  MemoryTracker* tracker_;
+  bool count_event_bytes_;
+  std::deque<Record> records_;
+  RecordId base_id_ = 0;
+  RecordId watermark_ = 0;
+  std::optional<HashIndex> index_;
+  size_t tracked_bytes_ = 0;
+};
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_EXEC_BUFFER_H_

@@ -1,0 +1,475 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "expr/analysis.h"
+
+namespace zstream {
+
+std::string Match::ToString() const {
+  std::ostringstream os;
+  os << "match[" << span.start << "," << span.end << "](";
+  bool first = true;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i] == nullptr) continue;
+    if (!first) os << "; ";
+    first = false;
+    os << slots[i]->ToString();
+  }
+  if (group != nullptr) {
+    os << "; group size=" << group->size();
+  }
+  os << ")";
+  return os.str();
+}
+
+std::vector<Value> ProjectMatch(const Pattern& pattern, const Match& match) {
+  EvalInput in;
+  in.slots = match.slots.data();
+  in.num_slots = static_cast<int>(match.slots.size());
+  in.group = match.group == nullptr ? nullptr : match.group.get();
+  in.group_class = pattern.KleeneClass();
+
+  std::vector<Value> out;
+  out.reserve(pattern.return_items.size());
+  for (const ReturnItem& item : pattern.return_items) {
+    if (item.expr != nullptr) {
+      out.push_back(item.expr->Eval(in));
+    } else {
+      const EventPtr& e = match.slots[static_cast<size_t>(item.class_idx)];
+      out.push_back(e == nullptr ? Value::Null() : Value(e->ToString()));
+    }
+  }
+  return out;
+}
+
+Engine::Engine(PatternPtr pattern, const EngineOptions& options,
+               MemoryTracker* tracker)
+    : pattern_(std::move(pattern)), options_(options), tracker_(tracker) {
+  if (tracker_ == nullptr) {
+    owned_tracker_ = std::make_unique<MemoryTracker>();
+    tracker_ = owned_tracker_.get();
+  }
+  if (options_.reorder_slack > 0) {
+    reorder_ = std::make_unique<ReorderStage>(
+        options_.reorder_slack,
+        [this](const EventPtr& e) { PushOrdered(e); });
+  }
+}
+
+Engine::~Engine() = default;
+
+Result<std::unique_ptr<Engine>> Engine::Create(PatternPtr pattern,
+                                               const PhysicalPlan& plan,
+                                               const EngineOptions& options,
+                                               MemoryTracker* tracker) {
+  ZS_RETURN_IF_ERROR(pattern->Validate());
+  ZS_RETURN_IF_ERROR(ValidatePlan(*pattern, plan));
+  auto engine =
+      std::unique_ptr<Engine>(new Engine(std::move(pattern), options, tracker));
+  ZS_RETURN_IF_ERROR(engine->Build(plan, /*initial=*/true));
+  return engine;
+}
+
+Status Engine::Build(const PhysicalPlan& plan, bool initial) {
+  ZS_RETURN_IF_ERROR(ValidatePlan(*pattern_, plan));
+  const int n = pattern_->num_classes();
+
+  if (initial) {
+    const bool want_stats = options_.adaptive || options_.collect_stats;
+    if (want_stats) {
+      // Bucket the window so rate changes show up within a few windows.
+      const Duration bucket =
+          std::max<Duration>(pattern_->window, 1);
+      runtime_stats_ = std::make_unique<RuntimeStats>(
+          n, static_cast<int>(pattern_->multi_predicates.size()), bucket);
+    }
+    leaves_.clear();
+    for (int c = 0; c < n; ++c) {
+      leaves_.push_back(std::make_unique<LeafNode>(pattern_.get(), c,
+                                                   tracker_));
+      leaves_.back()->set_runtime_stats(runtime_stats_.get());
+    }
+    if (options_.adaptive) {
+      adaptive_ = std::make_unique<AdaptiveController>(
+          pattern_, options_.adaptive_options);
+    }
+  }
+
+  internal_nodes_.clear();
+  assembly_order_.clear();
+  for (auto& leaf : leaves_) {
+    leaf->output()->DisableHashIndex();
+  }
+
+  std::vector<ExprPtr> unattached = pattern_->multi_predicates;
+  pred_index_of_.clear();
+  for (size_t i = 0; i < unattached.size(); ++i) {
+    pred_index_of_.push_back(static_cast<int>(i));
+  }
+
+  ZS_ASSIGN_OR_RETURN(root_, BuildNode(plan.root, &unattached));
+  if (!unattached.empty()) {
+    return Status::Internal("predicate not attachable to plan: " +
+                            unattached.front()->ToString());
+  }
+  plan_ = plan;
+  trigger_classes_ = pattern_->TriggerClasses();
+  if (initial && adaptive_ != nullptr) {
+    const StatsCatalog defaults(n, static_cast<double>(pattern_->window));
+    adaptive_->OnPlanInstalled(plan_, defaults);
+  }
+  return Status::OK();
+}
+
+namespace {
+bool CoversAll(const std::vector<int>& cover, const std::set<int>& classes) {
+  for (int c : classes) {
+    if (std::find(cover.begin(), cover.end(), c) == cover.end()) return false;
+  }
+  return true;
+}
+}  // namespace
+
+void Engine::AttachPredicates(OperatorNode* op,
+                              std::vector<ExprPtr>* unattached) {
+  // A predicate attaches at the lowest node covering all its classes;
+  // since we build bottom-up post-order, "still unattached and covered
+  // here" is exactly that node.
+  const std::vector<int>& cover = op->covered();
+  std::vector<ExprPtr> rest;
+  std::vector<int> rest_idx;
+  for (size_t i = 0; i < unattached->size(); ++i) {
+    const ExprPtr& pred = (*unattached)[i];
+    const std::set<int> classes = ReferencedClasses(pred);
+    if (!CoversAll(cover, classes)) {
+      rest.push_back(pred);
+      rest_idx.push_back(pred_index_of_[i]);
+      continue;
+    }
+    op->AttachPredicate(pred, pred_index_of_[i]);
+  }
+  *unattached = std::move(rest);
+  pred_index_of_ = std::move(rest_idx);
+}
+
+Result<OperatorNode*> Engine::BuildNode(const PhysNodePtr& node,
+                                        std::vector<ExprPtr>* unattached) {
+  switch (node->op) {
+    case PhysOp::kLeaf:
+      return static_cast<OperatorNode*>(
+          leaves_[static_cast<size_t>(node->class_idx)].get());
+
+    case PhysOp::kSeq:
+    case PhysOp::kConj:
+    case PhysOp::kDisj: {
+      ZS_ASSIGN_OR_RETURN(OperatorNode * left,
+                          BuildNode(node->children[0], unattached));
+      ZS_ASSIGN_OR_RETURN(OperatorNode * right,
+                          BuildNode(node->children[1], unattached));
+      const auto lcov = node->children[0]->CoveredClasses();
+      const auto rcov = node->children[1]->CoveredClasses();
+      std::unique_ptr<OperatorNode> op;
+      SeqNode* seq = nullptr;
+      ConjNode* conj = nullptr;
+      if (node->op == PhysOp::kSeq) {
+        auto s = std::make_unique<SeqNode>(pattern_.get(), left, right,
+                                           tracker_);
+        seq = s.get();
+        op = std::move(s);
+      } else if (node->op == PhysOp::kConj) {
+        auto c = std::make_unique<ConjNode>(pattern_.get(), left, right,
+                                            tracker_);
+        conj = c.get();
+        op = std::move(c);
+      } else {
+        op = std::make_unique<DisjNode>(pattern_.get(), left, right,
+                                        tracker_);
+      }
+      op->set_covered(node->CoveredClasses());
+      op->set_runtime_stats(runtime_stats_.get());
+
+      // Attach predicates newly covered here; route the first equality
+      // predicate through a hash index when enabled.
+      const std::vector<int>& cover = op->covered();
+      std::vector<ExprPtr> rest;
+      std::vector<int> rest_idx;
+      bool hashed = false;
+      for (size_t i = 0; i < unattached->size(); ++i) {
+        const ExprPtr& pred = (*unattached)[i];
+        const std::set<int> classes = ReferencedClasses(pred);
+        if (!CoversAll(cover, classes)) {
+          rest.push_back(pred);
+          rest_idx.push_back(pred_index_of_[i]);
+          continue;
+        }
+        if (options_.use_hash_indexes && !hashed &&
+            (seq != nullptr || conj != nullptr)) {
+          auto eq = AsEqualityJoin(pred);
+          if (eq.has_value()) {
+            // Orient so that left_class lies in the left child's cover.
+            EqualityJoin oriented = *eq;
+            const bool left_in_l =
+                std::find(lcov.begin(), lcov.end(), eq->left_class) !=
+                lcov.end();
+            if (!left_in_l) {
+              std::swap(oriented.left_class, oriented.right_class);
+              std::swap(oriented.left_field, oriented.right_field);
+            }
+            const bool ok_split =
+                std::find(lcov.begin(), lcov.end(), oriented.left_class) !=
+                    lcov.end() &&
+                std::find(rcov.begin(), rcov.end(), oriented.right_class) !=
+                    rcov.end();
+            if (ok_split) {
+              if (seq != nullptr) seq->SetHashEquality(oriented);
+              if (conj != nullptr) conj->SetHashEquality(oriented);
+              hashed = true;
+              continue;  // enforced by the probe, not re-evaluated
+            }
+          }
+        }
+        op->AttachPredicate(pred, pred_index_of_[i]);
+      }
+      *unattached = std::move(rest);
+      pred_index_of_ = std::move(rest_idx);
+
+      // Negation time-guards (Figure 4's extra constraints).
+      if (seq != nullptr) {
+        for (int nc : pattern_->NegatedClasses()) {
+          const auto in = [](const std::vector<int>& v, int x) {
+            return std::find(v.begin(), v.end(), x) != v.end();
+          };
+          if (in(rcov, nc) && in(lcov, nc - 1)) {
+            seq->AddNegGuard(nc, /*neg_bound_on_right=*/true);
+          } else if (in(lcov, nc) && in(rcov, nc + 1)) {
+            seq->AddNegGuard(nc, /*neg_bound_on_right=*/false);
+          }
+        }
+      }
+
+      OperatorNode* raw = op.get();
+      internal_nodes_.push_back(std::move(op));
+      assembly_order_.push_back(raw);
+      return raw;
+    }
+
+    case PhysOp::kNSeq: {
+      const PhysNodePtr& neg_child =
+          node->neg_left ? node->children[0] : node->children[1];
+      const PhysNodePtr& other_child =
+          node->neg_left ? node->children[1] : node->children[0];
+      if (!neg_child->is_leaf()) {
+        return Status::SemanticError("NSEQ negated operand must be a leaf");
+      }
+      LeafNode* neg =
+          leaves_[static_cast<size_t>(neg_child->class_idx)].get();
+      ZS_ASSIGN_OR_RETURN(OperatorNode * other,
+                          BuildNode(other_child, unattached));
+      auto op = std::make_unique<NSeqNode>(pattern_.get(), neg, other,
+                                           node->neg_left, tracker_);
+      op->set_covered(node->CoveredClasses());
+      op->set_runtime_stats(runtime_stats_.get());
+
+      // NSEQ-local predicates: everything covered here and not already
+      // attached deeper. Predicates referencing this negated class plus
+      // classes outside this node's cover would change which event
+      // negates — reject such plans (Section 4.4.2's restriction).
+      const int nc = neg_child->class_idx;
+      AttachPredicates(op.get(), unattached);
+      for (const ExprPtr& pred : *unattached) {
+        if (ReferencedClasses(pred).count(nc) > 0) {
+          return Status::NotSupported(
+              "negated class '" +
+              pattern_->classes[static_cast<size_t>(nc)].alias +
+              "' has predicates spanning multiple non-negated classes; "
+              "use a negation filter on top (Section 4.4.2)");
+        }
+      }
+      OperatorNode* raw = op.get();
+      internal_nodes_.push_back(std::move(op));
+      assembly_order_.push_back(raw);
+      return raw;
+    }
+
+    case PhysOp::kKSeq: {
+      OperatorNode* start = nullptr;
+      OperatorNode* end = nullptr;
+      if (node->children[0] != nullptr) {
+        ZS_ASSIGN_OR_RETURN(start, BuildNode(node->children[0], unattached));
+      }
+      LeafNode* closure =
+          leaves_[static_cast<size_t>(node->children[1]->class_idx)].get();
+      if (node->children[2] != nullptr) {
+        ZS_ASSIGN_OR_RETURN(end, BuildNode(node->children[2], unattached));
+      }
+      auto op = std::make_unique<KSeqNode>(pattern_.get(), start, closure,
+                                           end, tracker_);
+      op->set_covered(node->CoveredClasses());
+      op->set_runtime_stats(runtime_stats_.get());
+      AttachPredicates(op.get(), unattached);
+      OperatorNode* raw = op.get();
+      internal_nodes_.push_back(std::move(op));
+      assembly_order_.push_back(raw);
+      return raw;
+    }
+
+    case PhysOp::kNegFilter: {
+      ZS_ASSIGN_OR_RETURN(OperatorNode * input,
+                          BuildNode(node->children[0], unattached));
+      LeafNode* neg_leaf =
+          leaves_[static_cast<size_t>(node->class_idx)].get();
+      auto op = std::make_unique<NegFilterNode>(
+          pattern_.get(), input, neg_leaf, node->class_idx, tracker_);
+      op->set_covered(node->CoveredClasses());
+      op->set_runtime_stats(runtime_stats_.get());
+      AttachPredicates(op.get(), unattached);
+      OperatorNode* raw = op.get();
+      internal_nodes_.push_back(std::move(op));
+      assembly_order_.push_back(raw);
+      return raw;
+    }
+  }
+  return Status::Internal("unreachable physical operator");
+}
+
+void Engine::Offer(const EventPtr& event) {
+  ++events_pushed_;
+  if (event->timestamp() < max_ts_seen_) {
+    // Leaf buffers require timestamp order; without a reorder stage,
+    // late events are dropped (and counted) rather than corrupting the
+    // end-timestamp invariant.
+    ++late_events_;
+    return;
+  }
+  max_ts_seen_ = std::max(max_ts_seen_, event->timestamp());
+  if (runtime_stats_ != nullptr) runtime_stats_->OnEvent(event->timestamp());
+  for (auto& leaf : leaves_) {
+    leaf->Offer(event);
+  }
+}
+
+void Engine::PushOrdered(const EventPtr& event) {
+  Offer(event);
+  if (++pending_in_batch_ >= options_.batch_size) {
+    AssemblyRound();
+  }
+}
+
+void Engine::Push(const EventPtr& event) {
+  if (reorder_ != nullptr) {
+    reorder_->Push(event);
+    return;
+  }
+  PushOrdered(event);
+}
+
+void Engine::Finish() {
+  if (reorder_ != nullptr) reorder_->Flush();
+  AssemblyRound();
+}
+
+void Engine::AssemblyRound() {
+  pending_in_batch_ = 0;
+  // Idle round unless a trigger class has an unconsumed instance
+  // (Section 4.3, steps 1-2).
+  Timestamp min_end = kMaxTimestamp;
+  bool any = false;
+  for (int t : trigger_classes_) {
+    const auto first =
+        leaves_[static_cast<size_t>(t)]->output()->FirstUnconsumedEndTs();
+    if (first.has_value()) {
+      any = true;
+      min_end = std::min(min_end, *first);
+    }
+  }
+  if (!any) return;
+
+  const Timestamp eat = min_end - pattern_->window;
+  const Timestamp horizon = max_ts_seen_ + 1;
+  for (auto& leaf : leaves_) {
+    leaf->set_horizon(horizon);
+    leaf->output()->PurgeBefore(eat);
+  }
+  for (OperatorNode* op : assembly_order_) {
+    op->set_horizon(horizon);
+    op->Assemble(eat);
+  }
+  DrainRoot(eat);
+  ++assembly_rounds_;
+  if (rebuild_round_pending_) rebuild_round_pending_ = false;
+  MaybeAdapt();
+}
+
+void Engine::DrainRoot(Timestamp eat) {
+  Buffer& out = *root_->output();
+  for (RecordId id = out.watermark(); id < out.end_id(); ++id) {
+    const Record& rec = out.Get(id);
+    if (rec.start_ts < eat) continue;
+    ++num_matches_;
+    if (callback_) {
+      Match m;
+      m.span = TimeSpan{rec.start_ts, rec.end_ts};
+      m.slots = rec.slots;
+      m.group = rec.group;
+      callback_(std::move(m));
+    }
+  }
+  out.SetWatermark(out.end_id());
+  if (!root_->is_leaf()) {
+    out.Clear();
+  } else {
+    out.PurgeBefore(eat);
+  }
+}
+
+void Engine::MaybeAdapt() {
+  if (adaptive_ == nullptr || runtime_stats_ == nullptr) return;
+  if (assembly_rounds_ %
+          static_cast<uint64_t>(
+              std::max(options_.adaptive_options.check_every_rounds, 1)) !=
+      0) {
+    return;
+  }
+  const StatsCatalog defaults(pattern_->num_classes(),
+                              static_cast<double>(pattern_->window));
+  const StatsCatalog current = runtime_stats_->Snapshot(*pattern_, defaults);
+  std::optional<PhysicalPlan> next = adaptive_->MaybeReplan(current);
+  if (next.has_value()) {
+    const Status st = SwitchPlan(*next);
+    if (!st.ok()) {
+      ZS_LOG(Warn) << "plan switch failed: " << st.ToString();
+    }
+  }
+}
+
+Status Engine::SwitchPlan(const PhysicalPlan& plan) {
+  ZS_RETURN_IF_ERROR(Build(plan, /*initial=*/false));
+  // Rebuild round (Section 5.3): non-trigger leaves replay their
+  // retained records so the new plan's internal state is reconstructed;
+  // trigger leaves keep their consumption point, so no match is
+  // duplicated.
+  for (int c = 0; c < pattern_->num_classes(); ++c) {
+    const bool is_trigger =
+        std::find(trigger_classes_.begin(), trigger_classes_.end(), c) !=
+        trigger_classes_.end();
+    if (!is_trigger) {
+      leaves_[static_cast<size_t>(c)]->output()->RewindWatermark();
+    }
+  }
+  rebuild_round_pending_ = true;
+  ++plan_switches_;
+  return Status::OK();
+}
+
+uint64_t Engine::pairs_tried() const {
+  uint64_t total = 0;
+  for (const auto& op : internal_nodes_) {
+    total += op->pairs_tried();
+  }
+  return total;
+}
+
+}  // namespace zstream

@@ -1,0 +1,157 @@
+// The ZStream execution engine (Section 4).
+//
+// An Engine instantiates one physical tree plan over one pattern and
+// drives the batch-iterator model:
+//
+//   1. Idle rounds: incoming primitive events are offered to every leaf
+//      buffer whose pushed-down predicates admit them.
+//   2. Once a batch has accumulated and the final (trigger) event class
+//      has an unconsumed instance, an assembly round runs: the EAT is
+//      computed from the earliest pending trigger event, leaf buffers
+//      are purged, and operators assemble bottom-up; completed matches
+//      drain from the root.
+//
+// Plan switching (Section 5.3) preserves leaf buffers, discards internal
+// state, and rewinds non-trigger watermarks for one rebuild round, so a
+// switch loses no matches and duplicates none.
+#ifndef ZSTREAM_EXEC_ENGINE_H_
+#define ZSTREAM_EXEC_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "exec/operators.h"
+#include "exec/reorder.h"
+#include "opt/adaptive.h"
+#include "opt/stats.h"
+#include "plan/pattern.h"
+#include "plan/physical_plan.h"
+
+namespace zstream {
+
+/// \brief One completed pattern match.
+struct Match {
+  TimeSpan span;
+  /// Component events slotted by pattern class (negated classes null).
+  std::vector<EventPtr> slots;
+  EventGroupPtr group;  // Kleene-closure events, when present
+
+  std::string ToString() const;
+};
+
+/// Evaluates the pattern's RETURN clause against a match.
+std::vector<Value> ProjectMatch(const Pattern& pattern, const Match& match);
+
+struct EngineOptions {
+  /// Primitive events per batch before an assembly round is attempted.
+  int batch_size = 64;
+  /// Use hash indexes for equality predicates (Section 5.2.2).
+  bool use_hash_indexes = true;
+  /// Enable runtime statistics + cost-based plan adaptation (Section 5.3).
+  bool adaptive = false;
+  AdaptiveOptions adaptive_options;
+  /// Collect runtime statistics even when not adapting.
+  bool collect_stats = false;
+  /// Bounded out-of-orderness tolerated on Push (Section 4.1's
+  /// reordering operator); 0 means input must arrive in order, and
+  /// out-of-order events are dropped and counted.
+  Duration reorder_slack = 0;
+};
+
+/// \brief Single-partition query engine.
+class Engine {
+ public:
+  using MatchCallback = std::function<void(Match&&)>;
+
+  /// Instantiates `plan` (validated against `pattern`). `tracker` may be
+  /// null, in which case the engine owns a private tracker.
+  static Result<std::unique_ptr<Engine>> Create(
+      PatternPtr pattern, const PhysicalPlan& plan,
+      const EngineOptions& options = {}, MemoryTracker* tracker = nullptr);
+
+  ~Engine();
+  ZS_DISALLOW_COPY_AND_ASSIGN(Engine);
+
+  /// Streams one event in; may trigger an assembly round.
+  void Push(const EventPtr& event);
+
+  /// Offers an event without round-triggering (PartitionedEngine drives
+  /// rounds itself).
+  void Offer(const EventPtr& event);
+
+  /// Forces an assembly round (used at batch boundaries / stream end).
+  void AssemblyRound();
+
+  /// Flushes the reorder stage (if any) and any pending partial batch.
+  void Finish();
+
+  /// Installs a match consumer; without one, matches are only counted.
+  void SetMatchCallback(MatchCallback cb) { callback_ = std::move(cb); }
+
+  /// Replaces the physical plan between assembly rounds (Section 5.3).
+  Status SwitchPlan(const PhysicalPlan& plan);
+
+  const Pattern& pattern() const { return *pattern_; }
+  const PhysicalPlan& current_plan() const { return plan_; }
+  std::string ExplainPlan() const { return plan_.Explain(*pattern_); }
+
+  uint64_t num_matches() const { return num_matches_; }
+  uint64_t events_pushed() const { return events_pushed_; }
+  uint64_t assembly_rounds() const { return assembly_rounds_; }
+  uint64_t plan_switches() const { return plan_switches_; }
+  /// Events dropped for arriving out of order beyond the slack.
+  uint64_t late_events() const { return late_events_; }
+  MemoryTracker& memory() { return *tracker_; }
+  RuntimeStats* runtime_stats() { return runtime_stats_.get(); }
+
+  /// Total operator input combinations tried in the current plan
+  /// (the empirical analogue of the cost model's Ci terms).
+  uint64_t pairs_tried() const;
+
+ private:
+  Engine(PatternPtr pattern, const EngineOptions& options,
+         MemoryTracker* tracker);
+
+  Status Build(const PhysicalPlan& plan, bool initial);
+  void PushOrdered(const EventPtr& event);
+  Result<OperatorNode*> BuildNode(const PhysNodePtr& node,
+                                  std::vector<ExprPtr>* unattached);
+  void AttachPredicates(OperatorNode* op, std::vector<ExprPtr>* unattached);
+  void DrainRoot(Timestamp eat);
+  void MaybeAdapt();
+
+  PatternPtr pattern_;
+  EngineOptions options_;
+  MemoryTracker* tracker_;
+  std::unique_ptr<MemoryTracker> owned_tracker_;
+
+  PhysicalPlan plan_;
+  std::vector<std::unique_ptr<LeafNode>> leaves_;  // one per class, persistent
+  std::vector<std::unique_ptr<OperatorNode>> internal_nodes_;
+  OperatorNode* root_ = nullptr;
+  std::vector<OperatorNode*> assembly_order_;  // post-order, internal only
+  std::vector<int> trigger_classes_;
+  /// Pattern-level index of each multi-predicate (for stats attribution).
+  std::vector<int> pred_index_of_;
+
+  std::unique_ptr<RuntimeStats> runtime_stats_;
+  std::unique_ptr<AdaptiveController> adaptive_;
+  std::unique_ptr<ReorderStage> reorder_;
+
+  MatchCallback callback_;
+  int pending_in_batch_ = 0;
+  Timestamp max_ts_seen_ = kMinTimestamp;
+  uint64_t late_events_ = 0;
+  uint64_t events_pushed_ = 0;
+  uint64_t num_matches_ = 0;
+  uint64_t assembly_rounds_ = 0;
+  uint64_t plan_switches_ = 0;
+  bool rebuild_round_pending_ = false;
+};
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_EXEC_ENGINE_H_

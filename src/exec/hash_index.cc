@@ -1,0 +1,22 @@
+#include "exec/hash_index.h"
+
+#include <algorithm>
+
+namespace zstream {
+
+const std::vector<uint64_t> HashIndex::kEmpty;
+
+void HashIndex::Compact(uint64_t base_id) {
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    std::vector<uint64_t>& ids = it->second;
+    auto first_live = std::lower_bound(ids.begin(), ids.end(), base_id);
+    ids.erase(ids.begin(), first_live);
+    if (ids.empty()) {
+      it = buckets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace zstream

@@ -1,0 +1,256 @@
+// KSEQ: Kleene-closure evaluation (Algorithm 4, Figure 6).
+//
+// KSEQ is trinary: a start operand fixes the left boundary, an end
+// operand fixes the right boundary, and closure matches are collected
+// from the middle (Kleene) class's leaf buffer between them.
+//
+//   * unspecified count (* / +): one maximal group per (start, end) pair;
+//     '+' requires at least one closure event, '*' allows zero.
+//   * count = n: a size-n sliding window over the qualifying closure
+//     events; one result per window position per (start, end) pair.
+//
+// When the closure starts the pattern the start operand is virtual
+// (group events only bounded by the window). When the closure *ends*
+// the pattern there is no end trigger; each new closure event acts as
+// the end point (groups grow incrementally — a documented deviation, as
+// Algorithm 4 requires an end class).
+#include "exec/operators.h"
+
+#include "expr/analysis.h"
+
+namespace zstream {
+
+KSeqNode::KSeqNode(const Pattern* pattern, OperatorNode* start,
+                   LeafNode* closure, OperatorNode* end,
+                   MemoryTracker* tracker)
+    : OperatorNode(pattern, PhysOp::kKSeq, tracker),
+      start_(start),
+      closure_(closure),
+      end_(end) {
+  const EventClass& kc =
+      pattern->classes[static_cast<size_t>(closure->class_idx())];
+  kind_ = kc.kleene;
+  count_ = kc.kleene_count;
+}
+
+// Splits the attached predicates into:
+//   * per-mid: reference the closure class without aggregates — filter
+//     each closure event individually;
+//   * group: contain aggregates over the closure class — evaluated on
+//     the assembled group;
+//   * base: do not touch the closure class — evaluated once per
+//     (start, end) pair.
+void KSeqNode::SplitPreds() {
+  preds_split_ = true;
+  const int kc = closure_->class_idx();
+  for (const AttachedPred& p : preds_) {
+    const bool touches_mid =
+        std::find(p.classes.begin(), p.classes.end(), kc) != p.classes.end();
+    if (!touches_mid) {
+      base_preds_.push_back(p);
+    } else if (p.has_aggregate) {
+      group_preds_.push_back(p);
+    } else {
+      per_mid_preds_.push_back(p);
+    }
+  }
+}
+
+bool KSeqNode::MidQualifies(const EventPtr& m, const Record& base) {
+  if (per_mid_preds_.empty()) return true;
+  Record probe = base;
+  probe.slots[static_cast<size_t>(closure_->class_idx())] = m;
+  for (const AttachedPred& p : per_mid_preds_) {
+    if (!EvalOnePred(p, probe)) return false;
+  }
+  return true;
+}
+
+void KSeqNode::EmitOne(const Record* sr, const Record& er,
+                       EventGroup group) {
+  Record out;
+  const Timestamp group_start =
+      group.empty() ? er.start_ts : group.front()->timestamp();
+  out.start_ts = sr != nullptr ? sr->start_ts : group_start;
+  out.end_ts = er.end_ts;
+  if (out.end_ts - out.start_ts > window_) return;
+  out.slots = er.slots;
+  if (sr != nullptr) {
+    for (size_t i = 0; i < out.slots.size(); ++i) {
+      if (out.slots[i] == nullptr) out.slots[i] = sr->slots[i];
+    }
+  }
+  out.group = std::make_shared<EventGroup>(std::move(group));
+  for (const AttachedPred& p : group_preds_) {
+    if (!EvalOnePred(p, out)) return;
+  }
+  output_.Append(std::move(out));
+  ++records_emitted_;
+}
+
+// Collects qualifying closure events in (lo, hi) and emits the group(s)
+// for the (sr, er) pair.
+void KSeqNode::EmitGroups(const Record* sr, const Record& er, Timestamp lo,
+                          Timestamp hi, Timestamp eat) {
+  Buffer& mbuf = *closure_->output();
+  Record base = er;
+  if (sr != nullptr) {
+    base = Record::Merge(*sr, er, sr->start_ts, er.end_ts);
+  }
+
+  EventGroup qualifying;
+  for (RecordId mid = mbuf.base_id(); mid < mbuf.end_id(); ++mid) {
+    const Record& mr = mbuf.Get(mid);
+    ++pairs_tried_;
+    if (mr.end_ts >= hi) break;  // leaf buffer: sorted by timestamp
+    if (mr.start_ts < eat || mr.start_ts <= lo) continue;
+    const EventPtr& m = mr.slots[static_cast<size_t>(closure_->class_idx())];
+    if (!MidQualifies(m, base)) continue;
+    qualifying.push_back(m);
+  }
+
+  switch (kind_) {
+    case KleeneKind::kStar:
+      EmitOne(sr, er, std::move(qualifying));
+      break;
+    case KleeneKind::kPlus:
+      if (!qualifying.empty()) EmitOne(sr, er, std::move(qualifying));
+      break;
+    case KleeneKind::kCount: {
+      const size_t cc = static_cast<size_t>(count_);
+      if (qualifying.size() < cc) break;
+      for (size_t i = 0; i + cc <= qualifying.size(); ++i) {
+        EmitOne(sr, er,
+                EventGroup(qualifying.begin() + static_cast<long>(i),
+                           qualifying.begin() + static_cast<long>(i + cc)));
+      }
+      break;
+    }
+    case KleeneKind::kNone:
+      break;
+  }
+}
+
+void KSeqNode::AssembleWithEnd(Timestamp eat) {
+  Buffer& ebuf = *end_->output();
+  Buffer& mbuf = *closure_->output();
+  mbuf.PurgeBefore(eat);
+  Buffer* sbuf = start_ != nullptr ? start_->output() : nullptr;
+  if (sbuf != nullptr) sbuf->PurgeBefore(eat);
+
+  for (RecordId eid = ebuf.watermark(); eid < ebuf.end_id(); ++eid) {
+    const Record& er = ebuf.Get(eid);
+    if (er.start_ts < eat) continue;
+
+    if (sbuf == nullptr) {
+      // Closure at pattern start: bounded below by the window only.
+      bool base_ok = true;
+      for (const AttachedPred& p : base_preds_) {
+        if (!EvalOnePred(p, er)) {
+          base_ok = false;
+          break;
+        }
+      }
+      if (base_ok) {
+        EmitGroups(nullptr, er, er.end_ts - window_ - 1, er.start_ts, eat);
+      }
+      continue;
+    }
+
+    for (RecordId sid = sbuf->base_id(); sid < sbuf->end_id(); ++sid) {
+      const Record& sr = sbuf->Get(sid);
+      if (sr.end_ts >= er.start_ts) break;
+      if (sr.start_ts < eat) continue;
+      if (er.end_ts - sr.start_ts > window_) continue;
+      Record base = Record::Merge(sr, er, sr.start_ts, er.end_ts);
+      bool base_ok = true;
+      for (const AttachedPred& p : base_preds_) {
+        if (!EvalOnePred(p, base)) {
+          base_ok = false;
+          break;
+        }
+      }
+      if (!base_ok) continue;
+      EmitGroups(&sr, er, sr.end_ts, er.start_ts, eat);
+    }
+  }
+
+  ebuf.SetWatermark(ebuf.end_id());
+  if (!end_->is_leaf()) {
+    ebuf.Clear();
+  } else {
+    ebuf.PurgeBefore(eat);
+  }
+}
+
+// Closure ends the pattern: every new closure event acts as an end
+// trigger; the group is the qualifying run that finishes at that event.
+void KSeqNode::AssembleAtPatternEnd(Timestamp eat) {
+  Buffer& mbuf = *closure_->output();
+  Buffer* sbuf = start_ != nullptr ? start_->output() : nullptr;
+  if (sbuf != nullptr) sbuf->PurgeBefore(eat);
+
+  for (RecordId mid = mbuf.watermark(); mid < mbuf.end_id(); ++mid) {
+    const Record& mr = mbuf.Get(mid);
+    if (mr.start_ts < eat) continue;
+
+    const auto emit_for_start = [&](const Record* sr) {
+      const Timestamp lo = sr != nullptr ? sr->end_ts : kMinTimestamp;
+      Record base = mr;
+      if (sr != nullptr) {
+        base = Record::Merge(*sr, mr, sr->start_ts, mr.end_ts);
+      }
+      for (const AttachedPred& p : base_preds_) {
+        if (!EvalOnePred(p, base)) return;
+      }
+      // Walk back over qualifying closure events ending at mr.
+      EventGroup group;
+      const EventPtr& m_last =
+          mr.slots[static_cast<size_t>(closure_->class_idx())];
+      if (!MidQualifies(m_last, base)) return;
+      group.push_back(m_last);
+      for (RecordId prev = mid; prev-- > mbuf.base_id();) {
+        const Record& pr = mbuf.Get(prev);
+        if (pr.start_ts <= lo || pr.start_ts < eat) break;
+        if (kind_ == KleeneKind::kCount &&
+            group.size() >= static_cast<size_t>(count_)) {
+          break;
+        }
+        const EventPtr& m =
+            pr.slots[static_cast<size_t>(closure_->class_idx())];
+        if (!MidQualifies(m, base)) continue;
+        group.push_back(m);
+      }
+      std::reverse(group.begin(), group.end());
+      if (kind_ == KleeneKind::kCount &&
+          group.size() != static_cast<size_t>(count_)) {
+        return;
+      }
+      EmitOne(sr, mr, std::move(group));
+    };
+
+    if (sbuf == nullptr) {
+      emit_for_start(nullptr);
+    } else {
+      for (RecordId sid = sbuf->base_id(); sid < sbuf->end_id(); ++sid) {
+        const Record& sr = sbuf->Get(sid);
+        if (sr.end_ts >= mr.start_ts) break;
+        if (sr.start_ts < eat) continue;
+        if (mr.end_ts - sr.start_ts > window_) continue;
+        emit_for_start(&sr);
+      }
+    }
+  }
+  mbuf.SetWatermark(mbuf.end_id());
+}
+
+void KSeqNode::Assemble(Timestamp eat) {
+  if (!preds_split_) SplitPreds();
+  if (end_ != nullptr) {
+    AssembleWithEnd(eat);
+  } else {
+    AssembleAtPatternEnd(eat);
+  }
+}
+
+}  // namespace zstream

@@ -1,0 +1,435 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+
+#include "expr/analysis.h"
+
+namespace zstream {
+
+// ---------------------------------------------------------------------
+// OperatorNode
+// ---------------------------------------------------------------------
+
+OperatorNode::OperatorNode(const Pattern* pattern, PhysOp op,
+                           MemoryTracker* tracker, bool leaf_buffer)
+    : pattern_(pattern),
+      op_(op),
+      output_(tracker, leaf_buffer),
+      group_class_(pattern->KleeneClass()),
+      window_(pattern->window) {}
+
+void OperatorNode::AttachPredicate(ExprPtr pred, int pred_idx) {
+  AttachedPred p;
+  const std::set<int> classes = ReferencedClasses(pred);
+  p.classes.assign(classes.begin(), classes.end());
+  p.has_aggregate = ContainsAggregate(pred);
+  p.expr = std::move(pred);
+  p.pred_idx = pred_idx;
+  preds_.push_back(std::move(p));
+}
+
+bool OperatorNode::EvalOnePred(const AttachedPred& p, const Record& rec) {
+  // Vacuous pass when a referenced slot is unbound (disjunction
+  // branches). The Kleene class binds through the group instead.
+  for (int c : p.classes) {
+    const bool bound =
+        rec.slots[static_cast<size_t>(c)] != nullptr ||
+        (c == group_class_ && rec.group != nullptr);
+    if (!bound) return true;
+  }
+  const bool pass = p.expr->EvalPredicate(rec.ToEvalInput(group_class_));
+  if (stats_ != nullptr && p.pred_idx >= 0) {
+    stats_->OnPredicateEval(p.pred_idx, pass);
+  }
+  return pass;
+}
+
+bool OperatorNode::EvalPreds(const Record& rec) {
+  for (const AttachedPred& p : preds_) {
+    if (!EvalOnePred(p, rec)) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// LeafNode
+// ---------------------------------------------------------------------
+
+LeafNode::LeafNode(const Pattern* pattern, int class_idx,
+                   MemoryTracker* tracker)
+    : OperatorNode(pattern, PhysOp::kLeaf, tracker, /*leaf_buffer=*/true),
+      class_idx_(class_idx),
+      event_class_(&pattern->classes[static_cast<size_t>(class_idx)]) {
+  set_covered({class_idx});
+}
+
+bool LeafNode::Offer(const EventPtr& event) {
+  Record rec = Record::FromEvent(class_idx_, pattern_->num_classes(), event);
+  const EvalInput in = rec.ToEvalInput(group_class_);
+  for (const ExprPtr& pred : event_class_->leaf_predicates) {
+    if (!pred->EvalPredicate(in)) return false;
+  }
+  if (!event_class_->neg_branches.empty()) {
+    bool any = false;
+    for (const NegBranch& branch : event_class_->neg_branches) {
+      bool all = true;
+      for (const ExprPtr& pred : branch.predicates) {
+        if (!pred->EvalPredicate(in)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  output_.Append(std::move(rec));
+  if (stats_ != nullptr) stats_->OnClassAdmit(class_idx_);
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// SeqNode (Algorithm 1)
+// ---------------------------------------------------------------------
+
+SeqNode::SeqNode(const Pattern* pattern, OperatorNode* left,
+                 OperatorNode* right, MemoryTracker* tracker)
+    : OperatorNode(pattern, PhysOp::kSeq, tracker),
+      left_(left),
+      right_(right) {}
+
+void SeqNode::SetHashEquality(const EqualityJoin& eq) {
+  hash_eq_ = eq;
+  left_->output()->EnableHashIndex(eq.left_class, eq.left_field);
+}
+
+void SeqNode::AddNegGuard(int neg_class, bool neg_bound_on_right) {
+  guards_.push_back(NegGuard{neg_class, neg_bound_on_right});
+}
+
+bool SeqNode::PassesGuards(const Record& l, const Record& r) const {
+  for (const NegGuard& g : guards_) {
+    const size_t nc = static_cast<size_t>(g.neg_class);
+    if (g.neg_bound_on_right) {
+      // Pattern ...A;!B;C...: right side carries (b, c); survival
+      // requires a.ts >= b.ts (Figure 4's T1.ts >= T2.ts).
+      const EventPtr& b = r.slots[nc];
+      if (b == nullptr) continue;
+      const EventPtr& a = l.slots[nc - 1];
+      if (a != nullptr && a->timestamp() < b->timestamp()) return false;
+    } else {
+      // Left side carries (a, b) with b the first negator after a;
+      // survival requires b.ts >= c.ts.
+      const EventPtr& b = l.slots[nc];
+      if (b == nullptr) continue;
+      const EventPtr& c = r.slots[nc + 1];
+      if (c != nullptr && b->timestamp() < c->timestamp()) return false;
+    }
+  }
+  return true;
+}
+
+void SeqNode::TryCombine(const Record& l, const Record& r) {
+  ++pairs_tried_;
+  if (!PassesGuards(l, r)) return;
+  Record merged = Record::MergeSpanning(l, r);
+  if (!EvalPreds(merged)) return;
+  output_.Append(std::move(merged));
+  ++records_emitted_;
+}
+
+void SeqNode::Assemble(Timestamp eat) {
+  Buffer& lbuf = *left_->output();
+  Buffer& rbuf = *right_->output();
+  lbuf.PurgeBefore(eat);
+
+  for (RecordId rid = rbuf.watermark(); rid < rbuf.end_id(); ++rid) {
+    const Record& rr = rbuf.Get(rid);
+    if (rr.start_ts < eat) continue;
+    // Window bound: combined span rr.end - lr.start must fit.
+    const Timestamp min_start = rr.end_ts - window_;
+
+    if (hash_eq_.has_value() && lbuf.has_hash_index()) {
+      const EventPtr& key_event =
+          rr.slots[static_cast<size_t>(hash_eq_->right_class)];
+      if (key_event == nullptr) continue;
+      const Value key = key_event->value(hash_eq_->right_field);
+      for (uint64_t lid : lbuf.hash_index()->Probe(key)) {
+        if (lid < lbuf.base_id()) continue;
+        const Record& lr = lbuf.Get(lid);
+        if (lr.end_ts >= rr.start_ts) break;
+        if (lr.start_ts < eat || lr.start_ts < min_start) continue;
+        TryCombine(lr, rr);
+      }
+    } else {
+      for (RecordId lid = lbuf.base_id(); lid < lbuf.end_id(); ++lid) {
+        const Record& lr = lbuf.Get(lid);
+        if (lr.end_ts >= rr.start_ts) break;
+        if (lr.start_ts < eat || lr.start_ts < min_start) continue;
+        TryCombine(lr, rr);
+      }
+    }
+  }
+
+  rbuf.SetWatermark(rbuf.end_id());
+  if (right_->is_leaf()) {
+    rbuf.PurgeBefore(eat);
+  } else {
+    rbuf.Clear();  // Algorithm 1, step 7
+  }
+}
+
+// ---------------------------------------------------------------------
+// NSeqNode (Algorithm 2)
+// ---------------------------------------------------------------------
+
+NSeqNode::NSeqNode(const Pattern* pattern, LeafNode* neg, OperatorNode* other,
+                   bool neg_left, MemoryTracker* tracker)
+    : OperatorNode(pattern, PhysOp::kNSeq, tracker),
+      neg_(neg),
+      other_(other),
+      neg_left_(neg_left) {}
+
+void NSeqNode::Assemble(Timestamp eat) {
+  Buffer& nbuf = *neg_->output();
+  Buffer& obuf = *other_->output();
+  nbuf.PurgeBefore(eat);
+
+  RecordId consumed_to = obuf.end_id();
+  for (RecordId oid = obuf.watermark(); oid < obuf.end_id(); ++oid) {
+    const Record& orec = obuf.Get(oid);
+    if (!neg_left_ && orec.end_ts + window_ >= horizon_) {
+      // A negator that matters for this record could still arrive
+      // (Section 4.4.2's "B;!C" direction); hold it for a later round.
+      consumed_to = oid;
+      break;
+    }
+    if (orec.start_ts < eat) continue;
+
+    bool emitted = false;
+    if (neg_left_) {
+      // Find the latest negator strictly before orec, newest first.
+      for (RecordId nid = nbuf.end_id(); nid-- > nbuf.base_id();) {
+        const Record& nr = nbuf.Get(nid);
+        ++pairs_tried_;
+        if (nr.end_ts >= orec.start_ts) continue;
+        if (nr.start_ts < eat) break;  // leaf: older ids are even earlier
+        Record merged =
+            Record::Merge(nr, orec, orec.start_ts, orec.end_ts);
+        if (!EvalPreds(merged)) continue;
+        output_.Append(std::move(merged));
+        emitted = true;
+        break;
+      }
+    } else {
+      // Find the first negator strictly after orec, oldest first.
+      for (RecordId nid = nbuf.base_id(); nid < nbuf.end_id(); ++nid) {
+        const Record& nr = nbuf.Get(nid);
+        ++pairs_tried_;
+        if (nr.start_ts <= orec.end_ts) continue;
+        Record merged =
+            Record::Merge(nr, orec, orec.start_ts, orec.end_ts);
+        if (!EvalPreds(merged)) continue;
+        output_.Append(std::move(merged));
+        emitted = true;
+        break;
+      }
+    }
+    if (!emitted) {
+      output_.Append(Record(orec));  // (NULL, Rr)
+    }
+    ++records_emitted_;
+  }
+
+  obuf.SetWatermark(consumed_to);
+  if (other_->is_leaf() || !neg_left_) {
+    // Leaves persist; the neg-right side may hold unconsumed records.
+    obuf.PurgeBefore(eat);
+  } else {
+    obuf.Clear();
+  }
+}
+
+// ---------------------------------------------------------------------
+// ConjNode (Algorithm 3)
+// ---------------------------------------------------------------------
+
+ConjNode::ConjNode(const Pattern* pattern, OperatorNode* left,
+                   OperatorNode* right, MemoryTracker* tracker)
+    : OperatorNode(pattern, PhysOp::kConj, tracker),
+      left_(left),
+      right_(right) {}
+
+void ConjNode::SetHashEquality(const EqualityJoin& eq) {
+  hash_eq_ = eq;
+  left_->output()->EnableHashIndex(eq.left_class, eq.left_field);
+  right_->output()->EnableHashIndex(eq.right_class, eq.right_field);
+}
+
+void ConjNode::CombineWithEarlier(const Record& pivot, Buffer& partner,
+                                  RecordId limit, bool pivot_is_left,
+                                  Timestamp eat) {
+  const auto try_one = [&](const Record& br) {
+    ++pairs_tried_;
+    if (br.start_ts < eat) return;
+    const Timestamp start = std::min(pivot.start_ts, br.start_ts);
+    const Timestamp end = std::max(pivot.end_ts, br.end_ts);
+    if (end - start > window_) return;
+    Record merged = pivot_is_left ? Record::Merge(pivot, br, start, end)
+                                  : Record::Merge(br, pivot, start, end);
+    if (!EvalPreds(merged)) return;
+    output_.Append(std::move(merged));
+    ++records_emitted_;
+  };
+
+  if (hash_eq_.has_value() && partner.has_hash_index()) {
+    const HashIndex* idx = partner.hash_index();
+    // The pivot's key field is the opposite side of the equality.
+    const int key_class =
+        pivot_is_left ? hash_eq_->left_class : hash_eq_->right_class;
+    const int key_field =
+        pivot_is_left ? hash_eq_->left_field : hash_eq_->right_field;
+    const EventPtr& key_event = pivot.slots[static_cast<size_t>(key_class)];
+    if (key_event == nullptr) return;
+    const Value key = key_event->value(key_field);
+    for (uint64_t id : idx->Probe(key)) {
+      if (id < partner.base_id()) continue;
+      if (id >= limit) break;
+      try_one(partner.Get(id));
+    }
+    return;
+  }
+  for (RecordId id = partner.base_id(); id < limit; ++id) {
+    try_one(partner.Get(id));
+  }
+}
+
+void ConjNode::Assemble(Timestamp eat) {
+  Buffer& lbuf = *left_->output();
+  Buffer& rbuf = *right_->output();
+  lbuf.PurgeBefore(eat);
+  rbuf.PurgeBefore(eat);
+
+  RecordId li = lbuf.watermark();
+  RecordId ri = rbuf.watermark();
+  while (li < lbuf.end_id() || ri < rbuf.end_id()) {
+    bool pick_right;
+    if (li >= lbuf.end_id()) {
+      pick_right = true;
+    } else if (ri >= rbuf.end_id()) {
+      pick_right = false;
+    } else {
+      pick_right = lbuf.Get(li).end_ts > rbuf.Get(ri).end_ts;
+    }
+    if (pick_right) {
+      const Record& pivot = rbuf.Get(ri);
+      ++ri;
+      if (pivot.start_ts < eat) continue;
+      CombineWithEarlier(pivot, lbuf, li, /*pivot_is_left=*/false, eat);
+    } else {
+      const Record& pivot = lbuf.Get(li);
+      ++li;
+      if (pivot.start_ts < eat) continue;
+      CombineWithEarlier(pivot, rbuf, ri, /*pivot_is_left=*/true, eat);
+    }
+  }
+  lbuf.SetWatermark(li);
+  rbuf.SetWatermark(ri);
+}
+
+// ---------------------------------------------------------------------
+// DisjNode
+// ---------------------------------------------------------------------
+
+DisjNode::DisjNode(const Pattern* pattern, OperatorNode* left,
+                   OperatorNode* right, MemoryTracker* tracker)
+    : OperatorNode(pattern, PhysOp::kDisj, tracker),
+      left_(left),
+      right_(right) {}
+
+void DisjNode::Assemble(Timestamp eat) {
+  Buffer& lbuf = *left_->output();
+  Buffer& rbuf = *right_->output();
+
+  RecordId li = lbuf.watermark();
+  RecordId ri = rbuf.watermark();
+  while (li < lbuf.end_id() || ri < rbuf.end_id()) {
+    bool pick_right;
+    if (li >= lbuf.end_id()) {
+      pick_right = true;
+    } else if (ri >= rbuf.end_id()) {
+      pick_right = false;
+    } else {
+      pick_right = rbuf.Get(ri).end_ts <= lbuf.Get(li).end_ts;
+    }
+    const Record& rec = pick_right ? rbuf.Get(ri) : lbuf.Get(li);
+    (pick_right ? ri : li) += 1;
+    ++pairs_tried_;
+    if (rec.start_ts < eat) continue;
+    if (!EvalPreds(rec)) continue;
+    output_.Append(Record(rec));
+    ++records_emitted_;
+  }
+  lbuf.SetWatermark(li);
+  rbuf.SetWatermark(ri);
+  // Both inputs are fully consumed merges; internal ones can be cleared.
+  if (!left_->is_leaf()) lbuf.Clear();
+  if (!right_->is_leaf()) rbuf.Clear();
+}
+
+// ---------------------------------------------------------------------
+// NegFilterNode
+// ---------------------------------------------------------------------
+
+NegFilterNode::NegFilterNode(const Pattern* pattern, OperatorNode* input,
+                             LeafNode* neg_leaf, int neg_class,
+                             MemoryTracker* tracker)
+    : OperatorNode(pattern, PhysOp::kNegFilter, tracker),
+      input_(input),
+      neg_leaf_(neg_leaf),
+      neg_class_(neg_class) {}
+
+void NegFilterNode::Assemble(Timestamp eat) {
+  Buffer& in = *input_->output();
+  Buffer& nbuf = *neg_leaf_->output();
+  nbuf.PurgeBefore(eat);
+
+  const size_t nc = static_cast<size_t>(neg_class_);
+  for (RecordId id = in.watermark(); id < in.end_id(); ++id) {
+    const Record& rec = in.Get(id);
+    if (rec.start_ts < eat) continue;
+    // The negation position is enclosed by classes nc-1 and nc+1.
+    const EventPtr& a = rec.slots[nc - 1];
+    const EventPtr& c = rec.slots[nc + 1];
+    const Timestamp lo = a != nullptr ? a->timestamp() : rec.start_ts;
+    const Timestamp hi = c != nullptr ? c->timestamp() : rec.end_ts;
+
+    bool negated = false;
+    for (RecordId bid = nbuf.end_id(); bid-- > nbuf.base_id();) {
+      const Record& br = nbuf.Get(bid);
+      ++pairs_tried_;
+      if (br.end_ts >= hi) continue;
+      if (br.end_ts <= lo) break;  // leaf: sorted, all older from here
+      if (preds_.empty()) {
+        negated = true;
+        break;
+      }
+      Record merged = Record::Merge(br, rec, rec.start_ts, rec.end_ts);
+      if (EvalPreds(merged)) {
+        negated = true;
+        break;
+      }
+    }
+    if (!negated) {
+      output_.Append(Record(rec));
+      ++records_emitted_;
+    }
+  }
+  in.SetWatermark(in.end_id());
+  if (!input_->is_leaf()) in.Clear();
+}
+
+}  // namespace zstream

@@ -1,0 +1,247 @@
+// Operator nodes of a tree plan (Section 4.4).
+//
+// Every internal node owns an output buffer and implements one assembly
+// round over its children's buffers. Consumption rules follow the paper:
+//
+//   * SEQ  (Alg 1): outer loop = new right records; right internal
+//     buffers are cleared after the round; left buffers persist
+//     (materialization) and are EAT-purged.
+//   * NSEQ (Alg 2): pairs each new non-negated record with the latest
+//     (resp. first) negating event; emits (b, c) or (NULL, c).
+//   * CONJ (Alg 3): sort-merge on end timestamps with persistent cursors
+//     on both inputs.
+//   * DISJ: order-preserving merge of both inputs.
+//   * KSEQ (Alg 4): trinary closure assembly; see kleene.cc.
+//   * NEG filter: drops composites with an interleaving negator (the
+//     "last-filter-step" strategy the paper compares against).
+//
+// All nodes are owned by the Engine. Leaf nodes survive plan switches;
+// internal nodes are rebuilt (Section 5.3).
+#ifndef ZSTREAM_EXEC_OPERATORS_H_
+#define ZSTREAM_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "exec/buffer.h"
+#include "opt/stats.h"
+#include "plan/pattern.h"
+#include "plan/physical_plan.h"
+
+namespace zstream {
+
+/// \brief Base class for all plan-tree nodes.
+class OperatorNode {
+ public:
+  OperatorNode(const Pattern* pattern, PhysOp op, MemoryTracker* tracker,
+               bool leaf_buffer = false);
+  virtual ~OperatorNode() = default;
+  ZS_DISALLOW_COPY_AND_ASSIGN(OperatorNode);
+
+  PhysOp op() const { return op_; }
+  bool is_leaf() const { return op_ == PhysOp::kLeaf; }
+  Buffer* output() { return &output_; }
+  const Buffer* output() const { return &output_; }
+
+  /// Runs one assembly round with the given earliest allowed timestamp.
+  virtual void Assemble(Timestamp eat) = 0;
+
+  /// Stream horizon: every event with timestamp < horizon has arrived.
+  /// Set by the engine before each assembly round; right-side negation
+  /// uses it to avoid finalizing pairings a future negator could change.
+  void set_horizon(Timestamp h) { horizon_ = h; }
+
+  /// Attaches a multi-class predicate (with its pattern-level index for
+  /// runtime selectivity tracking; -1 when untracked).
+  void AttachPredicate(ExprPtr pred, int pred_idx);
+
+  /// Classes covered by this subtree (set at build time by the Engine).
+  const std::vector<int>& covered() const { return covered_; }
+  void set_covered(std::vector<int> c) { covered_ = std::move(c); }
+
+  void set_runtime_stats(RuntimeStats* stats) { stats_ = stats; }
+
+  uint64_t pairs_tried() const { return pairs_tried_; }
+  uint64_t records_emitted() const { return records_emitted_; }
+
+ protected:
+  struct AttachedPred {
+    ExprPtr expr;
+    std::vector<int> classes;  // referenced classes
+    bool has_aggregate = false;
+    int pred_idx = -1;
+  };
+
+  /// True when all attached predicates pass on `rec`. A predicate whose
+  /// referenced slots are not all bound (disjunction branches) passes
+  /// vacuously; aggregate predicates check group presence instead of the
+  /// Kleene class's slot.
+  bool EvalPreds(const Record& rec);
+  bool EvalOnePred(const AttachedPred& p, const Record& rec);
+
+  const Pattern* pattern_;
+  PhysOp op_;
+  Buffer output_;
+  std::vector<AttachedPred> preds_;
+  std::vector<int> covered_;
+  int group_class_;  // pattern's Kleene class (or -1)
+  Duration window_;
+  Timestamp horizon_ = kMaxTimestamp;
+  RuntimeStats* stats_ = nullptr;
+  uint64_t pairs_tried_ = 0;
+  uint64_t records_emitted_ = 0;
+};
+
+/// \brief Leaf buffer for one event class, with pushed-down single-class
+/// predicates (and negated-disjunction admission branches).
+class LeafNode : public OperatorNode {
+ public:
+  LeafNode(const Pattern* pattern, int class_idx, MemoryTracker* tracker);
+
+  int class_idx() const { return class_idx_; }
+
+  /// Offers an incoming primitive event; returns true when admitted.
+  bool Offer(const EventPtr& event);
+
+  void Assemble(Timestamp) override {}
+
+ private:
+  int class_idx_;
+  const EventClass* event_class_;
+};
+
+/// \brief Sequence (Algorithm 1), with optional hash-probe inner path
+/// and negation time-guards (the "extra time constraints" of Figure 4).
+class SeqNode : public OperatorNode {
+ public:
+  SeqNode(const Pattern* pattern, OperatorNode* left, OperatorNode* right,
+          MemoryTracker* tracker);
+
+  /// Uses a hash index on the left buffer keyed by (left_class,
+  /// left_field); the probe key comes from the right record's
+  /// (right_class, right_field).
+  void SetHashEquality(const EqualityJoin& eq);
+
+  /// Adds the survival guard for negated class `nc`:
+  /// bound-on-right: slots[nc-1].ts >= slots[nc].ts;
+  /// bound-on-left:  slots[nc].ts  >= slots[nc+1].ts.
+  void AddNegGuard(int neg_class, bool neg_bound_on_right);
+
+  void Assemble(Timestamp eat) override;
+
+ private:
+  bool PassesGuards(const Record& l, const Record& r) const;
+  void TryCombine(const Record& l, const Record& r);
+
+  OperatorNode* left_;
+  OperatorNode* right_;
+  std::optional<EqualityJoin> hash_eq_;
+  struct NegGuard {
+    int neg_class;
+    bool neg_bound_on_right;
+  };
+  std::vector<NegGuard> guards_;
+};
+
+/// \brief Negation pushed down (Algorithm 2). `neg` must be the negated
+/// class's leaf. When `neg_left`, pairs each new record of `other` with
+/// the *latest* earlier negator; otherwise with the *first* later one.
+class NSeqNode : public OperatorNode {
+ public:
+  NSeqNode(const Pattern* pattern, LeafNode* neg, OperatorNode* other,
+           bool neg_left, MemoryTracker* tracker);
+
+  void Assemble(Timestamp eat) override;
+
+ private:
+  LeafNode* neg_;
+  OperatorNode* other_;
+  bool neg_left_;
+};
+
+/// \brief Conjunction (Algorithm 3): order-free sort-merge join.
+class ConjNode : public OperatorNode {
+ public:
+  ConjNode(const Pattern* pattern, OperatorNode* left, OperatorNode* right,
+           MemoryTracker* tracker);
+
+  /// Enables hash probing for an equality predicate; indexes are built
+  /// on both inputs since either side can pivot.
+  void SetHashEquality(const EqualityJoin& eq);
+
+  void Assemble(Timestamp eat) override;
+
+ private:
+  void CombineWithEarlier(const Record& pivot, Buffer& partner,
+                          RecordId limit, bool pivot_is_left, Timestamp eat);
+
+  OperatorNode* left_;
+  OperatorNode* right_;
+  std::optional<EqualityJoin> hash_eq_;
+};
+
+/// \brief Disjunction: end-timestamp-ordered union of both inputs.
+class DisjNode : public OperatorNode {
+ public:
+  DisjNode(const Pattern* pattern, OperatorNode* left, OperatorNode* right,
+           MemoryTracker* tracker);
+
+  void Assemble(Timestamp eat) override;
+
+ private:
+  OperatorNode* left_;
+  OperatorNode* right_;
+};
+
+/// \brief Negation as a final filtration step. Scans the negated class's
+/// leaf buffer for an interleaving negator between the classes adjacent
+/// to the negation position.
+class NegFilterNode : public OperatorNode {
+ public:
+  NegFilterNode(const Pattern* pattern, OperatorNode* input,
+                LeafNode* neg_leaf, int neg_class, MemoryTracker* tracker);
+
+  void Assemble(Timestamp eat) override;
+
+ private:
+  OperatorNode* input_;
+  LeafNode* neg_leaf_;
+  int neg_class_;
+};
+
+/// \brief Kleene closure (Algorithm 4); defined in kleene.cc.
+class KSeqNode : public OperatorNode {
+ public:
+  /// `start` and `end` may be null when the closure begins/ends the
+  /// pattern; `closure` is the Kleene class's leaf.
+  KSeqNode(const Pattern* pattern, OperatorNode* start, LeafNode* closure,
+           OperatorNode* end, MemoryTracker* tracker);
+
+  void Assemble(Timestamp eat) override;
+
+ private:
+  void AssembleWithEnd(Timestamp eat);
+  void AssembleAtPatternEnd(Timestamp eat);
+  void EmitGroups(const Record* sr, const Record& er, Timestamp lo,
+                  Timestamp hi, Timestamp eat);
+  bool MidQualifies(const EventPtr& m, const Record& base);
+  void EmitOne(const Record* sr, const Record& er, EventGroup group);
+
+  OperatorNode* start_;  // nullable
+  LeafNode* closure_;
+  OperatorNode* end_;  // nullable
+  KleeneKind kind_;
+  int count_;
+  // Predicate split: per-closure-event filters vs group-level
+  // (aggregate) predicates vs base (start/end only) predicates.
+  bool preds_split_ = false;
+  std::vector<AttachedPred> per_mid_preds_;
+  std::vector<AttachedPred> group_preds_;
+  std::vector<AttachedPred> base_preds_;
+  void SplitPreds();
+};
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_EXEC_OPERATORS_H_

@@ -1,0 +1,82 @@
+#include "exec/partitioned_engine.h"
+
+namespace zstream {
+
+PartitionedEngine::PartitionedEngine(PatternPtr pattern, PhysicalPlan plan,
+                                     const EngineOptions& options,
+                                     MemoryTracker* tracker)
+    : pattern_(std::move(pattern)),
+      plan_(std::move(plan)),
+      options_(options),
+      tracker_(tracker) {
+  if (tracker_ == nullptr) {
+    owned_tracker_ = std::make_unique<MemoryTracker>();
+    tracker_ = owned_tracker_.get();
+  }
+}
+
+Result<std::unique_ptr<PartitionedEngine>> PartitionedEngine::Create(
+    PatternPtr pattern, const PhysicalPlan& plan,
+    const EngineOptions& options, MemoryTracker* tracker) {
+  if (!pattern->partition.has_value()) {
+    return Status::InvalidArgument(
+        "pattern has no partition key; use Engine directly");
+  }
+  ZS_RETURN_IF_ERROR(pattern->Validate());
+  ZS_RETURN_IF_ERROR(ValidatePlan(*pattern, plan));
+  auto engine = std::unique_ptr<PartitionedEngine>(
+      new PartitionedEngine(std::move(pattern), plan, options, tracker));
+  engine->key_field_ = engine->pattern_->partition->field_indices.front();
+  return engine;
+}
+
+Result<PartitionedEngine::Partition*> PartitionedEngine::GetOrCreate(
+    const Value& key) {
+  auto it = partitions_.find(key);
+  if (it != partitions_.end()) return &it->second;
+  ZS_ASSIGN_OR_RETURN(std::unique_ptr<Engine> sub,
+                      Engine::Create(pattern_, plan_, options_, tracker_));
+  if (callback_) sub->SetMatchCallback(callback_);
+  Partition part;
+  part.engine = std::move(sub);
+  auto [pos, inserted] = partitions_.emplace(key, std::move(part));
+  (void)inserted;
+  return &pos->second;
+}
+
+void PartitionedEngine::Push(const EventPtr& event) {
+  ++events_pushed_;
+  const Value key = event->value(key_field_);
+  if (key.is_null()) return;
+  Result<Partition*> part = GetOrCreate(key);
+  if (!part.ok()) return;
+  (*part)->engine->Offer(event);
+  if (!(*part)->dirty) {
+    (*part)->dirty = true;
+    dirty_.push_back(*part);
+  }
+  if (++pending_in_batch_ >= options_.batch_size) {
+    RunRounds();
+  }
+}
+
+void PartitionedEngine::RunRounds() {
+  for (Partition* part : dirty_) {
+    part->engine->AssemblyRound();
+    part->dirty = false;
+  }
+  dirty_.clear();
+  pending_in_batch_ = 0;
+}
+
+void PartitionedEngine::Finish() { RunRounds(); }
+
+uint64_t PartitionedEngine::num_matches() const {
+  uint64_t total = 0;
+  for (const auto& [key, part] : partitions_) {
+    total += part.engine->num_matches();
+  }
+  return total;
+}
+
+}  // namespace zstream

@@ -1,0 +1,72 @@
+// Hash-partitioned execution (Section 5.2.2, Figure 4).
+//
+// When one attribute's equality predicates connect every event class
+// (e.g. stock.name in Query 2 or the client IP in Query 8), the analyzer
+// removes those predicates and records a partition key; this engine then
+// routes each event to a per-key sub-engine, turning the equality join
+// into partition locality.
+#ifndef ZSTREAM_EXEC_PARTITIONED_ENGINE_H_
+#define ZSTREAM_EXEC_PARTITIONED_ENGINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/engine.h"
+
+namespace zstream {
+
+/// \brief Routes events to per-key Engines and drives their rounds.
+class PartitionedEngine {
+ public:
+  static Result<std::unique_ptr<PartitionedEngine>> Create(
+      PatternPtr pattern, const PhysicalPlan& plan,
+      const EngineOptions& options = {}, MemoryTracker* tracker = nullptr);
+
+  ZS_DISALLOW_COPY_AND_ASSIGN(PartitionedEngine);
+
+  void Push(const EventPtr& event);
+  void Finish();
+
+  void SetMatchCallback(Engine::MatchCallback cb) {
+    callback_ = std::move(cb);
+    for (auto& [key, part] : partitions_) {
+      part.engine->SetMatchCallback(callback_);
+    }
+  }
+
+  uint64_t num_matches() const;
+  uint64_t events_pushed() const { return events_pushed_; }
+  size_t num_partitions() const { return partitions_.size(); }
+  MemoryTracker& memory() { return *tracker_; }
+  const Pattern& pattern() const { return *pattern_; }
+
+ private:
+  PartitionedEngine(PatternPtr pattern, PhysicalPlan plan,
+                    const EngineOptions& options, MemoryTracker* tracker);
+
+  struct Partition {
+    std::unique_ptr<Engine> engine;
+    bool dirty = false;
+  };
+
+  Result<Partition*> GetOrCreate(const Value& key);
+  void RunRounds();
+
+  PatternPtr pattern_;
+  PhysicalPlan plan_;
+  EngineOptions options_;
+  MemoryTracker* tracker_;
+  std::unique_ptr<MemoryTracker> owned_tracker_;
+  int key_field_ = -1;
+
+  std::unordered_map<Value, Partition, ValueHasher> partitions_;
+  std::vector<Partition*> dirty_;
+  int pending_in_batch_ = 0;
+  uint64_t events_pushed_ = 0;
+  Engine::MatchCallback callback_;
+};
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_EXEC_PARTITIONED_ENGINE_H_

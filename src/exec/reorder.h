@@ -1,0 +1,72 @@
+// Reordering stage for out-of-order input (Section 4.1):
+//
+//   "ZStream assumes that primitive events from data sources
+//    continuously stream into leaf buffers in time order. If disorder
+//    is a problem, a reordering operator may be placed just after the
+//    leaf buffer."
+//
+// This stage buffers events inside a bounded disorder window (`slack`)
+// and releases them in timestamp order: when an event with timestamp t
+// arrives, every buffered event with timestamp <= t - slack can no
+// longer be displaced and is emitted. Events arriving more than `slack`
+// late are dropped and counted.
+#ifndef ZSTREAM_EXEC_REORDER_H_
+#define ZSTREAM_EXEC_REORDER_H_
+
+#include <functional>
+#include <map>
+
+#include "common/timestamp.h"
+#include "event/event.h"
+
+namespace zstream {
+
+/// \brief Bounded out-of-orderness buffer that feeds a sink in
+/// timestamp order.
+class ReorderStage {
+ public:
+  using Sink = std::function<void(const EventPtr&)>;
+
+  ReorderStage(Duration slack, Sink sink)
+      : slack_(slack), sink_(std::move(sink)) {}
+
+  /// Accepts an event with bounded disorder; emits every event whose
+  /// position can no longer change.
+  void Push(const EventPtr& event) {
+    const Timestamp ts = event->timestamp();
+    if (ts < emitted_through_) {
+      ++late_dropped_;
+      return;
+    }
+    pending_.emplace(ts, event);
+    max_seen_ = std::max(max_seen_, ts);
+    EmitThrough(max_seen_ - slack_);
+  }
+
+  /// Emits everything still pending (stream end).
+  void Flush() { EmitThrough(kMaxTimestamp); }
+
+  /// Events dropped for arriving later than the slack allows.
+  uint64_t late_dropped() const { return late_dropped_; }
+  size_t pending() const { return pending_.size(); }
+
+ private:
+  void EmitThrough(Timestamp bound) {
+    while (!pending_.empty() && pending_.begin()->first <= bound) {
+      emitted_through_ = pending_.begin()->first;
+      sink_(pending_.begin()->second);
+      pending_.erase(pending_.begin());
+    }
+  }
+
+  Duration slack_;
+  Sink sink_;
+  std::multimap<Timestamp, EventPtr> pending_;
+  Timestamp max_seen_ = kMinTimestamp;
+  Timestamp emitted_through_ = kMinTimestamp;
+  uint64_t late_dropped_ = 0;
+};
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_EXEC_REORDER_H_

@@ -1,0 +1,123 @@
+#include "expr/analysis.h"
+
+namespace zstream {
+
+namespace {
+void CollectClasses(const ExprPtr& e, std::set<int>* out) {
+  if (e == nullptr) return;
+  switch (e->kind()) {
+    case ExprKind::kAttrRef:
+    case ExprKind::kTimeRef:
+    case ExprKind::kIsNull:
+    case ExprKind::kAggregate:
+      out->insert(e->class_idx());
+      break;
+    case ExprKind::kUnary:
+      CollectClasses(e->operand(), out);
+      break;
+    case ExprKind::kBinary:
+      CollectClasses(e->left(), out);
+      CollectClasses(e->right(), out);
+      break;
+    case ExprKind::kLiteral:
+      break;
+  }
+}
+
+void CollectConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e == nullptr) return;
+  if (e->kind() == ExprKind::kBinary && e->binary_op() == BinaryOp::kAnd) {
+    CollectConjuncts(e->left(), out);
+    CollectConjuncts(e->right(), out);
+    return;
+  }
+  out->push_back(e);
+}
+}  // namespace
+
+std::set<int> ReferencedClasses(const ExprPtr& expr) {
+  std::set<int> out;
+  CollectClasses(expr, &out);
+  return out;
+}
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr) {
+  std::vector<ExprPtr> out;
+  CollectConjuncts(expr, &out);
+  return out;
+}
+
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr acc;
+  for (const ExprPtr& c : conjuncts) {
+    acc = acc == nullptr ? c : Expr::Binary(BinaryOp::kAnd, acc, c);
+  }
+  return acc;
+}
+
+std::optional<EqualityJoin> AsEqualityJoin(const ExprPtr& expr) {
+  if (expr == nullptr || expr->kind() != ExprKind::kBinary ||
+      expr->binary_op() != BinaryOp::kEq) {
+    return std::nullopt;
+  }
+  const ExprPtr& l = expr->left();
+  const ExprPtr& r = expr->right();
+  if (l->kind() != ExprKind::kAttrRef || r->kind() != ExprKind::kAttrRef) {
+    return std::nullopt;
+  }
+  if (l->class_idx() == r->class_idx()) return std::nullopt;
+  return EqualityJoin{l->class_idx(), l->field_idx(), r->class_idx(),
+                      r->field_idx()};
+}
+
+bool IsSingleClass(const ExprPtr& expr, int class_idx) {
+  const std::set<int> classes = ReferencedClasses(expr);
+  return classes.size() == 1 && *classes.begin() == class_idx;
+}
+
+ExprPtr RemapClasses(const ExprPtr& expr, const std::vector<int>& remap) {
+  if (expr == nullptr) return nullptr;
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+      return expr;
+    case ExprKind::kAttrRef:
+      return Expr::AttrRef(remap[static_cast<size_t>(expr->class_idx())],
+                           expr->field_idx(), expr->class_name(),
+                           expr->field_name());
+    case ExprKind::kTimeRef:
+      return Expr::TimeRef(remap[static_cast<size_t>(expr->class_idx())],
+                           expr->class_name());
+    case ExprKind::kIsNull:
+      return Expr::IsNull(remap[static_cast<size_t>(expr->class_idx())],
+                          expr->class_name());
+    case ExprKind::kAggregate:
+      return Expr::Aggregate(expr->agg_fn(),
+                             remap[static_cast<size_t>(expr->class_idx())],
+                             expr->field_idx(), expr->class_name(),
+                             expr->field_name());
+    case ExprKind::kUnary:
+      return Expr::Unary(expr->unary_op(),
+                         RemapClasses(expr->operand(), remap));
+    case ExprKind::kBinary:
+      return Expr::Binary(expr->binary_op(), RemapClasses(expr->left(), remap),
+                          RemapClasses(expr->right(), remap));
+  }
+  return expr;
+}
+
+bool ContainsAggregate(const ExprPtr& expr) {
+  if (expr == nullptr) return false;
+  switch (expr->kind()) {
+    case ExprKind::kAggregate:
+      return true;
+    case ExprKind::kUnary:
+      return ContainsAggregate(expr->operand());
+    case ExprKind::kBinary:
+      return ContainsAggregate(expr->left()) ||
+             ContainsAggregate(expr->right());
+    default:
+      return false;
+  }
+}
+
+}  // namespace zstream

@@ -1,0 +1,52 @@
+// Static analysis of predicate expressions: which classes they touch,
+// whether they are single-class (pushdown candidates, Section 4.1),
+// equality joins (hash candidates, Section 5.2.2), and conjunct splitting.
+#ifndef ZSTREAM_EXPR_ANALYSIS_H_
+#define ZSTREAM_EXPR_ANALYSIS_H_
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace zstream {
+
+/// Set of pattern-class indices referenced by an expression.
+std::set<int> ReferencedClasses(const ExprPtr& expr);
+
+/// Splits a predicate on top-level ANDs into its conjuncts.
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr);
+
+/// AND-combines a list of predicates (nullptr when empty).
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts);
+
+/// Description of a hashable equality predicate `A.f = B.g` between two
+/// distinct classes, where both sides are bare attribute references.
+struct EqualityJoin {
+  int left_class;
+  int left_field;
+  int right_class;
+  int right_field;
+};
+
+/// Recognizes `A.f = B.g` (either side order). Returns nullopt for
+/// anything else (including `A.f = const`, which is a single-class
+/// predicate, and arithmetic like `A.f = B.g * 2`).
+std::optional<EqualityJoin> AsEqualityJoin(const ExprPtr& expr);
+
+/// True when every attribute reference in `expr` is to class `class_idx`
+/// and the expression references at least one class.
+bool IsSingleClass(const ExprPtr& expr, int class_idx);
+
+/// Rewrites class indices through `remap` (old index -> new index),
+/// returning a structurally-shared new expression. Used when a
+/// sub-pattern is planned in isolation (e.g. per-partition plans).
+ExprPtr RemapClasses(const ExprPtr& expr, const std::vector<int>& remap);
+
+/// True if the expression contains an aggregate node.
+bool ContainsAggregate(const ExprPtr& expr);
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_EXPR_ANALYSIS_H_

@@ -1,0 +1,166 @@
+// Expression evaluation with SQL-style three-valued logic.
+#include "expr/expr.h"
+
+namespace zstream {
+
+namespace {
+
+// Comparison returning Value(bool) or null when either side is null or
+// the categories are incomparable.
+Value EvalCompare(BinaryOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  auto cmp = a.Compare(b);
+  if (!cmp.ok()) return Value::Null();
+  const int c = *cmp;
+  switch (op) {
+    case BinaryOp::kEq: return Value(c == 0);
+    case BinaryOp::kNe: return Value(c != 0);
+    case BinaryOp::kLt: return Value(c < 0);
+    case BinaryOp::kLe: return Value(c <= 0);
+    case BinaryOp::kGt: return Value(c > 0);
+    case BinaryOp::kGe: return Value(c >= 0);
+    default: return Value::Null();
+  }
+}
+
+// Kleene three-valued AND / OR.
+Value EvalAnd(const Value& a, const Value& b) {
+  const bool a_false = a.is_bool() && !a.bool_value();
+  const bool b_false = b.is_bool() && !b.bool_value();
+  if (a_false || b_false) return Value(false);
+  if (a.IsTruthy() && b.IsTruthy()) return Value(true);
+  return Value::Null();
+}
+
+Value EvalOr(const Value& a, const Value& b) {
+  if (a.IsTruthy() || b.IsTruthy()) return Value(true);
+  const bool a_false = a.is_bool() && !a.bool_value();
+  const bool b_false = b.is_bool() && !b.bool_value();
+  if (a_false && b_false) return Value(false);
+  return Value::Null();
+}
+
+Value EvalAggregate(const Expr& e, const EvalInput& input) {
+  if (input.group == nullptr || e.class_idx() != input.group_class) {
+    return Value::Null();
+  }
+  const auto& group = *input.group;
+  if (e.agg_fn() == AggFn::kCount) {
+    return Value(static_cast<int64_t>(group.size()));
+  }
+  if (group.empty()) return Value::Null();
+  bool first = true;
+  double sum = 0.0;
+  Value best;
+  for (const EventPtr& ev : group) {
+    const Value& v = ev->value(e.field_idx());
+    if (v.is_null()) continue;
+    switch (e.agg_fn()) {
+      case AggFn::kSum:
+      case AggFn::kAvg:
+        if (!v.is_numeric()) return Value::Null();
+        sum += v.AsDouble();
+        first = false;
+        break;
+      case AggFn::kMin:
+      case AggFn::kMax: {
+        if (first) {
+          best = v;
+          first = false;
+        } else {
+          auto cmp = v.Compare(best);
+          if (!cmp.ok()) return Value::Null();
+          if ((e.agg_fn() == AggFn::kMin && *cmp < 0) ||
+              (e.agg_fn() == AggFn::kMax && *cmp > 0)) {
+            best = v;
+          }
+        }
+        break;
+      }
+      case AggFn::kCount:
+        break;  // handled above
+    }
+  }
+  if (first) return Value::Null();  // all inputs null
+  switch (e.agg_fn()) {
+    case AggFn::kSum:
+      return Value(sum);
+    case AggFn::kAvg:
+      return Value(sum / static_cast<double>(group.size()));
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return best;
+    default:
+      return Value::Null();
+  }
+}
+
+}  // namespace
+
+Value Expr::Eval(const EvalInput& input) const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return literal_;
+    case ExprKind::kAttrRef: {
+      if (class_idx_ >= input.num_slots) return Value::Null();
+      const EventPtr& ev = input.slot(class_idx_);
+      if (ev == nullptr) return Value::Null();
+      return ev->value(field_idx_);
+    }
+    case ExprKind::kTimeRef: {
+      if (class_idx_ >= input.num_slots) return Value::Null();
+      const EventPtr& ev = input.slot(class_idx_);
+      if (ev == nullptr) return Value::Null();
+      return Value(static_cast<int64_t>(ev->timestamp()));
+    }
+    case ExprKind::kIsNull: {
+      const bool unbound =
+          class_idx_ >= input.num_slots || input.slot(class_idx_) == nullptr;
+      return Value(unbound);
+    }
+    case ExprKind::kUnary: {
+      const Value v = left_->Eval(input);
+      if (un_op_ == UnaryOp::kNot) {
+        if (!v.is_bool()) return Value::Null();
+        return Value(!v.bool_value());
+      }
+      // Numeric negation.
+      if (v.is_int64()) return Value(-v.int64_value());
+      if (v.is_double()) return Value(-v.double_value());
+      return Value::Null();
+    }
+    case ExprKind::kBinary: {
+      switch (bin_op_) {
+        case BinaryOp::kAnd: {
+          // Short-circuit on definite false.
+          const Value a = left_->Eval(input);
+          if (a.is_bool() && !a.bool_value()) return Value(false);
+          return EvalAnd(a, right_->Eval(input));
+        }
+        case BinaryOp::kOr: {
+          const Value a = left_->Eval(input);
+          if (a.IsTruthy()) return Value(true);
+          return EvalOr(a, right_->Eval(input));
+        }
+        case BinaryOp::kAdd:
+          return Add(left_->Eval(input), right_->Eval(input));
+        case BinaryOp::kSub:
+          return Subtract(left_->Eval(input), right_->Eval(input));
+        case BinaryOp::kMul:
+          return Multiply(left_->Eval(input), right_->Eval(input));
+        case BinaryOp::kDiv:
+          return Divide(left_->Eval(input), right_->Eval(input));
+        case BinaryOp::kMod:
+          return Modulo(left_->Eval(input), right_->Eval(input));
+        default:
+          return EvalCompare(bin_op_, left_->Eval(input),
+                             right_->Eval(input));
+      }
+    }
+    case ExprKind::kAggregate:
+      return EvalAggregate(*this, input);
+  }
+  return Value::Null();
+}
+
+}  // namespace zstream

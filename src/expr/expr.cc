@@ -1,0 +1,141 @@
+#include "expr/expr.h"
+
+#include <sstream>
+
+namespace zstream {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+  }
+  return "?";
+}
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum: return "sum";
+    case AggFn::kAvg: return "avg";
+    case AggFn::kCount: return "count";
+    case AggFn::kMin: return "min";
+    case AggFn::kMax: return "max";
+  }
+  return "?";
+}
+
+Result<AggFn> AggFnFromName(const std::string& name) {
+  if (name == "sum") return AggFn::kSum;
+  if (name == "avg") return AggFn::kAvg;
+  if (name == "count") return AggFn::kCount;
+  if (name == "min") return AggFn::kMin;
+  if (name == "max") return AggFn::kMax;
+  return Status::SemanticError("unknown aggregate function '" + name + "'");
+}
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::AttrRef(int class_idx, int field_idx, std::string class_name,
+                      std::string field_name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kAttrRef;
+  e->class_idx_ = class_idx;
+  e->field_idx_ = field_idx;
+  e->class_name_ = std::move(class_name);
+  e->field_name_ = std::move(field_name);
+  return e;
+}
+
+ExprPtr Expr::TimeRef(int class_idx, std::string class_name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kTimeRef;
+  e->class_idx_ = class_idx;
+  e->class_name_ = std::move(class_name);
+  e->field_name_ = "ts";
+  return e;
+}
+
+ExprPtr Expr::IsNull(int class_idx, std::string class_name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kIsNull;
+  e->class_idx_ = class_idx;
+  e->class_name_ = std::move(class_name);
+  return e;
+}
+
+ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kUnary;
+  e->un_op_ = op;
+  e->left_ = std::move(operand);
+  return e;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr left, ExprPtr right) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kBinary;
+  e->bin_op_ = op;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+ExprPtr Expr::Aggregate(AggFn fn, int class_idx, int field_idx,
+                        std::string class_name, std::string field_name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kAggregate;
+  e->agg_fn_ = fn;
+  e->class_idx_ = class_idx;
+  e->field_idx_ = field_idx;
+  e->class_name_ = std::move(class_name);
+  e->field_name_ = std::move(field_name);
+  return e;
+}
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      os << literal_.ToString();
+      break;
+    case ExprKind::kAttrRef:
+      os << class_name_ << "." << field_name_;
+      break;
+    case ExprKind::kTimeRef:
+      os << class_name_ << ".ts";
+      break;
+    case ExprKind::kIsNull:
+      os << "isnull(" << class_name_ << ")";
+      break;
+    case ExprKind::kUnary:
+      os << (un_op_ == UnaryOp::kNot ? "NOT " : "-") << "("
+         << left_->ToString() << ")";
+      break;
+    case ExprKind::kBinary:
+      os << "(" << left_->ToString() << " " << BinaryOpName(bin_op_) << " "
+         << right_->ToString() << ")";
+      break;
+    case ExprKind::kAggregate:
+      os << AggFnName(agg_fn_) << "(" << class_name_ << "." << field_name_
+         << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace zstream

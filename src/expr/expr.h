@@ -1,0 +1,165 @@
+// Expression AST for WHERE predicates and RETURN projections.
+//
+// Expressions reference pattern event classes by index (the class's
+// position in the pattern, assigned by the analyzer). Evaluation happens
+// against an EvalInput view: one primitive-event slot per class (possibly
+// null when the class is unbound, e.g. a negated class with no negating
+// instance) plus an optional Kleene group.
+#ifndef ZSTREAM_EXPR_EXPR_H_
+#define ZSTREAM_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "event/event.h"
+
+namespace zstream {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class ExprKind : char {
+  kLiteral,
+  kAttrRef,    // class.field
+  kTimeRef,    // class.ts (the event's timestamp)
+  kIsNull,     // true when the slot of a class is unbound
+  kUnary,      // NOT, negate
+  kBinary,     // comparisons, arithmetic, AND/OR
+  kAggregate,  // sum/avg/count/min/max over a Kleene group attribute
+};
+
+enum class BinaryOp : char {
+  kEq, kNe, kLt, kLe, kGt, kGe,  // comparison
+  kAnd, kOr,                     // logic
+  kAdd, kSub, kMul, kDiv, kMod,  // arithmetic
+};
+
+enum class UnaryOp : char { kNot, kNegate };
+
+enum class AggFn : char { kSum, kAvg, kCount, kMin, kMax };
+
+const char* BinaryOpName(BinaryOp op);
+const char* AggFnName(AggFn fn);
+Result<AggFn> AggFnFromName(const std::string& name);
+
+/// \brief Flat view of a composite record for expression evaluation.
+///
+/// `slots[i]` is the primitive event bound to pattern class i (or null).
+/// `group` holds the events of the Kleene-closure class `group_class`
+/// when the pattern has one.
+struct EvalInput {
+  const EventPtr* slots = nullptr;
+  int num_slots = 0;
+  const std::vector<EventPtr>* group = nullptr;
+  int group_class = -1;
+
+  const EventPtr& slot(int i) const { return slots[i]; }
+};
+
+/// \brief Immutable expression node.
+class Expr {
+ public:
+  // -- constructors ---------------------------------------------------
+  static ExprPtr Literal(Value v);
+  static ExprPtr AttrRef(int class_idx, int field_idx, std::string class_name,
+                         std::string field_name);
+  static ExprPtr TimeRef(int class_idx, std::string class_name);
+  static ExprPtr IsNull(int class_idx, std::string class_name);
+  static ExprPtr Unary(UnaryOp op, ExprPtr operand);
+  static ExprPtr Binary(BinaryOp op, ExprPtr left, ExprPtr right);
+  static ExprPtr Aggregate(AggFn fn, int class_idx, int field_idx,
+                           std::string class_name, std::string field_name);
+
+  ExprKind kind() const { return kind_; }
+
+  // -- accessors (valid per kind) --------------------------------------
+  const Value& literal() const { return literal_; }
+  int class_idx() const { return class_idx_; }
+  int field_idx() const { return field_idx_; }
+  const std::string& class_name() const { return class_name_; }
+  const std::string& field_name() const { return field_name_; }
+  BinaryOp binary_op() const { return bin_op_; }
+  UnaryOp unary_op() const { return un_op_; }
+  AggFn agg_fn() const { return agg_fn_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+  const ExprPtr& operand() const { return left_; }
+
+  /// Evaluates against a record view. Unbound slots surface as nulls;
+  /// any null input makes comparisons/arithmetic yield null; AND/OR use
+  /// three-valued logic. A predicate "passes" iff the result IsTruthy().
+  Value Eval(const EvalInput& input) const;
+
+  /// Evaluates and converts to a predicate outcome.
+  bool EvalPredicate(const EvalInput& input) const {
+    return Eval(input).IsTruthy();
+  }
+
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  Value literal_;
+  int class_idx_ = -1;
+  int field_idx_ = -1;
+  std::string class_name_;
+  std::string field_name_;
+  BinaryOp bin_op_ = BinaryOp::kEq;
+  UnaryOp un_op_ = UnaryOp::kNot;
+  AggFn agg_fn_ = AggFn::kSum;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+// Terse construction helpers (used heavily by tests and benchmarks).
+namespace exprs {
+
+inline ExprPtr Lit(Value v) { return Expr::Literal(std::move(v)); }
+inline ExprPtr Lit(double v) { return Expr::Literal(Value(v)); }
+inline ExprPtr Lit(int64_t v) { return Expr::Literal(Value(v)); }
+inline ExprPtr Lit(int v) { return Expr::Literal(Value(v)); }
+inline ExprPtr Lit(const char* v) { return Expr::Literal(Value(v)); }
+inline ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kEq, std::move(a), std::move(b));
+}
+inline ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kNe, std::move(a), std::move(b));
+}
+inline ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kLt, std::move(a), std::move(b));
+}
+inline ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kLe, std::move(a), std::move(b));
+}
+inline ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kGt, std::move(a), std::move(b));
+}
+inline ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kGe, std::move(a), std::move(b));
+}
+inline ExprPtr And(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kAnd, std::move(a), std::move(b));
+}
+inline ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kOr, std::move(a), std::move(b));
+}
+inline ExprPtr Not(ExprPtr a) {
+  return Expr::Unary(UnaryOp::kNot, std::move(a));
+}
+inline ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kMul, std::move(a), std::move(b));
+}
+inline ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return Expr::Binary(BinaryOp::kAdd, std::move(a), std::move(b));
+}
+
+}  // namespace exprs
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_EXPR_EXPR_H_

@@ -1,0 +1,242 @@
+#include "nfa/nfa_engine.h"
+
+#include <algorithm>
+
+#include "expr/analysis.h"
+
+namespace zstream {
+
+NfaEngine::NfaEngine(PatternPtr pattern, MemoryTracker* tracker)
+    : pattern_(std::move(pattern)), tracker_(tracker) {
+  if (tracker_ == nullptr) {
+    owned_tracker_ = std::make_unique<MemoryTracker>();
+    tracker_ = owned_tracker_.get();
+  }
+}
+
+Result<std::unique_ptr<NfaEngine>> NfaEngine::Create(PatternPtr pattern,
+                                                     MemoryTracker* tracker) {
+  ZS_RETURN_IF_ERROR(pattern->Validate());
+  if (!pattern->IsSequence()) {
+    return Status::NotSupported(
+        "the NFA baseline supports sequential patterns only");
+  }
+  if (pattern->KleeneClass() >= 0) {
+    return Status::NotSupported(
+        "the NFA baseline does not support Kleene closure");
+  }
+  auto engine = std::unique_ptr<NfaEngine>(
+      new NfaEngine(std::move(pattern), tracker));
+  const Pattern& p = *engine->pattern_;
+
+  for (int c = 0; c < p.num_classes(); ++c) {
+    if (p.classes[static_cast<size_t>(c)].negated) {
+      engine->negated_.push_back(c);
+      engine->neg_stacks_.emplace_back();
+    } else {
+      engine->positive_.push_back(c);
+    }
+  }
+  engine->stacks_.resize(engine->positive_.size());
+  engine->preds_by_level_.resize(engine->positive_.size());
+
+  // Group predicates by the search level where they become evaluable.
+  for (const ExprPtr& pred : p.multi_predicates) {
+    const std::set<int> classes = ReferencedClasses(pred);
+    bool touches_neg = false;
+    for (int nc : engine->negated_) {
+      if (classes.count(nc) > 0) touches_neg = true;
+    }
+    if (touches_neg) {
+      engine->neg_preds_.push_back(pred);
+      continue;
+    }
+    // Lowest positive position among referenced classes.
+    int level = static_cast<int>(engine->positive_.size()) - 1;
+    for (size_t pos = 0; pos < engine->positive_.size(); ++pos) {
+      if (classes.count(engine->positive_[pos]) > 0) {
+        level = static_cast<int>(pos);
+        break;
+      }
+    }
+    engine->preds_by_level_[static_cast<size_t>(level)].push_back(pred);
+  }
+
+  engine->candidate_.slots.assign(static_cast<size_t>(p.num_classes()),
+                                  nullptr);
+  return engine;
+}
+
+bool NfaEngine::Admit(int class_idx, const EventPtr& event) const {
+  const EventClass& ec = pattern_->classes[static_cast<size_t>(class_idx)];
+  Record probe =
+      Record::FromEvent(class_idx, pattern_->num_classes(), event);
+  const EvalInput in = probe.ToEvalInput();
+  for (const ExprPtr& pred : ec.leaf_predicates) {
+    if (!pred->EvalPredicate(in)) return false;
+  }
+  if (!ec.neg_branches.empty()) {
+    for (const NegBranch& branch : ec.neg_branches) {
+      bool all = true;
+      for (const ExprPtr& pred : branch.predicates) {
+        if (!pred->EvalPredicate(in)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) return true;
+    }
+    return false;
+  }
+  return true;
+}
+
+void NfaEngine::PurgeBefore(Timestamp eat) {
+  for (Stack& st : stacks_) {
+    while (!st.entries.empty() &&
+           st.entries.front().event->timestamp() < eat) {
+      tracker_->Release(st.entries.front().event->ByteSize() +
+                        sizeof(Entry));
+      st.entries.pop_front();
+      ++st.base_id;
+    }
+  }
+  for (auto& ns : neg_stacks_) {
+    while (!ns.empty() && ns.front()->timestamp() < eat) {
+      tracker_->Release(ns.front()->ByteSize() + sizeof(EventPtr));
+      ns.pop_front();
+    }
+  }
+}
+
+void NfaEngine::Push(const EventPtr& event) {
+  ++events_pushed_;
+  for (size_t i = 0; i < negated_.size(); ++i) {
+    if (Admit(negated_[i], event)) {
+      neg_stacks_[i].push_back(event);
+      tracker_->Allocate(event->ByteSize() + sizeof(EventPtr));
+    }
+  }
+  bool is_final = false;
+  for (size_t pos = 0; pos < positive_.size(); ++pos) {
+    if (!Admit(positive_[pos], event)) continue;
+    Stack& st = stacks_[pos];
+    uint64_t rip = 0;
+    if (pos > 0) {
+      const Stack& prev = stacks_[pos - 1];
+      rip = prev.end_id();
+      while (rip > prev.base_id &&
+             prev.Get(rip - 1).event->timestamp() >= event->timestamp()) {
+        --rip;
+      }
+    }
+    st.entries.push_back(Entry{event, rip});
+    tracker_->Allocate(event->ByteSize() + sizeof(Entry));
+    if (pos + 1 == positive_.size()) is_final = true;
+  }
+  if (is_final) Search(event);
+}
+
+void NfaEngine::Search(const EventPtr& final_event) {
+  const Timestamp eat = final_event->timestamp() - pattern_->window;
+  PurgeBefore(eat);
+  const int n = static_cast<int>(positive_.size());
+  const int final_class = positive_[static_cast<size_t>(n - 1)];
+  candidate_.slots[static_cast<size_t>(final_class)] = final_event;
+
+  if (n == 1) {
+    ++num_matches_;
+  } else {
+    SearchLevel(n - 2, eat);
+  }
+  candidate_.slots[static_cast<size_t>(final_class)] = nullptr;
+}
+
+void NfaEngine::SearchLevel(int level, Timestamp eat) {
+  const size_t pos = static_cast<size_t>(level);
+  const int cls = positive_[pos];
+  const int next_cls = positive_[pos + 1];
+  const EventPtr& next_event = candidate_.slots[static_cast<size_t>(next_cls)];
+  Stack& st = stacks_[pos];
+
+  // The RIP of the chosen successor bounds the backward scan.
+  uint64_t hi = st.end_id();
+  {
+    // Find the successor's entry bound: recompute from its timestamp
+    // (entries are timestamp-ordered, so this is the same bound the RIP
+    // recorded at insert time, clamped by purging).
+    while (hi > st.base_id &&
+           st.Get(hi - 1).event->timestamp() >= next_event->timestamp()) {
+      --hi;
+    }
+  }
+
+  for (uint64_t id = hi; id-- > st.base_id;) {
+    const Entry& entry = st.Get(id);
+    if (entry.event->timestamp() < eat) break;  // sorted: all older below
+    candidate_.slots[static_cast<size_t>(cls)] = entry.event;
+    bool ok = true;
+    const EvalInput in = candidate_.ToEvalInput();
+    for (const ExprPtr& pred : preds_by_level_[pos]) {
+      if (!pred->EvalPredicate(in)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      if (level == 0) {
+        if (!IsNegated(candidate_, 0)) {
+          ++num_matches_;
+          // Construct the composite event, as SASE's backward search
+          // does — the tree engine materializes its outputs, so the
+          // baseline must pay the same per-match output cost.
+          Record out = candidate_;
+          out.start_ts = entry.event->timestamp();
+          out.end_ts = out.start_ts;
+          for (const EventPtr& s : out.slots) {
+            if (s != nullptr) {
+              out.end_ts = std::max(out.end_ts, s->timestamp());
+            }
+          }
+          output_checksum_ += static_cast<uint64_t>(out.end_ts);
+        }
+      } else {
+        SearchLevel(level - 1, eat);
+      }
+    }
+  }
+  candidate_.slots[static_cast<size_t>(cls)] = nullptr;
+}
+
+bool NfaEngine::IsNegated(const Record& candidate, int) const {
+  for (size_t i = 0; i < negated_.size(); ++i) {
+    const int nc = negated_[i];
+    const EventPtr& a = candidate.slots[static_cast<size_t>(nc - 1)];
+    const EventPtr& c = candidate.slots[static_cast<size_t>(nc + 1)];
+    if (a == nullptr || c == nullptr) continue;
+    const Timestamp lo = a->timestamp();
+    const Timestamp hi = c->timestamp();
+    const auto& ns = neg_stacks_[i];
+    // Backward scan (negators are timestamp-ordered).
+    for (auto it = ns.rbegin(); it != ns.rend(); ++it) {
+      const Timestamp ts = (*it)->timestamp();
+      if (ts >= hi) continue;
+      if (ts <= lo) break;
+      if (neg_preds_.empty()) return true;
+      Record probe = candidate;
+      probe.slots[static_cast<size_t>(nc)] = *it;
+      const EvalInput in = probe.ToEvalInput();
+      bool all = true;
+      for (const ExprPtr& pred : neg_preds_) {
+        if (!pred->EvalPredicate(in)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace zstream

@@ -1,0 +1,42 @@
+#include "opt/adaptive.h"
+
+namespace zstream {
+
+AdaptiveController::AdaptiveController(PatternPtr pattern,
+                                       AdaptiveOptions options)
+    : pattern_(std::move(pattern)), options_(options) {}
+
+void AdaptiveController::OnPlanInstalled(const PhysicalPlan& plan,
+                                         const StatsCatalog& stats) {
+  installed_ = plan;
+  installed_stats_ = stats;
+  has_plan_ = true;
+}
+
+std::optional<PhysicalPlan> AdaptiveController::MaybeReplan(
+    const StatsCatalog& current) {
+  if (!has_plan_) return std::nullopt;
+  const double drift = current.MaxRelativeChange(installed_stats_);
+  if (drift <= options_.drift_threshold) return std::nullopt;
+
+  ++replan_evaluations_;
+  PlannerOptions popts;
+  popts.cost_params = options_.cost_params;
+  Planner planner(pattern_, &current, popts);
+  Result<PhysicalPlan> candidate = planner.OptimalPlan();
+  // Reset the baseline either way so we don't re-plan every round while
+  // statistics sit just past the threshold.
+  installed_stats_ = current;
+  if (!candidate.ok()) return std::nullopt;
+
+  const CostModel model(pattern_.get(), &current, options_.cost_params);
+  const double current_cost = model.PlanCost(installed_);
+  if (candidate->estimated_cost <
+      current_cost * (1.0 - options_.improvement_threshold)) {
+    installed_ = *candidate;
+    return *candidate;
+  }
+  return std::nullopt;
+}
+
+}  // namespace zstream

@@ -1,0 +1,54 @@
+// Plan adaptation (Section 5.3).
+//
+// The engine maintains windowed statistics at the leaves. When any
+// statistic drifts past threshold `t` relative to the values the current
+// plan was chosen with, the controller re-runs the planner; the new plan
+// is installed only when its predicted cost improves on the current
+// plan's (re-estimated) cost by more than threshold `c`.
+#ifndef ZSTREAM_OPT_ADAPTIVE_H_
+#define ZSTREAM_OPT_ADAPTIVE_H_
+
+#include <optional>
+
+#include "opt/planner.h"
+
+namespace zstream {
+
+struct AdaptiveOptions {
+  /// Statistic drift threshold `t` (relative change triggering a
+  /// re-plan).
+  double drift_threshold = 0.5;
+  /// Improvement threshold `c`: switch only when
+  /// cost(new) < cost(current) * (1 - c).
+  double improvement_threshold = 0.1;
+  /// Assembly rounds between statistic checks.
+  int check_every_rounds = 8;
+  CostModelParams cost_params;
+};
+
+/// \brief Decides when to re-plan and what to switch to.
+class AdaptiveController {
+ public:
+  AdaptiveController(PatternPtr pattern, AdaptiveOptions options);
+
+  /// Records the plan now running and the statistics it was chosen with.
+  void OnPlanInstalled(const PhysicalPlan& plan, const StatsCatalog& stats);
+
+  /// Returns a better plan under `current` statistics, or nullopt.
+  /// Resets the drift baseline whenever a re-plan was evaluated.
+  std::optional<PhysicalPlan> MaybeReplan(const StatsCatalog& current);
+
+  int replan_evaluations() const { return replan_evaluations_; }
+
+ private:
+  PatternPtr pattern_;
+  AdaptiveOptions options_;
+  PhysicalPlan installed_;
+  StatsCatalog installed_stats_;
+  bool has_plan_ = false;
+  int replan_evaluations_ = 0;
+};
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_OPT_ADAPTIVE_H_

@@ -1,0 +1,270 @@
+#include "opt/cost_model.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "expr/analysis.h"
+
+namespace zstream {
+
+CostModel::CostModel(const Pattern* pattern, const StatsCatalog* stats,
+                     CostModelParams params)
+    : pattern_(pattern), stats_(stats), params_(params) {}
+
+namespace {
+
+bool Contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+// Boundary classes for the implicit time predicate between two covers:
+// the last positive class on the left and the first positive class on
+// the right.
+int LastPositive(const Pattern& p, const std::vector<int>& cover) {
+  for (auto it = cover.rbegin(); it != cover.rend(); ++it) {
+    if (!p.classes[static_cast<size_t>(*it)].negated) return *it;
+  }
+  return cover.empty() ? -1 : cover.back();
+}
+int FirstPositive(const Pattern& p, const std::vector<int>& cover) {
+  for (int c : cover) {
+    if (!p.classes[static_cast<size_t>(c)].negated) return c;
+  }
+  return cover.empty() ? -1 : cover.front();
+}
+
+}  // namespace
+
+void CostModel::CrossSelectivity(const std::vector<int>& left_cover,
+                                 const std::vector<int>& right_cover,
+                                 double* sel, int* num_preds,
+                                 double* hashed_sel) const {
+  *sel = 1.0;
+  *num_preds = 0;
+  *hashed_sel = 1.0;
+  bool hashed_one = false;
+  for (const ExprPtr& pred : pattern_->multi_predicates) {
+    const std::set<int> classes = ReferencedClasses(pred);
+    bool any_left = false;
+    bool any_right = false;
+    bool all_covered = true;
+    for (int c : classes) {
+      const bool in_l = Contains(left_cover, c);
+      const bool in_r = Contains(right_cover, c);
+      any_left |= in_l;
+      any_right |= in_r;
+      if (!in_l && !in_r) all_covered = false;
+    }
+    if (!all_covered || !any_left || !any_right) continue;
+    // This predicate is evaluated at this operator.
+    const int i = *classes.begin();
+    const int j = *classes.rbegin();
+    const double s = stats_->PairSel(i, j);
+    // The engine hash-indexes the first equality predicate; mirror it.
+    if (params_.assume_hashing && !hashed_one &&
+        AsEqualityJoin(pred).has_value()) {
+      *hashed_sel = s;
+      hashed_one = true;
+      *sel *= s;
+      continue;
+    }
+    *sel *= s;
+    *num_preds += 1;
+  }
+}
+
+CostModel::Estimate CostModel::EstimateNode(const PhysNode* node) const {
+  Estimate est;
+  if (node == nullptr) return est;
+  const Pattern& p = *pattern_;
+
+  switch (node->op) {
+    case PhysOp::kLeaf: {
+      est.card = stats_->Card(node->class_idx);
+      est.cost = 0.0;
+      return est;
+    }
+
+    case PhysOp::kSeq: {
+      const Estimate l = EstimateNode(node->children[0].get());
+      const Estimate r = EstimateNode(node->children[1].get());
+      const auto lcov = node->children[0]->CoveredClasses();
+      const auto rcov = node->children[1]->CoveredClasses();
+      const double pt =
+          stats_->TimeSel(LastPositive(p, lcov), FirstPositive(p, rcov));
+      double sel, hashed_sel;
+      int n;
+      CrossSelectivity(lcov, rcov, &sel, &n, &hashed_sel);
+      double ci = l.card * r.card * pt * hashed_sel;
+      double card = l.card * r.card * pt * sel;
+      // Negation survival (Table 2, pushed-down row): when one side
+      // carries a fused negated class whose enclosing classes join
+      // here, apply (1 - Pt(A,C) * Pt(B,C)).
+      for (int nc : p.NegatedClasses()) {
+        const bool bound_right = Contains(rcov, nc) && Contains(lcov, nc - 1);
+        const bool bound_left = Contains(lcov, nc) && Contains(rcov, nc + 1);
+        if (bound_right || bound_left) {
+          card *= 1.0 - stats_->TimeSel(nc - 1, nc + 1) *
+                            stats_->TimeSel(nc, nc + 1);
+        }
+      }
+      est.input_cost = ci;
+      est.card = card;
+      est.cost = l.cost + r.cost + ci + (n * params_.k) * ci +
+                 params_.p * card;
+      return est;
+    }
+
+    case PhysOp::kConj: {
+      const Estimate l = EstimateNode(node->children[0].get());
+      const Estimate r = EstimateNode(node->children[1].get());
+      const auto lcov = node->children[0]->CoveredClasses();
+      const auto rcov = node->children[1]->CoveredClasses();
+      double sel, hashed_sel;
+      int n;
+      CrossSelectivity(lcov, rcov, &sel, &n, &hashed_sel);
+      const double ci = l.card * r.card * hashed_sel;
+      const double card = l.card * r.card * sel;
+      est.input_cost = ci;
+      est.card = card;
+      est.cost = l.cost + r.cost + ci + (n * params_.k) * ci +
+                 params_.p * card;
+      return est;
+    }
+
+    case PhysOp::kDisj: {
+      const Estimate l = EstimateNode(node->children[0].get());
+      const Estimate r = EstimateNode(node->children[1].get());
+      const double ci = l.card + r.card;
+      est.input_cost = ci;
+      est.card = ci;
+      est.cost = l.cost + r.cost + ci + params_.p * ci;
+      return est;
+    }
+
+    case PhysOp::kNSeq: {
+      // Ci = CARD of the non-negated side; the negated buffer is probed
+      // directly for the latest/first negator (Table 2: "not related to
+      // CARD_B"). Output: one record per non-negated input.
+      const PhysNode* neg =
+          node->neg_left ? node->children[0].get() : node->children[1].get();
+      const PhysNode* other =
+          node->neg_left ? node->children[1].get() : node->children[0].get();
+      const Estimate o = EstimateNode(other);
+      double sel, hashed_sel;
+      int n;
+      CrossSelectivity(neg->CoveredClasses(), other->CoveredClasses(), &sel,
+                       &n, &hashed_sel);
+      const double ci = o.card;
+      est.input_cost = ci;
+      est.card = o.card;
+      est.cost = o.cost + ci + (n * params_.k) * ci + params_.p * est.card;
+      return est;
+    }
+
+    case PhysOp::kKSeq: {
+      const PhysNode* start = node->children[0].get();
+      const PhysNode* end = node->children[2].get();
+      const int kc = node->children[1]->class_idx;
+      const EventClass& kcl = p.classes[static_cast<size_t>(kc)];
+      const Estimate s = EstimateNode(start);
+      const Estimate e = EstimateNode(end);
+      const double card_a = start != nullptr ? s.card : 1.0;
+      const double card_c = end != nullptr ? e.card : 1.0;
+      const int a_cls = start != nullptr
+                            ? LastPositive(p, start->CoveredClasses())
+                            : -1;
+      const int c_cls =
+          end != nullptr ? FirstPositive(p, end->CoveredClasses()) : -1;
+      const double pt_ab =
+          start != nullptr ? stats_->TimeSel(a_cls, kc) : 1.0;
+      const double pt_bc = end != nullptr ? stats_->TimeSel(kc, c_cls) : 1.0;
+      const double pt_ac = (start != nullptr && end != nullptr)
+                               ? stats_->TimeSel(a_cls, c_cls)
+                               : 1.0;
+      double big_n = stats_->Card(kc) * pt_ab * pt_bc;
+      if (kcl.kleene == KleeneKind::kCount) {
+        big_n *= static_cast<double>(kcl.kleene_count);
+      }
+      const double ci = card_a * card_c * pt_ac * big_n;
+      // P_{A,C} * P_{A,B} * P_{B,C}: all multi-predicate selectivity
+      // across the three operands.
+      double sel = 1.0;
+      std::vector<int> covered = node->CoveredClasses();
+      for (const ExprPtr& pred : p.multi_predicates) {
+        const std::set<int> classes = ReferencedClasses(pred);
+        bool all = true;
+        for (int c : classes) {
+          if (!Contains(covered, c)) all = false;
+        }
+        // Skip predicates fully inside the start or end subtree.
+        const auto inside = [&](const PhysNode* sub) {
+          if (sub == nullptr) return false;
+          const auto cov = sub->CoveredClasses();
+          for (int c : classes) {
+            if (!Contains(cov, c)) return false;
+          }
+          return true;
+        };
+        if (all && !inside(start) && !inside(end)) {
+          sel *= stats_->PairSel(*classes.begin(), *classes.rbegin());
+        }
+      }
+      est.input_cost = ci;
+      est.card = ci * sel;
+      est.cost = s.cost + e.cost + ci + params_.p * est.card;
+      return est;
+    }
+
+    case PhysOp::kNegFilter: {
+      const Estimate in = EstimateNode(node->children[0].get());
+      const int nc = node->class_idx;
+      // Survival (Table 2, negation-on-top row, verbatim):
+      // (1 - Pt(A,B) * Pt(B,C)) * Pt(A,C).
+      const double survival =
+          (1.0 -
+           stats_->TimeSel(nc - 1, nc) * stats_->TimeSel(nc, nc + 1)) *
+          stats_->TimeSel(nc - 1, nc + 1);
+      const double ci = in.card;
+      est.input_cost = ci;
+      est.card = in.card * survival;
+      est.cost = in.cost + ci + params_.p * est.card;
+      return est;
+    }
+  }
+  return est;
+}
+
+namespace {
+void ExplainRec(const CostModel& model, const Pattern& p,
+                const PhysNode* node, int depth, std::ostringstream* os) {
+  if (node == nullptr) return;
+  const CostModel::Estimate est = model.EstimateNode(node);
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  if (node->is_leaf()) {
+    *os << p.classes[static_cast<size_t>(node->class_idx)].alias
+        << "  [card=" << est.card << "]\n";
+    return;
+  }
+  *os << PhysOpName(node->op);
+  if (node->op == PhysOp::kNegFilter) {
+    *os << "(!" << p.classes[static_cast<size_t>(node->class_idx)].alias
+        << ")";
+  }
+  *os << "  [Ci=" << est.input_cost << ", card=" << est.card
+      << ", cost=" << est.cost << "]\n";
+  for (const auto& c : node->children) {
+    ExplainRec(model, p, c.get(), depth + 1, os);
+  }
+}
+}  // namespace
+
+std::string CostModel::ExplainWithCosts(const Pattern& pattern,
+                                        const PhysicalPlan& plan) const {
+  std::ostringstream os;
+  os.precision(6);
+  ExplainRec(*this, pattern, plan.root.get(), 0, &os);
+  return os.str();
+}
+
+}  // namespace zstream

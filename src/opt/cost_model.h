@@ -1,0 +1,72 @@
+// The ZStream cost model (Section 5.1, Tables 1 and 2).
+//
+// Per-operator cost:  C = Ci + (n*k)*Ci + p*Co            (Formula 1)
+// with k = 0.25, p = 1 by default; Ci and Co follow Table 2, and the
+// formulas generalize to sub-plans by substituting operator output
+// cardinalities for class cardinalities. A plan's cost is the sum of
+// its operators' costs.
+//
+// Extension (documented in DESIGN.md): a hashed equality predicate
+// scales the operator's input cost by its selectivity and is excluded
+// from the predicate count n.
+#ifndef ZSTREAM_OPT_COST_MODEL_H_
+#define ZSTREAM_OPT_COST_MODEL_H_
+
+#include <vector>
+
+#include "opt/stats.h"
+#include "plan/pattern.h"
+#include "plan/physical_plan.h"
+
+namespace zstream {
+
+struct CostModelParams {
+  double k = 0.25;  // predicate-evaluation weight
+  double p = 1.0;   // output weight
+  /// Mirror the engine's use of hash indexes for equality predicates.
+  bool assume_hashing = true;
+};
+
+/// \brief Estimates plan costs from a statistics catalog.
+class CostModel {
+ public:
+  CostModel(const Pattern* pattern, const StatsCatalog* stats,
+            CostModelParams params = {});
+
+  struct Estimate {
+    double cost = 0.0;         // summed operator costs of the subtree
+    double card = 0.0;         // output cardinality of the subtree
+    double input_cost = 0.0;   // Ci of the subtree's root operator
+  };
+
+  /// Recursive estimate for a subtree.
+  Estimate EstimateNode(const PhysNode* node) const;
+
+  /// Total estimated cost of a plan (sum over operators).
+  double PlanCost(const PhysicalPlan& plan) const {
+    return EstimateNode(plan.root.get()).cost;
+  }
+
+  /// EXPLAIN with per-operator annotations: one line per node with its
+  /// input cost Ci, output cardinality and cumulative cost.
+  std::string ExplainWithCosts(const Pattern& pattern,
+                               const PhysicalPlan& plan) const;
+
+  const StatsCatalog& stats() const { return *stats_; }
+
+ private:
+  /// Product of multi-class predicate selectivities across the cut
+  /// (pairs with one class on each side), and the count of predicates
+  /// newly evaluable at this node.
+  void CrossSelectivity(const std::vector<int>& left_cover,
+                        const std::vector<int>& right_cover, double* sel,
+                        int* num_preds, double* hashed_sel) const;
+
+  const Pattern* pattern_;
+  const StatsCatalog* stats_;
+  CostModelParams params_;
+};
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_OPT_COST_MODEL_H_

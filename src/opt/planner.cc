@@ -1,0 +1,270 @@
+#include "opt/planner.h"
+
+#include <chrono>
+#include <limits>
+
+#include "expr/analysis.h"
+
+namespace zstream {
+
+namespace {
+
+// NSEQ is usable for class `nc` when its multi-class predicates touch at
+// most the right neighbor (Section 4.4.2); otherwise NSEQ would need
+// predicate information it does not have and ZStream applies a negation
+// filter on top instead.
+bool CanPushNegation(const Pattern& p, int nc) {
+  for (const ExprPtr& pred : p.multi_predicates) {
+    const std::set<int> classes = ReferencedClasses(pred);
+    if (classes.count(nc) == 0) continue;
+    for (int c : classes) {
+      if (c != nc && c != nc + 1) return false;
+    }
+  }
+  return true;
+}
+
+bool IsSequenceShaped(const Pattern& p) {
+  return p.IsSequence();
+}
+
+}  // namespace
+
+Planner::Planner(PatternPtr pattern, const StatsCatalog* stats,
+                 PlannerOptions options)
+    : pattern_(std::move(pattern)), stats_(stats), options_(options) {}
+
+Result<std::vector<Planner::Unit>> Planner::BuildUnits(
+    const std::vector<bool>& push_neg) {
+  const Pattern& p = *pattern_;
+  std::vector<Unit> units;
+  int i = 0;
+  const int n = p.num_classes();
+  while (i < n) {
+    const EventClass& ec = p.classes[static_cast<size_t>(i)];
+    if (ec.negated) {
+      if (push_neg[static_cast<size_t>(i)]) {
+        // Fuse with the right neighbor.
+        if (i + 1 >= n) {
+          return Status::SemanticError("negation cannot end a pattern");
+        }
+        const EventClass& next = p.classes[static_cast<size_t>(i + 1)];
+        if (next.negated || next.is_kleene()) {
+          return Status::NotSupported(
+              "negation must be followed by a plain class to push down");
+        }
+        units.push_back(Unit{PhysNode::NSeq(PhysNode::Leaf(i),
+                                            PhysNode::Leaf(i + 1),
+                                            /*neg_left=*/true)});
+        i += 2;
+      } else {
+        ++i;  // handled by a NEG filter on top
+      }
+      continue;
+    }
+    if (ec.is_kleene()) {
+      PhysNodePtr start;
+      if (!units.empty()) {
+        start = units.back().plan;
+        units.pop_back();
+      }
+      PhysNodePtr end;
+      if (i + 1 < n) {
+        const EventClass& next = p.classes[static_cast<size_t>(i + 1)];
+        if (next.negated) {
+          return Status::NotSupported(
+              "negation directly after a Kleene closure is not supported");
+        }
+        if (next.is_kleene()) {
+          return Status::NotSupported("adjacent Kleene closures");
+        }
+        end = PhysNode::Leaf(i + 1);
+      }
+      units.push_back(
+          Unit{PhysNode::KSeq(std::move(start), PhysNode::Leaf(i), end)});
+      i += 2;
+      continue;
+    }
+    units.push_back(Unit{PhysNode::Leaf(i)});
+    ++i;
+  }
+  if (units.empty()) {
+    return Status::SemanticError("pattern has no positive classes");
+  }
+  return units;
+}
+
+PhysNodePtr Planner::RunDp(const std::vector<Unit>& units,
+                           const CostModel& model) {
+  const int m = static_cast<int>(units.size());
+  // best[i][j]: cheapest subtree covering units i..j (inclusive).
+  std::vector<std::vector<PhysNodePtr>> best(
+      static_cast<size_t>(m), std::vector<PhysNodePtr>(static_cast<size_t>(m)));
+  std::vector<std::vector<double>> cost(
+      static_cast<size_t>(m),
+      std::vector<double>(static_cast<size_t>(m),
+                          std::numeric_limits<double>::infinity()));
+
+  for (int i = 0; i < m; ++i) {
+    best[static_cast<size_t>(i)][static_cast<size_t>(i)] = units
+        [static_cast<size_t>(i)].plan;
+    cost[static_cast<size_t>(i)][static_cast<size_t>(i)] =
+        model.EstimateNode(units[static_cast<size_t>(i)].plan.get()).cost;
+  }
+
+  for (int s = 2; s <= m; ++s) {          // interval size (Algorithm 5)
+    for (int i = 0; i + s - 1 < m; ++i) { // interval start
+      const int j = i + s - 1;
+      for (int r = i; r < j; ++r) {       // root split position
+        PhysNodePtr candidate = PhysNode::Seq(
+            best[static_cast<size_t>(i)][static_cast<size_t>(r)],
+            best[static_cast<size_t>(r + 1)][static_cast<size_t>(j)]);
+        const double c = model.EstimateNode(candidate.get()).cost;
+        if (c < cost[static_cast<size_t>(i)][static_cast<size_t>(j)]) {
+          cost[static_cast<size_t>(i)][static_cast<size_t>(j)] = c;
+          best[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+              std::move(candidate);
+        }
+      }
+    }
+  }
+  return best[0][static_cast<size_t>(m - 1)];
+}
+
+Result<PhysicalPlan> Planner::PlanWithNegationChoice(
+    const std::vector<bool>& push_neg) {
+  ZS_ASSIGN_OR_RETURN(std::vector<Unit> units, BuildUnits(push_neg));
+  const CostModel model(pattern_.get(), stats_, options_.cost_params);
+  PhysNodePtr root =
+      units.size() == 1 ? units[0].plan : RunDp(units, model);
+  for (int nc : pattern_->NegatedClasses()) {
+    if (!push_neg[static_cast<size_t>(nc)]) {
+      root = PhysNode::NegFilter(std::move(root), nc);
+    }
+  }
+  PhysicalPlan plan{std::move(root), 0.0};
+  plan.estimated_cost = model.PlanCost(plan);
+  return plan;
+}
+
+Result<PhysicalPlan> Planner::OptimalPlan() {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!IsSequenceShaped(*pattern_)) {
+    // CONJ/DISJ-structured patterns: structural plan (see header).
+    PhysicalPlan plan = LeftDeepPlan(*pattern_);
+    const CostModel model(pattern_.get(), stats_, options_.cost_params);
+    plan.estimated_cost = model.PlanCost(plan);
+    return plan;
+  }
+
+  const std::vector<int> negs = pattern_->NegatedClasses();
+  // Enumerate push-down vs filter-on-top per negated class (few).
+  std::vector<std::vector<bool>> combos;
+  std::vector<bool> base(static_cast<size_t>(pattern_->num_classes()), false);
+  combos.push_back(base);
+  for (int nc : negs) {
+    const bool can_push = CanPushNegation(*pattern_, nc);
+    std::vector<std::vector<bool>> next;
+    for (const auto& combo : combos) {
+      if (can_push) {
+        auto pushed = combo;
+        pushed[static_cast<size_t>(nc)] = true;
+        next.push_back(std::move(pushed));
+      }
+      if (!can_push || options_.consider_negation_top) {
+        next.push_back(combo);  // filter on top
+      }
+    }
+    combos = std::move(next);
+  }
+
+  Result<PhysicalPlan> best = Status::Internal("no plan found");
+  for (const auto& combo : combos) {
+    Result<PhysicalPlan> plan = PlanWithNegationChoice(combo);
+    if (!plan.ok()) continue;
+    if (!best.ok() || plan->estimated_cost < best->estimated_cost) {
+      best = std::move(plan);
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  last_plan_micros_ =
+      std::chrono::duration<double, std::micro>(t1 - t0).count();
+  return best;
+}
+
+namespace {
+// All binary trees over units[i..j], memoized per interval.
+void EnumerateInterval(
+    const std::vector<PhysNodePtr>& unit_plans, int i, int j,
+    std::vector<std::vector<std::vector<PhysNodePtr>>>* memo) {
+  auto& cell = (*memo)[static_cast<size_t>(i)][static_cast<size_t>(j)];
+  if (!cell.empty()) return;
+  if (i == j) {
+    cell.push_back(unit_plans[static_cast<size_t>(i)]);
+    return;
+  }
+  for (int r = i; r < j; ++r) {
+    EnumerateInterval(unit_plans, i, r, memo);
+    EnumerateInterval(unit_plans, r + 1, j, memo);
+    for (const auto& l : (*memo)[static_cast<size_t>(i)][static_cast<size_t>(r)]) {
+      for (const auto& rp :
+           (*memo)[static_cast<size_t>(r + 1)][static_cast<size_t>(j)]) {
+        cell.push_back(PhysNode::Seq(l, rp));
+      }
+    }
+  }
+}
+}  // namespace
+
+Result<std::vector<PhysicalPlan>> Planner::EnumerateShapes() {
+  if (!IsSequenceShaped(*pattern_)) {
+    return Status::NotSupported("shape enumeration requires a sequence");
+  }
+  std::vector<bool> push_neg(static_cast<size_t>(pattern_->num_classes()),
+                             false);
+  for (int nc : pattern_->NegatedClasses()) {
+    if (!CanPushNegation(*pattern_, nc)) {
+      return Status::NotSupported(
+          "shape enumeration requires pushable negation");
+    }
+    push_neg[static_cast<size_t>(nc)] = true;
+  }
+  ZS_ASSIGN_OR_RETURN(std::vector<Unit> units, BuildUnits(push_neg));
+  std::vector<PhysNodePtr> unit_plans;
+  for (const Unit& u : units) unit_plans.push_back(u.plan);
+  const int m = static_cast<int>(unit_plans.size());
+  std::vector<std::vector<std::vector<PhysNodePtr>>> memo(
+      static_cast<size_t>(m),
+      std::vector<std::vector<PhysNodePtr>>(static_cast<size_t>(m)));
+  EnumerateInterval(unit_plans, 0, m - 1, &memo);
+
+  const CostModel model(pattern_.get(), stats_, options_.cost_params);
+  std::vector<PhysicalPlan> out;
+  for (const auto& root : memo[0][static_cast<size_t>(m - 1)]) {
+    PhysicalPlan plan{root, 0.0};
+    plan.estimated_cost = model.PlanCost(plan);
+    out.push_back(std::move(plan));
+  }
+  return out;
+}
+
+Result<PhysicalPlan> Planner::ExhaustiveOptimal() {
+  ZS_ASSIGN_OR_RETURN(std::vector<PhysicalPlan> shapes, EnumerateShapes());
+  Result<PhysicalPlan> best = Status::Internal("no plan found");
+  for (PhysicalPlan& plan : shapes) {
+    if (!best.ok() || plan.estimated_cost < best->estimated_cost) {
+      best = std::move(plan);
+    }
+  }
+  // Also consider negation-on-top alternatives via the DP path (they are
+  // not tree reshapes of the same units).
+  if (options_.consider_negation_top && !pattern_->NegatedClasses().empty()) {
+    Result<PhysicalPlan> dp = OptimalPlan();
+    if (dp.ok() && (!best.ok() || dp->estimated_cost < best->estimated_cost)) {
+      best = std::move(dp);
+    }
+  }
+  return best;
+}
+
+}  // namespace zstream

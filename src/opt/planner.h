@@ -1,0 +1,72 @@
+// Cost-based plan search (Section 5.2.3, Algorithm 5).
+//
+// For sequential patterns the planner runs the dynamic program over
+// contiguous class intervals — including bushy shapes — using the cost
+// model for operator costs, so DP results agree with exhaustive
+// enumeration by construction. Negated classes either fuse with their
+// right neighbor as an NSEQ unit (pushed down) or are handled by a NEG
+// filter on top; the planner costs both and keeps the cheaper. One
+// Kleene class fuses with its neighbors into a trinary KSEQ unit.
+//
+// Non-sequence patterns (CONJ/DISJ structure) fall back to the
+// structural left-deep shape; reordering them is future work the paper
+// also does not evaluate.
+#ifndef ZSTREAM_OPT_PLANNER_H_
+#define ZSTREAM_OPT_PLANNER_H_
+
+#include <vector>
+
+#include "opt/cost_model.h"
+#include "opt/stats.h"
+#include "plan/pattern.h"
+#include "plan/physical_plan.h"
+
+namespace zstream {
+
+struct PlannerOptions {
+  CostModelParams cost_params;
+  /// Also consider evaluating negation as a top filter and keep the
+  /// cheaper alternative (Section 6.4 compares exactly these two).
+  bool consider_negation_top = true;
+};
+
+/// \brief Searches for the cheapest physical plan for a pattern.
+class Planner {
+ public:
+  Planner(PatternPtr pattern, const StatsCatalog* stats,
+          PlannerOptions options = {});
+
+  /// Algorithm 5: O(n^3) dynamic program over contiguous intervals.
+  Result<PhysicalPlan> OptimalPlan();
+
+  /// Test oracle: enumerates every valid shape and picks the cheapest.
+  /// Exponential; intended for small patterns in tests.
+  Result<PhysicalPlan> ExhaustiveOptimal();
+
+  /// All valid tree shapes over the pattern's DP units (negation pushed
+  /// down). Exponential (Catalan); for tests and ablations.
+  Result<std::vector<PhysicalPlan>> EnumerateShapes();
+
+  /// Planning time of the last OptimalPlan() call, in microseconds.
+  double last_plan_micros() const { return last_plan_micros_; }
+
+ private:
+  // One DP unit: an atomic sub-plan covering a contiguous class range.
+  struct Unit {
+    PhysNodePtr plan;
+  };
+
+  Result<std::vector<Unit>> BuildUnits(const std::vector<bool>& push_neg);
+  Result<PhysicalPlan> PlanWithNegationChoice(
+      const std::vector<bool>& push_neg);
+  PhysNodePtr RunDp(const std::vector<Unit>& units, const CostModel& model);
+
+  PatternPtr pattern_;
+  const StatsCatalog* stats_;
+  PlannerOptions options_;
+  double last_plan_micros_ = 0.0;
+};
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_OPT_PLANNER_H_

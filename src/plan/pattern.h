@@ -1,0 +1,138 @@
+// Logical representation of a compiled pattern query.
+//
+// A Pattern is the analyzer's output and the shared input of the cost
+// model, the planner, the tree-plan engine and the NFA baseline:
+//
+//   * an ordered list of event classes (pattern positions), each with its
+//     alias, schema, negation / Kleene markers and pushed-down
+//     single-class predicates (Section 4.1);
+//   * a structure tree relating the classes with SEQ / CONJ / DISJ;
+//   * the multi-class predicates that could not be pushed down;
+//   * the WITHIN window and the RETURN projection;
+//   * an optional partition key when equality predicates over one
+//     attribute connect every class (Figure 4's "hash partition on name").
+#ifndef ZSTREAM_PLAN_PATTERN_H_
+#define ZSTREAM_PLAN_PATTERN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/timestamp.h"
+#include "expr/analysis.h"
+#include "expr/expr.h"
+
+namespace zstream {
+
+/// Kleene-closure marker on a class (Section 3.1).
+enum class KleeneKind : char { kNone, kStar, kPlus, kCount };
+
+/// One alternative of a negated disjunction class (`!(B|C)` merges B and
+/// C into a single negation class whose admission test is the OR of the
+/// branch predicate groups).
+struct NegBranch {
+  std::string alias;
+  std::vector<ExprPtr> predicates;
+};
+
+/// \brief One event class (pattern position).
+struct EventClass {
+  std::string alias;
+  SchemaPtr schema;
+  bool negated = false;
+  KleeneKind kleene = KleeneKind::kNone;
+  int kleene_count = 0;  // valid when kleene == kCount
+  /// Single-class predicates evaluated before the event enters its leaf
+  /// buffer ("pushed down to the leaf buffers", Section 4.1).
+  std::vector<ExprPtr> leaf_predicates;
+  /// Non-empty only for a class produced by merging a negated
+  /// disjunction (Section 5.2.1's `A;!(B|C);D`).
+  std::vector<NegBranch> neg_branches;
+
+  bool is_kleene() const { return kleene != KleeneKind::kNone; }
+};
+
+/// Structure-tree operators. Negation and Kleene closure are class
+/// markers, not structure nodes: they modify one position of a sequence.
+enum class PatternOp : char { kClass, kSeq, kConj, kDisj };
+
+struct PatternNode;
+using PatternNodePtr = std::shared_ptr<const PatternNode>;
+
+struct PatternNode {
+  PatternOp op = PatternOp::kClass;
+  int class_idx = -1;                      // kClass only
+  std::vector<PatternNodePtr> children;    // kSeq / kConj / kDisj (n-ary)
+
+  static PatternNodePtr Class(int idx);
+  static PatternNodePtr Make(PatternOp op, std::vector<PatternNodePtr> kids);
+
+  bool is_class() const { return op == PatternOp::kClass; }
+};
+
+/// \brief RETURN-clause item: a bare class (all attributes), an
+/// expression over class attributes, or an aggregate over a Kleene group.
+struct ReturnItem {
+  ExprPtr expr;        // nullptr for a bare class reference
+  int class_idx = -1;  // valid when expr == nullptr
+  std::string label;
+};
+
+/// Hash-partitioning key covering every class (Section 5.2.2, Figure 4).
+struct PartitionSpec {
+  std::string field_name;
+  /// Per-class index of the key attribute in that class's schema.
+  std::vector<int> field_indices;
+};
+
+/// \brief A fully analyzed pattern query.
+class Pattern {
+ public:
+  Pattern() = default;
+
+  std::vector<EventClass> classes;
+  PatternNodePtr root;
+  Duration window = 0;
+  /// Multi-class predicate conjuncts (evaluated at internal nodes).
+  std::vector<ExprPtr> multi_predicates;
+  std::vector<ReturnItem> return_items;
+  std::optional<PartitionSpec> partition;
+
+  int num_classes() const { return static_cast<int>(classes.size()); }
+
+  /// True when the top-level structure is one sequence of plain classes
+  /// (negation/Kleene markers allowed) — the shape the DP planner
+  /// (Algorithm 5) reorders.
+  bool IsSequence() const;
+
+  /// Index of the Kleene class, or -1.
+  int KleeneClass() const;
+
+  /// Indices of negated classes.
+  std::vector<int> NegatedClasses() const;
+
+  /// The classes whose arrival can complete a match (the "final event
+  /// class" of Section 4.3). For a sequence this is the last positive
+  /// class; CONJ/DISJ make every component's final classes triggers.
+  std::vector<int> TriggerClasses() const;
+
+  /// Multi-class conjuncts whose referenced classes are all in `covered`
+  /// but not all in any of the child cover sets — i.e. predicates that
+  /// attach to the node joining those children.
+  std::vector<ExprPtr> PredicatesFor(const std::vector<bool>& covered,
+                                     const std::vector<std::vector<bool>>&
+                                         child_covers) const;
+
+  /// Structural validation (negation placement rules of Section 4.4.2,
+  /// Kleene arity, return-clause sanity).
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+using PatternPtr = std::shared_ptr<const Pattern>;
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_PLAN_PATTERN_H_

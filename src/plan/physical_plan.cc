@@ -1,0 +1,481 @@
+#include "plan/physical_plan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace zstream {
+
+const char* PhysOpName(PhysOp op) {
+  switch (op) {
+    case PhysOp::kLeaf: return "LEAF";
+    case PhysOp::kSeq: return "SEQ";
+    case PhysOp::kNSeq: return "NSEQ";
+    case PhysOp::kConj: return "CONJ";
+    case PhysOp::kDisj: return "DISJ";
+    case PhysOp::kKSeq: return "KSEQ";
+    case PhysOp::kNegFilter: return "NEG";
+  }
+  return "?";
+}
+
+PhysNodePtr PhysNode::Leaf(int class_idx) {
+  auto n = std::make_shared<PhysNode>();
+  n->op = PhysOp::kLeaf;
+  n->class_idx = class_idx;
+  return n;
+}
+
+namespace {
+PhysNodePtr MakeBinary(PhysOp op, PhysNodePtr l, PhysNodePtr r) {
+  auto n = std::make_shared<PhysNode>();
+  n->op = op;
+  n->children = {std::move(l), std::move(r)};
+  return n;
+}
+}  // namespace
+
+PhysNodePtr PhysNode::Seq(PhysNodePtr l, PhysNodePtr r) {
+  return MakeBinary(PhysOp::kSeq, std::move(l), std::move(r));
+}
+PhysNodePtr PhysNode::Conj(PhysNodePtr l, PhysNodePtr r) {
+  return MakeBinary(PhysOp::kConj, std::move(l), std::move(r));
+}
+PhysNodePtr PhysNode::Disj(PhysNodePtr l, PhysNodePtr r) {
+  return MakeBinary(PhysOp::kDisj, std::move(l), std::move(r));
+}
+
+PhysNodePtr PhysNode::NSeq(PhysNodePtr neg, PhysNodePtr other, bool neg_left) {
+  auto n = std::make_shared<PhysNode>();
+  n->op = PhysOp::kNSeq;
+  n->neg_left = neg_left;
+  if (neg_left) {
+    n->children = {std::move(neg), std::move(other)};
+  } else {
+    n->children = {std::move(other), std::move(neg)};
+  }
+  return n;
+}
+
+PhysNodePtr PhysNode::KSeq(PhysNodePtr start, PhysNodePtr closure,
+                           PhysNodePtr end) {
+  auto n = std::make_shared<PhysNode>();
+  n->op = PhysOp::kKSeq;
+  n->children = {std::move(start), std::move(closure), std::move(end)};
+  return n;
+}
+
+PhysNodePtr PhysNode::NegFilter(PhysNodePtr input, int neg_class) {
+  auto n = std::make_shared<PhysNode>();
+  n->op = PhysOp::kNegFilter;
+  n->class_idx = neg_class;
+  n->children = {std::move(input)};
+  return n;
+}
+
+namespace {
+void Collect(const PhysNode* node, std::vector<int>* out) {
+  if (node == nullptr) return;
+  if (node->is_leaf()) {
+    out->push_back(node->class_idx);
+    return;
+  }
+  if (node->op == PhysOp::kNegFilter) out->push_back(node->class_idx);
+  for (const auto& c : node->children) Collect(c.get(), out);
+}
+}  // namespace
+
+std::vector<int> PhysNode::CoveredClasses() const {
+  std::vector<int> out;
+  Collect(this, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Builders
+// ---------------------------------------------------------------------
+
+namespace {
+
+PhysNodePtr BuildNode(const Pattern& p, const PatternNodePtr& node,
+                      bool left_deep);
+
+// Combines the children of a sequence node into a tree, fusing negated
+// classes with their right neighbor (NSEQ) and Kleene classes into a
+// trinary KSEQ with their immediate neighbors.
+PhysNodePtr BuildSeqChain(const Pattern& p,
+                          const std::vector<PatternNodePtr>& kids,
+                          bool left_deep) {
+  const auto is_neg = [&](size_t i) {
+    return kids[i]->is_class() &&
+           p.classes[static_cast<size_t>(kids[i]->class_idx)].negated;
+  };
+  const auto is_kleene = [&](size_t i) {
+    return kids[i]->is_class() &&
+           p.classes[static_cast<size_t>(kids[i]->class_idx)].is_kleene();
+  };
+
+  std::vector<PhysNodePtr> plans(kids.size());
+  for (size_t i = 0; i < kids.size(); ++i) {
+    plans[i] = BuildNode(p, kids[i], left_deep);
+  }
+
+  if (left_deep) {
+    PhysNodePtr acc;
+    size_t i = 0;
+    while (i < kids.size()) {
+      if (is_kleene(i)) {
+        PhysNodePtr end =
+            (i + 1 < kids.size()) ? plans[i + 1] : nullptr;
+        acc = PhysNode::KSeq(acc, plans[i], end);
+        i += 2;
+      } else if (is_neg(i)) {
+        // Validated: a negated class has a right neighbor.
+        PhysNodePtr nseq =
+            PhysNode::NSeq(plans[i], plans[i + 1], /*neg_left=*/true);
+        acc = acc ? PhysNode::Seq(acc, nseq) : nseq;
+        i += 2;
+      } else {
+        acc = acc ? PhysNode::Seq(acc, plans[i]) : plans[i];
+        i += 1;
+      }
+    }
+    return acc;
+  }
+
+  // Right-deep: fold from the back.
+  PhysNodePtr acc;
+  int i = static_cast<int>(kids.size()) - 1;
+  while (i >= 0) {
+    const size_t ui = static_cast<size_t>(i);
+    if (is_kleene(ui)) {
+      PhysNodePtr start = (i > 0) ? plans[ui - 1] : nullptr;
+      acc = PhysNode::KSeq(start, plans[ui], acc);
+      i -= 2;
+    } else if (is_neg(ui)) {
+      acc = PhysNode::NSeq(plans[ui], acc, /*neg_left=*/true);
+      i -= 1;
+    } else {
+      acc = acc ? PhysNode::Seq(plans[ui], acc) : plans[ui];
+      i -= 1;
+    }
+  }
+  return acc;
+}
+
+PhysNodePtr BuildNode(const Pattern& p, const PatternNodePtr& node,
+                      bool left_deep) {
+  switch (node->op) {
+    case PatternOp::kClass:
+      return PhysNode::Leaf(node->class_idx);
+    case PatternOp::kSeq:
+      return BuildSeqChain(p, node->children, left_deep);
+    case PatternOp::kConj:
+    case PatternOp::kDisj: {
+      PhysNodePtr acc;
+      for (const auto& c : node->children) {
+        PhysNodePtr child = BuildNode(p, c, left_deep);
+        if (acc == nullptr) {
+          acc = child;
+        } else {
+          acc = node->op == PatternOp::kConj ? PhysNode::Conj(acc, child)
+                                             : PhysNode::Disj(acc, child);
+        }
+      }
+      return acc;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+PhysicalPlan LeftDeepPlan(const Pattern& pattern) {
+  return PhysicalPlan{BuildNode(pattern, pattern.root, /*left_deep=*/true),
+                      0.0};
+}
+
+PhysicalPlan RightDeepPlan(const Pattern& pattern) {
+  return PhysicalPlan{BuildNode(pattern, pattern.root, /*left_deep=*/false),
+                      0.0};
+}
+
+namespace {
+// Builds the positive-classes-only plan for NegationTopPlan.
+PhysNodePtr BuildPositiveChain(const Pattern& p, bool left_deep) {
+  std::vector<PhysNodePtr> leaves;
+  for (int i = 0; i < p.num_classes(); ++i) {
+    if (!p.classes[static_cast<size_t>(i)].negated) {
+      leaves.push_back(PhysNode::Leaf(i));
+    }
+  }
+  if (leaves.empty()) return nullptr;
+  PhysNodePtr acc;
+  if (left_deep) {
+    for (auto& l : leaves) acc = acc ? PhysNode::Seq(acc, l) : l;
+  } else {
+    for (auto it = leaves.rbegin(); it != leaves.rend(); ++it) {
+      acc = acc ? PhysNode::Seq(*it, acc) : *it;
+    }
+  }
+  return acc;
+}
+}  // namespace
+
+PhysicalPlan NegationTopPlan(const Pattern& pattern, bool left_deep) {
+  PhysNodePtr root = BuildPositiveChain(pattern, left_deep);
+  for (int neg : pattern.NegatedClasses()) {
+    root = PhysNode::NegFilter(root, neg);
+  }
+  return PhysicalPlan{root, 0.0};
+}
+
+// ---------------------------------------------------------------------
+// Shape parsing
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct ShapeParser {
+  const std::string& s;
+  size_t pos = 0;
+  const std::vector<int>& positive;  // ordinal -> class index
+
+  void SkipWs() {
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    }
+  }
+
+  Result<PhysNodePtr> Parse() {
+    SkipWs();
+    if (pos >= s.size()) {
+      return Status::ParseError("unexpected end of shape string");
+    }
+    if (s[pos] == '(') {
+      ++pos;
+      ZS_ASSIGN_OR_RETURN(PhysNodePtr left, Parse());
+      ZS_ASSIGN_OR_RETURN(PhysNodePtr right, Parse());
+      SkipWs();
+      if (pos >= s.size() || s[pos] != ')') {
+        return Status::ParseError("expected ')' in shape string");
+      }
+      ++pos;
+      return PhysNode::Seq(std::move(left), std::move(right));
+    }
+    if (std::isdigit(static_cast<unsigned char>(s[pos]))) {
+      size_t end = pos;
+      while (end < s.size() &&
+             std::isdigit(static_cast<unsigned char>(s[end]))) {
+        ++end;
+      }
+      const int ordinal = std::stoi(s.substr(pos, end - pos));
+      pos = end;
+      if (ordinal < 0 || ordinal >= static_cast<int>(positive.size())) {
+        return Status::InvalidArgument("shape ordinal out of range: " +
+                                       std::to_string(ordinal));
+      }
+      return PhysNode::Leaf(positive[static_cast<size_t>(ordinal)]);
+    }
+    return Status::ParseError(std::string("unexpected character '") +
+                              s[pos] + "' in shape string");
+  }
+};
+
+// Replaces Leaf(target) with `replacement` (used to fuse NSEQ back into a
+// forced shape).
+PhysNodePtr ReplaceLeaf(const PhysNodePtr& node, int target,
+                        const PhysNodePtr& replacement) {
+  if (node == nullptr) return nullptr;
+  if (node->is_leaf()) {
+    return node->class_idx == target ? replacement : node;
+  }
+  auto n = std::make_shared<PhysNode>(*node);
+  for (auto& c : n->children) {
+    c = ReplaceLeaf(c, target, replacement);
+  }
+  return n;
+}
+
+}  // namespace
+
+Result<PhysicalPlan> PlanFromShape(const Pattern& pattern,
+                                   const std::string& shape) {
+  if (pattern.KleeneClass() >= 0) {
+    return Status::NotSupported(
+        "PlanFromShape does not support Kleene patterns");
+  }
+  std::vector<int> positive;
+  for (int i = 0; i < pattern.num_classes(); ++i) {
+    if (!pattern.classes[static_cast<size_t>(i)].negated) positive.push_back(i);
+  }
+  ShapeParser parser{shape, 0, positive};
+  ZS_ASSIGN_OR_RETURN(PhysNodePtr root, parser.Parse());
+  parser.SkipWs();
+  if (parser.pos != shape.size()) {
+    return Status::ParseError("trailing characters in shape string");
+  }
+  // Fuse negated classes next to their right neighbor.
+  for (int neg : pattern.NegatedClasses()) {
+    const int neighbor = neg + 1;
+    PhysNodePtr nseq = PhysNode::NSeq(PhysNode::Leaf(neg),
+                                      PhysNode::Leaf(neighbor),
+                                      /*neg_left=*/true);
+    root = ReplaceLeaf(root, neighbor, nseq);
+  }
+  PhysicalPlan plan{std::move(root), 0.0};
+  ZS_RETURN_IF_ERROR(ValidatePlan(pattern, plan));
+  return plan;
+}
+
+// ---------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------
+
+namespace {
+Status ValidateNode(const Pattern& p, const PhysNode* node) {
+  if (node == nullptr) return Status::OK();
+  switch (node->op) {
+    case PhysOp::kLeaf:
+      return Status::OK();
+    case PhysOp::kSeq: {
+      const auto l = node->children[0]->CoveredClasses();
+      const auto r = node->children[1]->CoveredClasses();
+      if (p.IsSequence() && (l.empty() || r.empty() || l.back() >= r.front())) {
+        return Status::SemanticError(
+            "SEQ operands must be temporally ordered and disjoint");
+      }
+      ZS_RETURN_IF_ERROR(ValidateNode(p, node->children[0].get()));
+      return ValidateNode(p, node->children[1].get());
+    }
+    case PhysOp::kNSeq: {
+      const PhysNode* neg_child =
+          node->neg_left ? node->children[0].get() : node->children[1].get();
+      if (!neg_child->is_leaf() ||
+          !p.classes[static_cast<size_t>(neg_child->class_idx)].negated) {
+        return Status::SemanticError(
+            "NSEQ's negated operand must be a negated class leaf");
+      }
+      ZS_RETURN_IF_ERROR(ValidateNode(p, node->children[0].get()));
+      return ValidateNode(p, node->children[1].get());
+    }
+    case PhysOp::kConj:
+    case PhysOp::kDisj:
+      ZS_RETURN_IF_ERROR(ValidateNode(p, node->children[0].get()));
+      return ValidateNode(p, node->children[1].get());
+    case PhysOp::kKSeq: {
+      const PhysNode* mid = node->children[1].get();
+      if (mid == nullptr || !mid->is_leaf() ||
+          !p.classes[static_cast<size_t>(mid->class_idx)].is_kleene()) {
+        return Status::SemanticError(
+            "KSEQ's middle operand must be the Kleene class leaf");
+      }
+      ZS_RETURN_IF_ERROR(ValidateNode(p, node->children[0].get()));
+      return ValidateNode(p, node->children[2].get());
+    }
+    case PhysOp::kNegFilter: {
+      if (!p.classes[static_cast<size_t>(node->class_idx)].negated) {
+        return Status::SemanticError("NEG filter must name a negated class");
+      }
+      return ValidateNode(p, node->children[0].get());
+    }
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status ValidatePlan(const Pattern& pattern, const PhysicalPlan& plan) {
+  if (plan.root == nullptr) return Status::SemanticError("empty plan");
+  const std::vector<int> covered = plan.root->CoveredClasses();
+  if (static_cast<int>(covered.size()) != pattern.num_classes()) {
+    return Status::SemanticError("plan does not cover every class exactly once");
+  }
+  for (int i = 0; i < pattern.num_classes(); ++i) {
+    if (covered[static_cast<size_t>(i)] != i) {
+      return Status::SemanticError(
+          "plan does not cover every class exactly once");
+    }
+  }
+  return ValidateNode(pattern, plan.root.get());
+}
+
+// ---------------------------------------------------------------------
+// Explain
+// ---------------------------------------------------------------------
+
+namespace {
+void ExplainNode(const Pattern& p, const PhysNode* node,
+                 std::ostringstream* os) {
+  if (node == nullptr) {
+    *os << "_";
+    return;
+  }
+  switch (node->op) {
+    case PhysOp::kLeaf:
+      *os << p.classes[static_cast<size_t>(node->class_idx)].alias;
+      break;
+    case PhysOp::kSeq:
+    case PhysOp::kConj:
+    case PhysOp::kDisj: {
+      const char* sep = node->op == PhysOp::kSeq
+                            ? " ; "
+                            : (node->op == PhysOp::kConj ? " & " : " | ");
+      *os << "[";
+      ExplainNode(p, node->children[0].get(), os);
+      *os << sep;
+      ExplainNode(p, node->children[1].get(), os);
+      *os << "]";
+      break;
+    }
+    case PhysOp::kNSeq: {
+      *os << "NSEQ(";
+      const PhysNode* neg =
+          node->neg_left ? node->children[0].get() : node->children[1].get();
+      const PhysNode* other =
+          node->neg_left ? node->children[1].get() : node->children[0].get();
+      if (node->neg_left) {
+        *os << "!";
+        ExplainNode(p, neg, os);
+        *os << ", ";
+        ExplainNode(p, other, os);
+      } else {
+        ExplainNode(p, other, os);
+        *os << ", !";
+        ExplainNode(p, neg, os);
+      }
+      *os << ")";
+      break;
+    }
+    case PhysOp::kKSeq: {
+      *os << "KSEQ(";
+      ExplainNode(p, node->children[0].get(), os);
+      *os << ", ";
+      ExplainNode(p, node->children[1].get(), os);
+      const EventClass& k =
+          p.classes[static_cast<size_t>(node->children[1]->class_idx)];
+      if (k.kleene == KleeneKind::kStar) *os << "*";
+      if (k.kleene == KleeneKind::kPlus) *os << "+";
+      if (k.kleene == KleeneKind::kCount) *os << "^" << k.kleene_count;
+      *os << ", ";
+      ExplainNode(p, node->children[2].get(), os);
+      *os << ")";
+      break;
+    }
+    case PhysOp::kNegFilter:
+      *os << "NEG(";
+      ExplainNode(p, node->children[0].get(), os);
+      *os << ", !" << p.classes[static_cast<size_t>(node->class_idx)].alias
+          << ")";
+      break;
+  }
+}
+}  // namespace
+
+std::string PhysicalPlan::Explain(const Pattern& pattern) const {
+  std::ostringstream os;
+  ExplainNode(pattern, root.get(), &os);
+  return os.str();
+}
+
+}  // namespace zstream

@@ -1,0 +1,101 @@
+// Physical tree plans.
+//
+// A physical plan fixes the *shape* of the operator tree: which classes
+// (or sub-plans) each join-like operator combines, and how negation is
+// evaluated (pushed-down NSEQ vs a NEG filter on top, Section 4.4.2).
+// Predicate attachment, hash-index selection and buffer wiring happen
+// when the engine instantiates the plan.
+#ifndef ZSTREAM_PLAN_PHYSICAL_PLAN_H_
+#define ZSTREAM_PLAN_PHYSICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/pattern.h"
+
+namespace zstream {
+
+enum class PhysOp : char {
+  kLeaf,       // reads one event class's buffer
+  kSeq,        // Algorithm 1
+  kNSeq,       // Algorithm 2 (negation pushed down)
+  kConj,       // Algorithm 3
+  kDisj,       // Section 4.4.4
+  kKSeq,       // Algorithm 4 (trinary)
+  kNegFilter,  // negation as a final filtration step
+};
+
+const char* PhysOpName(PhysOp op);
+
+struct PhysNode;
+using PhysNodePtr = std::shared_ptr<const PhysNode>;
+
+/// \brief Immutable physical-plan node (shapes are shared freely by the
+/// planner during enumeration).
+struct PhysNode {
+  PhysOp op = PhysOp::kLeaf;
+  int class_idx = -1;  // kLeaf: class read. kNegFilter: negated class.
+  /// kSeq/kConj/kDisj: {left, right}.
+  /// kNSeq: {negated leaf, other side} when neg_left, else mirrored.
+  /// kKSeq: {start (nullable), closure leaf, end (nullable)}.
+  /// kNegFilter: {input}.
+  std::vector<PhysNodePtr> children;
+  bool neg_left = true;  // kNSeq: which child is the negated class
+
+  static PhysNodePtr Leaf(int class_idx);
+  static PhysNodePtr Seq(PhysNodePtr left, PhysNodePtr right);
+  static PhysNodePtr Conj(PhysNodePtr left, PhysNodePtr right);
+  static PhysNodePtr Disj(PhysNodePtr left, PhysNodePtr right);
+  static PhysNodePtr NSeq(PhysNodePtr neg, PhysNodePtr other, bool neg_left);
+  static PhysNodePtr KSeq(PhysNodePtr start, PhysNodePtr closure,
+                          PhysNodePtr end);
+  static PhysNodePtr NegFilter(PhysNodePtr input, int neg_class);
+
+  bool is_leaf() const { return op == PhysOp::kLeaf; }
+
+  /// Class indices covered by this subtree (sorted).
+  std::vector<int> CoveredClasses() const;
+};
+
+/// \brief A physical plan plus its cost estimate (filled by opt/).
+struct PhysicalPlan {
+  PhysNodePtr root;
+  double estimated_cost = 0.0;
+
+  /// Renders the shape with the pattern's aliases,
+  /// e.g. "[[IBM ; Sun] ; Oracle]".
+  std::string Explain(const Pattern& pattern) const;
+};
+
+// ---------------------------------------------------------------------
+// Shape builders. All of them handle negation (pushed down by default)
+// and one Kleene class; CONJ/DISJ sub-structures are built structurally.
+// ---------------------------------------------------------------------
+
+/// Left-deep plan: [[[c0 ; c1] ; c2] ; c3] (Figure 3).
+PhysicalPlan LeftDeepPlan(const Pattern& pattern);
+
+/// Right-deep plan: [c0 ; [c1 ; [c2 ; c3]]].
+PhysicalPlan RightDeepPlan(const Pattern& pattern);
+
+/// Negation handled by a NEG filter on top of the positive-class plan
+/// (the "last-filter-step solution" the paper compares against).
+PhysicalPlan NegationTopPlan(const Pattern& pattern, bool left_deep = false);
+
+/// Builds a plan from an s-expression over positive-class ordinals, e.g.
+/// "((0 1) (2 3))" for the bushy plan and "(0 ((1 2) 3))" for the inner
+/// plan of Query 6. Ordinals refer to the pattern's positive classes in
+/// order; negated classes are fused back in via NSEQ next to their right
+/// neighbor.
+Result<PhysicalPlan> PlanFromShape(const Pattern& pattern,
+                                   const std::string& shape);
+
+/// Checks that `plan` is a valid evaluation order for `pattern`:
+/// every class exactly once, sequence operands temporally contiguous and
+/// ordered, NSEQ adjacency, KSEQ arity.
+Status ValidatePlan(const Pattern& pattern, const PhysicalPlan& plan);
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_PLAN_PHYSICAL_PLAN_H_

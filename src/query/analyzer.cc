@@ -1,0 +1,391 @@
+#include "query/analyzer.h"
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "expr/analysis.h"
+#include "query/parser.h"
+#include "query/rewrite.h"
+
+namespace zstream {
+
+namespace {
+
+struct AliasInfo {
+  int class_idx = -1;
+  int branch_idx = -1;  // >= 0 when the alias is a branch of a merged class
+};
+
+class AnalyzerImpl {
+ public:
+  AnalyzerImpl(SchemaPtr schema, const AnalyzerOptions& options)
+      : schema_(std::move(schema)), options_(options) {}
+
+  Result<PatternPtr> Run(const ParsedQuery& query) {
+    ParseNodePtr ast = query.pattern;
+    if (ast == nullptr) return Status::SemanticError("empty pattern");
+    if (options_.apply_rewrites) {
+      ast = RewritePattern(ast).node;
+    }
+    auto pattern = std::make_shared<Pattern>();
+    pattern_ = pattern.get();
+    pattern_->window = query.window;
+
+    ZS_ASSIGN_OR_RETURN(pattern_->root, BuildNode(ast, /*negated=*/false));
+
+    if (query.where != nullptr) {
+      ZS_RETURN_IF_ERROR(ResolveWhere(query.where));
+    }
+    if (options_.detect_partition) {
+      DetectPartition();
+    }
+    ZS_RETURN_IF_ERROR(ResolveReturn(query.return_items));
+    ZS_RETURN_IF_ERROR(pattern->Validate());
+    return PatternPtr(pattern);
+  }
+
+ private:
+  Result<int> AddClass(const std::string& alias, bool negated) {
+    if (aliases_.count(alias) > 0) {
+      return Status::SemanticError("duplicate event class alias '" + alias +
+                                   "'");
+    }
+    const int idx = pattern_->num_classes();
+    EventClass ec;
+    ec.alias = alias;
+    ec.schema = schema_;
+    ec.negated = negated;
+    pattern_->classes.push_back(std::move(ec));
+    aliases_[alias] = AliasInfo{idx, -1};
+    return idx;
+  }
+
+  Result<PatternNodePtr> BuildNode(const ParseNodePtr& node, bool negated) {
+    switch (node->op) {
+      case ParseOp::kClass: {
+        ZS_ASSIGN_OR_RETURN(const int idx, AddClass(node->alias, negated));
+        return PatternNode::Class(idx);
+      }
+      case ParseOp::kNeg: {
+        if (negated) {
+          // Double negation is removed by the rewriter; reaching this
+          // means rewrites were disabled.
+          return Status::NotSupported(
+              "nested negation requires rewrites enabled");
+        }
+        const ParseNodePtr& child = node->children[0];
+        if (child->is_class()) {
+          return BuildNode(child, /*negated=*/true);
+        }
+        if (child->op == ParseOp::kDisj) {
+          return MergeNegatedDisjunction(child);
+        }
+        return Status::NotSupported(
+            "negation of composite sub-pattern '" + child->ToString() +
+            "' is not supported (only !Class and !(B|C|...))");
+      }
+      case ParseOp::kKleene: {
+        const ParseNodePtr& child = node->children[0];
+        if (!child->is_class()) {
+          return Status::NotSupported(
+              "Kleene closure over composite sub-patterns is not supported");
+        }
+        ZS_ASSIGN_OR_RETURN(const int idx,
+                            AddClass(child->alias, /*negated=*/false));
+        EventClass& ec = pattern_->classes[static_cast<size_t>(idx)];
+        ec.kleene = node->kleene;
+        ec.kleene_count = node->kleene_count;
+        return PatternNode::Class(idx);
+      }
+      case ParseOp::kSeq:
+      case ParseOp::kConj:
+      case ParseOp::kDisj: {
+        std::vector<PatternNodePtr> kids;
+        kids.reserve(node->children.size());
+        for (const auto& c : node->children) {
+          ZS_ASSIGN_OR_RETURN(PatternNodePtr k, BuildNode(c, false));
+          kids.push_back(std::move(k));
+        }
+        const PatternOp op = node->op == ParseOp::kSeq
+                                 ? PatternOp::kSeq
+                                 : (node->op == ParseOp::kConj
+                                        ? PatternOp::kConj
+                                        : PatternOp::kDisj);
+        return PatternNode::Make(op, std::move(kids));
+      }
+    }
+    return Status::Internal("unreachable pattern node kind");
+  }
+
+  // `!(B|C)`: one merged negated class; B and C become admission
+  // branches whose single-class predicates OR together.
+  Result<PatternNodePtr> MergeNegatedDisjunction(const ParseNodePtr& disj) {
+    std::vector<std::string> branch_aliases;
+    for (const auto& c : disj->children) {
+      if (!c->is_class()) {
+        return Status::NotSupported(
+            "negated disjunction must contain only plain classes");
+      }
+      branch_aliases.push_back(c->alias);
+    }
+    const std::string merged_alias = "!(" + Join(branch_aliases, "|") + ")";
+    const int idx = pattern_->num_classes();
+    EventClass ec;
+    ec.alias = merged_alias;
+    ec.schema = schema_;
+    ec.negated = true;
+    for (const std::string& a : branch_aliases) {
+      if (aliases_.count(a) > 0) {
+        return Status::SemanticError("duplicate event class alias '" + a + "'");
+      }
+      aliases_[a] =
+          AliasInfo{idx, static_cast<int>(ec.neg_branches.size())};
+      ec.neg_branches.push_back(NegBranch{a, {}});
+    }
+    pattern_->classes.push_back(std::move(ec));
+    return PatternNode::Class(idx);
+  }
+
+  Result<ExprPtr> Resolve(const UExprPtr& u) {
+    switch (u->kind) {
+      case UExprKind::kLiteral:
+        return Expr::Literal(u->literal);
+      case UExprKind::kAttr: {
+        auto it = aliases_.find(u->alias);
+        if (it == aliases_.end()) {
+          return Status::SemanticError("unknown event class '" + u->alias +
+                                       "'");
+        }
+        if (u->field.empty()) {
+          return Status::SemanticError(
+              "bare class reference '" + u->alias +
+              "' is only allowed in RETURN");
+        }
+        const int cls = it->second.class_idx;
+        const int fidx = schema_->FieldIndex(u->field);
+        if (fidx >= 0) {
+          return Expr::AttrRef(cls, fidx, u->alias, u->field);
+        }
+        if (EqualsIgnoreCase(u->field, "ts")) {
+          return Expr::TimeRef(cls, u->alias);
+        }
+        return Status::SemanticError("unknown attribute '" + u->field +
+                                     "' (schema: " + schema_->ToString() +
+                                     ")");
+      }
+      case UExprKind::kUnary: {
+        ZS_ASSIGN_OR_RETURN(ExprPtr operand, Resolve(u->left));
+        return Expr::Unary(u->un_op, std::move(operand));
+      }
+      case UExprKind::kBinary: {
+        ZS_ASSIGN_OR_RETURN(ExprPtr l, Resolve(u->left));
+        ZS_ASSIGN_OR_RETURN(ExprPtr r, Resolve(u->right));
+        return Expr::Binary(u->bin_op, std::move(l), std::move(r));
+      }
+      case UExprKind::kAgg: {
+        ZS_ASSIGN_OR_RETURN(AggFn fn, AggFnFromName(u->agg_name));
+        auto it = aliases_.find(u->alias);
+        if (it == aliases_.end()) {
+          return Status::SemanticError("unknown event class '" + u->alias +
+                                       "' in aggregate");
+        }
+        const int cls = it->second.class_idx;
+        if (!pattern_->classes[static_cast<size_t>(cls)].is_kleene()) {
+          return Status::SemanticError(
+              "aggregate over non-Kleene class '" + u->alias + "'");
+        }
+        int fidx = -1;
+        if (!u->field.empty()) {
+          ZS_ASSIGN_OR_RETURN(fidx, schema_->RequireField(u->field));
+        } else if (fn != AggFn::kCount) {
+          return Status::SemanticError("aggregate '" + u->agg_name +
+                                       "' requires an attribute");
+        }
+        return Expr::Aggregate(fn, cls, fidx, u->alias, u->field);
+      }
+    }
+    return Status::Internal("unreachable expression kind");
+  }
+
+  // Returns the branch index when the conjunct references exactly one
+  // branch alias (and nothing else), -1 when it references none;
+  // errors when branch aliases mix with other classes.
+  Result<int> BranchUse(const UExprPtr& u, int* owner_class) {
+    int branch = -1;
+    bool mixed = false;
+    bool non_branch = false;
+    std::function<void(const UExprPtr&)> walk = [&](const UExprPtr& e) {
+      if (e == nullptr) return;
+      if (e->kind == UExprKind::kAttr || e->kind == UExprKind::kAgg) {
+        auto it = aliases_.find(e->alias);
+        if (it == aliases_.end()) return;  // Resolve() will report it
+        if (it->second.branch_idx >= 0) {
+          if (branch >= 0 && branch != it->second.branch_idx) mixed = true;
+          branch = it->second.branch_idx;
+          *owner_class = it->second.class_idx;
+        } else {
+          non_branch = true;
+        }
+      }
+      walk(e->left);
+      walk(e->right);
+    };
+    walk(u);
+    if (branch >= 0 && (mixed || non_branch)) {
+      return Status::NotSupported(
+          "predicates on a negated disjunction branch may reference only "
+          "that branch");
+    }
+    return branch;
+  }
+
+  Status ResolveWhere(const UExprPtr& where) {
+    // Split on top-level AND at the unresolved level so branch
+    // classification can use alias names.
+    std::vector<UExprPtr> conjuncts;
+    std::function<void(const UExprPtr&)> split = [&](const UExprPtr& e) {
+      if (e->kind == UExprKind::kBinary && e->bin_op == BinaryOp::kAnd) {
+        split(e->left);
+        split(e->right);
+      } else {
+        conjuncts.push_back(e);
+      }
+    };
+    split(where);
+
+    for (const UExprPtr& u : conjuncts) {
+      int owner_class = -1;
+      ZS_ASSIGN_OR_RETURN(const int branch, BranchUse(u, &owner_class));
+      ZS_ASSIGN_OR_RETURN(ExprPtr e, Resolve(u));
+      if (branch >= 0) {
+        pattern_->classes[static_cast<size_t>(owner_class)]
+            .neg_branches[static_cast<size_t>(branch)]
+            .predicates.push_back(std::move(e));
+        continue;
+      }
+      const std::set<int> classes = ReferencedClasses(e);
+      if (classes.empty()) {
+        return Status::SemanticError("predicate references no event class: " +
+                                     e->ToString());
+      }
+      // Aggregates evaluate over assembled Kleene groups, so they can
+      // never be pushed to a leaf buffer even when single-class.
+      if (classes.size() == 1 && !ContainsAggregate(e)) {
+        pattern_->classes[static_cast<size_t>(*classes.begin())]
+            .leaf_predicates.push_back(std::move(e));
+      } else {
+        pattern_->multi_predicates.push_back(std::move(e));
+      }
+    }
+    return Status::OK();
+  }
+
+  // Union-find partition detection over same-field equality predicates.
+  void DetectPartition() {
+    const int n = pattern_->num_classes();
+    if (n < 2) return;
+    std::map<std::string, std::vector<size_t>> by_field;  // pred indices
+    for (size_t i = 0; i < pattern_->multi_predicates.size(); ++i) {
+      auto eq = AsEqualityJoin(pattern_->multi_predicates[i]);
+      if (!eq.has_value()) continue;
+      if (eq->left_field != eq->right_field) continue;
+      by_field[schema_->field(eq->left_field).name].push_back(i);
+    }
+    for (auto& [field_name, preds] : by_field) {
+      std::vector<int> parent(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) parent[static_cast<size_t>(i)] = i;
+      std::function<int(int)> find = [&](int x) {
+        while (parent[static_cast<size_t>(x)] != x) {
+          x = parent[static_cast<size_t>(x)] =
+              parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+        }
+        return x;
+      };
+      for (size_t pi : preds) {
+        auto eq = AsEqualityJoin(pattern_->multi_predicates[pi]);
+        parent[static_cast<size_t>(find(eq->left_class))] =
+            find(eq->right_class);
+      }
+      const int root = find(0);
+      bool all = true;
+      for (int i = 1; i < n; ++i) {
+        if (find(i) != root) {
+          all = false;
+          break;
+        }
+      }
+      if (!all) continue;
+      // Found a full-coverage key: install the partition spec and drop
+      // the now-implicit equality predicates.
+      PartitionSpec spec;
+      spec.field_name = field_name;
+      const int fidx = schema_->FieldIndex(field_name);
+      spec.field_indices.assign(static_cast<size_t>(n), fidx);
+      pattern_->partition = std::move(spec);
+      std::vector<ExprPtr> remaining;
+      for (size_t i = 0; i < pattern_->multi_predicates.size(); ++i) {
+        bool drop = false;
+        for (size_t pi : preds) {
+          if (pi == i) {
+            drop = true;
+            break;
+          }
+        }
+        if (!drop) remaining.push_back(pattern_->multi_predicates[i]);
+      }
+      pattern_->multi_predicates = std::move(remaining);
+      return;
+    }
+  }
+
+  Status ResolveReturn(const std::vector<UExprPtr>& items) {
+    if (items.empty()) {
+      // Default: every positive class.
+      for (int i = 0; i < pattern_->num_classes(); ++i) {
+        const EventClass& ec = pattern_->classes[static_cast<size_t>(i)];
+        if (!ec.negated) {
+          pattern_->return_items.push_back(ReturnItem{nullptr, i, ec.alias});
+        }
+      }
+      return Status::OK();
+    }
+    for (const UExprPtr& u : items) {
+      if (u->kind == UExprKind::kAttr && u->field.empty()) {
+        auto it = aliases_.find(u->alias);
+        if (it == aliases_.end()) {
+          return Status::SemanticError("unknown event class '" + u->alias +
+                                       "' in RETURN");
+        }
+        pattern_->return_items.push_back(
+            ReturnItem{nullptr, it->second.class_idx, u->alias});
+        continue;
+      }
+      ZS_ASSIGN_OR_RETURN(ExprPtr e, Resolve(u));
+      pattern_->return_items.push_back(ReturnItem{e, -1, e->ToString()});
+    }
+    return Status::OK();
+  }
+
+  SchemaPtr schema_;
+  AnalyzerOptions options_;
+  Pattern* pattern_ = nullptr;
+  std::unordered_map<std::string, AliasInfo> aliases_;
+};
+
+}  // namespace
+
+Result<PatternPtr> Analyze(const ParsedQuery& query, SchemaPtr schema,
+                           const AnalyzerOptions& options) {
+  AnalyzerImpl impl(std::move(schema), options);
+  return impl.Run(query);
+}
+
+Result<PatternPtr> AnalyzeQuery(const std::string& text, SchemaPtr schema,
+                                const AnalyzerOptions& options) {
+  ZS_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(text));
+  return Analyze(parsed, std::move(schema), options);
+}
+
+}  // namespace zstream

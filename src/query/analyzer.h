@@ -1,0 +1,38 @@
+// Semantic analysis: parsed query -> logical Pattern.
+//
+// Responsibilities (Sections 4.1 and 5.2):
+//   * apply the rule-based rewrites;
+//   * assign class indices in temporal (pattern) order and fold
+//     negation / Kleene wrappers into class markers;
+//   * resolve WHERE into typed expressions, split conjuncts and classify
+//     them: single-class predicates push down to leaf buffers,
+//     multi-class predicates attach to internal nodes;
+//   * detect a full-coverage equality partition key (Figure 4);
+//   * resolve the RETURN projection.
+#ifndef ZSTREAM_QUERY_ANALYZER_H_
+#define ZSTREAM_QUERY_ANALYZER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "plan/pattern.h"
+#include "query/ast.h"
+
+namespace zstream {
+
+struct AnalyzerOptions {
+  bool apply_rewrites = true;
+  bool detect_partition = true;
+};
+
+/// Analyzes an already-parsed query against the input stream's schema.
+Result<PatternPtr> Analyze(const ParsedQuery& query, SchemaPtr schema,
+                           const AnalyzerOptions& options = {});
+
+/// Parses and analyzes in one step.
+Result<PatternPtr> AnalyzeQuery(const std::string& text, SchemaPtr schema,
+                                const AnalyzerOptions& options = {});
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_QUERY_ANALYZER_H_

@@ -1,0 +1,88 @@
+// Parse-level AST: the direct output of the parser, before name
+// resolution. Pattern operators are structural (negation and Kleene
+// closure are wrapper nodes here; the analyzer folds them into class
+// markers), and WHERE/RETURN expressions reference aliases by name.
+#ifndef ZSTREAM_QUERY_AST_H_
+#define ZSTREAM_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timestamp.h"
+#include "common/value.h"
+#include "expr/expr.h"
+#include "plan/pattern.h"
+
+namespace zstream {
+
+// ---------------------------------------------------------------------
+// Pattern AST
+// ---------------------------------------------------------------------
+
+enum class ParseOp : char { kClass, kSeq, kConj, kDisj, kNeg, kKleene };
+
+struct ParseNode;
+using ParseNodePtr = std::shared_ptr<const ParseNode>;
+
+struct ParseNode {
+  ParseOp op = ParseOp::kClass;
+  std::string alias;                     // kClass
+  std::vector<ParseNodePtr> children;    // operators; kNeg/kKleene: 1 child
+  KleeneKind kleene = KleeneKind::kNone;  // kKleene
+  int kleene_count = 0;
+
+  static ParseNodePtr Class(std::string alias);
+  static ParseNodePtr Make(ParseOp op, std::vector<ParseNodePtr> kids);
+  static ParseNodePtr Neg(ParseNodePtr child);
+  static ParseNodePtr Kleene(ParseNodePtr child, KleeneKind kind, int count);
+
+  bool is_class() const { return op == ParseOp::kClass; }
+
+  /// Total operator count (classes excluded) — the rewriter's "number of
+  /// operators" metric from Section 5.2.1.
+  int OperatorCount() const;
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------
+// Unresolved expressions (WHERE / RETURN)
+// ---------------------------------------------------------------------
+
+enum class UExprKind : char { kLiteral, kAttr, kUnary, kBinary, kAgg };
+
+struct UExpr;
+using UExprPtr = std::shared_ptr<const UExpr>;
+
+struct UExpr {
+  UExprKind kind = UExprKind::kLiteral;
+  Value literal;
+  std::string alias;   // kAttr / kAgg
+  std::string field;   // kAttr / kAgg ("" for a bare alias reference)
+  UnaryOp un_op = UnaryOp::kNot;
+  BinaryOp bin_op = BinaryOp::kEq;
+  std::string agg_name;  // kAgg
+  UExprPtr left, right;
+
+  static UExprPtr Lit(Value v);
+  static UExprPtr Attr(std::string alias, std::string field);
+  static UExprPtr Unary(UnaryOp op, UExprPtr operand);
+  static UExprPtr Binary(BinaryOp op, UExprPtr l, UExprPtr r);
+  static UExprPtr Agg(std::string fn, std::string alias, std::string field);
+};
+
+// ---------------------------------------------------------------------
+// Parsed query
+// ---------------------------------------------------------------------
+
+struct ParsedQuery {
+  ParseNodePtr pattern;
+  UExprPtr where;       // nullptr when absent
+  Duration window = 0;  // WITHIN, in internal time units
+  std::vector<UExprPtr> return_items;  // empty => return all classes
+};
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_QUERY_AST_H_

@@ -1,0 +1,125 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace zstream {
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kIdent && EqualsIgnoreCase(text, kw);
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                       text[j] == '_')) {
+        ++j;
+      }
+      tok.type = TokenType::kIdent;
+      tok.text = text.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+      if (j < n && text[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(text[j + 1]))) {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+      }
+      const std::string num = text.substr(i, j - i);
+      if (j < n && text[j] == '%') {
+        tok.type = TokenType::kPercent;
+        tok.number = std::stod(num) / 100.0;
+        ++j;
+      } else {
+        tok.type = is_float ? TokenType::kFloat : TokenType::kInt;
+        tok.number = std::stod(num);
+      }
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string s;
+      while (j < n && text[j] != '\'') s += text[j++];
+      if (j >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(i));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(s);
+      i = j + 1;
+    } else {
+      switch (c) {
+        case ';': tok.type = TokenType::kSemicolon; ++i; break;
+        case '&': tok.type = TokenType::kAmp; ++i; break;
+        case '|': tok.type = TokenType::kPipe; ++i; break;
+        case '(': tok.type = TokenType::kLParen; ++i; break;
+        case ')': tok.type = TokenType::kRParen; ++i; break;
+        case ',': tok.type = TokenType::kComma; ++i; break;
+        case '.': tok.type = TokenType::kDot; ++i; break;
+        case '*': tok.type = TokenType::kStar; ++i; break;
+        case '+': tok.type = TokenType::kPlus; ++i; break;
+        case '-': tok.type = TokenType::kMinus; ++i; break;
+        case '/': tok.type = TokenType::kSlash; ++i; break;
+        case '%': tok.type = TokenType::kPercentOp; ++i; break;
+        case '^': tok.type = TokenType::kCaret; ++i; break;
+        case '=': tok.type = TokenType::kEq; ++i; break;
+        case '!':
+          if (i + 1 < n && text[i + 1] == '=') {
+            tok.type = TokenType::kNe;
+            i += 2;
+          } else {
+            tok.type = TokenType::kBang;
+            ++i;
+          }
+          break;
+        case '<':
+          if (i + 1 < n && text[i + 1] == '=') {
+            tok.type = TokenType::kLe;
+            i += 2;
+          } else if (i + 1 < n && text[i + 1] == '>') {
+            tok.type = TokenType::kNe;
+            i += 2;
+          } else {
+            tok.type = TokenType::kLt;
+            ++i;
+          }
+          break;
+        case '>':
+          if (i + 1 < n && text[i + 1] == '=') {
+            tok.type = TokenType::kGe;
+            i += 2;
+          } else {
+            tok.type = TokenType::kGt;
+            ++i;
+          }
+          break;
+        default:
+          return Status::ParseError(std::string("unexpected character '") + c +
+                                    "' at offset " + std::to_string(i));
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace zstream

@@ -1,0 +1,43 @@
+// Tokenizer for the ZStream query language (Section 3).
+#ifndef ZSTREAM_QUERY_LEXER_H_
+#define ZSTREAM_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace zstream {
+
+enum class TokenType : char {
+  kIdent,      // IBM, T1, price
+  kInt,        // 200
+  kFloat,      // 1.5
+  kPercent,    // 20%  (value stored as fraction, 0.20)
+  kString,     // 'Google'
+  kSemicolon,  // ;
+  kAmp,        // &
+  kPipe,       // |
+  kBang,       // !
+  kLParen, kRParen, kComma, kDot,
+  kStar, kPlus, kMinus, kSlash, kPercentOp, kCaret,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // identifier / string contents
+  double number = 0.0;  // kInt / kFloat / kPercent
+  size_t offset = 0;    // byte offset in the query text (for errors)
+
+  bool IsKeyword(const char* kw) const;
+};
+
+/// Tokenizes `text`; the final token is always kEnd.
+Result<std::vector<Token>> Tokenize(const std::string& text);
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_QUERY_LEXER_H_

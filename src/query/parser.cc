@@ -1,0 +1,524 @@
+#include "query/parser.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "query/lexer.h"
+
+namespace zstream {
+
+// ---------------------------------------------------------------------
+// ParseNode / UExpr constructors
+// ---------------------------------------------------------------------
+
+ParseNodePtr ParseNode::Class(std::string alias) {
+  auto n = std::make_shared<ParseNode>();
+  n->op = ParseOp::kClass;
+  n->alias = std::move(alias);
+  return n;
+}
+
+ParseNodePtr ParseNode::Make(ParseOp op, std::vector<ParseNodePtr> kids) {
+  auto n = std::make_shared<ParseNode>();
+  n->op = op;
+  n->children = std::move(kids);
+  return n;
+}
+
+ParseNodePtr ParseNode::Neg(ParseNodePtr child) {
+  auto n = std::make_shared<ParseNode>();
+  n->op = ParseOp::kNeg;
+  n->children = {std::move(child)};
+  return n;
+}
+
+ParseNodePtr ParseNode::Kleene(ParseNodePtr child, KleeneKind kind,
+                               int count) {
+  auto n = std::make_shared<ParseNode>();
+  n->op = ParseOp::kKleene;
+  n->children = {std::move(child)};
+  n->kleene = kind;
+  n->kleene_count = count;
+  return n;
+}
+
+int ParseNode::OperatorCount() const {
+  int count = 0;
+  switch (op) {
+    case ParseOp::kClass:
+      return 0;
+    case ParseOp::kSeq:
+    case ParseOp::kConj:
+    case ParseOp::kDisj:
+      // An n-ary connective is n-1 binary operators.
+      count = static_cast<int>(children.size()) - 1;
+      break;
+    case ParseOp::kNeg:
+    case ParseOp::kKleene:
+      count = 1;
+      break;
+  }
+  for (const auto& c : children) count += c->OperatorCount();
+  return count;
+}
+
+std::string ParseNode::ToString() const {
+  std::ostringstream os;
+  switch (op) {
+    case ParseOp::kClass:
+      os << alias;
+      break;
+    case ParseOp::kSeq:
+    case ParseOp::kConj:
+    case ParseOp::kDisj: {
+      const char* sep =
+          op == ParseOp::kSeq ? ";" : (op == ParseOp::kConj ? "&" : "|");
+      os << "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) os << sep;
+        os << children[i]->ToString();
+      }
+      os << ")";
+      break;
+    }
+    case ParseOp::kNeg:
+      os << "!" << children[0]->ToString();
+      break;
+    case ParseOp::kKleene:
+      os << children[0]->ToString();
+      if (kleene == KleeneKind::kStar) os << "*";
+      if (kleene == KleeneKind::kPlus) os << "+";
+      if (kleene == KleeneKind::kCount) os << "^" << kleene_count;
+      break;
+  }
+  return os.str();
+}
+
+UExprPtr UExpr::Lit(Value v) {
+  auto e = std::make_shared<UExpr>();
+  e->kind = UExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+UExprPtr UExpr::Attr(std::string alias, std::string field) {
+  auto e = std::make_shared<UExpr>();
+  e->kind = UExprKind::kAttr;
+  e->alias = std::move(alias);
+  e->field = std::move(field);
+  return e;
+}
+UExprPtr UExpr::Unary(UnaryOp op, UExprPtr operand) {
+  auto e = std::make_shared<UExpr>();
+  e->kind = UExprKind::kUnary;
+  e->un_op = op;
+  e->left = std::move(operand);
+  return e;
+}
+UExprPtr UExpr::Binary(BinaryOp op, UExprPtr l, UExprPtr r) {
+  auto e = std::make_shared<UExpr>();
+  e->kind = UExprKind::kBinary;
+  e->bin_op = op;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+UExprPtr UExpr::Agg(std::string fn, std::string alias, std::string field) {
+  auto e = std::make_shared<UExpr>();
+  e->kind = UExprKind::kAgg;
+  e->agg_name = std::move(fn);
+  e->alias = std::move(alias);
+  e->field = std::move(field);
+  return e;
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> ParseQuery();
+  Result<ParseNodePtr> ParsePatternOnly();
+  Result<UExprPtr> ParsePredicateOnly();
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Match(TokenType t) {
+    if (Peek().type == t) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokenType t, const char* what) {
+    if (Match(t)) return Status::OK();
+    return Err(std::string("expected ") + what);
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Peek().offset));
+  }
+  bool AtClauseBoundary() const {
+    const Token& t = Peek();
+    return t.type == TokenType::kEnd || t.IsKeyword("WHERE") ||
+           t.IsKeyword("WITHIN") || t.IsKeyword("RETURN");
+  }
+
+  // Pattern grammar.
+  Result<ParseNodePtr> Pattern();
+  Result<ParseNodePtr> Term();
+  Result<ParseNodePtr> Factor();
+  Result<ParseNodePtr> PatternUnary();
+  Result<ParseNodePtr> PatternPrimary();
+  Result<ParseNodePtr> ApplyClosure(ParseNodePtr node);
+
+  // Predicate grammar.
+  Result<UExprPtr> OrExpr();
+  Result<UExprPtr> AndExpr();
+  Result<UExprPtr> NotExpr();
+  Result<UExprPtr> Comparison();
+  Result<UExprPtr> Additive();
+  Result<UExprPtr> Multiplicative();
+  Result<UExprPtr> ExprPrimary();
+
+  Result<Duration> ParseWithin();
+  Result<std::vector<UExprPtr>> ParseReturn();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<ParseNodePtr> Parser::Pattern() {
+  ZS_ASSIGN_OR_RETURN(ParseNodePtr first, Term());
+  std::vector<ParseNodePtr> kids{first};
+  while (Match(TokenType::kSemicolon)) {
+    ZS_ASSIGN_OR_RETURN(ParseNodePtr next, Term());
+    kids.push_back(next);
+  }
+  if (kids.size() == 1) return kids[0];
+  return ParseNode::Make(ParseOp::kSeq, std::move(kids));
+}
+
+Result<ParseNodePtr> Parser::Term() {
+  ZS_ASSIGN_OR_RETURN(ParseNodePtr first, Factor());
+  std::vector<ParseNodePtr> kids{first};
+  while (Match(TokenType::kPipe)) {
+    ZS_ASSIGN_OR_RETURN(ParseNodePtr next, Factor());
+    kids.push_back(next);
+  }
+  if (kids.size() == 1) return kids[0];
+  return ParseNode::Make(ParseOp::kDisj, std::move(kids));
+}
+
+Result<ParseNodePtr> Parser::Factor() {
+  ZS_ASSIGN_OR_RETURN(ParseNodePtr first, PatternUnary());
+  std::vector<ParseNodePtr> kids{first};
+  while (Match(TokenType::kAmp)) {
+    ZS_ASSIGN_OR_RETURN(ParseNodePtr next, PatternUnary());
+    kids.push_back(next);
+  }
+  if (kids.size() == 1) return kids[0];
+  return ParseNode::Make(ParseOp::kConj, std::move(kids));
+}
+
+Result<ParseNodePtr> Parser::PatternUnary() {
+  if (Match(TokenType::kBang)) {
+    ZS_ASSIGN_OR_RETURN(ParseNodePtr child, PatternUnary());
+    return ParseNode::Neg(std::move(child));
+  }
+  return PatternPrimary();
+}
+
+Result<ParseNodePtr> Parser::PatternPrimary() {
+  if (Peek().type == TokenType::kIdent) {
+    if (AtClauseBoundary()) return Err("unexpected clause keyword in pattern");
+    ParseNodePtr node = ParseNode::Class(Advance().text);
+    return ApplyClosure(std::move(node));
+  }
+  if (Match(TokenType::kLParen)) {
+    ZS_ASSIGN_OR_RETURN(ParseNodePtr node, Pattern());
+    ZS_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    return ApplyClosure(std::move(node));
+  }
+  return Err("expected event class or '(' in pattern");
+}
+
+Result<ParseNodePtr> Parser::ApplyClosure(ParseNodePtr node) {
+  if (Match(TokenType::kStar)) {
+    return ParseNode::Kleene(std::move(node), KleeneKind::kStar, 0);
+  }
+  if (Match(TokenType::kPlus)) {
+    return ParseNode::Kleene(std::move(node), KleeneKind::kPlus, 0);
+  }
+  if (Match(TokenType::kCaret)) {
+    if (Peek().type != TokenType::kInt) {
+      return Err("expected integer closure count after '^'");
+    }
+    const int count = static_cast<int>(Advance().number);
+    return ParseNode::Kleene(std::move(node), KleeneKind::kCount, count);
+  }
+  return node;
+}
+
+Result<UExprPtr> Parser::OrExpr() {
+  ZS_ASSIGN_OR_RETURN(UExprPtr left, AndExpr());
+  while (Peek().IsKeyword("OR")) {
+    Advance();
+    ZS_ASSIGN_OR_RETURN(UExprPtr right, AndExpr());
+    left = UExpr::Binary(BinaryOp::kOr, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<UExprPtr> Parser::AndExpr() {
+  ZS_ASSIGN_OR_RETURN(UExprPtr left, NotExpr());
+  while (Peek().IsKeyword("AND")) {
+    Advance();
+    ZS_ASSIGN_OR_RETURN(UExprPtr right, NotExpr());
+    left = UExpr::Binary(BinaryOp::kAnd, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<UExprPtr> Parser::NotExpr() {
+  if (Peek().IsKeyword("NOT")) {
+    Advance();
+    ZS_ASSIGN_OR_RETURN(UExprPtr operand, NotExpr());
+    return UExpr::Unary(UnaryOp::kNot, std::move(operand));
+  }
+  return Comparison();
+}
+
+namespace {
+bool IsRelop(TokenType t, BinaryOp* op) {
+  switch (t) {
+    case TokenType::kEq: *op = BinaryOp::kEq; return true;
+    case TokenType::kNe: *op = BinaryOp::kNe; return true;
+    case TokenType::kLt: *op = BinaryOp::kLt; return true;
+    case TokenType::kLe: *op = BinaryOp::kLe; return true;
+    case TokenType::kGt: *op = BinaryOp::kGt; return true;
+    case TokenType::kGe: *op = BinaryOp::kGe; return true;
+    default: return false;
+  }
+}
+}  // namespace
+
+// Supports chained comparisons: `a = b = c` means `a = b AND b = c`
+// (used by Query 2's `T1.name = T2.name = T3.name`).
+Result<UExprPtr> Parser::Comparison() {
+  ZS_ASSIGN_OR_RETURN(UExprPtr left, Additive());
+  BinaryOp op;
+  if (!IsRelop(Peek().type, &op)) return left;
+  UExprPtr result;
+  UExprPtr prev = left;
+  while (IsRelop(Peek().type, &op)) {
+    Advance();
+    ZS_ASSIGN_OR_RETURN(UExprPtr next, Additive());
+    UExprPtr cmp = UExpr::Binary(op, prev, next);
+    result = result == nullptr
+                 ? cmp
+                 : UExpr::Binary(BinaryOp::kAnd, std::move(result), cmp);
+    prev = next;
+  }
+  return result;
+}
+
+Result<UExprPtr> Parser::Additive() {
+  ZS_ASSIGN_OR_RETURN(UExprPtr left, Multiplicative());
+  while (true) {
+    if (Match(TokenType::kPlus)) {
+      ZS_ASSIGN_OR_RETURN(UExprPtr right, Multiplicative());
+      left = UExpr::Binary(BinaryOp::kAdd, std::move(left), std::move(right));
+    } else if (Match(TokenType::kMinus)) {
+      ZS_ASSIGN_OR_RETURN(UExprPtr right, Multiplicative());
+      left = UExpr::Binary(BinaryOp::kSub, std::move(left), std::move(right));
+    } else {
+      return left;
+    }
+  }
+}
+
+Result<UExprPtr> Parser::Multiplicative() {
+  ZS_ASSIGN_OR_RETURN(UExprPtr left, ExprPrimary());
+  while (true) {
+    if (Match(TokenType::kStar)) {
+      ZS_ASSIGN_OR_RETURN(UExprPtr right, ExprPrimary());
+      left = UExpr::Binary(BinaryOp::kMul, std::move(left), std::move(right));
+    } else if (Match(TokenType::kSlash)) {
+      ZS_ASSIGN_OR_RETURN(UExprPtr right, ExprPrimary());
+      left = UExpr::Binary(BinaryOp::kDiv, std::move(left), std::move(right));
+    } else if (Match(TokenType::kPercentOp)) {
+      ZS_ASSIGN_OR_RETURN(UExprPtr right, ExprPrimary());
+      left = UExpr::Binary(BinaryOp::kMod, std::move(left), std::move(right));
+    } else {
+      return left;
+    }
+  }
+}
+
+Result<UExprPtr> Parser::ExprPrimary() {
+  const Token& t = Peek();
+  switch (t.type) {
+    case TokenType::kInt: {
+      Advance();
+      return UExpr::Lit(Value(static_cast<int64_t>(t.number)));
+    }
+    case TokenType::kFloat: {
+      Advance();
+      return UExpr::Lit(Value(t.number));
+    }
+    case TokenType::kPercent: {
+      Advance();
+      return UExpr::Lit(Value(t.number));
+    }
+    case TokenType::kString: {
+      Advance();
+      return UExpr::Lit(Value(t.text));
+    }
+    case TokenType::kMinus: {
+      Advance();
+      ZS_ASSIGN_OR_RETURN(UExprPtr operand, ExprPrimary());
+      return UExpr::Unary(UnaryOp::kNegate, std::move(operand));
+    }
+    case TokenType::kLParen: {
+      Advance();
+      ZS_ASSIGN_OR_RETURN(UExprPtr inner, OrExpr());
+      ZS_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+      return inner;
+    }
+    case TokenType::kIdent: {
+      const std::string name = Advance().text;
+      if (Match(TokenType::kLParen)) {
+        // Aggregate: fn(alias.field) or count(alias).
+        if (Peek().type != TokenType::kIdent) {
+          return Err("expected alias inside aggregate");
+        }
+        const std::string alias = Advance().text;
+        std::string field;
+        if (Match(TokenType::kDot)) {
+          if (Peek().type != TokenType::kIdent) {
+            return Err("expected attribute name after '.'");
+          }
+          field = Advance().text;
+        }
+        ZS_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+        return UExpr::Agg(ToLower(name), alias, field);
+      }
+      if (Match(TokenType::kDot)) {
+        if (Peek().type != TokenType::kIdent) {
+          return Err("expected attribute name after '.'");
+        }
+        return UExpr::Attr(name, Advance().text);
+      }
+      // Bare alias (only meaningful in RETURN).
+      return UExpr::Attr(name, "");
+    }
+    default:
+      return Err("expected expression");
+  }
+}
+
+Result<Duration> Parser::ParseWithin() {
+  if (Peek().type != TokenType::kInt && Peek().type != TokenType::kFloat) {
+    return Err("expected number after WITHIN");
+  }
+  const double n = Advance().number;
+  double scale = 1.0;  // bare numbers are internal units
+  if (Peek().type == TokenType::kIdent && !AtClauseBoundary()) {
+    const std::string unit = ToLower(Advance().text);
+    if (unit == "ms" || unit == "unit" || unit == "units") {
+      scale = 1.0;
+    } else if (unit == "s" || unit == "sec" || unit == "secs" ||
+               unit == "second" || unit == "seconds") {
+      scale = 1000.0;
+    } else if (unit == "min" || unit == "mins" || unit == "minute" ||
+               unit == "minutes") {
+      scale = 60.0 * 1000.0;
+    } else if (unit == "hour" || unit == "hours" || unit == "h" ||
+               unit == "hr" || unit == "hrs") {
+      scale = 3600.0 * 1000.0;
+    } else {
+      return Status::ParseError("unknown time unit '" + unit + "'");
+    }
+  }
+  return static_cast<Duration>(n * scale);
+}
+
+Result<std::vector<UExprPtr>> Parser::ParseReturn() {
+  std::vector<UExprPtr> items;
+  do {
+    ZS_ASSIGN_OR_RETURN(UExprPtr item, OrExpr());
+    items.push_back(std::move(item));
+  } while (Match(TokenType::kComma));
+  return items;
+}
+
+Result<ParsedQuery> Parser::ParseQuery() {
+  ParsedQuery q;
+  if (!Peek().IsKeyword("PATTERN")) return Err("query must begin with PATTERN");
+  Advance();
+  ZS_ASSIGN_OR_RETURN(q.pattern, Pattern());
+  if (Peek().IsKeyword("WHERE")) {
+    Advance();
+    ZS_ASSIGN_OR_RETURN(q.where, OrExpr());
+    // Tolerate the paper's Query 3 style of a repeated WHERE keyword.
+    while (Peek().IsKeyword("WHERE")) {
+      Advance();
+      ZS_ASSIGN_OR_RETURN(UExprPtr more, OrExpr());
+      q.where = UExpr::Binary(BinaryOp::kAnd, q.where, std::move(more));
+    }
+  }
+  if (!Peek().IsKeyword("WITHIN")) return Err("expected WITHIN clause");
+  Advance();
+  ZS_ASSIGN_OR_RETURN(q.window, ParseWithin());
+  if (Peek().IsKeyword("RETURN")) {
+    Advance();
+    ZS_ASSIGN_OR_RETURN(q.return_items, ParseReturn());
+  }
+  if (Peek().type != TokenType::kEnd) {
+    return Err("unexpected trailing input");
+  }
+  return q;
+}
+
+Result<ParseNodePtr> Parser::ParsePatternOnly() {
+  ZS_ASSIGN_OR_RETURN(ParseNodePtr p, Pattern());
+  if (Peek().type != TokenType::kEnd) return Err("unexpected trailing input");
+  return p;
+}
+
+Result<UExprPtr> Parser::ParsePredicateOnly() {
+  ZS_ASSIGN_OR_RETURN(UExprPtr e, OrExpr());
+  if (Peek().type != TokenType::kEnd) return Err("unexpected trailing input");
+  return e;
+}
+
+}  // namespace
+
+Result<ParsedQuery> ParseQuery(const std::string& text) {
+  ZS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+Result<ParseNodePtr> ParsePattern(const std::string& text) {
+  ZS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParsePatternOnly();
+}
+
+Result<UExprPtr> ParsePredicate(const std::string& text) {
+  ZS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParsePredicateOnly();
+}
+
+}  // namespace zstream

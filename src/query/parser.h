@@ -1,0 +1,39 @@
+// Recursive-descent parser for the ZStream query language:
+//
+//   PATTERN <pattern>  [WHERE <predicate>]  WITHIN <duration>
+//   [RETURN <item>, ...]
+//
+// Pattern grammar ( ';' binds loosest, then '|', then '&', then prefix
+// '!' and postfix closure markers ):
+//
+//   pattern  := term (';' term)*
+//   term     := factor ('|' factor)*
+//   factor   := unary ('&' unary)*
+//   unary    := '!' unary | primary
+//   primary  := IDENT closure? | '(' pattern ')' closure?
+//   closure  := '*' | '+' | '^' INT
+//
+// Durations accept bare numbers (internal units) or number + unit where
+// unit ∈ {ms, sec(s), min(s), hour(s)}; 1 internal unit == 1 ms.
+#ifndef ZSTREAM_QUERY_PARSER_H_
+#define ZSTREAM_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace zstream {
+
+/// Parses a full query; returns ParseError with offset context on failure.
+Result<ParsedQuery> ParseQuery(const std::string& text);
+
+/// Parses just a pattern expression (handy for tests).
+Result<ParseNodePtr> ParsePattern(const std::string& text);
+
+/// Parses just a predicate expression (handy for tests).
+Result<UExprPtr> ParsePredicate(const std::string& text);
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_QUERY_PARSER_H_

@@ -1,0 +1,170 @@
+#include "query/rewrite.h"
+
+namespace zstream {
+
+namespace {
+
+// Per-operator weights encoding C_DIS < C_SEQ < C_CON (Section 5.2.1).
+int OpWeight(ParseOp op) {
+  switch (op) {
+    case ParseOp::kClass: return 0;
+    case ParseOp::kDisj: return 1;
+    case ParseOp::kSeq: return 2;
+    case ParseOp::kConj: return 3;
+    case ParseOp::kNeg: return 1;
+    case ParseOp::kKleene: return 2;
+  }
+  return 0;
+}
+
+int WeightOf(const ParseNodePtr& node) {
+  int w = 0;
+  if (node->op == ParseOp::kSeq || node->op == ParseOp::kConj ||
+      node->op == ParseOp::kDisj) {
+    w = (static_cast<int>(node->children.size()) - 1) * OpWeight(node->op);
+  } else {
+    w = OpWeight(node->op);
+  }
+  for (const auto& c : node->children) w += WeightOf(c);
+  return w;
+}
+
+// Whether `candidate` is preferable to `current` under the paper's
+// acceptance rule.
+bool Preferable(const ParseNodePtr& candidate, const ParseNodePtr& current) {
+  const int c_ops = candidate->OperatorCount();
+  const int n_ops = current->OperatorCount();
+  if (c_ops != n_ops) return c_ops < n_ops;
+  return WeightOf(candidate) < WeightOf(current);
+}
+
+struct Rewriter {
+  std::vector<std::string>* log;
+
+  ParseNodePtr Rewrite(const ParseNodePtr& node) {
+    if (node->is_class()) return node;
+
+    // Rewrite children first.
+    std::vector<ParseNodePtr> kids;
+    kids.reserve(node->children.size());
+    bool changed = false;
+    for (const auto& c : node->children) {
+      ParseNodePtr rc = Rewrite(c);
+      changed |= (rc != c);
+      kids.push_back(std::move(rc));
+    }
+    ParseNodePtr cur =
+        changed ? Rebuild(node, std::move(kids)) : node;
+
+    cur = Flatten(cur);
+    cur = CollapseSingleton(cur);
+    cur = DoubleNegation(cur);
+    cur = DeMorgan(cur);
+    return cur;
+  }
+
+  static ParseNodePtr Rebuild(const ParseNodePtr& proto,
+                              std::vector<ParseNodePtr> kids) {
+    switch (proto->op) {
+      case ParseOp::kNeg:
+        return ParseNode::Neg(kids[0]);
+      case ParseOp::kKleene:
+        return ParseNode::Kleene(kids[0], proto->kleene, proto->kleene_count);
+      default:
+        return ParseNode::Make(proto->op, std::move(kids));
+    }
+  }
+
+  ParseNodePtr Flatten(const ParseNodePtr& node) {
+    if (node->op != ParseOp::kSeq && node->op != ParseOp::kConj &&
+        node->op != ParseOp::kDisj) {
+      return node;
+    }
+    bool any = false;
+    for (const auto& c : node->children) {
+      if (c->op == node->op) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return node;
+    std::vector<ParseNodePtr> kids;
+    for (const auto& c : node->children) {
+      if (c->op == node->op) {
+        kids.insert(kids.end(), c->children.begin(), c->children.end());
+      } else {
+        kids.push_back(c);
+      }
+    }
+    log->push_back("flatten(" + node->ToString() + ")");
+    return ParseNode::Make(node->op, std::move(kids));
+  }
+
+  ParseNodePtr CollapseSingleton(const ParseNodePtr& node) {
+    if ((node->op == ParseOp::kSeq || node->op == ParseOp::kConj ||
+         node->op == ParseOp::kDisj) &&
+        node->children.size() == 1) {
+      return node->children[0];
+    }
+    return node;
+  }
+
+  ParseNodePtr DoubleNegation(const ParseNodePtr& node) {
+    if (node->op == ParseOp::kNeg &&
+        node->children[0]->op == ParseOp::kNeg) {
+      log->push_back("double-negation(" + node->ToString() + ")");
+      return node->children[0]->children[0];
+    }
+    return node;
+  }
+
+  // Groups >= 2 negated conjuncts: X & !B & !C  ->  X & !(B|C).
+  ParseNodePtr DeMorgan(const ParseNodePtr& node) {
+    if (node->op != ParseOp::kConj) return node;
+    std::vector<ParseNodePtr> negs;
+    std::vector<ParseNodePtr> rest;
+    for (const auto& c : node->children) {
+      (c->op == ParseOp::kNeg ? negs : rest).push_back(c);
+    }
+    if (negs.size() < 2) return node;
+
+    std::vector<ParseNodePtr> union_kids;
+    union_kids.reserve(negs.size());
+    for (const auto& n : negs) union_kids.push_back(n->children[0]);
+    ParseNodePtr merged =
+        ParseNode::Neg(ParseNode::Make(ParseOp::kDisj, std::move(union_kids)));
+
+    ParseNodePtr candidate;
+    if (rest.empty()) {
+      candidate = merged;
+    } else {
+      rest.push_back(merged);
+      candidate = ParseNode::Make(ParseOp::kConj, std::move(rest));
+      candidate = CollapseSingleton(candidate);
+    }
+    if (!Preferable(candidate, node)) return node;
+    log->push_back("de-morgan(" + node->ToString() + " -> " +
+                   candidate->ToString() + ")");
+    return candidate;
+  }
+};
+
+}  // namespace
+
+int OperatorWeight(const ParseNodePtr& node) { return WeightOf(node); }
+
+RewriteResult RewritePattern(const ParseNodePtr& root) {
+  RewriteResult result;
+  result.node = root;
+  Rewriter rw{&result.applied};
+  // Iterate to a fixpoint; each pass strictly simplifies, so this
+  // terminates quickly.
+  for (int pass = 0; pass < 8; ++pass) {
+    ParseNodePtr next = rw.Rewrite(result.node);
+    if (next == result.node) break;
+    result.node = next;
+  }
+  return result;
+}
+
+}  // namespace zstream

@@ -1,0 +1,39 @@
+// Rule-based pattern transformations (Section 5.2.1).
+//
+// The rewriter simplifies the parsed pattern AST before analysis. A
+// transformation is accepted only when the target expression
+//   1. has fewer operators, or
+//   2. has the same number of operators but cheaper ones
+//      (C_DIS < C_SEQ < C_CON; NSEQ and KSEQ are not substitutable).
+//
+// Implemented rules:
+//   * associative flattening        (A;B);C      -> A;B;C   (also & and |)
+//   * singleton collapse            seq(A)       -> A
+//   * double negation               !!A          -> A
+//   * De Morgan grouping            !B & !C      -> !(B|C)
+#ifndef ZSTREAM_QUERY_REWRITE_H_
+#define ZSTREAM_QUERY_REWRITE_H_
+
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+
+namespace zstream {
+
+struct RewriteResult {
+  ParseNodePtr node;
+  /// Human-readable log of the rules applied, in order.
+  std::vector<std::string> applied;
+};
+
+/// Rewrites `root` to a fixpoint of the rule set.
+RewriteResult RewritePattern(const ParseNodePtr& root);
+
+/// Cost rank used for the "same operator count, cheaper operators" rule:
+/// the summed per-operator weights with DISJ < SEQ < CONJ.
+int OperatorWeight(const ParseNodePtr& node);
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_QUERY_REWRITE_H_

@@ -1,0 +1,63 @@
+#include "workload/stock_gen.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace zstream {
+
+double FixedPriceForSelectivity(double sel, double lo, double hi) {
+  ZS_DCHECK(sel >= 0.0 && sel <= 1.0);
+  return hi - sel * (hi - lo);
+}
+
+std::vector<EventPtr> GenerateStockTrades(const StockGenOptions& options) {
+  ZS_DCHECK(options.names.size() == options.weights.size());
+  Random rng(options.seed);
+  const SchemaPtr schema = StockSchema();
+
+  double total_weight = 0.0;
+  for (double w : options.weights) total_weight += w;
+
+  std::vector<EventPtr> out;
+  out.reserve(static_cast<size_t>(options.num_events));
+  Timestamp ts = options.start_ts;
+  for (int64_t i = 0; i < options.num_events; ++i, ts += options.ts_step) {
+    // Weighted name draw.
+    double pick = rng.NextDouble() * total_weight;
+    size_t name_idx = 0;
+    for (; name_idx + 1 < options.weights.size(); ++name_idx) {
+      if (pick < options.weights[name_idx]) break;
+      pick -= options.weights[name_idx];
+    }
+    const std::string& name = options.names[name_idx];
+
+    double price;
+    auto fixed = options.fixed_price.find(name);
+    if (fixed != options.fixed_price.end()) {
+      price = fixed->second;
+    } else {
+      price = options.price_min +
+              rng.NextDouble() * (options.price_max - options.price_min);
+    }
+
+    out.push_back(EventBuilder(schema)
+                      .Set("id", static_cast<int64_t>(i))
+                      .Set("name", Value(name))
+                      .Set("price", price)
+                      .Set("volume", rng.UniformRange(1, 1000))
+                      .Set("ts", static_cast<int64_t>(ts))
+                      .At(ts)
+                      .Build());
+  }
+  return out;
+}
+
+std::vector<double> ParseRateRatio(const std::string& ratio) {
+  std::vector<double> out;
+  for (const std::string& part : Split(ratio, ':')) {
+    out.push_back(std::stod(std::string(Trim(part))));
+  }
+  return out;
+}
+
+}  // namespace zstream

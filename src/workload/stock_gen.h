@@ -1,0 +1,51 @@
+// Synthetic stock-trade workload (Section 6).
+//
+// The paper generates stock events "so that event rates and the
+// selectivity of multi-class predicates could be controlled". We control
+//
+//   * relative event rates via per-name weights (e.g. IBM:Sun:Oracle =
+//     1:100:100 draws names with those weights), and
+//   * predicate selectivities exactly: for `X.price > Y.price` with
+//     target selectivity s, Y's price is pinned to the (1-s) quantile of
+//     X's uniform price distribution.
+#ifndef ZSTREAM_WORKLOAD_STOCK_GEN_H_
+#define ZSTREAM_WORKLOAD_STOCK_GEN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "event/event.h"
+
+namespace zstream {
+
+struct StockGenOptions {
+  /// Event-class names, in weight order.
+  std::vector<std::string> names = {"IBM", "Sun", "Oracle"};
+  /// Relative rates (same length as names). {1, 100, 100} means one IBM
+  /// tick per ~100 Sun and ~100 Oracle ticks.
+  std::vector<double> weights = {1.0, 1.0, 1.0};
+  int64_t num_events = 100000;
+  uint64_t seed = 42;
+  Timestamp start_ts = 0;
+  Duration ts_step = 1;  // timestamp gap between consecutive events
+  double price_min = 0.0;
+  double price_max = 100.0;
+  /// Pin a name's price to a constant (selectivity control); absent
+  /// names draw uniformly from [price_min, price_max).
+  std::map<std::string, double> fixed_price;
+};
+
+/// Price constant q with P(Uniform[lo,hi) > q) == sel.
+double FixedPriceForSelectivity(double sel, double lo, double hi);
+
+/// Generates `num_events` stock events with non-decreasing timestamps.
+std::vector<EventPtr> GenerateStockTrades(const StockGenOptions& options);
+
+/// Convenience: the weights vector for a rate string like "1:100:100".
+std::vector<double> ParseRateRatio(const std::string& ratio);
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_WORKLOAD_STOCK_GEN_H_

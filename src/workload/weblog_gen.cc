@@ -1,0 +1,127 @@
+#include "workload/weblog_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace zstream {
+
+namespace {
+struct RawRecord {
+  Timestamp ts;
+  int ip;
+  uint8_t category;  // 0 other, 1 publication, 2 project, 3 course
+};
+}  // namespace
+
+std::vector<EventPtr> GenerateWebLog(const WebLogGenOptions& options,
+                                     WebLogStats* stats_out) {
+  Random rng(options.seed);
+  const SchemaPtr schema = WebLogSchema();
+  const int64_t n = options.total_records;
+  ZS_DCHECK(options.publication_accesses + options.project_accesses +
+                options.course_accesses <=
+            n);
+
+  // Zipf CDF over regular (non-burst) IP ranks; uniform when zipf == 0.
+  const int regular_ips = std::max(1, options.num_ips - options.num_burst_ips);
+  std::vector<double> ip_cdf(static_cast<size_t>(regular_ips));
+  {
+    double acc = 0.0;
+    for (int r = 0; r < regular_ips; ++r) {
+      acc += 1.0 / std::pow(static_cast<double>(r + 1), options.ip_zipf);
+      ip_cdf[static_cast<size_t>(r)] = acc;
+    }
+    for (double& v : ip_cdf) v /= acc;
+  }
+  const auto draw_regular_ip = [&]() {
+    const double u = rng.NextDouble();
+    const auto it = std::lower_bound(ip_cdf.begin(), ip_cdf.end(), u);
+    return options.num_burst_ips + static_cast<int>(it - ip_cdf.begin());
+  };
+
+  // Each burst IP crawls during one contiguous period of the month.
+  const Duration burst_len = static_cast<Duration>(
+      options.burst_days * 24.0 * 3600.0 * 1000.0);
+  std::vector<Timestamp> burst_start(
+      static_cast<size_t>(std::max(options.num_burst_ips, 0)));
+  for (auto& s : burst_start) {
+    const Duration latest = std::max<Duration>(options.span - burst_len, 1);
+    s = static_cast<Timestamp>(rng.Uniform(static_cast<uint64_t>(latest)));
+  }
+
+  std::vector<RawRecord> records;
+  records.reserve(static_cast<size_t>(n));
+
+  const auto emit_specials = [&](int64_t count, double burst_fraction,
+                                 uint8_t tag) {
+    for (int64_t i = 0; i < count; ++i) {
+      RawRecord r;
+      r.category = tag;
+      if (options.num_burst_ips > 0 && rng.Bernoulli(burst_fraction)) {
+        r.ip = static_cast<int>(rng.Uniform(
+            static_cast<uint64_t>(options.num_burst_ips)));
+        r.ts = burst_start[static_cast<size_t>(r.ip)] +
+               static_cast<Timestamp>(
+                   rng.Uniform(static_cast<uint64_t>(burst_len)));
+      } else {
+        r.ip = draw_regular_ip();
+        r.ts = static_cast<Timestamp>(
+            rng.Uniform(static_cast<uint64_t>(options.span)));
+      }
+      records.push_back(r);
+    }
+  };
+  emit_specials(options.publication_accesses, options.burst_pub_fraction, 1);
+  emit_specials(options.project_accesses, options.burst_proj_fraction, 2);
+  emit_specials(options.course_accesses, options.burst_course_fraction, 3);
+
+  // Background traffic on a uniform grid.
+  const int64_t background = n - static_cast<int64_t>(records.size());
+  const double step =
+      static_cast<double>(options.span) / std::max<int64_t>(background, 1);
+  for (int64_t i = 0; i < background; ++i) {
+    RawRecord r;
+    r.category = 0;
+    r.ip = draw_regular_ip();
+    r.ts = static_cast<Timestamp>(step * static_cast<double>(i));
+    records.push_back(r);
+  }
+
+  std::stable_sort(records.begin(), records.end(),
+                   [](const RawRecord& a, const RawRecord& b) {
+                     return a.ts < b.ts;
+                   });
+
+  const char* kCategoryName[] = {"other", "publication", "project", "course"};
+  const char* kUrlPrefix[] = {"/misc/", "/pubs/", "/projects/", "/courses/"};
+  WebLogStats stats;
+  std::vector<EventPtr> out;
+  out.reserve(records.size());
+  int64_t url_salt = 0;
+  for (const RawRecord& r : records) {
+    switch (r.category) {
+      case 1: ++stats.publications; break;
+      case 2: ++stats.projects; break;
+      case 3: ++stats.courses; break;
+      default: ++stats.other; break;
+    }
+    const std::string ip = "10." + std::to_string(r.ip / 65536 % 256) + "." +
+                           std::to_string(r.ip / 256 % 256) + "." +
+                           std::to_string(r.ip % 256);
+    out.push_back(EventBuilder(schema)
+                      .Set("ip", Value(ip))
+                      .Set("url", Value(std::string(kUrlPrefix[r.category]) +
+                                        std::to_string(url_salt++ % 997)))
+                      .Set("category",
+                           Value(std::string(kCategoryName[r.category])))
+                      .At(r.ts)
+                      .Build());
+  }
+  if (stats_out != nullptr) *stats_out = stats;
+  return out;
+}
+
+}  // namespace zstream

@@ -1,0 +1,145 @@
+// Plan adaptation (Section 5.3): drift detection, the improvement gate,
+// and end-to-end adaptive execution correctness.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace zstream {
+namespace {
+
+using testing::MatchKey;
+using testing::MustAnalyze;
+using testing::RunPlan;
+using testing::Stock;
+
+TEST(AdaptiveController, NoReplanWithoutDrift) {
+  const PatternPtr p = MustAnalyze("PATTERN A;B;C WITHIN 10");
+  StatsCatalog stats(3, 10.0);
+  AdaptiveController ctl(p, AdaptiveOptions{});
+  Planner planner(p, &stats);
+  auto plan = planner.OptimalPlan();
+  ASSERT_TRUE(plan.ok());
+  ctl.OnPlanInstalled(*plan, stats);
+  EXPECT_FALSE(ctl.MaybeReplan(stats).has_value());
+  EXPECT_EQ(ctl.replan_evaluations(), 0);
+}
+
+TEST(AdaptiveController, DriftTriggersReplanAndSwitch) {
+  const PatternPtr p = MustAnalyze("PATTERN A;B;C WITHIN 10");
+  StatsCatalog initial(3, 10.0);
+  initial.set_rate(0, 0.01);  // left-deep optimal
+  AdaptiveController ctl(p, AdaptiveOptions{.drift_threshold = 0.5,
+                                            .improvement_threshold = 0.05});
+  Planner planner(p, &initial);
+  auto plan = planner.OptimalPlan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->Explain(*p), "[[A ; B] ; C]");
+  ctl.OnPlanInstalled(*plan, initial);
+
+  StatsCatalog shifted(3, 10.0);
+  shifted.set_rate(0, 1.0);
+  shifted.set_rate(2, 0.01);  // now right-deep optimal
+  auto next = ctl.MaybeReplan(shifted);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->Explain(*p), "[A ; [B ; C]]");
+  EXPECT_EQ(ctl.replan_evaluations(), 1);
+}
+
+TEST(AdaptiveController, ImprovementGateBlocksMarginalSwitches) {
+  const PatternPtr p = MustAnalyze("PATTERN A;B;C WITHIN 10");
+  StatsCatalog initial(3, 10.0);
+  initial.set_rate(0, 0.01);
+  AdaptiveController ctl(
+      p, AdaptiveOptions{.drift_threshold = 0.1,
+                         .improvement_threshold = 0.99});
+  Planner planner(p, &initial);
+  auto plan = planner.OptimalPlan();
+  ASSERT_TRUE(plan.ok());
+  ctl.OnPlanInstalled(*plan, initial);
+
+  StatsCatalog shifted(3, 10.0);
+  shifted.set_rate(0, 0.02);  // drift past threshold, same optimal plan
+  EXPECT_FALSE(ctl.MaybeReplan(shifted).has_value());
+  EXPECT_EQ(ctl.replan_evaluations(), 1);
+  // Baseline reset: immediately re-checking does not re-plan again.
+  EXPECT_FALSE(ctl.MaybeReplan(shifted).has_value());
+  EXPECT_EQ(ctl.replan_evaluations(), 1);
+}
+
+std::vector<EventPtr> ThreePhaseStream(int per_phase) {
+  // Phase 1: A rare. Phase 2: uniform. Phase 3: C rare.
+  std::vector<EventPtr> events;
+  Random rng(99);
+  Timestamp ts = 0;
+  auto phase = [&](double wa, double wb, double wc, int n) {
+    const double total = wa + wb + wc;
+    for (int i = 0; i < n; ++i) {
+      double pick = rng.NextDouble() * total;
+      const char* name = pick < wa ? "A" : (pick < wa + wb ? "B" : "C");
+      events.push_back(Stock(name, rng.Uniform(100), ++ts));
+    }
+  };
+  phase(1, 50, 50, per_phase);
+  phase(1, 1, 1, per_phase);
+  phase(50, 50, 1, per_phase);
+  return events;
+}
+
+TEST(AdaptiveEngine, SwitchesPlansAndKeepsMatchSetExact) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "WITHIN 30");
+  const auto events = ThreePhaseStream(3000);
+  const auto baseline = RunPlan(p, LeftDeepPlan(*p), events);
+
+  EngineOptions options;
+  options.adaptive = true;
+  options.adaptive_options.drift_threshold = 0.4;
+  options.adaptive_options.improvement_threshold = 0.05;
+  options.adaptive_options.check_every_rounds = 4;
+  auto engine = Engine::Create(p, LeftDeepPlan(*p), options);
+  ASSERT_TRUE(engine.ok());
+  std::vector<std::string> keys;
+  (*engine)->SetMatchCallback([&](Match&& m) { keys.push_back(MatchKey(m)); });
+  for (const auto& e : events) (*engine)->Push(e);
+  (*engine)->Finish();
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(keys, baseline);
+  // The rate flip from A-rare to C-rare must have caused a switch.
+  EXPECT_GE((*engine)->plan_switches(), 1u);
+}
+
+TEST(RuntimeStatsTest, WindowedRatesFollowPhaseChanges) {
+  RuntimeStats stats(2, 0, /*bucket_width=*/100, /*num_buckets=*/4);
+  // Phase 1: class 0 dominant.
+  for (Timestamp ts = 0; ts < 1000; ++ts) {
+    stats.OnEvent(ts);
+    stats.OnClassAdmit(ts % 10 == 0 ? 1 : 0);
+  }
+  Pattern dummy;
+  dummy.classes.resize(2);
+  dummy.window = 100;
+  const StatsCatalog defaults(2, 100.0);
+  const StatsCatalog s1 = stats.Snapshot(dummy, defaults);
+  EXPECT_GT(s1.rate(0), s1.rate(1) * 5);
+  // Phase 2: class 1 dominant; the window forgets phase 1.
+  for (Timestamp ts = 1000; ts < 3000; ++ts) {
+    stats.OnEvent(ts);
+    stats.OnClassAdmit(ts % 10 == 0 ? 0 : 1);
+  }
+  const StatsCatalog s2 = stats.Snapshot(dummy, defaults);
+  EXPECT_GT(s2.rate(1), s2.rate(0) * 5);
+}
+
+TEST(StatsCatalogTest, MaxRelativeChange) {
+  StatsCatalog a(2, 10.0), b(2, 10.0);
+  a.set_rate(0, 1.0);
+  b.set_rate(0, 2.0);
+  EXPECT_NEAR(a.MaxRelativeChange(b), 1.0, 1e-9);
+  b.set_rate(0, 1.0);
+  b.SetPairSel(0, 1, 0.5);
+  EXPECT_NEAR(a.MaxRelativeChange(b), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace zstream

@@ -1,0 +1,149 @@
+// Semantic analysis: class binding, predicate classification and
+// pushdown, partition detection, negated-disjunction merging.
+#include <gtest/gtest.h>
+
+#include "query/analyzer.h"
+
+namespace zstream {
+namespace {
+
+PatternPtr Must(const std::string& q, AnalyzerOptions o = {}) {
+  auto r = AnalyzeQuery(q, StockSchema(), o);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for " << q;
+  return r.ok() ? *r : nullptr;
+}
+
+TEST(Analyzer, ClassesInTemporalOrder) {
+  const PatternPtr p = Must("PATTERN T1;T2;T3 WITHIN 10");
+  ASSERT_EQ(p->num_classes(), 3);
+  EXPECT_EQ(p->classes[0].alias, "T1");
+  EXPECT_EQ(p->classes[2].alias, "T3");
+  EXPECT_TRUE(p->IsSequence());
+}
+
+TEST(Analyzer, SingleClassPredicatesPushDown) {
+  const PatternPtr p = Must(
+      "PATTERN T1;T2 WHERE T2.name = 'Google' AND T1.price > 5 "
+      "AND T1.price > T2.price WITHIN 10");
+  EXPECT_EQ(p->classes[0].leaf_predicates.size(), 1u);
+  EXPECT_EQ(p->classes[1].leaf_predicates.size(), 1u);
+  EXPECT_EQ(p->multi_predicates.size(), 1u);
+}
+
+TEST(Analyzer, AggregatePredicatesStayMulti) {
+  const PatternPtr p = Must(
+      "PATTERN T1;T2^3;T3 WHERE sum(T2.volume) > 10 WITHIN 10");
+  // Aggregates must be evaluated over the closure group, never at the
+  // leaf even though they reference one class.
+  EXPECT_TRUE(p->classes[1].leaf_predicates.empty());
+  EXPECT_EQ(p->multi_predicates.size(), 1u);
+}
+
+TEST(Analyzer, PartitionDetectedForFullEqualityCoverage) {
+  const PatternPtr p = Must(
+      "PATTERN T1;T2;T3 WHERE T1.name = T2.name = T3.name WITHIN 10");
+  ASSERT_TRUE(p->partition.has_value());
+  EXPECT_EQ(p->partition->field_name, "name");
+  EXPECT_TRUE(p->multi_predicates.empty());  // implied by partitioning
+}
+
+TEST(Analyzer, NoPartitionForPartialCoverage) {
+  // Query 1 shape: equality links T1 and T3 only.
+  const PatternPtr p = Must(
+      "PATTERN T1;T2;T3 WHERE T1.name = T3.name AND T2.name = 'Google' "
+      "WITHIN 10");
+  EXPECT_FALSE(p->partition.has_value());
+  EXPECT_EQ(p->multi_predicates.size(), 1u);
+}
+
+TEST(Analyzer, PartitionCanBeDisabled) {
+  AnalyzerOptions o;
+  o.detect_partition = false;
+  const PatternPtr p = Must(
+      "PATTERN T1;T2 WHERE T1.name = T2.name WITHIN 10", o);
+  EXPECT_FALSE(p->partition.has_value());
+  EXPECT_EQ(p->multi_predicates.size(), 1u);
+}
+
+TEST(Analyzer, NegatedClassMarked) {
+  const PatternPtr p = Must("PATTERN T1;!T2;T3 WITHIN 10");
+  EXPECT_TRUE(p->classes[1].negated);
+  EXPECT_EQ(p->NegatedClasses(), (std::vector<int>{1}));
+}
+
+TEST(Analyzer, NegatedDisjunctionMergesIntoBranches) {
+  const PatternPtr p = Must(
+      "PATTERN A;!(B|C);D WHERE B.price > 10 AND C.price < 5 WITHIN 10",
+      AnalyzerOptions{.apply_rewrites = false});
+  ASSERT_EQ(p->num_classes(), 3);
+  const EventClass& merged = p->classes[1];
+  EXPECT_TRUE(merged.negated);
+  ASSERT_EQ(merged.neg_branches.size(), 2u);
+  EXPECT_EQ(merged.neg_branches[0].alias, "B");
+  EXPECT_EQ(merged.neg_branches[0].predicates.size(), 1u);
+  EXPECT_EQ(merged.neg_branches[1].predicates.size(), 1u);
+}
+
+TEST(Analyzer, DeMorganThenMergeEndToEnd) {
+  // With rewrites on, !B & !C becomes !(B|C) and then merges.
+  const PatternPtr p = Must("PATTERN A;(!B&!C);D WITHIN 10");
+  ASSERT_EQ(p->num_classes(), 3);
+  EXPECT_EQ(p->classes[1].neg_branches.size(), 2u);
+}
+
+TEST(Analyzer, ReturnItemsResolved) {
+  const PatternPtr p = Must(
+      "PATTERN T1;T2 WITHIN 10 RETURN T1, T2.price, T1.price - T2.price");
+  ASSERT_EQ(p->return_items.size(), 3u);
+  EXPECT_EQ(p->return_items[0].expr, nullptr);
+  EXPECT_EQ(p->return_items[0].class_idx, 0);
+  EXPECT_NE(p->return_items[1].expr, nullptr);
+}
+
+TEST(Analyzer, DefaultReturnSkipsNegatedClasses) {
+  const PatternPtr p = Must("PATTERN T1;!T2;T3 WITHIN 10");
+  ASSERT_EQ(p->return_items.size(), 2u);
+  EXPECT_EQ(p->return_items[0].class_idx, 0);
+  EXPECT_EQ(p->return_items[1].class_idx, 2);
+}
+
+TEST(Analyzer, TriggerClasses) {
+  EXPECT_EQ(Must("PATTERN A;B;C WITHIN 5")->TriggerClasses(),
+            (std::vector<int>{2}));
+  EXPECT_EQ(Must("PATTERN A;(B|C) WITHIN 5")->TriggerClasses(),
+            (std::vector<int>{1, 2}));
+  EXPECT_EQ(Must("PATTERN A&B WITHIN 5")->TriggerClasses(),
+            (std::vector<int>{0, 1}));
+}
+
+TEST(Analyzer, Errors) {
+  const SchemaPtr s = StockSchema();
+  EXPECT_FALSE(AnalyzeQuery("PATTERN T1;T1 WITHIN 5", s).ok());
+  EXPECT_FALSE(
+      AnalyzeQuery("PATTERN T1;T2 WHERE T9.price > 1 WITHIN 5", s).ok());
+  EXPECT_FALSE(
+      AnalyzeQuery("PATTERN T1;T2 WHERE T1.bogus > 1 WITHIN 5", s).ok());
+  EXPECT_FALSE(AnalyzeQuery("PATTERN T1;T2 WITHIN 0", s).ok());
+  EXPECT_FALSE(
+      AnalyzeQuery("PATTERN T1;T2 WHERE sum(T1.price) > 1 WITHIN 5", s)
+          .ok());  // aggregate over non-Kleene class
+  EXPECT_FALSE(
+      AnalyzeQuery("PATTERN T1;!T2;T3 WITHIN 5 RETURN T2", s).ok());
+  EXPECT_FALSE(
+      AnalyzeQuery("PATTERN T1;T2 WHERE 1 > 0 WITHIN 5", s).ok());
+}
+
+TEST(Analyzer, TsAttributeResolves) {
+  // Stock schema has a ts column; other schemas fall back to the event
+  // timestamp.
+  const PatternPtr p = Must(
+      "PATTERN T1;T2 WHERE T2.ts - T1.ts > 3 WITHIN 10");
+  EXPECT_EQ(p->multi_predicates.size(), 1u);
+  const SchemaPtr weblog = WebLogSchema();
+  auto q = AnalyzeQuery("PATTERN A;B WHERE B.ts - A.ts > 3 WITHIN 10",
+                        weblog);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+}
+
+}  // namespace
+}  // namespace zstream

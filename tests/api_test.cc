@@ -1,0 +1,125 @@
+// End-to-end API tests: compile the paper's queries, run streams,
+// inspect plans.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace zstream {
+namespace {
+
+using testing::Stock;
+
+TEST(Api, CompileAndRunQuery1Style) {
+  // Query 1: a stock rises x% above the following Google tick, then
+  // falls y% below it, within the window.
+  ZStream zs(StockSchema());
+  auto query = zs.Compile(
+      "PATTERN T1;T2;T3 "
+      "WHERE T1.name = T3.name AND T2.name = 'Google' "
+      "AND T1.price > (1 + 20%) * T2.price "
+      "AND T3.price < (1 - 20%) * T2.price "
+      "WITHIN 10 RETURN T1, T2, T3");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+
+  std::vector<Match> matches;
+  (*query)->SetMatchCallback([&](Match&& m) { matches.push_back(m); });
+  (*query)->Push(Stock("IBM", 130, 1));
+  (*query)->Push(Stock("Google", 100, 2));
+  (*query)->Push(Stock("IBM", 70, 3));
+  (*query)->Push(Stock("Oracle", 75, 4));  // name mismatch with IBM
+  (*query)->Finish();
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].slots[0]->value(1), Value("IBM"));
+  EXPECT_EQ(matches[0].slots[2]->timestamp(), 3);
+}
+
+TEST(Api, Query2StylePartitionsOnName) {
+  ZStream zs(StockSchema());
+  auto query = zs.Compile(
+      "PATTERN T1;!T2;T3 "
+      "WHERE T1.name = T2.name = T3.name "
+      "AND T1.price > 50 AND T2.price < 50 "
+      "AND T3.price > 50 * (1 + 20%) "
+      "WITHIN 10 RETURN T1, T3");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_TRUE((*query)->partitioned());
+
+  (*query)->Push(Stock("IBM", 60, 1));
+  (*query)->Push(Stock("Sun", 40, 2));   // different partition
+  (*query)->Push(Stock("IBM", 70, 3));   // match: 60 -> 70, no dip
+  (*query)->Push(Stock("IBM", 40, 4));   // dip
+  (*query)->Push(Stock("IBM", 80, 5));   // every pair ending here dips
+  (*query)->Finish();
+  // Only (60@1, 70@3) survives: the dip at t=4 negates both
+  // (60@1, 80@5) and (70@3, 80@5).
+  EXPECT_EQ((*query)->num_matches(), 1u);
+}
+
+TEST(Api, Query3StyleKleeneAggregate) {
+  ZStream zs(StockSchema());
+  auto query = zs.Compile(
+      "PATTERN T1;T2^2;T3 "
+      "WHERE T1.name = T3.name AND T2.name = 'Google' "
+      "AND sum(T2.volume) > 150 "
+      "AND T3.price > (1 + 20%) * T1.price "
+      "WITHIN 10 RETURN T1, sum(T2.volume), T3");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  std::vector<std::vector<Value>> rows;
+  (*query)->SetMatchCallback([&](Match&& m) {
+    rows.push_back(ProjectMatch((*query)->pattern(), m));
+  });
+  (*query)->Push(Stock("IBM", 100, 1));
+  (*query)->Push(Stock("Google", 1, 2, /*volume=*/100));
+  (*query)->Push(Stock("Google", 1, 3, /*volume=*/80));
+  (*query)->Push(Stock("IBM", 130, 4));
+  (*query)->Finish();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0][1].AsDouble(), 180.0);
+}
+
+TEST(Api, ExplainShowsPlanShape) {
+  ZStream zs(StockSchema());
+  CompileOptions left;
+  left.strategy = PlanStrategy::kLeftDeep;
+  auto query = zs.Compile("PATTERN A;B;C WITHIN 10", left);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ((*query)->Explain(), "[[A ; B] ; C]");
+}
+
+TEST(Api, ShapeStrategy) {
+  ZStream zs(StockSchema());
+  CompileOptions bushy;
+  bushy.strategy = PlanStrategy::kShape;
+  bushy.shape = "((0 1) (2 3))";
+  auto query = zs.Compile("PATTERN A;B;C;D WITHIN 10", bushy);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ((*query)->Explain(), "[[A ; B] ; [C ; D]]");
+}
+
+TEST(Api, OptimalStrategyUsesStats) {
+  ZStream zs(StockSchema());
+  CompileOptions options;
+  StatsCatalog stats(3, 10.0);
+  stats.set_rate(2, 0.001);
+  options.stats = stats;
+  auto query = zs.Compile("PATTERN A;B;C WITHIN 10", options);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ((*query)->Explain(), "[A ; [B ; C]]");
+}
+
+TEST(Api, CompileErrorsSurface) {
+  ZStream zs(StockSchema());
+  EXPECT_FALSE(zs.Compile("PATTERN WITHIN 10").ok());
+  EXPECT_FALSE(zs.Compile("PATTERN A;!B WITHIN 10").ok());
+  EXPECT_FALSE(zs.Compile("PATTERN A;B WHERE A.zz > 1 WITHIN 10").ok());
+}
+
+TEST(Api, AnalyzeOnly) {
+  ZStream zs(StockSchema());
+  auto p = zs.Analyze("PATTERN A;B WITHIN 10");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->num_classes(), 2);
+}
+
+}  // namespace
+}  // namespace zstream

@@ -1,0 +1,138 @@
+// Buffer invariants: end-timestamp order, watermarks, EAT purging,
+// hash-index consistency, memory accounting.
+#include <gtest/gtest.h>
+
+#include "exec/buffer.h"
+#include "event/event.h"
+
+namespace zstream {
+namespace {
+
+Record Rec(Timestamp start, Timestamp end) {
+  Record r;
+  r.start_ts = start;
+  r.end_ts = end;
+  r.slots.assign(1, EventBuilder(StockSchema()).At(end).Build());
+  return r;
+}
+
+TEST(Buffer, AppendAssignsSequentialIds) {
+  MemoryTracker t;
+  Buffer b(&t);
+  EXPECT_EQ(b.Append(Rec(1, 1)), 0u);
+  EXPECT_EQ(b.Append(Rec(2, 2)), 1u);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.Get(1).end_ts, 2);
+}
+
+TEST(Buffer, WatermarkTracksConsumption) {
+  MemoryTracker t;
+  Buffer b(&t);
+  b.Append(Rec(1, 1));
+  b.Append(Rec(2, 2));
+  EXPECT_TRUE(b.HasUnconsumed());
+  EXPECT_EQ(*b.FirstUnconsumedEndTs(), 1);
+  b.SetWatermark(2);
+  EXPECT_FALSE(b.HasUnconsumed());
+  b.RewindWatermark();
+  EXPECT_EQ(b.watermark(), 0u);
+}
+
+TEST(Buffer, PurgeBeforeRemovesExpiredPrefix) {
+  MemoryTracker t;
+  Buffer b(&t);
+  for (int i = 0; i < 10; ++i) b.Append(Rec(i, i));
+  b.PurgeBefore(5);
+  EXPECT_EQ(b.base_id(), 5u);
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(b.Get(5).end_ts, 5);
+  // Watermark below base clamps.
+  EXPECT_EQ(b.watermark(), 5u);
+}
+
+TEST(Buffer, PurgeStopsAtFirstLiveRecord) {
+  MemoryTracker t;
+  Buffer b(&t);
+  // A record with early end but late start blocks the purge behind it.
+  b.Append(Rec(10, 10));
+  b.Append(Rec(2, 11));  // start 2 (expired) but behind a live record
+  b.PurgeBefore(5);
+  EXPECT_EQ(b.size(), 2u);  // front record is live, so nothing popped
+}
+
+TEST(Buffer, ClearReleasesEverything) {
+  MemoryTracker t;
+  Buffer b(&t);
+  for (int i = 0; i < 4; ++i) b.Append(Rec(i, i));
+  const auto bytes = t.current_bytes();
+  EXPECT_GT(bytes, 0);
+  b.Clear();
+  EXPECT_EQ(t.current_bytes(), 0);
+  EXPECT_EQ(b.base_id(), 4u);
+  // Ids continue monotonically after a clear.
+  EXPECT_EQ(b.Append(Rec(9, 9)), 4u);
+}
+
+TEST(Buffer, MemoryAccountingLeafCountsEvents) {
+  MemoryTracker t_leaf, t_internal;
+  Buffer leaf(&t_leaf, /*count_event_bytes=*/true);
+  Buffer internal(&t_internal, /*count_event_bytes=*/false);
+  leaf.Append(Rec(1, 1));
+  internal.Append(Rec(1, 1));
+  EXPECT_GT(t_leaf.current_bytes(), t_internal.current_bytes());
+}
+
+TEST(Buffer, HashIndexProbeFindsMatchingRecords) {
+  MemoryTracker t;
+  Buffer b(&t);
+  const auto mk = [&](const std::string& name, Timestamp ts) {
+    Record r;
+    r.start_ts = ts;
+    r.end_ts = ts;
+    r.slots.assign(1, EventBuilder(StockSchema())
+                          .Set("name", Value(name))
+                          .At(ts)
+                          .Build());
+    return r;
+  };
+  b.EnableHashIndex(/*class_idx=*/0, /*field_idx=*/1);
+  b.Append(mk("X", 1));
+  b.Append(mk("Y", 2));
+  b.Append(mk("X", 3));
+  ASSERT_TRUE(b.has_hash_index());
+  const auto& xs = b.hash_index()->Probe(Value("X"));
+  EXPECT_EQ(xs, (std::vector<uint64_t>{0, 2}));
+  EXPECT_TRUE(b.hash_index()->Probe(Value("Z")).empty());
+}
+
+TEST(Buffer, HashIndexBuiltOverExistingRecords) {
+  MemoryTracker t;
+  Buffer b(&t);
+  Record r;
+  r.start_ts = 1;
+  r.end_ts = 1;
+  r.slots.assign(1, EventBuilder(StockSchema())
+                        .Set("name", Value("X"))
+                        .At(1)
+                        .Build());
+  b.Append(std::move(r));
+  b.EnableHashIndex(0, 1);
+  EXPECT_EQ(b.hash_index()->Probe(Value("X")).size(), 1u);
+}
+
+TEST(HashIndex, CompactDropsPurgedIds) {
+  HashIndex idx(0, 1);
+  Record r;
+  r.start_ts = 0;
+  r.end_ts = 0;
+  r.slots.assign(1, EventBuilder(StockSchema())
+                        .Set("name", Value("X"))
+                        .At(0)
+                        .Build());
+  for (uint64_t id = 0; id < 10; ++id) idx.Insert(r, id);
+  idx.Compact(7);
+  EXPECT_EQ(idx.Probe(Value("X")), (std::vector<uint64_t>{7, 8, 9}));
+}
+
+}  // namespace
+}  // namespace zstream

@@ -1,0 +1,155 @@
+// Substrate tests: Status/Result, Value, Schema, MemoryTracker, Random,
+// string utilities.
+#include <gtest/gtest.h>
+
+#include "common/memory_tracker.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/value.h"
+
+namespace zstream {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsParseError());
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err(Status::Internal("boom"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsInternal());
+  EXPECT_EQ(err.ValueOr(-1), -1);
+}
+
+Result<int> Halve(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  ZS_ASSIGN_OR_RETURN(const int half, Halve(x));
+  return Halve(half);
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());
+}
+
+TEST(Value, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(int64_t{3}).is_int64());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(int64_t{3}).is_numeric());
+  EXPECT_TRUE(Value(3.5).is_numeric());
+}
+
+TEST(Value, NumericComparisonCoerces) {
+  EXPECT_EQ(*Value(int64_t{3}).Compare(Value(3.0)), 0);
+  EXPECT_EQ(*Value(int64_t{2}).Compare(Value(3.0)), -1);
+  EXPECT_EQ(*Value(4.0).Compare(Value(int64_t{3})), 1);
+}
+
+TEST(Value, StringComparison) {
+  EXPECT_EQ(*Value("abc").Compare(Value("abd")), -1);
+  EXPECT_EQ(*Value("abc").Compare(Value("abc")), 0);
+}
+
+TEST(Value, IncomparableCategoriesError) {
+  EXPECT_FALSE(Value("x").Compare(Value(int64_t{1})).ok());
+  EXPECT_FALSE(Value().Compare(Value(int64_t{1})).ok());
+}
+
+TEST(Value, EqualityAndHashConsistent) {
+  EXPECT_EQ(Value(int64_t{3}), Value(3.0));
+  EXPECT_EQ(Value(int64_t{3}).Hash(), Value(3.0).Hash());
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_EQ(Value("a").Hash(), Value("a").Hash());
+}
+
+TEST(Value, Arithmetic) {
+  EXPECT_EQ(Add(Value(int64_t{2}), Value(int64_t{3})), Value(int64_t{5}));
+  EXPECT_EQ(Multiply(Value(2.0), Value(int64_t{3})), Value(6.0));
+  EXPECT_TRUE(Divide(Value(int64_t{1}), Value(int64_t{0})).is_null());
+  EXPECT_EQ(Modulo(Value(int64_t{7}), Value(int64_t{3})), Value(int64_t{1}));
+  EXPECT_TRUE(Add(Value("x"), Value(int64_t{1})).is_null());
+}
+
+TEST(Value, TruthinessIsStrict) {
+  EXPECT_TRUE(Value(true).IsTruthy());
+  EXPECT_FALSE(Value(false).IsTruthy());
+  EXPECT_FALSE(Value(int64_t{1}).IsTruthy());
+  EXPECT_FALSE(Value().IsTruthy());
+}
+
+TEST(Schema, FieldLookup) {
+  const SchemaPtr s = Schema::Make({{"a", ValueType::kInt64},
+                                    {"b", ValueType::kString}});
+  EXPECT_EQ(s->num_fields(), 2);
+  EXPECT_EQ(s->FieldIndex("b"), 1);
+  EXPECT_EQ(s->FieldIndex("missing"), -1);
+  EXPECT_TRUE(s->RequireField("a").ok());
+  EXPECT_FALSE(s->RequireField("zz").ok());
+}
+
+TEST(MemoryTracker, TracksPeak) {
+  MemoryTracker t;
+  t.Allocate(100);
+  t.Allocate(50);
+  t.Release(120);
+  EXPECT_EQ(t.current_bytes(), 30);
+  EXPECT_EQ(t.peak_bytes(), 150);
+  t.ResetPeak();
+  EXPECT_EQ(t.peak_bytes(), 30);
+}
+
+TEST(Random, DeterministicAndUniformish) {
+  Random a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Random r(9);
+  int buckets[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++buckets[r.Uniform(4)];
+  for (int c : buckets) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(Random, UniformRangeInclusive) {
+  Random r(1);
+  for (int i = 0; i < 100; ++i) {
+    const int64_t v = r.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+  }
+}
+
+TEST(StringUtil, Basics) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("aBc"), "ABC");
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Split("a:b:c", ':'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_TRUE(EqualsIgnoreCase("WiThIn", "within"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+}
+
+}  // namespace
+}  // namespace zstream

@@ -1,0 +1,180 @@
+// Cost model tests: Table 2 formulas verified against hand-computed
+// values; hashing extension; sensitivity directions that drive Figures
+// 9, 11 and 13.
+#include <gtest/gtest.h>
+
+#include "opt/cost_model.h"
+#include "query/analyzer.h"
+
+namespace zstream {
+namespace {
+
+PatternPtr Must(const std::string& q) {
+  auto r = AnalyzeQuery(q, StockSchema(), AnalyzerOptions{});
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+TEST(CostModel, LeafCardIsRateTimesWindow) {
+  const PatternPtr p = Must("PATTERN A;B WITHIN 10");
+  StatsCatalog stats(2, 10.0);
+  stats.set_rate(0, 3.0);
+  const CostModel model(p.get(), &stats);
+  const auto est = model.EstimateNode(PhysNode::Leaf(0).get());
+  EXPECT_DOUBLE_EQ(est.card, 30.0);
+  EXPECT_DOUBLE_EQ(est.cost, 0.0);
+}
+
+TEST(CostModel, SeqFormulaMatchesTable2) {
+  // SEQ(A;B): Ci = CARD_A * CARD_B * Pt; Co = Ci * P_{A,B};
+  // C = Ci + n*k*Ci + p*Co.
+  const PatternPtr p = Must(
+      "PATTERN A;B WHERE A.price > B.price WITHIN 10");
+  StatsCatalog stats(2, 10.0);
+  stats.set_rate(0, 2.0);  // CARD_A = 20
+  stats.set_rate(1, 5.0);  // CARD_B = 50
+  stats.SetPairSel(0, 1, 0.1);
+  const CostModel model(p.get(), &stats,
+                        CostModelParams{.k = 0.25, .p = 1.0,
+                                        .assume_hashing = false});
+  const PhysicalPlan plan = LeftDeepPlan(*p);
+  const auto est = model.EstimateNode(plan.root.get());
+  const double ci = 20.0 * 50.0 * 0.5;          // 500
+  const double co = ci * 0.1;                    // 50
+  EXPECT_DOUBLE_EQ(est.input_cost, ci);
+  EXPECT_DOUBLE_EQ(est.card, co);
+  EXPECT_DOUBLE_EQ(est.cost, ci + 1 * 0.25 * ci + co);
+}
+
+TEST(CostModel, ConjunctionHasNoTimeSelectivity) {
+  const PatternPtr p = Must("PATTERN A&B WITHIN 10");
+  StatsCatalog stats(2, 10.0);
+  stats.set_rate(0, 2.0);
+  stats.set_rate(1, 5.0);
+  const CostModel model(p.get(), &stats);
+  const auto est = model.EstimateNode(LeftDeepPlan(*p).root.get());
+  EXPECT_DOUBLE_EQ(est.input_cost, 20.0 * 50.0);
+  EXPECT_DOUBLE_EQ(est.card, 20.0 * 50.0);
+}
+
+TEST(CostModel, DisjunctionAddsCards) {
+  const PatternPtr p = Must("PATTERN A|B WITHIN 10");
+  StatsCatalog stats(2, 10.0);
+  stats.set_rate(0, 2.0);
+  stats.set_rate(1, 5.0);
+  const CostModel model(p.get(), &stats);
+  const auto est = model.EstimateNode(LeftDeepPlan(*p).root.get());
+  EXPECT_DOUBLE_EQ(est.input_cost, 70.0);
+  EXPECT_DOUBLE_EQ(est.card, 70.0);
+}
+
+TEST(CostModel, OperatorCostOrderingDisjSeqConj) {
+  // C_DIS < C_SEQ < C_CON for identical inputs (Section 5.2.1).
+  StatsCatalog stats(2, 10.0);
+  const PatternPtr dis = Must("PATTERN A|B WITHIN 10");
+  const PatternPtr seq = Must("PATTERN A;B WITHIN 10");
+  const PatternPtr con = Must("PATTERN A&B WITHIN 10");
+  const double c_dis =
+      CostModel(dis.get(), &stats).PlanCost(LeftDeepPlan(*dis));
+  const double c_seq =
+      CostModel(seq.get(), &stats).PlanCost(LeftDeepPlan(*seq));
+  const double c_con =
+      CostModel(con.get(), &stats).PlanCost(LeftDeepPlan(*con));
+  EXPECT_LT(c_dis, c_seq);
+  EXPECT_LT(c_seq, c_con);
+}
+
+TEST(CostModel, NseqInputCostIndependentOfNegatorRate) {
+  const PatternPtr p = Must("PATTERN A;!B;C WITHIN 10");
+  StatsCatalog lo(3, 10.0), hi(3, 10.0);
+  lo.set_rate(1, 1.0);
+  hi.set_rate(1, 1000.0);  // negator rate should not change NSEQ input
+  const PhysicalPlan plan = RightDeepPlan(*p);
+  const double cost_lo = CostModel(p.get(), &lo).PlanCost(plan);
+  const double cost_hi = CostModel(p.get(), &hi).PlanCost(plan);
+  EXPECT_DOUBLE_EQ(cost_lo, cost_hi);
+}
+
+TEST(CostModel, NegTopCostGrowsWithIntermediateResults) {
+  const PatternPtr p = Must("PATTERN A;!B;C WITHIN 10");
+  StatsCatalog stats(3, 10.0);
+  const double pushed =
+      CostModel(p.get(), &stats).PlanCost(RightDeepPlan(*p));
+  const double top =
+      CostModel(p.get(), &stats).PlanCost(NegationTopPlan(*p));
+  // With uniform rates the pushed-down plan is cheaper (Section 6.4).
+  EXPECT_LT(pushed, top);
+}
+
+TEST(CostModel, SelectivityLowersEarlyJoinCost) {
+  // Query 4 shape: predicate between the first two classes. The
+  // left-deep plan's cost must drop as selectivity drops; right-deep
+  // stays flat-ish (predicate applied late).
+  const PatternPtr p = Must(
+      "PATTERN A;B;C WHERE A.price > B.price WITHIN 10");
+  auto cost = [&](double sel, const PhysicalPlan& plan) {
+    StatsCatalog stats(3, 10.0);
+    stats.SetPairSel(0, 1, sel);
+    return CostModel(p.get(), &stats).PlanCost(plan);
+  };
+  const PhysicalPlan left = LeftDeepPlan(*p);
+  const PhysicalPlan right = RightDeepPlan(*p);
+  EXPECT_LT(cost(1.0 / 32, left), cost(1.0, left));
+  EXPECT_LT(cost(1.0 / 32, left), cost(1.0 / 32, right));
+  // At selectivity 1 the cardinalities agree; the shapes differ only by
+  // where the predicate-evaluation term n*k*Ci lands (Formula 1), which
+  // is cheaper when evaluated against the smaller early join.
+  EXPECT_LE(cost(1.0, left), cost(1.0, right));
+  EXPECT_NEAR(cost(1.0, left), cost(1.0, right),
+              0.1 * cost(1.0, right));
+}
+
+TEST(CostModel, RareFirstClassFavorsLeftDeep) {
+  // Figure 10's regime: when the first class is rare, join it early.
+  const PatternPtr p = Must("PATTERN A;B;C WITHIN 10");
+  StatsCatalog stats(3, 10.0);
+  stats.set_rate(0, 0.01);
+  stats.set_rate(1, 1.0);
+  stats.set_rate(2, 1.0);
+  const CostModel model(p.get(), &stats);
+  EXPECT_LT(model.PlanCost(LeftDeepPlan(*p)),
+            model.PlanCost(RightDeepPlan(*p)));
+  // And the mirror: rare last class favors right-deep.
+  StatsCatalog mirror(3, 10.0);
+  mirror.set_rate(2, 0.01);
+  const CostModel m2(p.get(), &mirror);
+  EXPECT_LT(m2.PlanCost(RightDeepPlan(*p)),
+            m2.PlanCost(LeftDeepPlan(*p)));
+}
+
+TEST(CostModel, HashingReducesInputCost) {
+  AnalyzerOptions o;
+  o.detect_partition = false;
+  auto r = AnalyzeQuery("PATTERN A;B WHERE A.name = B.name WITHIN 10",
+                        StockSchema(), o);
+  ASSERT_TRUE(r.ok());
+  const PatternPtr p = *r;
+  StatsCatalog stats(2, 10.0);
+  stats.SetPairSel(0, 1, 0.01);
+  CostModelParams with_hash{.k = 0.25, .p = 1.0, .assume_hashing = true};
+  CostModelParams no_hash{.k = 0.25, .p = 1.0, .assume_hashing = false};
+  const double c_hash =
+      CostModel(p.get(), &stats, with_hash).PlanCost(LeftDeepPlan(*p));
+  const double c_scan =
+      CostModel(p.get(), &stats, no_hash).PlanCost(LeftDeepPlan(*p));
+  EXPECT_LT(c_hash, c_scan);
+}
+
+TEST(CostModel, KleeneCountScalesN) {
+  const PatternPtr p2 = Must("PATTERN A;B^2;C WITHIN 10");
+  const PatternPtr p5 = Must("PATTERN A;B^5;C WITHIN 10");
+  StatsCatalog stats(3, 10.0);
+  const double c2 =
+      CostModel(p2.get(), &stats).PlanCost(LeftDeepPlan(*p2));
+  const double c5 =
+      CostModel(p5.get(), &stats).PlanCost(LeftDeepPlan(*p5));
+  EXPECT_LT(c2, c5);
+}
+
+}  // namespace
+}  // namespace zstream

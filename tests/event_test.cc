@@ -1,0 +1,75 @@
+// Event model and streams.
+#include <gtest/gtest.h>
+
+#include "event/event.h"
+#include "event/stream.h"
+
+namespace zstream {
+namespace {
+
+TEST(Event, BuilderAndAccessors) {
+  const EventPtr e = EventBuilder(StockSchema())
+                         .Set("id", int64_t{7})
+                         .Set("name", "IBM")
+                         .Set("price", 95.5)
+                         .Set("volume", int64_t{10})
+                         .Set("ts", int64_t{42})
+                         .At(42)
+                         .Build();
+  EXPECT_EQ(e->timestamp(), 42);
+  EXPECT_EQ(e->value(1), Value("IBM"));
+  EXPECT_EQ((*e->ValueOf("price")).AsDouble(), 95.5);
+  EXPECT_FALSE(e->ValueOf("nope").ok());
+  EXPECT_GT(e->ByteSize(), sizeof(Event));
+}
+
+TEST(Event, ToStringMentionsFields) {
+  const EventPtr e =
+      EventBuilder(StockSchema()).Set("name", "Sun").At(3).Build();
+  const std::string s = e->ToString();
+  EXPECT_NE(s.find("name='Sun'"), std::string::npos);
+  EXPECT_NE(s.find("ts=3"), std::string::npos);
+}
+
+TEST(Stream, VectorStreamYieldsInOrder) {
+  std::vector<EventPtr> events;
+  for (int i = 0; i < 5; ++i) {
+    events.push_back(EventBuilder(StockSchema()).At(i).Build());
+  }
+  VectorStream vs(events);
+  EXPECT_EQ(vs.SizeHint(), 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(vs.Next()->timestamp(), i);
+  }
+  EXPECT_EQ(vs.Next(), nullptr);
+}
+
+TEST(Stream, ConcatStreamSpansSegments) {
+  auto seg = [](Timestamp base) {
+    std::vector<EventPtr> events;
+    for (int i = 0; i < 3; ++i) {
+      events.push_back(EventBuilder(StockSchema()).At(base + i).Build());
+    }
+    return std::make_unique<VectorStream>(std::move(events));
+  };
+  std::vector<std::unique_ptr<EventStream>> segs;
+  segs.push_back(seg(0));
+  segs.push_back(seg(10));
+  ConcatStream cs(std::move(segs));
+  EXPECT_EQ(cs.SizeHint(), 6);
+  std::vector<Timestamp> got;
+  while (EventPtr e = cs.Next()) got.push_back(e->timestamp());
+  EXPECT_EQ(got, (std::vector<Timestamp>{0, 1, 2, 10, 11, 12}));
+}
+
+TEST(Stream, DrainStream) {
+  std::vector<EventPtr> events;
+  for (int i = 0; i < 4; ++i) {
+    events.push_back(EventBuilder(StockSchema()).At(i).Build());
+  }
+  VectorStream vs(events);
+  EXPECT_EQ(DrainStream(&vs).size(), 4u);
+}
+
+}  // namespace
+}  // namespace zstream

@@ -1,0 +1,161 @@
+// Cross-module integration: the paper's experimental queries end to
+// end, all plan shapes agreeing, on generated workloads.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/stock_gen.h"
+#include "workload/weblog_gen.h"
+
+namespace zstream {
+namespace {
+
+using testing::MustAnalyze;
+using testing::RunPlan;
+
+constexpr char kQuery4[] =
+    "PATTERN IBM;Sun;Oracle "
+    "WHERE IBM.name='IBM' AND Sun.name='Sun' AND Oracle.name='Oracle' "
+    "AND IBM.price > Sun.price WITHIN 200";
+
+constexpr char kQuery6[] =
+    "PATTERN IBM;Sun;Oracle;Google "
+    "WHERE IBM.name='IBM' AND Sun.name='Sun' AND Oracle.name='Oracle' "
+    "AND Google.name='Google' AND Oracle.price > Sun.price "
+    "AND Oracle.price > Google.price WITHIN 100";
+
+constexpr char kQuery7[] =
+    "PATTERN IBM;!Sun;Oracle "
+    "WHERE IBM.name='IBM' AND Sun.name='Sun' AND Oracle.name='Oracle' "
+    "WITHIN 200";
+
+std::vector<EventPtr> Workload(const std::string& ratio, int n,
+                               uint64_t seed,
+                               std::vector<std::string> names = {
+                                   "IBM", "Sun", "Oracle"}) {
+  StockGenOptions options;
+  options.names = std::move(names);
+  options.weights = ParseRateRatio(ratio);
+  options.num_events = n;
+  options.seed = seed;
+  return GenerateStockTrades(options);
+}
+
+TEST(Integration, Query4AllPlansAgree) {
+  const PatternPtr p = MustAnalyze(kQuery4);
+  const auto events = Workload("1:1:1", 3000, 13);
+  const auto left = RunPlan(p, LeftDeepPlan(*p), events);
+  const auto right = RunPlan(p, RightDeepPlan(*p), events);
+  EXPECT_EQ(left, right);
+  EXPECT_FALSE(left.empty());
+
+  auto nfa = NfaEngine::Create(p);
+  ASSERT_TRUE(nfa.ok());
+  for (const auto& e : events) (*nfa)->Push(e);
+  EXPECT_EQ((*nfa)->num_matches(), left.size());
+}
+
+TEST(Integration, Query6AllFourShapesAndNfaAgree) {
+  const PatternPtr p = MustAnalyze(kQuery6);
+  const auto events = Workload("1:5:5:5", 2000, 19,
+                               {"IBM", "Sun", "Oracle", "Google"});
+  const auto left = RunPlan(p, LeftDeepPlan(*p), events);
+  const auto right = RunPlan(p, RightDeepPlan(*p), events);
+  auto bushy_plan = PlanFromShape(*p, "((0 1) (2 3))");
+  auto inner_plan = PlanFromShape(*p, "(0 ((1 2) 3))");
+  ASSERT_TRUE(bushy_plan.ok());
+  ASSERT_TRUE(inner_plan.ok());
+  const auto bushy = RunPlan(p, *bushy_plan, events);
+  const auto inner = RunPlan(p, *inner_plan, events);
+  EXPECT_EQ(left, right);
+  EXPECT_EQ(left, bushy);
+  EXPECT_EQ(left, inner);
+
+  auto nfa = NfaEngine::Create(p);
+  ASSERT_TRUE(nfa.ok());
+  for (const auto& e : events) (*nfa)->Push(e);
+  EXPECT_EQ((*nfa)->num_matches(), left.size());
+}
+
+TEST(Integration, Query7NegationPlansAgree) {
+  const PatternPtr p = MustAnalyze(kQuery7);
+  const auto events = Workload("1:1:10", 3000, 29);
+  const auto pushed = RunPlan(p, RightDeepPlan(*p), events);
+  const auto top = RunPlan(p, NegationTopPlan(*p), events);
+  // Compare counts (the pushed plan binds the negator slot).
+  EXPECT_EQ(pushed.size(), top.size());
+
+  auto nfa = NfaEngine::Create(p);
+  ASSERT_TRUE(nfa.ok());
+  for (const auto& e : events) (*nfa)->Push(e);
+  EXPECT_EQ((*nfa)->num_matches(), pushed.size());
+}
+
+TEST(Integration, Query8WebLogPartitionedRun) {
+  WebLogGenOptions options;
+  options.total_records = 100000;
+  options.publication_accesses = 2000;
+  options.project_accesses = 3000;
+  options.course_accesses = 4000;
+  options.num_ips = 50;  // dense enough for same-IP triples to occur
+  const auto events = GenerateWebLog(options);
+
+  ZStream zs(WebLogSchema());
+  auto query = zs.Compile(
+      "PATTERN Pub;Proj;Course "
+      "WHERE Pub.category='publication' AND Proj.category='project' "
+      "AND Course.category='course' "
+      "AND Pub.ip = Proj.ip = Course.ip "
+      "WITHIN 10 hours");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_TRUE((*query)->partitioned());
+  for (const auto& e : events) (*query)->Push(e);
+  (*query)->Finish();
+  const uint64_t partitioned_matches = (*query)->num_matches();
+  EXPECT_GT(partitioned_matches, 0u);
+
+  // Cross-check against an unpartitioned engine with the explicit
+  // equality predicates.
+  AnalyzerOptions no_part;
+  no_part.detect_partition = false;
+  auto direct = AnalyzeQuery(
+      "PATTERN Pub;Proj;Course "
+      "WHERE Pub.category='publication' AND Proj.category='project' "
+      "AND Course.category='course' "
+      "AND Pub.ip = Proj.ip = Course.ip "
+      "WITHIN 10 hours",
+      WebLogSchema(), no_part);
+  ASSERT_TRUE(direct.ok());
+  const auto baseline =
+      RunPlan(*direct, LeftDeepPlan(**direct), events);
+  EXPECT_EQ(partitioned_matches, baseline.size());
+}
+
+TEST(Integration, OptimizerPlanNeverLosesToForcedShapesOnThroughput) {
+  // Sanity (not a strict guarantee): on a skewed workload the
+  // cost-chosen plan should process at least as few pairs as the worst
+  // forced shape.
+  const PatternPtr p = MustAnalyze(kQuery4);
+  const auto events = Workload("1:50:50", 20000, 31);
+
+  StatsCatalog stats(3, 200.0);
+  stats.set_rate(0, 1.0 / 101.0);
+  stats.set_rate(1, 50.0 / 101.0);
+  stats.set_rate(2, 50.0 / 101.0);
+  Planner planner(p, &stats);
+  auto optimal = planner.OptimalPlan();
+  ASSERT_TRUE(optimal.ok());
+
+  auto pairs = [&](const PhysicalPlan& plan) {
+    auto engine = Engine::Create(p, plan);
+    for (const auto& e : events) (*engine)->Push(e);
+    (*engine)->Finish();
+    return (*engine)->pairs_tried();
+  };
+  const uint64_t opt_pairs = pairs(*optimal);
+  const uint64_t worst = std::max(pairs(LeftDeepPlan(*p)),
+                                  pairs(RightDeepPlan(*p)));
+  EXPECT_LE(opt_pairs, worst);
+}
+
+}  // namespace
+}  // namespace zstream

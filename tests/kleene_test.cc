@@ -1,0 +1,149 @@
+// Kleene closure (Algorithm 4), including the paper's Figure 6 worked
+// example and aggregate predicates over closure groups (Query 3 style).
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace zstream {
+namespace {
+
+using testing::MustAnalyze;
+using testing::RunPlan;
+using testing::Stock;
+
+// Figure 6's stream: a1, b2, b3, b5, c6.
+std::vector<EventPtr> Figure6Stream() {
+  return {
+      Stock("A", 1, 1), Stock("B", 1, 2), Stock("B", 1, 3),
+      Stock("B", 1, 5), Stock("C", 1, 6),
+  };
+}
+
+TEST(Kleene, Figure6UnspecifiedCount) {
+  // "A;B*;C": one maximal group per (start, end) pair.
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B*;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "WITHIN 100");
+  const auto matches = RunPlan(p, LeftDeepPlan(*p), Figure6Stream());
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], "0@1|2@6|g{2,3,5,}");  // a1, b2-b5, c6
+}
+
+TEST(Kleene, Figure6CountTwo) {
+  // "A;B^2;C": sliding windows of 2 -> groups (b2,b3) and (b3,b5).
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B^2;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "WITHIN 100");
+  const auto matches = RunPlan(p, LeftDeepPlan(*p), Figure6Stream());
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0], "0@1|2@6|g{2,3,}");
+  EXPECT_EQ(matches[1], "0@1|2@6|g{3,5,}");
+}
+
+TEST(Kleene, StarAllowsEmptyGroup) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B*;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "WITHIN 100");
+  const auto matches = RunPlan(
+      p, LeftDeepPlan(*p), {Stock("A", 1, 1), Stock("C", 1, 2)});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], "0@1|2@2|g{}");
+}
+
+TEST(Kleene, PlusRequiresOneEvent) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B+;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "WITHIN 100");
+  const auto empty = RunPlan(
+      p, LeftDeepPlan(*p), {Stock("A", 1, 1), Stock("C", 1, 2)});
+  EXPECT_TRUE(empty.empty());
+  const auto one = RunPlan(
+      p, LeftDeepPlan(*p),
+      {Stock("A", 1, 1), Stock("B", 1, 2), Stock("C", 1, 3)});
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(Kleene, CountRequiresExactRun) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B^3;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "WITHIN 100");
+  const auto two = RunPlan(
+      p, LeftDeepPlan(*p),
+      {Stock("A", 1, 1), Stock("B", 1, 2), Stock("B", 1, 3),
+       Stock("C", 1, 4)});
+  EXPECT_TRUE(two.empty());
+  const auto three = RunPlan(
+      p, LeftDeepPlan(*p),
+      {Stock("A", 1, 1), Stock("B", 1, 2), Stock("B", 1, 3),
+       Stock("B", 1, 4), Stock("C", 1, 5)});
+  EXPECT_EQ(three.size(), 1u);
+}
+
+TEST(Kleene, AggregatePredicateOverGroup) {
+  // Query 3 style: sum of closure volumes must exceed a threshold.
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B^2;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "AND sum(B.volume) > 350 WITHIN 100");
+  const auto matches = RunPlan(
+      p, LeftDeepPlan(*p),
+      {Stock("A", 1, 1), Stock("B", 1, 2, /*volume=*/100),
+       Stock("B", 1, 3, /*volume=*/200), Stock("B", 1, 4, /*volume=*/300),
+       Stock("C", 1, 5)});
+  // Groups: (100,200)=300 no; (200,300)=500 yes.
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], "0@1|2@5|g{3,4,}");
+}
+
+TEST(Kleene, PerEventPredicateFiltersClosureEvents) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B*;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "AND B.price > A.price WITHIN 100");
+  const auto matches = RunPlan(
+      p, LeftDeepPlan(*p),
+      {Stock("A", 50, 1), Stock("B", 10, 2), Stock("B", 90, 3),
+       Stock("C", 1, 4)});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], "0@1|2@4|g{3,}");  // only b@3 qualifies
+}
+
+TEST(Kleene, ClosureAtPatternStart) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN B*;C WHERE B.name='B' AND C.name='C' WITHIN 100");
+  const auto matches = RunPlan(
+      p, LeftDeepPlan(*p),
+      {Stock("B", 1, 1), Stock("B", 1, 2), Stock("C", 1, 3)});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], "1@3|g{1,2,}");
+}
+
+TEST(Kleene, ClosureAtPatternEndIncremental) {
+  // Documented deviation: each closure event acts as an end trigger.
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B^2 WHERE A.name='A' AND B.name='B' WITHIN 100");
+  const auto matches = RunPlan(
+      p, LeftDeepPlan(*p),
+      {Stock("A", 1, 1), Stock("B", 1, 2), Stock("B", 1, 3),
+       Stock("B", 1, 4)});
+  // Runs of 2 ending at b3 and b4.
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0], "0@1|1@3|g{2,3,}");
+  EXPECT_EQ(matches[1], "0@1|1@4|g{3,4,}");
+}
+
+TEST(Kleene, WindowBoundsGroups) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B*;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "WITHIN 5");
+  const auto matches = RunPlan(
+      p, LeftDeepPlan(*p),
+      {Stock("A", 1, 0), Stock("B", 1, 2), Stock("C", 1, 6)});
+  EXPECT_TRUE(matches.empty());  // span 6 > window 5
+}
+
+TEST(Kleene, RejectsMultipleClosures) {
+  EXPECT_FALSE(
+      AnalyzeQuery("PATTERN A*;B* WITHIN 10", StockSchema()).ok());
+}
+
+}  // namespace
+}  // namespace zstream

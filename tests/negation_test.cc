@@ -1,0 +1,135 @@
+// Negation semantics: NSEQ (Algorithm 2), the NEG-on-top filter, their
+// equivalence, and the paper's Figure 5 worked example.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace zstream {
+namespace {
+
+using testing::MustAnalyze;
+using testing::RunPlan;
+using testing::Stock;
+
+constexpr char kNegQuery[] =
+    "PATTERN A;!B;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+    "WITHIN 100";
+
+TEST(Negation, Figure5Example) {
+  // Paper Figure 5: a1, b2, b3, a4, c5 with window tw. b3 negates c5,
+  // so only a4 (after b3) combines with c5 -> single match (a4, c5).
+  const PatternPtr p = MustAnalyze(kNegQuery);
+  const std::vector<EventPtr> events = {
+      Stock("A", 1, 1), Stock("B", 1, 2), Stock("B", 1, 3),
+      Stock("A", 1, 4), Stock("C", 1, 5),
+  };
+  const auto pushed = RunPlan(p, RightDeepPlan(*p), events);
+  ASSERT_EQ(pushed.size(), 1u);
+  // The NSEQ plan records the negating event b3 in the match's B slot.
+  EXPECT_EQ(pushed[0], "0@4|1@3|2@5|");
+}
+
+TEST(Negation, NoNegatorYieldsAllPairs) {
+  const PatternPtr p = MustAnalyze(kNegQuery);
+  const std::vector<EventPtr> events = {
+      Stock("A", 1, 1), Stock("A", 1, 2), Stock("C", 1, 3),
+  };
+  const auto matches = RunPlan(p, RightDeepPlan(*p), events);
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST(Negation, PushedDownEqualsTopFilter) {
+  const PatternPtr p = MustAnalyze(kNegQuery);
+  Random rng(3);
+  std::vector<EventPtr> events;
+  for (int i = 0; i < 300; ++i) {
+    const char* names[] = {"A", "B", "C"};
+    events.push_back(Stock(names[rng.Uniform(3)], i % 7, i));
+  }
+  const auto pushed = RunPlan(p, RightDeepPlan(*p), events);
+  const auto top = RunPlan(p, NegationTopPlan(*p), events);
+  // The pushed plan binds the negator event in a slot, the top filter
+  // does not; compare on positive slots only.
+  auto strip = [](std::vector<std::string> keys) {
+    for (std::string& k : keys) {
+      // Keys look like "0@ts|1@ts|2@ts|"; drop class-1 (B) bindings.
+      std::string out;
+      size_t pos = 0;
+      while (pos < k.size()) {
+        const size_t bar = k.find('|', pos);
+        const std::string part = k.substr(pos, bar - pos);
+        if (part.rfind("1@", 0) != 0) out += part + "|";
+        pos = bar + 1;
+      }
+      k = out;
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  EXPECT_EQ(strip(pushed), strip(top));
+  EXPECT_FALSE(pushed.empty());
+}
+
+TEST(Negation, PredicateOnNegatorRestrictsNegation) {
+  // Only expensive B events negate.
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;!B;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "AND B.price > 50 WITHIN 100");
+  const std::vector<EventPtr> events = {
+      Stock("A", 1, 1), Stock("B", 10, 2), Stock("C", 1, 3),   // cheap B
+      Stock("A", 1, 11), Stock("B", 90, 12), Stock("C", 1, 13),  // negates
+  };
+  const auto matches = RunPlan(p, RightDeepPlan(*p), events);
+  // (a1,c3) survives (B@2 cheap). (a11,c13) negated. (a1,c13) negated by
+  // B@12. (a11,c3)? c3 < a11, not a pair.
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].substr(0, 4), "0@1|");
+}
+
+TEST(Negation, MultiClassNegPredicateBetweenBAndC) {
+  // B negates only when its price exceeds the C event's price
+  // (the introduction's "no interleaving B with B.price > C.price").
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;!B;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "AND B.price > C.price WITHIN 100");
+  const std::vector<EventPtr> events = {
+      Stock("A", 1, 1), Stock("B", 10, 2), Stock("C", 50, 3),
+      Stock("C", 5, 4),
+  };
+  const auto matches = RunPlan(p, RightDeepPlan(*p), events);
+  // (a1, c3): B@2 price 10 < 50 -> survives. (a1, c4): 10 > 5 -> dies.
+  ASSERT_EQ(matches.size(), 1u);
+  const auto top = RunPlan(p, NegationTopPlan(*p), events);
+  ASSERT_EQ(top.size(), 1u);
+}
+
+TEST(Negation, NegatorAtBoundaryTimestampsDoesNotNegate) {
+  const PatternPtr p = MustAnalyze(kNegQuery);
+  // B exactly at A's or C's timestamp is not strictly between them.
+  const std::vector<EventPtr> events = {
+      Stock("A", 1, 5), Stock("B", 1, 5), Stock("C", 1, 9),
+      Stock("B", 1, 9),
+  };
+  const auto matches = RunPlan(p, RightDeepPlan(*p), events);
+  EXPECT_EQ(matches.size(), 1u);
+}
+
+TEST(Negation, ValidationRejectsBadPlacements) {
+  EXPECT_FALSE(AnalyzeQuery("PATTERN !A WITHIN 10", StockSchema()).ok());
+  EXPECT_FALSE(AnalyzeQuery("PATTERN A;!B WITHIN 10", StockSchema()).ok());
+  EXPECT_FALSE(AnalyzeQuery("PATTERN !A;B WITHIN 10", StockSchema()).ok());
+  EXPECT_FALSE(AnalyzeQuery("PATTERN A|!B WITHIN 10", StockSchema()).ok());
+}
+
+TEST(Negation, LongWindowManyNegators) {
+  const PatternPtr p = MustAnalyze(kNegQuery);
+  std::vector<EventPtr> events;
+  events.push_back(Stock("A", 1, 0));
+  for (int i = 1; i <= 50; ++i) events.push_back(Stock("B", 1, i));
+  events.push_back(Stock("C", 1, 60));
+  const auto matches = RunPlan(p, RightDeepPlan(*p), events);
+  EXPECT_TRUE(matches.empty());
+}
+
+}  // namespace
+}  // namespace zstream

@@ -1,0 +1,100 @@
+// NFA baseline: equivalence with the tree engine on sequences and
+// negation; unsupported features rejected.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace zstream {
+namespace {
+
+using testing::MustAnalyze;
+using testing::RunPlan;
+using testing::Stock;
+
+uint64_t RunNfaCount(const PatternPtr& p,
+                     const std::vector<EventPtr>& events) {
+  auto nfa = NfaEngine::Create(p);
+  EXPECT_TRUE(nfa.ok()) << nfa.status().ToString();
+  for (const auto& e : events) (*nfa)->Push(e);
+  return (*nfa)->num_matches();
+}
+
+TEST(Nfa, SimpleSequenceCounts) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B WHERE A.name='A' AND B.name='B' WITHIN 10");
+  const std::vector<EventPtr> events = {
+      Stock("A", 1, 1), Stock("B", 1, 2), Stock("A", 1, 3),
+      Stock("B", 1, 4),
+  };
+  EXPECT_EQ(RunNfaCount(p, events), 3u);
+}
+
+TEST(Nfa, WindowEnforced) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B WHERE A.name='A' AND B.name='B' WITHIN 10");
+  EXPECT_EQ(RunNfaCount(p, {Stock("A", 1, 0), Stock("B", 1, 20)}), 0u);
+}
+
+TEST(Nfa, PredicatesDuringBackwardSearch) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "AND A.price > B.price WITHIN 20");
+  const std::vector<EventPtr> events = {
+      Stock("A", 50, 1), Stock("B", 80, 2), Stock("B", 10, 3),
+      Stock("C", 1, 4),
+  };
+  // Only (A, B@3, C) passes A.price > B.price.
+  EXPECT_EQ(RunNfaCount(p, events), 1u);
+}
+
+TEST(Nfa, NegationAsPostFilter) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;!B;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "WITHIN 100");
+  const std::vector<EventPtr> events = {
+      Stock("A", 1, 1), Stock("B", 1, 2), Stock("B", 1, 3),
+      Stock("A", 1, 4), Stock("C", 1, 5),
+  };
+  EXPECT_EQ(RunNfaCount(p, events), 1u);  // Figure 5's single match
+}
+
+TEST(Nfa, AgreesWithTreeEngineOnRandomStreams) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "AND B.price > C.price WITHIN 25");
+  Random rng(77);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<EventPtr> events;
+    Timestamp ts = 0;
+    for (int i = 0; i < 300; ++i) {
+      ts += rng.Uniform(3);
+      const char* names[] = {"A", "B", "C"};
+      events.push_back(Stock(names[rng.Uniform(3)], rng.Uniform(50), ts));
+    }
+    const auto tree = RunPlan(p, LeftDeepPlan(*p), events);
+    EXPECT_EQ(RunNfaCount(p, events), tree.size()) << "round " << round;
+  }
+}
+
+TEST(Nfa, MemoryBoundedByWindow) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B WHERE A.name='A' AND B.name='B' WITHIN 10");
+  auto nfa = NfaEngine::Create(p);
+  ASSERT_TRUE(nfa.ok());
+  Random rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    (*nfa)->Push(Stock(rng.Bernoulli(0.5) ? "A" : "B", 1, i));
+  }
+  // The stacks hold at most ~window events once purging kicks in.
+  EXPECT_LT((*nfa)->memory().current_bytes(), 100000);
+}
+
+TEST(Nfa, RejectsUnsupportedPatterns) {
+  EXPECT_FALSE(
+      NfaEngine::Create(MustAnalyze("PATTERN A&B WITHIN 10")).ok());
+  EXPECT_FALSE(
+      NfaEngine::Create(MustAnalyze("PATTERN A;B*;C WITHIN 10")).ok());
+}
+
+}  // namespace
+}  // namespace zstream

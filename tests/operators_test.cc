@@ -1,0 +1,149 @@
+// Operator semantics: SEQ (Algorithm 1), CONJ (Algorithm 3), DISJ,
+// hash-equality probing, and predicate attachment, on hand-crafted
+// streams with exhaustively known answers.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace zstream {
+namespace {
+
+using testing::MustAnalyze;
+using testing::RunPlan;
+using testing::Stock;
+
+std::vector<EventPtr> AbabStream() {
+  return {
+      Stock("A", 10, 1), Stock("B", 20, 2), Stock("A", 30, 3),
+      Stock("B", 40, 4),
+  };
+}
+
+constexpr char kSeqQuery[] =
+    "PATTERN A;B WHERE A.name='A' AND B.name='B' WITHIN 10";
+
+TEST(SeqOperator, AllOrderedPairsWithinWindow) {
+  const PatternPtr p = MustAnalyze(kSeqQuery);
+  const auto matches = RunPlan(p, LeftDeepPlan(*p), AbabStream());
+  EXPECT_EQ(matches.size(), 3u);  // (1,2), (1,4), (3,4)
+}
+
+TEST(SeqOperator, StrictTemporalOrder) {
+  const PatternPtr p = MustAnalyze(kSeqQuery);
+  // Simultaneous A and B never combine (A.end < B.start is strict).
+  const auto matches =
+      RunPlan(p, LeftDeepPlan(*p), {Stock("A", 1, 5), Stock("B", 1, 5)});
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST(SeqOperator, WindowExcludesDistantPairs) {
+  const PatternPtr p = MustAnalyze(kSeqQuery);
+  const auto matches = RunPlan(p, LeftDeepPlan(*p),
+                               {Stock("A", 1, 0), Stock("B", 1, 11)});
+  EXPECT_TRUE(matches.empty());
+  const auto edge = RunPlan(p, LeftDeepPlan(*p),
+                            {Stock("A", 1, 0), Stock("B", 1, 10)});
+  EXPECT_EQ(edge.size(), 1u);  // span == window is allowed
+}
+
+TEST(SeqOperator, MultiClassPredicateFilters) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B WHERE A.name='A' AND B.name='B' AND A.price > B.price "
+      "WITHIN 10");
+  const auto matches = RunPlan(p, LeftDeepPlan(*p), AbabStream());
+  // (A@1:10, B@2:20) no; (A@1, B@4:40) no; (A@3:30, B@4:40) no.
+  EXPECT_TRUE(matches.empty());
+  const auto matches2 = RunPlan(
+      p, LeftDeepPlan(*p),
+      {Stock("A", 50, 1), Stock("B", 20, 2), Stock("B", 60, 3)});
+  EXPECT_EQ(matches2.size(), 1u);
+}
+
+TEST(SeqOperator, ThreeWaySequenceLeftAndRightDeepAgree) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "WITHIN 100");
+  std::vector<EventPtr> events;
+  // Interleave 4 of each.
+  for (int i = 0; i < 4; ++i) {
+    events.push_back(Stock("A", i, 3 * i));
+    events.push_back(Stock("B", i, 3 * i + 1));
+    events.push_back(Stock("C", i, 3 * i + 2));
+  }
+  const auto l = RunPlan(p, LeftDeepPlan(*p), events);
+  const auto r = RunPlan(p, RightDeepPlan(*p), events);
+  EXPECT_EQ(l, r);
+  // Count: choose a_i, b_j>a_i, c_k>b_j. For this layout it is the
+  // number of i<=j<=k triples = C(4+2,3) = 20.
+  EXPECT_EQ(l.size(), 20u);
+}
+
+TEST(SeqOperator, EqualityPredicateViaHashIndexMatchesScan) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B WHERE A.name = B.name WITHIN 50");
+  std::vector<EventPtr> events;
+  Random rng(11);
+  for (int i = 0; i < 200; ++i) {
+    events.push_back(
+        Stock(rng.Bernoulli(0.5) ? "X" : "Y", i, i));
+  }
+  EngineOptions with_hash;
+  with_hash.use_hash_indexes = true;
+  EngineOptions no_hash;
+  no_hash.use_hash_indexes = false;
+  const auto a = RunPlan(p, LeftDeepPlan(*p), events, with_hash);
+  const auto b = RunPlan(p, LeftDeepPlan(*p), events, no_hash);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(ConjOperator, OrderFreeCombination) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A & B WHERE A.name='A' AND B.name='B' WITHIN 10");
+  // B before A still matches (conjunction ignores order).
+  const auto matches =
+      RunPlan(p, LeftDeepPlan(*p), {Stock("B", 1, 1), Stock("A", 1, 2)});
+  EXPECT_EQ(matches.size(), 1u);
+}
+
+TEST(ConjOperator, WindowApplies) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A & B WHERE A.name='A' AND B.name='B' WITHIN 10");
+  const auto matches =
+      RunPlan(p, LeftDeepPlan(*p), {Stock("B", 1, 0), Stock("A", 1, 20)});
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST(ConjOperator, AllPairsBothDirections) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A & B WHERE A.name='A' AND B.name='B' WITHIN 100");
+  const auto matches = RunPlan(p, LeftDeepPlan(*p), AbabStream());
+  EXPECT_EQ(matches.size(), 4u);  // 2 As x 2 Bs
+}
+
+TEST(DisjOperator, UnionOfBothClasses) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A | B WHERE A.name='A' AND B.name='B' WITHIN 10");
+  const auto matches = RunPlan(p, LeftDeepPlan(*p), AbabStream());
+  EXPECT_EQ(matches.size(), 4u);
+}
+
+TEST(DisjOperator, InsideSequence) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;(B|C) WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "WITHIN 10");
+  const auto matches = RunPlan(
+      p, LeftDeepPlan(*p),
+      {Stock("A", 1, 1), Stock("B", 1, 2), Stock("C", 1, 3)});
+  EXPECT_EQ(matches.size(), 2u);  // (A,B) and (A,C)
+}
+
+TEST(Operators, SingleClassPattern) {
+  const PatternPtr p =
+      MustAnalyze("PATTERN A WHERE A.name='A' AND A.price > 15 WITHIN 10");
+  const auto matches = RunPlan(p, LeftDeepPlan(*p), AbabStream());
+  EXPECT_EQ(matches.size(), 1u);  // A@3 with price 30
+}
+
+}  // namespace
+}  // namespace zstream

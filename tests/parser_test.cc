@@ -1,0 +1,159 @@
+// Lexer and parser tests for the query language of Section 3.
+#include <gtest/gtest.h>
+
+#include "query/lexer.h"
+#include "query/parser.h"
+
+namespace zstream {
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  auto toks = Tokenize("PATTERN T1;T2 WHERE T1.price >= 1.5");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].text, "PATTERN");
+  EXPECT_EQ((*toks)[2].type, TokenType::kSemicolon);
+  EXPECT_TRUE((*toks)[4].IsKeyword("where"));
+}
+
+TEST(Lexer, PercentLiteralVsModulo) {
+  auto toks = Tokenize("20% 7 % 3");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kPercent);
+  EXPECT_DOUBLE_EQ((*toks)[0].number, 0.20);
+  EXPECT_EQ((*toks)[2].type, TokenType::kPercentOp);
+}
+
+TEST(Lexer, StringsAndErrors) {
+  auto toks = Tokenize("'Google'");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kString);
+  EXPECT_EQ((*toks)[0].text, "Google");
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("@").ok());
+}
+
+TEST(Lexer, TwoCharOperators) {
+  auto toks = Tokenize("!= <= >= <> < >");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kNe);
+  EXPECT_EQ((*toks)[1].type, TokenType::kLe);
+  EXPECT_EQ((*toks)[2].type, TokenType::kGe);
+  EXPECT_EQ((*toks)[3].type, TokenType::kNe);
+  EXPECT_EQ((*toks)[4].type, TokenType::kLt);
+  EXPECT_EQ((*toks)[5].type, TokenType::kGt);
+}
+
+TEST(Parser, SequencePattern) {
+  auto p = ParsePattern("T1;T2;T3");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->op, ParseOp::kSeq);
+  EXPECT_EQ((*p)->children.size(), 3u);
+  EXPECT_EQ((*p)->ToString(), "(T1;T2;T3)");
+}
+
+TEST(Parser, PrecedenceSemicolonLoosest) {
+  auto p = ParsePattern("A;B|C&D");
+  ASSERT_TRUE(p.ok());
+  // A ; (B | (C & D))
+  EXPECT_EQ((*p)->op, ParseOp::kSeq);
+  EXPECT_EQ((*p)->children[1]->op, ParseOp::kDisj);
+  EXPECT_EQ((*p)->children[1]->children[1]->op, ParseOp::kConj);
+}
+
+TEST(Parser, NegationAndParens) {
+  auto p = ParsePattern("A;(!B&!C);D");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->children[1]->op, ParseOp::kConj);
+  EXPECT_EQ((*p)->children[1]->children[0]->op, ParseOp::kNeg);
+}
+
+TEST(Parser, KleeneMarkers) {
+  auto star = ParsePattern("A;B*;C");
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ((*star)->children[1]->op, ParseOp::kKleene);
+  EXPECT_EQ((*star)->children[1]->kleene, KleeneKind::kStar);
+
+  auto plus = ParsePattern("B+");
+  ASSERT_TRUE(plus.ok());
+  EXPECT_EQ((*plus)->kleene, KleeneKind::kPlus);
+
+  auto count = ParsePattern("T1;T2^5;T3");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ((*count)->children[1]->kleene, KleeneKind::kCount);
+  EXPECT_EQ((*count)->children[1]->kleene_count, 5);
+}
+
+TEST(Parser, OperatorCount) {
+  auto p = ParsePattern("A;(!B&!C);D");
+  ASSERT_TRUE(p.ok());
+  // seq(3 children)=2 ops, conj=1, neg x2 = 2 -> 5.
+  EXPECT_EQ((*p)->OperatorCount(), 5);
+}
+
+TEST(Parser, FullQuery1Shape) {
+  auto q = ParseQuery(
+      "PATTERN T1;T2;T3 "
+      "WHERE T1.name = T3.name AND T2.name = 'Google' "
+      "AND T1.price > (1 + 5%) * T2.price "
+      "AND T3.price < (1 - 2%) * T2.price "
+      "WITHIN 10 secs "
+      "RETURN T1, T2, T3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->window, 10000);  // 10 secs in ms
+  EXPECT_EQ(q->return_items.size(), 3u);
+  ASSERT_NE(q->where, nullptr);
+}
+
+TEST(Parser, ChainedEquality) {
+  auto q = ParsePredicate("T1.name = T2.name = T3.name");
+  ASSERT_TRUE(q.ok());
+  // Expands to (T1=T2) AND (T2=T3).
+  EXPECT_EQ((*q)->kind, UExprKind::kBinary);
+  EXPECT_EQ((*q)->bin_op, BinaryOp::kAnd);
+}
+
+TEST(Parser, WithinUnits) {
+  EXPECT_EQ(ParseQuery("PATTERN A;B WITHIN 200")->window, 200);
+  EXPECT_EQ(ParseQuery("PATTERN A;B WITHIN 2 secs")->window, 2000);
+  EXPECT_EQ(ParseQuery("PATTERN A;B WITHIN 3 mins")->window, 180000);
+  EXPECT_EQ(ParseQuery("PATTERN A;B WITHIN 10 hours")->window, 36000000);
+  EXPECT_FALSE(ParseQuery("PATTERN A;B WITHIN 5 fortnights").ok());
+}
+
+TEST(Parser, Aggregates) {
+  auto q = ParsePredicate("sum(T2.volume) > 100");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->left->kind, UExprKind::kAgg);
+  EXPECT_EQ((*q)->left->agg_name, "sum");
+  auto cnt = ParsePredicate("count(T2) >= 3");
+  ASSERT_TRUE(cnt.ok());
+  EXPECT_EQ((*cnt)->left->field, "");
+}
+
+TEST(Parser, RepeatedWhereToleratedLikeQuery3) {
+  auto q = ParseQuery(
+      "PATTERN T1;T2^5;T3 "
+      "WHERE T1.name = T3.name "
+      "WHERE T2.name = 'Google' AND sum(T2.volume) > 10 "
+      "WITHIN 10 secs RETURN T1, sum(T2.volume), T3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->return_items.size(), 3u);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_FALSE(ParseQuery("WHERE x WITHIN 1").ok());
+  EXPECT_FALSE(ParseQuery("PATTERN A;B").ok());  // missing WITHIN
+  EXPECT_FALSE(ParseQuery("PATTERN A;;B WITHIN 1").ok());
+  EXPECT_FALSE(ParseQuery("PATTERN (A;B WITHIN 1").ok());
+  EXPECT_FALSE(ParseQuery("PATTERN A;B WITHIN 1 EXTRA garbage").ok());
+  EXPECT_FALSE(ParsePattern("A^x").ok());
+}
+
+TEST(Parser, NegativeNumbersAndUnaryMinus) {
+  auto q = ParsePredicate("T1.price > -5");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->right->kind, UExprKind::kUnary);
+}
+
+}  // namespace
+}  // namespace zstream

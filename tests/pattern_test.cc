@@ -1,0 +1,63 @@
+// Pattern structure validation and introspection.
+#include <gtest/gtest.h>
+
+#include "query/analyzer.h"
+
+namespace zstream {
+namespace {
+
+PatternPtr Must(const std::string& q) {
+  auto r = AnalyzeQuery(q, StockSchema());
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+TEST(Pattern, IsSequence) {
+  EXPECT_TRUE(Must("PATTERN A;B;C WITHIN 5")->IsSequence());
+  EXPECT_TRUE(Must("PATTERN A;!B;C WITHIN 5")->IsSequence());
+  EXPECT_TRUE(Must("PATTERN A WITHIN 5")->IsSequence());
+  EXPECT_FALSE(Must("PATTERN A&B WITHIN 5")->IsSequence());
+  EXPECT_FALSE(Must("PATTERN A;(B&C) WITHIN 5")->IsSequence());
+}
+
+TEST(Pattern, KleeneClassLookup) {
+  EXPECT_EQ(Must("PATTERN A;B*;C WITHIN 5")->KleeneClass(), 1);
+  EXPECT_EQ(Must("PATTERN A;B WITHIN 5")->KleeneClass(), -1);
+}
+
+TEST(Pattern, PredicatesForCut) {
+  const PatternPtr p = Must(
+      "PATTERN A;B;C WHERE A.price > B.price AND B.price > C.price "
+      "WITHIN 5");
+  // Node covering {A,B} with children {A},{B}: only the A-B predicate.
+  std::vector<bool> cover{true, true, false};
+  std::vector<std::vector<bool>> children{{true, false, false},
+                                          {false, true, false}};
+  EXPECT_EQ(p->PredicatesFor(cover, children).size(), 1u);
+  // Root with children {A,B},{C}: only the B-C predicate (A-B attaches
+  // deeper).
+  std::vector<bool> root{true, true, true};
+  std::vector<std::vector<bool>> root_children{{true, true, false},
+                                               {false, false, true}};
+  EXPECT_EQ(p->PredicatesFor(root, root_children).size(), 1u);
+}
+
+TEST(Pattern, ToStringShowsStructure) {
+  const PatternPtr p = Must("PATTERN A;!B;C WITHIN 7");
+  const std::string s = p->ToString();
+  EXPECT_NE(s.find("!B"), std::string::npos);
+  EXPECT_NE(s.find("WITHIN 7"), std::string::npos);
+}
+
+TEST(Pattern, ValidateRejectsAdjacentNegations) {
+  EXPECT_FALSE(
+      AnalyzeQuery("PATTERN A;!B;!C;D WITHIN 5", StockSchema()).ok());
+}
+
+TEST(Pattern, ValidateRejectsNegationWithKleene) {
+  EXPECT_FALSE(AnalyzeQuery("PATTERN A;!(B*);C WITHIN 5",
+                            StockSchema()).ok());
+}
+
+}  // namespace
+}  // namespace zstream

@@ -1,0 +1,89 @@
+// Physical plan shapes, explain strings, shape parsing, validation.
+#include <gtest/gtest.h>
+
+#include "plan/physical_plan.h"
+#include "query/analyzer.h"
+
+namespace zstream {
+namespace {
+
+PatternPtr Must(const std::string& q) {
+  auto r = AnalyzeQuery(q, StockSchema());
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+TEST(PhysicalPlan, LeftAndRightDeepShapes) {
+  const PatternPtr p = Must("PATTERN A;B;C;D WITHIN 5");
+  EXPECT_EQ(LeftDeepPlan(*p).Explain(*p), "[[[A ; B] ; C] ; D]");
+  EXPECT_EQ(RightDeepPlan(*p).Explain(*p), "[A ; [B ; [C ; D]]]");
+}
+
+TEST(PhysicalPlan, ShapeStringBushyAndInner) {
+  const PatternPtr p = Must("PATTERN A;B;C;D WITHIN 5");
+  auto bushy = PlanFromShape(*p, "((0 1) (2 3))");
+  ASSERT_TRUE(bushy.ok());
+  EXPECT_EQ(bushy->Explain(*p), "[[A ; B] ; [C ; D]]");
+  auto inner = PlanFromShape(*p, "(0 ((1 2) 3))");
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(inner->Explain(*p), "[A ; [[B ; C] ; D]]");
+}
+
+TEST(PhysicalPlan, ShapeStringErrors) {
+  const PatternPtr p = Must("PATTERN A;B;C WITHIN 5");
+  EXPECT_FALSE(PlanFromShape(*p, "((0 1)").ok());
+  EXPECT_FALSE(PlanFromShape(*p, "(0 9)").ok());
+  EXPECT_FALSE(PlanFromShape(*p, "(0 1) x").ok());
+  // Out-of-order shapes violate sequence contiguity.
+  EXPECT_FALSE(PlanFromShape(*p, "((0 2) 1)").ok());
+}
+
+TEST(PhysicalPlan, NegationShapes) {
+  const PatternPtr p = Must("PATTERN A;!B;C WITHIN 5");
+  EXPECT_EQ(RightDeepPlan(*p).Explain(*p), "[A ; NSEQ(!B, C)]");
+  EXPECT_EQ(NegationTopPlan(*p).Explain(*p), "NEG([A ; C], !B)");
+  EXPECT_TRUE(ValidatePlan(*p, RightDeepPlan(*p)).ok());
+  EXPECT_TRUE(ValidatePlan(*p, NegationTopPlan(*p)).ok());
+}
+
+TEST(PhysicalPlan, KleeneShape) {
+  const PatternPtr p = Must("PATTERN A;B^5;C WITHIN 5");
+  const PhysicalPlan plan = LeftDeepPlan(*p);
+  EXPECT_EQ(plan.Explain(*p), "KSEQ(A, B^5, C)");
+  EXPECT_TRUE(ValidatePlan(*p, plan).ok());
+}
+
+TEST(PhysicalPlan, KleeneAtEdges) {
+  const PatternPtr start = Must("PATTERN B*;C WITHIN 5");
+  EXPECT_EQ(LeftDeepPlan(*start).Explain(*start), "KSEQ(_, B*, C)");
+  const PatternPtr end = Must("PATTERN A;B+ WITHIN 5");
+  EXPECT_EQ(LeftDeepPlan(*end).Explain(*end), "KSEQ(A, B+, _)");
+}
+
+TEST(PhysicalPlan, MixedConjDisj) {
+  const PatternPtr p = Must("PATTERN (A&B);(C|D) WITHIN 5");
+  const PhysicalPlan plan = LeftDeepPlan(*p);
+  EXPECT_EQ(plan.Explain(*p), "[[A & B] ; [C | D]]");
+  EXPECT_TRUE(ValidatePlan(*p, plan).ok());
+}
+
+TEST(PhysicalPlan, CoveredClasses) {
+  const PatternPtr p = Must("PATTERN A;!B;C WITHIN 5");
+  const PhysicalPlan plan = NegationTopPlan(*p);
+  EXPECT_EQ(plan.root->CoveredClasses(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(PhysicalPlan, ValidateCatchesMissingClasses) {
+  const PatternPtr p = Must("PATTERN A;B;C WITHIN 5");
+  PhysicalPlan bogus{PhysNode::Seq(PhysNode::Leaf(0), PhysNode::Leaf(1)),
+                     0.0};
+  EXPECT_FALSE(ValidatePlan(*p, bogus).ok());
+  PhysicalPlan dup{
+      PhysNode::Seq(PhysNode::Seq(PhysNode::Leaf(0), PhysNode::Leaf(1)),
+                    PhysNode::Leaf(1)),
+      0.0};
+  EXPECT_FALSE(ValidatePlan(*p, dup).ok());
+}
+
+}  // namespace
+}  // namespace zstream

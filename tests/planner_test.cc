@@ -1,0 +1,177 @@
+// Planner tests: the DP (Algorithm 5) against exhaustive enumeration,
+// expected shapes under known statistics, negation choice, timing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "opt/planner.h"
+#include "query/analyzer.h"
+
+namespace zstream {
+namespace {
+
+PatternPtr Must(const std::string& q) {
+  auto r = AnalyzeQuery(q, StockSchema());
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+PatternPtr SeqPattern(int n) {
+  std::string q = "PATTERN C0";
+  for (int i = 1; i < n; ++i) q += ";C" + std::to_string(i);
+  q += " WITHIN 10";
+  return Must(q);
+}
+
+TEST(Planner, TrivialTwoClassPlan) {
+  const PatternPtr p = SeqPattern(2);
+  StatsCatalog stats(2, 10.0);
+  Planner planner(p, &stats);
+  auto plan = planner.OptimalPlan();
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->Explain(*p), "[C0 ; C1]");
+  EXPECT_GT(plan->estimated_cost, 0.0);
+}
+
+TEST(Planner, PicksLeftDeepWhenFirstClassRare) {
+  const PatternPtr p = SeqPattern(3);
+  StatsCatalog stats(3, 10.0);
+  stats.set_rate(0, 0.01);
+  Planner planner(p, &stats);
+  auto plan = planner.OptimalPlan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->Explain(*p), "[[C0 ; C1] ; C2]");
+}
+
+TEST(Planner, PicksRightDeepWhenLastClassRare) {
+  const PatternPtr p = SeqPattern(3);
+  StatsCatalog stats(3, 10.0);
+  stats.set_rate(2, 0.01);
+  Planner planner(p, &stats);
+  auto plan = planner.OptimalPlan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->Explain(*p), "[C0 ; [C1 ; C2]]");
+}
+
+TEST(Planner, ConsidersBushyPlans) {
+  // Rare classes at positions 0-1 and 2-3 with selective predicates
+  // inside the halves make the bushy split optimal.
+  const PatternPtr p = Must(
+      "PATTERN C0;C1;C2;C3 WHERE C0.price > C1.price AND "
+      "C2.price > C3.price WITHIN 10");
+  StatsCatalog stats(4, 10.0);
+  stats.SetPairSel(0, 1, 0.001);
+  stats.SetPairSel(2, 3, 0.001);
+  stats.set_rate(0, 10);
+  stats.set_rate(1, 10);
+  stats.set_rate(2, 10);
+  stats.set_rate(3, 10);
+  Planner planner(p, &stats);
+  auto plan = planner.OptimalPlan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->Explain(*p), "[[C0 ; C1] ; [C2 ; C3]]");
+}
+
+class DpVsExhaustive : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DpVsExhaustive, DpFindsTheExhaustiveMinimum) {
+  Random rng(GetParam());
+  for (int n = 2; n <= 6; ++n) {
+    const PatternPtr p = SeqPattern(n);
+    StatsCatalog stats(n, 10.0);
+    for (int c = 0; c < n; ++c) {
+      stats.set_rate(c, std::pow(10.0, rng.NextDouble() * 4 - 2));
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng.Bernoulli(0.3)) {
+          stats.SetPairSel(i, j, std::pow(10.0, -3 * rng.NextDouble()));
+        }
+      }
+    }
+    Planner planner(p, &stats);
+    auto dp = planner.OptimalPlan();
+    auto exhaustive = planner.ExhaustiveOptimal();
+    ASSERT_TRUE(dp.ok());
+    ASSERT_TRUE(exhaustive.ok());
+    EXPECT_NEAR(dp->estimated_cost, exhaustive->estimated_cost,
+                1e-9 * std::max(1.0, exhaustive->estimated_cost))
+        << "n=" << n << " dp=" << dp->Explain(*p)
+        << " exhaustive=" << exhaustive->Explain(*p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpVsExhaustive,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST(Planner, EnumerateShapesIsCatalan) {
+  const int catalan[] = {1, 1, 2, 5, 14, 42};
+  for (int n = 2; n <= 6; ++n) {
+    const PatternPtr p = SeqPattern(n);
+    StatsCatalog stats(n, 10.0);
+    Planner planner(p, &stats);
+    auto shapes = planner.EnumerateShapes();
+    ASSERT_TRUE(shapes.ok());
+    EXPECT_EQ(shapes->size(), static_cast<size_t>(catalan[n - 1])) << n;
+    for (const auto& plan : *shapes) {
+      EXPECT_TRUE(ValidatePlan(*p, plan).ok());
+    }
+  }
+}
+
+TEST(Planner, NegationChoiceUsesNseqWhenLegal) {
+  const PatternPtr p = Must("PATTERN A;!B;C WITHIN 10");
+  StatsCatalog stats(3, 10.0);
+  Planner planner(p, &stats);
+  auto plan = planner.OptimalPlan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->Explain(*p).find("NSEQ"), std::string::npos);
+}
+
+TEST(Planner, NegationFallsBackToTopFilterWhenSpanning) {
+  // B's predicates touch both A and C, so NSEQ is illegal
+  // (Section 4.4.2) and the planner must use the NEG filter.
+  const PatternPtr p = Must(
+      "PATTERN A;!B;C WHERE B.price > A.price AND B.price > C.price "
+      "WITHIN 10");
+  StatsCatalog stats(3, 10.0);
+  Planner planner(p, &stats);
+  auto plan = planner.OptimalPlan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->Explain(*p).find("NEG("), std::string::npos);
+}
+
+TEST(Planner, KleeneFusedAsTrinaryUnit) {
+  const PatternPtr p = Must("PATTERN A;B^3;C;D WITHIN 10");
+  StatsCatalog stats(4, 10.0);
+  Planner planner(p, &stats);
+  auto plan = planner.OptimalPlan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->Explain(*p).find("KSEQ(A, B^3, C)"), std::string::npos);
+  EXPECT_TRUE(ValidatePlan(*p, *plan).ok());
+}
+
+TEST(Planner, PlansLength20UnderTenMilliseconds) {
+  // Section 5.2.3: "less than 10 ms to search for an optimal plan with
+  // pattern length 20".
+  const PatternPtr p = SeqPattern(20);
+  StatsCatalog stats(20, 10.0);
+  Planner planner(p, &stats);
+  auto plan = planner.OptimalPlan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LT(planner.last_plan_micros(), 10000.0)
+      << "planning took " << planner.last_plan_micros() << "us";
+}
+
+TEST(Planner, NonSequenceFallsBackStructurally) {
+  const PatternPtr p = Must("PATTERN A&B WITHIN 10");
+  StatsCatalog stats(2, 10.0);
+  Planner planner(p, &stats);
+  auto plan = planner.OptimalPlan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->Explain(*p), "[A & B]");
+}
+
+}  // namespace
+}  // namespace zstream

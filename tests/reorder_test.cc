@@ -1,0 +1,121 @@
+// Reordering stage (Section 4.1's disorder handling) and the engine's
+// late-event behaviour.
+#include <gtest/gtest.h>
+
+#include "exec/reorder.h"
+#include "test_util.h"
+
+namespace zstream {
+namespace {
+
+using testing::MustAnalyze;
+using testing::RunPlan;
+using testing::Stock;
+
+TEST(ReorderStage, EmitsInTimestampOrder) {
+  std::vector<Timestamp> out;
+  ReorderStage stage(5, [&](const EventPtr& e) {
+    out.push_back(e->timestamp());
+  });
+  for (Timestamp ts : {3, 1, 2, 8, 6, 7, 12}) {
+    stage.Push(EventBuilder(StockSchema()).At(ts).Build());
+  }
+  stage.Flush();
+  EXPECT_EQ(out, (std::vector<Timestamp>{1, 2, 3, 6, 7, 8, 12}));
+  EXPECT_EQ(stage.late_dropped(), 0u);
+}
+
+TEST(ReorderStage, DropsEventsBeyondSlack) {
+  std::vector<Timestamp> out;
+  ReorderStage stage(2, [&](const EventPtr& e) {
+    out.push_back(e->timestamp());
+  });
+  stage.Push(EventBuilder(StockSchema()).At(10).Build());
+  stage.Push(EventBuilder(StockSchema()).At(13).Build());  // emits <= 11
+  stage.Push(EventBuilder(StockSchema()).At(9).Build());   // too late
+  stage.Flush();
+  EXPECT_EQ(out, (std::vector<Timestamp>{10, 13}));
+  EXPECT_EQ(stage.late_dropped(), 1u);
+}
+
+TEST(ReorderStage, DuplicateTimestampsPreserved) {
+  int count = 0;
+  ReorderStage stage(5, [&](const EventPtr&) { ++count; });
+  stage.Push(EventBuilder(StockSchema()).At(4).Build());
+  stage.Push(EventBuilder(StockSchema()).At(4).Build());
+  stage.Flush();
+  EXPECT_EQ(count, 2);
+}
+
+std::vector<EventPtr> Shuffled(const std::vector<EventPtr>& sorted,
+                               Duration max_disorder, uint64_t seed) {
+  // Displace each event by a bounded random amount, then order by the
+  // displaced position — bounded out-of-orderness.
+  Random rng(seed);
+  std::vector<std::pair<double, EventPtr>> keyed;
+  for (const auto& e : sorted) {
+    keyed.emplace_back(static_cast<double>(e->timestamp()) +
+                           rng.NextDouble() *
+                               static_cast<double>(max_disorder),
+                       e);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<EventPtr> out;
+  for (auto& [k, e] : keyed) out.push_back(e);
+  return out;
+}
+
+TEST(EngineReorder, SlackRecoversShuffledStreamExactly) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "WITHIN 20");
+  Random rng(6);
+  std::vector<EventPtr> sorted;
+  Timestamp ts = 0;
+  for (int i = 0; i < 400; ++i) {
+    ts += rng.Uniform(3);
+    const char* names[] = {"A", "B", "C"};
+    sorted.push_back(Stock(names[rng.Uniform(3)], rng.Uniform(50), ts));
+  }
+  const auto baseline = RunPlan(p, LeftDeepPlan(*p), sorted);
+  ASSERT_FALSE(baseline.empty());
+
+  const auto shuffled = Shuffled(sorted, 10, 7);
+  EngineOptions options;
+  options.reorder_slack = 12;  // > max disorder
+  const auto reordered = RunPlan(p, LeftDeepPlan(*p), shuffled, options);
+  EXPECT_EQ(reordered, baseline);
+}
+
+TEST(EngineReorder, WithoutSlackLateEventsAreDroppedNotCorrupting) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B WHERE A.name='A' AND B.name='B' WITHIN 20");
+  auto engine = Engine::Create(p, LeftDeepPlan(*p));
+  (*engine)->Push(Stock("A", 1, 10));
+  (*engine)->Push(Stock("B", 1, 5));  // out of order: dropped
+  (*engine)->Push(Stock("B", 1, 12));
+  (*engine)->Finish();
+  EXPECT_EQ((*engine)->late_events(), 1u);
+  EXPECT_EQ((*engine)->num_matches(), 1u);  // (10, 12) only
+}
+
+TEST(EngineReorder, SlackDelaysButFinishFlushes) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B WHERE A.name='A' AND B.name='B' WITHIN 20");
+  EngineOptions options;
+  options.reorder_slack = 100;
+  options.batch_size = 1;
+  auto engine = Engine::Create(p, LeftDeepPlan(*p), options);
+  (*engine)->Push(Stock("A", 1, 1));
+  (*engine)->Push(Stock("B", 1, 2));
+  // Everything is still pending inside the reorder stage.
+  EXPECT_EQ((*engine)->num_matches(), 0u);
+  (*engine)->Finish();
+  EXPECT_EQ((*engine)->num_matches(), 1u);
+}
+
+}  // namespace
+}  // namespace zstream

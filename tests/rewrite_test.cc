@@ -1,0 +1,67 @@
+// Rule-based transformations (Section 5.2.1).
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "query/rewrite.h"
+
+namespace zstream {
+namespace {
+
+ParseNodePtr MustParse(const std::string& s) {
+  auto p = ParsePattern(s);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+TEST(Rewrite, DeMorganGroupsNegatedConjuncts) {
+  // The paper's Expression1 -> Expression2: A;(!B&!C);D -> A;!(B|C);D.
+  const RewriteResult r = RewritePattern(MustParse("A;(!B&!C);D"));
+  EXPECT_EQ(r.node->ToString(), "(A;!(B|C);D)");
+  EXPECT_FALSE(r.applied.empty());
+  // Operator count drops: 5 -> 4.
+  EXPECT_EQ(r.node->OperatorCount(), 4);
+}
+
+TEST(Rewrite, DeMorganKeepsPositiveConjuncts) {
+  const RewriteResult r = RewritePattern(MustParse("A;(X&!B&!C);D"));
+  EXPECT_EQ(r.node->ToString(), "(A;(X&!(B|C));D)");
+}
+
+TEST(Rewrite, SingleNegationUntouched) {
+  const RewriteResult r = RewritePattern(MustParse("A;(!B&X);D"));
+  EXPECT_EQ(r.node->ToString(), "(A;(!B&X);D)");
+  EXPECT_TRUE(r.applied.empty());
+}
+
+TEST(Rewrite, DoubleNegation) {
+  const RewriteResult r = RewritePattern(MustParse("A;!(!(B));C"));
+  EXPECT_EQ(r.node->ToString(), "(A;B;C)");
+}
+
+TEST(Rewrite, FlattensNestedSequences) {
+  const RewriteResult r = RewritePattern(MustParse("(A;B);(C;D)"));
+  EXPECT_EQ(r.node->ToString(), "(A;B;C;D)");
+}
+
+TEST(Rewrite, FlattensNestedDisjunctions) {
+  const RewriteResult r = RewritePattern(MustParse("(A|B)|C"));
+  EXPECT_EQ(r.node->ToString(), "(A|B|C)");
+}
+
+TEST(Rewrite, FixpointStable) {
+  const RewriteResult once = RewritePattern(MustParse("A;(!B&!C);D"));
+  const RewriteResult twice = RewritePattern(once.node);
+  EXPECT_EQ(once.node->ToString(), twice.node->ToString());
+  EXPECT_TRUE(twice.applied.empty());
+}
+
+TEST(Rewrite, OperatorWeightOrdersDisjBelowConj) {
+  const ParseNodePtr disj = MustParse("A|B");
+  const ParseNodePtr seq = MustParse("A;B");
+  const ParseNodePtr conj = MustParse("A&B");
+  EXPECT_LT(OperatorWeight(disj), OperatorWeight(seq));
+  EXPECT_LT(OperatorWeight(seq), OperatorWeight(conj));
+}
+
+}  // namespace
+}  // namespace zstream

@@ -1,0 +1,129 @@
+// Workload generators: rate ratios, exact selectivity control, and the
+// web-log generator's Table 4 statistics.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/stock_gen.h"
+#include "workload/weblog_gen.h"
+
+namespace zstream {
+namespace {
+
+TEST(StockGen, RespectsRateRatio) {
+  StockGenOptions options;
+  options.names = {"IBM", "Sun", "Oracle"};
+  options.weights = {1.0, 10.0, 10.0};
+  options.num_events = 42000;
+  const auto events = GenerateStockTrades(options);
+  std::map<std::string, int> counts;
+  for (const auto& e : events) ++counts[e->value(1).string_value()];
+  EXPECT_NEAR(counts["IBM"], 2000, 300);
+  EXPECT_NEAR(counts["Sun"], 20000, 1000);
+  EXPECT_NEAR(counts["Oracle"], 20000, 1000);
+}
+
+TEST(StockGen, TimestampsNonDecreasing) {
+  StockGenOptions options;
+  options.num_events = 1000;
+  const auto events = GenerateStockTrades(options);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1]->timestamp(), events[i]->timestamp());
+  }
+}
+
+TEST(StockGen, FixedPriceForSelectivityFormula) {
+  EXPECT_DOUBLE_EQ(FixedPriceForSelectivity(1.0, 0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(FixedPriceForSelectivity(0.5, 0, 100), 50.0);
+  EXPECT_DOUBLE_EQ(FixedPriceForSelectivity(1.0 / 32, 0, 100),
+                   100.0 - 100.0 / 32);
+}
+
+TEST(StockGen, RealizedSelectivityMatchesTarget) {
+  // Pin Sun's price so P(IBM.price > Sun.price) == 1/8.
+  const double target = 1.0 / 8;
+  StockGenOptions options;
+  options.names = {"IBM", "Sun"};
+  options.weights = {1.0, 1.0};
+  options.num_events = 40000;
+  options.fixed_price = {{"Sun", FixedPriceForSelectivity(target, 0, 100)}};
+  const auto events = GenerateStockTrades(options);
+  int64_t above = 0, total = 0;
+  const double sun_price = FixedPriceForSelectivity(target, 0, 100);
+  for (const auto& e : events) {
+    if (e->value(1).string_value() != "IBM") continue;
+    ++total;
+    if (e->value(2).AsDouble() > sun_price) ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / static_cast<double>(total),
+              target, 0.02);
+}
+
+TEST(StockGen, ParseRateRatio) {
+  EXPECT_EQ(ParseRateRatio("1:100:100"),
+            (std::vector<double>{1.0, 100.0, 100.0}));
+  EXPECT_EQ(ParseRateRatio("1 : 2"), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(StockGen, DeterministicForSeed) {
+  StockGenOptions options;
+  options.num_events = 100;
+  const auto a = GenerateStockTrades(options);
+  const auto b = GenerateStockTrades(options);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i]->value(1), b[i]->value(1));
+    EXPECT_EQ(a[i]->value(2), b[i]->value(2));
+  }
+}
+
+TEST(WebLogGen, MatchesTable4Counts) {
+  WebLogGenOptions options;
+  options.total_records = 150000;  // scaled 10x down for test speed
+  options.publication_accesses = 677;
+  options.project_accesses = 1161;
+  options.course_accesses = 1608;
+  WebLogStats stats;
+  const auto events = GenerateWebLog(options, &stats);
+  EXPECT_EQ(static_cast<int64_t>(events.size()), options.total_records);
+  EXPECT_EQ(stats.publications, 677);
+  EXPECT_EQ(stats.projects, 1161);
+  EXPECT_EQ(stats.courses, 1608);
+  EXPECT_EQ(stats.other,
+            options.total_records - 677 - 1161 - 1608);
+}
+
+TEST(WebLogGen, TimestampsSpanTheMonth) {
+  WebLogGenOptions options;
+  options.total_records = 50000;
+  options.publication_accesses = 100;
+  options.project_accesses = 100;
+  options.course_accesses = 100;
+  const auto events = GenerateWebLog(options);
+  EXPECT_EQ(events.front()->timestamp(), 0);
+  EXPECT_GT(events.back()->timestamp(),
+            options.span - options.span / 100);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1]->timestamp(), events[i]->timestamp());
+  }
+}
+
+TEST(WebLogGen, SchemaAndCategories) {
+  WebLogGenOptions options;
+  options.total_records = 5000;
+  options.publication_accesses = 50;
+  options.project_accesses = 50;
+  options.course_accesses = 50;
+  const auto events = GenerateWebLog(options);
+  int special = 0;
+  for (const auto& e : events) {
+    const std::string cat = e->value(2).string_value();
+    EXPECT_TRUE(cat == "other" || cat == "publication" ||
+                cat == "project" || cat == "course");
+    if (cat != "other") ++special;
+    EXPECT_FALSE(e->value(0).string_value().empty());  // ip
+  }
+  EXPECT_EQ(special, 150);
+}
+
+}  // namespace
+}  // namespace zstream
