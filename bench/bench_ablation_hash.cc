@@ -26,7 +26,7 @@ int Run() {
   // 64 regular names plus Google.
   StockGenOptions gen;
   for (int i = 0; i < 64; ++i) {
-    gen.names.push_back("S" + std::to_string(i));
+    gen.names.push_back(IndexedName("S", i));
     gen.weights.push_back(1.0);
   }
   gen.names.push_back("Google");

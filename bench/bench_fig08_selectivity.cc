@@ -51,17 +51,21 @@ int Run() {
     const RunResult l = RunTreePlan(p, left, events);
     const RunResult r = RunTreePlan(p, right, events);
     const RunResult n = RunNfaBaseline(p, events);
-    table.AddRow({"1/" + std::to_string(denom), FormatThroughput(l.throughput),
-                  FormatThroughput(r.throughput),
-                  FormatThroughput(n.throughput),
-                  std::to_string(l.matches),
-                  FormatDouble(l.throughput / r.throughput, 2) + "x"});
     if (l.matches != r.matches || l.matches != n.matches) {
       std::fprintf(stderr, "MATCH-COUNT MISMATCH: %llu %llu %llu\n",
                    (unsigned long long)l.matches, (unsigned long long)r.matches,
                    (unsigned long long)n.matches);
       return 1;
     }
+    const std::string sel_label = IndexedName("1/", denom);
+    RecordResult("fig08_selectivity", "left_deep", sel_label, l);
+    RecordResult("fig08_selectivity", "right_deep", sel_label, r);
+    RecordResult("fig08_selectivity", "nfa", sel_label, n);
+    table.AddRow({sel_label, FormatThroughput(l.throughput),
+                  FormatThroughput(r.throughput),
+                  FormatThroughput(n.throughput),
+                  std::to_string(l.matches),
+                  FormatDouble(l.throughput / r.throughput, 2) + "x"});
   }
   table.Print();
   return 0;

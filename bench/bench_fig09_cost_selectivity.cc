@@ -34,7 +34,7 @@ int Run() {
     const CostModel model(p.get(), &stats);
     const double cl = model.PlanCost(left);
     const double cr = model.PlanCost(right);
-    table.AddRow({"1/" + std::to_string(denom),
+    table.AddRow({IndexedName("1/", denom),
                   FormatDouble(1e6 / cl, 3), FormatDouble(1e6 / cr, 3),
                   FormatDouble(cr / cl, 2) + "x"});
   }

@@ -45,6 +45,9 @@ int Run() {
       std::fprintf(stderr, "MATCH-COUNT MISMATCH\n");
       return 1;
     }
+    RecordResult("fig10_rates", "left_deep", ratio, l);
+    RecordResult("fig10_rates", "right_deep", ratio, r);
+    RecordResult("fig10_rates", "nfa", ratio, n);
     table.AddRow({ratio, FormatThroughput(l.throughput),
                   FormatThroughput(r.throughput),
                   FormatThroughput(n.throughput),

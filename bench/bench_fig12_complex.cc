@@ -27,8 +27,10 @@ int Run() {
     const auto events = Query6Workload(c, 40000, 12);
     std::vector<std::string> row{c.label};
     uint64_t matches = 0;
+    std::vector<RunResult> tree_results;
     for (const NamedPlan& np : plans) {
       const RunResult r = RunTreePlan(p, np.plan, events);
+      tree_results.push_back(r);
       row.push_back(FormatThroughput(r.throughput));
       matches = r.matches;
     }
@@ -41,6 +43,10 @@ int Run() {
                    (unsigned long long)n.matches);
       return 1;
     }
+    for (size_t i = 0; i < plans.size(); ++i) {
+      RecordResult("fig12_complex", plans[i].name, c.label, tree_results[i]);
+    }
+    RecordResult("fig12_complex", "nfa", c.label, n);
     table.AddRow(std::move(row));
   }
   table.Print();

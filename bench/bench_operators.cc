@@ -111,7 +111,7 @@ void BM_HashProbeVsScan(benchmark::State& state) {
   std::vector<std::string> names;
   std::vector<double> weights;
   for (int i = 0; i < 32; ++i) {
-    names.push_back("N" + std::to_string(i));
+    names.push_back(IndexedName("N", i));
     weights.push_back(1.0);
   }
   StockGenOptions gen;

@@ -94,6 +94,59 @@ RunResult RunPartitioned(const PatternPtr& pattern, const PhysicalPlan& plan,
       });
 }
 
+namespace {
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+void RecordResult(const std::string& experiment, const std::string& series,
+                  const std::string& x, const RunResult& result) {
+  const char* path = std::getenv("ZS_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_util: cannot open ZS_BENCH_JSON file %s\n",
+                 path);
+    return;
+  }
+  std::fprintf(f,
+               "{\"experiment\": \"%s\", \"series\": \"%s\", \"x\": \"%s\", "
+               "\"throughput_eps\": %.3f, \"matches\": %llu, "
+               "\"peak_mb\": %.3f, \"elapsed_s\": %.6f, \"reps\": %d}\n",
+               JsonEscape(experiment).c_str(), JsonEscape(series).c_str(),
+               JsonEscape(x).c_str(), result.throughput,
+               static_cast<unsigned long long>(result.matches),
+               result.peak_mb, result.elapsed_s, Repetitions());
+  std::fclose(f);
+}
+
 Table::Table(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
 

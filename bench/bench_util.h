@@ -49,6 +49,15 @@ RunResult RunPartitioned(const PatternPtr& pattern, const PhysicalPlan& plan,
                          const std::vector<EventPtr>& events,
                          EngineOptions options = {});
 
+/// Machine-readable results. When the environment variable ZS_BENCH_JSON
+/// names a file, each call appends one JSON object (JSON Lines) with the
+/// experiment/series/x labels and the RunResult's numbers;
+/// scripts/run_benches.sh merges the per-binary files into
+/// BENCH_baseline.json. A no-op when ZS_BENCH_JSON is unset, so plain
+/// benchmark runs keep printing tables only.
+void RecordResult(const std::string& experiment, const std::string& series,
+                  const std::string& x, const RunResult& result);
+
 /// Aligned table printer.
 class Table {
  public:
@@ -63,6 +72,15 @@ class Table {
 
 std::string FormatThroughput(double eps);
 std::string FormatDouble(double v, int precision = 2);
+
+/// prefix + std::to_string(i), built via += because the
+/// operator+(const char*, std::string&&) spelling trips a GCC 12
+/// -Wrestrict false positive at -O3 (GCC PR 105329).
+inline std::string IndexedName(const std::string& prefix, int64_t i) {
+  std::string name = prefix;
+  name += std::to_string(i);
+  return name;
+}
 
 /// Prints the standard benchmark banner.
 void Banner(const std::string& experiment, const std::string& description);

@@ -1,0 +1,40 @@
+# Fail fast, at configure time, on compilers that cannot build the tree.
+#
+# The codebase is C++20 throughout; the first thing an old compiler trips
+# over is `bool operator==(const TimeSpan&) const = default;` in
+# src/common/timestamp.h, which under C++17 produces an error cascade
+# through every translation unit. Catching it here turns that cascade
+# into one actionable message.
+
+set(_zstream_cxx_requirement
+  "ZStream requires a C++20 compiler (defaulted comparisons, e.g. \
+src/common/timestamp.h): GCC >= 10, Clang >= 10, AppleClang >= 12, or \
+MSVC >= 19.28 (VS 2019 16.8).")
+
+if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU")
+  if(CMAKE_CXX_COMPILER_VERSION VERSION_LESS 10)
+    message(FATAL_ERROR
+      "GCC ${CMAKE_CXX_COMPILER_VERSION} is too old. ${_zstream_cxx_requirement}")
+  endif()
+elseif(CMAKE_CXX_COMPILER_ID STREQUAL "Clang")
+  if(CMAKE_CXX_COMPILER_VERSION VERSION_LESS 10)
+    message(FATAL_ERROR
+      "Clang ${CMAKE_CXX_COMPILER_VERSION} is too old. ${_zstream_cxx_requirement}")
+  endif()
+elseif(CMAKE_CXX_COMPILER_ID STREQUAL "AppleClang")
+  if(CMAKE_CXX_COMPILER_VERSION VERSION_LESS 12)
+    message(FATAL_ERROR
+      "AppleClang ${CMAKE_CXX_COMPILER_VERSION} is too old. ${_zstream_cxx_requirement}")
+  endif()
+elseif(MSVC)
+  if(MSVC_VERSION LESS 1928)
+    message(FATAL_ERROR
+      "MSVC toolset ${MSVC_VERSION} is too old. ${_zstream_cxx_requirement}")
+  endif()
+else()
+  message(WARNING
+    "Unrecognized compiler '${CMAKE_CXX_COMPILER_ID}'; the build needs full "
+    "C++20 support and may fail. ${_zstream_cxx_requirement}")
+endif()
+
+unset(_zstream_cxx_requirement)

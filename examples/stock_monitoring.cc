@@ -9,6 +9,7 @@
 //              total volume tops a threshold, bracketed by same-name
 //              ticks with a 20% rise.
 #include <cstdio>
+#include <cstdlib>
 
 #include "api/zstream.h"
 #include "workload/stock_gen.h"
@@ -31,7 +32,13 @@ std::unique_ptr<CompiledQuery> Compile(const ZStream& zs, const char* label,
 
 }  // namespace
 
-int main() {
+// An optional argv[1] overrides the feed size (default: one 200k-event
+// trading day); the CTest smoke registration passes a small count so
+// sanitizer builds finish well inside the test timeout.
+int main(int argc, char** argv) {
+  int num_events = 200000;
+  if (argc > 1) num_events = std::max(1, std::atoi(argv[1]));
+
   ZStream zs(StockSchema());
 
   auto query1 = Compile(zs, "Query 1",
@@ -63,7 +70,7 @@ int main() {
   StockGenOptions gen;
   gen.names = {"Google", "IBM", "Sun", "Oracle", "HP"};
   gen.weights = {3, 1, 1, 1, 1};
-  gen.num_events = 200000;
+  gen.num_events = num_events;
   gen.ts_step = 100;  // ms
   gen.price_min = 40;
   gen.price_max = 120;

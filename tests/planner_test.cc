@@ -154,13 +154,31 @@ TEST(Planner, KleeneFusedAsTrinaryUnit) {
 
 TEST(Planner, PlansLength20UnderTenMilliseconds) {
   // Section 5.2.3: "less than 10 ms to search for an optimal plan with
-  // pattern length 20".
+  // pattern length 20". The paper's bound only holds for optimized
+  // builds; unoptimized and sanitizer-instrumented builds get generous
+  // headroom so the DP is still exercised without a flaky wall-clock
+  // assertion.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define ZSTREAM_TEST_SLOW_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define ZSTREAM_TEST_SLOW_BUILD 1
+#endif
+#endif
+#if !defined(NDEBUG)
+#define ZSTREAM_TEST_SLOW_BUILD 1
+#endif
+#if defined(ZSTREAM_TEST_SLOW_BUILD)
+  constexpr double kBudgetMicros = 1e6;
+#else
+  constexpr double kBudgetMicros = 10000.0;
+#endif
   const PatternPtr p = SeqPattern(20);
   StatsCatalog stats(20, 10.0);
   Planner planner(p, &stats);
   auto plan = planner.OptimalPlan();
   ASSERT_TRUE(plan.ok());
-  EXPECT_LT(planner.last_plan_micros(), 10000.0)
+  EXPECT_LT(planner.last_plan_micros(), kBudgetMicros)
       << "planning took " << planner.last_plan_micros() << "us";
 }
 

@@ -18,12 +18,37 @@
 
 namespace zstream::testing {
 
+/// Counter behind Stock()'s auto-assigned event ids. Reset at the start
+/// of every test (see the listener below) so ids depend only on the
+/// calls a test itself makes — never on which tests ran earlier in the
+/// binary or on ctest -j sharding.
+inline int64_t& StockIdCounter() {
+  static int64_t id = 0;
+  return id;
+}
+
+inline void ResetStockIds() { StockIdCounter() = 0; }
+
+namespace internal {
+class ResetStockIdsListener : public ::testing::EmptyTestEventListener {
+ public:
+  void OnTestStart(const ::testing::TestInfo&) override { ResetStockIds(); }
+};
+
+// Registered during static initialization, before gtest_main's
+// RUN_ALL_TESTS; the listener list takes ownership.
+inline const bool kResetStockIdsRegistered = [] {
+  ::testing::UnitTest::GetInstance()->listeners().Append(
+      new ResetStockIdsListener());
+  return true;
+}();
+}  // namespace internal
+
 /// Builds a stock event.
 inline EventPtr Stock(const std::string& name, double price, Timestamp ts,
                       int64_t volume = 100) {
-  static int64_t id = 0;
   return EventBuilder(StockSchema())
-      .Set("id", id++)
+      .Set("id", StockIdCounter()++)
       .Set("name", Value(name))
       .Set("price", price)
       .Set("volume", volume)
