@@ -1,0 +1,143 @@
+// Runtime scaling: shard-count sweep for the concurrent StreamRuntime
+// over a Figure-10-style stock workload, against the single-threaded
+// PartitionedEngine baseline.
+//
+// The query is paper Query 2's shape (three same-name trades with rising
+// prices) over 64 symbols, so the analyzer's partition key gives the
+// runtime its sharding axis and every shard count yields exactly the
+// same match count. Expected shape: throughput grows with shards until
+// the machine runs out of cores (ingest is a single producer; the
+// engines dominate).
+#include "bench_util.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "runtime/stream_runtime.h"
+
+namespace zstream::bench {
+namespace {
+
+constexpr char kQuery[] =
+    "PATTERN A;B;C WHERE A.name = B.name AND B.name = C.name "
+    "AND A.price < B.price AND B.price < C.price WITHIN 200";
+
+std::vector<EventPtr> Workload() {
+  StockGenOptions gen;
+  gen.names.clear();
+  gen.weights.clear();
+  for (int i = 0; i < 64; ++i) {
+    gen.names.push_back(IndexedName("SYM", i));
+    gen.weights.push_back(1.0);
+  }
+  gen.num_events = 120000;
+  gen.seed = 10;
+  return GenerateStockTrades(gen);
+}
+
+RunResult RunRuntime(const PatternPtr& pattern, const PhysicalPlan& plan,
+                     const std::vector<EventPtr>& events, int num_shards) {
+  const int reps = Repetitions();
+  std::vector<double> rates;
+  RunResult result;
+  // Pre-slice outside the timed region so chunk construction (heap
+  // allocation + shared_ptr refcounting) is not measured as ingest.
+  constexpr size_t kChunk = 1024;
+  std::vector<std::vector<EventPtr>> chunks;
+  for (size_t i = 0; i < events.size(); i += kChunk) {
+    chunks.emplace_back(
+        events.begin() + static_cast<long>(i),
+        events.begin() +
+            static_cast<long>(std::min(i + kChunk, events.size())));
+  }
+  for (int r = 0; r < reps; ++r) {
+    runtime::RuntimeOptions options;
+    options.num_shards = num_shards;
+    options.queue_capacity = 8192;
+    auto rt = runtime::StreamRuntime::Create(options);
+    if (!rt.ok()) return result;
+    auto stream = (*rt)->AddStream("stock", StockSchema());
+    auto id = (*rt)->RegisterQuery(*stream, pattern, plan);
+    if (!id.ok()) return result;
+
+    const auto start = std::chrono::steady_clock::now();
+    // Single producer, bulk routing: one queue lock per shard per chunk.
+    for (const std::vector<EventPtr>& chunk : chunks) {
+      (*rt)->IngestBatch(*stream, chunk);
+    }
+    (void)(*rt)->Flush();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    rates.push_back(static_cast<double>(events.size()) / secs);
+    result.elapsed_s = secs;
+    const auto matches = (*rt)->query_matches(*id);
+    result.matches = matches.ok() ? *matches : 0;
+    const auto peak = (*rt)->query_peak_bytes(*id);
+    result.peak_mb =
+        peak.ok() ? static_cast<double>(*peak) / (1024.0 * 1024.0) : 0.0;
+    (*rt)->Stop();
+  }
+  result.throughput =
+      std::accumulate(rates.begin(), rates.end(), 0.0) /
+      static_cast<double>(rates.size());
+  return result;
+}
+
+int Run() {
+  Banner("Runtime scaling",
+         "StreamRuntime shard sweep (1/2/4/8) vs single-threaded "
+         "PartitionedEngine, Query-2 shape over 64 symbols, window 200");
+
+  auto pattern = AnalyzeQuery(kQuery, StockSchema());
+  if (!pattern.ok()) {
+    std::fprintf(stderr, "%s\n", pattern.status().ToString().c_str());
+    return 1;
+  }
+  const PatternPtr p = *pattern;
+  if (!p->partition.has_value()) {
+    std::fprintf(stderr, "expected a same-name partition key\n");
+    return 1;
+  }
+  const PhysicalPlan plan = LeftDeepPlan(*p);
+  const auto events = Workload();
+
+  const RunResult base = RunPartitioned(p, plan, events);
+  RecordResult("runtime_scaling", "single_thread", "1", base);
+
+  Table table({"configuration", "throughput (ev/s)", "speedup", "matches"});
+  table.AddRow({"single-thread", FormatThroughput(base.throughput), "1.00x",
+                std::to_string(base.matches)});
+
+  int failures = 0;
+  for (int shards : {1, 2, 4, 8}) {
+    const RunResult r = RunRuntime(p, plan, events, shards);
+    if (r.matches != base.matches) {
+      std::fprintf(stderr,
+                   "MATCH-COUNT MISMATCH at %d shards: %llu vs %llu\n",
+                   shards, static_cast<unsigned long long>(r.matches),
+                   static_cast<unsigned long long>(base.matches));
+      ++failures;
+    }
+    RecordResult("runtime_scaling", "runtime",
+                 std::to_string(shards), r);
+    table.AddRow({IndexedName("runtime x", shards),
+                  FormatThroughput(r.throughput),
+                  FormatDouble(r.throughput / base.throughput, 2) + "x",
+                  std::to_string(r.matches)});
+  }
+  table.Print();
+  std::printf(
+      "\n  note: this host has %u hardware threads; speedup saturates at\n"
+      "  the core count (on 1 core the runtime only adds queue overhead),\n"
+      "  and the single producer serializes routing for high shard "
+      "counts.\n",
+      std::thread::hardware_concurrency());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace zstream::bench
+
+int main() { return zstream::bench::Run(); }

@@ -38,3 +38,33 @@ else()
 endif()
 
 unset(_zstream_cxx_requirement)
+
+# Translates the ZSTREAM_SANITIZE cache value into compile/link flags on
+# `target`:
+#   OFF            -- nothing
+#   ON / address   -- AddressSanitizer + UndefinedBehaviorSanitizer
+#   thread         -- ThreadSanitizer (the CI job for src/runtime/ and the
+#                     concurrent engine paths)
+# ASan and TSan cannot be combined, hence the single selector.
+function(zstream_apply_sanitizers target)
+  if(NOT ZSTREAM_SANITIZE OR ZSTREAM_SANITIZE STREQUAL "OFF")
+    return()
+  endif()
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR "ZSTREAM_SANITIZE requires GCC or Clang")
+  endif()
+  if(ZSTREAM_SANITIZE STREQUAL "thread")
+    set(_zs_san_flags
+      -fsanitize=thread -fno-omit-frame-pointer -fno-sanitize-recover=all)
+  elseif(ZSTREAM_SANITIZE STREQUAL "ON" OR ZSTREAM_SANITIZE STREQUAL "address")
+    set(_zs_san_flags
+      -fsanitize=address,undefined -fno-omit-frame-pointer
+      -fno-sanitize-recover=all)
+  else()
+    message(FATAL_ERROR
+      "Unknown ZSTREAM_SANITIZE value '${ZSTREAM_SANITIZE}' "
+      "(expected OFF, ON, address, or thread)")
+  endif()
+  target_compile_options(${target} INTERFACE ${_zs_san_flags})
+  target_link_options(${target} INTERFACE ${_zs_san_flags})
+endfunction()

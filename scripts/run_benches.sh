@@ -26,8 +26,9 @@ if [[ "${1:-}" == "--all" ]]; then
 else
   # The figure benches that anchor the perf trajectory (paper Figures
   # 8, 10 and 12): plan-shape throughput under selectivity sweeps, rate
-  # skew, and the complex Query 6 regimes.
-  BENCHES=${BENCHES:-"bench_fig08_selectivity bench_fig10_rates bench_fig12_complex"}
+  # skew, and the complex Query 6 regimes — plus the StreamRuntime
+  # shard-count sweep so the trajectory captures multi-core scaling.
+  BENCHES=${BENCHES:-"bench_fig08_selectivity bench_fig10_rates bench_fig12_complex bench_runtime_scaling"}
 fi
 
 for b in $BENCHES; do

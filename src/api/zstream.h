@@ -26,6 +26,11 @@
 
 namespace zstream {
 
+namespace runtime {
+class StreamRuntime;
+struct RuntimeOptions;
+}  // namespace runtime
+
 enum class PlanStrategy : char {
   kOptimal,    // cost-based DP (Algorithm 5)
   kLeftDeep,
@@ -64,6 +69,14 @@ class CompiledQuery {
   Engine* engine() { return engine_.get(); }
   PartitionedEngine* partitioned_engine() { return partitioned_.get(); }
 
+  /// The uniform shard-facing interface over whichever engine backs this
+  /// query (see exec/engine_core.h).
+  EngineCore* core() {
+    return partitioned_ != nullptr ? static_cast<EngineCore*>(
+                                         partitioned_.get())
+                                   : engine_.get();
+  }
+
  private:
   friend class ZStream;
   PatternPtr pattern_;
@@ -85,6 +98,15 @@ class ZStream {
   /// Analyze only (no engine); useful for planning experiments.
   Result<PatternPtr> Analyze(const std::string& text,
                              const AnalyzerOptions& options = {}) const;
+
+  /// Starts a concurrent sharded runtime (src/runtime/) with one input
+  /// stream named "default" bound to this ZStream's schema. Register
+  /// queries with StreamRuntime::RegisterQuery; implemented in
+  /// src/runtime/zstream_facade.cc so the api layer keeps no runtime
+  /// dependency. The overload without options uses RuntimeOptions{}.
+  Result<std::unique_ptr<runtime::StreamRuntime>> StartRuntime(
+      const runtime::RuntimeOptions& options) const;
+  Result<std::unique_ptr<runtime::StreamRuntime>> StartRuntime() const;
 
   const SchemaPtr& schema() const { return schema_; }
 

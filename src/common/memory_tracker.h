@@ -4,9 +4,16 @@
 // (Tables 3 and 5). We reproduce that with deterministic byte accounting:
 // every buffer reports record/event bytes to a MemoryTracker, whose peak
 // is read out after a run.
+//
+// Counters are relaxed atomics so one tracker can aggregate across the
+// shard threads of runtime::StreamRuntime (each engine is still
+// single-threaded; only the *aggregation* is concurrent). The peak is
+// maintained with a CAS max-loop, so it is an upper bound that every
+// thread agrees on once the writers quiesce.
 #ifndef ZSTREAM_COMMON_MEMORY_TRACKER_H_
 #define ZSTREAM_COMMON_MEMORY_TRACKER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -14,39 +21,51 @@
 
 namespace zstream {
 
-/// \brief Tracks current and peak tracked bytes. Not thread-safe; ZStream
-/// engines are single-threaded like the paper's prototype.
+/// \brief Tracks current and peak tracked bytes (thread-safe).
 class MemoryTracker {
  public:
   MemoryTracker() = default;
   ZS_DISALLOW_COPY_AND_ASSIGN(MemoryTracker);
 
   void Allocate(size_t bytes) {
-    current_ += static_cast<int64_t>(bytes);
-    if (current_ > peak_) peak_ = current_;
+    const int64_t now =
+        current_.fetch_add(static_cast<int64_t>(bytes),
+                           std::memory_order_relaxed) +
+        static_cast<int64_t>(bytes);
+    int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
   }
 
   void Release(size_t bytes) {
-    current_ -= static_cast<int64_t>(bytes);
-    ZS_DCHECK(current_ >= 0);
+    const int64_t before = current_.fetch_sub(static_cast<int64_t>(bytes),
+                                              std::memory_order_relaxed);
+    ZS_DCHECK(before >= static_cast<int64_t>(bytes));
+    (void)before;
   }
 
-  int64_t current_bytes() const { return current_; }
-  int64_t peak_bytes() const { return peak_; }
+  int64_t current_bytes() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
 
   double peak_mb() const {
-    return static_cast<double>(peak_) / (1024.0 * 1024.0);
+    return static_cast<double>(peak_bytes()) / (1024.0 * 1024.0);
   }
 
-  void ResetPeak() { peak_ = current_; }
+  void ResetPeak() {
+    peak_.store(current_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
   void Reset() {
-    current_ = 0;
-    peak_ = 0;
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  int64_t current_ = 0;
-  int64_t peak_ = 0;
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
 };
 
 }  // namespace zstream

@@ -21,6 +21,10 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kOutOfRange:
       return "OutOfRange";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
   }
   return "Unknown";
 }

@@ -20,6 +20,8 @@ enum class StatusCode : char {
   kNotSupported,
   kInternal,
   kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
 };
 
 /// \brief Result status of a fallible operation.
@@ -49,6 +51,12 @@ class Status {
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -62,6 +70,10 @@ class Status {
   bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
 
   /// Human-readable rendering, e.g. "ParseError: unexpected token ';'".
   std::string ToString() const;

@@ -464,6 +464,11 @@ Status Engine::SwitchPlan(const PhysicalPlan& plan) {
   return Status::OK();
 }
 
+StatsCatalog Engine::StatsSnapshot(const StatsCatalog& defaults) const {
+  if (runtime_stats_ == nullptr) return defaults;
+  return runtime_stats_->Snapshot(*pattern_, defaults);
+}
+
 uint64_t Engine::pairs_tried() const {
   uint64_t total = 0;
   for (const auto& op : internal_nodes_) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/memory_tracker.h"
+#include "exec/engine_core.h"
 #include "exec/operators.h"
 #include "exec/reorder.h"
 #include "opt/adaptive.h"
@@ -62,9 +63,9 @@ struct EngineOptions {
 };
 
 /// \brief Single-partition query engine.
-class Engine {
+class Engine : public EngineCore {
  public:
-  using MatchCallback = std::function<void(Match&&)>;
+  using MatchCallback = zstream::MatchCallback;
 
   /// Instantiates `plan` (validated against `pattern`). `tracker` may be
   /// null, in which case the engine owns a private tracker.
@@ -72,11 +73,11 @@ class Engine {
       PatternPtr pattern, const PhysicalPlan& plan,
       const EngineOptions& options = {}, MemoryTracker* tracker = nullptr);
 
-  ~Engine();
+  ~Engine() override;
   ZS_DISALLOW_COPY_AND_ASSIGN(Engine);
 
   /// Streams one event in; may trigger an assembly round.
-  void Push(const EventPtr& event);
+  void Push(const EventPtr& event) override;
 
   /// Offers an event without round-triggering (PartitionedEngine drives
   /// rounds itself).
@@ -86,25 +87,30 @@ class Engine {
   void AssemblyRound();
 
   /// Flushes the reorder stage (if any) and any pending partial batch.
-  void Finish();
+  void Finish() override;
 
   /// Installs a match consumer; without one, matches are only counted.
-  void SetMatchCallback(MatchCallback cb) { callback_ = std::move(cb); }
+  void SetMatchCallback(MatchCallback cb) override {
+    callback_ = std::move(cb);
+  }
 
   /// Replaces the physical plan between assembly rounds (Section 5.3).
-  Status SwitchPlan(const PhysicalPlan& plan);
+  Status SwitchPlan(const PhysicalPlan& plan) override;
 
-  const Pattern& pattern() const { return *pattern_; }
+  /// Windowed stats as a catalog; `defaults` when not collecting stats.
+  StatsCatalog StatsSnapshot(const StatsCatalog& defaults) const override;
+
+  const Pattern& pattern() const override { return *pattern_; }
   const PhysicalPlan& current_plan() const { return plan_; }
   std::string ExplainPlan() const { return plan_.Explain(*pattern_); }
 
-  uint64_t num_matches() const { return num_matches_; }
-  uint64_t events_pushed() const { return events_pushed_; }
+  uint64_t num_matches() const override { return num_matches_; }
+  uint64_t events_pushed() const override { return events_pushed_; }
   uint64_t assembly_rounds() const { return assembly_rounds_; }
   uint64_t plan_switches() const { return plan_switches_; }
   /// Events dropped for arriving out of order beyond the slack.
   uint64_t late_events() const { return late_events_; }
-  MemoryTracker& memory() { return *tracker_; }
+  MemoryTracker& memory() override { return *tracker_; }
   RuntimeStats* runtime_stats() { return runtime_stats_.get(); }
 
   /// Total operator input combinations tried in the current plan

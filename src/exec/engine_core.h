@@ -1,0 +1,60 @@
+// The shard-facing engine interface.
+//
+// runtime::StreamRuntime hosts many queries, each instantiated once per
+// shard; a shard worker drives its engines through this interface without
+// caring whether a query runs as a single-partition Engine or a
+// hash-partitioned PartitionedEngine. Implementations are single-threaded
+// (one shard worker owns each instance); cross-thread aggregation happens
+// above, via atomic match counters, the thread-safe MemoryTracker and the
+// merged StatsCatalog snapshots.
+#ifndef ZSTREAM_EXEC_ENGINE_CORE_H_
+#define ZSTREAM_EXEC_ENGINE_CORE_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "event/event.h"
+
+namespace zstream {
+
+struct Match;
+class MemoryTracker;
+class Pattern;
+struct PhysicalPlan;
+class StatsCatalog;
+
+/// Consumes one completed match (moved in).
+using MatchCallback = std::function<void(Match&&)>;
+
+/// \brief Uniform driving interface over Engine / PartitionedEngine.
+class EngineCore {
+ public:
+  virtual ~EngineCore() = default;
+
+  /// Streams one event in; may trigger assembly rounds.
+  virtual void Push(const EventPtr& event) = 0;
+
+  /// Flushes pending state (reorder stages, partial batches). The engine
+  /// remains usable afterwards; Finish is a barrier, not a shutdown.
+  virtual void Finish() = 0;
+
+  /// Installs a match consumer; without one, matches are only counted.
+  virtual void SetMatchCallback(MatchCallback cb) = 0;
+
+  /// Replaces the physical plan between assembly rounds (Section 5.3).
+  virtual Status SwitchPlan(const PhysicalPlan& plan) = 0;
+
+  /// Windowed runtime statistics as a planner catalog; components with
+  /// too few observations (or engines not collecting stats) fall back to
+  /// `defaults`. Used by the runtime's merged re-planning.
+  virtual StatsCatalog StatsSnapshot(const StatsCatalog& defaults) const = 0;
+
+  virtual uint64_t num_matches() const = 0;
+  virtual uint64_t events_pushed() const = 0;
+  virtual const Pattern& pattern() const = 0;
+  virtual MemoryTracker& memory() = 0;
+};
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_EXEC_ENGINE_CORE_H_

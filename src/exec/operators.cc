@@ -59,17 +59,31 @@ LeafNode::LeafNode(const Pattern* pattern, int class_idx,
                    MemoryTracker* tracker)
     : OperatorNode(pattern, PhysOp::kLeaf, tracker, /*leaf_buffer=*/true),
       class_idx_(class_idx),
-      event_class_(&pattern->classes[static_cast<size_t>(class_idx)]) {
+      event_class_(&pattern->classes[static_cast<size_t>(class_idx)]),
+      probe_slots_(static_cast<size_t>(pattern->num_classes())) {
   set_covered({class_idx});
 }
 
 bool LeafNode::Offer(const EventPtr& event) {
-  Record rec = Record::FromEvent(class_idx_, pattern_->num_classes(), event);
-  const EvalInput in = rec.ToEvalInput(group_class_);
+  // Probe with a non-owning alias in the reused slot vector: most
+  // events are rejected by the pushed-down predicates, and rejecting
+  // must not pay for a Record (slots allocation + refcount up/down on
+  // the event).
+  probe_slots_[static_cast<size_t>(class_idx_)] =
+      EventPtr(EventPtr(), event.get());
+  EvalInput in;
+  in.slots = probe_slots_.data();
+  in.num_slots = static_cast<int>(probe_slots_.size());
+  in.group = nullptr;
+  in.group_class = group_class_;
+  bool admitted = true;
   for (const ExprPtr& pred : event_class_->leaf_predicates) {
-    if (!pred->EvalPredicate(in)) return false;
+    if (!pred->EvalPredicate(in)) {
+      admitted = false;
+      break;
+    }
   }
-  if (!event_class_->neg_branches.empty()) {
+  if (admitted && !event_class_->neg_branches.empty()) {
     bool any = false;
     for (const NegBranch& branch : event_class_->neg_branches) {
       bool all = true;
@@ -84,9 +98,13 @@ bool LeafNode::Offer(const EventPtr& event) {
         break;
       }
     }
-    if (!any) return false;
+    if (!any) admitted = false;
   }
-  output_.Append(std::move(rec));
+  probe_slots_[static_cast<size_t>(class_idx_)] = nullptr;
+  if (!admitted) return false;
+
+  output_.Append(
+      Record::FromEvent(class_idx_, pattern_->num_classes(), event));
   if (stats_ != nullptr) stats_->OnClassAdmit(class_idx_);
   return true;
 }

@@ -109,6 +109,10 @@ class LeafNode : public OperatorNode {
  private:
   int class_idx_;
   const EventClass* event_class_;
+  /// Scratch slot vector for the admission probe: sized once, holding a
+  /// non-owning alias of the offered event while predicates run, so a
+  /// rejected event costs no allocation and no shared_ptr refcounting.
+  std::vector<EventPtr> probe_slots_;
 };
 
 /// \brief Sequence (Algorithm 1), with optional hash-probe inner path

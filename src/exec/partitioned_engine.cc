@@ -36,7 +36,9 @@ Result<PartitionedEngine::Partition*> PartitionedEngine::GetOrCreate(
   if (it != partitions_.end()) return &it->second;
   ZS_ASSIGN_OR_RETURN(std::unique_ptr<Engine> sub,
                       Engine::Create(pattern_, plan_, options_, tracker_));
-  if (callback_) sub->SetMatchCallback(callback_);
+  // Unconditional: partitions created after SetMatchCallback inherit the
+  // stored callback, including an explicitly cleared (empty) one.
+  sub->SetMatchCallback(callback_);
   Partition part;
   part.engine = std::move(sub);
   auto [pos, inserted] = partitions_.emplace(key, std::move(part));
@@ -46,7 +48,7 @@ Result<PartitionedEngine::Partition*> PartitionedEngine::GetOrCreate(
 
 void PartitionedEngine::Push(const EventPtr& event) {
   ++events_pushed_;
-  const Value key = event->value(key_field_);
+  const Value& key = event->value(key_field_);
   if (key.is_null()) return;
   Result<Partition*> part = GetOrCreate(key);
   if (!part.ok()) return;
@@ -77,6 +79,31 @@ uint64_t PartitionedEngine::num_matches() const {
     total += part.engine->num_matches();
   }
   return total;
+}
+
+Status PartitionedEngine::SwitchPlan(const PhysicalPlan& plan) {
+  ZS_RETURN_IF_ERROR(ValidatePlan(*pattern_, plan));
+  for (auto& [key, part] : partitions_) {
+    ZS_RETURN_IF_ERROR(part.engine->SwitchPlan(plan));
+  }
+  plan_ = plan;
+  ++plan_switches_;
+  return Status::OK();
+}
+
+StatsCatalog PartitionedEngine::StatsSnapshot(
+    const StatsCatalog& defaults) const {
+  std::vector<StatsCatalog> parts;
+  std::vector<double> weights;
+  parts.reserve(partitions_.size());
+  weights.reserve(partitions_.size());
+  for (const auto& [key, part] : partitions_) {
+    if (part.engine->runtime_stats() == nullptr) continue;
+    parts.push_back(part.engine->StatsSnapshot(defaults));
+    weights.push_back(static_cast<double>(part.engine->events_pushed()));
+  }
+  if (parts.empty()) return defaults;
+  return MergeStatsCatalogs(parts, weights);
 }
 
 }  // namespace zstream

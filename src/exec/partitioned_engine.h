@@ -13,11 +13,12 @@
 #include <vector>
 
 #include "exec/engine.h"
+#include "exec/engine_core.h"
 
 namespace zstream {
 
 /// \brief Routes events to per-key Engines and drives their rounds.
-class PartitionedEngine {
+class PartitionedEngine : public EngineCore {
  public:
   static Result<std::unique_ptr<PartitionedEngine>> Create(
       PatternPtr pattern, const PhysicalPlan& plan,
@@ -25,21 +26,35 @@ class PartitionedEngine {
 
   ZS_DISALLOW_COPY_AND_ASSIGN(PartitionedEngine);
 
-  void Push(const EventPtr& event);
-  void Finish();
+  void Push(const EventPtr& event) override;
+  void Finish() override;
 
-  void SetMatchCallback(Engine::MatchCallback cb) {
+  /// Stored, then propagated to every existing partition AND to every
+  /// partition created later (GetOrCreate installs callback_
+  /// unconditionally, so clearing the callback also clears it on future
+  /// partitions).
+  void SetMatchCallback(Engine::MatchCallback cb) override {
     callback_ = std::move(cb);
     for (auto& [key, part] : partitions_) {
       part.engine->SetMatchCallback(callback_);
     }
   }
 
-  uint64_t num_matches() const;
-  uint64_t events_pushed() const { return events_pushed_; }
+  /// Switches every existing partition's plan (Section 5.3's state-
+  /// preserving switch) and instantiates future partitions with it.
+  Status SwitchPlan(const PhysicalPlan& plan) override;
+
+  /// Event-weighted merge of the per-partition windowed stats (partition
+  /// rates sum; selectivities average). `defaults` when no partition has
+  /// stats to report.
+  StatsCatalog StatsSnapshot(const StatsCatalog& defaults) const override;
+
+  uint64_t num_matches() const override;
+  uint64_t events_pushed() const override { return events_pushed_; }
+  uint64_t plan_switches() const { return plan_switches_; }
   size_t num_partitions() const { return partitions_.size(); }
-  MemoryTracker& memory() { return *tracker_; }
-  const Pattern& pattern() const { return *pattern_; }
+  MemoryTracker& memory() override { return *tracker_; }
+  const Pattern& pattern() const override { return *pattern_; }
 
  private:
   PartitionedEngine(PatternPtr pattern, PhysicalPlan plan,
@@ -64,6 +79,7 @@ class PartitionedEngine {
   std::vector<Partition*> dirty_;
   int pending_in_batch_ = 0;
   uint64_t events_pushed_ = 0;
+  uint64_t plan_switches_ = 0;
   Engine::MatchCallback callback_;
 };
 

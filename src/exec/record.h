@@ -31,7 +31,8 @@ struct Record {
   EventGroupPtr group;  // Kleene-closure events, when the pattern has one
 
   /// Leaf record wrapping a primitive event bound to `class_idx`.
-  static Record FromEvent(int class_idx, int num_classes, EventPtr event);
+  static Record FromEvent(int class_idx, int num_classes,
+                          const EventPtr& event);
 
   /// Slot-wise union of two records spanning disjoint class sets, with an
   /// explicit result span (NSEQ excludes the negated side from the span).

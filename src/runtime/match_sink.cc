@@ -1,0 +1,81 @@
+#include "runtime/match_sink.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace zstream::runtime {
+
+std::string CanonicalMatchKey(const Match& match) {
+  std::ostringstream os;
+  os << match.span.start << ":" << match.span.end << "/";
+  for (size_t i = 0; i < match.slots.size(); ++i) {
+    if (match.slots[i] != nullptr) {
+      os << i << "@" << match.slots[i]->timestamp() << "|";
+    }
+  }
+  if (match.group != nullptr) {
+    os << "g{";
+    for (const EventPtr& e : *match.group) os << e->timestamp() << ",";
+    os << "}";
+  }
+  return os.str();
+}
+
+void CollectingMatchSink::Publish(RuntimeMatch&& match) {
+  std::lock_guard<std::mutex> lock(mu_);
+  matches_.push_back(std::move(match));
+}
+
+size_t CollectingMatchSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return matches_.size();
+}
+
+std::vector<RuntimeMatch> CollectingMatchSink::Take() {
+  std::vector<RuntimeMatch> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.swap(matches_);
+  }
+  // Decorate-sort-undecorate: build each canonical key once instead of
+  // re-stringifying both operands on every comparison.
+  std::vector<std::pair<std::string, size_t>> order;
+  order.reserve(out.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    order.emplace_back(CanonicalMatchKey(out[i].match), i);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](const auto& a, const auto& b) {
+              const RuntimeMatch& ma = out[a.second];
+              const RuntimeMatch& mb = out[b.second];
+              if (ma.query != mb.query) return ma.query < mb.query;
+              if (ma.match.span.start != mb.match.span.start) {
+                return ma.match.span.start < mb.match.span.start;
+              }
+              if (ma.match.span.end != mb.match.span.end) {
+                return ma.match.span.end < mb.match.span.end;
+              }
+              return a.first < b.first;
+            });
+  std::vector<RuntimeMatch> sorted;
+  sorted.reserve(out.size());
+  for (const auto& [key, idx] : order) {
+    sorted.push_back(std::move(out[idx]));
+  }
+  return sorted;
+}
+
+std::vector<std::string> CollectingMatchSink::SortedKeys() const {
+  std::vector<std::string> keys;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    keys.reserve(matches_.size());
+    for (const RuntimeMatch& m : matches_) {
+      keys.push_back(CanonicalMatchKey(m.match));
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace zstream::runtime

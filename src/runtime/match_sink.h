@@ -1,0 +1,83 @@
+// Thread-safe match delivery for the concurrent runtime.
+//
+// Shard workers publish matches as they drain engine roots; a MatchSink
+// is the runtime's only cross-thread output channel, so implementations
+// must be safe under concurrent Publish. CollectingMatchSink additionally
+// re-establishes a deterministic order: Take() sorts by
+// (query, canonical match key), which is independent of shard count and
+// thread interleaving — the property the determinism tests assert.
+#ifndef ZSTREAM_RUNTIME_MATCH_SINK_H_
+#define ZSTREAM_RUNTIME_MATCH_SINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/engine.h"
+
+namespace zstream::runtime {
+
+/// Runtime-wide query handle (assigned by StreamRuntime::RegisterQuery).
+using QueryId = int64_t;
+
+/// \brief One match, tagged with its source query and shard.
+struct RuntimeMatch {
+  QueryId query = 0;
+  int shard = 0;
+  Match match;
+};
+
+/// Canonical, interleaving-independent key for a match: the span plus
+/// every bound slot's (class, timestamp) and the Kleene group timestamps.
+std::string CanonicalMatchKey(const Match& match);
+
+/// \brief Consumer interface; Publish is called from shard workers.
+class MatchSink {
+ public:
+  virtual ~MatchSink() = default;
+  virtual void Publish(RuntimeMatch&& match) = 0;
+};
+
+/// \brief Accumulates matches; Take() hands them out in canonical order.
+class CollectingMatchSink : public MatchSink {
+ public:
+  void Publish(RuntimeMatch&& match) override;
+
+  size_t size() const;
+
+  /// Removes and returns everything published so far, sorted by
+  /// (query, span, CanonicalMatchKey) — chronological within a query,
+  /// and identical across runs with different shard interleavings.
+  std::vector<RuntimeMatch> Take();
+
+  /// Sorted canonical keys of everything published so far (kept), for
+  /// direct comparison against a single-threaded run.
+  std::vector<std::string> SortedKeys() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RuntimeMatch> matches_;
+};
+
+/// \brief Serializes an arbitrary callback behind a mutex (for sinks
+/// that forward to non-thread-safe consumers).
+class CallbackMatchSink : public MatchSink {
+ public:
+  explicit CallbackMatchSink(std::function<void(RuntimeMatch&&)> fn)
+      : fn_(std::move(fn)) {}
+
+  void Publish(RuntimeMatch&& match) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_(std::move(match));
+  }
+
+ private:
+  std::mutex mu_;
+  std::function<void(RuntimeMatch&&)> fn_;
+};
+
+}  // namespace zstream::runtime
+
+#endif  // ZSTREAM_RUNTIME_MATCH_SINK_H_

@@ -1,0 +1,128 @@
+// Bounded multi-producer single-consumer ring queue.
+//
+// One instance backs each StreamRuntime shard: any number of producer
+// threads (event routers, the control plane) push; exactly one shard
+// worker pops, in batches, so per-event locking amortizes to one
+// lock/unlock per batch on the consumer side. Backpressure is the
+// caller's choice per push: Push() blocks while the ring is full,
+// TryPush() fails fast (the runtime counts the drop).
+//
+// A mutex + two condition variables keep this simple and provably
+// TSan-clean; the queue is not the bottleneck (engine assembly is), so a
+// lock-free ring would buy complexity, not throughput.
+#ifndef ZSTREAM_RUNTIME_MPSC_QUEUE_H_
+#define ZSTREAM_RUNTIME_MPSC_QUEUE_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace zstream::runtime {
+
+template <typename T>
+class MpscRingQueue {
+ public:
+  explicit MpscRingQueue(size_t capacity)
+      : ring_(capacity < 1 ? 1 : capacity) {}
+  ZS_DISALLOW_COPY_AND_ASSIGN(MpscRingQueue);
+
+  /// Blocks while full; returns false (dropping `item`) once closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return count_ < ring_.size() || closed_; });
+    if (closed_) return false;
+    Place(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking; returns false when full or closed.
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || count_ >= ring_.size()) return false;
+      Place(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking bulk push (used by IngestBatch): appends items in order,
+  /// waiting for space as needed, and returns how many were placed —
+  /// fewer than items->size() only when the queue closed mid-batch
+  /// (items already placed are still drained by the consumer).
+  size_t PushAll(std::vector<T>* items) {
+    size_t placed = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (T& item : *items) {
+      not_full_.wait(lock, [&] { return count_ < ring_.size() || closed_; });
+      if (closed_) break;
+      Place(std::move(item));
+      ++placed;
+      if (count_ == 1) {
+        // First item after empty: wake the consumer while we keep
+        // filling; later items ride the same wake-up.
+        not_empty_.notify_one();
+      }
+    }
+    lock.unlock();
+    not_empty_.notify_one();
+    return placed;
+  }
+
+  /// Pops up to `max_items` into `*out` (cleared first), blocking until
+  /// at least one item is available or the queue is closed AND drained —
+  /// the only case that returns 0.
+  size_t PopBatch(std::vector<T>* out, size_t max_items) {
+    out->clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return count_ > 0 || closed_; });
+    const size_t n = count_ < max_items ? count_ : max_items;
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(std::move(ring_[head_]));
+      head_ = (head_ + 1) % ring_.size();
+    }
+    count_ -= n;
+    lock.unlock();
+    if (n > 0) not_full_.notify_all();
+    return n;
+  }
+
+  /// Wakes all waiters; subsequent pushes fail, pops drain what remains.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+  size_t capacity() const { return ring_.size(); }
+
+ private:
+  void Place(T&& item) {
+    ring_[(head_ + count_) % ring_.size()] = std::move(item);
+    ++count_;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<T> ring_;
+  size_t head_ = 0;
+  size_t count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace zstream::runtime
+
+#endif  // ZSTREAM_RUNTIME_MPSC_QUEUE_H_

@@ -1,0 +1,59 @@
+#include "runtime/runtime_stats.h"
+
+#include <cstdio>
+
+namespace zstream::runtime {
+
+namespace {
+
+// Append-based building (no fixed-size line buffers), so arbitrarily
+// large counters can never truncate the document into invalid JSON.
+void AppendField(std::string* out, const char* name, uint64_t value,
+                 bool first = false) {
+  if (!first) *out += ", ";
+  *out += '"';
+  *out += name;
+  *out += "\": ";
+  *out += std::to_string(value);
+}
+
+void AppendDouble(std::string* out, const char* name, double value,
+                  bool first = false) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  if (!first) *out += ", ";
+  *out += '"';
+  *out += name;
+  *out += "\": ";
+  *out += buf;
+}
+
+}  // namespace
+
+std::string RuntimeStats::ToJson() const {
+  std::string out = "{";
+  AppendDouble(&out, "elapsed_s", elapsed_s, /*first=*/true);
+  AppendField(&out, "events_ingested", events_ingested);
+  AppendField(&out, "events_processed", events_processed);
+  AppendField(&out, "events_dropped", events_dropped);
+  AppendField(&out, "matches", matches);
+  AppendField(&out, "num_queries", num_queries);
+  out += ", \"shards\": [";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const ShardStats& s = shards[i];
+    if (i > 0) out += ", ";
+    out += '{';
+    AppendField(&out, "shard", static_cast<uint64_t>(s.shard),
+                /*first=*/true);
+    AppendField(&out, "events", s.events_processed);
+    AppendField(&out, "batches", s.batches);
+    AppendField(&out, "drops", s.events_dropped);
+    AppendField(&out, "queue_depth", s.queue_depth);
+    AppendDouble(&out, "throughput_eps", s.throughput_eps);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace zstream::runtime

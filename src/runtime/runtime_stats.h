@@ -1,0 +1,45 @@
+// Runtime observability: per-shard throughput, queue depth and drop
+// counters, snapshotted by StreamRuntime::Stats() and exported as JSON
+// for dashboards / the scaling benchmark.
+#ifndef ZSTREAM_RUNTIME_RUNTIME_STATS_H_
+#define ZSTREAM_RUNTIME_RUNTIME_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zstream::runtime {
+
+/// \brief One shard's counters at snapshot time.
+struct ShardStats {
+  int shard = 0;
+  uint64_t events_processed = 0;
+  uint64_t batches = 0;
+  /// Events rejected by BackpressurePolicy::kDropNewest on a full queue.
+  uint64_t events_dropped = 0;
+  size_t queue_depth = 0;
+  /// events_processed / seconds since the runtime started.
+  double throughput_eps = 0.0;
+};
+
+/// \brief Snapshot of the whole runtime (note: the name deliberately
+/// mirrors zstream::RuntimeStats, the per-engine windowed estimator;
+/// this one lives in the runtime namespace and aggregates shards).
+class RuntimeStats {
+ public:
+  std::vector<ShardStats> shards;
+  double elapsed_s = 0.0;
+  uint64_t events_ingested = 0;
+  uint64_t events_processed = 0;
+  uint64_t events_dropped = 0;
+  uint64_t matches = 0;
+  size_t num_queries = 0;
+
+  /// Compact JSON object (stable field order, no external deps).
+  std::string ToJson() const;
+};
+
+}  // namespace zstream::runtime
+
+#endif  // ZSTREAM_RUNTIME_RUNTIME_STATS_H_

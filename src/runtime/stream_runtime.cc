@@ -1,0 +1,798 @@
+#include "runtime/stream_runtime.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+#include "runtime/mpsc_queue.h"
+
+namespace zstream::runtime {
+
+// ---------------------------------------------------------------------
+// Internal structures
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Count-down barrier between the control plane and shard workers.
+struct SyncPoint {
+  explicit SyncPoint(int n) : remaining(n) {}
+
+  void Arrive() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--remaining <= 0) cv.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return remaining <= 0; });
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int remaining;
+};
+
+}  // namespace
+
+void Gate::Park() {
+  std::unique_lock<std::mutex> lock(mu_);
+  parked_ = true;
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return open_; });
+}
+
+void Gate::WaitParked() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return parked_; });
+}
+
+void Gate::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  open_ = true;
+  cv_.notify_all();
+}
+
+/// Merged-stats collection rendezvous for ReplanQuery.
+struct StreamRuntime::CollectCtx {
+  StatsCatalog defaults;
+  std::mutex mu;
+  std::vector<StatsCatalog> parts;
+  std::vector<double> weights;
+};
+
+/// One registered query. Engines are indexed by shard and driven only by
+/// that shard's worker; everything cross-thread is atomic or immutable
+/// after registration.
+struct StreamRuntime::QueryState {
+  QueryId id = 0;
+  StreamId stream = -1;
+  std::string text;
+  PatternPtr pattern;
+  PhysicalPlan plan;  // control-plane view of the current plan
+  RoutePolicy route = RoutePolicy::kPinned;
+  int key_field = -1;
+  int pinned_shard = 0;
+  int num_shards = 1;
+  MatchSink* sink = nullptr;
+  std::atomic<uint64_t> matches{0};
+  /// Shared by every shard engine (MemoryTracker is thread-safe).
+  std::unique_ptr<MemoryTracker> tracker;
+  std::vector<std::unique_ptr<EngineCore>> engines;  // [shard] or null
+  std::unique_ptr<AdaptiveController> controller;    // enable_replan only
+  /// Serializes ReplanQuery's controller + plan updates without holding
+  /// the runtime-wide control_mu_ across worker barriers (a worker
+  /// blocked on control_mu_ inside a MatchSink callback must never be
+  /// one we are waiting on).
+  std::mutex replan_mu;
+
+  /// Worker-side re-filter: several queries can route one event to the
+  /// same shard, so each engine checks that the event is its own. The
+  /// router stamps the key hash it computed into the message
+  /// (hint_field/hint_hash), so the common case — every hash query on
+  /// the stream keyed on the same field — is an integer compare here
+  /// rather than a second Value::Hash.
+  bool AcceptsOn(int shard, const EventPtr& event, int hint_field,
+                 size_t hint_hash) const {
+    switch (route) {
+      case RoutePolicy::kHashKey: {
+        const size_t hash = hint_field == key_field
+                                ? hint_hash
+                                : event->value(key_field).Hash();
+        return static_cast<int>(hash % static_cast<size_t>(num_shards)) ==
+               shard;
+      }
+      case RoutePolicy::kPinned:
+        return shard == pinned_shard;
+      case RoutePolicy::kBroadcast:
+        return true;
+      case RoutePolicy::kAuto:
+        break;  // resolved at registration
+    }
+    return false;
+  }
+};
+
+struct StreamRuntime::ShardMsg {
+  enum class Kind : char {
+    kEvent,
+    kRegister,
+    kUnregister,
+    kFinishAll,     // flush barrier: Finish every engine on the shard
+    kSwitchPlan,
+    kCollectStats,
+    kGate,
+  };
+
+  Kind kind = Kind::kEvent;
+  StreamId stream = -1;
+  EventPtr event;
+  /// Router-computed key hash for kEvent (see QueryState::AcceptsOn);
+  /// field -1 when no hash route was evaluated.
+  int key_hint_field = -1;
+  size_t key_hint_hash = 0;
+  std::shared_ptr<QueryState> query;
+  std::shared_ptr<SyncPoint> sync;
+  std::shared_ptr<const PhysicalPlan> plan;
+  std::shared_ptr<CollectCtx> collect;
+  std::shared_ptr<Gate> gate;
+};
+
+struct StreamRuntime::Shard {
+  Shard(int idx, size_t capacity) : index(idx), queue(capacity) {}
+
+  int index;
+  MpscRingQueue<ShardMsg> queue;
+  std::thread thread;
+
+  // Counters read by the control plane while the worker runs.
+  std::atomic<uint64_t> events_processed{0};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> dropped{0};
+
+  // Worker-thread-local: engines hosted on this shard.
+  struct Entry {
+    QueryState* query;
+    EngineCore* engine;
+  };
+  std::vector<Entry> entries;
+};
+
+// ---------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------
+
+StreamRuntime::StreamRuntime(const RuntimeOptions& options)
+    : options_(options) {
+  if (options_.num_shards <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    options_.num_shards = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  options_.num_shards = std::min(options_.num_shards, 64);  // route bitmask
+  if (options_.shard_batch_size < 1) options_.shard_batch_size = 1;
+  start_time_ = std::chrono::steady_clock::now();
+}
+
+Result<std::unique_ptr<StreamRuntime>> StreamRuntime::Create(
+    const RuntimeOptions& options) {
+  if (options.queue_capacity < 2) {
+    return Status::InvalidArgument(
+        "queue_capacity must be >= 2 (events + control messages)");
+  }
+  auto runtime = std::unique_ptr<StreamRuntime>(new StreamRuntime(options));
+  for (int s = 0; s < runtime->options_.num_shards; ++s) {
+    runtime->shards_.push_back(
+        std::make_unique<Shard>(s, runtime->options_.queue_capacity));
+  }
+  for (auto& shard : runtime->shards_) {
+    Shard* raw = shard.get();
+    raw->thread = std::thread([rt = runtime.get(), raw] {
+      rt->WorkerLoop(raw);
+    });
+  }
+  return runtime;
+}
+
+StreamRuntime::~StreamRuntime() { Stop(); }
+
+void StreamRuntime::Stop() {
+  if (stopped_.exchange(true)) return;
+  for (auto& shard : shards_) shard->queue.Close();
+  {
+    // A worker parked at a forgotten PauseShard gate would never see
+    // the queue close; open every outstanding gate before joining.
+    std::lock_guard<std::mutex> lock(gates_mu_);
+    for (const std::weak_ptr<Gate>& weak : gates_) {
+      if (auto gate = weak.lock()) gate->Open();
+    }
+    gates_.clear();
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Worker loop
+// ---------------------------------------------------------------------
+
+void StreamRuntime::WorkerLoop(Shard* shard) {
+  std::vector<ShardMsg> batch;
+  batch.reserve(static_cast<size_t>(options_.shard_batch_size));
+  while (shard->queue.PopBatch(&batch,
+                               static_cast<size_t>(
+                                   options_.shard_batch_size)) > 0) {
+    shard->batches.fetch_add(1, std::memory_order_relaxed);
+    for (ShardMsg& msg : batch) {
+      switch (msg.kind) {
+        case ShardMsg::Kind::kEvent: {
+          for (Shard::Entry& entry : shard->entries) {
+            if (entry.query->stream != msg.stream) continue;
+            if (!entry.query->AcceptsOn(shard->index, msg.event,
+                                        msg.key_hint_field,
+                                        msg.key_hint_hash)) {
+              continue;
+            }
+            entry.engine->Push(msg.event);
+          }
+          shard->events_processed.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        case ShardMsg::Kind::kRegister: {
+          EngineCore* engine =
+              msg.query->engines[static_cast<size_t>(shard->index)].get();
+          shard->entries.push_back(Shard::Entry{msg.query.get(), engine});
+          msg.sync->Arrive();
+          break;
+        }
+        case ShardMsg::Kind::kUnregister: {
+          const QueryId id = msg.query->id;
+          auto it = std::find_if(
+              shard->entries.begin(), shard->entries.end(),
+              [id](const Shard::Entry& e) { return e.query->id == id; });
+          if (it != shard->entries.end()) {
+            it->engine->Finish();  // deliver pending matches first
+            shard->entries.erase(it);
+          }
+          msg.sync->Arrive();
+          break;
+        }
+        case ShardMsg::Kind::kFinishAll: {
+          for (Shard::Entry& entry : shard->entries) entry.engine->Finish();
+          msg.sync->Arrive();
+          break;
+        }
+        case ShardMsg::Kind::kSwitchPlan: {
+          const QueryId id = msg.query->id;
+          for (Shard::Entry& entry : shard->entries) {
+            if (entry.query->id != id) continue;
+            const Status st = entry.engine->SwitchPlan(*msg.plan);
+            if (!st.ok()) {
+              ZS_LOG(Warn) << "shard " << shard->index
+                           << " plan switch failed: " << st.ToString();
+            }
+          }
+          msg.sync->Arrive();
+          break;
+        }
+        case ShardMsg::Kind::kCollectStats: {
+          const QueryId id = msg.query->id;
+          for (Shard::Entry& entry : shard->entries) {
+            if (entry.query->id != id) continue;
+            StatsCatalog part =
+                entry.engine->StatsSnapshot(msg.collect->defaults);
+            const double weight =
+                static_cast<double>(entry.engine->events_pushed());
+            std::lock_guard<std::mutex> lock(msg.collect->mu);
+            msg.collect->parts.push_back(std::move(part));
+            msg.collect->weights.push_back(weight);
+          }
+          msg.sync->Arrive();
+          break;
+        }
+        case ShardMsg::Kind::kGate: {
+          msg.gate->Park();
+          break;
+        }
+      }
+    }
+  }
+  // Queue closed and drained: flush so counters and sinks are complete.
+  for (Shard::Entry& entry : shard->entries) entry.engine->Finish();
+}
+
+// ---------------------------------------------------------------------
+// Streams and routing
+// ---------------------------------------------------------------------
+
+Result<StreamId> StreamRuntime::AddStream(const std::string& name,
+                                          SchemaPtr schema) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("stream schema must not be null");
+  }
+  std::unique_lock<std::shared_mutex> lock(route_mu_);
+  for (const StreamInfo& info : streams_) {
+    if (info.name == name) {
+      return Status::InvalidArgument("stream '" + name +
+                                     "' already exists");
+    }
+  }
+  streams_.push_back(StreamInfo{name, std::move(schema), {}});
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+Result<StreamId> StreamRuntime::stream(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  for (size_t i = 0; i < streams_.size(); ++i) {
+    if (streams_[i].name == name) return static_cast<StreamId>(i);
+  }
+  return Status::NotFound("no stream named '" + name + "'");
+}
+
+uint64_t StreamRuntime::TargetMask(const RouteEntry& entry,
+                                   const EventPtr& event, int* hint_field,
+                                   size_t* hint_hash) const {
+  switch (entry.route) {
+    case RoutePolicy::kHashKey: {
+      const size_t hash = *hint_field == entry.key_field
+                              ? *hint_hash
+                              : event->value(entry.key_field).Hash();
+      *hint_field = entry.key_field;
+      *hint_hash = hash;
+      return 1ULL << (hash % shards_.size());
+    }
+    case RoutePolicy::kPinned:
+      return 1ULL << entry.pinned_shard;
+    case RoutePolicy::kBroadcast:
+      return shards_.size() >= 64 ? ~0ULL
+                                  : (1ULL << shards_.size()) - 1;
+    case RoutePolicy::kAuto:
+      break;  // resolved at registration
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------
+// Ingest
+// ---------------------------------------------------------------------
+
+bool StreamRuntime::Ingest(StreamId stream, const EventPtr& event) {
+  if (stopped_.load(std::memory_order_relaxed) || event == nullptr) {
+    return false;
+  }
+  uint64_t mask = 0;
+  int hint_field = -1;
+  size_t hint_hash = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(route_mu_);
+    if (stream < 0 || static_cast<size_t>(stream) >= streams_.size()) {
+      return false;
+    }
+    for (const RouteEntry& entry : streams_[static_cast<size_t>(stream)]
+                                       .routes) {
+      mask |= TargetMask(entry, event, &hint_field, &hint_hash);
+    }
+  }
+  events_ingested_.fetch_add(1, std::memory_order_relaxed);
+  bool ok = true;
+  for (size_t s = 0; mask != 0; ++s, mask >>= 1) {
+    if ((mask & 1) == 0) continue;
+    ShardMsg msg;
+    msg.kind = ShardMsg::Kind::kEvent;
+    msg.stream = stream;
+    msg.event = event;
+    msg.key_hint_field = hint_field;
+    msg.key_hint_hash = hint_hash;
+    if (options_.backpressure == BackpressurePolicy::kBlock) {
+      ok &= shards_[s]->queue.Push(std::move(msg));
+    } else if (!shards_[s]->queue.TryPush(std::move(msg))) {
+      shards_[s]->dropped.fetch_add(1, std::memory_order_relaxed);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+uint64_t StreamRuntime::IngestBatch(StreamId stream,
+                                    const std::vector<EventPtr>& events) {
+  if (stopped_.load(std::memory_order_relaxed)) return events.size();
+  std::vector<std::vector<ShardMsg>> per_shard(shards_.size());
+  {
+    std::shared_lock<std::shared_mutex> lock(route_mu_);
+    if (stream < 0 || static_cast<size_t>(stream) >= streams_.size()) {
+      return events.size();
+    }
+    const StreamInfo& info = streams_[static_cast<size_t>(stream)];
+    for (const EventPtr& event : events) {
+      uint64_t mask = 0;
+      int hint_field = -1;
+      size_t hint_hash = 0;
+      for (const RouteEntry& entry : info.routes) {
+        mask |= TargetMask(entry, event, &hint_field, &hint_hash);
+      }
+      for (size_t s = 0; mask != 0; ++s, mask >>= 1) {
+        if ((mask & 1) == 0) continue;
+        ShardMsg msg;
+        msg.kind = ShardMsg::Kind::kEvent;
+        msg.stream = stream;
+        msg.event = event;
+        msg.key_hint_field = hint_field;
+        msg.key_hint_hash = hint_hash;
+        per_shard[s].push_back(std::move(msg));
+      }
+    }
+  }
+  events_ingested_.fetch_add(events.size(), std::memory_order_relaxed);
+  uint64_t drops = 0;
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    if (per_shard[s].empty()) continue;
+    if (options_.backpressure == BackpressurePolicy::kBlock) {
+      // PushAll falls short only when the runtime stopped mid-batch.
+      drops += per_shard[s].size() - shards_[s]->queue.PushAll(&per_shard[s]);
+    } else {
+      for (ShardMsg& msg : per_shard[s]) {
+        if (!shards_[s]->queue.TryPush(std::move(msg))) {
+          shards_[s]->dropped.fetch_add(1, std::memory_order_relaxed);
+          ++drops;
+        }
+      }
+    }
+  }
+  return drops;
+}
+
+// ---------------------------------------------------------------------
+// Query registration
+// ---------------------------------------------------------------------
+
+std::vector<int> StreamRuntime::TargetShards(const QueryState& qs) const {
+  std::vector<int> out;
+  if (qs.route == RoutePolicy::kPinned) {
+    out.push_back(qs.pinned_shard);
+  } else {
+    for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+bool StreamRuntime::SyncShards(const std::vector<int>& shard_indices,
+                               ShardMsg&& proto) {
+  auto sync = std::make_shared<SyncPoint>(
+      static_cast<int>(shard_indices.size()));
+  proto.sync = sync;
+  bool all_delivered = true;
+  for (int s : shard_indices) {
+    ShardMsg msg = proto;  // shared_ptr copies
+    if (!shards_[static_cast<size_t>(s)]->queue.Push(std::move(msg))) {
+      sync->Arrive();  // queue closed: account for the missing worker ack
+      all_delivered = false;
+    }
+  }
+  sync->Wait();
+  return all_delivered;
+}
+
+Result<QueryId> StreamRuntime::RegisterQuery(StreamId stream,
+                                             const std::string& text,
+                                             const CompileOptions& compile,
+                                             const QueryOptions& options) {
+  SchemaPtr schema;
+  {
+    std::shared_lock<std::shared_mutex> lock(route_mu_);
+    if (stream < 0 || static_cast<size_t>(stream) >= streams_.size()) {
+      return Status::InvalidArgument("unknown stream id");
+    }
+    schema = streams_[static_cast<size_t>(stream)].schema;
+  }
+  ZS_ASSIGN_OR_RETURN(PatternPtr pattern,
+                      AnalyzeQuery(text, schema, compile.analyzer));
+  ZS_ASSIGN_OR_RETURN(PhysicalPlan plan, BuildPlan(pattern, compile));
+  return RegisterCompiled(stream, std::move(pattern), plan, compile.engine,
+                          options, text);
+}
+
+Result<QueryId> StreamRuntime::RegisterQuery(StreamId stream,
+                                             PatternPtr pattern,
+                                             const PhysicalPlan& plan,
+                                             const EngineOptions& engine,
+                                             const QueryOptions& options) {
+  {
+    std::shared_lock<std::shared_mutex> lock(route_mu_);
+    if (stream < 0 || static_cast<size_t>(stream) >= streams_.size()) {
+      return Status::InvalidArgument("unknown stream id");
+    }
+  }
+  return RegisterCompiled(stream, std::move(pattern), plan, engine, options,
+                          "");
+}
+
+Result<QueryId> StreamRuntime::RegisterCompiled(
+    StreamId stream, PatternPtr pattern, const PhysicalPlan& plan,
+    const EngineOptions& engine_options, const QueryOptions& options,
+    std::string text) {
+  if (stopped_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("runtime is stopped");
+  }
+  RoutePolicy route = options.route;
+  if (route == RoutePolicy::kAuto) {
+    route = pattern->partition.has_value() ? RoutePolicy::kHashKey
+                                           : RoutePolicy::kPinned;
+  }
+  if (route == RoutePolicy::kHashKey && !pattern->partition.has_value()) {
+    return Status::InvalidArgument(
+        "RoutePolicy::kHashKey requires a pattern with a partition key "
+        "(the analyzer found none)");
+  }
+
+  // NOTE: control_mu_ is only held for id reservation and the final map
+  // insert — never across SyncShards. A worker can block on control_mu_
+  // through a MatchSink callback (sink -> query_matches), so waiting on
+  // workers while holding it would deadlock.
+  auto qs = std::make_shared<QueryState>();
+  {
+    std::lock_guard<std::mutex> control(control_mu_);
+    qs->id = next_query_id_++;
+    if (route == RoutePolicy::kPinned) {
+      qs->pinned_shard = next_pin_++ % static_cast<int>(shards_.size());
+    }
+  }
+  qs->stream = stream;
+  qs->text = std::move(text);
+  qs->pattern = pattern;
+  qs->plan = plan;
+  qs->route = route;
+  qs->num_shards = static_cast<int>(shards_.size());
+  qs->sink = options.sink;
+  qs->tracker = std::make_unique<MemoryTracker>();
+  qs->engines.resize(shards_.size());
+  if (pattern->partition.has_value()) {
+    qs->key_field = pattern->partition->field_indices.front();
+  }
+
+  EngineOptions eopts = engine_options;
+  if (options.enable_replan) {
+    eopts.collect_stats = true;
+    qs->controller =
+        std::make_unique<AdaptiveController>(pattern, options.replan);
+    const StatsCatalog defaults(pattern->num_classes(),
+                                static_cast<double>(pattern->window));
+    qs->controller->OnPlanInstalled(plan, defaults);
+  }
+
+  const std::vector<int> targets = TargetShards(*qs);
+  for (int s : targets) {
+    std::unique_ptr<EngineCore> engine;
+    if (pattern->partition.has_value()) {
+      ZS_ASSIGN_OR_RETURN(auto pe, PartitionedEngine::Create(
+                                       pattern, plan, eopts,
+                                       qs->tracker.get()));
+      engine = std::move(pe);
+    } else {
+      ZS_ASSIGN_OR_RETURN(auto se, Engine::Create(pattern, plan, eopts,
+                                                  qs->tracker.get()));
+      engine = std::move(se);
+    }
+    engine->SetMatchCallback(
+        [raw = qs.get(), s, sink = options.sink](Match&& m) {
+          raw->matches.fetch_add(1, std::memory_order_relaxed);
+          if (sink != nullptr) {
+            sink->Publish(RuntimeMatch{raw->id, s, std::move(m)});
+          }
+        });
+    qs->engines[static_cast<size_t>(s)] = std::move(engine);
+  }
+
+  // Install on every target shard; barrier so events ingested after we
+  // return are guaranteed to be evaluated.
+  ShardMsg msg;
+  msg.kind = ShardMsg::Kind::kRegister;
+  msg.query = qs;
+  if (!SyncShards(targets, std::move(msg))) {
+    // Stop() raced with us: some worker never installed the engine, so
+    // the registration guarantee cannot hold. Nothing was published;
+    // qs (and its engines, which no worker ever saw) die here.
+    return Status::FailedPrecondition("runtime stopped during register");
+  }
+
+  // Only now publish the route: nothing can reach a shard that has not
+  // installed the engine yet.
+  {
+    std::unique_lock<std::shared_mutex> lock(route_mu_);
+    streams_[static_cast<size_t>(stream)].routes.push_back(RouteEntry{
+        qs->id, qs->route, qs->key_field, qs->pinned_shard});
+  }
+  const QueryId id = qs->id;
+  {
+    std::lock_guard<std::mutex> control(control_mu_);
+    queries_.emplace(id, std::move(qs));
+  }
+  return id;
+}
+
+Result<uint64_t> StreamRuntime::UnregisterQuery(QueryId id) {
+  std::shared_ptr<QueryState> qs;
+  {
+    std::lock_guard<std::mutex> control(control_mu_);
+    auto it = queries_.find(id);
+    if (it == queries_.end()) {
+      return Status::NotFound("no query with that id");
+    }
+    qs = it->second;
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(route_mu_);
+    auto& routes = streams_[static_cast<size_t>(qs->stream)].routes;
+    routes.erase(std::remove_if(routes.begin(), routes.end(),
+                                [id](const RouteEntry& e) {
+                                  return e.query == id;
+                                }),
+                 routes.end());
+  }
+  ShardMsg msg;
+  msg.kind = ShardMsg::Kind::kUnregister;
+  msg.query = qs;
+  if (!SyncShards(TargetShards(*qs), std::move(msg))) {
+    // Runtime is stopping: some worker never processed the retire
+    // message and may still touch the engines while draining. Leave the
+    // QueryState registered so the engines outlive the workers (they
+    // are destroyed with the runtime, after Stop() joins).
+    return Status::FailedPrecondition(
+        "runtime stopped while unregistering; query retired with it");
+  }
+  const uint64_t final_matches = qs->matches.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> control(control_mu_);
+    queries_.erase(id);
+  }
+  return final_matches;
+}
+
+// ---------------------------------------------------------------------
+// Barriers, stats, re-planning
+// ---------------------------------------------------------------------
+
+Status StreamRuntime::Flush() {
+  if (stopped_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("runtime is stopped");
+  }
+  // No control_mu_ here: shards_ is immutable after Create, and a
+  // worker's Finish -> MatchSink callback may itself take control_mu_
+  // via an accessor (query_matches, Stats).
+  std::vector<int> all;
+  for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+    all.push_back(s);
+  }
+  ShardMsg msg;
+  msg.kind = ShardMsg::Kind::kFinishAll;
+  SyncShards(all, std::move(msg));
+  return Status::OK();
+}
+
+Result<uint64_t> StreamRuntime::query_matches(QueryId id) const {
+  std::lock_guard<std::mutex> control(control_mu_);
+  auto it = queries_.find(id);
+  if (it == queries_.end()) return Status::NotFound("no query with that id");
+  return it->second->matches.load(std::memory_order_relaxed);
+}
+
+Result<int64_t> StreamRuntime::query_peak_bytes(QueryId id) const {
+  std::lock_guard<std::mutex> control(control_mu_);
+  auto it = queries_.find(id);
+  if (it == queries_.end()) return Status::NotFound("no query with that id");
+  return it->second->tracker->peak_bytes();
+}
+
+Result<int> StreamRuntime::query_shard_count(QueryId id) const {
+  std::lock_guard<std::mutex> control(control_mu_);
+  auto it = queries_.find(id);
+  if (it == queries_.end()) return Status::NotFound("no query with that id");
+  return static_cast<int>(TargetShards(*it->second).size());
+}
+
+Result<bool> StreamRuntime::ReplanQuery(QueryId id) {
+  if (stopped_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("runtime is stopped");
+  }
+  std::shared_ptr<QueryState> qs;
+  {
+    std::lock_guard<std::mutex> control(control_mu_);
+    auto it = queries_.find(id);
+    if (it == queries_.end()) {
+      return Status::NotFound("no query with that id");
+    }
+    qs = it->second;
+  }
+  if (qs->controller == nullptr) {
+    return Status::FailedPrecondition(
+        "query was not registered with QueryOptions::enable_replan");
+  }
+  // Controller/plan updates serialize on the query's own mutex;
+  // control_mu_ must not be held across the worker barriers below.
+  std::lock_guard<std::mutex> replan(qs->replan_mu);
+
+  auto collect = std::make_shared<CollectCtx>();
+  collect->defaults = StatsCatalog(qs->pattern->num_classes(),
+                                   static_cast<double>(qs->pattern->window));
+  ShardMsg msg;
+  msg.kind = ShardMsg::Kind::kCollectStats;
+  msg.query = qs;
+  msg.collect = collect;
+  SyncShards(TargetShards(*qs), std::move(msg));
+
+  if (collect->parts.empty()) return false;
+  StatsCatalog merged = MergeStatsCatalogs(collect->parts, collect->weights);
+  if (qs->route == RoutePolicy::kBroadcast && collect->parts.size() > 1) {
+    // MergeStatsCatalogs sums rates assuming disjoint stream slices;
+    // broadcast shards each saw the FULL stream, so undo the N-fold
+    // inflation (selectivity averages remain correct either way).
+    for (int c = 0; c < merged.num_classes(); ++c) {
+      merged.set_rate(
+          c, merged.rate(c) / static_cast<double>(collect->parts.size()));
+    }
+  }
+  std::optional<PhysicalPlan> next = qs->controller->MaybeReplan(merged);
+  if (!next.has_value()) return false;
+
+  ShardMsg switch_msg;
+  switch_msg.kind = ShardMsg::Kind::kSwitchPlan;
+  switch_msg.query = qs;
+  switch_msg.plan = std::make_shared<const PhysicalPlan>(*next);
+  SyncShards(TargetShards(*qs), std::move(switch_msg));
+  qs->plan = *next;
+  return true;
+}
+
+RuntimeStats StreamRuntime::Stats() const {
+  RuntimeStats out;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  out.elapsed_s = elapsed;
+  out.events_ingested = events_ingested_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    ShardStats s;
+    s.shard = shard->index;
+    s.events_processed =
+        shard->events_processed.load(std::memory_order_relaxed);
+    s.batches = shard->batches.load(std::memory_order_relaxed);
+    s.events_dropped = shard->dropped.load(std::memory_order_relaxed);
+    s.queue_depth = shard->queue.size();
+    s.throughput_eps =
+        elapsed > 0.0 ? static_cast<double>(s.events_processed) / elapsed
+                      : 0.0;
+    out.events_processed += s.events_processed;
+    out.events_dropped += s.events_dropped;
+    out.shards.push_back(s);
+  }
+  {
+    std::lock_guard<std::mutex> control(control_mu_);
+    out.num_queries = queries_.size();
+    for (const auto& [id, qs] : queries_) {
+      out.matches += qs->matches.load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<Gate> StreamRuntime::PauseShard(int shard) {
+  if (shard < 0 || static_cast<size_t>(shard) >= shards_.size() ||
+      stopped_.load(std::memory_order_relaxed)) {
+    return nullptr;
+  }
+  auto gate = std::make_shared<Gate>();
+  {
+    std::lock_guard<std::mutex> lock(gates_mu_);
+    gates_.push_back(gate);
+  }
+  ShardMsg msg;
+  msg.kind = ShardMsg::Kind::kGate;
+  msg.gate = gate;
+  if (!shards_[static_cast<size_t>(shard)]->queue.Push(std::move(msg))) {
+    return nullptr;
+  }
+  return gate;
+}
+
+}  // namespace zstream::runtime

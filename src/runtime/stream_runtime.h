@@ -1,0 +1,237 @@
+// Concurrent streaming runtime: a sharded, multi-query server layer on
+// top of the single-threaded ZStream engines.
+//
+//   producers --> Ingest() --router--> shard queues --> shard workers
+//                                                          |  per-shard
+//                                                          |  engines
+//                                                          v
+//                                          MatchSink (thread-safe, ordered)
+//
+// Each of N shards owns one worker thread, one bounded MPSC ring queue
+// and one engine instance per registered query that routes there. Events
+// are routed by partition-key hash (the analyzer's Section 5.2.2 key),
+// so every key's events land on exactly one shard and the sharded match
+// set equals the single-threaded one exactly. Keyless queries are pinned
+// to a single shard (assigned round-robin across queries, so many
+// queries still spread over all cores) or broadcast to every shard on
+// request. Backpressure on full queues is configurable: block the
+// producer, or drop-newest with per-shard drop counters.
+//
+// Queries register and unregister at runtime; both are barriers (they
+// return once every shard has installed/retired its engine), so events
+// ingested after RegisterQuery() returns are guaranteed to be seen.
+// Per-shard windowed statistics can be merged into one StatsCatalog and
+// fed to a query-level AdaptiveController (ReplanQuery), broadcasting a
+// Section-5.3 state-preserving plan switch to every shard.
+#ifndef ZSTREAM_RUNTIME_STREAM_RUNTIME_H_
+#define ZSTREAM_RUNTIME_STREAM_RUNTIME_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/zstream.h"
+#include "opt/adaptive.h"
+#include "runtime/match_sink.h"
+#include "runtime/runtime_stats.h"
+
+namespace zstream::runtime {
+
+using StreamId = int;
+
+enum class BackpressurePolicy : char {
+  kBlock,       // Ingest blocks while a target shard's queue is full
+  kDropNewest,  // Ingest drops the event for that shard and counts it
+};
+
+enum class RoutePolicy : char {
+  kAuto,       // kHashKey when the pattern has a partition key, else kPinned
+  kHashKey,    // hash(partition key) % num_shards (requires a key)
+  kPinned,     // whole query on one shard, assigned round-robin
+  kBroadcast,  // every shard runs the full query over every event
+};
+
+struct RuntimeOptions {
+  /// Worker shards; <= 0 means std::thread::hardware_concurrency().
+  int num_shards = 4;
+  /// Per-shard ring capacity (events + control messages).
+  size_t queue_capacity = 4096;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Max events a worker pops (and processes) per queue lock.
+  int shard_batch_size = 256;
+};
+
+struct QueryOptions {
+  RoutePolicy route = RoutePolicy::kAuto;
+  /// Thread-safe match consumer (not owned; may be null: count only).
+  MatchSink* sink = nullptr;
+  /// Enables merged-stats re-planning via ReplanQuery (forces
+  /// collect_stats on the per-shard engines).
+  bool enable_replan = false;
+  AdaptiveOptions replan;
+};
+
+/// \brief Test/diagnostic hook: parks a shard worker until opened, so a
+/// test can deterministically fill a queue (see PauseShard).
+class Gate {
+ public:
+  /// Worker side: signal parked, then block until Open().
+  void Park();
+  /// Blocks until the worker has parked.
+  void WaitParked();
+  /// Releases the worker.
+  void Open();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool parked_ = false;
+  bool open_ = false;
+};
+
+/// \brief The sharded multi-query runtime.
+class StreamRuntime {
+ public:
+  static Result<std::unique_ptr<StreamRuntime>> Create(
+      const RuntimeOptions& options = {});
+
+  ~StreamRuntime();
+  ZS_DISALLOW_COPY_AND_ASSIGN(StreamRuntime);
+
+  /// Declares a named input stream carrying events of `schema`.
+  Result<StreamId> AddStream(const std::string& name, SchemaPtr schema);
+
+  /// Looks up a stream by name.
+  Result<StreamId> stream(const std::string& name) const;
+
+  /// Compiles `text` against the stream's schema (parse -> rewrite ->
+  /// analyze -> plan) and instantiates it on its target shards. Returns
+  /// once every shard has the engine installed: events ingested after
+  /// this returns are guaranteed to be evaluated.
+  Result<QueryId> RegisterQuery(StreamId stream, const std::string& text,
+                                const CompileOptions& compile = {},
+                                const QueryOptions& options = {});
+
+  /// Same, for a pre-analyzed pattern + plan (benchmark path).
+  Result<QueryId> RegisterQuery(StreamId stream, PatternPtr pattern,
+                                const PhysicalPlan& plan,
+                                const EngineOptions& engine = {},
+                                const QueryOptions& options = {});
+
+  /// Flushes and retires the query on every shard; returns its final
+  /// match count.
+  Result<uint64_t> UnregisterQuery(QueryId id);
+
+  /// Routes one event to the shards that need it. Thread-safe (any
+  /// number of producers). Returns false when the runtime is stopped or
+  /// any target shard dropped the event under kDropNewest.
+  bool Ingest(StreamId stream, const EventPtr& event);
+
+  /// Bulk ingest: routes and enqueues with one queue lock per target
+  /// shard. Returns the number of (event, shard) deliveries dropped.
+  uint64_t IngestBatch(StreamId stream, const std::vector<EventPtr>& events);
+
+  /// Barrier: every event enqueued before this call is processed and
+  /// every engine has flushed (Engine::Finish), so match counters and
+  /// sinks are complete for everything ingested so far.
+  Status Flush();
+
+  /// Closes the queues, drains them, and joins the workers. Idempotent;
+  /// also called by the destructor. Ingest fails afterwards.
+  void Stop();
+
+  /// Matches delivered so far (complete after Flush).
+  Result<uint64_t> query_matches(QueryId id) const;
+
+  /// Peak tracked bytes across the query's shard engines (the shared
+  /// thread-safe MemoryTracker).
+  Result<int64_t> query_peak_bytes(QueryId id) const;
+
+  /// Number of shards actually hosting an engine for the query.
+  Result<int> query_shard_count(QueryId id) const;
+
+  /// Merges per-shard windowed stats and asks the query's
+  /// AdaptiveController for a better plan; on success broadcasts the
+  /// plan switch to every shard. Returns true when a switch happened.
+  /// Requires QueryOptions::enable_replan at registration.
+  Result<bool> ReplanQuery(QueryId id);
+
+  /// Snapshot of the runtime counters (see runtime_stats.h).
+  RuntimeStats Stats() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Test/diagnostic hook: enqueues a gate on `shard`'s queue and
+  /// returns it; the worker parks at the gate until Open().
+  std::shared_ptr<Gate> PauseShard(int shard);
+
+ private:
+  struct Shard;        // defined in stream_runtime.cc
+  struct QueryState;   // defined in stream_runtime.cc
+  struct ShardMsg;     // defined in stream_runtime.cc
+  struct CollectCtx;   // defined in stream_runtime.cc
+
+  /// Routing entry snapshot used by Ingest without touching QueryState.
+  struct RouteEntry {
+    QueryId query = 0;
+    RoutePolicy route = RoutePolicy::kPinned;
+    int key_field = -1;
+    int pinned_shard = 0;
+  };
+  struct StreamInfo {
+    std::string name;
+    SchemaPtr schema;
+    std::vector<RouteEntry> routes;
+  };
+
+  explicit StreamRuntime(const RuntimeOptions& options);
+
+  void WorkerLoop(Shard* shard);
+  /// Shard bitmask for `entry`; for hash routes also records the key
+  /// hash it computed into *hint_field/*hint_hash so the shard worker
+  /// can reuse it instead of re-hashing.
+  uint64_t TargetMask(const RouteEntry& entry, const EventPtr& event,
+                      int* hint_field, size_t* hint_hash) const;
+  /// Sends `msg` to the given shards plus a sync barrier and waits.
+  /// Returns false when any queue was already closed (runtime stopping),
+  /// i.e. some worker never saw the message. Callers must NOT hold
+  /// control_mu_: a worker can block on control_mu_ inside a MatchSink
+  /// callback, and waiting on it here would deadlock.
+  bool SyncShards(const std::vector<int>& shard_indices, ShardMsg&& proto);
+  std::vector<int> TargetShards(const QueryState& qs) const;
+  Result<QueryId> RegisterCompiled(StreamId stream, PatternPtr pattern,
+                                   const PhysicalPlan& plan,
+                                   const EngineOptions& engine,
+                                   const QueryOptions& options,
+                                   std::string text);
+
+  RuntimeOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::shared_mutex route_mu_;  // streams_ (incl. routes)
+  std::vector<StreamInfo> streams_;
+
+  mutable std::mutex control_mu_;  // queries_, registration round-robin
+  std::unordered_map<QueryId, std::shared_ptr<QueryState>> queries_;
+  QueryId next_query_id_ = 1;
+  int next_pin_ = 0;
+
+  std::atomic<uint64_t> events_ingested_{0};
+  std::atomic<bool> stopped_{false};
+  std::chrono::steady_clock::time_point start_time_;
+
+  /// Gates handed out by PauseShard; Stop() opens any still closed so a
+  /// forgotten gate can never deadlock worker join.
+  std::mutex gates_mu_;
+  std::vector<std::weak_ptr<Gate>> gates_;
+};
+
+}  // namespace zstream::runtime
+
+#endif  // ZSTREAM_RUNTIME_STREAM_RUNTIME_H_

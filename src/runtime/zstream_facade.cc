@@ -1,0 +1,22 @@
+// Implements ZStream::StartRuntime here (the runtime layer) so that the
+// api layer's own translation units never include runtime headers; the
+// facade is declared in api/zstream.h with forward declarations only.
+#include "api/zstream.h"
+#include "runtime/stream_runtime.h"
+
+namespace zstream {
+
+Result<std::unique_ptr<runtime::StreamRuntime>> ZStream::StartRuntime(
+    const runtime::RuntimeOptions& options) const {
+  ZS_ASSIGN_OR_RETURN(std::unique_ptr<runtime::StreamRuntime> rt,
+                      runtime::StreamRuntime::Create(options));
+  ZS_RETURN_IF_ERROR(rt->AddStream("default", schema_).status());
+  return rt;
+}
+
+Result<std::unique_ptr<runtime::StreamRuntime>> ZStream::StartRuntime()
+    const {
+  return StartRuntime(runtime::RuntimeOptions{});
+}
+
+}  // namespace zstream
