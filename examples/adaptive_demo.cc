@@ -49,9 +49,8 @@ int main() {
                  query.status().ToString().c_str());
     return 1;
   }
-  Engine* engine = (*query)->engine();
-  std::printf("initial plan (IBM rare):   %s\n",
-              engine->ExplainPlan().c_str());
+  Query* q = query->get();
+  std::printf("initial plan (IBM rare):   %s\n", q->CurrentPlan().c_str());
 
   const int kPerPhase = 60000;
   const auto phase1 = Phase("1:50:50", kPerPhase, 0, 1);
@@ -60,22 +59,22 @@ int main() {
   const auto run_phase = [&](const std::vector<EventPtr>& events,
                              const char* label) {
     const auto t0 = std::chrono::steady_clock::now();
-    for (const EventPtr& e : events) engine->Push(e);
+    for (const EventPtr& e : events) q->Push(e);
     const auto t1 = std::chrono::steady_clock::now();
     const double eps = static_cast<double>(events.size()) /
                        std::chrono::duration<double>(t1 - t0).count();
     std::printf("%s: %.0f events/s, plan now: %s\n", label, eps,
-                engine->ExplainPlan().c_str());
+                q->CurrentPlan().c_str());
   };
 
   run_phase(phase1, "phase 1 (IBM rare)  ");
   run_phase(phase2, "phase 2 (Oracle rare)");
-  engine->Finish();
+  q->Finish();
 
   std::printf("\nplan switches: %llu, matches: %llu\n",
-              static_cast<unsigned long long>(engine->plan_switches()),
-              static_cast<unsigned long long>(engine->num_matches()));
-  if (engine->plan_switches() == 0) {
+              static_cast<unsigned long long>(q->plan_switches()),
+              static_cast<unsigned long long>(q->num_matches()));
+  if (q->plan_switches() == 0) {
     std::printf("(no switch happened — try longer phases)\n");
   }
   return 0;

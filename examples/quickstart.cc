@@ -1,5 +1,7 @@
-// Quickstart: compile a sequential pattern, stream a handful of stock
-// ticks through it, print the matches.
+// Quickstart for the catalog-centric API: declare a named stream with
+// DDL, register one query from DDL text and an equivalent one from the
+// typed PatternBuilder, stream a handful of stock ticks through both,
+// print the matches.
 //
 //   $ ./quickstart
 //
@@ -13,40 +15,74 @@
 int main() {
   using namespace zstream;
 
-  // 1. Bind ZStream to the input stream's schema.
-  ZStream zs(StockSchema());
+  // 1. A session owns a catalog of named streams. Declare one via DDL.
+  ZStream zs;
+  auto created = zs.Execute(
+      "CREATE STREAM stock "
+      "(id INT, name STRING, price DOUBLE, volume INT, ts INT)");
+  if (!created.ok()) {
+    std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+    return 1;
+  }
 
-  // 2. Compile a query. The cost-based planner picks the tree shape.
-  auto query = zs.Compile(
+  // 2a. Register a named query with DDL. The cost-based planner picks
+  //     the tree shape; errors carry codes and line:column coordinates.
+  auto ddl = zs.Execute(
+      "CREATE QUERY rally ON stock AS "
       "PATTERN IBM;Sun;Oracle "
       "WHERE IBM.name='IBM' AND Sun.name='Sun' AND Oracle.name='Oracle' "
       "AND IBM.price > Sun.price "
       "WITHIN 10 "
       "RETURN IBM.price, Sun.price, Oracle.price");
-  if (!query.ok()) {
+  if (!ddl.ok()) {
     std::fprintf(stderr, "compile failed: %s\n",
-                 query.status().ToString().c_str());
+                 ddl.status().ToString().c_str());
     return 1;
   }
-  std::printf("plan: %s\n\n", (*query)->Explain().c_str());
+  Query* rally = ddl->query;
+  std::printf("rally:   %s\n", rally->Explain().c_str());
+
+  // 2b. The same query, built fluently — identical plan and matches,
+  //     and ToQueryString() round-trips to the text form.
+  PatternBuilder spec = PatternBuilder(Seq("IBM", "Sun", "Oracle"))
+                            .On("stock")
+                            .Where(Attr("IBM", "name") == "IBM")
+                            .Where(Attr("Sun", "name") == "Sun")
+                            .Where(Attr("Oracle", "name") == "Oracle")
+                            .Where(Attr("IBM", "price") > Attr("Sun", "price"))
+                            .Within(10)
+                            .Return(Attr("IBM", "price"))
+                            .Return(Attr("Sun", "price"))
+                            .Return(Attr("Oracle", "price"));
+  auto built = zs.Compile(spec);
+  if (!built.ok()) {
+    std::fprintf(stderr, "builder compile failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("builder: %s\n", (*built)->Explain().c_str());
+  std::printf("round-trip: %s\n\n", spec.ToQueryString().c_str());
 
   // 3. Receive matches through a callback.
-  (*query)->SetMatchCallback([&](Match&& m) {
-    const std::vector<Value> row = ProjectMatch((*query)->pattern(), m);
+  rally->SetMatchCallback([&](Match&& m) {
+    const std::vector<Value> row = ProjectMatch(rally->pattern(), m);
     std::printf("match [%lld, %lld]: IBM=%.0f Sun=%.0f Oracle=%.0f\n",
                 static_cast<long long>(m.span.start),
                 static_cast<long long>(m.span.end), row[0].AsDouble(),
                 row[1].AsDouble(), row[2].AsDouble());
   });
 
-  // 4. Push events (ticker, price, timestamp).
+  // 4. Push events (ticker, price, timestamp) to both handles.
+  const SchemaPtr schema = *zs.catalog().stream("stock");
   const auto tick = [&](const char* name, double price, Timestamp ts) {
-    (*query)->Push(EventBuilder(StockSchema())
-                       .Set("name", name)
-                       .Set("price", price)
-                       .Set("ts", static_cast<int64_t>(ts))
-                       .At(ts)
-                       .Build());
+    const EventPtr e = EventBuilder(schema)
+                           .Set("name", name)
+                           .Set("price", price)
+                           .Set("ts", static_cast<int64_t>(ts))
+                           .At(ts)
+                           .Build();
+    rally->Push(e);
+    (*built)->Push(e);
   };
   tick("IBM", 95, 1);
   tick("Sun", 80, 2);      // IBM@95 > Sun@80: predicate holds
@@ -55,9 +91,12 @@ int main() {
   tick("IBM", 70, 5);
   tick("Sun", 90, 6);      // 70 > 90 fails: no match through here
   tick("Oracle", 31, 7);
-  (*query)->Finish();
+  rally->Finish();
+  (*built)->Finish();
 
-  std::printf("\ntotal matches: %llu\n",
-              static_cast<unsigned long long>((*query)->num_matches()));
-  return 0;
+  std::printf("\nSHOW QUERIES:\n%s", zs.Execute("SHOW QUERIES")->message.c_str());
+  std::printf("\nrally matches: %llu, builder matches: %llu\n",
+              static_cast<unsigned long long>(rally->num_matches()),
+              static_cast<unsigned long long>((*built)->num_matches()));
+  return rally->num_matches() == (*built)->num_matches() ? 0 : 1;
 }

@@ -18,8 +18,8 @@ using namespace zstream;
 
 namespace {
 
-std::unique_ptr<CompiledQuery> Compile(const ZStream& zs, const char* label,
-                                       const std::string& text) {
+std::unique_ptr<Query> Compile(const ZStream& zs, const char* label,
+                               const std::string& text) {
   auto query = zs.Compile(text);
   if (!query.ok()) {
     std::fprintf(stderr, "%s failed to compile: %s\n", label,

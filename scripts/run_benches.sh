@@ -59,6 +59,9 @@ fi
   printf '  "generated_by": "scripts/run_benches.sh",\n'
   printf '  "generated_at": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
   printf '  "host": "%s",\n' "$(uname -srm)"
+  # Core count makes the 1-core scaling caveat machine-readable: shard
+  # sweeps recorded with host_cores=1 only measure queue overhead.
+  printf '  "host_cores": %s,\n' "$(nproc 2>/dev/null || echo 1)"
   printf '  "benches": "%s",\n' "$(echo $BENCHES | tr ' ' ',')"
   printf '  "results": [\n'
   cat "${jsonl_files[@]}" |

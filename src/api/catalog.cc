@@ -1,0 +1,131 @@
+#include "api/catalog.h"
+
+#include <sstream>
+
+#include "query/ddl.h"
+#include "query/error_codes.h"
+
+namespace zstream {
+
+Status Catalog::CreateStream(const std::string& name, SchemaPtr schema) {
+  if (name.empty()) {
+    return Status::InvalidArgument("stream name must not be empty");
+  }
+  if (schema == nullptr || schema->num_fields() == 0) {
+    return Status::InvalidArgument("stream '" + name +
+                                   "' needs a non-empty schema");
+  }
+  if (HasStream(name)) {
+    return Status::InvalidArgument("stream '" + name + "' already exists")
+        .WithErrorCode(errc::kCatalogDuplicateStream);
+  }
+  streams_.push_back(StreamEntry{name, std::move(schema)});
+  return Status::OK();
+}
+
+Status Catalog::DropStream(const std::string& name) {
+  for (const QueryInfo& q : queries_) {
+    if (q.stream == name) {
+      return Status::FailedPrecondition("stream '" + name +
+                                        "' still has query '" + q.name + "'")
+          .WithErrorCode(errc::kCatalogStreamInUse);
+    }
+  }
+  for (auto it = streams_.begin(); it != streams_.end(); ++it) {
+    if (it->name == name) {
+      streams_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no stream named '" + name + "'")
+      .WithErrorCode(errc::kCatalogUnknownStream);
+}
+
+Result<SchemaPtr> Catalog::stream(const std::string& name) const {
+  for (const StreamEntry& e : streams_) {
+    if (e.name == name) return e.schema;
+  }
+  return Status::NotFound("no stream named '" + name + "'")
+      .WithErrorCode(errc::kCatalogUnknownStream);
+}
+
+bool Catalog::HasStream(const std::string& name) const {
+  for (const StreamEntry& e : streams_) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Catalog::StreamNames() const {
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const StreamEntry& e : streams_) names.push_back(e.name);
+  return names;
+}
+
+Status Catalog::AddQuery(QueryInfo info) {
+  if (info.name.empty()) {
+    return Status::InvalidArgument("query name must not be empty");
+  }
+  if (HasQuery(info.name)) {
+    return Status::InvalidArgument("query '" + info.name +
+                                   "' already exists")
+        .WithErrorCode(errc::kCatalogDuplicateQuery);
+  }
+  if (!HasStream(info.stream)) {
+    return Status::NotFound("no stream named '" + info.stream + "'")
+        .WithErrorCode(errc::kCatalogUnknownStream);
+  }
+  queries_.push_back(std::move(info));
+  return Status::OK();
+}
+
+Status Catalog::DropQuery(const std::string& name) {
+  for (auto it = queries_.begin(); it != queries_.end(); ++it) {
+    if (it->name == name) {
+      queries_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no query named '" + name + "'")
+      .WithErrorCode(errc::kCatalogUnknownQuery);
+}
+
+Result<QueryInfo> Catalog::query(const std::string& name) const {
+  for (const QueryInfo& q : queries_) {
+    if (q.name == name) return q;
+  }
+  return Status::NotFound("no query named '" + name + "'")
+      .WithErrorCode(errc::kCatalogUnknownQuery);
+}
+
+bool Catalog::HasQuery(const std::string& name) const {
+  for (const QueryInfo& q : queries_) {
+    if (q.name == name) return true;
+  }
+  return false;
+}
+
+std::string Catalog::DescribeStreams() const {
+  std::ostringstream os;
+  for (const StreamEntry& e : streams_) {
+    os << e.name << " (";
+    for (int i = 0; i < e.schema->num_fields(); ++i) {
+      if (i > 0) os << ", ";
+      const Field& f = e.schema->field(i);
+      os << f.name << " " << DdlTypeName(f.type);
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+std::string Catalog::DescribeQueries() const {
+  std::ostringstream os;
+  for (const QueryInfo& q : queries_) {
+    os << q.name << " ON " << q.stream << ": " << q.text << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace zstream

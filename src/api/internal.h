@@ -1,0 +1,28 @@
+// Internal access to Query's engine objects. The public surface keeps
+// Query opaque (no raw Engine*/PartitionedEngine* escapes api/); code
+// that legitimately needs the executor — the runtime layer's
+// diagnostics, white-box tests, ablation benchmarks — goes through this
+// header instead, so every such use is greppable.
+#ifndef ZSTREAM_API_INTERNAL_H_
+#define ZSTREAM_API_INTERNAL_H_
+
+#include "api/zstream.h"
+
+namespace zstream::internal {
+
+struct QueryAccess {
+  /// The uniform shard-facing interface (exec/engine_core.h).
+  static EngineCore* Core(Query& query) { return query.core(); }
+
+  /// The single-partition engine (null when the query is partitioned).
+  static Engine* SingleEngine(Query& query) { return query.engine_.get(); }
+
+  /// The hash-partitioned engine (null when not partitioned).
+  static PartitionedEngine* Partitioned(Query& query) {
+    return query.partitioned_.get();
+  }
+};
+
+}  // namespace zstream::internal
+
+#endif  // ZSTREAM_API_INTERNAL_H_

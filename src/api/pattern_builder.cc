@@ -1,0 +1,165 @@
+#include "api/pattern_builder.h"
+
+namespace zstream {
+
+// ---------------------------------------------------------------------
+// Pattern structure
+// ---------------------------------------------------------------------
+
+PatternExpr PatternExpr::Star() const {
+  return PatternExpr(ParseNode::Kleene(node_, KleeneKind::kStar, 0));
+}
+
+PatternExpr PatternExpr::Plus() const {
+  return PatternExpr(ParseNode::Kleene(node_, KleeneKind::kPlus, 0));
+}
+
+PatternExpr PatternExpr::Times(int count) const {
+  return PatternExpr(ParseNode::Kleene(node_, KleeneKind::kCount, count));
+}
+
+namespace builder_internal {
+
+PatternExpr Nary(ParseOp op, std::vector<PatternExpr> parts) {
+  std::vector<ParseNodePtr> kids;
+  kids.reserve(parts.size());
+  for (PatternExpr& p : parts) kids.push_back(p.node());
+  return PatternExpr(ParseNode::Make(op, std::move(kids)));
+}
+
+}  // namespace builder_internal
+
+PatternExpr Neg(PatternExpr a) {
+  return PatternExpr(ParseNode::Neg(a.node()));
+}
+
+PatternExpr Kleene(PatternExpr a, KleeneKind kind, int count) {
+  return PatternExpr(ParseNode::Kleene(a.node(), kind, count));
+}
+
+// ---------------------------------------------------------------------
+// Predicates
+// ---------------------------------------------------------------------
+
+ExprBuilder Attr(std::string alias, std::string field) {
+  return ExprBuilder(UExpr::Attr(std::move(alias), std::move(field)));
+}
+
+ExprBuilder Ref(std::string alias) {
+  return ExprBuilder(UExpr::Attr(std::move(alias), ""));
+}
+
+ExprBuilder Lit(Value v) { return ExprBuilder(UExpr::Lit(std::move(v))); }
+
+ExprBuilder Sum(std::string alias, std::string field) {
+  return ExprBuilder(UExpr::Agg("sum", std::move(alias), std::move(field)));
+}
+ExprBuilder Avg(std::string alias, std::string field) {
+  return ExprBuilder(UExpr::Agg("avg", std::move(alias), std::move(field)));
+}
+ExprBuilder Min(std::string alias, std::string field) {
+  return ExprBuilder(UExpr::Agg("min", std::move(alias), std::move(field)));
+}
+ExprBuilder Max(std::string alias, std::string field) {
+  return ExprBuilder(UExpr::Agg("max", std::move(alias), std::move(field)));
+}
+ExprBuilder Count(std::string alias) {
+  return ExprBuilder(UExpr::Agg("count", std::move(alias), ""));
+}
+
+namespace {
+ExprBuilder Bin(BinaryOp op, ExprBuilder l, ExprBuilder r) {
+  return ExprBuilder(UExpr::Binary(op, l.node(), r.node()));
+}
+}  // namespace
+
+ExprBuilder operator==(ExprBuilder l, ExprBuilder r) {
+  return Bin(BinaryOp::kEq, std::move(l), std::move(r));
+}
+ExprBuilder operator!=(ExprBuilder l, ExprBuilder r) {
+  return Bin(BinaryOp::kNe, std::move(l), std::move(r));
+}
+ExprBuilder operator<(ExprBuilder l, ExprBuilder r) {
+  return Bin(BinaryOp::kLt, std::move(l), std::move(r));
+}
+ExprBuilder operator<=(ExprBuilder l, ExprBuilder r) {
+  return Bin(BinaryOp::kLe, std::move(l), std::move(r));
+}
+ExprBuilder operator>(ExprBuilder l, ExprBuilder r) {
+  return Bin(BinaryOp::kGt, std::move(l), std::move(r));
+}
+ExprBuilder operator>=(ExprBuilder l, ExprBuilder r) {
+  return Bin(BinaryOp::kGe, std::move(l), std::move(r));
+}
+ExprBuilder operator+(ExprBuilder l, ExprBuilder r) {
+  return Bin(BinaryOp::kAdd, std::move(l), std::move(r));
+}
+ExprBuilder operator-(ExprBuilder l, ExprBuilder r) {
+  return Bin(BinaryOp::kSub, std::move(l), std::move(r));
+}
+ExprBuilder operator*(ExprBuilder l, ExprBuilder r) {
+  return Bin(BinaryOp::kMul, std::move(l), std::move(r));
+}
+ExprBuilder operator/(ExprBuilder l, ExprBuilder r) {
+  return Bin(BinaryOp::kDiv, std::move(l), std::move(r));
+}
+ExprBuilder operator%(ExprBuilder l, ExprBuilder r) {
+  return Bin(BinaryOp::kMod, std::move(l), std::move(r));
+}
+ExprBuilder operator&&(ExprBuilder l, ExprBuilder r) {
+  return Bin(BinaryOp::kAnd, std::move(l), std::move(r));
+}
+ExprBuilder operator||(ExprBuilder l, ExprBuilder r) {
+  return Bin(BinaryOp::kOr, std::move(l), std::move(r));
+}
+ExprBuilder operator!(ExprBuilder operand) {
+  return ExprBuilder(UExpr::Unary(UnaryOp::kNot, operand.node()));
+}
+ExprBuilder operator-(ExprBuilder operand) {
+  return ExprBuilder(UExpr::Unary(UnaryOp::kNegate, operand.node()));
+}
+
+// ---------------------------------------------------------------------
+// PatternBuilder
+// ---------------------------------------------------------------------
+
+PatternBuilder::PatternBuilder(PatternExpr pattern) {
+  query_.pattern = pattern.node();
+}
+
+PatternBuilder& PatternBuilder::On(std::string stream_name) {
+  stream_ = std::move(stream_name);
+  return *this;
+}
+
+PatternBuilder& PatternBuilder::Where(ExprBuilder predicate) {
+  query_.where = query_.where == nullptr
+                     ? predicate.node()
+                     : UExpr::Binary(BinaryOp::kAnd, query_.where,
+                                     predicate.node());
+  return *this;
+}
+
+PatternBuilder& PatternBuilder::Within(Duration window) {
+  query_.window = window;
+  return *this;
+}
+
+PatternBuilder& PatternBuilder::Return(ExprBuilder item) {
+  query_.return_items.push_back(item.node());
+  return *this;
+}
+
+Result<ParsedQuery> PatternBuilder::Build() const {
+  if (query_.window <= 0) {
+    return Status::InvalidArgument(
+        "PatternBuilder needs Within(...) before Build()");
+  }
+  return query_;
+}
+
+std::string PatternBuilder::ToQueryString() const {
+  return zstream::ToQueryString(query_);
+}
+
+}  // namespace zstream

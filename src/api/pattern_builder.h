@@ -1,0 +1,179 @@
+// Typed, fluent construction of pattern queries — the programmatic twin
+// of the query language. Everything expressible as a string is
+// constructible here, and ToQueryString() round-trips back to parseable
+// text:
+//
+//   using namespace zstream;
+//   auto q = PatternBuilder(Seq("T1", "T2", "T3"))
+//                .On("stock")
+//                .Where(Attr("T1", "name") == Attr("T3", "name"))
+//                .Where(Attr("T1", "price") > 1.2 * Attr("T2", "price"))
+//                .Within(200)
+//                .Return(Ref("T1"))
+//                .Return(Sum("T2", "volume"));
+//   auto query = zs.Compile(q);           // same engine path as strings
+//   std::string text = q.ToQueryString(); // "PATTERN (T1;T2;T3) WHERE ..."
+//
+// Builders produce the parse-level AST (query/ast.h), so analysis,
+// planning and execution are byte-for-byte the code path the parser
+// feeds — builder-built and string-compiled queries yield identical
+// plans and match sets by construction.
+#ifndef ZSTREAM_API_PATTERN_BUILDER_H_
+#define ZSTREAM_API_PATTERN_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace zstream {
+
+// ---------------------------------------------------------------------
+// Pattern structure
+// ---------------------------------------------------------------------
+
+/// \brief A pattern-structure expression (one ParseNode). Implicitly
+/// constructible from a string: "IBM" is the event class aliased IBM.
+class PatternExpr {
+ public:
+  /*implicit*/ PatternExpr(const char* alias)  // NOLINT
+      : node_(ParseNode::Class(alias)) {}
+  /*implicit*/ PatternExpr(std::string alias)  // NOLINT
+      : node_(ParseNode::Class(std::move(alias))) {}
+  explicit PatternExpr(ParseNodePtr node) : node_(std::move(node)) {}
+
+  /// Kleene closure markers: A*, A+, A^n.
+  PatternExpr Star() const;
+  PatternExpr Plus() const;
+  PatternExpr Times(int count) const;
+
+  const ParseNodePtr& node() const { return node_; }
+
+ private:
+  ParseNodePtr node_;
+};
+
+namespace builder_internal {
+PatternExpr Nary(ParseOp op, std::vector<PatternExpr> parts);
+}
+
+/// SEQ: a ; b ; ...   (temporal order)
+template <typename... Rest>
+PatternExpr Seq(PatternExpr a, PatternExpr b, Rest... rest) {
+  return builder_internal::Nary(ParseOp::kSeq,
+                                {std::move(a), std::move(b), rest...});
+}
+
+/// DISJ: a | b | ...
+template <typename... Rest>
+PatternExpr Or(PatternExpr a, PatternExpr b, Rest... rest) {
+  return builder_internal::Nary(ParseOp::kDisj,
+                                {std::move(a), std::move(b), rest...});
+}
+
+/// CONJ: a & b & ...
+template <typename... Rest>
+PatternExpr And(PatternExpr a, PatternExpr b, Rest... rest) {
+  return builder_internal::Nary(ParseOp::kConj,
+                                {std::move(a), std::move(b), rest...});
+}
+
+/// Negation: !a.
+PatternExpr Neg(PatternExpr a);
+
+/// Kleene closure; kStar by default, or kPlus / kCount (with `count`).
+PatternExpr Kleene(PatternExpr a, KleeneKind kind = KleeneKind::kStar,
+                   int count = 0);
+
+// ---------------------------------------------------------------------
+// Predicates / RETURN items
+// ---------------------------------------------------------------------
+
+/// \brief A typed WHERE/RETURN expression (one UExpr). Numeric and
+/// string literals convert implicitly, so `Attr("A", "price") > 50`
+/// and `1.2 * Attr("B", "price")` read naturally.
+class ExprBuilder {
+ public:
+  /*implicit*/ ExprBuilder(int v)  // NOLINT
+      : node_(UExpr::Lit(Value(static_cast<int64_t>(v)))) {}
+  /*implicit*/ ExprBuilder(int64_t v) : node_(UExpr::Lit(Value(v))) {}  // NOLINT
+  /*implicit*/ ExprBuilder(double v) : node_(UExpr::Lit(Value(v))) {}  // NOLINT
+  /*implicit*/ ExprBuilder(const char* v)  // NOLINT
+      : node_(UExpr::Lit(Value(v))) {}
+  /*implicit*/ ExprBuilder(std::string v)  // NOLINT
+      : node_(UExpr::Lit(Value(std::move(v)))) {}
+  explicit ExprBuilder(UExprPtr node) : node_(std::move(node)) {}
+
+  const UExprPtr& node() const { return node_; }
+
+ private:
+  UExprPtr node_;
+};
+
+/// Attribute reference: alias.field.
+ExprBuilder Attr(std::string alias, std::string field);
+/// Bare class reference (RETURN items: all attributes of the class).
+ExprBuilder Ref(std::string alias);
+/// Explicit literal (usually unnecessary — literals convert implicitly).
+ExprBuilder Lit(Value v);
+
+/// Aggregates over the Kleene-closure group.
+ExprBuilder Sum(std::string alias, std::string field);
+ExprBuilder Avg(std::string alias, std::string field);
+ExprBuilder Min(std::string alias, std::string field);
+ExprBuilder Max(std::string alias, std::string field);
+ExprBuilder Count(std::string alias);
+
+ExprBuilder operator==(ExprBuilder l, ExprBuilder r);
+ExprBuilder operator!=(ExprBuilder l, ExprBuilder r);
+ExprBuilder operator<(ExprBuilder l, ExprBuilder r);
+ExprBuilder operator<=(ExprBuilder l, ExprBuilder r);
+ExprBuilder operator>(ExprBuilder l, ExprBuilder r);
+ExprBuilder operator>=(ExprBuilder l, ExprBuilder r);
+ExprBuilder operator+(ExprBuilder l, ExprBuilder r);
+ExprBuilder operator-(ExprBuilder l, ExprBuilder r);
+ExprBuilder operator*(ExprBuilder l, ExprBuilder r);
+ExprBuilder operator/(ExprBuilder l, ExprBuilder r);
+ExprBuilder operator%(ExprBuilder l, ExprBuilder r);
+ExprBuilder operator&&(ExprBuilder l, ExprBuilder r);
+ExprBuilder operator||(ExprBuilder l, ExprBuilder r);
+ExprBuilder operator!(ExprBuilder operand);
+ExprBuilder operator-(ExprBuilder operand);
+
+// ---------------------------------------------------------------------
+// The query builder
+// ---------------------------------------------------------------------
+
+/// \brief Assembles a full query: pattern + WHERE + WITHIN + RETURN,
+/// plus the target stream name for catalog-based compilation.
+class PatternBuilder {
+ public:
+  explicit PatternBuilder(PatternExpr pattern);
+
+  /// Target stream in the catalog (default "default").
+  PatternBuilder& On(std::string stream_name);
+  /// Adds a WHERE conjunct (multiple calls AND together).
+  PatternBuilder& Where(ExprBuilder predicate);
+  /// The WITHIN window, in internal time units (1 unit == 1 ms).
+  PatternBuilder& Within(Duration window);
+  /// Adds one RETURN item (multiple calls build the projection list).
+  PatternBuilder& Return(ExprBuilder item);
+
+  const std::string& stream() const { return stream_; }
+
+  /// The parse-level query; InvalidArgument until Within() was set.
+  Result<ParsedQuery> Build() const;
+
+  /// Canonical, reparseable query text (see query/unparser.cc);
+  /// compiling it is equivalent to compiling the builder directly.
+  std::string ToQueryString() const;
+
+ private:
+  std::string stream_ = "default";
+  ParsedQuery query_;
+};
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_API_PATTERN_BUILDER_H_

@@ -1,86 +1,132 @@
 #include "api/zstream.h"
 
+#include <sstream>
+
+#include "opt/cost_model.h"
+#include "query/error_codes.h"
+#include "query/parser.h"
+
 namespace zstream {
 
 Result<PhysicalPlan> BuildPlan(const PatternPtr& pattern,
                                const CompileOptions& options) {
+  const StatsCatalog defaults(pattern->num_classes(),
+                              static_cast<double>(pattern->window));
+  const StatsCatalog& stats =
+      options.stats.has_value() ? *options.stats : defaults;
+  PhysicalPlan plan;
   switch (options.strategy) {
     case PlanStrategy::kLeftDeep:
-      return LeftDeepPlan(*pattern);
+      plan = LeftDeepPlan(*pattern);
+      break;
     case PlanStrategy::kRightDeep:
-      return RightDeepPlan(*pattern);
-    case PlanStrategy::kShape:
-      return PlanFromShape(*pattern, options.shape);
+      plan = RightDeepPlan(*pattern);
+      break;
+    case PlanStrategy::kShape: {
+      ZS_ASSIGN_OR_RETURN(plan, PlanFromShape(*pattern, options.shape));
+      break;
+    }
     case PlanStrategy::kNegationTop:
-      return NegationTopPlan(*pattern);
+      plan = NegationTopPlan(*pattern);
+      break;
     case PlanStrategy::kOptimal: {
-      const StatsCatalog defaults(pattern->num_classes(),
-                                  static_cast<double>(pattern->window));
-      const StatsCatalog& stats =
-          options.stats.has_value() ? *options.stats : defaults;
       Planner planner(pattern, &stats, options.planner);
       return planner.OptimalPlan();
     }
   }
-  return Status::Internal("unknown plan strategy");
-}
-
-void CompiledQuery::Push(const EventPtr& event) {
-  if (partitioned_ != nullptr) {
-    partitioned_->Push(event);
-  } else {
-    engine_->Push(event);
+  if (plan.root == nullptr) {
+    return Status::Internal("unknown plan strategy");
   }
+  // Fixed shapes: cost them under the same statistics the optimizer
+  // would use, so Explain() always reports a comparable number.
+  const CostModel model(pattern.get(), &stats,
+                        options.planner.cost_params);
+  plan.estimated_cost = model.PlanCost(plan);
+  return plan;
 }
 
-void CompiledQuery::Finish() {
-  if (partitioned_ != nullptr) {
-    partitioned_->Finish();
-  } else {
-    engine_->Finish();
-  }
+// ---------------------------------------------------------------------
+// Query
+// ---------------------------------------------------------------------
+
+void Query::Push(const EventPtr& event) { core()->Push(event); }
+
+void Query::Finish() { core()->Finish(); }
+
+void Query::SetMatchCallback(MatchCallback cb) {
+  core()->SetMatchCallback(std::move(cb));
 }
 
-void CompiledQuery::SetMatchCallback(Engine::MatchCallback cb) {
-  if (partitioned_ != nullptr) {
-    partitioned_->SetMatchCallback(std::move(cb));
-  } else {
-    engine_->SetMatchCallback(std::move(cb));
-  }
-}
-
-uint64_t CompiledQuery::num_matches() const {
+uint64_t Query::num_matches() const {
   return partitioned_ != nullptr ? partitioned_->num_matches()
                                  : engine_->num_matches();
 }
 
-std::string CompiledQuery::Explain() const {
-  std::string out = plan_.Explain(*pattern_);
+std::string Query::Explain() const {
+  std::ostringstream os;
+  os << "stream=" << stream_ << " plan=" << plan_.Explain(*pattern_)
+     << " cost=";
+  os.precision(6);
+  os << plan_.estimated_cost
+     << " stats=" << (stats_provided_ ? "provided" : "uniform-defaults");
   if (partitioned_ != nullptr) {
-    out += " [hash-partitioned on " + pattern_->partition->field_name + "]";
+    os << " [hash-partitioned on " << pattern_->partition->field_name
+       << "]";
   }
-  return out;
+  return os.str();
 }
 
-MemoryTracker& CompiledQuery::memory() {
+std::string Query::CurrentPlan() const {
+  return partitioned_ != nullptr ? partitioned_->ExplainPlan()
+                                 : engine_->ExplainPlan();
+}
+
+uint64_t Query::plan_switches() const {
+  return partitioned_ != nullptr ? partitioned_->plan_switches()
+                                 : engine_->plan_switches();
+}
+
+MemoryTracker& Query::memory() {
   return partitioned_ != nullptr ? partitioned_->memory()
                                  : engine_->memory();
 }
 
-Result<PatternPtr> ZStream::Analyze(const std::string& text,
-                                    const AnalyzerOptions& options) const {
-  return AnalyzeQuery(text, schema_, options);
+// ---------------------------------------------------------------------
+// ZStream
+// ---------------------------------------------------------------------
+
+ZStream::ZStream(SchemaPtr input_schema) {
+  // A constructor-supplied schema is trusted the way the old
+  // single-schema facade trusted it; Catalog rejects only null/empty.
+  const Status st = catalog_.CreateStream("default", std::move(input_schema));
+  (void)st;
 }
 
-Result<std::unique_ptr<CompiledQuery>> ZStream::Compile(
-    const std::string& text, const CompileOptions& options) const {
+Result<PatternPtr> ZStream::Analyze(const std::string& text,
+                                    const AnalyzerOptions& options) const {
+  return Analyze("default", text, options);
+}
+
+Result<PatternPtr> ZStream::Analyze(const std::string& stream_name,
+                                    const std::string& text,
+                                    const AnalyzerOptions& options) const {
+  ZS_ASSIGN_OR_RETURN(SchemaPtr schema, catalog_.stream(stream_name));
+  return AnalyzeQuery(text, schema, options);
+}
+
+Result<std::unique_ptr<Query>> ZStream::CompileParsed(
+    const std::string& stream_name, const ParsedQuery& parsed,
+    const CompileOptions& options) const {
+  ZS_ASSIGN_OR_RETURN(SchemaPtr schema, catalog_.stream(stream_name));
   ZS_ASSIGN_OR_RETURN(PatternPtr pattern,
-                      AnalyzeQuery(text, schema_, options.analyzer));
+                      zstream::Analyze(parsed, schema, options.analyzer));
   ZS_ASSIGN_OR_RETURN(PhysicalPlan plan, BuildPlan(pattern, options));
 
-  auto query = std::unique_ptr<CompiledQuery>(new CompiledQuery());
+  auto query = std::unique_ptr<Query>(new Query());
+  query->stream_ = stream_name;
   query->pattern_ = pattern;
   query->plan_ = plan;
+  query->stats_provided_ = options.stats.has_value();
   if (pattern->partition.has_value()) {
     ZS_ASSIGN_OR_RETURN(
         query->partitioned_,
@@ -90,6 +136,95 @@ Result<std::unique_ptr<CompiledQuery>> ZStream::Compile(
                         Engine::Create(pattern, plan, options.engine));
   }
   return query;
+}
+
+Result<std::unique_ptr<Query>> ZStream::Compile(
+    const std::string& stream_name, const std::string& text,
+    const CompileOptions& options) const {
+  ZS_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(text));
+  return CompileParsed(stream_name, parsed, options);
+}
+
+Result<std::unique_ptr<Query>> ZStream::Compile(
+    const std::string& text, const CompileOptions& options) const {
+  return Compile("default", text, options);
+}
+
+Result<std::unique_ptr<Query>> ZStream::Compile(
+    const PatternBuilder& builder, const CompileOptions& options) const {
+  ZS_ASSIGN_OR_RETURN(ParsedQuery parsed, builder.Build());
+  return CompileParsed(builder.stream(), parsed, options);
+}
+
+Result<Query*> ZStream::query(const std::string& name) {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    return Status::NotFound("no query named '" + name + "'")
+        .WithErrorCode(errc::kCatalogUnknownQuery);
+  }
+  return it->second.get();
+}
+
+Result<DdlResult> ZStream::Execute(const std::string& statement,
+                                   const CompileOptions& options) {
+  ZS_ASSIGN_OR_RETURN(DdlStatement stmt, ParseDdl(statement));
+  DdlResult result;
+  result.kind = stmt.kind;
+  switch (stmt.kind) {
+    case DdlKind::kCreateStream: {
+      ZS_RETURN_IF_ERROR(
+          catalog_.CreateStream(stmt.name, Schema::Make(stmt.fields)));
+      result.message = "stream '" + stmt.name + "' created";
+      return result;
+    }
+    case DdlKind::kCreateQuery:
+    case DdlKind::kSelect: {
+      std::string name = stmt.name;
+      std::string stream = stmt.stream;
+      if (stmt.kind == DdlKind::kSelect) {
+        stream = "default";
+        do {
+          name = "q" + std::to_string(next_anon_query_++);
+        } while (catalog_.HasQuery(name));
+      } else if (catalog_.HasQuery(name)) {
+        return Status::InvalidArgument("query '" + name +
+                                       "' already exists")
+            .WithErrorCode(errc::kCatalogDuplicateQuery);
+      }
+      ZS_ASSIGN_OR_RETURN(std::unique_ptr<Query> compiled,
+                          CompileParsed(stream, *stmt.query, options));
+      compiled->name_ = name;
+      ZS_RETURN_IF_ERROR(catalog_.AddQuery(QueryInfo{
+          name, stream, stmt.query_text, compiled->pattern_}));
+      result.query = compiled.get();
+      queries_[name] = std::move(compiled);
+      result.message = "query '" + name + "' registered on stream '" +
+                       stream + "'";
+      return result;
+    }
+    case DdlKind::kDropQuery: {
+      ZS_RETURN_IF_ERROR(catalog_.DropQuery(stmt.name));
+      queries_.erase(stmt.name);
+      result.message = "query '" + stmt.name + "' dropped";
+      return result;
+    }
+    case DdlKind::kDropStream: {
+      ZS_RETURN_IF_ERROR(catalog_.DropStream(stmt.name));
+      result.message = "stream '" + stmt.name + "' dropped";
+      return result;
+    }
+    case DdlKind::kShowStreams: {
+      result.stream_names = catalog_.StreamNames();
+      result.message = catalog_.DescribeStreams();
+      return result;
+    }
+    case DdlKind::kShowQueries: {
+      result.rows = catalog_.queries();
+      result.message = catalog_.DescribeQueries();
+      return result;
+    }
+  }
+  return Status::Internal("unknown DDL statement kind");
 }
 
 }  // namespace zstream

@@ -1,35 +1,57 @@
-// Public facade: compile a query string, push events, receive matches.
+// Public facade: a catalog of named streams + named queries, a DDL
+// command layer, and opaque Query handles.
 //
-//   zstream::ZStream zs(zstream::StockSchema());
-//   auto query = zs.Compile(
+//   zstream::ZStream zs;
+//   zs.Execute("CREATE STREAM stock "
+//              "(id INT, name STRING, price DOUBLE, volume INT, ts INT)");
+//   auto ddl = zs.Execute(
+//       "CREATE QUERY rally ON stock AS "
 //       "PATTERN IBM;Sun;Oracle WHERE IBM.price > Sun.price "
 //       "WITHIN 200 RETURN IBM, Sun, Oracle");
-//   (*query)->SetMatchCallback([](zstream::Match&& m) { ... });
-//   for (const auto& e : events) (*query)->Push(e);
-//   (*query)->Finish();
+//   zstream::Query* query = ddl->query;
+//   query->SetMatchCallback([](zstream::Match&& m) { ... });
+//   for (const auto& e : events) query->Push(e);
+//   query->Finish();
+//
+// Ad-hoc compilation works against any catalog stream, from text or
+// from a typed PatternBuilder (api/pattern_builder.h):
+//
+//   auto q1 = zs.Compile("stock", "PATTERN A;B WITHIN 10");
+//   auto q2 = zs.Compile(PatternBuilder(Seq("A", "B")).On("stock")
+//                            .Within(10));
 //
 // Compile() runs parse -> rewrite -> analyze -> optimize -> instantiate.
 // Plans come from the cost-based planner by default; fixed shapes
 // (left-deep, right-deep, or an explicit shape string) are available for
-// experiments, as are adaptivity and the NFA-free execution engine
-// internals via CompiledQuery accessors.
+// experiments via CompileOptions. Query handles are opaque: no raw
+// engine pointers (diagnostic internals live behind
+// api/internal.h's QueryAccess).
 #ifndef ZSTREAM_API_ZSTREAM_H_
 #define ZSTREAM_API_ZSTREAM_H_
 
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
+#include "api/catalog.h"
+#include "api/pattern_builder.h"
 #include "exec/engine.h"
 #include "exec/partitioned_engine.h"
 #include "opt/planner.h"
 #include "query/analyzer.h"
+#include "query/ddl.h"
+#include "runtime/runtime_options.h"
 
 namespace zstream {
 
 namespace runtime {
 class StreamRuntime;
-struct RuntimeOptions;
 }  // namespace runtime
+
+namespace internal {
+struct QueryAccess;
+}  // namespace internal
 
 enum class PlanStrategy : char {
   kOptimal,    // cost-based DP (Algorithm 5)
@@ -50,72 +72,151 @@ struct CompileOptions {
   PlannerOptions planner;
 };
 
-/// \brief A compiled, runnable query (partitioned automatically when the
-/// analyzer found a full-coverage equality key).
-class CompiledQuery {
+/// \brief An opaque, runnable compiled query (partitioned automatically
+/// when the analyzer found a full-coverage equality key).
+class Query {
  public:
   void Push(const EventPtr& event);
   void Finish();
-  void SetMatchCallback(Engine::MatchCallback cb);
+  void SetMatchCallback(MatchCallback cb);
 
   uint64_t num_matches() const;
   const Pattern& pattern() const { return *pattern_; }
   const PhysicalPlan& plan() const { return plan_; }
+  /// Catalog name ("" for ad-hoc Compile()d queries).
+  const std::string& name() const { return name_; }
+  /// Name of the stream this query was compiled against.
+  const std::string& stream() const { return stream_; }
+
+  /// One line: stream name, plan shape, estimated cost under the
+  /// planning statistics, and whether those stats came from
+  /// CompileOptions::stats or were uniform defaults, e.g.
+  ///   "stream=stock plan=[[A ; B] ; C] cost=42.7 stats=provided"
   std::string Explain() const;
+
+  /// The live plan shape (tracks adaptive plan switches, unlike plan()
+  /// which is the compile-time choice) and the number of switches.
+  std::string CurrentPlan() const;
+  uint64_t plan_switches() const;
+
   MemoryTracker& memory();
   bool partitioned() const { return partitioned_ != nullptr; }
 
-  /// Single-partition engine (null when partitioned).
-  Engine* engine() { return engine_.get(); }
-  PartitionedEngine* partitioned_engine() { return partitioned_.get(); }
-
-  /// The uniform shard-facing interface over whichever engine backs this
-  /// query (see exec/engine_core.h).
-  EngineCore* core() {
-    return partitioned_ != nullptr ? static_cast<EngineCore*>(
-                                         partitioned_.get())
-                                   : engine_.get();
-  }
-
  private:
   friend class ZStream;
+  friend struct internal::QueryAccess;
+
+  Query() = default;
+
+  /// The uniform shard-facing interface over whichever engine backs
+  /// this query (see exec/engine_core.h). Internal: reach it through
+  /// internal::QueryAccess.
+  EngineCore* core() {
+    return partitioned_ != nullptr
+               ? static_cast<EngineCore*>(partitioned_.get())
+               : engine_.get();
+  }
+
+  std::string name_;
+  std::string stream_;
   PatternPtr pattern_;
   PhysicalPlan plan_;
+  bool stats_provided_ = false;
   std::unique_ptr<Engine> engine_;
   std::unique_ptr<PartitionedEngine> partitioned_;
 };
 
-/// \brief Entry point bound to one input stream schema.
+/// \brief Outcome of one ZStream::Execute statement.
+struct DdlResult {
+  DdlKind kind = DdlKind::kSelect;
+  /// kCreateQuery / kSelect: the registered handle, owned by the
+  /// ZStream session (valid until DROP QUERY / session destruction).
+  Query* query = nullptr;
+  /// Human-readable summary; SHOW statements put their listing here.
+  std::string message;
+  /// kShowQueries: one entry per catalog query.
+  std::vector<QueryInfo> rows;
+  /// kShowStreams: the catalog's stream names.
+  std::vector<std::string> stream_names;
+};
+
+/// \brief A session: a catalog of named streams plus the compiled
+/// queries registered against them.
 class ZStream {
  public:
-  explicit ZStream(SchemaPtr input_schema)
-      : schema_(std::move(input_schema)) {}
+  /// Empty catalog; populate with Execute("CREATE STREAM ...") or
+  /// catalog().CreateStream(...).
+  ZStream() = default;
 
-  /// Parses, analyzes, plans and instantiates `text`.
-  Result<std::unique_ptr<CompiledQuery>> Compile(
+  /// Convenience: a catalog holding one stream named "default" — the
+  /// single-schema sessions used throughout the paper reproduction.
+  explicit ZStream(SchemaPtr input_schema);
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Executes one DDL statement (CREATE STREAM / CREATE QUERY / DROP
+  /// QUERY / DROP STREAM / SHOW STREAMS / SHOW QUERIES). A bare
+  /// `PATTERN ...` query text is also accepted: it compiles against
+  /// stream "default" and registers under an auto-generated name.
+  /// `options` applies to statements that compile a query.
+  Result<DdlResult> Execute(const std::string& statement,
+                            const CompileOptions& options = {});
+
+  /// Handle of a query registered by CREATE QUERY (owned by this
+  /// session).
+  Result<Query*> query(const std::string& name);
+
+  /// Parses, analyzes, plans and instantiates `text` against the named
+  /// stream's schema.
+  Result<std::unique_ptr<Query>> Compile(
+      const std::string& stream_name, const std::string& text,
+      const CompileOptions& options = {}) const;
+
+  /// Same, against stream "default".
+  Result<std::unique_ptr<Query>> Compile(
       const std::string& text, const CompileOptions& options = {}) const;
+
+  /// Compiles a typed PatternBuilder query against its On() stream
+  /// (default "default"). Equivalent to compiling
+  /// builder.ToQueryString() — same analysis, plan and matches.
+  Result<std::unique_ptr<Query>> Compile(
+      const PatternBuilder& builder,
+      const CompileOptions& options = {}) const;
 
   /// Analyze only (no engine); useful for planning experiments.
   Result<PatternPtr> Analyze(const std::string& text,
                              const AnalyzerOptions& options = {}) const;
+  Result<PatternPtr> Analyze(const std::string& stream_name,
+                             const std::string& text,
+                             const AnalyzerOptions& options) const;
 
-  /// Starts a concurrent sharded runtime (src/runtime/) with one input
-  /// stream named "default" bound to this ZStream's schema. Register
-  /// queries with StreamRuntime::RegisterQuery; implemented in
+  /// Starts a concurrent sharded runtime (src/runtime/) with every
+  /// catalog stream bound under its catalog name. Register queries with
+  /// StreamRuntime::RegisterQuery; implemented in
   /// src/runtime/zstream_facade.cc so the api layer keeps no runtime
-  /// dependency. The overload without options uses RuntimeOptions{}.
+  /// link dependency.
   Result<std::unique_ptr<runtime::StreamRuntime>> StartRuntime(
-      const runtime::RuntimeOptions& options) const;
-  Result<std::unique_ptr<runtime::StreamRuntime>> StartRuntime() const;
+      const runtime::RuntimeOptions& options = {}) const;
 
-  const SchemaPtr& schema() const { return schema_; }
+  /// Schema of stream "default" (legacy single-stream accessor; null
+  /// when the catalog has no such stream).
+  SchemaPtr schema() const { return catalog_.stream("default").ValueOr(nullptr); }
 
  private:
-  SchemaPtr schema_;
+  Result<std::unique_ptr<Query>> CompileParsed(
+      const std::string& stream_name, const ParsedQuery& parsed,
+      const CompileOptions& options) const;
+
+  Catalog catalog_;
+  std::unordered_map<std::string, std::unique_ptr<Query>> queries_;
+  int next_anon_query_ = 1;
 };
 
 /// Builds the physical plan for `pattern` under `options` (shared by
-/// Compile and by benchmarks that instantiate engines directly).
+/// Compile and by benchmarks that instantiate engines directly). Always
+/// fills PhysicalPlan::estimated_cost, costing fixed shapes with the
+/// same statistics the optimal strategy would use.
 Result<PhysicalPlan> BuildPlan(const PatternPtr& pattern,
                                const CompileOptions& options);
 

@@ -34,11 +34,40 @@ const std::string& Status::message() const {
   return ok() ? kEmpty : state_->msg;
 }
 
+const std::string& Status::error_code() const {
+  return ok() ? kEmpty : state_->error_code;
+}
+
+Status Status::WithErrorCode(std::string code) const {
+  if (ok()) return *this;
+  Status out(state_->code, state_->msg);
+  out.state_->error_code = std::move(code);
+  out.state_->line = state_->line;
+  out.state_->column = state_->column;
+  return out;
+}
+
+Status Status::WithLocation(int line, int column) const {
+  if (ok()) return *this;
+  Status out(state_->code, state_->msg);
+  out.state_->error_code = state_->error_code;
+  out.state_->line = line;
+  out.state_->column = column;
+  return out;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = CodeName(state_->code);
+  if (!state_->error_code.empty()) {
+    out += "[" + state_->error_code + "]";
+  }
   out += ": ";
   out += state_->msg;
+  if (state_->line > 0) {
+    out += " at " + std::to_string(state_->line) + ":" +
+           std::to_string(state_->column);
+  }
   return out;
 }
 

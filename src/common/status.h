@@ -62,6 +62,21 @@ class Status {
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
   const std::string& message() const;
 
+  /// Structured diagnostics (errors only). `error_code` is a stable,
+  /// machine-readable identifier like "ZS-P0003" (see
+  /// query/error_codes.h); line/column are 1-based source coordinates
+  /// into the query/DDL text, 0 when unknown.
+  const std::string& error_code() const;
+  int line() const { return ok() ? 0 : state_->line; }
+  int column() const { return ok() ? 0 : state_->column; }
+  bool has_location() const { return !ok() && state_->line > 0; }
+
+  /// Returns a copy of this status carrying `code`; no-op on OK.
+  Status WithErrorCode(std::string code) const;
+  /// Returns a copy of this status carrying a source location; no-op on
+  /// OK. `line`/`column` are 1-based.
+  Status WithLocation(int line, int column) const;
+
   bool IsInvalidArgument() const {
     return code() == StatusCode::kInvalidArgument;
   }
@@ -82,6 +97,9 @@ class Status {
   struct State {
     StatusCode code;
     std::string msg;
+    std::string error_code;  // "" = none
+    int line = 0;            // 1-based; 0 = unknown
+    int column = 0;
   };
   Status(StatusCode code, std::string msg)
       : state_(std::make_shared<State>(State{code, std::move(msg)})) {}

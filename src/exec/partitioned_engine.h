@@ -52,6 +52,8 @@ class PartitionedEngine : public EngineCore {
   uint64_t num_matches() const override;
   uint64_t events_pushed() const override { return events_pushed_; }
   uint64_t plan_switches() const { return plan_switches_; }
+  /// Renders the current plan (reflects SwitchPlan updates).
+  std::string ExplainPlan() const { return plan_.Explain(*pattern_); }
   size_t num_partitions() const { return partitions_.size(); }
   MemoryTracker& memory() override { return *tracker_; }
   const Pattern& pattern() const override { return *pattern_; }

@@ -83,6 +83,20 @@ struct ParsedQuery {
   std::vector<UExprPtr> return_items;  // empty => return all classes
 };
 
+// ---------------------------------------------------------------------
+// Unparsing (query/unparser.cc)
+// ---------------------------------------------------------------------
+
+/// Serializes `expr` to parseable predicate text. Binary and unary
+/// operators are fully parenthesized, so reparsing yields the same tree.
+std::string UExprToString(const UExpr& expr);
+
+/// Serializes a parsed query back to canonical, reparseable query text:
+/// "PATTERN <p> [WHERE <pred>] WITHIN <n> [RETURN <items>]". Parsing the
+/// result produces a query equivalent to `query` (same analyzed Pattern,
+/// same matches) — the PatternBuilder round-trip contract.
+std::string ToQueryString(const ParsedQuery& query);
+
 }  // namespace zstream
 
 #endif  // ZSTREAM_QUERY_AST_H_

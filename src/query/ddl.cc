@@ -1,0 +1,214 @@
+#include "query/ddl.h"
+
+#include "common/string_util.h"
+#include "query/error_codes.h"
+#include "query/lexer.h"
+#include "query/parser.h"
+
+namespace zstream {
+
+Result<ValueType> DdlTypeFromName(const std::string& name) {
+  const std::string t = ToLower(name);
+  if (t == "string" || t == "varchar" || t == "text") {
+    return ValueType::kString;
+  }
+  if (t == "int" || t == "long" || t == "int64" || t == "bigint") {
+    return ValueType::kInt64;
+  }
+  if (t == "float" || t == "double" || t == "real") {
+    return ValueType::kDouble;
+  }
+  if (t == "bool" || t == "boolean") return ValueType::kBool;
+  return Status::ParseError("unknown field type '" + name + "'")
+      .WithErrorCode(errc::kDdlUnknownType);
+}
+
+const char* DdlTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kString: return "STRING";
+    case ValueType::kInt64: return "INT";
+    case ValueType::kDouble: return "DOUBLE";
+    case ValueType::kBool: return "BOOL";
+    case ValueType::kNull: break;
+  }
+  return "NULL";
+}
+
+namespace {
+
+/// Minimal cursor over the shared token stream; pattern-query bodies are
+/// handed off to ParseQueryTokens at the current position.
+class DdlParser {
+ public:
+  DdlParser(std::vector<Token> tokens, const std::string& text)
+      : tokens_(std::move(tokens)), text_(text) {}
+
+  Result<DdlStatement> Parse();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Err(const std::string& msg, const char* code) const {
+    const Token& t = Peek();
+    return Status::ParseError(msg).WithErrorCode(code).WithLocation(
+        t.line, t.column);
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return Status::OK();
+    }
+    return Err(std::string("expected ") + kw, errc::kDdlExpectedToken);
+  }
+
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().type != TokenType::kIdent) {
+      return Err(std::string("expected ") + what, errc::kDdlExpectedIdent);
+    }
+    return Advance().text;
+  }
+
+  Result<DdlStatement> ParseCreateStream(std::string name);
+  Result<DdlStatement> ParseCreateQuery(std::string name);
+
+  std::vector<Token> tokens_;
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Result<DdlStatement> DdlParser::ParseCreateStream(std::string name) {
+  DdlStatement stmt;
+  stmt.kind = DdlKind::kCreateStream;
+  stmt.name = std::move(name);
+  if (Peek().type != TokenType::kLParen) {
+    return Err("expected '(' after stream name", errc::kDdlExpectedToken);
+  }
+  Advance();
+  if (Peek().type == TokenType::kRParen) {
+    return Err("a stream needs at least one field", errc::kDdlEmptySchema);
+  }
+  while (true) {
+    const Token name_tok = Peek();
+    ZS_ASSIGN_OR_RETURN(std::string field_name, ExpectIdent("field name"));
+    for (const Field& f : stmt.fields) {
+      if (f.name == field_name) {
+        return Status::ParseError("duplicate field '" + field_name + "'")
+            .WithErrorCode(errc::kDdlDuplicateField)
+            .WithLocation(name_tok.line, name_tok.column);
+      }
+    }
+    const Token type_tok = Peek();
+    ZS_ASSIGN_OR_RETURN(std::string type_name, ExpectIdent("field type"));
+    auto type = DdlTypeFromName(type_name);
+    if (!type.ok()) {
+      return type.status().WithLocation(type_tok.line, type_tok.column);
+    }
+    stmt.fields.push_back(Field{std::move(field_name), *type});
+    if (Peek().type == TokenType::kComma) {
+      Advance();
+      continue;
+    }
+    break;
+  }
+  if (Peek().type != TokenType::kRParen) {
+    return Err("expected ',' or ')' in field list", errc::kDdlExpectedToken);
+  }
+  Advance();
+  if (Peek().type != TokenType::kEnd) {
+    return Err("unexpected trailing input after CREATE STREAM",
+                   errc::kParseTrailingInput);
+  }
+  return stmt;
+}
+
+Result<DdlStatement> DdlParser::ParseCreateQuery(std::string name) {
+  DdlStatement stmt;
+  stmt.kind = DdlKind::kCreateQuery;
+  stmt.name = std::move(name);
+  ZS_RETURN_IF_ERROR(ExpectKeyword("ON"));
+  ZS_ASSIGN_OR_RETURN(stmt.stream, ExpectIdent("stream name"));
+  ZS_RETURN_IF_ERROR(ExpectKeyword("AS"));
+  stmt.query_text = text_.substr(Peek().offset);
+  ZS_ASSIGN_OR_RETURN(ParsedQuery query,
+                      ParseQueryTokens(std::move(tokens_), pos_));
+  stmt.query = std::move(query);
+  return stmt;
+}
+
+Result<DdlStatement> DdlParser::Parse() {
+  if (Peek().IsKeyword("CREATE")) {
+    Advance();
+    if (Peek().IsKeyword("STREAM")) {
+      Advance();
+      ZS_ASSIGN_OR_RETURN(std::string name, ExpectIdent("stream name"));
+      return ParseCreateStream(std::move(name));
+    }
+    if (Peek().IsKeyword("QUERY")) {
+      Advance();
+      ZS_ASSIGN_OR_RETURN(std::string name, ExpectIdent("query name"));
+      return ParseCreateQuery(std::move(name));
+    }
+    return Err("expected STREAM or QUERY after CREATE",
+                 errc::kDdlUnknownStatement);
+  }
+  if (Peek().IsKeyword("DROP")) {
+    Advance();
+    DdlStatement stmt;
+    if (Peek().IsKeyword("STREAM")) {
+      stmt.kind = DdlKind::kDropStream;
+    } else if (Peek().IsKeyword("QUERY")) {
+      stmt.kind = DdlKind::kDropQuery;
+    } else {
+      return Err("expected STREAM or QUERY after DROP",
+                   errc::kDdlUnknownStatement);
+    }
+    Advance();
+    ZS_ASSIGN_OR_RETURN(stmt.name, ExpectIdent("name"));
+    if (Peek().type != TokenType::kEnd) {
+      return Err("unexpected trailing input after DROP",
+                 errc::kParseTrailingInput);
+    }
+    return stmt;
+  }
+  if (Peek().IsKeyword("SHOW")) {
+    Advance();
+    DdlStatement stmt;
+    if (Peek().IsKeyword("STREAMS")) {
+      stmt.kind = DdlKind::kShowStreams;
+    } else if (Peek().IsKeyword("QUERIES")) {
+      stmt.kind = DdlKind::kShowQueries;
+    } else {
+      return Err("expected STREAMS or QUERIES after SHOW",
+                   errc::kDdlUnknownStatement);
+    }
+    Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Err("unexpected trailing input after SHOW",
+                 errc::kParseTrailingInput);
+    }
+    return stmt;
+  }
+  if (Peek().IsKeyword("PATTERN")) {
+    DdlStatement stmt;
+    stmt.kind = DdlKind::kSelect;
+    stmt.query_text = text_.substr(Peek().offset);
+    ZS_ASSIGN_OR_RETURN(ParsedQuery query,
+                        ParseQueryTokens(std::move(tokens_), pos_));
+    stmt.query = std::move(query);
+    return stmt;
+  }
+  return Err("expected CREATE, DROP, SHOW or PATTERN",
+             errc::kDdlUnknownStatement);
+}
+
+}  // namespace
+
+Result<DdlStatement> ParseDdl(const std::string& text) {
+  ZS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  DdlParser parser(std::move(tokens), text);
+  return parser.Parse();
+}
+
+}  // namespace zstream

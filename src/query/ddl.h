@@ -1,0 +1,65 @@
+// DDL statement layer: the textual command surface over the catalog.
+//
+//   CREATE STREAM stock (sym STRING, price INT, volume INT, ts INT)
+//   CREATE QUERY q ON stock AS PATTERN A;B WHERE ... WITHIN 200 [RETURN ...]
+//   DROP QUERY q
+//   DROP STREAM stock
+//   SHOW QUERIES
+//   SHOW STREAMS
+//
+// A bare `PATTERN ...` query is also accepted (kSelect) so one entry
+// point handles both DDL and ad-hoc queries. Statements are parsed with
+// the regular lexer; `CREATE QUERY ... AS <query>` hands the token
+// stream to the pattern-query parser in place, so diagnostics keep
+// their line/column inside the full statement text. Execution against a
+// Catalog lives in the api layer (ZStream::Execute) — this layer is
+// purely syntactic.
+#ifndef ZSTREAM_QUERY_DDL_H_
+#define ZSTREAM_QUERY_DDL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "query/ast.h"
+
+namespace zstream {
+
+enum class DdlKind : char {
+  kCreateStream,
+  kCreateQuery,
+  kDropStream,
+  kDropQuery,
+  kShowStreams,
+  kShowQueries,
+  kSelect,  // a bare PATTERN query (no surrounding DDL)
+};
+
+struct DdlStatement {
+  DdlKind kind = DdlKind::kSelect;
+  std::string name;           // stream name / query name
+  std::string stream;         // kCreateQuery: the ON <stream> target
+  std::vector<Field> fields;  // kCreateStream: the declared schema
+  std::optional<ParsedQuery> query;  // kCreateQuery / kSelect
+  /// kCreateQuery / kSelect: the raw query text (everything from the
+  /// PATTERN keyword on), kept for SHOW QUERIES and re-compilation.
+  std::string query_text;
+};
+
+/// Parses one statement. Errors carry stable codes (query/error_codes.h)
+/// and 1-based line/column via Status.
+Result<DdlStatement> ParseDdl(const std::string& text);
+
+/// Maps a DDL type name (STRING, INT, LONG, FLOAT, DOUBLE, BOOL — case
+/// insensitive) to a ValueType; NotFound-style ParseError otherwise.
+Result<ValueType> DdlTypeFromName(const std::string& name);
+
+/// The canonical DDL spelling of a field type (inverse of
+/// DdlTypeFromName, e.g. kInt64 -> "INT").
+const char* DdlTypeName(ValueType type);
+
+}  // namespace zstream
+
+#endif  // ZSTREAM_QUERY_DDL_H_

@@ -1,0 +1,45 @@
+// Stable, machine-readable diagnostic codes for the query/DDL frontend.
+//
+// Codes are part of the public API contract: tools (and tests) match on
+// them, so existing codes never change meaning. Naming scheme:
+//   ZS-Lxxxx  lexer          ZS-Pxxxx  pattern-query parser
+//   ZS-Dxxxx  DDL parser     ZS-Sxxxx  semantic analyzer / catalog
+// Attach with Status::WithErrorCode; source coordinates ride along via
+// Status::WithLocation (1-based line/column).
+#ifndef ZSTREAM_QUERY_ERROR_CODES_H_
+#define ZSTREAM_QUERY_ERROR_CODES_H_
+
+namespace zstream::errc {
+
+// Lexer.
+inline constexpr char kLexUnexpectedChar[] = "ZS-L0001";
+inline constexpr char kLexUnterminatedString[] = "ZS-L0002";
+
+// Pattern-query parser.
+inline constexpr char kParseExpectedToken[] = "ZS-P0001";   // generic
+inline constexpr char kParseExpectedPattern[] = "ZS-P0002";  // class or '('
+inline constexpr char kParseExpectedWithin[] = "ZS-P0003";
+inline constexpr char kParseTrailingInput[] = "ZS-P0004";
+inline constexpr char kParseBadDuration[] = "ZS-P0005";
+inline constexpr char kParseBadClosure[] = "ZS-P0006";
+inline constexpr char kParseExpectedExpr[] = "ZS-P0007";
+inline constexpr char kParseExpectedPatternKw[] = "ZS-P0008";
+
+// DDL parser.
+inline constexpr char kDdlUnknownStatement[] = "ZS-D0001";
+inline constexpr char kDdlExpectedIdent[] = "ZS-D0002";
+inline constexpr char kDdlExpectedToken[] = "ZS-D0003";
+inline constexpr char kDdlUnknownType[] = "ZS-D0004";
+inline constexpr char kDdlDuplicateField[] = "ZS-D0005";
+inline constexpr char kDdlEmptySchema[] = "ZS-D0006";
+
+// Catalog / execution of DDL.
+inline constexpr char kCatalogDuplicateStream[] = "ZS-S0001";
+inline constexpr char kCatalogUnknownStream[] = "ZS-S0002";
+inline constexpr char kCatalogDuplicateQuery[] = "ZS-S0003";
+inline constexpr char kCatalogUnknownQuery[] = "ZS-S0004";
+inline constexpr char kCatalogStreamInUse[] = "ZS-S0005";
+
+}  // namespace zstream::errc
+
+#endif  // ZSTREAM_QUERY_ERROR_CODES_H_

@@ -1,10 +1,22 @@
 #include "query/lexer.h"
 
 #include <cctype>
+#include <cstdlib>
 
 #include "common/string_util.h"
+#include "query/error_codes.h"
 
 namespace zstream {
+
+namespace {
+/// Non-throwing number conversion: ZStream's query path is
+/// exception-free, and std::stod throws out_of_range on overflowing or
+/// subnormal literals (e.g. a 300-digit constant). strtod saturates to
+/// ±inf / 0 instead, which downstream arithmetic handles.
+double ParseNumber(const std::string& num) {
+  return std::strtod(num.c_str(), nullptr);
+}
+}  // namespace
 
 bool Token::IsKeyword(const char* kw) const {
   return type == TokenType::kIdent && EqualsIgnoreCase(text, kw);
@@ -14,14 +26,22 @@ Result<std::vector<Token>> Tokenize(const std::string& text) {
   std::vector<Token> out;
   size_t i = 0;
   const size_t n = text.size();
+  int line = 1;
+  size_t line_start = 0;  // offset of the current line's first character
   while (i < n) {
     const char c = text[i];
     if (std::isspace(static_cast<unsigned char>(c))) {
+      if (c == '\n') {
+        ++line;
+        line_start = i + 1;
+      }
       ++i;
       continue;
     }
     Token tok;
     tok.offset = i;
+    tok.line = line;
+    tok.column = static_cast<int>(i - line_start) + 1;
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
       size_t j = i;
       while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) ||
@@ -44,20 +64,38 @@ Result<std::vector<Token>> Tokenize(const std::string& text) {
       const std::string num = text.substr(i, j - i);
       if (j < n && text[j] == '%') {
         tok.type = TokenType::kPercent;
-        tok.number = std::stod(num) / 100.0;
+        tok.number = ParseNumber(num) / 100.0;
         ++j;
       } else {
         tok.type = is_float ? TokenType::kFloat : TokenType::kInt;
-        tok.number = std::stod(num);
+        tok.number = ParseNumber(num);
       }
       i = j;
     } else if (c == '\'') {
+      // SQL-style quoting: '' inside a literal is one quote character.
       size_t j = i + 1;
       std::string s;
-      while (j < n && text[j] != '\'') s += text[j++];
-      if (j >= n) {
-        return Status::ParseError("unterminated string literal at offset " +
-                                  std::to_string(i));
+      bool closed = false;
+      while (j < n) {
+        if (text[j] == '\'') {
+          if (j + 1 < n && text[j + 1] == '\'') {
+            s += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          break;
+        }
+        if (text[j] == '\n') {
+          ++line;
+          line_start = j + 1;
+        }
+        s += text[j++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal")
+            .WithErrorCode(errc::kLexUnterminatedString)
+            .WithLocation(tok.line, tok.column);
       }
       tok.type = TokenType::kString;
       tok.text = std::move(s);
@@ -110,7 +148,9 @@ Result<std::vector<Token>> Tokenize(const std::string& text) {
           break;
         default:
           return Status::ParseError(std::string("unexpected character '") + c +
-                                    "' at offset " + std::to_string(i));
+                                    "'")
+              .WithErrorCode(errc::kLexUnexpectedChar)
+              .WithLocation(tok.line, tok.column);
       }
     }
     out.push_back(std::move(tok));
@@ -118,6 +158,8 @@ Result<std::vector<Token>> Tokenize(const std::string& text) {
   Token end;
   end.type = TokenType::kEnd;
   end.offset = n;
+  end.line = line;
+  end.column = static_cast<int>(n - line_start) + 1;
   out.push_back(end);
   return out;
 }

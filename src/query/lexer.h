@@ -31,6 +31,8 @@ struct Token {
   std::string text;     // identifier / string contents
   double number = 0.0;  // kInt / kFloat / kPercent
   size_t offset = 0;    // byte offset in the query text (for errors)
+  int line = 1;         // 1-based source line of the first character
+  int column = 1;       // 1-based source column of the first character
 
   bool IsKeyword(const char* kw) const;
 };

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "query/error_codes.h"
 #include "query/lexer.h"
 
 namespace zstream {
@@ -139,7 +140,8 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  explicit Parser(std::vector<Token> tokens, size_t start = 0)
+      : tokens_(std::move(tokens)), pos_(start) {}
 
   Result<ParsedQuery> ParseQuery();
   Result<ParseNodePtr> ParsePatternOnly();
@@ -162,9 +164,13 @@ class Parser {
     if (Match(t)) return Status::OK();
     return Err(std::string("expected ") + what);
   }
-  Status Err(const std::string& msg) const {
-    return Status::ParseError(msg + " at offset " +
-                              std::to_string(Peek().offset));
+  /// Parse error anchored at the current token, carrying a stable
+  /// diagnostic code and the token's 1-based line/column.
+  Status Err(const std::string& msg,
+             const char* code = errc::kParseExpectedToken) const {
+    const Token& t = Peek();
+    return Status::ParseError(msg).WithErrorCode(code).WithLocation(t.line,
+                                                                    t.column);
   }
   bool AtClauseBoundary() const {
     const Token& t = Peek();
@@ -239,7 +245,10 @@ Result<ParseNodePtr> Parser::PatternUnary() {
 
 Result<ParseNodePtr> Parser::PatternPrimary() {
   if (Peek().type == TokenType::kIdent) {
-    if (AtClauseBoundary()) return Err("unexpected clause keyword in pattern");
+    if (AtClauseBoundary()) {
+      return Err("unexpected clause keyword in pattern",
+                 errc::kParseExpectedPattern);
+    }
     ParseNodePtr node = ParseNode::Class(Advance().text);
     return ApplyClosure(std::move(node));
   }
@@ -248,7 +257,8 @@ Result<ParseNodePtr> Parser::PatternPrimary() {
     ZS_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
     return ApplyClosure(std::move(node));
   }
-  return Err("expected event class or '(' in pattern");
+  return Err("expected event class or '(' in pattern",
+             errc::kParseExpectedPattern);
 }
 
 Result<ParseNodePtr> Parser::ApplyClosure(ParseNodePtr node) {
@@ -260,7 +270,8 @@ Result<ParseNodePtr> Parser::ApplyClosure(ParseNodePtr node) {
   }
   if (Match(TokenType::kCaret)) {
     if (Peek().type != TokenType::kInt) {
-      return Err("expected integer closure count after '^'");
+      return Err("expected integer closure count after '^'",
+                 errc::kParseBadClosure);
     }
     const int count = static_cast<int>(Advance().number);
     return ParseNode::Kleene(std::move(node), KleeneKind::kCount, count);
@@ -399,13 +410,13 @@ Result<UExprPtr> Parser::ExprPrimary() {
       if (Match(TokenType::kLParen)) {
         // Aggregate: fn(alias.field) or count(alias).
         if (Peek().type != TokenType::kIdent) {
-          return Err("expected alias inside aggregate");
+          return Err("expected alias inside aggregate", errc::kParseExpectedExpr);
         }
         const std::string alias = Advance().text;
         std::string field;
         if (Match(TokenType::kDot)) {
           if (Peek().type != TokenType::kIdent) {
-            return Err("expected attribute name after '.'");
+            return Err("expected attribute name after '.'", errc::kParseExpectedExpr);
           }
           field = Advance().text;
         }
@@ -414,7 +425,7 @@ Result<UExprPtr> Parser::ExprPrimary() {
       }
       if (Match(TokenType::kDot)) {
         if (Peek().type != TokenType::kIdent) {
-          return Err("expected attribute name after '.'");
+          return Err("expected attribute name after '.'", errc::kParseExpectedExpr);
         }
         return UExpr::Attr(name, Advance().text);
       }
@@ -422,17 +433,18 @@ Result<UExprPtr> Parser::ExprPrimary() {
       return UExpr::Attr(name, "");
     }
     default:
-      return Err("expected expression");
+      return Err("expected expression", errc::kParseExpectedExpr);
   }
 }
 
 Result<Duration> Parser::ParseWithin() {
   if (Peek().type != TokenType::kInt && Peek().type != TokenType::kFloat) {
-    return Err("expected number after WITHIN");
+    return Err("expected number after WITHIN", errc::kParseBadDuration);
   }
   const double n = Advance().number;
   double scale = 1.0;  // bare numbers are internal units
   if (Peek().type == TokenType::kIdent && !AtClauseBoundary()) {
+    const Token unit_tok = Peek();
     const std::string unit = ToLower(Advance().text);
     if (unit == "ms" || unit == "unit" || unit == "units") {
       scale = 1.0;
@@ -446,7 +458,9 @@ Result<Duration> Parser::ParseWithin() {
                unit == "hr" || unit == "hrs") {
       scale = 3600.0 * 1000.0;
     } else {
-      return Status::ParseError("unknown time unit '" + unit + "'");
+      return Status::ParseError("unknown time unit '" + unit + "'")
+          .WithErrorCode(errc::kParseBadDuration)
+          .WithLocation(unit_tok.line, unit_tok.column);
     }
   }
   return static_cast<Duration>(n * scale);
@@ -463,7 +477,9 @@ Result<std::vector<UExprPtr>> Parser::ParseReturn() {
 
 Result<ParsedQuery> Parser::ParseQuery() {
   ParsedQuery q;
-  if (!Peek().IsKeyword("PATTERN")) return Err("query must begin with PATTERN");
+  if (!Peek().IsKeyword("PATTERN")) {
+    return Err("query must begin with PATTERN", errc::kParseExpectedPatternKw);
+  }
   Advance();
   ZS_ASSIGN_OR_RETURN(q.pattern, Pattern());
   if (Peek().IsKeyword("WHERE")) {
@@ -476,7 +492,9 @@ Result<ParsedQuery> Parser::ParseQuery() {
       q.where = UExpr::Binary(BinaryOp::kAnd, q.where, std::move(more));
     }
   }
-  if (!Peek().IsKeyword("WITHIN")) return Err("expected WITHIN clause");
+  if (!Peek().IsKeyword("WITHIN")) {
+    return Err("expected WITHIN clause", errc::kParseExpectedWithin);
+  }
   Advance();
   ZS_ASSIGN_OR_RETURN(q.window, ParseWithin());
   if (Peek().IsKeyword("RETURN")) {
@@ -484,20 +502,20 @@ Result<ParsedQuery> Parser::ParseQuery() {
     ZS_ASSIGN_OR_RETURN(q.return_items, ParseReturn());
   }
   if (Peek().type != TokenType::kEnd) {
-    return Err("unexpected trailing input");
+    return Err("unexpected trailing input", errc::kParseTrailingInput);
   }
   return q;
 }
 
 Result<ParseNodePtr> Parser::ParsePatternOnly() {
   ZS_ASSIGN_OR_RETURN(ParseNodePtr p, Pattern());
-  if (Peek().type != TokenType::kEnd) return Err("unexpected trailing input");
+  if (Peek().type != TokenType::kEnd) return Err("unexpected trailing input", errc::kParseTrailingInput);
   return p;
 }
 
 Result<UExprPtr> Parser::ParsePredicateOnly() {
   ZS_ASSIGN_OR_RETURN(UExprPtr e, OrExpr());
-  if (Peek().type != TokenType::kEnd) return Err("unexpected trailing input");
+  if (Peek().type != TokenType::kEnd) return Err("unexpected trailing input", errc::kParseTrailingInput);
   return e;
 }
 
@@ -506,6 +524,12 @@ Result<UExprPtr> Parser::ParsePredicateOnly() {
 Result<ParsedQuery> ParseQuery(const std::string& text) {
   ZS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
   Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+Result<ParsedQuery> ParseQueryTokens(std::vector<Token> tokens,
+                                     size_t start) {
+  Parser parser(std::move(tokens), start);
   return parser.ParseQuery();
 }
 

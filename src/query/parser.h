@@ -19,14 +19,24 @@
 #define ZSTREAM_QUERY_PARSER_H_
 
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "query/ast.h"
+#include "query/lexer.h"
 
 namespace zstream {
 
-/// Parses a full query; returns ParseError with offset context on failure.
+/// Parses a full query; parse errors carry a stable error code (see
+/// query/error_codes.h) and the 1-based line/column of the offending
+/// token (Status::error_code / line / column).
 Result<ParsedQuery> ParseQuery(const std::string& text);
+
+/// Parses a full query from an already-tokenized stream, starting at
+/// `start` and consuming through the final kEnd token. The DDL layer
+/// uses this for the query body of `CREATE QUERY ... AS <query>` so
+/// diagnostics keep their coordinates in the full statement text.
+Result<ParsedQuery> ParseQueryTokens(std::vector<Token> tokens, size_t start);
 
 /// Parses just a pattern expression (handy for tests).
 Result<ParseNodePtr> ParsePattern(const std::string& text);

@@ -1,0 +1,132 @@
+// Serializes parse-level ASTs back to query text (the inverse of
+// query/parser.cc). Used by PatternBuilder::ToQueryString and by SHOW
+// QUERIES to render stored queries canonically.
+//
+// The output is deliberately conservative: every binary/unary operator
+// application is parenthesized, so operator precedence never changes
+// across a round-trip, and numeric literals use fixed notation because
+// the lexer has no scientific-notation form.
+#include <charconv>
+#include <sstream>
+
+#include "query/ast.h"
+
+namespace zstream {
+
+namespace {
+
+std::string LiteralToString(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt64:
+      return std::to_string(v.int64_value());
+    case ValueType::kDouble: {
+      // Shortest fixed-notation string that round-trips through the
+      // lexer's [digits].[digits] form. Fixed shortest-round-trip needs
+      // up to ~310 integer digits (DBL_MAX) or ~1080 total for
+      // subnormals, hence the buffer size.
+      char buf[1100];
+      const auto res = std::to_chars(buf, buf + sizeof(buf),
+                                     v.double_value(),
+                                     std::chars_format::fixed);
+      if (res.ec != std::errc()) return std::to_string(v.double_value());
+      std::string out(buf, res.ptr);
+      if (out.find('.') == std::string::npos) out += ".0";
+      return out;
+    }
+    case ValueType::kString: {
+      // Mirror the lexer's SQL-style quoting: ' doubles to ''.
+      std::string out = "'";
+      for (const char c : v.string_value()) {
+        out += c;
+        if (c == '\'') out += '\'';
+      }
+      out += '\'';
+      return out;
+    }
+    case ValueType::kBool:
+      // The lexer has no boolean literal; encode as an always-decidable
+      // comparison.
+      return v.bool_value() ? "(1 = 1)" : "(1 = 0)";
+    case ValueType::kNull:
+      break;
+  }
+  return "0";  // unreachable for parser/builder-produced literals
+}
+
+const char* BinaryOpToken(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+  }
+  return "?";
+}
+
+void Render(const UExpr& e, std::ostream& os) {
+  switch (e.kind) {
+    case UExprKind::kLiteral:
+      os << LiteralToString(e.literal);
+      break;
+    case UExprKind::kAttr:
+      os << e.alias;
+      if (!e.field.empty()) os << "." << e.field;
+      break;
+    case UExprKind::kAgg:
+      os << e.agg_name << "(" << e.alias;
+      if (!e.field.empty()) os << "." << e.field;
+      os << ")";
+      break;
+    case UExprKind::kUnary:
+      // NOT parses above the comparison level, so the parentheses must
+      // enclose the whole application — "(NOT x)", not "NOT (x)" —
+      // or reparsing would rebind NOT over an enclosing comparison.
+      os << (e.un_op == UnaryOp::kNot ? "(NOT (" : "(-(");
+      Render(*e.left, os);
+      os << "))";
+      break;
+    case UExprKind::kBinary:
+      os << "(";
+      Render(*e.left, os);
+      os << " " << BinaryOpToken(e.bin_op) << " ";
+      Render(*e.right, os);
+      os << ")";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string UExprToString(const UExpr& expr) {
+  std::ostringstream os;
+  Render(expr, os);
+  return os.str();
+}
+
+std::string ToQueryString(const ParsedQuery& query) {
+  std::ostringstream os;
+  os << "PATTERN " << query.pattern->ToString();
+  if (query.where != nullptr) {
+    os << " WHERE " << UExprToString(*query.where);
+  }
+  os << " WITHIN " << query.window;
+  if (!query.return_items.empty()) {
+    os << " RETURN ";
+    for (size_t i = 0; i < query.return_items.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << UExprToString(*query.return_items[i]);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace zstream

@@ -1,0 +1,38 @@
+// Construction-time options for runtime::StreamRuntime, split from
+// stream_runtime.h so the api layer can expose a defaulted
+// `ZStream::StartRuntime(const RuntimeOptions& = {})` without pulling
+// the runtime implementation headers into the public facade. This
+// header is self-contained on purpose; keep it free of runtime
+// internals.
+#ifndef ZSTREAM_RUNTIME_RUNTIME_OPTIONS_H_
+#define ZSTREAM_RUNTIME_RUNTIME_OPTIONS_H_
+
+#include <cstddef>
+
+namespace zstream::runtime {
+
+enum class BackpressurePolicy : char {
+  kBlock,       // Ingest blocks while a target shard's queue is full
+  kDropNewest,  // Ingest drops the event for that shard and counts it
+};
+
+enum class RoutePolicy : char {
+  kAuto,       // kHashKey when the pattern has a partition key, else kPinned
+  kHashKey,    // hash(partition key) % num_shards (requires a key)
+  kPinned,     // whole query on one shard, assigned round-robin
+  kBroadcast,  // every shard runs the full query over every event
+};
+
+struct RuntimeOptions {
+  /// Worker shards; <= 0 means std::thread::hardware_concurrency().
+  int num_shards = 4;
+  /// Per-shard ring capacity (events + control messages).
+  size_t queue_capacity = 4096;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Max events a worker pops (and processes) per queue lock.
+  int shard_batch_size = 256;
+};
+
+}  // namespace zstream::runtime
+
+#endif  // ZSTREAM_RUNTIME_RUNTIME_OPTIONS_H_

@@ -328,6 +328,14 @@ Result<StreamId> StreamRuntime::stream(const std::string& name) const {
   return Status::NotFound("no stream named '" + name + "'");
 }
 
+std::vector<std::string> StreamRuntime::StreamNames() const {
+  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const StreamInfo& info : streams_) names.push_back(info.name);
+  return names;
+}
+
 uint64_t StreamRuntime::TargetMask(const RouteEntry& entry,
                                    const EventPtr& event, int* hint_field,
                                    size_t* hint_hash) const {
@@ -390,6 +398,12 @@ bool StreamRuntime::Ingest(StreamId stream, const EventPtr& event) {
     }
   }
   return ok;
+}
+
+bool StreamRuntime::Ingest(const std::string& stream_name,
+                           const EventPtr& event) {
+  const Result<StreamId> id = stream(stream_name);
+  return id.ok() && Ingest(*id, event);
 }
 
 uint64_t StreamRuntime::IngestBatch(StreamId stream,
@@ -490,6 +504,14 @@ Result<QueryId> StreamRuntime::RegisterQuery(StreamId stream,
   ZS_ASSIGN_OR_RETURN(PhysicalPlan plan, BuildPlan(pattern, compile));
   return RegisterCompiled(stream, std::move(pattern), plan, compile.engine,
                           options, text);
+}
+
+Result<QueryId> StreamRuntime::RegisterQuery(const std::string& stream_name,
+                                             const std::string& text,
+                                             const CompileOptions& compile,
+                                             const QueryOptions& options) {
+  ZS_ASSIGN_OR_RETURN(StreamId id, stream(stream_name));
+  return RegisterQuery(id, text, compile, options);
 }
 
 Result<QueryId> StreamRuntime::RegisterQuery(StreamId stream,

@@ -39,33 +39,12 @@
 #include "api/zstream.h"
 #include "opt/adaptive.h"
 #include "runtime/match_sink.h"
+#include "runtime/runtime_options.h"
 #include "runtime/runtime_stats.h"
 
 namespace zstream::runtime {
 
 using StreamId = int;
-
-enum class BackpressurePolicy : char {
-  kBlock,       // Ingest blocks while a target shard's queue is full
-  kDropNewest,  // Ingest drops the event for that shard and counts it
-};
-
-enum class RoutePolicy : char {
-  kAuto,       // kHashKey when the pattern has a partition key, else kPinned
-  kHashKey,    // hash(partition key) % num_shards (requires a key)
-  kPinned,     // whole query on one shard, assigned round-robin
-  kBroadcast,  // every shard runs the full query over every event
-};
-
-struct RuntimeOptions {
-  /// Worker shards; <= 0 means std::thread::hardware_concurrency().
-  int num_shards = 4;
-  /// Per-shard ring capacity (events + control messages).
-  size_t queue_capacity = 4096;
-  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
-  /// Max events a worker pops (and processes) per queue lock.
-  int shard_batch_size = 256;
-};
 
 struct QueryOptions {
   RoutePolicy route = RoutePolicy::kAuto;
@@ -110,11 +89,20 @@ class StreamRuntime {
   /// Looks up a stream by name.
   Result<StreamId> stream(const std::string& name) const;
 
+  /// Names of the bound streams, in StreamId order.
+  std::vector<std::string> StreamNames() const;
+
   /// Compiles `text` against the stream's schema (parse -> rewrite ->
   /// analyze -> plan) and instantiates it on its target shards. Returns
   /// once every shard has the engine installed: events ingested after
   /// this returns are guaranteed to be evaluated.
   Result<QueryId> RegisterQuery(StreamId stream, const std::string& text,
+                                const CompileOptions& compile = {},
+                                const QueryOptions& options = {});
+
+  /// Same, addressing the stream by its catalog name.
+  Result<QueryId> RegisterQuery(const std::string& stream_name,
+                                const std::string& text,
                                 const CompileOptions& compile = {},
                                 const QueryOptions& options = {});
 
@@ -132,6 +120,10 @@ class StreamRuntime {
   /// number of producers). Returns false when the runtime is stopped or
   /// any target shard dropped the event under kDropNewest.
   bool Ingest(StreamId stream, const EventPtr& event);
+
+  /// Routes by stream name (one registry lookup per call — resolve the
+  /// StreamId once via stream() on hot paths).
+  bool Ingest(const std::string& stream_name, const EventPtr& event);
 
   /// Bulk ingest: routes and enqueues with one queue lock per target
   /// shard. Returns the number of (event, shard) deliveries dropped.

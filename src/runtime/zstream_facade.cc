@@ -1,6 +1,7 @@
 // Implements ZStream::StartRuntime here (the runtime layer) so that the
-// api layer's own translation units never include runtime headers; the
-// facade is declared in api/zstream.h with forward declarations only.
+// api layer's own translation units never link runtime code; the facade
+// is declared in api/zstream.h with a forward declaration and the
+// header-only runtime/runtime_options.h.
 #include "api/zstream.h"
 #include "runtime/stream_runtime.h"
 
@@ -8,15 +9,16 @@ namespace zstream {
 
 Result<std::unique_ptr<runtime::StreamRuntime>> ZStream::StartRuntime(
     const runtime::RuntimeOptions& options) const {
+  if (catalog_.num_streams() == 0) {
+    return Status::FailedPrecondition(
+        "catalog has no streams (CREATE STREAM first)");
+  }
   ZS_ASSIGN_OR_RETURN(std::unique_ptr<runtime::StreamRuntime> rt,
                       runtime::StreamRuntime::Create(options));
-  ZS_RETURN_IF_ERROR(rt->AddStream("default", schema_).status());
+  for (const std::string& name : catalog_.StreamNames()) {
+    ZS_RETURN_IF_ERROR(rt->AddStream(name, *catalog_.stream(name)).status());
+  }
   return rt;
-}
-
-Result<std::unique_ptr<runtime::StreamRuntime>> ZStream::StartRuntime()
-    const {
-  return StartRuntime(runtime::RuntimeOptions{});
 }
 
 }  // namespace zstream

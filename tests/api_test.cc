@@ -2,6 +2,7 @@
 // inspect plans.
 #include <gtest/gtest.h>
 
+#include "api/internal.h"
 #include "test_util.h"
 
 namespace zstream {
@@ -77,13 +78,21 @@ TEST(Api, Query3StyleKleeneAggregate) {
   EXPECT_DOUBLE_EQ(rows[0][1].AsDouble(), 180.0);
 }
 
-TEST(Api, ExplainShowsPlanShape) {
+TEST(Api, ExplainShowsStreamPlanCostAndStatsSource) {
   ZStream zs(StockSchema());
   CompileOptions left;
   left.strategy = PlanStrategy::kLeftDeep;
   auto query = zs.Compile("PATTERN A;B;C WITHIN 10", left);
   ASSERT_TRUE(query.ok());
-  EXPECT_EQ((*query)->Explain(), "[[A ; B] ; C]");
+  const std::string explain = (*query)->Explain();
+  EXPECT_NE(explain.find("stream=default"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("plan=[[A ; B] ; C]"), std::string::npos)
+      << explain;
+  EXPECT_NE(explain.find("cost="), std::string::npos) << explain;
+  EXPECT_NE(explain.find("stats=uniform-defaults"), std::string::npos)
+      << explain;
+  // Fixed shapes are costed too, with the same defaulted stats.
+  EXPECT_GT((*query)->plan().estimated_cost, 0.0);
 }
 
 TEST(Api, ShapeStrategy) {
@@ -93,7 +102,9 @@ TEST(Api, ShapeStrategy) {
   bushy.shape = "((0 1) (2 3))";
   auto query = zs.Compile("PATTERN A;B;C;D WITHIN 10", bushy);
   ASSERT_TRUE(query.ok());
-  EXPECT_EQ((*query)->Explain(), "[[A ; B] ; [C ; D]]");
+  EXPECT_NE((*query)->Explain().find("plan=[[A ; B] ; [C ; D]]"),
+            std::string::npos)
+      << (*query)->Explain();
 }
 
 TEST(Api, OptimalStrategyUsesStats) {
@@ -104,7 +115,10 @@ TEST(Api, OptimalStrategyUsesStats) {
   options.stats = stats;
   auto query = zs.Compile("PATTERN A;B;C WITHIN 10", options);
   ASSERT_TRUE(query.ok());
-  EXPECT_EQ((*query)->Explain(), "[A ; [B ; C]]");
+  const std::string explain = (*query)->Explain();
+  EXPECT_NE(explain.find("plan=[A ; [B ; C]]"), std::string::npos)
+      << explain;
+  EXPECT_NE(explain.find("stats=provided"), std::string::npos) << explain;
 }
 
 TEST(Api, CompileErrorsSurface) {
@@ -119,6 +133,146 @@ TEST(Api, AnalyzeOnly) {
   auto p = zs.Analyze("PATTERN A;B WITHIN 10");
   ASSERT_TRUE(p.ok());
   EXPECT_EQ((*p)->num_classes(), 2);
+}
+
+// ---------------------------------------------------------------------
+// Catalog + DDL session model
+// ---------------------------------------------------------------------
+
+TEST(Api, DdlCreateStreamAndQueryEndToEnd) {
+  ZStream zs;  // empty catalog
+  auto created = zs.Execute(
+      "CREATE STREAM stock "
+      "(id INT, name STRING, price DOUBLE, volume INT, ts INT)");
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_TRUE(zs.catalog().HasStream("stock"));
+
+  auto ddl = zs.Execute(
+      "CREATE QUERY rally ON stock AS "
+      "PATTERN A;B WHERE A.price > B.price WITHIN 10");
+  ASSERT_TRUE(ddl.ok()) << ddl.status().ToString();
+  Query* q = ddl->query;
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->name(), "rally");
+  EXPECT_EQ(q->stream(), "stock");
+
+  q->Push(Stock("IBM", 100, 1));
+  q->Push(Stock("Sun", 50, 2));
+  q->Finish();
+  EXPECT_EQ(q->num_matches(), 1u);
+
+  // The handle is also reachable by name.
+  auto by_name = zs.query("rally");
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_EQ(*by_name, q);
+}
+
+TEST(Api, DdlShowAndDrop) {
+  ZStream zs(StockSchema());
+  ASSERT_TRUE(zs.Execute("CREATE QUERY q1 ON default AS "
+                         "PATTERN A;B WITHIN 10")
+                  .ok());
+  auto shown = zs.Execute("SHOW QUERIES");
+  ASSERT_TRUE(shown.ok());
+  ASSERT_EQ(shown->rows.size(), 1u);
+  EXPECT_EQ(shown->rows[0].name, "q1");
+  EXPECT_EQ(shown->rows[0].stream, "default");
+  EXPECT_NE(shown->message.find("PATTERN"), std::string::npos);
+
+  auto streams = zs.Execute("SHOW STREAMS");
+  ASSERT_TRUE(streams.ok());
+  EXPECT_EQ(streams->stream_names,
+            std::vector<std::string>{"default"});
+
+  ASSERT_TRUE(zs.Execute("DROP QUERY q1").ok());
+  EXPECT_FALSE(zs.query("q1").ok());
+  EXPECT_TRUE(zs.Execute("SHOW QUERIES")->rows.empty());
+
+  // Dropping a stream with no queries works; unknown drops error.
+  ASSERT_TRUE(zs.Execute("DROP STREAM default").ok());
+  EXPECT_FALSE(zs.Execute("DROP STREAM default").ok());
+}
+
+TEST(Api, TwoNamedStreamsWithDistinctSchemas) {
+  ZStream zs;
+  ASSERT_TRUE(zs.catalog().CreateStream("stock", StockSchema()).ok());
+  ASSERT_TRUE(zs.catalog().CreateStream("weblog", WebLogSchema()).ok());
+
+  auto stock_q = zs.Compile("stock",
+                            "PATTERN A;B WHERE A.price > B.price WITHIN 10");
+  ASSERT_TRUE(stock_q.ok()) << stock_q.status().ToString();
+  auto web_q = zs.Compile(
+      "weblog",
+      "PATTERN Pub;Course WHERE Pub.category='publication' "
+      "AND Course.category='course' AND Pub.ip = Course.ip WITHIN 100");
+  ASSERT_TRUE(web_q.ok()) << web_q.status().ToString();
+  EXPECT_NE((*stock_q)->Explain().find("stream=stock"), std::string::npos);
+  EXPECT_NE((*web_q)->Explain().find("stream=weblog"), std::string::npos);
+
+  (*stock_q)->Push(Stock("IBM", 100, 1));
+  (*stock_q)->Push(Stock("Sun", 50, 2));
+  (*stock_q)->Finish();
+  EXPECT_EQ((*stock_q)->num_matches(), 1u);
+
+  const auto web_event = [&](const char* ip, const char* cat,
+                             Timestamp ts) {
+    return EventBuilder(WebLogSchema())
+        .Set("ip", ip)
+        .Set("url", "/x")
+        .Set("category", cat)
+        .At(ts)
+        .Build();
+  };
+  (*web_q)->Push(web_event("1.2.3.4", "publication", 1));
+  (*web_q)->Push(web_event("1.2.3.4", "course", 2));
+  (*web_q)->Push(web_event("9.9.9.9", "course", 3));  // different IP
+  (*web_q)->Finish();
+  EXPECT_EQ((*web_q)->num_matches(), 1u);
+
+  // The weblog schema has no 'price': compiling a stock query against
+  // it fails in analysis, proving per-stream schemas are honored.
+  EXPECT_FALSE(
+      zs.Compile("weblog", "PATTERN A;B WHERE A.price > 1 WITHIN 10").ok());
+}
+
+TEST(Api, CompileAgainstUnknownStreamFails) {
+  ZStream zs(StockSchema());
+  auto bad = zs.Compile("nope", "PATTERN A;B WITHIN 10");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNotFound());
+  EXPECT_EQ(bad.status().error_code(), "ZS-S0002");
+}
+
+TEST(Api, InternalQueryAccessReachesEngines) {
+  // api/internal.h is the one sanctioned route to the raw engines; keep
+  // it compiling and honest about which side backs the query.
+  ZStream zs(StockSchema());
+  auto plain = zs.Compile("PATTERN A;B WITHIN 10");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_NE(internal::QueryAccess::Core(**plain), nullptr);
+  EXPECT_NE(internal::QueryAccess::SingleEngine(**plain), nullptr);
+  EXPECT_EQ(internal::QueryAccess::Partitioned(**plain), nullptr);
+
+  auto keyed = zs.Compile(
+      "PATTERN A;B WHERE A.name = B.name AND A.price < B.price WITHIN 10");
+  ASSERT_TRUE(keyed.ok());
+  ASSERT_TRUE((*keyed)->partitioned());
+  EXPECT_EQ(internal::QueryAccess::SingleEngine(**keyed), nullptr);
+  EXPECT_EQ(internal::QueryAccess::Core(**keyed),
+            static_cast<EngineCore*>(
+                internal::QueryAccess::Partitioned(**keyed)));
+}
+
+TEST(Api, CompileFromPatternBuilder) {
+  ZStream zs(StockSchema());
+  auto query = zs.Compile(PatternBuilder(Seq("A", "B"))
+                              .Where(Attr("A", "price") > Attr("B", "price"))
+                              .Within(10));
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  (*query)->Push(Stock("IBM", 100, 1));
+  (*query)->Push(Stock("Sun", 50, 2));
+  (*query)->Finish();
+  EXPECT_EQ((*query)->num_matches(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,309 @@
+// PatternBuilder <-> query-string parity: for each tier-1 corpus query,
+// the typed-builder construction and the parsed text must produce the
+// same Explain() (identical plan, cost and stats source) and the same
+// match set on the generated workloads — and the builder's
+// ToQueryString() must round-trip through the parser to the same query.
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "test_util.h"
+#include "workload/stock_gen.h"
+#include "workload/weblog_gen.h"
+
+namespace zstream {
+namespace {
+
+using testing::MatchKey;
+
+std::vector<std::string> RunQuery(Query& query,
+                                  const std::vector<EventPtr>& events) {
+  std::vector<std::string> keys;
+  query.SetMatchCallback([&](Match&& m) { keys.push_back(MatchKey(m)); });
+  for (const EventPtr& e : events) query.Push(e);
+  query.Finish();
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// Compiles `text` and `builder` against `zs`, requires identical
+/// Explain() and identical match sets over `events`, and checks the
+/// ToQueryString() round-trip.
+void ExpectParity(const ZStream& zs, const std::string& label,
+                  const std::string& text, const PatternBuilder& builder,
+                  const std::vector<EventPtr>& events) {
+  SCOPED_TRACE(label);
+  auto from_text = zs.Compile(builder.stream(), text);
+  ASSERT_TRUE(from_text.ok()) << from_text.status().ToString();
+  auto from_builder = zs.Compile(builder);
+  ASSERT_TRUE(from_builder.ok()) << from_builder.status().ToString();
+
+  EXPECT_EQ((*from_text)->Explain(), (*from_builder)->Explain());
+
+  auto roundtrip = zs.Compile(builder.stream(), builder.ToQueryString());
+  ASSERT_TRUE(roundtrip.ok())
+      << roundtrip.status().ToString() << "\n  round-trip text was: "
+      << builder.ToQueryString();
+  EXPECT_EQ((*roundtrip)->Explain(), (*from_builder)->Explain());
+
+  const auto text_keys = RunQuery(**from_text, events);
+  const auto builder_keys = RunQuery(**from_builder, events);
+  const auto roundtrip_keys = RunQuery(**roundtrip, events);
+  EXPECT_FALSE(text_keys.empty()) << "corpus query should match something";
+  EXPECT_EQ(text_keys, builder_keys);
+  EXPECT_EQ(text_keys, roundtrip_keys);
+}
+
+std::vector<EventPtr> StockWorkload(const std::string& ratio, int n,
+                                    uint64_t seed,
+                                    std::vector<std::string> names = {
+                                        "IBM", "Sun", "Oracle"}) {
+  StockGenOptions options;
+  options.names = std::move(names);
+  options.weights = ParseRateRatio(ratio);
+  options.num_events = n;
+  options.seed = seed;
+  return GenerateStockTrades(options);
+}
+
+TEST(BuilderParity, Query1RiseFallAroundGoogle) {
+  ZStream zs(StockSchema());
+  const auto events =
+      StockWorkload("2:1:2", 4000, 11, {"IBM", "Google", "Oracle"});
+  ExpectParity(
+      zs, "query1",
+      "PATTERN T1;T2;T3 "
+      "WHERE T1.name = T3.name AND T2.name = 'Google' "
+      "AND T1.price > (1 + 20%) * T2.price "
+      "AND T3.price < (1 - 20%) * T2.price "
+      "WITHIN 10 RETURN T1, T2, T3",
+      PatternBuilder(Seq("T1", "T2", "T3"))
+          .Where(Attr("T1", "name") == Attr("T3", "name"))
+          .Where(Attr("T2", "name") == "Google")
+          .Where(Attr("T1", "price") >
+                 (ExprBuilder(1) + 0.2) * Attr("T2", "price"))
+          .Where(Attr("T3", "price") <
+                 (ExprBuilder(1) - 0.2) * Attr("T2", "price"))
+          .Within(10)
+          .Return(Ref("T1"))
+          .Return(Ref("T2"))
+          .Return(Ref("T3")),
+      events);
+}
+
+TEST(BuilderParity, Query2NegationPartitioned) {
+  ZStream zs(StockSchema());
+  const auto events = StockWorkload("1:1:1", 4000, 17);
+  ExpectParity(
+      zs, "query2",
+      "PATTERN T1;!T2;T3 "
+      "WHERE T1.name = T2.name AND T2.name = T3.name "
+      "AND T1.price > 50 AND T2.price < 50 "
+      "AND T3.price > 50 * (1 + 20%) "
+      "WITHIN 10 RETURN T1, T3",
+      PatternBuilder(Seq("T1", Neg("T2"), "T3"))
+          .Where(Attr("T1", "name") == Attr("T2", "name"))
+          .Where(Attr("T2", "name") == Attr("T3", "name"))
+          .Where(Attr("T1", "price") > 50)
+          .Where(Attr("T2", "price") < 50)
+          .Where(Attr("T3", "price") > 50 * (ExprBuilder(1) + 0.2))
+          .Within(10)
+          .Return(Ref("T1"))
+          .Return(Ref("T3")),
+      events);
+}
+
+TEST(BuilderParity, Query3KleeneAggregate) {
+  ZStream zs(StockSchema());
+  const auto events =
+      StockWorkload("1:3:1", 3000, 23, {"IBM", "Google", "Oracle"});
+  ExpectParity(
+      zs, "query3",
+      "PATTERN T1;T2^2;T3 "
+      "WHERE T1.name = T3.name AND T2.name = 'Google' "
+      "AND sum(T2.volume) > 150 "
+      "AND T3.price > (1 + 20%) * T1.price "
+      "WITHIN 10 RETURN T1, sum(T2.volume), T3",
+      PatternBuilder(Seq("T1", PatternExpr("T2").Times(2), "T3"))
+          .Where(Attr("T1", "name") == Attr("T3", "name"))
+          .Where(Attr("T2", "name") == "Google")
+          .Where(Sum("T2", "volume") > 150)
+          .Where(Attr("T3", "price") >
+                 (ExprBuilder(1) + 0.2) * Attr("T1", "price"))
+          .Within(10)
+          .Return(Ref("T1"))
+          .Return(Sum("T2", "volume"))
+          .Return(Ref("T3")),
+      events);
+}
+
+TEST(BuilderParity, Query4SequenceWithPredicate) {
+  ZStream zs(StockSchema());
+  const auto events = StockWorkload("1:1:1", 3000, 13);
+  ExpectParity(
+      zs, "query4",
+      "PATTERN IBM;Sun;Oracle "
+      "WHERE IBM.name='IBM' AND Sun.name='Sun' AND Oracle.name='Oracle' "
+      "AND IBM.price > Sun.price WITHIN 200",
+      PatternBuilder(Seq("IBM", "Sun", "Oracle"))
+          .Where(Attr("IBM", "name") == "IBM")
+          .Where(Attr("Sun", "name") == "Sun")
+          .Where(Attr("Oracle", "name") == "Oracle")
+          .Where(Attr("IBM", "price") > Attr("Sun", "price"))
+          .Within(200),
+      events);
+}
+
+TEST(BuilderParity, Query6FourClassChain) {
+  ZStream zs(StockSchema());
+  const auto events = StockWorkload("1:5:5:5", 2000, 19,
+                                    {"IBM", "Sun", "Oracle", "Google"});
+  ExpectParity(
+      zs, "query6",
+      "PATTERN IBM;Sun;Oracle;Google "
+      "WHERE IBM.name='IBM' AND Sun.name='Sun' AND Oracle.name='Oracle' "
+      "AND Google.name='Google' AND Oracle.price > Sun.price "
+      "AND Oracle.price > Google.price WITHIN 100",
+      PatternBuilder(Seq("IBM", "Sun", "Oracle", "Google"))
+          .Where(Attr("IBM", "name") == "IBM")
+          .Where(Attr("Sun", "name") == "Sun")
+          .Where(Attr("Oracle", "name") == "Oracle")
+          .Where(Attr("Google", "name") == "Google")
+          .Where(Attr("Oracle", "price") > Attr("Sun", "price"))
+          .Where(Attr("Oracle", "price") > Attr("Google", "price"))
+          .Within(100),
+      events);
+}
+
+TEST(BuilderParity, Query7Negation) {
+  ZStream zs(StockSchema());
+  const auto events = StockWorkload("1:1:10", 3000, 29);
+  ExpectParity(
+      zs, "query7",
+      "PATTERN IBM;!Sun;Oracle "
+      "WHERE IBM.name='IBM' AND Sun.name='Sun' AND Oracle.name='Oracle' "
+      "WITHIN 200",
+      PatternBuilder(Seq("IBM", Neg("Sun"), "Oracle"))
+          .Where(Attr("IBM", "name") == "IBM")
+          .Where(Attr("Sun", "name") == "Sun")
+          .Where(Attr("Oracle", "name") == "Oracle")
+          .Within(200),
+      events);
+}
+
+TEST(BuilderParity, Query8WebLogPartitioned) {
+  ZStream zs;
+  ASSERT_TRUE(zs.catalog().CreateStream("weblog", WebLogSchema()).ok());
+  WebLogGenOptions gen;
+  gen.total_records = 50000;
+  gen.publication_accesses = 1500;
+  gen.project_accesses = 2000;
+  gen.course_accesses = 2500;
+  gen.num_ips = 40;
+  const auto events = GenerateWebLog(gen);
+  ExpectParity(
+      zs, "query8",
+      "PATTERN Pub;Proj;Course "
+      "WHERE Pub.category='publication' AND Proj.category='project' "
+      "AND Course.category='course' "
+      "AND Pub.ip = Proj.ip AND Proj.ip = Course.ip "
+      "WITHIN 10 hours RETURN Pub.ip",
+      PatternBuilder(Seq("Pub", "Proj", "Course"))
+          .On("weblog")
+          .Where(Attr("Pub", "category") == "publication")
+          .Where(Attr("Proj", "category") == "project")
+          .Where(Attr("Course", "category") == "course")
+          .Where(Attr("Pub", "ip") == Attr("Proj", "ip"))
+          .Where(Attr("Proj", "ip") == Attr("Course", "ip"))
+          .Within(10LL * 3600 * 1000)
+          .Return(Attr("Pub", "ip")),
+      events);
+}
+
+TEST(BuilderParity, DisjunctionAndConjunctionStructure) {
+  ZStream zs(StockSchema());
+  const auto events = StockWorkload("1:1:1", 1500, 37);
+  ExpectParity(zs, "disjunction",
+               "PATTERN (IBM|Sun);Oracle "
+               "WHERE IBM.name='IBM' AND Sun.name='Sun' "
+               "AND Oracle.name='Oracle' WITHIN 50",
+               PatternBuilder(Seq(Or("IBM", "Sun"), "Oracle"))
+                   .Where(Attr("IBM", "name") == "IBM")
+                   .Where(Attr("Sun", "name") == "Sun")
+                   .Where(Attr("Oracle", "name") == "Oracle")
+                   .Within(50),
+               events);
+  ExpectParity(zs, "conjunction",
+               "PATTERN (IBM&Sun);Oracle "
+               "WHERE IBM.name='IBM' AND Sun.name='Sun' "
+               "AND Oracle.name='Oracle' WITHIN 50",
+               PatternBuilder(Seq(And("IBM", "Sun"), "Oracle"))
+                   .Where(Attr("IBM", "name") == "IBM")
+                   .Where(Attr("Sun", "name") == "Sun")
+                   .Where(Attr("Oracle", "name") == "Oracle")
+                   .Within(50),
+               events);
+}
+
+TEST(BuilderParity, KleeneStarAndPlusRoundTrip) {
+  ZStream zs(StockSchema());
+  const auto events =
+      StockWorkload("1:2:1", 800, 41, {"A", "B", "C"});
+  ExpectParity(zs, "kleene-plus",
+               "PATTERN A;B+;C WHERE A.name='A' AND B.name='B' "
+               "AND C.name='C' WITHIN 20",
+               PatternBuilder(Seq("A", PatternExpr("B").Plus(), "C"))
+                   .Where(Attr("A", "name") == "A")
+                   .Where(Attr("B", "name") == "B")
+                   .Where(Attr("C", "name") == "C")
+                   .Within(20),
+               events);
+}
+
+// Unparser idempotence at the expression level: serialize, reparse,
+// serialize again — the texts must agree, or precedence shifted.
+void ExpectStableUnparse(const ExprBuilder& e) {
+  const std::string text = UExprToString(*e.node());
+  auto reparsed = ParsePredicate(text);
+  ASSERT_TRUE(reparsed.ok())
+      << reparsed.status().ToString() << "\n  text was: " << text;
+  EXPECT_EQ(UExprToString(**reparsed), text);
+}
+
+TEST(BuilderParity, UnaryNotStaysBoundToItsOperand) {
+  // Regression: "NOT (x)" (parens on the operand only) reparses as NOT
+  // over the whole enclosing comparison; the unparser must emit
+  // "(NOT (x))".
+  ExpectStableUnparse((!(Attr("A", "price") > 1)) == Lit(Value(true)));
+  ExpectStableUnparse((!(Attr("A", "price") > 1)) &&
+                      (Attr("B", "price") > 2));
+  ExpectStableUnparse(-Attr("A", "price") * 2 < 5);
+}
+
+TEST(BuilderParity, QuotedStringLiteralsRoundTrip) {
+  // Regression: ' inside a string literal must double to '' on unparse
+  // (and the lexer must fold '' back to one quote).
+  ExpectStableUnparse(Attr("A", "name") == "O'Brien");
+  ExpectStableUnparse(Attr("A", "name") == "''");
+  const ExprBuilder e = Attr("A", "name") == "O'Brien";
+  auto reparsed = ParsePredicate(UExprToString(*e.node()));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ((*reparsed)->right->literal, Value("O'Brien"));
+}
+
+TEST(BuilderParity, ExtremeDoubleLiteralsRoundTrip) {
+  // Regression: fixed-notation unparsing of huge/tiny doubles needs a
+  // ~1.1 kB buffer; a failed to_chars must never leak garbage.
+  ExpectStableUnparse(Attr("A", "price") > 1e300);
+  ExpectStableUnparse(Attr("A", "price") > 5e-324);
+  ExpectStableUnparse(Attr("A", "price") > 0.1);
+}
+
+TEST(BuilderParity, BuilderRequiresWithin) {
+  ZStream zs(StockSchema());
+  auto incomplete = zs.Compile(PatternBuilder(Seq("A", "B")));
+  ASSERT_FALSE(incomplete.ok());
+  EXPECT_TRUE(incomplete.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace zstream

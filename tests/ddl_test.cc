@@ -1,0 +1,184 @@
+// DDL statement parsing, catalog execution, and structured diagnostics:
+// malformed PATTERN / CREATE STREAM inputs must report stable error
+// codes (query/error_codes.h) and correct 1-based line/column.
+#include <gtest/gtest.h>
+
+#include "query/ddl.h"
+#include "query/error_codes.h"
+#include "query/parser.h"
+#include "test_util.h"
+
+namespace zstream {
+namespace {
+
+// ---------------------------------------------------------------------
+// DDL parsing
+// ---------------------------------------------------------------------
+
+TEST(Ddl, ParseCreateStream) {
+  auto stmt = ParseDdl(
+      "CREATE STREAM stock (sym STRING, price DOUBLE, volume INT, "
+      "ok BOOL)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, DdlKind::kCreateStream);
+  EXPECT_EQ(stmt->name, "stock");
+  ASSERT_EQ(stmt->fields.size(), 4u);
+  EXPECT_EQ(stmt->fields[0].name, "sym");
+  EXPECT_EQ(stmt->fields[0].type, ValueType::kString);
+  EXPECT_EQ(stmt->fields[1].type, ValueType::kDouble);
+  EXPECT_EQ(stmt->fields[2].type, ValueType::kInt64);
+  EXPECT_EQ(stmt->fields[3].type, ValueType::kBool);
+}
+
+TEST(Ddl, ParseCreateQueryKeepsQueryText) {
+  auto stmt = ParseDdl(
+      "CREATE QUERY q ON stock AS PATTERN A;B WITHIN 10");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, DdlKind::kCreateQuery);
+  EXPECT_EQ(stmt->name, "q");
+  EXPECT_EQ(stmt->stream, "stock");
+  EXPECT_EQ(stmt->query_text, "PATTERN A;B WITHIN 10");
+  ASSERT_TRUE(stmt->query.has_value());
+  EXPECT_EQ(stmt->query->window, 10);
+}
+
+TEST(Ddl, ParseDropAndShow) {
+  EXPECT_EQ(ParseDdl("DROP QUERY q")->kind, DdlKind::kDropQuery);
+  EXPECT_EQ(ParseDdl("DROP STREAM s")->kind, DdlKind::kDropStream);
+  EXPECT_EQ(ParseDdl("SHOW QUERIES")->kind, DdlKind::kShowQueries);
+  EXPECT_EQ(ParseDdl("SHOW STREAMS")->kind, DdlKind::kShowStreams);
+  EXPECT_EQ(ParseDdl("PATTERN A;B WITHIN 5")->kind, DdlKind::kSelect);
+}
+
+// ---------------------------------------------------------------------
+// Structured diagnostics: stable codes + line/column
+// ---------------------------------------------------------------------
+
+TEST(Diagnostics, MalformedPatternReportsLocationAndCode) {
+  // Column 9 (1-based) holds "WITHIN" where a pattern must start.
+  auto r = ParseQuery("PATTERN WITHIN 10");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+  EXPECT_EQ(r.status().error_code(), errc::kParseExpectedPattern);
+  EXPECT_EQ(r.status().line(), 1);
+  EXPECT_EQ(r.status().column(), 9);
+}
+
+TEST(Diagnostics, MissingWithinReportsCode) {
+  auto r = ParseQuery("PATTERN A;B");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().error_code(), errc::kParseExpectedWithin);
+  EXPECT_EQ(r.status().line(), 1);
+  EXPECT_EQ(r.status().column(), 12);  // end of input
+}
+
+TEST(Diagnostics, MultiLineQueryReportsSecondLine) {
+  auto r = ParseQuery("PATTERN A;B\nWITHIN oops");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().error_code(), errc::kParseBadDuration);
+  EXPECT_EQ(r.status().line(), 2);
+  EXPECT_EQ(r.status().column(), 8);  // "oops"
+}
+
+TEST(Diagnostics, UnknownTimeUnit) {
+  auto r = ParseQuery("PATTERN A;B WITHIN 10 fortnights");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().error_code(), errc::kParseBadDuration);
+  EXPECT_EQ(r.status().line(), 1);
+  EXPECT_EQ(r.status().column(), 23);
+}
+
+TEST(Diagnostics, LexerErrorsCarryLocation) {
+  auto bad_char = ParseQuery("PATTERN A;B WITHIN 10 RETURN @");
+  ASSERT_FALSE(bad_char.ok());
+  EXPECT_EQ(bad_char.status().error_code(), errc::kLexUnexpectedChar);
+  EXPECT_EQ(bad_char.status().line(), 1);
+  EXPECT_EQ(bad_char.status().column(), 30);
+
+  auto bad_string = ParseQuery("PATTERN A;B WHERE A.name = 'oops");
+  ASSERT_FALSE(bad_string.ok());
+  EXPECT_EQ(bad_string.status().error_code(),
+            errc::kLexUnterminatedString);
+  EXPECT_EQ(bad_string.status().column(), 28);
+}
+
+TEST(Diagnostics, OverflowingNumericLiteralDoesNotThrow) {
+  // Regression: std::stod throws out_of_range on 300+-digit literals;
+  // the exception-free lexer must saturate instead.
+  const std::string huge(400, '9');
+  auto r = ParseQuery("PATTERN A;B WHERE A.price < " + huge + " WITHIN 5");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(Diagnostics, MalformedCreateStream) {
+  auto missing_paren = ParseDdl("CREATE STREAM s sym STRING");
+  ASSERT_FALSE(missing_paren.ok());
+  EXPECT_EQ(missing_paren.status().error_code(), errc::kDdlExpectedToken);
+  EXPECT_EQ(missing_paren.status().line(), 1);
+  EXPECT_EQ(missing_paren.status().column(), 17);
+
+  auto bad_type = ParseDdl("CREATE STREAM s (sym BLOB)");
+  ASSERT_FALSE(bad_type.ok());
+  EXPECT_EQ(bad_type.status().error_code(), errc::kDdlUnknownType);
+  EXPECT_EQ(bad_type.status().line(), 1);
+  EXPECT_EQ(bad_type.status().column(), 22);
+
+  auto dup = ParseDdl("CREATE STREAM s (a INT, a INT)");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().error_code(), errc::kDdlDuplicateField);
+  EXPECT_EQ(dup.status().column(), 25);  // the second 'a', not its type
+
+  auto empty = ParseDdl("CREATE STREAM s ()");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().error_code(), errc::kDdlEmptySchema);
+}
+
+TEST(Diagnostics, CreateQueryBodyKeepsStatementCoordinates) {
+  // The query body starts mid-statement; its diagnostics must still
+  // point into the full CREATE QUERY text, not a re-based substring.
+  auto r = ParseDdl("CREATE QUERY q ON stock AS PATTERN A;B");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().error_code(), errc::kParseExpectedWithin);
+  EXPECT_EQ(r.status().line(), 1);
+  EXPECT_EQ(r.status().column(), 39);  // end of the whole statement
+}
+
+TEST(Diagnostics, UnknownStatement) {
+  auto r = ParseDdl("SELECT * FROM t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().error_code(), errc::kDdlUnknownStatement);
+}
+
+TEST(Diagnostics, ToStringRendersCodeAndLocation) {
+  auto r = ParseQuery("PATTERN WITHIN 10");
+  ASSERT_FALSE(r.ok());
+  const std::string s = r.status().ToString();
+  EXPECT_NE(s.find("ZS-P0002"), std::string::npos) << s;
+  EXPECT_NE(s.find("1:9"), std::string::npos) << s;
+}
+
+// ---------------------------------------------------------------------
+// Catalog-level errors carry codes too
+// ---------------------------------------------------------------------
+
+TEST(Diagnostics, CatalogErrorsHaveStableCodes) {
+  ZStream zs(testing::Stock("x", 1, 1)->schema());
+  EXPECT_EQ(zs.Execute("DROP QUERY nope").status().error_code(),
+            errc::kCatalogUnknownQuery);
+  EXPECT_EQ(zs.Execute("DROP STREAM nope").status().error_code(),
+            errc::kCatalogUnknownStream);
+  ASSERT_TRUE(zs.Execute("CREATE STREAM s2 (a INT)").ok());
+  EXPECT_EQ(zs.Execute("CREATE STREAM s2 (a INT)").status().error_code(),
+            errc::kCatalogDuplicateStream);
+  ASSERT_TRUE(
+      zs.Execute("CREATE QUERY q ON s2 AS PATTERN A;B WITHIN 5").ok());
+  EXPECT_EQ(zs.Execute("CREATE QUERY q ON s2 AS PATTERN A;B WITHIN 5")
+                .status()
+                .error_code(),
+            errc::kCatalogDuplicateQuery);
+  EXPECT_EQ(zs.Execute("DROP STREAM s2").status().error_code(),
+            errc::kCatalogStreamInUse);
+}
+
+}  // namespace
+}  // namespace zstream

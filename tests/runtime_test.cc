@@ -436,6 +436,50 @@ TEST(StreamRuntime, StartRuntimeFacade) {
   EXPECT_TRUE((*rt)->Flush().IsFailedPrecondition());
 }
 
+// The facade binds every catalog stream under its name, queries
+// register per stream (addressable by name), and events route only to
+// their own stream's queries.
+TEST(StreamRuntime, FacadeBindsAllCatalogStreams) {
+  ZStream zs;
+  ASSERT_TRUE(zs.catalog().CreateStream("stock", StockSchema()).ok());
+  ASSERT_TRUE(zs.catalog().CreateStream("weblog", WebLogSchema()).ok());
+  RuntimeOptions options;
+  options.num_shards = 2;
+  auto rt = zs.StartRuntime(options);
+  ASSERT_TRUE(rt.ok()) << rt.status();
+  EXPECT_EQ((*rt)->StreamNames(),
+            (std::vector<std::string>{"stock", "weblog"}));
+
+  auto stock_q = (*rt)->RegisterQuery(
+      "stock", "PATTERN A;B WHERE A.price > B.price WITHIN 10");
+  ASSERT_TRUE(stock_q.ok()) << stock_q.status();
+  auto web_q = (*rt)->RegisterQuery(
+      "weblog",
+      "PATTERN Pub;Course WHERE Pub.category='publication' "
+      "AND Course.category='course' AND Pub.ip = Course.ip WITHIN 100");
+  ASSERT_TRUE(web_q.ok()) << web_q.status();
+  EXPECT_FALSE((*rt)->RegisterQuery("nope", "PATTERN A;B WITHIN 1").ok());
+
+  ASSERT_TRUE((*rt)->Ingest("stock", Stock("IBM", 100, 1)));
+  ASSERT_TRUE((*rt)->Ingest("stock", Stock("Sun", 50, 2)));
+  const auto web_event = [&](const char* ip, const char* cat,
+                             Timestamp ts) {
+    return EventBuilder(WebLogSchema())
+        .Set("ip", ip)
+        .Set("url", "/x")
+        .Set("category", cat)
+        .At(ts)
+        .Build();
+  };
+  ASSERT_TRUE((*rt)->Ingest("weblog", web_event("1.2.3.4",
+                                                "publication", 1)));
+  ASSERT_TRUE((*rt)->Ingest("weblog", web_event("1.2.3.4", "course", 2)));
+  EXPECT_FALSE((*rt)->Ingest("nope", Stock("IBM", 1, 3)));
+  ASSERT_TRUE((*rt)->Flush().ok());
+  EXPECT_EQ(*(*rt)->query_matches(*stock_q), 1u);
+  EXPECT_EQ(*(*rt)->query_matches(*web_q), 1u);
+}
+
 // Regression: a MatchSink callback may call runtime accessors (which
 // take control_mu_); Flush/Unregister must not hold that mutex while
 // waiting on the workers, or this deadlocks.
