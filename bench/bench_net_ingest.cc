@@ -1,0 +1,169 @@
+// Network serving overhead: loopback TCP ingest through zstream_server's
+// serving layer (net::Server + net::Client, framed protocol, batched
+// kEventBatch frames) vs. in-process StreamRuntime::IngestBatch on the
+// same trace, same query, same shard layout — the cost of the wire.
+//
+// The query is the paper Query 2 shape (hash-partitioned rising triple
+// over 16 symbols), so both paths do identical engine work and must
+// produce identical match counts; the throughput gap is serialization +
+// framing + TCP. Swept over the client batch size: small batches pay one
+// ack round-trip per few events, large batches amortize it away.
+#include "bench_util.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "runtime/stream_runtime.h"
+
+namespace zstream::bench {
+namespace {
+
+constexpr char kStockDdl[] =
+    "CREATE STREAM stock "
+    "(id INT, name STRING, price DOUBLE, volume INT, ts INT)";
+constexpr char kQueryDdl[] =
+    "CREATE QUERY rally ON stock AS "
+    "PATTERN A;B;C WHERE A.name = B.name AND B.name = C.name "
+    "AND A.price < B.price AND B.price < C.price WITHIN 100";
+constexpr char kQueryText[] =
+    "PATTERN A;B;C WHERE A.name = B.name AND B.name = C.name "
+    "AND A.price < B.price AND B.price < C.price WITHIN 100";
+constexpr int kShards = 2;
+constexpr size_t kQueueCapacity = 8192;
+
+std::vector<EventPtr> Workload() {
+  StockGenOptions gen;
+  gen.names.clear();
+  gen.weights.clear();
+  for (int i = 0; i < 16; ++i) {
+    gen.names.push_back(IndexedName("SYM", i));
+    gen.weights.push_back(1.0);
+  }
+  gen.num_events = 100000;
+  gen.seed = 21;
+  return GenerateStockTrades(gen);
+}
+
+runtime::RuntimeOptions RuntimeOpts() {
+  runtime::RuntimeOptions options;
+  options.num_shards = kShards;
+  options.queue_capacity = kQueueCapacity;
+  return options;
+}
+
+RunResult RunInProcess(const std::vector<EventPtr>& events,
+                       size_t batch_size) {
+  const int reps = Repetitions();
+  std::vector<double> rates;
+  RunResult result;
+  for (int r = 0; r < reps; ++r) {
+    auto rt = runtime::StreamRuntime::Create(RuntimeOpts());
+    if (!rt.ok()) return result;
+    auto stream = (*rt)->AddStream("stock", StockSchema());
+    auto id = (*rt)->RegisterQuery(*stream, kQueryText);
+    if (!id.ok()) return result;
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<EventPtr> chunk;
+    for (size_t i = 0; i < events.size(); i += batch_size) {
+      chunk.assign(
+          events.begin() + static_cast<long>(i),
+          events.begin() +
+              static_cast<long>(std::min(i + batch_size, events.size())));
+      (*rt)->IngestBatch(*stream, chunk);
+    }
+    (void)(*rt)->Flush();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    rates.push_back(static_cast<double>(events.size()) / secs);
+    result.elapsed_s = secs;
+    result.matches = (*rt)->query_matches(*id).ValueOr(0);
+    (*rt)->Stop();
+  }
+  result.throughput =
+      std::accumulate(rates.begin(), rates.end(), 0.0) /
+      static_cast<double>(rates.size());
+  return result;
+}
+
+RunResult RunLoopback(const std::vector<EventPtr>& events,
+                      size_t batch_size) {
+  const int reps = Repetitions();
+  std::vector<double> rates;
+  RunResult result;
+  for (int r = 0; r < reps; ++r) {
+    ZStream session;
+    if (!session.Execute(kStockDdl).ok() ||
+        !session.Execute(kQueryDdl).ok()) {
+      return result;
+    }
+    auto server = net::Server::Create(&session, RuntimeOpts());
+    if (!server.ok() || !(*server)->Start().ok()) return result;
+    auto client = net::Client::Connect("127.0.0.1", (*server)->port());
+    if (!client.ok()) return result;
+
+    const auto start = std::chrono::steady_clock::now();
+    auto ack = (*client)->Ingest("stock", events, batch_size);
+    auto flush = (*client)->Flush();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (!ack.ok() || !flush.ok()) return result;
+    rates.push_back(static_cast<double>(events.size()) / secs);
+    result.elapsed_s = secs;
+    result.matches =
+        flush->queries.empty() ? 0 : flush->queries.front().second;
+    (*server)->Stop();
+  }
+  result.throughput =
+      std::accumulate(rates.begin(), rates.end(), 0.0) /
+      static_cast<double>(rates.size());
+  return result;
+}
+
+}  // namespace
+}  // namespace zstream::bench
+
+int main() {
+  using namespace zstream;
+  using namespace zstream::bench;
+
+  Banner("net_ingest",
+         "Loopback TCP ingest (net::Server/Client framed protocol) vs. "
+         "in-process StreamRuntime::IngestBatch; identical query and "
+         "shard layout, swept over client batch size");
+
+  const auto events = Workload();
+  Table table({"batch", "in-process ev/s", "loopback ev/s", "wire cost",
+               "matches"});
+  for (const size_t batch : {size_t{64}, size_t{512}, size_t{2048}}) {
+    const RunResult in_process = RunInProcess(events, batch);
+    const RunResult loopback = RunLoopback(events, batch);
+    if (in_process.matches != loopback.matches) {
+      std::fprintf(stderr,
+                   "match count mismatch: in-process %llu vs loopback "
+                   "%llu at batch %zu\n",
+                   static_cast<unsigned long long>(in_process.matches),
+                   static_cast<unsigned long long>(loopback.matches),
+                   batch);
+      return 1;
+    }
+    const std::string x = std::to_string(batch);
+    RecordResult("net_ingest", "in_process", x, in_process);
+    RecordResult("net_ingest", "loopback", x, loopback);
+    table.AddRow({x, FormatThroughput(in_process.throughput),
+                  FormatThroughput(loopback.throughput),
+                  FormatDouble(in_process.throughput /
+                                   std::max(loopback.throughput, 1.0),
+                               2) +
+                      "x",
+                  std::to_string(loopback.matches)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the network serving layer, as run by CI:
+# launches zstream_server on an ephemeral port, creates a stream and the
+# tier-1 rising-triple query through zstream_cli, replays the
+# deterministic stock workload over the wire, and asserts the exact
+# match count (seed 42, 20000 events, 16 symbols -> 64105 matches, the
+# same set the in-process runtime produces — see tests/net_test.cc for
+# the full match-set equality assertion).
+#
+# Usage: scripts/net_smoke.sh [BUILD_DIR]    (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-${BUILD_DIR:-build}}
+BIN="$BUILD_DIR/bin"
+EXPECT_MATCHES=64105
+
+for tool in zstream_server zstream_cli; do
+  if [[ ! -x "$BIN/$tool" ]]; then
+    echo "error: $BIN/$tool not built (run: cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+  fi
+done
+
+log=$(mktemp)
+"$BIN/zstream_server" --port 0 --shards 2 >"$log" 2>&1 &
+server_pid=$!
+trap 'kill "$server_pid" 2>/dev/null || true; rm -f "$log"' EXIT
+
+# Wait for the listening line and parse the ephemeral port from it.
+port=""
+for _ in $(seq 1 50); do
+  port=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$log")
+  [[ -n "$port" ]] && break
+  sleep 0.1
+done
+if [[ -z "$port" ]]; then
+  echo "error: server did not start:" >&2
+  cat "$log" >&2
+  exit 1
+fi
+echo "== zstream_server up on port $port =="
+
+"$BIN/zstream_cli" --port "$port" exec \
+  "CREATE STREAM stock (id INT, name STRING, price DOUBLE, volume INT, ts INT)" \
+  "CREATE QUERY rally ON stock AS PATTERN A;B;C WHERE A.name = B.name AND B.name = C.name AND A.price < B.price AND B.price < C.price WITHIN 100" \
+  "SHOW PLAN rally"
+
+echo "== replaying stock workload over the wire =="
+"$BIN/zstream_cli" --port "$port" replay stock --stream stock \
+  --events 20000 --symbols 16 --expect "rally=$EXPECT_MATCHES"
+
+echo "== stats =="
+stats=$("$BIN/zstream_cli" --port "$port" stats)
+echo "$stats"
+case "$stats" in
+  *'"events_ingested": 20000'*) ;;
+  *) echo "error: stats did not report 20000 ingested events" >&2; exit 1 ;;
+esac
+
+kill "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+echo "== net smoke OK (rally=$EXPECT_MATCHES matches over TCP) =="

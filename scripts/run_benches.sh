@@ -27,8 +27,10 @@ else
   # The figure benches that anchor the perf trajectory (paper Figures
   # 8, 10 and 12): plan-shape throughput under selectivity sweeps, rate
   # skew, and the complex Query 6 regimes — plus the StreamRuntime
-  # shard-count sweep so the trajectory captures multi-core scaling.
-  BENCHES=${BENCHES:-"bench_fig08_selectivity bench_fig10_rates bench_fig12_complex bench_runtime_scaling"}
+  # shard-count sweep so the trajectory captures multi-core scaling, and
+  # the loopback-vs-in-process network ingest sweep so it captures the
+  # serving layer's wire overhead.
+  BENCHES=${BENCHES:-"bench_fig08_selectivity bench_fig10_rates bench_fig12_complex bench_runtime_scaling bench_net_ingest"}
 fi
 
 for b in $BENCHES; do

@@ -174,6 +174,7 @@ Result<DdlResult> ZStream::Execute(const std::string& statement,
     case DdlKind::kCreateStream: {
       ZS_RETURN_IF_ERROR(
           catalog_.CreateStream(stmt.name, Schema::Make(stmt.fields)));
+      result.name = stmt.name;
       result.message = "stream '" + stmt.name + "' created";
       return result;
     }
@@ -196,6 +197,7 @@ Result<DdlResult> ZStream::Execute(const std::string& statement,
       compiled->name_ = name;
       ZS_RETURN_IF_ERROR(catalog_.AddQuery(QueryInfo{
           name, stream, stmt.query_text, compiled->pattern_}));
+      result.name = name;
       result.query = compiled.get();
       queries_[name] = std::move(compiled);
       result.message = "query '" + name + "' registered on stream '" +
@@ -205,12 +207,26 @@ Result<DdlResult> ZStream::Execute(const std::string& statement,
     case DdlKind::kDropQuery: {
       ZS_RETURN_IF_ERROR(catalog_.DropQuery(stmt.name));
       queries_.erase(stmt.name);
+      result.name = stmt.name;
       result.message = "query '" + stmt.name + "' dropped";
       return result;
     }
     case DdlKind::kDropStream: {
       ZS_RETURN_IF_ERROR(catalog_.DropStream(stmt.name));
+      result.name = stmt.name;
       result.message = "stream '" + stmt.name + "' dropped";
+      return result;
+    }
+    case DdlKind::kShowPlan: {
+      auto it = queries_.find(stmt.name);
+      if (it == queries_.end()) {
+        return Status::NotFound("no query named '" + stmt.name + "'")
+            .WithErrorCode(errc::kCatalogUnknownQuery)
+            .WithLocation(stmt.name_line, stmt.name_column);
+      }
+      result.name = stmt.name;
+      result.query = it->second.get();
+      result.message = it->second->Explain();
       return result;
     }
     case DdlKind::kShowStreams: {

@@ -129,10 +129,16 @@ class Query {
 /// \brief Outcome of one ZStream::Execute statement.
 struct DdlResult {
   DdlKind kind = DdlKind::kSelect;
-  /// kCreateQuery / kSelect: the registered handle, owned by the
-  /// ZStream session (valid until DROP QUERY / session destruction).
+  /// The stream/query name the statement acted on ("" for SHOW
+  /// STREAMS/QUERIES). For kSelect this is the auto-generated query
+  /// name.
+  std::string name;
+  /// kCreateQuery / kSelect / kShowPlan: the registered handle, owned
+  /// by the ZStream session (valid until DROP QUERY / session
+  /// destruction).
   Query* query = nullptr;
-  /// Human-readable summary; SHOW statements put their listing here.
+  /// Human-readable summary; SHOW statements put their listing here
+  /// (SHOW PLAN: the query's Explain() text).
   std::string message;
   /// kShowQueries: one entry per catalog query.
   std::vector<QueryInfo> rows;
@@ -156,7 +162,8 @@ class ZStream {
   const Catalog& catalog() const { return catalog_; }
 
   /// Executes one DDL statement (CREATE STREAM / CREATE QUERY / DROP
-  /// QUERY / DROP STREAM / SHOW STREAMS / SHOW QUERIES). A bare
+  /// QUERY / DROP STREAM / SHOW STREAMS / SHOW QUERIES / SHOW PLAN
+  /// <query>). A bare
   /// `PATTERN ...` query text is also accepted: it compiles against
   /// stream "default" and registers under an auto-generated name.
   /// `options` applies to statements that compile a query.

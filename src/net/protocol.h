@@ -1,0 +1,275 @@
+// The ZStream wire protocol: length-prefixed frames over a byte stream.
+//
+// Every message is one frame:
+//
+//   byte 0      protocol version (kProtocolVersion)
+//   byte 1      message type (MsgType)
+//   byte 2      flags (kFlag*)
+//   byte 3      reserved, 0
+//   bytes 4..7  payload length, unsigned 32-bit little-endian
+//   bytes 8..   payload (length bytes)
+//
+// All multi-byte integers on the wire are little-endian regardless of
+// host order; doubles travel as the LE bytes of their IEEE-754 bit
+// pattern — the serialization is endian-stable by construction, never
+// by memcpy of host representations. Strings are a u32 length followed
+// by raw bytes. Frame payloads are bounded (kMaxFramePayload, and a
+// lower per-connection limit if the server configures one); a peer that
+// announces a larger frame gets a coded error and the oversized payload
+// is skipped, so one bad frame never kills the connection.
+//
+// Message catalogue (direction, payload):
+//
+//   kDdl           c->s  DDL statement text (non-empty)
+//   kDdlResult     s->c  DdlReply: kind, name, message, rows
+//   kEventBatch    c->s  stream name + typed event rows
+//   kIngestAck     s->c  accepted/dropped counts (kFlagThrottle set
+//                        when the runtime dropped under backpressure)
+//   kSubscribe     c->s  query name
+//   kSubscribeAck  s->c  query name + stream name + schema rows
+//   kUnsubscribe   c->s  query name
+//   kUnsubscribeAck s->c query name
+//   kMatch         s->c  query name + match (span, slots, Kleene group)
+//   kStatsRequest  c->s  empty
+//   kStats         s->c  JSON document (runtime + per-connection stats)
+//   kFlush         c->s  empty; barrier over the runtime
+//   kFlushAck      s->c  per-query match counts
+//   kError         s->c  coded Status (code, ZS-xxxx, line/column, text)
+//
+// This header is the single source of truth for the layout; see
+// docs/protocol.md for the prose version.
+#ifndef ZSTREAM_NET_PROTOCOL_H_
+#define ZSTREAM_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/zstream.h"
+#include "common/result.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "event/event.h"
+#include "exec/engine.h"
+
+namespace zstream::net {
+
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 8;
+/// Hard upper bound on one frame's payload (16 MiB).
+inline constexpr uint32_t kMaxFramePayload = 16u << 20;
+/// Hard upper bound on events per kEventBatch frame.
+inline constexpr uint32_t kMaxBatchEvents = 1u << 16;
+
+enum class MsgType : uint8_t {
+  kDdl = 1,
+  kDdlResult = 2,
+  kEventBatch = 3,
+  kIngestAck = 4,
+  kSubscribe = 5,
+  kSubscribeAck = 6,
+  kUnsubscribe = 7,
+  kUnsubscribeAck = 8,
+  kMatch = 9,
+  kStatsRequest = 10,
+  kStats = 11,
+  kFlush = 12,
+  kFlushAck = 13,
+  kError = 14,
+};
+
+const char* MsgTypeName(MsgType type);
+bool IsValidMsgType(uint8_t raw);
+
+/// kIngestAck: the runtime dropped events under BackpressurePolicy::
+/// kDropNewest — the client should slow down (protocol-level flow
+/// control; under kBlock the TCP window itself is the backpressure).
+inline constexpr uint8_t kFlagThrottle = 0x01;
+
+struct FrameHeader {
+  MsgType type = MsgType::kError;
+  uint8_t flags = 0;
+  uint32_t length = 0;
+};
+
+// ---------------------------------------------------------------------
+// Primitive wire encoding (append to a std::string buffer)
+// ---------------------------------------------------------------------
+
+void PutU8(std::string* out, uint8_t v);
+void PutU16(std::string* out, uint16_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutI64(std::string* out, int64_t v);
+void PutF64(std::string* out, double v);
+void PutString(std::string* out, std::string_view s);
+
+/// \brief Bounds-checked cursor over one frame payload. Every getter
+/// fails with a ZS-N0004 ParseError instead of reading past the end, so
+/// truncated payloads surface as coded errors.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view payload) : data_(payload) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint16_t> ReadU16();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadF64();
+  Result<std::string> ReadString();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  /// ParseError when trailing bytes remain (strict decoders call this
+  /// last).
+  Status ExpectEnd() const;
+
+ private:
+  Status Truncated(const char* what) const;
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Values, schema rows, events, matches
+// ---------------------------------------------------------------------
+
+void AppendValue(std::string* out, const Value& v);
+Result<Value> ReadValue(PayloadReader* in);
+
+/// Schema rows: u32 field count, then {string name, u8 ValueType}.
+void AppendSchema(std::string* out, const Schema& schema);
+Result<SchemaPtr> ReadSchema(PayloadReader* in);
+
+/// One event row: i64 timestamp, u16 value count, values.
+void AppendEvent(std::string* out, const Event& event);
+/// Decodes one event row against `schema`: the value count must equal
+/// the schema's field count and every non-null value must carry the
+/// declared type (ZS-N0006 otherwise).
+Result<EventPtr> ReadEvent(PayloadReader* in, const SchemaPtr& schema);
+
+/// kEventBatch payload: string stream name, u32 count, event rows.
+void AppendEventBatch(std::string* out, std::string_view stream,
+                      const std::vector<EventPtr>& events, size_t from,
+                      size_t count);
+
+/// \brief Decoded kMatch frame: a full Match whose slot/group events
+/// were rebuilt against the subscription's schema, so client-side code
+/// (including runtime::CanonicalMatchKey) treats it exactly like a
+/// local match.
+struct NetMatch {
+  std::string query;
+  Match match;
+};
+
+void AppendMatch(std::string* out, std::string_view query,
+                 const Match& match);
+Result<NetMatch> ReadMatch(PayloadReader* in, const SchemaPtr& schema);
+
+// ---------------------------------------------------------------------
+// Control messages
+// ---------------------------------------------------------------------
+
+/// \brief Wire form of api DdlResult (the handle pointer obviously does
+/// not travel).
+struct DdlReply {
+  DdlKind kind = DdlKind::kSelect;
+  std::string name;
+  std::string message;
+  std::vector<QueryInfo> rows;           // SHOW QUERIES (pattern unset)
+  std::vector<std::string> stream_names;  // SHOW STREAMS
+};
+
+void AppendDdlReply(std::string* out, const DdlResult& result);
+Result<DdlReply> ReadDdlReply(PayloadReader* in);
+
+/// kError payload: u8 StatusCode, string ZS-xxxx code, u32 line,
+/// u32 column, string message. DecodeErrorPayload reconstructs the
+/// transported (always non-OK) Status into *decoded; the return value
+/// reports whether the payload itself parsed.
+void AppendStatusPayload(std::string* out, const Status& status);
+Status DecodeErrorPayload(PayloadReader* in, Status* decoded);
+
+struct IngestAck {
+  uint64_t accepted = 0;
+  uint64_t dropped = 0;
+  bool throttled = false;  // from kFlagThrottle
+};
+
+struct SubscribeAck {
+  std::string query;
+  std::string stream;
+  SchemaPtr schema;
+};
+
+struct FlushAck {
+  /// (query name, matches delivered so far), in registration order.
+  std::vector<std::pair<std::string, uint64_t>> queries;
+};
+
+void AppendFlushAck(std::string* out, const FlushAck& ack);
+Result<FlushAck> ReadFlushAck(PayloadReader* in);
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Appends an 8-byte header followed by `payload`.
+void AppendFrame(std::string* out, MsgType type, uint8_t flags,
+                 std::string_view payload);
+
+/// \brief Incremental frame decoder for a TCP byte stream.
+///
+/// Feed arbitrary chunks with Append (partial frames, many frames per
+/// chunk — any split works); Next() yields one complete frame at a
+/// time. Recoverable protocol violations (unknown type, payload larger
+/// than the configured bound — both behind a validated version byte,
+/// so the announced length is trustworthy) return a coded error Status
+/// ONCE, after which the offending frame's payload is skipped as it
+/// arrives and parsing resumes at the next frame — the connection
+/// survives. A bad version byte is FATAL: nothing after it can be
+/// trusted (not even the length field), so every subsequent Next()
+/// returns the same error and the caller must close the connection.
+class FrameParser {
+ public:
+  explicit FrameParser(uint32_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  struct Frame {
+    FrameHeader header;
+    std::string payload;
+  };
+
+  void Append(const char* data, size_t n);
+
+  /// One of: a complete frame; std::nullopt (need more bytes); or an
+  /// error Status for a protocol violation (recoverable, see above).
+  Result<std::optional<Frame>> Next();
+
+  /// Bytes buffered but not yet consumed (diagnostics).
+  size_t buffered() const { return buf_.size() - consumed_; }
+
+  /// True after a fatal (unresynchronizable) violation — close the
+  /// connection.
+  bool broken() const { return !fatal_.ok(); }
+
+ private:
+  void Consume(size_t n);
+
+  uint32_t max_payload_;
+  std::string buf_;
+  size_t consumed_ = 0;
+  /// Payload bytes of a rejected frame still owed to the skip.
+  uint64_t skip_ = 0;
+  /// Set on a bad version byte; sticky.
+  Status fatal_;
+};
+
+}  // namespace zstream::net
+
+#endif  // ZSTREAM_NET_PROTOCOL_H_

@@ -1,0 +1,706 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "query/error_codes.h"
+
+namespace zstream::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " +
+                          std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+bool SchemasEqual(const Schema& a, const Schema& b) {
+  if (a.num_fields() != b.num_fields()) return false;
+  for (int i = 0; i < a.num_fields(); ++i) {
+    if (a.field(i).name != b.field(i).name ||
+        a.field(i).type != b.field(i).type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Connection
+// ---------------------------------------------------------------------
+
+struct Server::Connection {
+  int fd = -1;
+  uint64_t id = 0;
+  FrameParser parser;
+  /// Buffered outbound bytes [out_off, out.size()).
+  std::string out;
+  size_t out_off = 0;
+  std::vector<std::string> subscriptions;
+  bool closing = false;
+
+  // Per-connection stats, reported in the kStats JSON document.
+  uint64_t frames_received = 0;
+  uint64_t events_ingested = 0;
+  uint64_t events_dropped = 0;
+  uint64_t matches_sent = 0;
+  uint64_t errors_sent = 0;
+
+  explicit Connection(uint32_t max_payload) : parser(max_payload) {}
+
+  bool SubscribedTo(const std::string& query) const {
+    return std::find(subscriptions.begin(), subscriptions.end(), query) !=
+           subscriptions.end();
+  }
+};
+
+// ---------------------------------------------------------------------
+// FanoutSink
+// ---------------------------------------------------------------------
+
+void Server::FanoutSink::Publish(runtime::RuntimeMatch&& match) {
+  bool signal = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(std::move(match));
+    if (!signaled_) {
+      signaled_ = true;
+      signal = true;
+    }
+  }
+  if (signal) {
+    // Non-blocking wake; a full pipe means a wake is already pending.
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(server_->wake_write_fd_, &byte, 1);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------
+
+Server::Server(ZStream* session, const ServerOptions& options)
+    : session_(session), options_(options) {
+  options_.max_frame_payload =
+      std::min(options_.max_frame_payload, kMaxFramePayload);
+}
+
+Result<std::unique_ptr<Server>> Server::Create(
+    ZStream* session, const runtime::RuntimeOptions& runtime_options,
+    const ServerOptions& options) {
+  if (session == nullptr) {
+    return Status::InvalidArgument("session must not be null");
+  }
+  auto server = std::unique_ptr<Server>(new Server(session, options));
+  ZS_RETURN_IF_ERROR(server->Listen());
+  ZS_RETURN_IF_ERROR(server->BindCatalog(runtime_options));
+  return server;
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
+    return Errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  ZS_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) return Errno("pipe");
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  ZS_RETURN_IF_ERROR(SetNonBlocking(wake_read_fd_));
+  ZS_RETURN_IF_ERROR(SetNonBlocking(wake_write_fd_));
+  return Status::OK();
+}
+
+Status Server::BindCatalog(const runtime::RuntimeOptions& runtime_options) {
+  ZS_ASSIGN_OR_RETURN(runtime_,
+                      runtime::StreamRuntime::Create(runtime_options));
+  for (const std::string& name : session_->catalog().StreamNames()) {
+    SchemaPtr schema = *session_->catalog().stream(name);
+    ZS_RETURN_IF_ERROR(runtime_->AddStream(name, schema).status());
+    runtime_streams_[name] = std::move(schema);
+  }
+  // Share the session: queries already registered in the catalog are
+  // served too (their in-session engines stay idle; the runtime engines
+  // do the work).
+  for (const QueryInfo& info : session_->catalog().queries()) {
+    ZS_RETURN_IF_ERROR(RegisterOnRuntime(info.name));
+  }
+  return Status::OK();
+}
+
+Status Server::RegisterOnRuntime(const std::string& query_name) {
+  ZS_ASSIGN_OR_RETURN(QueryInfo info,
+                      session_->catalog().query(query_name));
+  ZS_ASSIGN_OR_RETURN(SchemaPtr schema,
+                      session_->catalog().stream(info.stream));
+  runtime::QueryOptions qopts;
+  qopts.sink = &sink_;
+  ZS_ASSIGN_OR_RETURN(runtime::QueryId id,
+                      runtime_->RegisterQuery(info.stream, info.text, {},
+                                              qopts));
+  queries_[query_name] = QueryEntry{id, info.stream, std::move(schema)};
+  query_names_[id] = query_name;
+  query_order_.push_back(query_name);
+  return Status::OK();
+}
+
+Status Server::Start() {
+  if (running_.exchange(true)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  thread_ = std::thread([this] { PollLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (stopped_.exchange(true)) return;
+  running_.store(false);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+  if (thread_.joinable()) thread_.join();
+  // Poll thread is gone: safe to stop the runtime (workers flush their
+  // engines; final matches land in the sink and die with the server).
+  if (runtime_ != nullptr) runtime_->Stop();
+  for (auto& [fd, conn] : connections_) ::close(fd);
+  connections_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+}
+
+// ---------------------------------------------------------------------
+// Poll loop
+// ---------------------------------------------------------------------
+
+void Server::PollLoop() {
+  std::vector<pollfd> fds;
+  std::vector<Connection*> polled;
+  while (running_.load(std::memory_order_relaxed)) {
+    fds.clear();
+    polled.clear();
+    fds.push_back(pollfd{wake_read_fd_, POLLIN, 0});
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (auto& [fd, conn] : connections_) {
+      short events = POLLIN;
+      if (conn->out.size() > conn->out_off) events |= POLLOUT;
+      fds.push_back(pollfd{fd, events, 0});
+      polled.push_back(conn.get());
+    }
+
+    const int rc = ::poll(fds.data(), fds.size(), /*timeout=*/-1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      ZS_LOG(Warn) << "poll failed: " << std::strerror(errno);
+      break;
+    }
+    if (!running_.load(std::memory_order_relaxed)) break;
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char drain[256];
+      while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      }
+    }
+    DrainMatches();
+
+    if ((fds[1].revents & POLLIN) != 0) AcceptPending();
+
+    for (size_t i = 2; i < fds.size(); ++i) {
+      Connection* conn = polled[i - 2];
+      if (conn->closing) continue;
+      if ((fds[i].revents & POLLOUT) != 0) FlushWrites(conn);
+      if ((fds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+        HandleReadable(conn);
+      }
+    }
+
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (it->second->closing) {
+        ::close(it->second->fd);
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void Server::AcceptPending() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      ZS_LOG(Warn) << "accept failed: " << std::strerror(errno);
+      return;
+    }
+    if (static_cast<int>(connections_.size()) >= options_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>(options_.max_frame_payload);
+    conn->fd = fd;
+    conn->id = next_connection_id_++;
+    connections_.emplace(fd, std::move(conn));
+  }
+}
+
+void Server::HandleReadable(Connection* conn) {
+  char buf[64 << 10];
+  while (!conn->closing) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      conn->closing = true;
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      conn->closing = true;
+      return;
+    }
+    conn->parser.Append(buf, static_cast<size_t>(n));
+    while (!conn->closing) {
+      auto next = conn->parser.Next();
+      if (!next.ok()) {
+        // Protocol violation: answer with the coded error. Recoverable
+        // ones (oversized/unknown type) already scheduled a payload
+        // skip and parsing continues; a fatal one (bad version — the
+        // stream cannot be resynchronized) drops the connection after
+        // the error frame.
+        SendError(conn, next.status());
+        if (conn->parser.broken()) {
+          FlushWrites(conn);
+          conn->closing = true;
+          return;
+        }
+        continue;
+      }
+      if (!next->has_value()) break;
+      DispatchFrame(conn, **next);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Frame dispatch
+// ---------------------------------------------------------------------
+
+void Server::DispatchFrame(Connection* conn,
+                           const FrameParser::Frame& frame) {
+  frames_dispatched_.fetch_add(1, std::memory_order_relaxed);
+  ++conn->frames_received;
+  switch (frame.header.type) {
+    case MsgType::kDdl:
+      if (frame.payload.empty()) {
+        SendError(conn,
+                  Status::InvalidArgument("empty DDL frame")
+                      .WithErrorCode(errc::kNetEmptyPayload));
+        return;
+      }
+      HandleDdl(conn, frame.payload);
+      return;
+    case MsgType::kEventBatch:
+      HandleEventBatch(conn, frame.payload);
+      return;
+    case MsgType::kSubscribe:
+      HandleSubscribe(conn, frame.payload);
+      return;
+    case MsgType::kUnsubscribe:
+      HandleUnsubscribe(conn, frame.payload);
+      return;
+    case MsgType::kStatsRequest:
+      HandleStatsRequest(conn);
+      return;
+    case MsgType::kFlush:
+      HandleFlush(conn);
+      return;
+    default:
+      SendError(conn, Status::InvalidArgument(
+                          std::string("unexpected client message ") +
+                          MsgTypeName(frame.header.type))
+                          .WithErrorCode(errc::kNetUnexpectedMessage));
+      return;
+  }
+}
+
+void Server::HandleDdl(Connection* conn, const std::string& text) {
+  auto result = session_->Execute(text);
+  if (!result.ok()) {
+    SendError(conn, result.status());
+    return;
+  }
+  Status post = Status::OK();
+  switch (result->kind) {
+    case DdlKind::kCreateStream: {
+      auto schema = session_->catalog().stream(result->name);
+      if (schema.ok()) {
+        auto bound = runtime_streams_.find(result->name);
+        if (bound == runtime_streams_.end()) {
+          post = runtime_->AddStream(result->name, *schema).status();
+          if (post.ok()) runtime_streams_[result->name] = *schema;
+        } else if (!SchemasEqual(*bound->second, **schema)) {
+          // The runtime keeps stream bindings for the life of the
+          // server; a dropped stream can only be recreated with the
+          // identical schema — anything else would decode events
+          // against one layout and evaluate them against another.
+          post = Status::InvalidArgument(
+                     "stream '" + result->name +
+                     "' was previously served with a different schema; "
+                     "recreate it with the original field list or "
+                     "restart the server")
+                     .WithErrorCode(errc::kCatalogDuplicateStream);
+        }
+        // Identical schema: reuse the existing runtime binding.
+      }
+      if (!post.ok()) {
+        // Keep catalog and runtime in sync: undo the catalog-side
+        // creation the Execute above performed.
+        (void)session_->Execute("DROP STREAM " + result->name);
+      }
+      break;
+    }
+    case DdlKind::kCreateQuery:
+    case DdlKind::kSelect: {
+      post = RegisterOnRuntime(result->name);
+      if (!post.ok()) {
+        // Keep catalog and runtime in sync: undo the session-side
+        // registration the Execute above performed.
+        (void)session_->Execute("DROP QUERY " + result->name);
+      }
+      break;
+    }
+    case DdlKind::kDropQuery: {
+      auto it = queries_.find(result->name);
+      if (it != queries_.end()) {
+        (void)runtime_->UnregisterQuery(it->second.id);
+        query_names_.erase(it->second.id);
+        query_order_.erase(std::remove(query_order_.begin(),
+                                       query_order_.end(), result->name),
+                           query_order_.end());
+        for (auto& [fd, c] : connections_) {
+          auto& subs = c->subscriptions;
+          subs.erase(std::remove(subs.begin(), subs.end(), result->name),
+                     subs.end());
+        }
+        queries_.erase(it);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  if (!post.ok()) {
+    SendError(conn, post);
+    return;
+  }
+  std::string payload;
+  AppendDdlReply(&payload, *result);
+  Send(conn, MsgType::kDdlResult, 0, payload);
+}
+
+void Server::HandleEventBatch(Connection* conn,
+                              const std::string& payload) {
+  PayloadReader reader(payload);
+  std::string stream_name;
+  uint32_t count = 0;
+  Status st = [&]() -> Status {
+    ZS_ASSIGN_OR_RETURN(stream_name, reader.ReadString());
+    ZS_ASSIGN_OR_RETURN(count, reader.ReadU32());
+    return Status::OK();
+  }();
+  if (!st.ok()) {
+    SendError(conn, st);
+    return;
+  }
+  if (count > kMaxBatchEvents) {
+    SendError(conn, Status::InvalidArgument(
+                        "event batch of " + std::to_string(count) +
+                        " exceeds the " +
+                        std::to_string(kMaxBatchEvents) + "-event bound")
+                        .WithErrorCode(errc::kNetBatchTooLarge));
+    return;
+  }
+  const auto stream_id = runtime_->stream(stream_name);
+  const auto schema = session_->catalog().stream(stream_name);
+  if (!stream_id.ok() || !schema.ok()) {
+    SendError(conn, Status::NotFound("no stream named '" + stream_name +
+                                     "'")
+                        .WithErrorCode(errc::kCatalogUnknownStream));
+    return;
+  }
+  std::vector<EventPtr> events;
+  events.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    auto event = ReadEvent(&reader, *schema);
+    if (!event.ok()) {
+      // Nothing from a malformed batch is ingested (decode-then-ingest,
+      // so a truncated tail cannot leave a half-applied batch behind).
+      SendError(conn, event.status());
+      return;
+    }
+    events.push_back(std::move(*event));
+  }
+  if (Status end = reader.ExpectEnd(); !end.ok()) {
+    SendError(conn, end);
+    return;
+  }
+  const uint64_t dropped = runtime_->IngestBatch(*stream_id, events);
+  const uint64_t accepted =
+      dropped >= events.size() ? 0 : events.size() - dropped;
+  conn->events_ingested += accepted;
+  conn->events_dropped += dropped;
+  std::string ack;
+  PutU64(&ack, accepted);
+  PutU64(&ack, dropped);
+  Send(conn, MsgType::kIngestAck, dropped > 0 ? kFlagThrottle : 0, ack);
+}
+
+void Server::HandleSubscribe(Connection* conn, const std::string& payload) {
+  PayloadReader reader(payload);
+  auto name = reader.ReadString();
+  if (!name.ok()) {
+    SendError(conn, name.status());
+    return;
+  }
+  auto it = queries_.find(*name);
+  if (it == queries_.end()) {
+    SendError(conn, Status::NotFound("no query named '" + *name + "'")
+                        .WithErrorCode(errc::kCatalogUnknownQuery));
+    return;
+  }
+  if (!conn->SubscribedTo(*name)) conn->subscriptions.push_back(*name);
+  std::string ack;
+  PutString(&ack, *name);
+  PutString(&ack, it->second.stream);
+  AppendSchema(&ack, *it->second.schema);
+  Send(conn, MsgType::kSubscribeAck, 0, ack);
+}
+
+void Server::HandleUnsubscribe(Connection* conn,
+                               const std::string& payload) {
+  PayloadReader reader(payload);
+  auto name = reader.ReadString();
+  if (!name.ok()) {
+    SendError(conn, name.status());
+    return;
+  }
+  if (queries_.find(*name) == queries_.end()) {
+    SendError(conn, Status::NotFound("no query named '" + *name + "'")
+                        .WithErrorCode(errc::kCatalogUnknownQuery));
+    return;
+  }
+  auto& subs = conn->subscriptions;
+  subs.erase(std::remove(subs.begin(), subs.end(), *name), subs.end());
+  std::string ack;
+  PutString(&ack, *name);
+  Send(conn, MsgType::kUnsubscribeAck, 0, ack);
+}
+
+void Server::HandleStatsRequest(Connection* conn) {
+  Send(conn, MsgType::kStats, 0, BuildStatsJson());
+}
+
+void Server::HandleFlush(Connection* conn) {
+  if (Status st = runtime_->Flush(); !st.ok()) {
+    SendError(conn, st);
+    return;
+  }
+  // The barrier returned, so every match from events ingested before
+  // the kFlush has been published; deliver them before the ack.
+  DrainMatches();
+  FlushAck ack;
+  for (const std::string& name : query_order_) {
+    const auto it = queries_.find(name);
+    if (it == queries_.end()) continue;
+    ack.queries.emplace_back(
+        name, runtime_->query_matches(it->second.id).ValueOr(0));
+  }
+  std::string payload;
+  AppendFlushAck(&payload, ack);
+  Send(conn, MsgType::kFlushAck, 0, payload);
+}
+
+// ---------------------------------------------------------------------
+// Match fanout
+// ---------------------------------------------------------------------
+
+void Server::DrainMatches() {
+  std::vector<runtime::RuntimeMatch> pending;
+  {
+    std::lock_guard<std::mutex> lock(sink_.mu_);
+    sink_.signaled_ = false;
+    pending.swap(sink_.pending_);
+  }
+  if (pending.empty()) return;
+  // Deterministic delivery order within the drained batch: the shared
+  // (query, span, canonical key) order of CollectingMatchSink::Take.
+  std::vector<std::pair<std::string, size_t>> order;
+  order.reserve(pending.size());
+  for (size_t i = 0; i < pending.size(); ++i) {
+    order.emplace_back(runtime::CanonicalMatchKey(pending[i].match), i);
+  }
+  std::sort(order.begin(), order.end(), [&](const auto& a, const auto& b) {
+    return runtime::RuntimeMatchLess(pending[a.second], a.first,
+                                     pending[b.second], b.first);
+  });
+  // Queue every frame first and flush each connection once: one
+  // send() per subscriber per drain, not per match.
+  std::string payload;
+  for (const auto& [key, idx] : order) {
+    const runtime::RuntimeMatch& m = pending[idx];
+    const auto name_it = query_names_.find(m.query);
+    if (name_it == query_names_.end()) continue;  // dropped query
+    payload.clear();
+    AppendMatch(&payload, name_it->second, m.match);
+    for (auto& [fd, conn] : connections_) {
+      if (conn->closing || !conn->SubscribedTo(name_it->second)) continue;
+      Queue(conn.get(), MsgType::kMatch, 0, payload);
+      ++conn->matches_sent;
+      matches_fanned_out_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  for (auto& [fd, conn] : connections_) {
+    if (!conn->closing && conn->out.size() > conn->out_off) {
+      FlushWrites(conn.get());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Writes and stats
+// ---------------------------------------------------------------------
+
+void Server::Queue(Connection* conn, MsgType type, uint8_t flags,
+                   std::string_view payload) {
+  if (conn->closing) return;
+  const size_t queued = conn->out.size() - conn->out_off;
+  if (queued + kFrameHeaderSize + payload.size() >
+      options_.max_write_buffer_bytes) {
+    ZS_LOG(Warn) << "connection " << conn->id
+                 << " write buffer overrun; dropping connection";
+    conn->closing = true;
+    return;
+  }
+  AppendFrame(&conn->out, type, flags, payload);
+}
+
+void Server::Send(Connection* conn, MsgType type, uint8_t flags,
+                  std::string_view payload) {
+  Queue(conn, type, flags, payload);
+  if (!conn->closing) FlushWrites(conn);
+}
+
+void Server::SendError(Connection* conn, const Status& status) {
+  std::string payload;
+  AppendStatusPayload(&payload, status);
+  ++conn->errors_sent;
+  Send(conn, MsgType::kError, 0, payload);
+}
+
+void Server::FlushWrites(Connection* conn) {
+  while (conn->out_off < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + conn->out_off,
+               conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      conn->closing = true;
+      return;
+    }
+    conn->out_off += static_cast<size_t>(n);
+  }
+  if (conn->out_off == conn->out.size()) {
+    conn->out.clear();
+    conn->out_off = 0;
+  } else if (conn->out_off > (1u << 20)) {
+    conn->out.erase(0, conn->out_off);
+    conn->out_off = 0;
+  }
+}
+
+std::string Server::BuildStatsJson() const {
+  std::string out = "{\"server\": {";
+  out += "\"connections\": " + std::to_string(connections_.size());
+  out += ", \"queries\": " + std::to_string(queries_.size());
+  out += ", \"frames_dispatched\": " +
+         std::to_string(frames_dispatched_.load(std::memory_order_relaxed));
+  out += ", \"matches_fanned_out\": " +
+         std::to_string(matches_fanned_out_.load(std::memory_order_relaxed));
+  out += "}, \"connections\": [";
+  bool first = true;
+  for (const auto& [fd, conn] : connections_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"id\": " + std::to_string(conn->id);
+    out += ", \"frames_received\": " + std::to_string(conn->frames_received);
+    out += ", \"events_ingested\": " + std::to_string(conn->events_ingested);
+    out += ", \"events_dropped\": " + std::to_string(conn->events_dropped);
+    out += ", \"matches_sent\": " + std::to_string(conn->matches_sent);
+    out += ", \"errors_sent\": " + std::to_string(conn->errors_sent);
+    out += ", \"subscriptions\": " +
+           std::to_string(conn->subscriptions.size());
+    out += "}";
+  }
+  out += "], \"runtime\": " + runtime_->Stats().ToJson() + "}";
+  return out;
+}
+
+}  // namespace zstream::net

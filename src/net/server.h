@@ -1,0 +1,187 @@
+// The ZStream network front-end: a TCP server speaking the framed
+// protocol of net/protocol.h over a shared session + sharded runtime.
+//
+//   clients --TCP--> poll loop --DDL--> ZStream session (catalog)
+//                        |       \----> StreamRuntime registration
+//                        |--event batches--> StreamRuntime::Ingest
+//                        |<-- match fanout -- shard workers (MatchSink)
+//
+// One poll-loop thread owns every connection (non-blocking sockets,
+// incremental FrameParser per connection, buffered writes), so the
+// session and the query registry need no locking; the only cross-thread
+// channel is the match sink, which shard workers fill and a self-pipe
+// wakes the poll loop to drain. Matches are delivered in the
+// CollectingMatchSink order (query, span, canonical key) within each
+// drained batch, and everything produced by events ingested before a
+// kFlush is delivered before that flush's kFlushAck.
+//
+// Backpressure: under BackpressurePolicy::kBlock a full shard queue
+// blocks the poll loop inside Ingest, which stops reads and lets the
+// TCP window throttle every producer. Under kDropNewest the runtime
+// drops and counts; the kIngestAck then carries the drop count with
+// kFlagThrottle set — the protocol-level flow-control signal.
+//
+// Protocol violations (malformed DDL, truncated payloads, oversized
+// frames, unknown streams/queries) answer with a coded kError frame and
+// leave the connection open; only socket errors and a write buffer
+// overrun (slow consumer) close it.
+#ifndef ZSTREAM_NET_SERVER_H_
+#define ZSTREAM_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/zstream.h"
+#include "net/protocol.h"
+#include "runtime/match_sink.h"
+#include "runtime/stream_runtime.h"
+
+namespace zstream::net {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the outcome from port().
+  uint16_t port = 0;
+  int listen_backlog = 16;
+  int max_connections = 64;
+  /// Per-connection inbound frame payload bound (<= kMaxFramePayload).
+  uint32_t max_frame_payload = kMaxFramePayload;
+  /// A connection whose unsent output exceeds this is dropped (slow or
+  /// stalled match subscriber).
+  size_t max_write_buffer_bytes = 64u << 20;
+};
+
+/// \brief The TCP serving layer over one ZStream session and one
+/// StreamRuntime.
+///
+/// The session is borrowed, must outlive the server, and is *shared*:
+/// streams and queries already in its catalog are bound/registered on
+/// the runtime at Create, and DDL arriving over the wire executes
+/// against it. After Start() the poll thread owns the session — do not
+/// mutate it concurrently from other threads.
+class Server {
+ public:
+  static Result<std::unique_ptr<Server>> Create(
+      ZStream* session,
+      const runtime::RuntimeOptions& runtime_options = {},
+      const ServerOptions& options = {});
+
+  ~Server();
+  ZS_DISALLOW_COPY_AND_ASSIGN(Server);
+
+  /// Spawns the poll-loop thread. Call once.
+  Status Start();
+
+  /// Joins the poll loop, stops the runtime and closes every socket.
+  /// Idempotent; also called by the destructor.
+  void Stop();
+
+  /// The bound TCP port (resolved when ServerOptions::port was 0).
+  uint16_t port() const { return port_; }
+  const std::string& bind_address() const { return options_.bind_address; }
+
+  runtime::StreamRuntime& runtime() { return *runtime_; }
+
+  /// Total frames dispatched and matches fanned out (for tests).
+  uint64_t frames_dispatched() const {
+    return frames_dispatched_.load(std::memory_order_relaxed);
+  }
+  uint64_t matches_fanned_out() const {
+    return matches_fanned_out_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+
+  /// Thread-safe match funnel: shard workers publish, the poll loop
+  /// drains (woken through the self-pipe).
+  class FanoutSink : public runtime::MatchSink {
+   public:
+    explicit FanoutSink(Server* server) : server_(server) {}
+    void Publish(runtime::RuntimeMatch&& match) override;
+
+   private:
+    friend class Server;
+    Server* server_;
+    std::mutex mu_;
+    bool signaled_ = false;
+    std::vector<runtime::RuntimeMatch> pending_;
+  };
+
+  /// Runtime-side registration of one served query.
+  struct QueryEntry {
+    runtime::QueryId id = 0;
+    std::string stream;
+    SchemaPtr schema;
+  };
+
+  Server(ZStream* session, const ServerOptions& options);
+
+  Status Listen();
+  Status BindCatalog(const runtime::RuntimeOptions& runtime_options);
+  Status RegisterOnRuntime(const std::string& query_name);
+
+  void PollLoop();
+  void AcceptPending();
+  void HandleReadable(Connection* conn);
+  void DispatchFrame(Connection* conn, const FrameParser::Frame& frame);
+  void HandleDdl(Connection* conn, const std::string& text);
+  void HandleEventBatch(Connection* conn, const std::string& payload);
+  void HandleSubscribe(Connection* conn, const std::string& payload);
+  void HandleUnsubscribe(Connection* conn, const std::string& payload);
+  void HandleStatsRequest(Connection* conn);
+  void HandleFlush(Connection* conn);
+  void DrainMatches();
+
+  /// Appends one frame to the connection's write buffer (drops the
+  /// connection on overrun) without flushing — fanout queues many and
+  /// flushes once.
+  void Queue(Connection* conn, MsgType type, uint8_t flags,
+             std::string_view payload);
+  /// Queue + immediate flush attempt (request/reply path).
+  void Send(Connection* conn, MsgType type, uint8_t flags,
+            std::string_view payload);
+  void SendError(Connection* conn, const Status& status);
+  void FlushWrites(Connection* conn);
+  std::string BuildStatsJson() const;
+
+  ZStream* session_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+
+  FanoutSink sink_{this};
+  std::unique_ptr<runtime::StreamRuntime> runtime_;
+
+  /// Poll-thread-owned state (no locks: one thread).
+  std::map<int, std::unique_ptr<Connection>> connections_;
+  /// Streams bound on the runtime, by name. The runtime keeps a stream
+  /// binding for the life of the server (it has no stream removal), so
+  /// after DROP STREAM a re-CREATE must carry the identical schema —
+  /// this map is how the server enforces that instead of letting
+  /// catalog and runtime diverge.
+  std::map<std::string, SchemaPtr> runtime_streams_;
+  std::map<std::string, QueryEntry> queries_;
+  std::map<runtime::QueryId, std::string> query_names_;
+  std::vector<std::string> query_order_;
+  uint64_t next_connection_id_ = 1;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<uint64_t> frames_dispatched_{0};
+  std::atomic<uint64_t> matches_fanned_out_{0};
+};
+
+}  // namespace zstream::net
+
+#endif  // ZSTREAM_NET_SERVER_H_

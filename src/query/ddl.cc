@@ -142,13 +142,23 @@ Result<DdlStatement> DdlParser::Parse() {
     Advance();
     if (Peek().IsKeyword("STREAM")) {
       Advance();
+      const Token name_tok = Peek();
       ZS_ASSIGN_OR_RETURN(std::string name, ExpectIdent("stream name"));
-      return ParseCreateStream(std::move(name));
+      ZS_ASSIGN_OR_RETURN(DdlStatement stmt,
+                          ParseCreateStream(std::move(name)));
+      stmt.name_line = name_tok.line;
+      stmt.name_column = name_tok.column;
+      return stmt;
     }
     if (Peek().IsKeyword("QUERY")) {
       Advance();
+      const Token name_tok = Peek();
       ZS_ASSIGN_OR_RETURN(std::string name, ExpectIdent("query name"));
-      return ParseCreateQuery(std::move(name));
+      ZS_ASSIGN_OR_RETURN(DdlStatement stmt,
+                          ParseCreateQuery(std::move(name)));
+      stmt.name_line = name_tok.line;
+      stmt.name_column = name_tok.column;
+      return stmt;
     }
     return Err("expected STREAM or QUERY after CREATE",
                  errc::kDdlUnknownStatement);
@@ -165,7 +175,10 @@ Result<DdlStatement> DdlParser::Parse() {
                    errc::kDdlUnknownStatement);
     }
     Advance();
+    const Token name_tok = Peek();
     ZS_ASSIGN_OR_RETURN(stmt.name, ExpectIdent("name"));
+    stmt.name_line = name_tok.line;
+    stmt.name_column = name_tok.column;
     if (Peek().type != TokenType::kEnd) {
       return Err("unexpected trailing input after DROP",
                  errc::kParseTrailingInput);
@@ -179,8 +192,20 @@ Result<DdlStatement> DdlParser::Parse() {
       stmt.kind = DdlKind::kShowStreams;
     } else if (Peek().IsKeyword("QUERIES")) {
       stmt.kind = DdlKind::kShowQueries;
+    } else if (Peek().IsKeyword("PLAN")) {
+      stmt.kind = DdlKind::kShowPlan;
+      Advance();
+      const Token name_tok = Peek();
+      ZS_ASSIGN_OR_RETURN(stmt.name, ExpectIdent("query name"));
+      stmt.name_line = name_tok.line;
+      stmt.name_column = name_tok.column;
+      if (Peek().type != TokenType::kEnd) {
+        return Err("unexpected trailing input after SHOW PLAN",
+                   errc::kParseTrailingInput);
+      }
+      return stmt;
     } else {
-      return Err("expected STREAMS or QUERIES after SHOW",
+      return Err("expected STREAMS, QUERIES or PLAN after SHOW",
                    errc::kDdlUnknownStatement);
     }
     Advance();

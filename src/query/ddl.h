@@ -6,6 +6,7 @@
 //   DROP STREAM stock
 //   SHOW QUERIES
 //   SHOW STREAMS
+//   SHOW PLAN q
 //
 // A bare `PATTERN ...` query is also accepted (kSelect) so one entry
 // point handles both DDL and ad-hoc queries. Statements are parsed with
@@ -34,12 +35,18 @@ enum class DdlKind : char {
   kDropQuery,
   kShowStreams,
   kShowQueries,
-  kSelect,  // a bare PATTERN query (no surrounding DDL)
+  kShowPlan,  // SHOW PLAN <query>: the registered query's Explain() text
+  kSelect,    // a bare PATTERN query (no surrounding DDL)
 };
 
 struct DdlStatement {
   DdlKind kind = DdlKind::kSelect;
   std::string name;           // stream name / query name
+  /// 1-based source coordinates of `name` in the statement text (0 when
+  /// the statement has no name), so execution-time lookup failures
+  /// (e.g. SHOW PLAN on an unknown query) can point at the offender.
+  int name_line = 0;
+  int name_column = 0;
   std::string stream;         // kCreateQuery: the ON <stream> target
   std::vector<Field> fields;  // kCreateStream: the declared schema
   std::optional<ParsedQuery> query;  // kCreateQuery / kSelect

@@ -4,6 +4,7 @@
 // them, so existing codes never change meaning. Naming scheme:
 //   ZS-Lxxxx  lexer          ZS-Pxxxx  pattern-query parser
 //   ZS-Dxxxx  DDL parser     ZS-Sxxxx  semantic analyzer / catalog
+//   ZS-Nxxxx  network protocol (src/net/)
 // Attach with Status::WithErrorCode; source coordinates ride along via
 // Status::WithLocation (1-based line/column).
 #ifndef ZSTREAM_QUERY_ERROR_CODES_H_
@@ -39,6 +40,18 @@ inline constexpr char kCatalogUnknownStream[] = "ZS-S0002";
 inline constexpr char kCatalogDuplicateQuery[] = "ZS-S0003";
 inline constexpr char kCatalogUnknownQuery[] = "ZS-S0004";
 inline constexpr char kCatalogStreamInUse[] = "ZS-S0005";
+
+// Network protocol (src/net/). These travel inside kError frames, so a
+// client can match on them the same way a local caller matches on the
+// query-frontend codes.
+inline constexpr char kNetBadVersion[] = "ZS-N0001";
+inline constexpr char kNetUnknownType[] = "ZS-N0002";
+inline constexpr char kNetOversizedFrame[] = "ZS-N0003";
+inline constexpr char kNetTruncatedPayload[] = "ZS-N0004";
+inline constexpr char kNetEmptyPayload[] = "ZS-N0005";
+inline constexpr char kNetSchemaMismatch[] = "ZS-N0006";
+inline constexpr char kNetBatchTooLarge[] = "ZS-N0007";
+inline constexpr char kNetUnexpectedMessage[] = "ZS-N0008";
 
 }  // namespace zstream::errc
 

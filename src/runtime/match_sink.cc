@@ -21,6 +21,18 @@ std::string CanonicalMatchKey(const Match& match) {
   return os.str();
 }
 
+bool RuntimeMatchLess(const RuntimeMatch& a, const std::string& key_a,
+                      const RuntimeMatch& b, const std::string& key_b) {
+  if (a.query != b.query) return a.query < b.query;
+  if (a.match.span.start != b.match.span.start) {
+    return a.match.span.start < b.match.span.start;
+  }
+  if (a.match.span.end != b.match.span.end) {
+    return a.match.span.end < b.match.span.end;
+  }
+  return key_a < key_b;
+}
+
 void CollectingMatchSink::Publish(RuntimeMatch&& match) {
   std::lock_guard<std::mutex> lock(mu_);
   matches_.push_back(std::move(match));
@@ -46,16 +58,8 @@ std::vector<RuntimeMatch> CollectingMatchSink::Take() {
   }
   std::sort(order.begin(), order.end(),
             [&](const auto& a, const auto& b) {
-              const RuntimeMatch& ma = out[a.second];
-              const RuntimeMatch& mb = out[b.second];
-              if (ma.query != mb.query) return ma.query < mb.query;
-              if (ma.match.span.start != mb.match.span.start) {
-                return ma.match.span.start < mb.match.span.start;
-              }
-              if (ma.match.span.end != mb.match.span.end) {
-                return ma.match.span.end < mb.match.span.end;
-              }
-              return a.first < b.first;
+              return RuntimeMatchLess(out[a.second], a.first,
+                                      out[b.second], b.first);
             });
   std::vector<RuntimeMatch> sorted;
   sorted.reserve(out.size());

@@ -33,6 +33,14 @@ struct RuntimeMatch {
 /// every bound slot's (class, timestamp) and the Kleene group timestamps.
 std::string CanonicalMatchKey(const Match& match);
 
+/// The deterministic delivery order — (query, span, canonical key) —
+/// shared by CollectingMatchSink::Take and the network server's match
+/// fanout, so "ordered" means the same thing in-process and over the
+/// wire. Canonical keys are precomputed by the caller (they are
+/// expensive to build per comparison).
+bool RuntimeMatchLess(const RuntimeMatch& a, const std::string& key_a,
+                      const RuntimeMatch& b, const std::string& key_b);
+
 /// \brief Consumer interface; Publish is called from shard workers.
 class MatchSink {
  public:

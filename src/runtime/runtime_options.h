@@ -9,6 +9,8 @@
 
 #include <cstddef>
 
+#include "common/timestamp.h"
+
 namespace zstream::runtime {
 
 enum class BackpressurePolicy : char {
@@ -31,6 +33,15 @@ struct RuntimeOptions {
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
   /// Max events a worker pops (and processes) per queue lock.
   int shard_batch_size = 256;
+  /// Bounded out-of-orderness absorbed at the shard ingest path
+  /// (Section 4.1's reordering operator, placed between the shard queue
+  /// and the engines): each shard buffers up to `reorder_slack` time
+  /// units per stream and releases events in timestamp order. Events
+  /// arriving later than the slack allows are dropped and counted
+  /// (RuntimeStats::late_dropped; still-buffered events show up as
+  /// RuntimeStats::pending). 0 disables the stage: events reach the
+  /// engines in queue order.
+  Duration reorder_slack = 0;
 };
 
 }  // namespace zstream::runtime

@@ -38,6 +38,8 @@ std::string RuntimeStats::ToJson() const {
   AppendField(&out, "events_dropped", events_dropped);
   AppendField(&out, "matches", matches);
   AppendField(&out, "num_queries", num_queries);
+  AppendField(&out, "late_dropped", late_dropped);
+  AppendField(&out, "pending", pending);
   out += ", \"shards\": [";
   for (size_t i = 0; i < shards.size(); ++i) {
     const ShardStats& s = shards[i];
@@ -50,6 +52,8 @@ std::string RuntimeStats::ToJson() const {
     AppendField(&out, "drops", s.events_dropped);
     AppendField(&out, "queue_depth", s.queue_depth);
     AppendDouble(&out, "throughput_eps", s.throughput_eps);
+    AppendField(&out, "late_dropped", s.late_dropped);
+    AppendField(&out, "pending", s.pending);
     out += '}';
   }
   out += "]}";

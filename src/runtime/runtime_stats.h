@@ -21,6 +21,11 @@ struct ShardStats {
   size_t queue_depth = 0;
   /// events_processed / seconds since the runtime started.
   double throughput_eps = 0.0;
+  /// Reorder stage (RuntimeOptions::reorder_slack > 0): events dropped
+  /// for arriving later than the slack allows, and events currently
+  /// buffered awaiting their release timestamp.
+  uint64_t late_dropped = 0;
+  size_t pending = 0;
 };
 
 /// \brief Snapshot of the whole runtime (note: the name deliberately
@@ -35,6 +40,10 @@ class RuntimeStats {
   uint64_t events_dropped = 0;
   uint64_t matches = 0;
   size_t num_queries = 0;
+  /// Totals of the per-shard reorder-stage counters (0 when
+  /// RuntimeOptions::reorder_slack is 0).
+  uint64_t late_dropped = 0;
+  size_t pending = 0;
 
   /// Compact JSON object (stable field order, no external deps).
   std::string ToJson() const;

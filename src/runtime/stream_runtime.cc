@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <thread>
+#include <unordered_map>
 
 #include "common/logging.h"
+#include "exec/reorder.h"
 #include "runtime/mpsc_queue.h"
 
 namespace zstream::runtime {
@@ -148,6 +150,8 @@ struct StreamRuntime::Shard {
   std::atomic<uint64_t> events_processed{0};
   std::atomic<uint64_t> batches{0};
   std::atomic<uint64_t> dropped{0};
+  std::atomic<uint64_t> reorder_late{0};
+  std::atomic<uint64_t> reorder_pending{0};
 
   // Worker-thread-local: engines hosted on this shard.
   struct Entry {
@@ -155,6 +159,23 @@ struct StreamRuntime::Shard {
     EngineCore* engine;
   };
   std::vector<Entry> entries;
+
+  // Worker-thread-local: one Section-4.1 reorder stage per stream,
+  // created lazily when RuntimeOptions::reorder_slack > 0. Sits between
+  // the shard queue and the engines, so every engine on the shard sees
+  // timestamp-ordered input even when producers interleave.
+  std::unordered_map<StreamId, std::unique_ptr<ReorderStage>> reorder;
+
+  void PublishReorderCounters() {
+    uint64_t late = 0;
+    uint64_t pending = 0;
+    for (const auto& [stream, stage] : reorder) {
+      late += stage->late_dropped();
+      pending += stage->pending();
+    }
+    reorder_late.store(late, std::memory_order_relaxed);
+    reorder_pending.store(pending, std::memory_order_relaxed);
+  }
 };
 
 // ---------------------------------------------------------------------
@@ -215,7 +236,26 @@ void StreamRuntime::Stop() {
 // Worker loop
 // ---------------------------------------------------------------------
 
+void StreamRuntime::DispatchEvent(Shard* shard, StreamId stream,
+                                  const EventPtr& event, int hint_field,
+                                  size_t hint_hash) {
+  for (Shard::Entry& entry : shard->entries) {
+    if (entry.query->stream != stream) continue;
+    if (!entry.query->AcceptsOn(shard->index, event, hint_field,
+                                hint_hash)) {
+      continue;
+    }
+    entry.engine->Push(event);
+  }
+}
+
+void StreamRuntime::FlushReorder(Shard* shard) {
+  for (auto& [stream, stage] : shard->reorder) stage->Flush();
+  shard->PublishReorderCounters();
+}
+
 void StreamRuntime::WorkerLoop(Shard* shard) {
+  const bool reordering = options_.reorder_slack > 0;
   std::vector<ShardMsg> batch;
   batch.reserve(static_cast<size_t>(options_.shard_batch_size));
   while (shard->queue.PopBatch(&batch,
@@ -225,14 +265,25 @@ void StreamRuntime::WorkerLoop(Shard* shard) {
     for (ShardMsg& msg : batch) {
       switch (msg.kind) {
         case ShardMsg::Kind::kEvent: {
-          for (Shard::Entry& entry : shard->entries) {
-            if (entry.query->stream != msg.stream) continue;
-            if (!entry.query->AcceptsOn(shard->index, msg.event,
-                                        msg.key_hint_field,
-                                        msg.key_hint_hash)) {
-              continue;
+          if (reordering) {
+            auto it = shard->reorder.find(msg.stream);
+            if (it == shard->reorder.end()) {
+              // Reordered events lose their router key hint: released
+              // later, possibly interleaved across hints, they re-hash
+              // in AcceptsOn (hint_field -1).
+              auto stage = std::make_unique<ReorderStage>(
+                  options_.reorder_slack,
+                  [this, shard, stream = msg.stream](const EventPtr& e) {
+                    DispatchEvent(shard, stream, e, /*hint_field=*/-1,
+                                  /*hint_hash=*/0);
+                  });
+              it = shard->reorder.emplace(msg.stream, std::move(stage))
+                       .first;
             }
-            entry.engine->Push(msg.event);
+            it->second->Push(msg.event);
+          } else {
+            DispatchEvent(shard, msg.stream, msg.event, msg.key_hint_field,
+                          msg.key_hint_hash);
           }
           shard->events_processed.fetch_add(1, std::memory_order_relaxed);
           break;
@@ -250,6 +301,18 @@ void StreamRuntime::WorkerLoop(Shard* shard) {
               shard->entries.begin(), shard->entries.end(),
               [id](const Shard::Entry& e) { return e.query->id == id; });
           if (it != shard->entries.end()) {
+            // Release the stream's reorder buffer first so the final
+            // match count covers everything ingested before the
+            // retire. Side effect (as at the kFinishAll barrier):
+            // other queries on the stream see those events now, and
+            // later arrivals below the flushed frontier count as late.
+            if (reordering) {
+              auto stage = shard->reorder.find(msg.query->stream);
+              if (stage != shard->reorder.end()) {
+                stage->second->Flush();
+                shard->PublishReorderCounters();
+              }
+            }
             it->engine->Finish();  // deliver pending matches first
             shard->entries.erase(it);
           }
@@ -257,6 +320,12 @@ void StreamRuntime::WorkerLoop(Shard* shard) {
           break;
         }
         case ShardMsg::Kind::kFinishAll: {
+          // Release everything still buffered in the reorder stages
+          // first, so the barrier's promise ("every event enqueued
+          // before this call is processed") covers them. Events
+          // arriving after the barrier with timestamps below the flush
+          // point count as late.
+          if (reordering) FlushReorder(shard);
           for (Shard::Entry& entry : shard->entries) entry.engine->Finish();
           msg.sync->Arrive();
           break;
@@ -295,8 +364,10 @@ void StreamRuntime::WorkerLoop(Shard* shard) {
         }
       }
     }
+    if (reordering) shard->PublishReorderCounters();
   }
   // Queue closed and drained: flush so counters and sinks are complete.
+  if (reordering) FlushReorder(shard);
   for (Shard::Entry& entry : shard->entries) entry.engine->Finish();
 }
 
@@ -784,8 +855,13 @@ RuntimeStats StreamRuntime::Stats() const {
     s.throughput_eps =
         elapsed > 0.0 ? static_cast<double>(s.events_processed) / elapsed
                       : 0.0;
+    s.late_dropped = shard->reorder_late.load(std::memory_order_relaxed);
+    s.pending = static_cast<size_t>(
+        shard->reorder_pending.load(std::memory_order_relaxed));
     out.events_processed += s.events_processed;
     out.events_dropped += s.events_dropped;
+    out.late_dropped += s.late_dropped;
+    out.pending += s.pending;
     out.shards.push_back(s);
   }
   {

@@ -185,6 +185,14 @@ class StreamRuntime {
   explicit StreamRuntime(const RuntimeOptions& options);
 
   void WorkerLoop(Shard* shard);
+  /// Offers `event` to every engine on `shard` whose query routes it
+  /// there (the step downstream of the optional per-shard reorder
+  /// stage).
+  void DispatchEvent(Shard* shard, StreamId stream, const EventPtr& event,
+                     int hint_field, size_t hint_hash);
+  /// Drains the shard's reorder stages (stream end / flush barrier) and
+  /// refreshes the shard's published reorder counters.
+  void FlushReorder(Shard* shard);
   /// Shard bitmask for `entry`; for hash routes also records the key
   /// hash it computed into *hint_field/*hint_hash so the shard worker
   /// can reuse it instead of re-hashing.

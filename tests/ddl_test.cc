@@ -50,6 +50,51 @@ TEST(Ddl, ParseDropAndShow) {
   EXPECT_EQ(ParseDdl("PATTERN A;B WITHIN 5")->kind, DdlKind::kSelect);
 }
 
+TEST(Ddl, ParseShowPlanRecordsNameLocation) {
+  auto stmt = ParseDdl("SHOW PLAN rally");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, DdlKind::kShowPlan);
+  EXPECT_EQ(stmt->name, "rally");
+  EXPECT_EQ(stmt->name_line, 1);
+  EXPECT_EQ(stmt->name_column, 11);
+
+  // Missing name and trailing garbage are coded parse errors.
+  auto missing = ParseDdl("SHOW PLAN");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().error_code(), errc::kDdlExpectedIdent);
+  auto trailing = ParseDdl("SHOW PLAN rally extra");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_EQ(trailing.status().error_code(), errc::kParseTrailingInput);
+}
+
+TEST(Ddl, ShowPlanReturnsExplainText) {
+  ZStream zs;
+  ASSERT_TRUE(zs.Execute("CREATE STREAM stock "
+                         "(id INT, name STRING, price DOUBLE, volume INT, "
+                         "ts INT)")
+                  .ok());
+  ASSERT_TRUE(zs.Execute("CREATE QUERY q ON stock AS "
+                         "PATTERN A;B WHERE A.price < B.price WITHIN 10")
+                  .ok());
+  auto shown = zs.Execute("SHOW PLAN q");
+  ASSERT_TRUE(shown.ok()) << shown.status();
+  EXPECT_EQ(shown->kind, DdlKind::kShowPlan);
+  EXPECT_EQ(shown->name, "q");
+  ASSERT_NE(shown->query, nullptr);
+  EXPECT_EQ(shown->message, shown->query->Explain());
+  EXPECT_NE(shown->message.find("stream=stock"), std::string::npos);
+}
+
+TEST(Ddl, ShowPlanUnknownQueryReportsCodeAndLocation) {
+  ZStream zs;
+  auto missing = zs.Execute("SHOW PLAN ghost");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound());
+  EXPECT_EQ(missing.status().error_code(), errc::kCatalogUnknownQuery);
+  EXPECT_EQ(missing.status().line(), 1);
+  EXPECT_EQ(missing.status().column(), 11);
+}
+
 // ---------------------------------------------------------------------
 // Structured diagnostics: stable codes + line/column
 // ---------------------------------------------------------------------

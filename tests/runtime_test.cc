@@ -7,6 +7,7 @@
 // pre-recorded trace, using CanonicalMatchKey on both sides.
 #include "runtime/stream_runtime.h"
 
+#include <random>
 #include <thread>
 
 #include "runtime/mpsc_queue.h"
@@ -555,6 +556,103 @@ TEST(StreamRuntime, ErrorsAreReported) {
       *stream, "PATTERN A;B WHERE A.name = B.name WITHIN 10");
   ASSERT_TRUE(id.ok());
   EXPECT_TRUE((*rt)->ReplanQuery(*id).status().IsFailedPrecondition());
+}
+
+TEST(StreamRuntime, ReorderSlackRestoresOrderAtIngest) {
+  // A cross-symbol (keyless) query is order-sensitive: without the
+  // Section-4.1 stage at the shard ingest path, interleaved producers
+  // would lose late events. With RuntimeOptions::reorder_slack the
+  // shuffled replay must produce the exact in-order match set.
+  constexpr char kSpread[] =
+      "PATTERN X;Y WHERE X.price < Y.price WITHIN 5";
+  std::vector<EventPtr> events;
+  for (int i = 0; i < 2000; ++i) {
+    events.push_back(Stock("SYM" + std::to_string(i % 4),
+                           (i * 37) % 100, i));
+  }
+  const auto expected = SingleThreadedKeys(StockSchema(), kSpread, events);
+  ASSERT_FALSE(expected.empty());
+
+  // Shuffle within a bounded disorder window of 8 timestamps.
+  std::vector<EventPtr> shuffled = events;
+  std::mt19937 rng(7);
+  for (size_t i = 0; i + 8 < shuffled.size(); i += 8) {
+    std::shuffle(shuffled.begin() + static_cast<long>(i),
+                 shuffled.begin() + static_cast<long>(i + 8), rng);
+  }
+
+  RuntimeOptions options;
+  options.num_shards = 2;
+  options.reorder_slack = 16;
+  auto rt = StreamRuntime::Create(options);
+  ASSERT_TRUE(rt.ok()) << rt.status();
+  auto stream = (*rt)->AddStream("stock", StockSchema());
+  ASSERT_TRUE(stream.ok());
+  CollectingMatchSink sink;
+  QueryOptions qopts;
+  qopts.sink = &sink;
+  auto id = (*rt)->RegisterQuery(*stream, kSpread, {}, qopts);
+  ASSERT_TRUE(id.ok()) << id.status();
+
+  for (const EventPtr& e : shuffled) {
+    ASSERT_TRUE((*rt)->Ingest(*stream, e));
+  }
+  ASSERT_TRUE((*rt)->Flush().ok());
+  EXPECT_EQ(sink.SortedKeys(), expected);
+
+  const runtime::RuntimeStats stats = (*rt)->Stats();
+  EXPECT_EQ(stats.late_dropped, 0u);
+  EXPECT_EQ(stats.pending, 0u);  // Flush drained the stage
+}
+
+TEST(StreamRuntime, UnregisterFlushesReorderedEvents) {
+  // Events still buffered in the reorder stage must reach the engine
+  // before it retires, so UnregisterQuery's final match count covers
+  // everything ingested beforehand.
+  RuntimeOptions options;
+  options.num_shards = 1;
+  options.reorder_slack = 1000;  // holds everything below ts max-1000
+  auto rt = StreamRuntime::Create(options);
+  ASSERT_TRUE(rt.ok());
+  auto stream = (*rt)->AddStream("stock", StockSchema());
+  ASSERT_TRUE(stream.ok());
+  auto id = (*rt)->RegisterQuery(
+      *stream, "PATTERN A;B WHERE A.price < B.price WITHIN 10");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE((*rt)->Ingest(*stream, Stock("IBM", 1.0, 1)));
+  ASSERT_TRUE((*rt)->Ingest(*stream, Stock("IBM", 2.0, 2)));
+  // Both events sit inside the reorder buffer (slack >> max ts seen).
+  auto final_matches = (*rt)->UnregisterQuery(*id);
+  ASSERT_TRUE(final_matches.ok()) << final_matches.status();
+  EXPECT_EQ(*final_matches, 1u);
+}
+
+TEST(StreamRuntime, ReorderLateDropsAreCountedAndExported) {
+  RuntimeOptions options;
+  options.num_shards = 1;
+  options.reorder_slack = 5;
+  auto rt = StreamRuntime::Create(options);
+  ASSERT_TRUE(rt.ok());
+  auto stream = (*rt)->AddStream("stock", StockSchema());
+  ASSERT_TRUE(stream.ok());
+  auto id = (*rt)->RegisterQuery(
+      *stream, "PATTERN A;B WHERE A.price < B.price WITHIN 10");
+  ASSERT_TRUE(id.ok());
+
+  // ts=200 advances the release watermark past ts=100, which the stage
+  // emits; ts=50 then arrives below the emitted frontier — more than
+  // the slack allows late — and must be dropped and counted.
+  ASSERT_TRUE((*rt)->Ingest(*stream, Stock("IBM", 1.0, 100)));
+  ASSERT_TRUE((*rt)->Ingest(*stream, Stock("IBM", 2.0, 200)));
+  ASSERT_TRUE((*rt)->Ingest(*stream, Stock("IBM", 3.0, 50)));
+  ASSERT_TRUE((*rt)->Flush().ok());
+
+  const runtime::RuntimeStats stats = (*rt)->Stats();
+  EXPECT_EQ(stats.late_dropped, 1u);
+  EXPECT_EQ(stats.pending, 0u);
+  const std::string json = stats.ToJson();
+  EXPECT_NE(json.find("\"late_dropped\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"pending\": 0"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,259 @@
+// zstream_cli: command-line client for a running zstream_server.
+//
+//   zstream_cli [--host H] [--port N] exec "STATEMENT"...
+//   zstream_cli [--host H] [--port N] replay stock|weblog
+//               [--stream S] [--events N] [--symbols N] [--batch N]
+//               [--connections N] [--partition-field I] [--flush]
+//               [--expect QUERY=COUNT]
+//   zstream_cli [--host H] [--port N] tail QUERY [--count N]
+//               [--timeout-ms N]
+//   zstream_cli [--host H] [--port N] stats
+//   zstream_cli [--host H] [--port N] flush
+//
+// `replay` regenerates the deterministic stock/weblog workload (same
+// seeds as the benchmarks) and streams it over the wire; with --flush
+// it then prints `query NAME matches=N` for every served query, and
+// --expect QUERY=COUNT turns the run into an assertion (exit 1 on
+// mismatch) — the CI smoke test's hook.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "workload/net_replay.h"
+#include "workload/stock_gen.h"
+#include "workload/weblog_gen.h"
+
+namespace {
+
+using namespace zstream;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: zstream_cli [--host H] [--port N] "
+               "exec|replay|tail|stats|flush ...\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunExec(net::Client& client, const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "exec needs at least one statement\n");
+    return 2;
+  }
+  for (const std::string& stmt : args) {
+    auto reply = client.Execute(stmt);
+    if (!reply.ok()) return Fail(reply.status());
+    if (!reply->message.empty()) std::printf("%s\n", reply->message.c_str());
+    for (const QueryInfo& row : reply->rows) {
+      std::printf("%s ON %s: %s\n", row.name.c_str(), row.stream.c_str(),
+                  row.text.c_str());
+    }
+  }
+  return 0;
+}
+
+int RunReplay(net::Client& client, const std::string& host, uint16_t port,
+              std::vector<std::string> args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "replay needs a workload (stock|weblog)\n");
+    return 2;
+  }
+  const std::string workload = args[0];
+  std::string stream = workload;
+  int64_t num_events = 100000;
+  int symbols = 0;
+  NetReplayOptions options;
+  bool flush = false;
+  std::string expect_query;
+  uint64_t expect_count = 0;
+  bool has_expect = false;
+
+  for (size_t i = 1; i < args.size(); ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < args.size() ? args[++i].c_str() : nullptr;
+    };
+    if (args[i] == "--stream") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      stream = v;
+    } else if (args[i] == "--events") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      num_events = std::atoll(v);
+    } else if (args[i] == "--symbols") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      symbols = std::atoi(v);
+    } else if (args[i] == "--batch") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.batch_size = static_cast<size_t>(std::atoll(v));
+    } else if (args[i] == "--connections") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.num_connections = std::atoi(v);
+    } else if (args[i] == "--partition-field") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.partition_field = std::atoi(v);
+    } else if (args[i] == "--flush") {
+      flush = true;
+    } else if (args[i] == "--expect") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      const char* eq = std::strchr(v, '=');
+      if (eq == nullptr) return Usage();
+      expect_query.assign(v, eq);
+      expect_count = std::strtoull(eq + 1, nullptr, 10);
+      has_expect = true;
+      flush = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  std::vector<EventPtr> events;
+  if (workload == "stock") {
+    StockGenOptions gen;
+    gen.num_events = num_events;
+    if (symbols > 0) {
+      gen.names.clear();
+      gen.weights.clear();
+      for (int s = 0; s < symbols; ++s) {
+        gen.names.push_back("SYM" + std::to_string(s));
+        gen.weights.push_back(1.0);
+      }
+    }
+    events = GenerateStockTrades(gen);
+  } else if (workload == "weblog") {
+    WebLogGenOptions gen;
+    gen.total_records = num_events;
+    events = GenerateWebLog(gen);
+  } else {
+    std::fprintf(stderr, "unknown workload '%s' (stock|weblog)\n",
+                 workload.c_str());
+    return 2;
+  }
+
+  auto result = ReplayOverWire(host, port, stream, events, options);
+  if (!result.ok()) return Fail(result.status());
+  std::printf(
+      "replayed %zu events in %.3f s (%.0f ev/s, accepted=%llu, "
+      "dropped=%llu%s)\n",
+      events.size(), result->elapsed_s, result->events_per_sec,
+      static_cast<unsigned long long>(result->accepted),
+      static_cast<unsigned long long>(result->dropped),
+      result->throttled ? ", throttled" : "");
+
+  if (!flush) return 0;
+  auto ack = client.Flush();
+  if (!ack.ok()) return Fail(ack.status());
+  bool expect_seen = false;
+  bool expect_ok = true;
+  for (const auto& [name, matches] : ack->queries) {
+    std::printf("query %s matches=%llu\n", name.c_str(),
+                static_cast<unsigned long long>(matches));
+    if (has_expect && name == expect_query) {
+      expect_seen = true;
+      expect_ok = matches == expect_count;
+    }
+  }
+  if (has_expect && (!expect_seen || !expect_ok)) {
+    std::fprintf(stderr,
+                 "expectation failed: wanted %s=%llu, %s\n",
+                 expect_query.c_str(),
+                 static_cast<unsigned long long>(expect_count),
+                 expect_seen ? "count differs" : "query not found");
+    return 1;
+  }
+  return 0;
+}
+
+int RunTail(net::Client& client, std::vector<std::string> args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "tail needs a query name\n");
+    return 2;
+  }
+  const std::string query = args[0];
+  size_t count = 10;
+  int timeout_ms = 10000;
+  for (size_t i = 1; i < args.size(); ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < args.size() ? args[++i].c_str() : nullptr;
+    };
+    if (args[i] == "--count") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      count = static_cast<size_t>(std::atoll(v));
+    } else if (args[i] == "--timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      timeout_ms = std::atoi(v);
+    } else {
+      return Usage();
+    }
+  }
+  auto sub = client.Subscribe(query);
+  if (!sub.ok()) return Fail(sub.status());
+  std::printf("subscribed to %s on stream %s\n", sub->query.c_str(),
+              sub->stream.c_str());
+  std::fflush(stdout);
+  auto got = client.WaitForMatches(count, timeout_ms);
+  if (!got.ok()) return Fail(got.status());
+  for (const net::NetMatch& m : client.TakeMatches()) {
+    std::printf("match query=%s %s\n", m.query.c_str(),
+                m.match.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 7979;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else {
+      break;
+    }
+  }
+  if (i >= argc) return Usage();
+  const std::string command = argv[i++];
+  std::vector<std::string> args(argv + i, argv + argc);
+
+  auto client = net::Client::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+
+  if (command == "exec") return RunExec(**client, args);
+  if (command == "replay") return RunReplay(**client, host, port, args);
+  if (command == "tail") return RunTail(**client, args);
+  if (command == "stats") {
+    auto json = (*client)->StatsJson();
+    if (!json.ok()) return Fail(json.status());
+    std::printf("%s\n", json->c_str());
+    return 0;
+  }
+  if (command == "flush") {
+    auto ack = (*client)->Flush();
+    if (!ack.ok()) return Fail(ack.status());
+    for (const auto& [name, matches] : ack->queries) {
+      std::printf("query %s matches=%llu\n", name.c_str(),
+                  static_cast<unsigned long long>(matches));
+    }
+    return 0;
+  }
+  return Usage();
+}

@@ -1,0 +1,138 @@
+// zstream_server: the standalone ZStream network server.
+//
+//   zstream_server [--port N] [--bind ADDR] [--shards N]
+//                  [--queue-capacity N] [--drop-policy block|drop]
+//                  [--reorder-slack N] [--ddl "STATEMENT"]...
+//
+// Starts an empty session (optionally seeded with --ddl statements,
+// applied in order), binds the sharded runtime, and serves the framed
+// protocol until SIGINT/SIGTERM. --port 0 picks an ephemeral port; the
+// chosen port is printed on the "listening" line, which scripts parse:
+//
+//   zstream_server listening on 127.0.0.1:41873 (shards=2, ...)
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "api/zstream.h"
+#include "net/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true); }
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--port N] [--bind ADDR] [--shards N]\n"
+      "          [--queue-capacity N] [--drop-policy block|drop]\n"
+      "          [--reorder-slack N] [--ddl \"STATEMENT\"]...\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zstream;
+
+  net::ServerOptions server_options;
+  server_options.port = 7979;
+  runtime::RuntimeOptions runtime_options;
+  runtime_options.num_shards = 2;
+  std::vector<std::string> bootstrap_ddl;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      server_options.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--bind") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      server_options.bind_address = v;
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      runtime_options.num_shards = std::atoi(v);
+    } else if (arg == "--queue-capacity") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      runtime_options.queue_capacity =
+          static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--drop-policy") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      if (std::strcmp(v, "block") == 0) {
+        runtime_options.backpressure = runtime::BackpressurePolicy::kBlock;
+      } else if (std::strcmp(v, "drop") == 0) {
+        runtime_options.backpressure =
+            runtime::BackpressurePolicy::kDropNewest;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--reorder-slack") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      runtime_options.reorder_slack = std::atoll(v);
+    } else if (arg == "--ddl") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      bootstrap_ddl.push_back(v);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  ZStream session;
+  for (const std::string& stmt : bootstrap_ddl) {
+    auto result = session.Execute(stmt);
+    if (!result.ok()) {
+      std::fprintf(stderr, "--ddl failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", result->message.c_str());
+  }
+
+  auto server = net::Server::Create(&session, runtime_options,
+                                    server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  if (Status st = (*server)->Start(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "zstream_server listening on %s:%u (shards=%d, queue=%zu, "
+      "backpressure=%s, reorder_slack=%lld)\n",
+      (*server)->bind_address().c_str(), (*server)->port(),
+      (*server)->runtime().num_shards(), runtime_options.queue_capacity,
+      runtime_options.backpressure == runtime::BackpressurePolicy::kBlock
+          ? "block"
+          : "drop",
+      static_cast<long long>(runtime_options.reorder_slack));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("shutting down\n");
+  (*server)->Stop();
+  return 0;
+}
