@@ -57,6 +57,9 @@ Engine::Engine(PatternPtr pattern, const EngineOptions& options,
         options_.reorder_slack,
         [this](const EventPtr& e) { PushOrdered(e); });
   }
+  // Hash-equality routing must avoid classes that may be unbound in a
+  // record (see BuildNode).
+  optional_class_ = pattern_->OptionalClasses();
 }
 
 Engine::~Engine() = default;
@@ -208,6 +211,16 @@ Result<OperatorNode*> Engine::BuildNode(const PhysNodePtr& node,
         if (options_.use_hash_indexes && !hashed &&
             (seq != nullptr || conj != nullptr)) {
           auto eq = AsEqualityJoin(pred);
+          // Hash routing requires both classes bound in every record on
+          // their side: a record leaving the key class unbound (optional
+          // class: disjunction branch) is never indexed under any key,
+          // so probes would silently miss it although the predicate
+          // vacuous-passes.
+          if (eq.has_value() &&
+              (optional_class_[static_cast<size_t>(eq->left_class)] ||
+               optional_class_[static_cast<size_t>(eq->right_class)])) {
+            eq.reset();
+          }
           if (eq.has_value()) {
             // Orient so that left_class lies in the left child's cover.
             EqualityJoin oriented = *eq;
@@ -310,6 +323,23 @@ Result<OperatorNode*> Engine::BuildNode(const PhysNodePtr& node,
       op->set_covered(node->CoveredClasses());
       op->set_runtime_stats(runtime_stats_.get());
       AttachPredicates(op.get(), unattached);
+      // A non-aggregate predicate on the closure class filters closure
+      // events one by one (Algorithm 4's qualification step), which is
+      // only possible while the group is being assembled HERE. One that
+      // also references a class outside this KSEQ would have to attach
+      // higher, where the group already exists and per-event filtering
+      // is impossible — reject instead of silently dropping matches.
+      const int kc = closure->class_idx();
+      for (const ExprPtr& pred : *unattached) {
+        if (ReferencedClasses(pred).count(kc) > 0 &&
+            !ContainsAggregate(pred)) {
+          return Status::NotSupported(
+              "closure class '" +
+              pattern_->classes[static_cast<size_t>(kc)].alias +
+              "' has a non-aggregate predicate spanning classes outside "
+              "the KSEQ operands");
+        }
+      }
       OperatorNode* raw = op.get();
       internal_nodes_.push_back(std::move(op));
       assembly_order_.push_back(raw);

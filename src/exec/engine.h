@@ -142,6 +142,9 @@ class Engine : public EngineCore {
   std::vector<int> trigger_classes_;
   /// Pattern-level index of each multi-predicate (for stats attribution).
   std::vector<int> pred_index_of_;
+  /// Classes that can be unbound in a record (negated / Kleene / inside
+  /// a disjunction branch); such classes are excluded from hash routing.
+  std::vector<bool> optional_class_;
 
   std::unique_ptr<RuntimeStats> runtime_stats_;
   std::unique_ptr<AdaptiveController> adaptive_;

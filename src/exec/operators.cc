@@ -170,11 +170,15 @@ void SeqNode::Assemble(Timestamp eat) {
     // Window bound: combined span rr.end - lr.start must fit.
     const Timestamp min_start = rr.end_ts - window_;
 
-    if (hash_eq_.has_value() && lbuf.has_hash_index()) {
-      const EventPtr& key_event =
-          rr.slots[static_cast<size_t>(hash_eq_->right_class)];
-      if (key_event == nullptr) continue;
-      const Value key = key_event->value(hash_eq_->right_field);
+    // The hash path requires the equality's class bound on this record;
+    // a record from a disjunction branch that leaves it unbound must
+    // take the scan path instead (the predicate vacuous-passes there).
+    const EventPtr* hash_key_event =
+        hash_eq_.has_value() && lbuf.has_hash_index()
+            ? &rr.slots[static_cast<size_t>(hash_eq_->right_class)]
+            : nullptr;
+    if (hash_key_event != nullptr && *hash_key_event != nullptr) {
+      const Value key = (*hash_key_event)->value(hash_eq_->right_field);
       for (uint64_t lid : lbuf.hash_index()->Probe(key)) {
         if (lid < lbuf.base_id()) continue;
         const Record& lr = lbuf.Get(lid);
@@ -311,14 +315,17 @@ void ConjNode::CombineWithEarlier(const Record& pivot, Buffer& partner,
     const int key_field =
         pivot_is_left ? hash_eq_->left_field : hash_eq_->right_field;
     const EventPtr& key_event = pivot.slots[static_cast<size_t>(key_class)];
-    if (key_event == nullptr) return;
-    const Value key = key_event->value(key_field);
-    for (uint64_t id : idx->Probe(key)) {
-      if (id < partner.base_id()) continue;
-      if (id >= limit) break;
-      try_one(partner.Get(id));
+    // A pivot that leaves the key class unbound (disjunction branch)
+    // falls through to the scan: the predicate vacuous-passes.
+    if (key_event != nullptr) {
+      const Value key = key_event->value(key_field);
+      for (uint64_t id : idx->Probe(key)) {
+        if (id < partner.base_id()) continue;
+        if (id >= limit) break;
+        try_one(partner.Get(id));
+      }
+      return;
     }
-    return;
   }
   for (RecordId id = partner.base_id(); id < limit; ++id) {
     try_one(partner.Get(id));
@@ -419,9 +426,17 @@ void NegFilterNode::Assemble(Timestamp eat) {
   for (RecordId id = in.watermark(); id < in.end_id(); ++id) {
     const Record& rec = in.Get(id);
     if (rec.start_ts < eat) continue;
-    // The negation position is enclosed by classes nc-1 and nc+1.
+    // The negation position is enclosed by classes nc-1 and nc+1. A
+    // record that binds neither enclosing class (the negation lives in
+    // a disjunction branch this record did not take) is outside the
+    // negation's scope and passes through untouched.
     const EventPtr& a = rec.slots[nc - 1];
     const EventPtr& c = rec.slots[nc + 1];
+    if (a == nullptr && c == nullptr) {
+      output_.Append(Record(rec));
+      ++records_emitted_;
+      continue;
+    }
     const Timestamp lo = a != nullptr ? a->timestamp() : rec.start_ts;
     const Timestamp hi = c != nullptr ? c->timestamp() : rec.end_ts;
 

@@ -13,6 +13,15 @@ PartitionedEngine::PartitionedEngine(PatternPtr pattern, PhysicalPlan plan,
     owned_tracker_ = std::make_unique<MemoryTracker>();
     tracker_ = owned_tracker_.get();
   }
+  if (options_.reorder_slack > 0) {
+    reorder_ = std::make_unique<ReorderStage>(
+        options_.reorder_slack,
+        [this](const EventPtr& event) { PushOrdered(event); });
+    // Sub-engines receive already-ordered events; a per-partition stage
+    // would only buffer them again (and could not see cross-partition
+    // disorder anyway).
+    options_.reorder_slack = 0;
+  }
 }
 
 Result<std::unique_ptr<PartitionedEngine>> PartitionedEngine::Create(
@@ -24,6 +33,12 @@ Result<std::unique_ptr<PartitionedEngine>> PartitionedEngine::Create(
   }
   ZS_RETURN_IF_ERROR(pattern->Validate());
   ZS_RETURN_IF_ERROR(ValidatePlan(*pattern, plan));
+  // Partitions are created lazily and GetOrCreate cannot surface a
+  // construction error per event — prove the (pattern, plan, options)
+  // combination actually instantiates NOW, so an unsupported shape
+  // (e.g. non-local negation predicates under a pushed-down NSEQ)
+  // fails loudly instead of silently producing zero matches.
+  ZS_RETURN_IF_ERROR(Engine::Create(pattern, plan, options).status());
   auto engine = std::unique_ptr<PartitionedEngine>(
       new PartitionedEngine(std::move(pattern), plan, options, tracker));
   engine->key_field_ = engine->pattern_->partition->field_indices.front();
@@ -47,6 +62,14 @@ Result<PartitionedEngine::Partition*> PartitionedEngine::GetOrCreate(
 }
 
 void PartitionedEngine::Push(const EventPtr& event) {
+  if (reorder_ != nullptr) {
+    reorder_->Push(event);
+    return;
+  }
+  PushOrdered(event);
+}
+
+void PartitionedEngine::PushOrdered(const EventPtr& event) {
   ++events_pushed_;
   const Value& key = event->value(key_field_);
   if (key.is_null()) return;
@@ -71,7 +94,18 @@ void PartitionedEngine::RunRounds() {
   pending_in_batch_ = 0;
 }
 
-void PartitionedEngine::Finish() { RunRounds(); }
+void PartitionedEngine::Finish() {
+  if (reorder_ != nullptr) reorder_->Flush();
+  RunRounds();
+}
+
+uint64_t PartitionedEngine::late_events() const {
+  uint64_t total = reorder_ != nullptr ? reorder_->late_dropped() : 0;
+  for (const auto& [key, part] : partitions_) {
+    total += part.engine->late_events();
+  }
+  return total;
+}
 
 uint64_t PartitionedEngine::num_matches() const {
   uint64_t total = 0;

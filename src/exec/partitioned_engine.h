@@ -14,6 +14,7 @@
 
 #include "exec/engine.h"
 #include "exec/engine_core.h"
+#include "exec/reorder.h"
 
 namespace zstream {
 
@@ -52,6 +53,9 @@ class PartitionedEngine : public EngineCore {
   uint64_t num_matches() const override;
   uint64_t events_pushed() const override { return events_pushed_; }
   uint64_t plan_switches() const { return plan_switches_; }
+  /// Events dropped for arriving out of order beyond the slack (the
+  /// partition-level reorder stage plus any per-partition drops).
+  uint64_t late_events() const;
   /// Renders the current plan (reflects SwitchPlan updates).
   std::string ExplainPlan() const { return plan_.Explain(*pattern_); }
   size_t num_partitions() const { return partitions_.size(); }
@@ -68,6 +72,7 @@ class PartitionedEngine : public EngineCore {
   };
 
   Result<Partition*> GetOrCreate(const Value& key);
+  void PushOrdered(const EventPtr& event);
   void RunRounds();
 
   PatternPtr pattern_;
@@ -76,6 +81,12 @@ class PartitionedEngine : public EngineCore {
   MemoryTracker* tracker_;
   std::unique_ptr<MemoryTracker> owned_tracker_;
   int key_field_ = -1;
+
+  /// Partition-level reordering: events must be re-sequenced BEFORE
+  /// they fan out to per-key sub-engines (each sub-engine only sees its
+  /// key's subsequence, so a per-partition stage could never restore
+  /// cross-partition round order).
+  std::unique_ptr<ReorderStage> reorder_;
 
   std::unordered_map<Value, Partition, ValueHasher> partitions_;
   std::vector<Partition*> dirty_;

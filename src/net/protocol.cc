@@ -306,9 +306,12 @@ void AppendMatch(std::string* out, std::string_view query,
     PutU8(out, slot != nullptr ? 1 : 0);
     if (slot != nullptr) AppendEvent(out, *slot);
   }
-  const size_t group_size = match.group != nullptr ? match.group->size() : 0;
-  PutU32(out, static_cast<uint32_t>(group_size));
+  // Group presence travels separately from the count: an empty-but-
+  // present Kleene group (a '*' closure that matched zero events) is a
+  // different composite event than "no group".
+  PutU8(out, match.group != nullptr ? 1 : 0);
   if (match.group != nullptr) {
+    PutU32(out, static_cast<uint32_t>(match.group->size()));
     for (const EventPtr& e : *match.group) AppendEvent(out, *e);
   }
 }
@@ -334,13 +337,14 @@ Result<NetMatch> ReadMatch(PayloadReader* in, const SchemaPtr& schema) {
     ZS_ASSIGN_OR_RETURN(EventPtr e, ReadEvent(in, schema));
     out.match.slots.push_back(std::move(e));
   }
-  ZS_ASSIGN_OR_RETURN(uint32_t ngroup, in->ReadU32());
-  if (ngroup > kMaxBatchEvents) {
-    return Status::ParseError("match group count " + std::to_string(ngroup) +
-                              " exceeds bound")
-        .WithErrorCode(errc::kNetBatchTooLarge);
-  }
-  if (ngroup > 0) {
+  ZS_ASSIGN_OR_RETURN(uint8_t has_group, in->ReadU8());
+  if (has_group != 0) {
+    ZS_ASSIGN_OR_RETURN(uint32_t ngroup, in->ReadU32());
+    if (ngroup > kMaxBatchEvents) {
+      return Status::ParseError("match group count " +
+                                std::to_string(ngroup) + " exceeds bound")
+          .WithErrorCode(errc::kNetBatchTooLarge);
+    }
     auto group = std::make_shared<std::vector<EventPtr>>();
     group->reserve(ngroup);
     for (uint32_t i = 0; i < ngroup; ++i) {

@@ -57,7 +57,12 @@
 
 namespace zstream::net {
 
-inline constexpr uint8_t kProtocolVersion = 1;
+/// Version history: 1 = initial framed protocol; 2 = kMatch carries a
+/// group-presence byte before the group count (an empty-but-present
+/// Kleene group is distinct from "no group"). The layout change is
+/// incompatible, so mixed-version peers must be rejected at the
+/// version byte rather than misparse match frames.
+inline constexpr uint8_t kProtocolVersion = 2;
 inline constexpr size_t kFrameHeaderSize = 8;
 /// Hard upper bound on one frame's payload (16 MiB).
 inline constexpr uint32_t kMaxFramePayload = 16u << 20;

@@ -62,6 +62,13 @@ Result<std::unique_ptr<NfaEngine>> NfaEngine::Create(PatternPtr pattern,
     engine->preds_by_level_[static_cast<size_t>(level)].push_back(pred);
   }
 
+  // A detected hash-partition key is an equality join the analyzer
+  // stripped from multi_predicates (Section 5.2.2); the backward search
+  // must enforce it, or combinations would cross partitions.
+  if (p.partition.has_value()) {
+    engine->key_fields_ = p.partition->field_indices;
+  }
+
   engine->candidate_.slots.assign(static_cast<size_t>(p.num_classes()),
                                   nullptr);
   return engine;
@@ -142,6 +149,10 @@ void NfaEngine::Search(const EventPtr& final_event) {
   PurgeBefore(eat);
   const int n = static_cast<int>(positive_.size());
   const int final_class = positive_[static_cast<size_t>(n - 1)];
+  if (!key_fields_.empty()) {
+    search_key_ = final_event->value(
+        key_fields_[static_cast<size_t>(final_class)]);
+  }
   candidate_.slots[static_cast<size_t>(final_class)] = final_event;
 
   if (n == 1) {
@@ -174,6 +185,11 @@ void NfaEngine::SearchLevel(int level, Timestamp eat) {
   for (uint64_t id = hi; id-- > st.base_id;) {
     const Entry& entry = st.Get(id);
     if (entry.event->timestamp() < eat) break;  // sorted: all older below
+    if (!key_fields_.empty() &&
+        !(entry.event->value(key_fields_[static_cast<size_t>(cls)]) ==
+          search_key_)) {
+      continue;  // partition-key equality (stripped from the predicates)
+    }
     candidate_.slots[static_cast<size_t>(cls)] = entry.event;
     bool ok = true;
     const EvalInput in = candidate_.ToEvalInput();
@@ -222,6 +238,11 @@ bool NfaEngine::IsNegated(const Record& candidate, int) const {
       const Timestamp ts = (*it)->timestamp();
       if (ts >= hi) continue;
       if (ts <= lo) break;
+      if (!key_fields_.empty() &&
+          !((*it)->value(key_fields_[static_cast<size_t>(nc)]) ==
+            search_key_)) {
+        continue;  // negators outside the partition cannot negate
+      }
       if (neg_preds_.empty()) return true;
       Record probe = candidate;
       probe.slots[static_cast<size_t>(nc)] = *it;

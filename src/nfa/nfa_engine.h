@@ -83,8 +83,14 @@ class NfaEngine {
   std::vector<std::vector<ExprPtr>> preds_by_level_;
   std::vector<ExprPtr> neg_preds_;  // predicates touching negated classes
 
+  /// Per-class partition-key field indices when the pattern is
+  /// hash-partitioned (the analyzer strips the equality predicates, so
+  /// the search enforces key equality itself); empty otherwise.
+  std::vector<int> key_fields_;
+
   // Scratch state for the backward search.
   Record candidate_;
+  Value search_key_;  // final event's partition key, valid per Search
   uint64_t num_matches_ = 0;
   uint64_t events_pushed_ = 0;
   uint64_t output_checksum_ = 0;  // keeps output construction observable

@@ -150,8 +150,15 @@ Result<PhysicalPlan> Planner::PlanWithNegationChoice(
 Result<PhysicalPlan> Planner::OptimalPlan() {
   const auto t0 = std::chrono::steady_clock::now();
   if (!IsSequenceShaped(*pattern_)) {
-    // CONJ/DISJ-structured patterns: structural plan (see header).
-    PhysicalPlan plan = LeftDeepPlan(*pattern_);
+    // CONJ/DISJ-structured patterns: structural plan (see header),
+    // pushing each negated class down only when its predicates stay
+    // inside the NSEQ's coverage (otherwise a NEG filter on top).
+    std::vector<bool> push_neg(
+        static_cast<size_t>(pattern_->num_classes()), true);
+    for (int nc : pattern_->NegatedClasses()) {
+      push_neg[static_cast<size_t>(nc)] = CanPushNegation(*pattern_, nc);
+    }
+    PhysicalPlan plan = StructuralPlan(*pattern_, push_neg);
     const CostModel model(pattern_.get(), stats_, options_.cost_params);
     plan.estimated_cost = model.PlanCost(plan);
     return plan;

@@ -45,6 +45,31 @@ std::vector<int> Pattern::NegatedClasses() const {
 }
 
 namespace {
+void MarkDisjunctionClasses(const PatternNodePtr& node, bool under,
+                            std::vector<bool>* optional) {
+  if (node == nullptr) return;
+  if (node->is_class()) {
+    if (under) (*optional)[static_cast<size_t>(node->class_idx)] = true;
+    return;
+  }
+  const bool next = under || node->op == PatternOp::kDisj;
+  for (const PatternNodePtr& child : node->children) {
+    MarkDisjunctionClasses(child, next, optional);
+  }
+}
+}  // namespace
+
+std::vector<bool> Pattern::OptionalClasses() const {
+  std::vector<bool> optional(static_cast<size_t>(num_classes()), false);
+  for (int i = 0; i < num_classes(); ++i) {
+    const EventClass& ec = classes[static_cast<size_t>(i)];
+    if (ec.negated || ec.is_kleene()) optional[static_cast<size_t>(i)] = true;
+  }
+  MarkDisjunctionClasses(root, false, &optional);
+  return optional;
+}
+
+namespace {
 void CollectTriggers(const Pattern& p, const PatternNodePtr& node,
                      std::vector<int>* out) {
   switch (node->op) {

@@ -112,6 +112,13 @@ class Pattern {
   /// Indices of negated classes.
   std::vector<int> NegatedClasses() const;
 
+  /// Per-class flag: true when the class may be UNBOUND in a match —
+  /// negated, Kleene-closure (bound through the group), or inside a
+  /// disjunction branch. Shared by hash-equality routing (exec/),
+  /// equality-chain materialization and partition detection (query/):
+  /// all three must agree on which classes are always bound.
+  std::vector<bool> OptionalClasses() const;
+
   /// The classes whose arrival can complete a match (the "final event
   /// class" of Section 4.3). For a sequence this is the last positive
   /// class; CONJ/DISJ make every component's final classes triggers.

@@ -99,14 +99,27 @@ std::vector<int> PhysNode::CoveredClasses() const {
 namespace {
 
 PhysNodePtr BuildNode(const Pattern& p, const PatternNodePtr& node,
-                      bool left_deep);
+                      bool left_deep, const std::vector<bool>& push_neg);
 
 // Combines the children of a sequence node into a tree, fusing negated
 // classes with their right neighbor (NSEQ) and Kleene classes into a
-// trinary KSEQ with their immediate neighbors.
+// trinary KSEQ with their immediate neighbors. A negated class with
+// push_neg[class]==false is omitted instead: the structure over the
+// remaining classes is preserved and a NEG filter stacks on top
+// (StructuralPlan / NegationTopPlan).
 PhysNodePtr BuildSeqChain(const Pattern& p,
-                          const std::vector<PatternNodePtr>& kids,
-                          bool left_deep) {
+                          const std::vector<PatternNodePtr>& all_kids,
+                          bool left_deep,
+                          const std::vector<bool>& push_neg) {
+  std::vector<PatternNodePtr> kids;
+  for (const PatternNodePtr& kid : all_kids) {
+    if (kid->is_class() &&
+        p.classes[static_cast<size_t>(kid->class_idx)].negated &&
+        !push_neg[static_cast<size_t>(kid->class_idx)]) {
+      continue;
+    }
+    kids.push_back(kid);
+  }
   const auto is_neg = [&](size_t i) {
     return kids[i]->is_class() &&
            p.classes[static_cast<size_t>(kids[i]->class_idx)].negated;
@@ -118,7 +131,7 @@ PhysNodePtr BuildSeqChain(const Pattern& p,
 
   std::vector<PhysNodePtr> plans(kids.size());
   for (size_t i = 0; i < kids.size(); ++i) {
-    plans[i] = BuildNode(p, kids[i], left_deep);
+    plans[i] = BuildNode(p, kids[i], left_deep, push_neg);
   }
 
   if (left_deep) {
@@ -165,17 +178,17 @@ PhysNodePtr BuildSeqChain(const Pattern& p,
 }
 
 PhysNodePtr BuildNode(const Pattern& p, const PatternNodePtr& node,
-                      bool left_deep) {
+                      bool left_deep, const std::vector<bool>& push_neg) {
   switch (node->op) {
     case PatternOp::kClass:
       return PhysNode::Leaf(node->class_idx);
     case PatternOp::kSeq:
-      return BuildSeqChain(p, node->children, left_deep);
+      return BuildSeqChain(p, node->children, left_deep, push_neg);
     case PatternOp::kConj:
     case PatternOp::kDisj: {
       PhysNodePtr acc;
       for (const auto& c : node->children) {
-        PhysNodePtr child = BuildNode(p, c, left_deep);
+        PhysNodePtr child = BuildNode(p, c, left_deep, push_neg);
         if (acc == nullptr) {
           acc = child;
         } else {
@@ -192,43 +205,39 @@ PhysNodePtr BuildNode(const Pattern& p, const PatternNodePtr& node,
 }  // namespace
 
 PhysicalPlan LeftDeepPlan(const Pattern& pattern) {
-  return PhysicalPlan{BuildNode(pattern, pattern.root, /*left_deep=*/true),
-                      0.0};
+  const std::vector<bool> push_all(
+      static_cast<size_t>(pattern.num_classes()), true);
+  return PhysicalPlan{
+      BuildNode(pattern, pattern.root, /*left_deep=*/true, push_all), 0.0};
 }
 
 PhysicalPlan RightDeepPlan(const Pattern& pattern) {
-  return PhysicalPlan{BuildNode(pattern, pattern.root, /*left_deep=*/false),
-                      0.0};
+  const std::vector<bool> push_all(
+      static_cast<size_t>(pattern.num_classes()), true);
+  return PhysicalPlan{
+      BuildNode(pattern, pattern.root, /*left_deep=*/false, push_all), 0.0};
 }
 
-namespace {
-// Builds the positive-classes-only plan for NegationTopPlan.
-PhysNodePtr BuildPositiveChain(const Pattern& p, bool left_deep) {
-  std::vector<PhysNodePtr> leaves;
-  for (int i = 0; i < p.num_classes(); ++i) {
-    if (!p.classes[static_cast<size_t>(i)].negated) {
-      leaves.push_back(PhysNode::Leaf(i));
-    }
-  }
-  if (leaves.empty()) return nullptr;
-  PhysNodePtr acc;
-  if (left_deep) {
-    for (auto& l : leaves) acc = acc ? PhysNode::Seq(acc, l) : l;
-  } else {
-    for (auto it = leaves.rbegin(); it != leaves.rend(); ++it) {
-      acc = acc ? PhysNode::Seq(*it, acc) : *it;
-    }
-  }
-  return acc;
-}
-}  // namespace
-
-PhysicalPlan NegationTopPlan(const Pattern& pattern, bool left_deep) {
-  PhysNodePtr root = BuildPositiveChain(pattern, left_deep);
+PhysicalPlan StructuralPlan(const Pattern& pattern,
+                            const std::vector<bool>& push_neg,
+                            bool left_deep) {
+  // The plan keeps the pattern's CONJ/DISJ/KSEQ structure — a negated
+  // class that cannot (or should not) fuse into an NSEQ is omitted from
+  // the tree and applied as a NEG filter on top (a flat SEQ chain here
+  // would impose a temporal order a conjunction does not have).
+  PhysNodePtr root = BuildNode(pattern, pattern.root, left_deep, push_neg);
   for (int neg : pattern.NegatedClasses()) {
-    root = PhysNode::NegFilter(root, neg);
+    if (!push_neg[static_cast<size_t>(neg)]) {
+      root = PhysNode::NegFilter(root, neg);
+    }
   }
   return PhysicalPlan{root, 0.0};
+}
+
+PhysicalPlan NegationTopPlan(const Pattern& pattern, bool left_deep) {
+  const std::vector<bool> push_none(
+      static_cast<size_t>(pattern.num_classes()), false);
+  return StructuralPlan(pattern, push_none, left_deep);
 }
 
 // ---------------------------------------------------------------------

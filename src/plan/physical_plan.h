@@ -79,6 +79,15 @@ PhysicalPlan LeftDeepPlan(const Pattern& pattern);
 /// Right-deep plan: [c0 ; [c1 ; [c2 ; c3]]].
 PhysicalPlan RightDeepPlan(const Pattern& pattern);
 
+/// Structural plan preserving the pattern's CONJ/DISJ/KSEQ shape, with
+/// a per-class negation choice: push_neg[c] fuses negated class c into
+/// an NSEQ next to its right neighbor, otherwise c is applied as a NEG
+/// filter on top (required when c's predicates span classes an NSEQ
+/// would not cover).
+PhysicalPlan StructuralPlan(const Pattern& pattern,
+                            const std::vector<bool>& push_neg,
+                            bool left_deep = true);
+
 /// Negation handled by a NEG filter on top of the positive-class plan
 /// (the "last-filter-step solution" the paper compares against).
 PhysicalPlan NegationTopPlan(const Pattern& pattern, bool left_deep = false);

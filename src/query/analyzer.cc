@@ -38,6 +38,7 @@ class AnalyzerImpl {
     if (query.where != nullptr) {
       ZS_RETURN_IF_ERROR(ResolveWhere(query.where));
     }
+    MaterializeEqualityChains();
     if (options_.detect_partition) {
       DetectPartition();
     }
@@ -282,6 +283,101 @@ class AnalyzerImpl {
     return Status::OK();
   }
 
+  /// A same-attribute equality chain denotes one equivalence class
+  /// ("partition by name", Figure 4) — but predicate logic alone does
+  /// not give transitivity through an optional class: A.x=B.x AND
+  /// B.x=C.x with !B says nothing about A.x vs C.x when no B occurs.
+  /// Materialize the intended closure: whenever two always-bound
+  /// classes (or an optional class and the bound component) are chained
+  /// only through optional intermediates, add the direct equality.
+  /// Chains running entirely over always-bound classes already enforce
+  /// the closure and are left untouched.
+  void MaterializeEqualityChains() {
+    const int n = pattern_->num_classes();
+    if (n < 3) return;
+    const std::vector<bool> optional = pattern_->OptionalClasses();
+
+    std::map<std::string, std::vector<EqualityJoin>> by_field;
+    for (const ExprPtr& pred : pattern_->multi_predicates) {
+      auto eq = AsEqualityJoin(pred);
+      if (!eq.has_value() || eq->left_field != eq->right_field) continue;
+      by_field[schema_->field(eq->left_field).name].push_back(*eq);
+    }
+
+    for (auto& [field_name, edges] : by_field) {
+      const int fidx = schema_->FieldIndex(field_name);
+      const auto make_uf = [&]() {
+        std::vector<int> parent(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) parent[static_cast<size_t>(i)] = i;
+        return parent;
+      };
+      std::vector<int> full = make_uf();
+      std::vector<int> bound = make_uf();
+      const auto find = [](std::vector<int>& uf, int x) {
+        while (uf[static_cast<size_t>(x)] != x) {
+          x = uf[static_cast<size_t>(x)] =
+              uf[static_cast<size_t>(uf[static_cast<size_t>(x)])];
+        }
+        return x;
+      };
+      std::vector<bool> touched(static_cast<size_t>(n), false);
+      std::vector<bool> anchored(static_cast<size_t>(n), false);
+      for (const EqualityJoin& e : edges) {
+        touched[static_cast<size_t>(e.left_class)] = true;
+        touched[static_cast<size_t>(e.right_class)] = true;
+        full[static_cast<size_t>(find(full, e.left_class))] =
+            find(full, e.right_class);
+        const bool lo = optional[static_cast<size_t>(e.left_class)];
+        const bool ro = optional[static_cast<size_t>(e.right_class)];
+        if (!lo && !ro) {
+          bound[static_cast<size_t>(find(bound, e.left_class))] =
+              find(bound, e.right_class);
+        } else if (lo != ro) {
+          anchored[static_cast<size_t>(lo ? e.left_class
+                                          : e.right_class)] = true;
+        }
+      }
+
+      const auto add_edge = [&](int a, int b) {
+        const std::string& field = schema_->field(fidx).name;
+        pattern_->multi_predicates.push_back(exprs::Eq(
+            Expr::AttrRef(a, fidx,
+                          pattern_->classes[static_cast<size_t>(a)].alias,
+                          field),
+            Expr::AttrRef(b, fidx,
+                          pattern_->classes[static_cast<size_t>(b)].alias,
+                          field)));
+      };
+
+      // Representative always-bound class per full component.
+      std::map<int, int> rep;
+      for (int i = 0; i < n; ++i) {
+        if (!touched[static_cast<size_t>(i)] ||
+            optional[static_cast<size_t>(i)]) {
+          continue;
+        }
+        const int root = find(full, i);
+        if (rep.count(root) == 0) rep[root] = i;
+      }
+      for (int i = 0; i < n; ++i) {
+        if (!touched[static_cast<size_t>(i)]) continue;
+        const int root = find(full, i);
+        auto it = rep.find(root);
+        if (it == rep.end() || it->second == i) continue;
+        const int r = it->second;
+        if (optional[static_cast<size_t>(i)]) {
+          if (!anchored[static_cast<size_t>(i)]) {
+            add_edge(i, r);
+            anchored[static_cast<size_t>(i)] = true;
+          }
+        } else if (find(bound, i) != find(bound, r)) {
+          add_edge(i, r);
+          bound[static_cast<size_t>(find(bound, i))] = find(bound, r);
+        }
+      }
+    }
+  }
+
   // Union-find partition detection over same-field equality predicates.
   void DetectPartition() {
     const int n = pattern_->num_classes();
@@ -293,6 +389,16 @@ class AnalyzerImpl {
       if (eq->left_field != eq->right_field) continue;
       by_field[schema_->field(eq->left_field).name].push_back(i);
     }
+    // Optional classes may be unbound in a match, so equality is NOT
+    // transitive through them: A.x=B.x AND B.x=C.x with !B does not
+    // force A.x=C.x when no B occurs. Connectivity is therefore
+    // computed over always-bound classes only, and each optional class
+    // must have a direct edge to an always-bound one (then "same
+    // partition" is exactly what its predicates assert).
+    const std::vector<bool> optional = pattern_->OptionalClasses();
+    const auto optional_cls = [&](int c) {
+      return optional[static_cast<size_t>(c)];
+    };
     for (auto& [field_name, preds] : by_field) {
       std::vector<int> parent(static_cast<size_t>(n));
       for (int i = 0; i < n; ++i) parent[static_cast<size_t>(i)] = i;
@@ -303,20 +409,35 @@ class AnalyzerImpl {
         }
         return x;
       };
+      std::vector<bool> anchored(static_cast<size_t>(n), false);
       for (size_t pi : preds) {
         auto eq = AsEqualityJoin(pattern_->multi_predicates[pi]);
-        parent[static_cast<size_t>(find(eq->left_class))] =
-            find(eq->right_class);
-      }
-      const int root = find(0);
-      bool all = true;
-      for (int i = 1; i < n; ++i) {
-        if (find(i) != root) {
-          all = false;
-          break;
+        const bool lo = optional_cls(eq->left_class);
+        const bool ro = optional_cls(eq->right_class);
+        if (!lo && !ro) {
+          parent[static_cast<size_t>(find(eq->left_class))] =
+              find(eq->right_class);
+        } else if (lo != ro) {
+          anchored[static_cast<size_t>(lo ? eq->left_class
+                                          : eq->right_class)] = true;
         }
+        // optional-optional edges neither connect nor anchor.
       }
-      if (!all) continue;
+      bool all = true;
+      int root = -1;
+      for (int i = 0; i < n; ++i) {
+        if (optional_cls(i)) {
+          if (!anchored[static_cast<size_t>(i)]) all = false;
+          continue;
+        }
+        if (root < 0) {
+          root = find(i);
+        } else if (find(i) != root) {
+          all = false;
+        }
+        if (!all) break;
+      }
+      if (!all || root < 0) continue;
       // Found a full-coverage key: install the partition spec and drop
       // the now-implicit equality predicates.
       PartitionSpec spec;

@@ -1,0 +1,543 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "expr/analysis.h"
+
+namespace zstream::testing {
+
+namespace {
+
+bool IsMarkerClass(const Pattern& p, const PatternNodePtr& node) {
+  if (!node->is_class()) return false;
+  const EventClass& ec = p.classes[static_cast<size_t>(node->class_idx)];
+  return ec.negated || ec.is_kleene();
+}
+
+/// Structure rules beyond Pattern::Validate that the oracle (and the
+/// engines, see kleene.cc's header) require: Kleene as a direct Seq
+/// child with a right neighbor, no adjacent negation/Kleene markers.
+Status CheckSupported(const Pattern& p, const PatternNodePtr& node,
+                      bool is_root) {
+  if (node->is_class()) {
+    const EventClass& ec = p.classes[static_cast<size_t>(node->class_idx)];
+    if (ec.is_kleene() && is_root) {
+      return Status::NotSupported(
+          "oracle: bare Kleene closure pattern (engine grows groups "
+          "incrementally, a documented Algorithm 4 deviation)");
+    }
+    return Status::OK();
+  }
+  for (const PatternNodePtr& child : node->children) {
+    if (child->is_class()) {
+      const EventClass& ec =
+          p.classes[static_cast<size_t>(child->class_idx)];
+      if (ec.is_kleene() && node->op != PatternOp::kSeq) {
+        return Status::NotSupported(
+            "oracle: Kleene closure directly under CONJ/DISJ");
+      }
+    }
+    ZS_RETURN_IF_ERROR(CheckSupported(p, child, /*is_root=*/false));
+  }
+  if (node->op == PatternOp::kSeq) {
+    if (IsMarkerClass(p, node->children.back()) &&
+        p.classes[static_cast<size_t>(node->children.back()->class_idx)]
+            .is_kleene()) {
+      return Status::NotSupported(
+          "oracle: Kleene closure ending a sequence (engine grows "
+          "groups incrementally, a documented Algorithm 4 deviation)");
+    }
+    if (IsMarkerClass(p, node->children.front()) &&
+        p.classes[static_cast<size_t>(node->children.front()->class_idx)]
+            .is_kleene() &&
+        !(is_root && node->children.size() == 2)) {
+      // Closure starting a longer sequence: the engine's group
+      // maximality then depends on when later trigger classes purge the
+      // closure buffer relative to the final match end — only the
+      // two-operand root form (e.g. B*;C) is deterministic.
+      return Status::NotSupported(
+          "oracle: Kleene closure starting a sequence with further "
+          "operands (purge-order-dependent group maximality)");
+    }
+    for (size_t i = 0; i + 1 < node->children.size(); ++i) {
+      if (IsMarkerClass(p, node->children[i]) &&
+          IsMarkerClass(p, node->children[i + 1])) {
+        return Status::NotSupported(
+            "oracle: adjacent negation/Kleene markers in a sequence");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string MatchSignature(const std::vector<EventPtr>& slots,
+                           const std::vector<bool>& negated_class,
+                           const std::vector<EventPtr>* group) {
+  std::ostringstream os;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i] == nullptr) continue;
+    if (i < negated_class.size() && negated_class[i]) continue;
+    os << i << "@" << slots[i]->timestamp() << "|";
+  }
+  if (group != nullptr) {
+    os << "g{";
+    for (const EventPtr& e : *group) os << e->timestamp() << ",";
+    os << "}";
+  }
+  return os.str();
+}
+
+/// One (partial) assignment produced while walking the structure tree.
+struct Oracle::Binding {
+  std::vector<EventPtr> slots;
+  int num_bound = 0;
+  Timestamp min_ts = kMaxTimestamp;
+  Timestamp max_ts = kMinTimestamp;
+
+  /// Deferred negation obligation: no admitted negator of class `cls`
+  /// strictly inside (lo, hi) may pass its predicates.
+  struct NegWindow {
+    int cls;
+    Timestamp lo, hi;
+  };
+  std::vector<NegWindow> negs;
+
+  /// Kleene boundaries (at most one closure class per pattern).
+  /// Closure events lie strictly inside (k_lo, k_hi); when the closure
+  /// starts its sequence, k_win_lo additionally bounds them to the
+  /// window before the right neighbor (KSeqNode's virtual start).
+  bool has_kleene = false;
+  Timestamp k_lo = kMinTimestamp;
+  Timestamp k_hi = kMaxTimestamp;
+  Timestamp k_win_lo = kMinTimestamp;
+};
+
+Oracle::Oracle(PatternPtr pattern) : pattern_(std::move(pattern)) {
+  const Pattern& p = *pattern_;
+  negated_class_.assign(static_cast<size_t>(p.num_classes()), false);
+  for (int nc : p.NegatedClasses()) {
+    negated_class_[static_cast<size_t>(nc)] = true;
+  }
+  kleene_class_ = p.KleeneClass();
+  for (const ExprPtr& pred : p.multi_predicates) {
+    PredInfo info;
+    const std::set<int> classes = ReferencedClasses(pred);
+    info.classes.assign(classes.begin(), classes.end());
+    info.aggregate = ContainsAggregate(pred);
+    for (int c : info.classes) {
+      if (negated_class_[static_cast<size_t>(c)]) info.touches_neg = true;
+      if (c == kleene_class_) info.touches_kleene = true;
+    }
+    preds_.push_back(std::move(info));
+  }
+}
+
+Result<std::unique_ptr<Oracle>> Oracle::Create(PatternPtr pattern) {
+  if (pattern == nullptr || pattern->root == nullptr) {
+    return Status::InvalidArgument("oracle: null pattern");
+  }
+  ZS_RETURN_IF_ERROR(pattern->Validate());
+  ZS_RETURN_IF_ERROR(
+      CheckSupported(*pattern, pattern->root, /*is_root=*/true));
+  return std::unique_ptr<Oracle>(new Oracle(std::move(pattern)));
+}
+
+bool Oracle::AdmitsLeaf(int cls, const EventPtr& event) const {
+  const Pattern& p = *pattern_;
+  const EventClass& ec = p.classes[static_cast<size_t>(cls)];
+  std::vector<EventPtr> slots(static_cast<size_t>(p.num_classes()));
+  slots[static_cast<size_t>(cls)] = event;
+  EvalInput in;
+  in.slots = slots.data();
+  in.num_slots = static_cast<int>(slots.size());
+  for (const ExprPtr& pred : ec.leaf_predicates) {
+    if (!pred->EvalPredicate(in)) return false;
+  }
+  if (!ec.neg_branches.empty()) {
+    // A merged negated disjunction admits through any branch whose
+    // predicate group passes in full.
+    for (const NegBranch& branch : ec.neg_branches) {
+      bool all = true;
+      for (const ExprPtr& pred : branch.predicates) {
+        if (!pred->EvalPredicate(in)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) return true;
+    }
+    return false;
+  }
+  return true;
+}
+
+std::vector<Oracle::Binding> Oracle::EvalNode(
+    const PatternNodePtr& node) const {
+  const Pattern& p = *pattern_;
+  const size_t n = static_cast<size_t>(p.num_classes());
+  switch (node->op) {
+    case PatternOp::kClass: {
+      // Negation/Kleene markers are consumed by EvalSeq before it
+      // recurses; a marker reaching here was rejected by Create.
+      std::vector<Binding> out;
+      const int cls = node->class_idx;
+      for (const EventPtr& e : admitted_[static_cast<size_t>(cls)]) {
+        Binding b;
+        b.slots.assign(n, nullptr);
+        b.slots[static_cast<size_t>(cls)] = e;
+        b.num_bound = 1;
+        b.min_ts = b.max_ts = e->timestamp();
+        out.push_back(std::move(b));
+      }
+      return out;
+    }
+    case PatternOp::kSeq:
+      return EvalSeq(node);
+    case PatternOp::kConj: {
+      std::vector<Binding> acc = EvalNode(node->children[0]);
+      for (size_t i = 1; i < node->children.size(); ++i) {
+        const std::vector<Binding> next = EvalNode(node->children[i]);
+        std::vector<Binding> merged;
+        for (const Binding& a : acc) {
+          for (const Binding& b : next) {
+            Binding m = a;
+            for (size_t s = 0; s < n; ++s) {
+              if (b.slots[s] != nullptr) m.slots[s] = b.slots[s];
+            }
+            m.num_bound += b.num_bound;
+            m.min_ts = std::min(a.min_ts, b.min_ts);
+            m.max_ts = std::max(a.max_ts, b.max_ts);
+            m.negs.insert(m.negs.end(), b.negs.begin(), b.negs.end());
+            if (b.has_kleene) {
+              m.has_kleene = true;
+              m.k_lo = b.k_lo;
+              m.k_hi = b.k_hi;
+              m.k_win_lo = b.k_win_lo;
+            }
+            merged.push_back(std::move(m));
+          }
+        }
+        acc = std::move(merged);
+      }
+      return acc;
+    }
+    case PatternOp::kDisj: {
+      std::vector<Binding> out;
+      for (const PatternNodePtr& child : node->children) {
+        std::vector<Binding> branch = EvalNode(child);
+        out.insert(out.end(), std::make_move_iterator(branch.begin()),
+                   std::make_move_iterator(branch.end()));
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+std::vector<Oracle::Binding> Oracle::EvalSeq(
+    const PatternNodePtr& node) const {
+  const Pattern& p = *pattern_;
+  const size_t n = static_cast<size_t>(p.num_classes());
+
+  Binding empty;
+  empty.slots.assign(n, nullptr);
+  std::vector<Binding> acc;
+  acc.push_back(std::move(empty));
+
+  std::vector<int> pending;  // marker classes awaiting their right bound
+  for (const PatternNodePtr& child : node->children) {
+    if (IsMarkerClass(p, child)) {
+      pending.push_back(child->class_idx);
+      continue;
+    }
+    const std::vector<Binding> next = EvalNode(child);
+    std::vector<Binding> merged;
+    for (const Binding& a : acc) {
+      for (const Binding& b : next) {
+        // SEQ strict temporal ordering: everything already bound must
+        // end before everything in the next operand starts.
+        if (a.num_bound > 0 && b.min_ts <= a.max_ts) continue;
+        Binding m = a;
+        for (size_t s = 0; s < n; ++s) {
+          if (b.slots[s] != nullptr) m.slots[s] = b.slots[s];
+        }
+        m.num_bound += b.num_bound;
+        m.min_ts = std::min(a.min_ts, b.min_ts);
+        m.max_ts = std::max(a.max_ts, b.max_ts);
+        m.negs.insert(m.negs.end(), b.negs.begin(), b.negs.end());
+        if (b.has_kleene) {
+          m.has_kleene = true;
+          m.k_lo = b.k_lo;
+          m.k_hi = b.k_hi;
+          m.k_win_lo = b.k_win_lo;
+        }
+        for (int marker : pending) {
+          const EventClass& mc = p.classes[static_cast<size_t>(marker)];
+          if (mc.negated) {
+            // Validated: negation never starts a sequence.
+            m.negs.push_back(
+                Binding::NegWindow{marker, a.max_ts, b.min_ts});
+          } else {
+            m.has_kleene = true;
+            m.k_lo = a.num_bound > 0 ? a.max_ts : kMinTimestamp;
+            m.k_hi = b.min_ts;
+            // Closure starting its sequence: KSeqNode bounds the group
+            // to the window before its right neighbor's end.
+            m.k_win_lo =
+                a.num_bound > 0 ? kMinTimestamp : b.max_ts - p.window;
+          }
+        }
+        merged.push_back(std::move(m));
+      }
+    }
+    acc = std::move(merged);
+    pending.clear();
+  }
+  return acc;
+}
+
+bool Oracle::IsNegatedByWindow(Binding& binding, int cls, Timestamp lo,
+                               Timestamp hi) const {
+  const Pattern& p = *pattern_;
+  const size_t nc = static_cast<size_t>(cls);
+  const int key_field =
+      p.partition.has_value() ? p.partition->field_indices[nc] : -1;
+  Value key;
+  if (key_field >= 0) {
+    // Partitioned execution only sees same-key negators; find the key
+    // from any bound slot.
+    for (size_t i = 0; i < binding.slots.size(); ++i) {
+      if (binding.slots[i] != nullptr) {
+        key = binding.slots[i]->value(p.partition->field_indices[i]);
+        break;
+      }
+    }
+  }
+  for (const EventPtr& b : admitted_[nc]) {
+    const Timestamp ts = b->timestamp();
+    if (ts <= lo) continue;
+    if (ts >= hi) break;  // admitted_ is timestamp-sorted
+    if (key_field >= 0 && !(b->value(key_field) == key)) continue;
+    binding.slots[nc] = b;
+    EvalInput in;
+    in.slots = binding.slots.data();
+    in.num_slots = static_cast<int>(binding.slots.size());
+    bool kills = true;
+    for (size_t pi = 0; pi < preds_.size(); ++pi) {
+      const PredInfo& info = preds_[pi];
+      if (std::find(info.classes.begin(), info.classes.end(), cls) ==
+          info.classes.end()) {
+        continue;
+      }
+      bool all_bound = true;
+      for (int c : info.classes) {
+        if (binding.slots[static_cast<size_t>(c)] == nullptr) {
+          all_bound = false;  // unbound (disjunction): vacuous pass
+        }
+      }
+      if (!all_bound) continue;
+      if (!p.multi_predicates[pi]->EvalPredicate(in)) {
+        kills = false;
+        break;
+      }
+    }
+    binding.slots[nc] = nullptr;
+    if (kills) return true;
+  }
+  binding.slots[nc] = nullptr;
+  return false;
+}
+
+bool Oracle::ClosureEventQualifies(Binding& binding,
+                                   const EventPtr& event) const {
+  const Pattern& p = *pattern_;
+  const size_t kc = static_cast<size_t>(kleene_class_);
+  binding.slots[kc] = event;
+  EvalInput in;
+  in.slots = binding.slots.data();
+  in.num_slots = static_cast<int>(binding.slots.size());
+  bool ok = true;
+  for (size_t pi = 0; pi < preds_.size(); ++pi) {
+    const PredInfo& info = preds_[pi];
+    if (!info.touches_kleene || info.aggregate || info.touches_neg) {
+      continue;
+    }
+    bool all_bound = true;
+    for (int c : info.classes) {
+      if (binding.slots[static_cast<size_t>(c)] == nullptr) {
+        all_bound = false;
+      }
+    }
+    if (!all_bound) continue;
+    if (!p.multi_predicates[pi]->EvalPredicate(in)) {
+      ok = false;
+      break;
+    }
+  }
+  binding.slots[kc] = nullptr;
+  return ok;
+}
+
+bool Oracle::BasePredsPass(const Binding& binding,
+                           const std::vector<EventPtr>* group) const {
+  const Pattern& p = *pattern_;
+  EvalInput in;
+  in.slots = binding.slots.data();
+  in.num_slots = static_cast<int>(binding.slots.size());
+  in.group = group;
+  in.group_class = kleene_class_;
+  for (size_t pi = 0; pi < preds_.size(); ++pi) {
+    const PredInfo& info = preds_[pi];
+    if (info.touches_neg) continue;  // consumed by the negator check
+    if (info.touches_kleene && !info.aggregate) continue;  // per event
+    bool all_bound = true;
+    for (int c : info.classes) {
+      const bool bound =
+          binding.slots[static_cast<size_t>(c)] != nullptr ||
+          (c == kleene_class_ && group != nullptr);
+      if (!bound) all_bound = false;
+    }
+    if (!all_bound) continue;  // unbound branch: vacuous pass
+    if (!p.multi_predicates[pi]->EvalPredicate(in)) return false;
+  }
+  return true;
+}
+
+bool Oracle::PartitionHolds(const Binding& binding,
+                            const std::vector<EventPtr>* group) const {
+  const Pattern& p = *pattern_;
+  if (!p.partition.has_value()) return true;
+  bool have_key = false;
+  Value key;
+  for (size_t i = 0; i < binding.slots.size(); ++i) {
+    if (binding.slots[i] == nullptr || negated_class_[i]) continue;
+    const Value v = binding.slots[i]->value(p.partition->field_indices[i]);
+    if (!have_key) {
+      key = v;
+      have_key = true;
+    } else if (!(v == key)) {
+      return false;
+    }
+  }
+  if (group != nullptr && kleene_class_ >= 0) {
+    const int kf =
+        p.partition->field_indices[static_cast<size_t>(kleene_class_)];
+    for (const EventPtr& e : *group) {
+      const Value v = e->value(kf);
+      if (!have_key) {
+        key = v;
+        have_key = true;
+      } else if (!(v == key)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Oracle::Finalize(const Binding& binding,
+                      std::vector<std::string>* keys) const {
+  const Pattern& p = *pattern_;
+  Binding b = binding;  // mutable scratch (negator / closure probing)
+
+  if (!PartitionHolds(b, nullptr)) return;
+
+  for (const Binding::NegWindow& nw : b.negs) {
+    if (IsNegatedByWindow(b, nw.cls, nw.lo, nw.hi)) return;
+  }
+
+  if (b.has_kleene) {
+    const size_t kc = static_cast<size_t>(kleene_class_);
+    const EventClass& kcl = p.classes[kc];
+    const int key_field =
+        p.partition.has_value() ? p.partition->field_indices[kc] : -1;
+    Value key;
+    if (key_field >= 0) {
+      for (size_t i = 0; i < b.slots.size(); ++i) {
+        if (b.slots[i] != nullptr && !negated_class_[i]) {
+          key = b.slots[i]->value(p.partition->field_indices[i]);
+          break;
+        }
+      }
+    }
+    std::vector<EventPtr> qualifying;
+    for (const EventPtr& m : admitted_[kc]) {
+      const Timestamp ts = m->timestamp();
+      if (ts <= b.k_lo || ts < b.k_win_lo) continue;
+      if (ts >= b.k_hi) break;
+      if (key_field >= 0 && !(m->value(key_field) == key)) continue;
+      if (!ClosureEventQualifies(b, m)) continue;
+      qualifying.push_back(m);
+    }
+    const auto emit_group = [&](std::vector<EventPtr> g) {
+      const Timestamp lo =
+          g.empty() ? b.min_ts
+                    : std::min(b.min_ts, g.front()->timestamp());
+      const Timestamp hi =
+          g.empty() ? b.max_ts : std::max(b.max_ts, g.back()->timestamp());
+      if (hi - lo > p.window) return;
+      if (!BasePredsPass(b, &g)) return;
+      keys->push_back(MatchSignature(b.slots, negated_class_, &g));
+    };
+    switch (kcl.kleene) {
+      case KleeneKind::kStar:
+        emit_group(std::move(qualifying));
+        break;
+      case KleeneKind::kPlus:
+        if (!qualifying.empty()) emit_group(std::move(qualifying));
+        break;
+      case KleeneKind::kCount: {
+        const size_t cc = static_cast<size_t>(kcl.kleene_count);
+        for (size_t i = 0; i + cc <= qualifying.size(); ++i) {
+          emit_group(std::vector<EventPtr>(
+              qualifying.begin() + static_cast<long>(i),
+              qualifying.begin() + static_cast<long>(i + cc)));
+        }
+        break;
+      }
+      case KleeneKind::kNone:
+        break;
+    }
+    return;
+  }
+
+  if (b.max_ts - b.min_ts > p.window) return;
+  if (!BasePredsPass(b, nullptr)) return;
+  keys->push_back(MatchSignature(b.slots, negated_class_, nullptr));
+}
+
+std::vector<std::string> Oracle::Run(
+    const std::vector<EventPtr>& events) const {
+  const Pattern& p = *pattern_;
+  const size_t n = static_cast<size_t>(p.num_classes());
+
+  // Admission in timestamp order (stable on ties, matching the arrival
+  // order a reordering stage preserves).
+  std::vector<EventPtr> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const EventPtr& a, const EventPtr& b) {
+                     return a->timestamp() < b->timestamp();
+                   });
+  admitted_.assign(n, {});
+  for (const EventPtr& e : sorted) {
+    for (size_t c = 0; c < n; ++c) {
+      if (AdmitsLeaf(static_cast<int>(c), e)) admitted_[c].push_back(e);
+    }
+  }
+
+  std::vector<std::string> keys;
+  for (const Binding& b : EvalNode(p.root)) {
+    // Pre-filter on the positive span: every final span containing the
+    // binding is at least this wide.
+    if (b.num_bound > 0 && b.max_ts - b.min_ts > p.window) continue;
+    Finalize(b, &keys);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace zstream::testing

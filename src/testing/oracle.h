@@ -1,0 +1,96 @@
+// Brute-force semantic oracle for differential testing.
+//
+// The oracle evaluates a logical Pattern over a finished event trace by
+// direct enumeration of event combinations, implementing the paper's
+// Section 3 composite-event semantics from the definitions — SEQ strict
+// temporal ordering, CONJ unordered, DISJ one-branch binding, negation
+// as non-occurrence strictly between its enclosing classes, Kleene
+// closure per Algorithm 4, WITHIN as an inclusive bound on the match
+// span — while sharing no code with exec/ or nfa/. Its only
+// dependencies are the logical layers (plan/, expr/, event/), so a bug
+// in the batch-iterator engine, the NFA baseline, the sharded runtime
+// or the wire path cannot also hide here.
+//
+// Matches are reported as canonical keys (`MatchSignature` format:
+// "c@ts|" per bound positive class plus "g{ts,...}" for the Kleene
+// group), sorted as a multiset — the representation the differential
+// driver uses to compare every execution path.
+#ifndef ZSTREAM_TESTING_ORACLE_H_
+#define ZSTREAM_TESTING_ORACLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "event/event.h"
+#include "plan/pattern.h"
+
+namespace zstream::testing {
+
+/// Canonical key of one match: "c@ts|" for every bound positive
+/// (non-negated) class c in index order, then "g{ts,ts,...}" when a
+/// Kleene group is present. Negated-class bindings are excluded: plans
+/// differ in whether they record the negator (NSEQ does, NEG-filter
+/// does not), and the negator is never part of the composite event.
+std::string MatchSignature(const std::vector<EventPtr>& slots,
+                           const std::vector<bool>& negated_class,
+                           const std::vector<EventPtr>* group);
+
+/// \brief The brute-force reference matcher.
+class Oracle {
+ public:
+  /// Fails with NotSupported for the shapes whose engine semantics are
+  /// explicitly documented deviations from Algorithm 4 (a Kleene class
+  /// ending its sequence or standing alone, where the engine grows
+  /// groups incrementally per closure event) or that the engines do not
+  /// evaluate as closures (a Kleene class directly under CONJ/DISJ).
+  static Result<std::unique_ptr<Oracle>> Create(PatternPtr pattern);
+
+  /// Evaluates the pattern over the full trace (order-independent) and
+  /// returns the sorted multiset of canonical match keys.
+  std::vector<std::string> Run(const std::vector<EventPtr>& events) const;
+
+  const Pattern& pattern() const { return *pattern_; }
+
+ private:
+  explicit Oracle(PatternPtr pattern);
+
+  /// One (partial) assignment of events to positive classes plus the
+  /// deferred negation / Kleene obligations collected while walking the
+  /// structure tree.
+  struct Binding;
+
+  bool AdmitsLeaf(int cls, const EventPtr& event) const;
+  std::vector<Binding> EvalNode(const PatternNodePtr& node) const;
+  std::vector<Binding> EvalSeq(const PatternNodePtr& node) const;
+  void Finalize(const Binding& binding, std::vector<std::string>* keys) const;
+  bool IsNegatedByWindow(Binding& binding, int cls, Timestamp lo,
+                         Timestamp hi) const;
+  bool ClosureEventQualifies(Binding& binding, const EventPtr& event) const;
+  bool BasePredsPass(const Binding& binding,
+                     const std::vector<EventPtr>* group) const;
+  bool PartitionHolds(const Binding& binding,
+                      const std::vector<EventPtr>* group) const;
+
+  PatternPtr pattern_;
+  std::vector<bool> negated_class_;
+  int kleene_class_ = -1;
+
+  /// Per multi-predicate metadata (parallel to pattern_->multi_predicates).
+  struct PredInfo {
+    std::vector<int> classes;
+    bool aggregate = false;
+    bool touches_neg = false;
+    bool touches_kleene = false;
+  };
+  std::vector<PredInfo> preds_;
+
+  /// Scratch state for one Run() (events admitted per class, in
+  /// timestamp order). Mutable: Run is logically const.
+  mutable std::vector<std::vector<EventPtr>> admitted_;
+};
+
+}  // namespace zstream::testing
+
+#endif  // ZSTREAM_TESTING_ORACLE_H_

@@ -1,0 +1,336 @@
+#include "testing/pattern_gen.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "query/analyzer.h"
+
+namespace zstream::testing {
+
+namespace {
+
+// Prefix+number concatenation without `const char* + std::string&&`,
+// which trips GCC 12's -Wrestrict false positive (PR105651).
+std::string Cat(const char* prefix, int i) {
+  std::string s(prefix);
+  s += std::to_string(i);
+  return s;
+}
+
+std::string AliasName(int i) { return Cat("E", i); }
+std::string SymLit(int i) { return Cat("s", i); }
+
+}  // namespace
+
+PatternGen::PatternGen(uint64_t seed, PatternGenOptions options)
+    : rng_(seed), options_(options) {
+  std::vector<Field> fields = {{"sym", ValueType::kString},
+                               {"grp", ValueType::kString},
+                               {"val", ValueType::kInt64},
+                               {"price", ValueType::kDouble}};
+  // Seed-dependent extra fields: unused by predicates, they vary the
+  // schema the wire path serializes and the projection returns.
+  if (rng_.Bernoulli(0.4)) fields.push_back({"x0", ValueType::kInt64});
+  if (rng_.Bernoulli(0.3)) fields.push_back({"x1", ValueType::kDouble});
+  schema_ = Schema::Make(std::move(fields));
+}
+
+GeneratedPattern PatternGen::Next() {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    GeneratedPattern g = Generate();
+    if (AnalyzeQuery(g.text, schema_).ok()) return g;
+  }
+  // Degenerate fallback (never expected): a plain two-class sequence.
+  PatternBuilder b(Seq(AliasName(0), AliasName(1)));
+  b.Within(options_.min_window);
+  b.Where(Attr(AliasName(0), "sym") == SymLit(0));
+  b.Where(Attr(AliasName(1), "sym") == SymLit(1));
+  GeneratedPattern g(b);
+  g.text = b.ToQueryString();
+  g.schema = schema_;
+  g.window = options_.min_window;
+  g.num_classes = 2;
+  g.is_flat_sequence = true;
+  return g;
+}
+
+GeneratedPattern PatternGen::Generate() {
+  const int n = static_cast<int>(
+      rng_.UniformRange(2, std::max(2, options_.max_classes)));
+  std::vector<std::string> aliases;
+  for (int i = 0; i < n; ++i) aliases.push_back(AliasName(i));
+  // Aliases of merged negated-disjunction branches (extra classes).
+  std::vector<std::string> branch_aliases;
+
+  // -- structure ------------------------------------------------------
+  int neg_pos = -1;     // index into aliases
+  int kleene_pos = -1;
+  KleeneKind kleene_kind = KleeneKind::kNone;
+  int kleene_count = 0;
+  bool neg_is_disj = false;
+  bool flat_sequence = false;
+
+  const auto cls = [&](int i) { return PatternExpr(aliases[size_t(i)]); };
+  const auto mark = [&](int i) -> PatternExpr {
+    if (i == kleene_pos) {
+      switch (kleene_kind) {
+        case KleeneKind::kStar:
+          return cls(i).Star();
+        case KleeneKind::kPlus:
+          return cls(i).Plus();
+        case KleeneKind::kCount:
+          return cls(i).Times(kleene_count);
+        case KleeneKind::kNone:
+          break;
+      }
+    }
+    if (i == neg_pos) {
+      if (neg_is_disj) {
+        std::string b0 = Cat("N", i);
+        std::string b1 = b0;
+        b0 += 'a';
+        b1 += 'b';
+        branch_aliases = {b0, b1};
+        return Neg(Or(PatternExpr(b0), PatternExpr(b1)));
+      }
+      return Neg(cls(i));
+    }
+    return cls(i);
+  };
+
+  const int shape =
+      rng_.Bernoulli(options_.p_structure) && options_.max_depth >= 2
+          ? static_cast<int>(rng_.Uniform(3))  // 0=disj 1=conj 2=embedded
+          : -1;                                // flat sequence
+
+  PatternExpr pattern("E0");  // overwritten below
+  if (shape == -1) {
+    flat_sequence = true;
+    // Optional markers: one Kleene closure (never last) and/or one
+    // enclosed negation, never adjacent to each other.
+    if (n >= 2 && rng_.Bernoulli(options_.p_kleene)) {
+      // Closure in the middle (both neighbors present), or starting the
+      // two-class root form B*;C — the deterministic shapes (see
+      // Oracle's CheckSupported).
+      kleene_pos = n == 2 ? 0
+                          : 1 + static_cast<int>(
+                                    rng_.Uniform(uint64_t(n - 2)));
+      const double kind = rng_.NextDouble();
+      kleene_kind = kind < 0.4   ? KleeneKind::kStar
+                    : kind < 0.7 ? KleeneKind::kPlus
+                                 : KleeneKind::kCount;
+      if (kleene_kind == KleeneKind::kCount) {
+        kleene_count = static_cast<int>(rng_.UniformRange(1, 3));
+      }
+    }
+    if (n >= 3 && rng_.Bernoulli(options_.p_negation)) {
+      std::vector<int> spots;
+      for (int i = 1; i + 1 < n; ++i) {
+        if (std::abs(i - kleene_pos) > 1) spots.push_back(i);
+      }
+      if (!spots.empty()) {
+        neg_pos = spots[rng_.Uniform(spots.size())];
+        neg_is_disj = rng_.Bernoulli(options_.p_neg_disj);
+      }
+    }
+    std::vector<PatternExpr> parts;
+    for (int i = 0; i < n; ++i) parts.push_back(mark(i));
+    std::vector<ParseNodePtr> kids;
+    for (const PatternExpr& part : parts) kids.push_back(part.node());
+    pattern = PatternExpr(ParseNode::Make(ParseOp::kSeq, std::move(kids)));
+  } else if (shape == 0 || shape == 1) {
+    // DISJ/CONJ of 2 parts, each a class or a sub-sequence. A long
+    // enough sub-sequence may carry an enclosed negation.
+    const int split = static_cast<int>(rng_.UniformRange(1, n - 1));
+    const auto part = [&](int lo, int hi) -> PatternExpr {
+      if (hi - lo == 1) return cls(lo);
+      if (hi - lo >= 3 && neg_pos < 0 &&
+          rng_.Bernoulli(options_.p_negation)) {
+        neg_pos = lo + 1 + static_cast<int>(rng_.Uniform(uint64_t(hi - lo - 2)));
+        neg_is_disj = rng_.Bernoulli(options_.p_neg_disj);
+      }
+      std::vector<ParseNodePtr> kids;
+      for (int i = lo; i < hi; ++i) kids.push_back(mark(i).node());
+      return PatternExpr(ParseNode::Make(ParseOp::kSeq, std::move(kids)));
+    };
+    PatternExpr left = part(0, split);
+    PatternExpr right = part(split, n);
+    pattern = shape == 0 ? Or(left, right) : And(left, right);
+  } else {
+    // Sequence with one embedded DISJ/CONJ subtree of two classes; no
+    // markers (their neighbors must be plain classes).
+    const int sub = n >= 3 ? 1 + static_cast<int>(rng_.Uniform(uint64_t(n - 2)))
+                           : 0;
+    std::vector<ParseNodePtr> kids;
+    for (int i = 0; i < n; ++i) {
+      if (i == sub && i + 1 < n) {
+        PatternExpr inner = rng_.Bernoulli(0.5)
+                                ? Or(cls(i), cls(i + 1))
+                                : And(cls(i), cls(i + 1));
+        kids.push_back(inner.node());
+        ++i;
+      } else {
+        kids.push_back(cls(i).node());
+      }
+    }
+    pattern = kids.size() == 1
+                  ? PatternExpr(kids[0])
+                  : PatternExpr(ParseNode::Make(ParseOp::kSeq, std::move(kids)));
+  }
+
+  PatternBuilder builder(pattern);
+  builder.Within(
+      rng_.UniformRange(options_.min_window, options_.max_window));
+
+  // -- per-class predicates -------------------------------------------
+  const auto leaf_preds = [&](const std::string& alias) {
+    if (rng_.Bernoulli(options_.p_sym_pred)) {
+      builder.Where(Attr(alias, "sym") ==
+                    SymLit(static_cast<int>(
+                        rng_.Uniform(uint64_t(options_.sym_alphabet)))));
+    }
+    if (rng_.Bernoulli(options_.p_extra_leaf)) {
+      if (rng_.Bernoulli(0.5)) {
+        builder.Where(Attr(alias, "val") >
+                      ExprBuilder(rng_.UniformRange(0, 3)));
+      } else {
+        builder.Where(Attr(alias, "price") <=
+                      ExprBuilder(static_cast<double>(
+                          rng_.UniformRange(40, 95)) / 10.0));
+      }
+    }
+  };
+  for (int i = 0; i < n; ++i) {
+    if (i == neg_pos && neg_is_disj) continue;  // branches instead
+    leaf_preds(aliases[size_t(i)]);
+  }
+  for (const std::string& ba : branch_aliases) {
+    // Branch discriminators: each branch admits one sym.
+    builder.Where(Attr(ba, "sym") ==
+                  SymLit(static_cast<int>(
+                      rng_.Uniform(uint64_t(options_.sym_alphabet)))));
+  }
+
+  // -- cross-class predicates -----------------------------------------
+  std::vector<int> plain;  // neither negated nor closure
+  for (int i = 0; i < n; ++i) {
+    if (i != neg_pos && i != kleene_pos) plain.push_back(i);
+  }
+
+  if (plain.size() >= 2 && rng_.Bernoulli(options_.p_eq_join)) {
+    if (rng_.Bernoulli(options_.p_partition) && !neg_is_disj) {
+      // Full-coverage chain (including markers): partitionable.
+      for (int i = 1; i < n; ++i) {
+        builder.Where(Attr(aliases[size_t(i - 1)], "grp") ==
+                      Attr(aliases[size_t(i)], "grp"));
+      }
+    } else {
+      const size_t a = rng_.Uniform(plain.size());
+      size_t b = rng_.Uniform(plain.size());
+      if (b == a) b = (a + 1) % plain.size();
+      builder.Where(Attr(aliases[size_t(plain[a])], "grp") ==
+                    Attr(aliases[size_t(plain[b])], "grp"));
+    }
+  }
+
+  const auto cmp = [&](const std::string& a, const std::string& b) {
+    const bool on_val = rng_.Bernoulli(0.5);
+    ExprBuilder lhs = Attr(a, on_val ? "val" : "price");
+    ExprBuilder rhs = Attr(b, on_val ? "val" : "price");
+    if (!on_val && rng_.Bernoulli(0.3)) {
+      rhs = ExprBuilder(static_cast<double>(rng_.UniformRange(8, 15)) /
+                        10.0) *
+            rhs;
+    }
+    switch (rng_.Uniform(4)) {
+      case 0:
+        builder.Where(lhs < rhs);
+        break;
+      case 1:
+        builder.Where(lhs <= rhs);
+        break;
+      case 2:
+        builder.Where(lhs > rhs);
+        break;
+      default:
+        builder.Where(lhs >= rhs);
+        break;
+    }
+  };
+
+  if (plain.size() >= 2 && rng_.Bernoulli(options_.p_cmp_pred)) {
+    const size_t a = rng_.Uniform(plain.size());
+    size_t b = rng_.Uniform(plain.size());
+    if (b == a) b = (a + 1) % plain.size();
+    cmp(aliases[size_t(plain[a])], aliases[size_t(plain[b])]);
+  }
+  if (neg_pos >= 0 && !neg_is_disj && !plain.empty() &&
+      rng_.Bernoulli(options_.p_neg_pred)) {
+    // Negation predicate: constrains which negators kill a match. The
+    // partner is a neighbor, keeping pushed-down NSEQ plans applicable
+    // (a far partner forces the NEG-filter fallback — also exercised).
+    const int partner = rng_.Bernoulli(0.7)
+                            ? (rng_.Bernoulli(0.5) ? neg_pos - 1 : neg_pos + 1)
+                            : plain[rng_.Uniform(plain.size())];
+    if (partner != neg_pos && partner >= 0 && partner < n &&
+        partner != kleene_pos) {
+      cmp(aliases[size_t(neg_pos)], aliases[size_t(partner)]);
+    }
+  }
+  if (kleene_pos >= 0 && rng_.Bernoulli(options_.p_kleene_pred)) {
+    // Per-event closure predicates must stay inside the KSEQ's operand
+    // coverage (engine restriction): partner = an immediate neighbor.
+    const int partner =
+        rng_.Bernoulli(0.5) ? kleene_pos - 1 : kleene_pos + 1;
+    if (partner >= 0 && partner < n && partner != neg_pos) {
+      cmp(aliases[size_t(kleene_pos)], aliases[size_t(partner)]);
+    }
+  }
+  if (kleene_pos >= 0 && rng_.Bernoulli(options_.p_agg_pred)) {
+    const std::string& ka = aliases[size_t(kleene_pos)];
+    switch (rng_.Uniform(4)) {
+      case 0:
+        builder.Where(Sum(ka, "val") >=
+                      ExprBuilder(rng_.UniformRange(2, 10)));
+        break;
+      case 1:
+        builder.Where(Avg(ka, "price") <
+                      ExprBuilder(static_cast<double>(
+                          rng_.UniformRange(30, 80)) / 10.0));
+        break;
+      case 2:
+        builder.Where(Count(ka) >= ExprBuilder(rng_.UniformRange(1, 3)));
+        break;
+      default:
+        builder.Where(Max(ka, "val") <=
+                      ExprBuilder(rng_.UniformRange(4, 8)));
+        break;
+    }
+  }
+
+  // -- RETURN ---------------------------------------------------------
+  if (rng_.Bernoulli(options_.p_return) && !plain.empty()) {
+    builder.Return(Ref(aliases[size_t(plain[0])]));
+    if (plain.size() >= 2 && rng_.Bernoulli(0.5)) {
+      builder.Return(Attr(aliases[size_t(plain[1])], "price"));
+    }
+    if (kleene_pos >= 0) {
+      builder.Return(Sum(aliases[size_t(kleene_pos)], "val"));
+    }
+  }
+
+  GeneratedPattern g(builder);
+  g.text = builder.ToQueryString();
+  g.schema = schema_;
+  g.num_classes = n + static_cast<int>(branch_aliases.empty() ? 0 : 1);
+  g.has_negation = neg_pos >= 0;
+  g.has_kleene = kleene_pos >= 0;
+  g.is_flat_sequence = flat_sequence;
+  {
+    auto parsed = builder.Build();
+    if (parsed.ok()) g.window = parsed->window;
+  }
+  return g;
+}
+
+}  // namespace zstream::testing

@@ -1,0 +1,91 @@
+// Seeded random pattern-query generation for differential fuzzing.
+//
+// PatternGen emits bounded-depth pattern queries over generated schemas
+// through the public PatternBuilder, so every case is expressed as
+// canonical query text (ToQueryString) and exercises the parser,
+// rewriter and analyzer exactly like a user query. The generated space
+// covers flat sequences, disjunction/conjunction structures, sequences
+// with embedded CONJ/DISJ subtrees, negation (including merged negated
+// disjunctions `!(B|C)`), the three Kleene-closure kinds, equality-join
+// chains (sometimes full-coverage, triggering hash partitioning),
+// cross-class comparisons with arithmetic, and aggregates over the
+// closure group — while staying inside the shapes the engines and the
+// Oracle both support (markers only between plain classes inside a
+// sequence, no closure ending its sequence).
+#ifndef ZSTREAM_TESTING_PATTERN_GEN_H_
+#define ZSTREAM_TESTING_PATTERN_GEN_H_
+
+#include <string>
+
+#include "api/pattern_builder.h"
+#include "common/random.h"
+#include "common/schema.h"
+#include "common/timestamp.h"
+
+namespace zstream::testing {
+
+struct PatternGenOptions {
+  int max_classes = 5;     // >= 2
+  int max_depth = 2;       // 1: flat sequences only; 2: one nesting level
+  int sym_alphabet = 4;    // class-discriminator domain ("s0".."sK-1")
+  int key_domain = 3;      // equality-join key domain ("k0".."kK-1")
+  Duration min_window = 8;
+  Duration max_window = 30;
+
+  double p_structure = 0.45;  // DISJ / CONJ / embedded-subtree shapes
+  double p_negation = 0.3;    // per sequence with >= 3 classes
+  double p_neg_disj = 0.25;   // negation becomes a merged !(B|C)
+  double p_kleene = 0.3;      // per sequence (not combined with negation
+                              // unless the sequence is long enough)
+  double p_sym_pred = 0.85;   // per class: sym = 's<i>' discriminator
+  double p_extra_leaf = 0.2;  // per class: extra val/price literal bound
+  double p_eq_join = 0.45;    // equality-join chain on grp
+  double p_partition = 0.5;   // ... covering every class (partitionable)
+  double p_cmp_pred = 0.7;    // 1-2 cross-class comparisons
+  double p_neg_pred = 0.35;   // a comparison touches the negated class
+  double p_kleene_pred = 0.4; // a per-event comparison touches the closure
+  double p_agg_pred = 0.35;   // aggregate over the closure group
+  double p_return = 0.5;      // explicit RETURN clause
+};
+
+/// \brief One generated case: the typed builder plus its canonical text
+/// and the schema it was generated against.
+struct GeneratedPattern {
+  explicit GeneratedPattern(PatternBuilder b) : builder(std::move(b)) {}
+
+  PatternBuilder builder;
+  std::string text;  // builder.ToQueryString()
+  SchemaPtr schema;
+  Duration window = 0;
+  int num_classes = 0;
+  bool has_negation = false;
+  bool has_kleene = false;
+  bool is_flat_sequence = false;
+};
+
+/// \brief Deterministic generator: the same seed and options produce the
+/// same query sequence on every platform.
+class PatternGen {
+ public:
+  explicit PatternGen(uint64_t seed, PatternGenOptions options = {});
+
+  /// Next random query. Always analyzable against its schema (shapes the
+  /// analyzer rejects are regenerated internally).
+  GeneratedPattern Next();
+
+  /// The schema queries are generated against: the four core fields
+  /// (sym STRING, grp STRING, val INT, price DOUBLE) plus 0-2 extra
+  /// unused fields whose presence varies with the seed.
+  const SchemaPtr& schema() const { return schema_; }
+
+ private:
+  GeneratedPattern Generate();
+
+  Random rng_;
+  PatternGenOptions options_;
+  SchemaPtr schema_;
+};
+
+}  // namespace zstream::testing
+
+#endif  // ZSTREAM_TESTING_PATTERN_GEN_H_

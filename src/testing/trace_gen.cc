@@ -1,0 +1,103 @@
+#include "testing/trace_gen.h"
+
+#include <algorithm>
+#include <string>
+
+namespace zstream::testing {
+
+namespace {
+// See pattern_gen.cc: avoids GCC 12's -Wrestrict false positive.
+std::string Cat(const char* prefix, int i) {
+  std::string s(prefix);
+  s += std::to_string(i);
+  return s;
+}
+}  // namespace
+
+TraceGen::TraceGen(uint64_t seed, SchemaPtr schema, TraceGenOptions options)
+    : rng_(seed), schema_(std::move(schema)), options_(options) {}
+
+GeneratedTrace TraceGen::Next() {
+  const TraceGenOptions& o = options_;
+  GeneratedTrace out;
+
+  const auto skewed = [&](double head_mass, int domain) {
+    if (domain <= 1 || rng_.Bernoulli(head_mass)) return 0;
+    return 1 + static_cast<int>(rng_.Uniform(uint64_t(domain - 1)));
+  };
+
+  std::vector<Timestamp> stamps;
+  Timestamp ts = 1;
+  for (int i = 0; i < o.num_events; ++i) {
+    if (i > 0) {
+      if (!stamps.empty() && rng_.Bernoulli(o.p_boundary)) {
+        // Boundary-exact: land exactly `window` after an earlier event,
+        // making some span hit WITHIN's inclusive edge precisely.
+        const Timestamp anchor =
+            stamps[rng_.Uniform(stamps.size())] + o.window;
+        ts = std::max(ts, anchor);
+      } else if (rng_.Bernoulli(o.p_tie)) {
+        // gap 0: tie with the previous event
+      } else {
+        ts += static_cast<Timestamp>(rng_.Uniform(uint64_t(o.max_gap) + 1));
+      }
+    }
+    stamps.push_back(ts);
+  }
+  std::sort(stamps.begin(), stamps.end());
+
+  for (int i = 0; i < o.num_events; ++i) {
+    EventBuilder eb(schema_);
+    eb.At(stamps[size_t(i)]);
+    for (int f = 0; f < schema_->num_fields(); ++f) {
+      const Field& field = schema_->field(f);
+      if (field.name == "sym") {
+        eb.Set("sym", Value(Cat("s", skewed(o.sym_skew, o.sym_alphabet))));
+      } else if (field.name == "grp") {
+        eb.Set("grp", Value(Cat("k", skewed(o.key_skew, o.key_domain))));
+      } else {
+        switch (field.type) {
+          case ValueType::kInt64:
+            eb.Set(field.name, rng_.UniformRange(0, o.val_range));
+            break;
+          case ValueType::kDouble:
+            eb.Set(field.name,
+                   static_cast<double>(rng_.UniformRange(0, 100)) / 10.0);
+            break;
+          case ValueType::kString:
+            eb.Set(field.name,
+                   Value(Cat("v", static_cast<int>(rng_.Uniform(4)))));
+            break;
+          default:
+            eb.Set(field.name, Value(int64_t{0}));
+            break;
+        }
+      }
+    }
+    out.events.push_back(eb.Build());
+  }
+
+  if (o.shuffle_span > 0) {
+    // Bounded local shuffle: swap each position with a random partner at
+    // most shuffle_span ahead; displacement (and thus required reorder
+    // slack) stays bounded by construction and is measured exactly.
+    for (size_t i = 0; i + 1 < out.events.size(); ++i) {
+      const size_t j =
+          i + rng_.Uniform(uint64_t(o.shuffle_span) + 1);
+      if (j > i && j < out.events.size()) {
+        std::swap(out.events[i], out.events[j]);
+      }
+    }
+  }
+  Timestamp max_seen = kMinTimestamp;
+  for (const EventPtr& e : out.events) {
+    if (max_seen != kMinTimestamp && e->timestamp() < max_seen) {
+      out.max_disorder =
+          std::max(out.max_disorder, max_seen - e->timestamp());
+    }
+    max_seen = std::max(max_seen, e->timestamp());
+  }
+  return out;
+}
+
+}  // namespace zstream::testing

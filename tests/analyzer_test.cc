@@ -2,6 +2,7 @@
 // pushdown, partition detection, negated-disjunction merging.
 #include <gtest/gtest.h>
 
+#include "expr/analysis.h"
 #include "query/analyzer.h"
 
 namespace zstream {
@@ -143,6 +144,47 @@ TEST(Analyzer, TsAttributeResolves) {
   auto q = AnalyzeQuery("PATTERN A;B WHERE B.ts - A.ts > 3 WITHIN 10",
                         weblog);
   EXPECT_TRUE(q.ok()) << q.status().ToString();
+}
+
+// Same-attribute equality chains denote one equivalence class (the
+// Figure 4 "partition by name" reading), but predicate logic alone is
+// not transitive through an optional class: A.name=B.name AND
+// B.name=C.name with !B says nothing about A vs C when no B occurs.
+// The analyzer materializes the direct A=C equality so partitioned and
+// non-partitioned analyses agree (regression found by zstream_fuzz).
+TEST(Analyzer, EqualityChainThroughNegationMaterializesClosure) {
+  constexpr char kChain[] =
+      "PATTERN T1;!T2;T3 WHERE T1.name = T2.name AND T2.name = T3.name "
+      "WITHIN 10";
+  AnalyzerOptions no_part;
+  no_part.detect_partition = false;
+  const PatternPtr p = Must(kChain, no_part);
+  bool direct_t1_t3 = false;
+  for (const ExprPtr& pred : p->multi_predicates) {
+    if (ReferencedClasses(pred) == std::set<int>{0, 2}) {
+      direct_t1_t3 = true;
+    }
+  }
+  EXPECT_TRUE(direct_t1_t3) << p->ToString();
+
+  // With detection on, the whole chain (materialized edge included)
+  // becomes the partition key.
+  const PatternPtr partitioned = Must(kChain);
+  ASSERT_TRUE(partitioned->partition.has_value());
+  EXPECT_EQ(partitioned->partition->field_name, "name");
+  EXPECT_TRUE(partitioned->multi_predicates.empty());
+}
+
+// A chain over always-bound classes already enforces its closure; no
+// predicates are invented for it.
+TEST(Analyzer, BoundOnlyEqualityChainIsNotMaterialized) {
+  AnalyzerOptions no_part;
+  no_part.detect_partition = false;
+  const PatternPtr p = Must(
+      "PATTERN T1;T2;T3 WHERE T1.name = T2.name AND T2.name = T3.name "
+      "WITHIN 10",
+      no_part);
+  EXPECT_EQ(p->multi_predicates.size(), 2u);
 }
 
 }  // namespace

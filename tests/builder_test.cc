@@ -7,6 +7,7 @@
 
 #include "query/parser.h"
 #include "test_util.h"
+#include "testing/pattern_gen.h"
 #include "workload/stock_gen.h"
 #include "workload/weblog_gen.h"
 
@@ -303,6 +304,34 @@ TEST(BuilderParity, BuilderRequiresWithin) {
   auto incomplete = zs.Compile(PatternBuilder(Seq("A", "B")));
   ASSERT_FALSE(incomplete.ok());
   EXPECT_TRUE(incomplete.status().IsInvalidArgument());
+}
+
+// Property: every random pattern from the fuzz generator
+// (src/testing/pattern_gen.h) survives ToQueryString() -> parse ->
+// unparse with byte-identical text, and the builder, the text, and the
+// reparsed text all compile to an identical Explain() (same plan, cost
+// and stats source).
+TEST(BuilderProperty, GeneratedPatternsRoundTripThroughUnparser) {
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    testing::PatternGen gen(seed * 0x9e3779b97f4a7c15ULL);
+    const testing::GeneratedPattern g = gen.Next();
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " query: " + g.text);
+
+    auto parsed = ParseQuery(g.text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(ToQueryString(*parsed), g.text);
+
+    ZStream zs(g.schema);
+    auto from_builder = zs.Compile(g.builder);
+    ASSERT_TRUE(from_builder.ok()) << from_builder.status().ToString();
+    auto from_text = zs.Compile("default", g.text);
+    ASSERT_TRUE(from_text.ok()) << from_text.status().ToString();
+    auto from_reparse = zs.Compile("default", ToQueryString(*parsed));
+    ASSERT_TRUE(from_reparse.ok()) << from_reparse.status().ToString();
+
+    EXPECT_EQ((*from_builder)->Explain(), (*from_text)->Explain());
+    EXPECT_EQ((*from_builder)->Explain(), (*from_reparse)->Explain());
+  }
 }
 
 }  // namespace

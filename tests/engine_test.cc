@@ -182,5 +182,52 @@ TEST(Engine, PartitionedEngineMatchesSingleEngineSemantics) {
   EXPECT_GT((*pe)->num_partitions(), 1u);
 }
 
+// Regression (zstream_fuzz case: E0;(E1|E2) with E0.grp = E1.grp): hash
+// routing an equality whose class sits in a disjunction branch loses
+// the other branch's matches — its records are never indexed under any
+// key, and probes for them never ran. Such equalities must not be hash
+// routed; with and without hash indexes the match sets must agree.
+TEST(Engine, DisjunctionBranchEqualityMatchesWithAndWithoutHash) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;(B|C) WHERE A.volume = 1 AND B.volume = 2 "
+      "AND C.volume = 3 AND A.name = B.name WITHIN 10");
+  const std::vector<EventPtr> events = {
+      Stock("IBM", 1, 1, /*volume=*/1),
+      Stock("Sun", 1, 2, /*volume=*/3),  // C branch: name pred vacuous
+      Stock("Sun", 1, 3, /*volume=*/2),  // B branch: name mismatch
+      Stock("IBM", 1, 4, /*volume=*/2),  // B branch: name matches
+  };
+  EngineOptions hash_on;
+  EngineOptions hash_off;
+  hash_off.use_hash_indexes = false;
+  const auto with_hash = RunPlan(p, LeftDeepPlan(*p), events, hash_on);
+  const auto without = RunPlan(p, LeftDeepPlan(*p), events, hash_off);
+  EXPECT_EQ(with_hash, without);
+  // (A@1, C@2) via the C branch and (A@1, B@4) via the B branch.
+  EXPECT_EQ(with_hash.size(), 2u);
+}
+
+// Regression (zstream_fuzz): a non-aggregate predicate on the closure
+// class that also references a class outside the KSEQ's operands can
+// only attach above the KSEQ, where per-event qualification is
+// impossible — it used to silently drop every match; now it is
+// rejected as unsupported.
+TEST(Engine, ClosurePredicateOutsideKseqOperandsIsRejected) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B*;C;D WHERE A.volume = 1 AND B.volume = 2 "
+      "AND C.volume = 3 AND D.volume = 4 AND B.price < D.price "
+      "WITHIN 10");
+  auto engine = Engine::Create(p, LeftDeepPlan(*p));
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kNotSupported);
+
+  // The same predicate against the KSEQ's own operands is supported.
+  const PatternPtr ok = MustAnalyze(
+      "PATTERN A;B*;C;D WHERE A.volume = 1 AND B.volume = 2 "
+      "AND C.volume = 3 AND D.volume = 4 AND B.price < C.price "
+      "WITHIN 10");
+  EXPECT_TRUE(Engine::Create(ok, LeftDeepPlan(*ok)).ok());
+}
+
 }  // namespace
 }  // namespace zstream

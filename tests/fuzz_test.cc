@@ -1,0 +1,164 @@
+// Seeded differential fuzz suites (CTest label: fuzz): fixed-seed runs
+// of the src/testing/ differential driver — brute-force oracle vs tree
+// engine (every applicable strategy), NFA, sharded runtime and the
+// loopback net server — plus hand-computed anchors pinning the oracle's
+// own semantics (WITHIN boundary, negation strictness, empty closure
+// groups) and a cross-check against the older ReferenceMatcher.
+//
+// A failure prints the query and the zstream_fuzz-style divergence
+// details; reproduce interactively with
+//   zstream_fuzz --seed <seed> --case-start <case> --cases 1
+// after matching the knobs shown in the failure message.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "testing/differential.h"
+
+namespace zstream::testing {
+namespace {
+
+// ---------------------------------------------------------------------
+// Oracle anchors: semantics pinned on hand-computed scenarios.
+// ---------------------------------------------------------------------
+
+std::vector<std::string> OracleKeys(const PatternPtr& pattern,
+                                    const std::vector<EventPtr>& events) {
+  auto oracle = Oracle::Create(pattern);
+  EXPECT_TRUE(oracle.ok()) << oracle.status().ToString();
+  return (*oracle)->Run(events);
+}
+
+TEST(Oracle, WithinBoundaryIsInclusive) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B WHERE A.name='A' AND B.name='B' WITHIN 10");
+  EXPECT_EQ(OracleKeys(p, {Stock("A", 1, 0), Stock("B", 1, 10)}).size(),
+            1u);  // span == window: inside
+  EXPECT_EQ(OracleKeys(p, {Stock("A", 1, 0), Stock("B", 1, 11)}).size(),
+            0u);  // one past: outside
+}
+
+TEST(Oracle, SequenceOrderingIsStrict) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B WHERE A.name='A' AND B.name='B' WITHIN 10");
+  EXPECT_EQ(OracleKeys(p, {Stock("A", 1, 5), Stock("B", 1, 5)}).size(),
+            0u);  // equal timestamps never satisfy SEQ
+}
+
+TEST(Oracle, NegationIsStrictlyBetween) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;!B;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "WITHIN 100");
+  // Negators exactly ON the enclosing timestamps do not kill.
+  EXPECT_EQ(OracleKeys(p, {Stock("A", 1, 1), Stock("B", 1, 1),
+                           Stock("B", 1, 9), Stock("C", 1, 9)})
+                .size(),
+            1u);
+  EXPECT_EQ(OracleKeys(p, {Stock("A", 1, 1), Stock("B", 1, 5),
+                           Stock("C", 1, 9)})
+                .size(),
+            0u);
+}
+
+TEST(Oracle, KleeneStarEmitsEmptyGroup) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B*;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "WITHIN 100");
+  const auto keys = OracleKeys(p, {Stock("A", 1, 1), Stock("C", 1, 5)});
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], "0@1|2@5|g{}");
+}
+
+TEST(Oracle, KleeneCountSlidesOverQualifyingRun) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B^2;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "WITHIN 100");
+  const auto keys = OracleKeys(
+      p, {Stock("A", 1, 1), Stock("B", 1, 2), Stock("B", 1, 3),
+          Stock("B", 1, 4), Stock("C", 1, 5)});
+  ASSERT_EQ(keys.size(), 2u);  // {2,3} and {3,4}
+  EXPECT_EQ(keys[0], "0@1|2@5|g{2,3,}");
+  EXPECT_EQ(keys[1], "0@1|2@5|g{3,4,}");
+}
+
+// Two independently written brute-force references (the Oracle and the
+// older test_util ReferenceMatcher) must agree on plain sequences.
+TEST(Oracle, AgreesWithReferenceMatcherOnRandomSequences) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B;C WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "AND A.price > B.price WITHIN 25");
+  Random rng(77);
+  std::vector<EventPtr> events;
+  Timestamp ts = 0;
+  const std::string names = "ABC";
+  for (int i = 0; i < 200; ++i) {
+    ts += static_cast<Timestamp>(rng.Uniform(3));
+    events.push_back(Stock(std::string(1, names[rng.Uniform(3)]),
+                           static_cast<double>(rng.Uniform(100)), ts));
+  }
+  ReferenceMatcher reference(p);
+  EXPECT_EQ(OracleKeys(p, events), reference.Run(events));
+}
+
+// ---------------------------------------------------------------------
+// Seeded differential suites over all execution paths.
+// ---------------------------------------------------------------------
+
+std::string Describe(const CaseReport& report) {
+  std::string out = report.error;
+  for (const Divergence& d : report.divergences) {
+    out += "\n  path=" + d.path + " expected=" +
+           std::to_string(d.expected) + " got=" + std::to_string(d.got) +
+           " " + d.detail;
+  }
+  return out;
+}
+
+class DifferentialFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialFuzz, AllPathsMatchOracle) {
+  const uint64_t seed = GetParam();
+  const DifferentialDriver driver;
+  int paths_total = 0;
+  for (int c = 0; c < 30; ++c) {
+    // Same case derivation as tools/zstream_fuzz with --events 48.
+    const uint64_t case_seed =
+        seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(c);
+    PatternGen pattern_gen(case_seed);
+    const GeneratedPattern pattern = pattern_gen.Next();
+
+    TraceGenOptions trace_options;
+    trace_options.num_events = 48;
+    trace_options.window = pattern.window;
+    switch (c % 4) {
+      case 1:
+        trace_options.shuffle_span = 2;
+        break;
+      case 2:
+        trace_options.p_tie = 0.25;
+        break;
+      case 3:
+        trace_options.shuffle_span = 5;
+        break;
+      default:
+        break;
+    }
+    TraceGen trace_gen(case_seed ^ 0xda3e39cb94b95bdbULL, pattern.schema,
+                       trace_options);
+    const GeneratedTrace trace = trace_gen.Next();
+
+    const CaseReport report = driver.RunCase(pattern, trace);
+    EXPECT_TRUE(report.ok)
+        << "repro: zstream_fuzz --seed " << seed << " --case-start " << c
+        << " --cases 1 --events 48\n  query: " << pattern.text
+        << Describe(report);
+    paths_total += report.paths_run;
+  }
+  // Sanity: the suite exercised a healthy number of execution paths.
+  EXPECT_GT(paths_total, 30 * 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace zstream::testing

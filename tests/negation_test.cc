@@ -131,5 +131,66 @@ TEST(Negation, LongWindowManyNegators) {
   EXPECT_TRUE(matches.empty());
 }
 
+// Regression (zstream_fuzz case: (E0;!E1;E2)&E3): NegationTopPlan used
+// to flatten the positive classes into one SEQ chain, imposing a
+// temporal order the conjunction does not have and losing every match
+// whose conjunct interleaves.
+TEST(Negation, NegationTopPreservesConjStructure) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN (A;!B;C)&D WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "AND D.name='D' WITHIN 20");
+  // D arrives BETWEEN A and C: fine for a conjunction, fatal for the
+  // old flattened [A ; C ; D] chain.
+  const std::vector<EventPtr> events = {
+      Stock("A", 1, 1), Stock("D", 1, 3), Stock("C", 1, 5),
+  };
+  const auto top = RunPlan(p, NegationTopPlan(*p), events);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], "0@1|2@5|3@3|");
+  EXPECT_EQ(RunPlan(p, LeftDeepPlan(*p), events), top);
+}
+
+// Regression (zstream_fuzz): a NEG filter's scope is its enclosing
+// classes; a record from the OTHER disjunction branch (enclosing slots
+// unbound) used to fall back to the record's own span as the negation
+// window and get killed by unrelated negators.
+TEST(Negation, NegFilterPassesOtherDisjunctionBranch) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN (A;B)|(C;!D;E) WHERE A.name='A' AND B.name='B' "
+      "AND C.name='C' AND D.name='D' AND E.name='E' WITHIN 20");
+  // A negator between A and B must not kill the (A, B) branch match.
+  const std::vector<EventPtr> events = {
+      Stock("A", 1, 1), Stock("D", 1, 2), Stock("B", 1, 3),
+  };
+  const auto keys = RunPlan(p, NegationTopPlan(*p), events);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], "0@1|1@3|");
+}
+
+// Regression (zstream_fuzz): a negation predicate spanning classes an
+// NSEQ cannot cover must compile on CONJ/DISJ-shaped patterns too (the
+// optimal planner's structural fallback now chooses a NEG filter for
+// that class instead of an unbuildable pushed-down plan).
+TEST(Negation, NonLocalNegationPredicateOnDisjPatternCompiles) {
+  ZStream zs(StockSchema());
+  auto query = zs.Compile(
+      "PATTERN (A;!B;C)|D WHERE A.name='A' AND B.name='B' AND C.name='C' "
+      "AND D.name='D' AND B.price < A.price WITHIN 20");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+
+  // Negator at t=2 fails B.price < A.price (7 > 5): match survives.
+  (*query)->Push(Stock("A", 5, 1));
+  (*query)->Push(Stock("B", 7, 2));
+  (*query)->Push(Stock("C", 1, 3));
+  // Negator at t=12 passes the predicate (3 < 5): match killed.
+  (*query)->Push(Stock("A", 5, 11));
+  (*query)->Push(Stock("B", 3, 12));
+  (*query)->Push(Stock("C", 1, 13));
+  // D-branch match, untouched by the negation.
+  (*query)->Push(Stock("D", 1, 30));
+  (*query)->Finish();
+  EXPECT_EQ((*query)->num_matches(), 2u);
+}
+
 }  // namespace
 }  // namespace zstream

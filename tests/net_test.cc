@@ -263,6 +263,35 @@ TEST(NetProtocol, MatchRoundTripWithNullSlotsAndGroup) {
             runtime::CanonicalMatchKey(match));
 }
 
+// Regression (found by zstream_fuzz): an empty-but-present Kleene group
+// (a '*' closure that matched zero events) must survive the wire — it
+// used to decode as "no group", changing the match's canonical key.
+TEST(NetProtocol, MatchRoundTripKeepsEmptyGroup) {
+  Match match;
+  match.span = TimeSpan{5, 9};
+  match.slots = {Stock("IBM", 10, 5), Stock("Sun", 20, 9)};
+  match.group = std::make_shared<EventGroup>();  // present, empty
+  std::string buf;
+  net::AppendMatch(&buf, "q1", match);
+  PayloadReader reader(buf);
+  auto got = net::ReadMatch(&reader, StockSchema());
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_NE(got->match.group, nullptr);
+  EXPECT_TRUE(got->match.group->empty());
+  EXPECT_EQ(runtime::CanonicalMatchKey(got->match),
+            runtime::CanonicalMatchKey(match));
+
+  Match no_group;
+  no_group.span = TimeSpan{5, 9};
+  no_group.slots = {Stock("IBM", 10, 5), Stock("Sun", 20, 9)};
+  buf.clear();
+  net::AppendMatch(&buf, "q1", no_group);
+  PayloadReader reader2(buf);
+  auto got2 = net::ReadMatch(&reader2, StockSchema());
+  ASSERT_TRUE(got2.ok()) << got2.status();
+  EXPECT_EQ(got2->match.group, nullptr);
+}
+
 // ---------------------------------------------------------------------
 // FrameParser: partial reads, oversized frames, resynchronization
 // ---------------------------------------------------------------------
@@ -377,6 +406,164 @@ TEST(NetFrameParser, BadVersionIsFatal) {
   auto again = parser.Next();
   ASSERT_FALSE(again.ok());
   EXPECT_EQ(again.status().error_code(), errc::kNetBadVersion);
+}
+
+// ---------------------------------------------------------------------
+// FrameParser byte-mutation fuzz: seeded random corruption of valid
+// frame streams. Properties: payload-only corruption never desyncs
+// framing (exact frame count, later frames intact) and corrupt
+// payloads decode to coded errors, never crashes; arbitrary corruption
+// (headers included) always yields sane frames, coded errors, or the
+// sticky fatal state — never a crash, a hang, or an oversized payload.
+// ---------------------------------------------------------------------
+
+namespace fuzz {
+
+struct FrameStream {
+  std::string bytes;
+  std::vector<std::pair<size_t, size_t>> header_spans;
+  size_t num_frames = 0;
+};
+
+FrameStream BuildValidStream(uint64_t seed) {
+  Random rng(seed);
+  FrameStream out;
+  const auto add = [&](MsgType type, const std::string& payload) {
+    out.header_spans.emplace_back(out.bytes.size(), out.bytes.size() + 8);
+    net::AppendFrame(&out.bytes, type, 0, payload);
+    ++out.num_frames;
+  };
+  add(MsgType::kDdl, kStockDdl);
+  std::string batch;
+  std::vector<EventPtr> events;
+  const int n = 1 + static_cast<int>(rng.Uniform(6));
+  for (int i = 0; i < n; ++i) {
+    events.push_back(Stock("SYM" + std::to_string(rng.Uniform(3)),
+                           static_cast<double>(rng.Uniform(100)),
+                           static_cast<Timestamp>(i)));
+  }
+  net::AppendEventBatch(&batch, "stock", events, 0, events.size());
+  add(MsgType::kEventBatch, batch);
+  Match match;
+  match.span = TimeSpan{0, 9};
+  match.slots = {events.front(), nullptr, events.back()};
+  std::string match_payload;
+  net::AppendMatch(&match_payload, "q", match);
+  add(MsgType::kMatch, match_payload);
+  add(MsgType::kFlush, "");
+  return out;
+}
+
+/// Drains the parser; every yielded frame must be sane, every error
+/// coded. Returns the frames; stops on the sticky fatal state.
+std::vector<FrameParser::Frame> DrainChecked(FrameParser* parser,
+                                             uint32_t max_payload) {
+  std::vector<FrameParser::Frame> frames;
+  // Bounded: each iteration either consumes bytes or returns nullopt,
+  // so buffered()+1 iterations cannot loop forever.
+  for (size_t guard = 0; guard < parser->buffered() + 16; ++guard) {
+    auto next = parser->Next();
+    if (!next.ok()) {
+      EXPECT_FALSE(next.status().error_code().empty())
+          << "parser error must be coded: " << next.status();
+      if (parser->broken()) break;
+      continue;
+    }
+    if (!next->has_value()) break;
+    EXPECT_TRUE(net::IsValidMsgType(
+        static_cast<uint8_t>((**next).header.type)));
+    EXPECT_LE((**next).payload.size(), max_payload);
+    frames.push_back(std::move(**next));
+  }
+  return frames;
+}
+
+/// Runs the typed payload decoder for the frame's type: must return a
+/// value or a coded error — never crash or read out of bounds (ASan).
+void DecodeChecked(const FrameParser::Frame& frame) {
+  PayloadReader reader(frame.payload);
+  switch (frame.header.type) {
+    case MsgType::kEventBatch: {
+      auto stream_name = reader.ReadString();
+      if (!stream_name.ok()) return;
+      auto count = reader.ReadU32();
+      if (!count.ok()) return;
+      for (uint32_t i = 0; i < std::min<uint32_t>(*count, 1024); ++i) {
+        if (!net::ReadEvent(&reader, StockSchema()).ok()) return;
+      }
+      break;
+    }
+    case MsgType::kMatch:
+      (void)net::ReadMatch(&reader, StockSchema());
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace fuzz
+
+TEST(NetFrameParserFuzz, PayloadMutationsKeepFramingAndDecodeSafely) {
+  for (uint64_t seed = 1; seed <= 150; ++seed) {
+    Random rng(seed * 7919);
+    fuzz::FrameStream stream = fuzz::BuildValidStream(seed);
+    // Corrupt 1-8 payload bytes; headers stay intact, so framing must
+    // deliver every frame and the trailing sentinel exactly once.
+    const auto in_header = [&](size_t pos) {
+      for (const auto& [lo, hi] : stream.header_spans) {
+        if (pos >= lo && pos < hi) return true;
+      }
+      return false;
+    };
+    const int mutations = 1 + static_cast<int>(rng.Uniform(8));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos = rng.Uniform(stream.bytes.size());
+      if (in_header(pos)) continue;  // only payload bytes this test
+      stream.bytes[pos] = static_cast<char>(rng.Uniform(256));
+    }
+    net::AppendFrame(&stream.bytes, MsgType::kDdl, 0, "SENTINEL");
+
+    FrameParser parser;
+    size_t pos = 0;
+    std::vector<FrameParser::Frame> frames;
+    while (pos < stream.bytes.size()) {
+      const size_t chunk = std::min(stream.bytes.size() - pos,
+                                    1 + rng.Uniform(97));
+      parser.Append(stream.bytes.data() + pos, chunk);
+      pos += chunk;
+      auto drained = fuzz::DrainChecked(&parser, net::kMaxFramePayload);
+      for (auto& f : drained) frames.push_back(std::move(f));
+    }
+    ASSERT_EQ(frames.size(), stream.num_frames + 1) << "seed " << seed;
+    EXPECT_EQ(frames.back().payload, "SENTINEL") << "seed " << seed;
+    for (const auto& frame : frames) fuzz::DecodeChecked(frame);
+  }
+}
+
+TEST(NetFrameParserFuzz, ArbitraryMutationsNeverCrashOrAcceptOversized) {
+  constexpr uint32_t kSmallBound = 4096;
+  for (uint64_t seed = 1; seed <= 300; ++seed) {
+    Random rng(seed * 6271);
+    fuzz::FrameStream stream = fuzz::BuildValidStream(seed);
+    const int mutations = 1 + static_cast<int>(rng.Uniform(6));
+    for (int m = 0; m < mutations; ++m) {
+      // Anywhere, version and length bytes included.
+      stream.bytes[rng.Uniform(stream.bytes.size())] =
+          static_cast<char>(rng.Uniform(256));
+    }
+    FrameParser parser(kSmallBound);
+    size_t pos = 0;
+    while (pos < stream.bytes.size()) {
+      const size_t chunk = std::min(stream.bytes.size() - pos,
+                                    1 + rng.Uniform(29));
+      parser.Append(stream.bytes.data() + pos, chunk);
+      pos += chunk;
+      for (const auto& frame : fuzz::DrainChecked(&parser, kSmallBound)) {
+        fuzz::DecodeChecked(frame);
+      }
+      if (parser.broken()) break;  // fatal (mutated version byte): done
+    }
+  }
 }
 
 // ---------------------------------------------------------------------

@@ -96,5 +96,37 @@ TEST(Nfa, RejectsUnsupportedPatterns) {
       NfaEngine::Create(MustAnalyze("PATTERN A;B*;C WITHIN 10")).ok());
 }
 
+// Regression (zstream_fuzz): a detected hash-partition key is an
+// equality join the analyzer strips from the predicates — the backward
+// search must enforce it, or combinations cross partitions.
+TEST(Nfa, PartitionKeyEnforcedInBackwardSearch) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;B WHERE A.name = B.name AND A.price < B.price WITHIN 10");
+  ASSERT_TRUE(p->partition.has_value());
+  const std::vector<EventPtr> events = {
+      Stock("IBM", 1, 1), Stock("Sun", 5, 2), Stock("IBM", 7, 3),
+  };
+  // Only (IBM@1, IBM@3) shares the key; (IBM@1, Sun@2) and
+  // (Sun@2, IBM@3) used to be counted too.
+  EXPECT_EQ(RunNfaCount(p, events), 1u);
+}
+
+TEST(Nfa, PartitionKeyAppliesToNegators) {
+  const PatternPtr p = MustAnalyze(
+      "PATTERN A;!B;C WHERE A.name = B.name AND B.name = C.name "
+      "AND A.volume = 1 AND B.volume = 2 AND C.volume = 3 WITHIN 10");
+  ASSERT_TRUE(p->partition.has_value());
+  // A cross-partition negator cannot kill the match...
+  EXPECT_EQ(RunNfaCount(p, {Stock("IBM", 1, 1, /*volume=*/1),
+                            Stock("Sun", 1, 2, /*volume=*/2),
+                            Stock("IBM", 1, 3, /*volume=*/3)}),
+            1u);
+  // ...a same-partition negator does.
+  EXPECT_EQ(RunNfaCount(p, {Stock("IBM", 1, 11, /*volume=*/1),
+                            Stock("IBM", 1, 12, /*volume=*/2),
+                            Stock("IBM", 1, 13, /*volume=*/3)}),
+            0u);
+}
+
 }  // namespace
 }  // namespace zstream

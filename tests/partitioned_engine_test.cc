@@ -138,5 +138,30 @@ TEST(MergeStatsCatalogs, RatesSumAndSelectivitiesAverage) {
   EXPECT_DOUBLE_EQ(merged.window(), 100.0);
 }
 
+// Regression (zstream_fuzz): EngineOptions::reorder_slack used to be
+// ignored on the partitioned path — Push routed straight to the
+// sub-engine's Offer, which drops out-of-order events. The reorder
+// stage must sit BEFORE partition routing (a per-partition stage could
+// never see cross-partition disorder).
+TEST(PartitionedEngine, ReorderSlackAppliesBeforeRouting) {
+  const PatternPtr p = MustAnalyze(kQuery);
+  EngineOptions options;
+  options.reorder_slack = 10;
+  auto engine = MakeEngine(p, LeftDeepPlan(*p), options);
+  uint64_t delivered = 0;
+  engine->SetMatchCallback([&](Match&&) { ++delivered; });
+
+  // Same partition, out of order: @2 used to be dropped as late.
+  engine->Push(Stock("SYM0", 20.0, 9));
+  engine->Push(Stock("SYM0", 10.0, 2));
+  // Cross-partition interleaving, also out of order.
+  engine->Push(Stock("SYM1", 20.0, 8));
+  engine->Push(Stock("SYM1", 10.0, 3));
+  engine->Finish();
+
+  EXPECT_EQ(engine->late_events(), 0u);
+  EXPECT_EQ(delivered, 2u);  // (10@2, 20@9) and (10@3, 20@8)
+}
+
 }  // namespace
 }  // namespace zstream::testing

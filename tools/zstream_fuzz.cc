@@ -1,0 +1,261 @@
+// Differential fuzzer: seeded random (pattern, trace) cases through the
+// brute-force oracle and every execution path (src/testing/).
+//
+//   zstream_fuzz --seed 1 --cases 500
+//   zstream_fuzz --seed 42 --case-start 17 --cases 1 --verbose
+//   zstream_fuzz --seed 7 --paths runtime:4 --cases 200
+//   zstream_fuzz --seed $(date +%Y%m%d) --cases 1000000 --max-seconds 300
+//
+// Every case is fully determined by (--seed, case index, --max-depth,
+// --max-classes, --events): a failure prints the one-line repro command
+// that re-runs exactly that case, plus the (minimized) trace.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "testing/differential.h"
+
+namespace {
+
+using zstream::EventPtr;
+using zstream::testing::CaseReport;
+using zstream::testing::DifferentialDriver;
+using zstream::testing::DifferentialOptions;
+using zstream::testing::Divergence;
+using zstream::testing::GeneratedPattern;
+using zstream::testing::GeneratedTrace;
+using zstream::testing::PatternGen;
+using zstream::testing::PatternGenOptions;
+using zstream::testing::TraceGen;
+using zstream::testing::TraceGenOptions;
+
+struct Args {
+  uint64_t seed = 1;
+  int cases = 100;
+  int case_start = 0;
+  int max_depth = 2;
+  int max_classes = 5;
+  int events = 64;
+  int max_seconds = 0;  // 0: no time limit
+  std::string paths;    // csv of {tree,nfa,runtime,net} or one exact path
+  bool minimize = true;
+  bool verbose = false;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seed N] [--cases N] [--case-start N] [--max-depth N]\n"
+      "          [--max-classes N] [--events N] [--max-seconds S]\n"
+      "          [--paths tree,nfa,runtime,net | --paths <exact-path>]\n"
+      "          [--no-minimize] [--verbose]\n",
+      argv0);
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--cases") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->cases = std::atoi(v);
+    } else if (arg == "--case-start") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->case_start = std::atoi(v);
+    } else if (arg == "--max-depth") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->max_depth = std::atoi(v);
+    } else if (arg == "--max-classes") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->max_classes = std::atoi(v);
+    } else if (arg == "--events") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->events = std::atoi(v);
+    } else if (arg == "--max-seconds") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->max_seconds = std::atoi(v);
+    } else if (arg == "--paths") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->paths = v;
+    } else if (arg == "--no-minimize") {
+      args->minimize = false;
+    } else if (arg == "--verbose") {
+      args->verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+DifferentialOptions PathOptions(const std::string& spec) {
+  DifferentialOptions options;
+  if (spec.empty()) return options;
+  if (spec.find(':') != std::string::npos ||
+      (spec.find(',') == std::string::npos && spec != "tree" &&
+       spec != "nfa" && spec != "runtime" && spec != "net")) {
+    options.only_path = spec;
+    return options;
+  }
+  options.tree = options.nfa = options.runtime = options.net = false;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t comma = spec.find(',', pos);
+    const std::string part =
+        spec.substr(pos, comma == std::string::npos ? spec.size() - pos
+                                                    : comma - pos);
+    if (part == "tree") options.tree = true;
+    if (part == "nfa") options.nfa = true;
+    if (part == "runtime") options.runtime = true;
+    if (part == "net") options.net = true;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return options;
+}
+
+void DumpTrace(const std::vector<EventPtr>& events) {
+  for (const EventPtr& e : events) {
+    std::string row = "    @";
+    row += std::to_string(e->timestamp());
+    for (int f = 0; f < e->schema()->num_fields(); ++f) {
+      row += " ";
+      row += e->schema()->field(f).name;
+      row += "=";
+      row += e->value(f).ToString();
+    }
+    std::printf("%s\n", row.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  const DifferentialOptions path_options = PathOptions(args.paths);
+  const DifferentialDriver driver(path_options);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_s = [&]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  int failures = 0;
+  int ran = 0;
+  long long paths_total = 0;
+  long long matches_total = 0;
+
+  for (int c = args.case_start; c < args.case_start + args.cases; ++c) {
+    if (args.max_seconds > 0 && elapsed_s() >= args.max_seconds) break;
+
+    // Every case gets its own generators: (seed, index, knobs) fully
+    // determine it, independent of which other cases ran.
+    const uint64_t case_seed =
+        args.seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(c);
+    PatternGenOptions pg_options;
+    pg_options.max_depth = args.max_depth;
+    pg_options.max_classes = args.max_classes;
+    PatternGen pattern_gen(case_seed, pg_options);
+    const GeneratedPattern pattern = pattern_gen.Next();
+
+    TraceGenOptions tg_options;
+    tg_options.num_events = args.events;
+    tg_options.window = pattern.window;
+    // Vary the disorder profile deterministically across cases.
+    switch (c % 4) {
+      case 0:
+        tg_options.shuffle_span = 0;
+        break;
+      case 1:
+        tg_options.shuffle_span = 2;
+        break;
+      case 2:
+        tg_options.shuffle_span = 0;
+        tg_options.p_tie = 0.25;
+        break;
+      default:
+        tg_options.shuffle_span = 5;
+        break;
+    }
+    TraceGen trace_gen(case_seed ^ 0xda3e39cb94b95bdbULL, pattern.schema,
+                       tg_options);
+    const GeneratedTrace trace = trace_gen.Next();
+
+    const CaseReport report = driver.RunCase(pattern, trace);
+    ++ran;
+    paths_total += report.paths_run;
+    matches_total += static_cast<long long>(report.oracle_matches);
+
+    if (args.verbose) {
+      std::printf("case %d: %s paths=%d matches=%zu\n", c,
+                  report.ok ? "ok" : "FAIL", report.paths_run,
+                  report.oracle_matches);
+      std::printf("  query: %s\n", pattern.text.c_str());
+    }
+    if (report.ok) {
+      if (!args.verbose && ran % 100 == 0) {
+        std::printf("... %d cases, %lld paths, %lld oracle matches\n", ran,
+                    paths_total, matches_total);
+      }
+      continue;
+    }
+
+    ++failures;
+    std::printf("DIVERGENCE case=%d\n", c);
+    std::printf("  repro: zstream_fuzz --seed %llu --case-start %d "
+                "--cases 1 --max-depth %d --max-classes %d --events %d\n",
+                static_cast<unsigned long long>(args.seed), c,
+                args.max_depth, args.max_classes, args.events);
+    std::printf("  query: %s\n", pattern.text.c_str());
+    if (!report.error.empty()) {
+      std::printf("  error: %s\n", report.error.c_str());
+    }
+    for (const Divergence& d : report.divergences) {
+      std::printf("  path=%s expected=%zu got=%zu %s\n", d.path.c_str(),
+                  d.expected, d.got, d.detail.c_str());
+    }
+    if (args.minimize && !report.divergences.empty()) {
+      DifferentialOptions narrow = path_options;
+      narrow.only_path = report.divergences[0].path;
+      const DifferentialDriver narrowed(narrow);
+      const std::vector<EventPtr> minimal =
+          narrowed.MinimizeTrace(pattern, trace.events);
+      std::printf("  minimized trace (%zu of %zu events):\n",
+                  minimal.size(), trace.events.size());
+      DumpTrace(minimal);
+    }
+  }
+
+  std::printf("%d case(s), %lld path runs, %lld oracle matches, "
+              "%d failure(s) [%.1fs]\n",
+              ran, paths_total, matches_total, failures, elapsed_s());
+  return failures == 0 ? 0 : 1;
+}
