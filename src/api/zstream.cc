@@ -5,11 +5,17 @@
 #include "opt/cost_model.h"
 #include "query/error_codes.h"
 #include "query/parser.h"
+#include "verify/plan_verifier.h"
+#include "verify/typecheck.h"
 
 namespace zstream {
 
 Result<PhysicalPlan> BuildPlan(const PatternPtr& pattern,
                                const CompileOptions& options) {
+  // Every compiled query flows through here, so this is where static
+  // verification gates the pipeline: expressions first (ZS-T), then the
+  // produced plan (ZS-V) — whichever strategy built it.
+  ZS_RETURN_IF_ERROR(verify::TypecheckPattern(*pattern));
   const StatsCatalog defaults(pattern->num_classes(),
                               static_cast<double>(pattern->window));
   const StatsCatalog& stats =
@@ -31,12 +37,14 @@ Result<PhysicalPlan> BuildPlan(const PatternPtr& pattern,
       break;
     case PlanStrategy::kOptimal: {
       Planner planner(pattern, &stats, options.planner);
+      // The planner verifies its own output; no second pass here.
       return planner.OptimalPlan();
     }
   }
   if (plan.root == nullptr) {
     return Status::Internal("unknown plan strategy");
   }
+  ZS_RETURN_IF_ERROR(verify::VerifyPlan(*pattern, plan));
   // Fixed shapes: cost them under the same statistics the optimizer
   // would use, so Explain() always reports a comparable number.
   const CostModel model(pattern.get(), &stats,

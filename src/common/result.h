@@ -11,8 +11,11 @@
 namespace zstream {
 
 /// \brief Holds either a value of type T or an error Status.
+///
+/// [[nodiscard]] for the same reason as Status: an ignored Result drops
+/// both the value and the error that explains its absence.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit conversions intended: functions can `return value;` or
   // `return Status::...;`.

@@ -28,7 +28,11 @@ enum class StatusCode : char {
 ///
 /// An OK status carries no allocation; error statuses carry a code and a
 /// human-readable message.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status loses the only record that
+/// an operation failed. Call sites that genuinely fire-and-forget must
+/// say so with a `(void)` cast.
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
 

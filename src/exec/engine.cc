@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "expr/analysis.h"
+#include "verify/plan_verifier.h"
 
 namespace zstream {
 
@@ -69,7 +70,7 @@ Result<std::unique_ptr<Engine>> Engine::Create(PatternPtr pattern,
                                                const EngineOptions& options,
                                                MemoryTracker* tracker) {
   ZS_RETURN_IF_ERROR(pattern->Validate());
-  ZS_RETURN_IF_ERROR(ValidatePlan(*pattern, plan));
+  ZS_RETURN_IF_ERROR(verify::VerifyPlan(*pattern, plan));
   auto engine =
       std::unique_ptr<Engine>(new Engine(std::move(pattern), options, tracker));
   ZS_RETURN_IF_ERROR(engine->Build(plan, /*initial=*/true));
@@ -77,7 +78,10 @@ Result<std::unique_ptr<Engine>> Engine::Create(PatternPtr pattern,
 }
 
 Status Engine::Build(const PhysicalPlan& plan, bool initial) {
-  ZS_RETURN_IF_ERROR(ValidatePlan(*pattern_, plan));
+  // Full invariant pass, not just the plan-layer ValidatePlan: every
+  // plan reaching an engine (initial build or a SwitchPlan from the
+  // adaptive path) satisfies the verifier or is refused here.
+  ZS_RETURN_IF_ERROR(verify::VerifyPlan(*pattern_, plan));
   const int n = pattern_->num_classes();
 
   if (initial) {

@@ -1,5 +1,7 @@
 #include "exec/partitioned_engine.h"
 
+#include "verify/plan_verifier.h"
+
 namespace zstream {
 
 PartitionedEngine::PartitionedEngine(PatternPtr pattern, PhysicalPlan plan,
@@ -32,7 +34,7 @@ Result<std::unique_ptr<PartitionedEngine>> PartitionedEngine::Create(
         "pattern has no partition key; use Engine directly");
   }
   ZS_RETURN_IF_ERROR(pattern->Validate());
-  ZS_RETURN_IF_ERROR(ValidatePlan(*pattern, plan));
+  ZS_RETURN_IF_ERROR(verify::VerifyPlan(*pattern, plan));
   // Partitions are created lazily and GetOrCreate cannot surface a
   // construction error per event — prove the (pattern, plan, options)
   // combination actually instantiates NOW, so an unsupported shape
@@ -116,7 +118,9 @@ uint64_t PartitionedEngine::num_matches() const {
 }
 
 Status PartitionedEngine::SwitchPlan(const PhysicalPlan& plan) {
-  ZS_RETURN_IF_ERROR(ValidatePlan(*pattern_, plan));
+  // Verify before touching any partition: a refused plan must leave
+  // every sub-engine on the old one.
+  ZS_RETURN_IF_ERROR(verify::VerifyPlan(*pattern_, plan));
   for (auto& [key, part] : partitions_) {
     ZS_RETURN_IF_ERROR(part.engine->SwitchPlan(plan));
   }

@@ -107,6 +107,16 @@ ExprPtr Expr::Aggregate(AggFn fn, int class_idx, int field_idx,
   return e;
 }
 
+ExprPtr Expr::WithLocation(const ExprPtr& expr, int line, int column) {
+  if (expr == nullptr || (expr->line_ == line && expr->column_ == column)) {
+    return expr;
+  }
+  auto e = std::shared_ptr<Expr>(new Expr(*expr));
+  e->line_ = line;
+  e->column_ = column;
+  return e;
+}
+
 std::string Expr::ToString() const {
   std::ostringstream os;
   switch (kind_) {

@@ -73,7 +73,17 @@ class Expr {
   static ExprPtr Aggregate(AggFn fn, int class_idx, int field_idx,
                            std::string class_name, std::string field_name);
 
+  /// Returns a copy of `expr` carrying 1-based source coordinates.
+  /// Locations are advisory: they only feed diagnostics (ZS-T codes from
+  /// verify/typecheck), never evaluation, so 0/0 (unknown) is always safe.
+  static ExprPtr WithLocation(const ExprPtr& expr, int line, int column);
+
   ExprKind kind() const { return kind_; }
+
+  // 1-based source position of the originating token; 0 when unknown
+  // (e.g. expressions built via exprs:: helpers or PatternBuilder).
+  int line() const { return line_; }
+  int column() const { return column_; }
 
   // -- accessors (valid per kind) --------------------------------------
   const Value& literal() const { return literal_; }
@@ -114,6 +124,8 @@ class Expr {
   AggFn agg_fn_ = AggFn::kSum;
   ExprPtr left_;
   ExprPtr right_;
+  int line_ = 0;
+  int column_ = 0;
 };
 
 // Terse construction helpers (used heavily by tests and benchmarks).

@@ -1,5 +1,7 @@
 #include "opt/adaptive.h"
 
+#include "verify/plan_verifier.h"
+
 namespace zstream {
 
 AdaptiveController::AdaptiveController(PatternPtr pattern,
@@ -27,7 +29,12 @@ std::optional<PhysicalPlan> AdaptiveController::MaybeReplan(
   // Reset the baseline either way so we don't re-plan every round while
   // statistics sit just past the threshold.
   installed_stats_ = current;
-  if (!candidate.ok()) return std::nullopt;
+  // A candidate the verifier rejects must never reach SwitchPlan: the
+  // running engine would tear down state for a plan it then refuses.
+  if (!candidate.ok() ||
+      !verify::VerifyPlan(*pattern_, *candidate).ok()) {
+    return std::nullopt;
+  }
 
   const CostModel model(pattern_.get(), &current, options_.cost_params);
   const double current_cost = model.PlanCost(installed_);

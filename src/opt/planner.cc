@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "expr/analysis.h"
+#include "verify/plan_verifier.h"
 
 namespace zstream {
 
@@ -159,6 +160,7 @@ Result<PhysicalPlan> Planner::OptimalPlan() {
       push_neg[static_cast<size_t>(nc)] = CanPushNegation(*pattern_, nc);
     }
     PhysicalPlan plan = StructuralPlan(*pattern_, push_neg);
+    ZS_RETURN_IF_ERROR(verify::VerifyPlan(*pattern_, plan));
     const CostModel model(pattern_.get(), stats_, options_.cost_params);
     plan.estimated_cost = model.PlanCost(plan);
     return plan;
@@ -196,6 +198,9 @@ Result<PhysicalPlan> Planner::OptimalPlan() {
   const auto t1 = std::chrono::steady_clock::now();
   last_plan_micros_ =
       std::chrono::duration<double, std::micro>(t1 - t0).count();
+  if (best.ok()) {
+    ZS_RETURN_IF_ERROR(verify::VerifyPlan(*pattern_, *best));
+  }
   return best;
 }
 
@@ -249,6 +254,7 @@ Result<std::vector<PhysicalPlan>> Planner::EnumerateShapes() {
   std::vector<PhysicalPlan> out;
   for (const auto& root : memo[0][static_cast<size_t>(m - 1)]) {
     PhysicalPlan plan{root, 0.0};
+    ZS_RETURN_IF_ERROR(verify::VerifyPlan(*pattern_, plan));
     plan.estimated_cost = model.PlanCost(plan);
     out.push_back(std::move(plan));
   }

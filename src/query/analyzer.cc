@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "expr/analysis.h"
+#include "query/error_codes.h"
 #include "query/parser.h"
 #include "query/rewrite.h"
 
@@ -149,62 +150,93 @@ class AnalyzerImpl {
     return PatternNode::Class(idx);
   }
 
+  // Resolution carries the UExpr's source coordinates onto both the
+  // produced Expr (for later verify/typecheck diagnostics) and any
+  // error raised here (coded ZS-T: these are type/name errors, caught
+  // statically before any event flows).
   Result<ExprPtr> Resolve(const UExprPtr& u) {
     switch (u->kind) {
       case UExprKind::kLiteral:
-        return Expr::Literal(u->literal);
+        return Expr::WithLocation(Expr::Literal(u->literal), u->line,
+                                  u->column);
       case UExprKind::kAttr: {
         auto it = aliases_.find(u->alias);
         if (it == aliases_.end()) {
           return Status::SemanticError("unknown event class '" + u->alias +
-                                       "'");
+                                       "'")
+              .WithErrorCode(errc::kTypeUnknownAlias)
+              .WithLocation(u->line, u->column);
         }
         if (u->field.empty()) {
-          return Status::SemanticError(
-              "bare class reference '" + u->alias +
-              "' is only allowed in RETURN");
+          return Status::SemanticError("bare class reference '" + u->alias +
+                                       "' is only allowed in RETURN")
+              .WithErrorCode(errc::kTypeUnknownAttribute)
+              .WithLocation(u->line, u->column);
         }
         const int cls = it->second.class_idx;
         const int fidx = schema_->FieldIndex(u->field);
         if (fidx >= 0) {
-          return Expr::AttrRef(cls, fidx, u->alias, u->field);
+          return Expr::WithLocation(
+              Expr::AttrRef(cls, fidx, u->alias, u->field), u->line,
+              u->column);
         }
         if (EqualsIgnoreCase(u->field, "ts")) {
-          return Expr::TimeRef(cls, u->alias);
+          return Expr::WithLocation(Expr::TimeRef(cls, u->alias), u->line,
+                                    u->column);
         }
         return Status::SemanticError("unknown attribute '" + u->field +
                                      "' (schema: " + schema_->ToString() +
-                                     ")");
+                                     ")")
+            .WithErrorCode(errc::kTypeUnknownAttribute)
+            .WithLocation(u->line, u->column);
       }
       case UExprKind::kUnary: {
         ZS_ASSIGN_OR_RETURN(ExprPtr operand, Resolve(u->left));
-        return Expr::Unary(u->un_op, std::move(operand));
+        return Expr::WithLocation(Expr::Unary(u->un_op, std::move(operand)),
+                                  u->line, u->column);
       }
       case UExprKind::kBinary: {
         ZS_ASSIGN_OR_RETURN(ExprPtr l, Resolve(u->left));
         ZS_ASSIGN_OR_RETURN(ExprPtr r, Resolve(u->right));
-        return Expr::Binary(u->bin_op, std::move(l), std::move(r));
+        return Expr::WithLocation(
+            Expr::Binary(u->bin_op, std::move(l), std::move(r)), u->line,
+            u->column);
       }
       case UExprKind::kAgg: {
         ZS_ASSIGN_OR_RETURN(AggFn fn, AggFnFromName(u->agg_name));
         auto it = aliases_.find(u->alias);
         if (it == aliases_.end()) {
           return Status::SemanticError("unknown event class '" + u->alias +
-                                       "' in aggregate");
+                                       "' in aggregate")
+              .WithErrorCode(errc::kTypeUnknownAlias)
+              .WithLocation(u->line, u->column);
         }
         const int cls = it->second.class_idx;
         if (!pattern_->classes[static_cast<size_t>(cls)].is_kleene()) {
-          return Status::SemanticError(
-              "aggregate over non-Kleene class '" + u->alias + "'");
+          return Status::SemanticError("aggregate over non-Kleene class '" +
+                                       u->alias + "'")
+              .WithErrorCode(errc::kTypeAggNonKleene)
+              .WithLocation(u->line, u->column);
         }
         int fidx = -1;
         if (!u->field.empty()) {
-          ZS_ASSIGN_OR_RETURN(fidx, schema_->RequireField(u->field));
+          fidx = schema_->FieldIndex(u->field);
+          if (fidx < 0) {
+            return Status::SemanticError(
+                       "unknown attribute '" + u->field + "' (schema: " +
+                       schema_->ToString() + ")")
+                .WithErrorCode(errc::kTypeUnknownAttribute)
+                .WithLocation(u->line, u->column);
+          }
         } else if (fn != AggFn::kCount) {
           return Status::SemanticError("aggregate '" + u->agg_name +
-                                       "' requires an attribute");
+                                       "' requires an attribute")
+              .WithErrorCode(errc::kTypeAggMissingField)
+              .WithLocation(u->line, u->column);
         }
-        return Expr::Aggregate(fn, cls, fidx, u->alias, u->field);
+        return Expr::WithLocation(
+            Expr::Aggregate(fn, cls, fidx, u->alias, u->field), u->line,
+            u->column);
       }
     }
     return Status::Internal("unreachable expression kind");
@@ -477,7 +509,9 @@ class AnalyzerImpl {
         auto it = aliases_.find(u->alias);
         if (it == aliases_.end()) {
           return Status::SemanticError("unknown event class '" + u->alias +
-                                       "' in RETURN");
+                                       "' in RETURN")
+              .WithErrorCode(errc::kTypeUnknownAlias)
+              .WithLocation(u->line, u->column);
         }
         pattern_->return_items.push_back(
             ReturnItem{nullptr, it->second.class_idx, u->alias});

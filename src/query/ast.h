@@ -64,12 +64,21 @@ struct UExpr {
   BinaryOp bin_op = BinaryOp::kEq;
   std::string agg_name;  // kAgg
   UExprPtr left, right;
+  // 1-based source coordinates of the token that introduced this node
+  // (0 when built programmatically). The analyzer threads them onto the
+  // resolved Expr so ZS-T diagnostics can point into the query text.
+  int line = 0;
+  int column = 0;
 
-  static UExprPtr Lit(Value v);
-  static UExprPtr Attr(std::string alias, std::string field);
-  static UExprPtr Unary(UnaryOp op, UExprPtr operand);
-  static UExprPtr Binary(BinaryOp op, UExprPtr l, UExprPtr r);
-  static UExprPtr Agg(std::string fn, std::string alias, std::string field);
+  static UExprPtr Lit(Value v, int line = 0, int column = 0);
+  static UExprPtr Attr(std::string alias, std::string field, int line = 0,
+                       int column = 0);
+  static UExprPtr Unary(UnaryOp op, UExprPtr operand, int line = 0,
+                        int column = 0);
+  static UExprPtr Binary(BinaryOp op, UExprPtr l, UExprPtr r, int line = 0,
+                         int column = 0);
+  static UExprPtr Agg(std::string fn, std::string alias, std::string field,
+                      int line = 0, int column = 0);
 };
 
 // ---------------------------------------------------------------------

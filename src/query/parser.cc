@@ -95,40 +95,53 @@ std::string ParseNode::ToString() const {
   return os.str();
 }
 
-UExprPtr UExpr::Lit(Value v) {
+UExprPtr UExpr::Lit(Value v, int line, int column) {
   auto e = std::make_shared<UExpr>();
   e->kind = UExprKind::kLiteral;
   e->literal = std::move(v);
+  e->line = line;
+  e->column = column;
   return e;
 }
-UExprPtr UExpr::Attr(std::string alias, std::string field) {
+UExprPtr UExpr::Attr(std::string alias, std::string field, int line,
+                     int column) {
   auto e = std::make_shared<UExpr>();
   e->kind = UExprKind::kAttr;
   e->alias = std::move(alias);
   e->field = std::move(field);
+  e->line = line;
+  e->column = column;
   return e;
 }
-UExprPtr UExpr::Unary(UnaryOp op, UExprPtr operand) {
+UExprPtr UExpr::Unary(UnaryOp op, UExprPtr operand, int line, int column) {
   auto e = std::make_shared<UExpr>();
   e->kind = UExprKind::kUnary;
   e->un_op = op;
   e->left = std::move(operand);
+  e->line = line;
+  e->column = column;
   return e;
 }
-UExprPtr UExpr::Binary(BinaryOp op, UExprPtr l, UExprPtr r) {
+UExprPtr UExpr::Binary(BinaryOp op, UExprPtr l, UExprPtr r, int line,
+                       int column) {
   auto e = std::make_shared<UExpr>();
   e->kind = UExprKind::kBinary;
   e->bin_op = op;
   e->left = std::move(l);
   e->right = std::move(r);
+  e->line = line;
+  e->column = column;
   return e;
 }
-UExprPtr UExpr::Agg(std::string fn, std::string alias, std::string field) {
+UExprPtr UExpr::Agg(std::string fn, std::string alias, std::string field,
+                    int line, int column) {
   auto e = std::make_shared<UExpr>();
   e->kind = UExprKind::kAgg;
   e->agg_name = std::move(fn);
   e->alias = std::move(alias);
   e->field = std::move(field);
+  e->line = line;
+  e->column = column;
   return e;
 }
 
@@ -282,9 +295,10 @@ Result<ParseNodePtr> Parser::ApplyClosure(ParseNodePtr node) {
 Result<UExprPtr> Parser::OrExpr() {
   ZS_ASSIGN_OR_RETURN(UExprPtr left, AndExpr());
   while (Peek().IsKeyword("OR")) {
-    Advance();
+    const Token& op_tok = Advance();
     ZS_ASSIGN_OR_RETURN(UExprPtr right, AndExpr());
-    left = UExpr::Binary(BinaryOp::kOr, std::move(left), std::move(right));
+    left = UExpr::Binary(BinaryOp::kOr, std::move(left), std::move(right),
+                         op_tok.line, op_tok.column);
   }
   return left;
 }
@@ -292,18 +306,20 @@ Result<UExprPtr> Parser::OrExpr() {
 Result<UExprPtr> Parser::AndExpr() {
   ZS_ASSIGN_OR_RETURN(UExprPtr left, NotExpr());
   while (Peek().IsKeyword("AND")) {
-    Advance();
+    const Token& op_tok = Advance();
     ZS_ASSIGN_OR_RETURN(UExprPtr right, NotExpr());
-    left = UExpr::Binary(BinaryOp::kAnd, std::move(left), std::move(right));
+    left = UExpr::Binary(BinaryOp::kAnd, std::move(left), std::move(right),
+                         op_tok.line, op_tok.column);
   }
   return left;
 }
 
 Result<UExprPtr> Parser::NotExpr() {
   if (Peek().IsKeyword("NOT")) {
-    Advance();
+    const Token& op_tok = Advance();
     ZS_ASSIGN_OR_RETURN(UExprPtr operand, NotExpr());
-    return UExpr::Unary(UnaryOp::kNot, std::move(operand));
+    return UExpr::Unary(UnaryOp::kNot, std::move(operand), op_tok.line,
+                        op_tok.column);
   }
   return Comparison();
 }
@@ -331,12 +347,13 @@ Result<UExprPtr> Parser::Comparison() {
   UExprPtr result;
   UExprPtr prev = left;
   while (IsRelop(Peek().type, &op)) {
-    Advance();
+    const Token& op_tok = Advance();
     ZS_ASSIGN_OR_RETURN(UExprPtr next, Additive());
-    UExprPtr cmp = UExpr::Binary(op, prev, next);
+    UExprPtr cmp = UExpr::Binary(op, prev, next, op_tok.line, op_tok.column);
     result = result == nullptr
                  ? cmp
-                 : UExpr::Binary(BinaryOp::kAnd, std::move(result), cmp);
+                 : UExpr::Binary(BinaryOp::kAnd, std::move(result), cmp,
+                                 op_tok.line, op_tok.column);
     prev = next;
   }
   return result;
@@ -345,12 +362,16 @@ Result<UExprPtr> Parser::Comparison() {
 Result<UExprPtr> Parser::Additive() {
   ZS_ASSIGN_OR_RETURN(UExprPtr left, Multiplicative());
   while (true) {
-    if (Match(TokenType::kPlus)) {
+    if (Peek().type == TokenType::kPlus) {
+      const Token& op_tok = Advance();
       ZS_ASSIGN_OR_RETURN(UExprPtr right, Multiplicative());
-      left = UExpr::Binary(BinaryOp::kAdd, std::move(left), std::move(right));
-    } else if (Match(TokenType::kMinus)) {
+      left = UExpr::Binary(BinaryOp::kAdd, std::move(left), std::move(right),
+                           op_tok.line, op_tok.column);
+    } else if (Peek().type == TokenType::kMinus) {
+      const Token& op_tok = Advance();
       ZS_ASSIGN_OR_RETURN(UExprPtr right, Multiplicative());
-      left = UExpr::Binary(BinaryOp::kSub, std::move(left), std::move(right));
+      left = UExpr::Binary(BinaryOp::kSub, std::move(left), std::move(right),
+                           op_tok.line, op_tok.column);
     } else {
       return left;
     }
@@ -360,15 +381,21 @@ Result<UExprPtr> Parser::Additive() {
 Result<UExprPtr> Parser::Multiplicative() {
   ZS_ASSIGN_OR_RETURN(UExprPtr left, ExprPrimary());
   while (true) {
-    if (Match(TokenType::kStar)) {
+    if (Peek().type == TokenType::kStar) {
+      const Token& op_tok = Advance();
       ZS_ASSIGN_OR_RETURN(UExprPtr right, ExprPrimary());
-      left = UExpr::Binary(BinaryOp::kMul, std::move(left), std::move(right));
-    } else if (Match(TokenType::kSlash)) {
+      left = UExpr::Binary(BinaryOp::kMul, std::move(left), std::move(right),
+                           op_tok.line, op_tok.column);
+    } else if (Peek().type == TokenType::kSlash) {
+      const Token& op_tok = Advance();
       ZS_ASSIGN_OR_RETURN(UExprPtr right, ExprPrimary());
-      left = UExpr::Binary(BinaryOp::kDiv, std::move(left), std::move(right));
-    } else if (Match(TokenType::kPercentOp)) {
+      left = UExpr::Binary(BinaryOp::kDiv, std::move(left), std::move(right),
+                           op_tok.line, op_tok.column);
+    } else if (Peek().type == TokenType::kPercentOp) {
+      const Token& op_tok = Advance();
       ZS_ASSIGN_OR_RETURN(UExprPtr right, ExprPrimary());
-      left = UExpr::Binary(BinaryOp::kMod, std::move(left), std::move(right));
+      left = UExpr::Binary(BinaryOp::kMod, std::move(left), std::move(right),
+                           op_tok.line, op_tok.column);
     } else {
       return left;
     }
@@ -380,24 +407,26 @@ Result<UExprPtr> Parser::ExprPrimary() {
   switch (t.type) {
     case TokenType::kInt: {
       Advance();
-      return UExpr::Lit(Value(static_cast<int64_t>(t.number)));
+      return UExpr::Lit(Value(static_cast<int64_t>(t.number)), t.line,
+                        t.column);
     }
     case TokenType::kFloat: {
       Advance();
-      return UExpr::Lit(Value(t.number));
+      return UExpr::Lit(Value(t.number), t.line, t.column);
     }
     case TokenType::kPercent: {
       Advance();
-      return UExpr::Lit(Value(t.number));
+      return UExpr::Lit(Value(t.number), t.line, t.column);
     }
     case TokenType::kString: {
       Advance();
-      return UExpr::Lit(Value(t.text));
+      return UExpr::Lit(Value(t.text), t.line, t.column);
     }
     case TokenType::kMinus: {
       Advance();
       ZS_ASSIGN_OR_RETURN(UExprPtr operand, ExprPrimary());
-      return UExpr::Unary(UnaryOp::kNegate, std::move(operand));
+      return UExpr::Unary(UnaryOp::kNegate, std::move(operand), t.line,
+                          t.column);
     }
     case TokenType::kLParen: {
       Advance();
@@ -421,16 +450,16 @@ Result<UExprPtr> Parser::ExprPrimary() {
           field = Advance().text;
         }
         ZS_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
-        return UExpr::Agg(ToLower(name), alias, field);
+        return UExpr::Agg(ToLower(name), alias, field, t.line, t.column);
       }
       if (Match(TokenType::kDot)) {
         if (Peek().type != TokenType::kIdent) {
           return Err("expected attribute name after '.'", errc::kParseExpectedExpr);
         }
-        return UExpr::Attr(name, Advance().text);
+        return UExpr::Attr(name, Advance().text, t.line, t.column);
       }
       // Bare alias (only meaningful in RETURN).
-      return UExpr::Attr(name, "");
+      return UExpr::Attr(name, "", t.line, t.column);
     }
     default:
       return Err("expected expression", errc::kParseExpectedExpr);

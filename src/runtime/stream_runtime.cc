@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "exec/reorder.h"
 #include "runtime/mpsc_queue.h"
+#include "verify/plan_verifier.h"
 
 namespace zstream::runtime {
 
@@ -826,6 +827,10 @@ Result<bool> StreamRuntime::ReplanQuery(QueryId id) {
   }
   std::optional<PhysicalPlan> next = qs->controller->MaybeReplan(merged);
   if (!next.has_value()) return false;
+  // The controller already verified the candidate, but a plan is about
+  // to be broadcast to every shard — re-check at the last seam so a
+  // future controller bug cannot desynchronize shard engines.
+  ZS_RETURN_IF_ERROR(verify::VerifyPlan(*qs->pattern, *next));
 
   ShardMsg switch_msg;
   switch_msg.kind = ShardMsg::Kind::kSwitchPlan;

@@ -1,0 +1,172 @@
+#include "testing/plan_mutator.h"
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+
+namespace zstream::testing {
+
+namespace {
+
+void Preorder(const PhysNodePtr& node, std::vector<const PhysNode*>* out) {
+  if (node == nullptr) return;
+  out->push_back(node.get());
+  for (const auto& c : node->children) Preorder(c, out);
+}
+
+// Path-copying replacement: the subtree at `target` (by identity) is
+// replaced with repl(target); untouched subtrees stay shared.
+PhysNodePtr Replace(const PhysNodePtr& node, const PhysNode* target,
+                    const std::function<PhysNodePtr(const PhysNode*)>& repl) {
+  if (node == nullptr) return nullptr;
+  if (node.get() == target) return repl(target);
+  bool changed = false;
+  std::vector<PhysNodePtr> kids;
+  kids.reserve(node->children.size());
+  for (const auto& c : node->children) {
+    PhysNodePtr nc = Replace(c, target, repl);
+    changed = changed || nc.get() != c.get();
+    kids.push_back(std::move(nc));
+  }
+  if (!changed) return node;
+  auto n = std::make_shared<PhysNode>(*node);
+  n->children = std::move(kids);
+  return n;
+}
+
+bool IsBinary(PhysOp op) {
+  return op == PhysOp::kSeq || op == PhysOp::kConj || op == PhysOp::kDisj ||
+         op == PhysOp::kNSeq;
+}
+
+// One applicable corruption: a target node plus the edit to apply.
+struct Candidate {
+  std::string description;
+  const PhysNode* target;
+  std::function<PhysNodePtr(const PhysNode*)> repl;
+  // Pattern-side edits leave the tree alone.
+  std::function<void(Pattern*)> edit_pattern;
+};
+
+}  // namespace
+
+std::optional<PlanMutation> MutatePlan(const Pattern& pattern,
+                                       const PhysicalPlan& plan,
+                                       uint64_t seed) {
+  const int n = pattern.num_classes();
+  std::vector<const PhysNode*> nodes;
+  Preorder(plan.root, &nodes);
+
+  std::vector<Candidate> candidates;
+  const auto add = [&](std::string desc, const PhysNode* target,
+                       std::function<PhysNodePtr(const PhysNode*)> repl) {
+    candidates.push_back(
+        Candidate{std::move(desc), target, std::move(repl), nullptr});
+  };
+
+  int first_positive = -1;
+  int first_non_kleene = -1;
+  for (int c = 0; c < n; ++c) {
+    const EventClass& ec = pattern.classes[static_cast<size_t>(c)];
+    if (first_positive < 0 && !ec.negated) first_positive = c;
+    if (first_non_kleene < 0 && !ec.is_kleene()) first_non_kleene = c;
+  }
+
+  for (const PhysNode* node : nodes) {
+    const std::string at = std::string(PhysOpName(node->op));
+    if (IsBinary(node->op)) {
+      add("drop-left-operand of " + at, node, [](const PhysNode* t) {
+        return t->children[1];
+      });
+      if (node->op == PhysOp::kSeq) {
+        add("swap-seq-operands", node, [](const PhysNode* t) {
+          auto c = std::make_shared<PhysNode>(*t);
+          std::swap(c->children[0], c->children[1]);
+          return c;
+        });
+        add("seq-to-conj", node, [](const PhysNode* t) {
+          auto c = std::make_shared<PhysNode>(*t);
+          c->op = PhysOp::kConj;
+          return c;
+        });
+      }
+      if (node->op == PhysOp::kConj || node->op == PhysOp::kDisj) {
+        add(at + "-to-seq", node, [](const PhysNode* t) {
+          auto c = std::make_shared<PhysNode>(*t);
+          c->op = PhysOp::kSeq;
+          return c;
+        });
+      }
+      if (node->op == PhysOp::kNSeq) {
+        add("flip-nseq-sides", node, [](const PhysNode* t) {
+          auto c = std::make_shared<PhysNode>(*t);
+          c->neg_left = !c->neg_left;
+          return c;
+        });
+        add("nseq-to-plain-seq", node, [](const PhysNode* t) {
+          auto c = std::make_shared<PhysNode>(*t);
+          c->op = PhysOp::kSeq;
+          return c;
+        });
+      }
+    }
+    if (node->is_leaf()) {
+      add("duplicate-leaf", node, [](const PhysNode* t) {
+        return PhysNode::Seq(PhysNode::Leaf(t->class_idx),
+                             PhysNode::Leaf(t->class_idx));
+      });
+      add("leaf-class-out-of-range", node, [n](const PhysNode*) {
+        return PhysNode::Leaf(n + 3);
+      });
+    }
+    if (node->op == PhysOp::kKSeq && first_non_kleene >= 0) {
+      add("kseq-middle-non-kleene", node, [first_non_kleene](const PhysNode* t) {
+        auto c = std::make_shared<PhysNode>(*t);
+        c->children[1] = PhysNode::Leaf(first_non_kleene);
+        return c;
+      });
+    }
+    if (node->op == PhysOp::kNegFilter) {
+      add("drop-negfilter", node, [](const PhysNode* t) {
+        return t->children[0];
+      });
+      if (first_positive >= 0) {
+        add("negfilter-positive-class", node,
+            [first_positive](const PhysNode* t) {
+              auto c = std::make_shared<PhysNode>(*t);
+              c->class_idx = first_positive;
+              return c;
+            });
+      }
+    }
+  }
+
+  // Pattern-side corruptions.
+  candidates.push_back(Candidate{
+      "window-zero", nullptr, nullptr,
+      [](Pattern* p) { p->window = 0; }});
+  if (pattern.partition.has_value() && !pattern.partition->field_indices.empty()) {
+    candidates.push_back(Candidate{
+        "partition-index-out-of-range", nullptr, nullptr, [](Pattern* p) {
+          p->partition->field_indices.back() = 99;
+        }});
+  }
+
+  if (candidates.empty()) return std::nullopt;
+  Random rng(seed);
+  const Candidate& chosen =
+      candidates[static_cast<size_t>(rng.Uniform(candidates.size()))];
+
+  PlanMutation out{pattern, plan, chosen.description};
+  if (chosen.edit_pattern != nullptr) {
+    chosen.edit_pattern(&out.pattern);
+  } else {
+    out.plan.root = Replace(plan.root, chosen.target, chosen.repl);
+  }
+  return out;
+}
+
+}  // namespace zstream::testing

@@ -1,0 +1,37 @@
+// Seeded plan corruption for verifying the verifier.
+//
+// MutatePlan applies one randomly chosen, deliberately illegal edit to a
+// valid (pattern, plan) pair — dropping or duplicating a leaf, breaking
+// sequence order, flipping an NSEQ, retargeting a NEG filter, zeroing
+// the window, truncating the partition spec, ... Every mutation kind is
+// chosen to violate at least one verifier invariant, so the fuzzer's
+// --mutate-plans mode can assert verify::VerifyPlan rejects (almost) all
+// of them; a surviving mutant is a hole in the invariant set.
+#ifndef ZSTREAM_TESTING_PLAN_MUTATOR_H_
+#define ZSTREAM_TESTING_PLAN_MUTATOR_H_
+
+#include <optional>
+#include <string>
+
+#include "plan/pattern.h"
+#include "plan/physical_plan.h"
+
+namespace zstream::testing {
+
+/// One corrupted case: the (possibly edited) pattern, the (possibly
+/// edited) plan, and which edit was made.
+struct PlanMutation {
+  Pattern pattern;
+  PhysicalPlan plan;
+  std::string description;
+};
+
+/// Applies one seeded corruption. Returns nullopt only when no mutation
+/// kind applies (cannot happen for plans with >= 2 classes).
+std::optional<PlanMutation> MutatePlan(const Pattern& pattern,
+                                       const PhysicalPlan& plan,
+                                       uint64_t seed);
+
+}  // namespace zstream::testing
+
+#endif  // ZSTREAM_TESTING_PLAN_MUTATOR_H_

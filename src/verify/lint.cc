@@ -1,0 +1,355 @@
+#include "verify/lint.h"
+
+#include <functional>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "expr/analysis.h"
+#include "query/error_codes.h"
+
+namespace zstream::verify {
+
+namespace {
+
+void AddWarning(std::vector<LintWarning>* out, const char* code,
+                std::string message, const ExprPtr& at = nullptr) {
+  LintWarning w;
+  w.code = code;
+  w.message = std::move(message);
+  if (at != nullptr) {
+    w.line = at->line();
+    w.column = at->column();
+  }
+  out->push_back(std::move(w));
+}
+
+// Flattens an AND tree into its conjuncts (the linter's unit of
+// reasoning: conjuncts of one predicate group all have to hold).
+void ConjunctsInto(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e == nullptr) return;
+  if (e->kind() == ExprKind::kBinary && e->binary_op() == BinaryOp::kAnd) {
+    ConjunctsInto(e->left(), out);
+    ConjunctsInto(e->right(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+// ---------------------------------------------------------------------
+// Constant folding (W0001 false / W0004 true)
+// ---------------------------------------------------------------------
+
+enum class Fold { kUnknown, kTrue, kFalse };
+
+Fold FoldComparison(const Expr& e) {
+  if (e.kind() == ExprKind::kLiteral && e.literal().is_bool()) {
+    return e.literal().bool_value() ? Fold::kTrue : Fold::kFalse;
+  }
+  if (e.kind() != ExprKind::kBinary) return Fold::kUnknown;
+  const ExprPtr& l = e.left();
+  const ExprPtr& r = e.right();
+  if (l->kind() != ExprKind::kLiteral || r->kind() != ExprKind::kLiteral) {
+    return Fold::kUnknown;
+  }
+  const Value& lv = l->literal();
+  const Value& rv = r->literal();
+  // Null comparisons are three-valued null: never satisfied, but that
+  // is the evaluator's documented behavior, not a foldable constant.
+  if (lv.is_null() || rv.is_null()) return Fold::kUnknown;
+  int cmp = 0;  // -1 / 0 / +1
+  if (lv.is_numeric() && rv.is_numeric()) {
+    const double a = lv.AsDouble();
+    const double b = rv.AsDouble();
+    cmp = a < b ? -1 : (a > b ? 1 : 0);
+  } else if (lv.is_string() && rv.is_string()) {
+    cmp = lv.string_value().compare(rv.string_value());
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  } else if (lv.is_bool() && rv.is_bool()) {
+    cmp = static_cast<int>(lv.bool_value()) - static_cast<int>(rv.bool_value());
+  } else {
+    return Fold::kUnknown;  // incomparable: the typechecker's problem
+  }
+  bool result = false;
+  switch (e.binary_op()) {
+    case BinaryOp::kEq: result = cmp == 0; break;
+    case BinaryOp::kNe: result = cmp != 0; break;
+    case BinaryOp::kLt: result = cmp < 0; break;
+    case BinaryOp::kLe: result = cmp <= 0; break;
+    case BinaryOp::kGt: result = cmp > 0; break;
+    case BinaryOp::kGe: result = cmp >= 0; break;
+    default: return Fold::kUnknown;
+  }
+  return result ? Fold::kTrue : Fold::kFalse;
+}
+
+// ---------------------------------------------------------------------
+// Interval reasoning (W0001 across conjuncts)
+// ---------------------------------------------------------------------
+
+// The feasible set of one attribute under a group of ANDed range
+// conjuncts: a numeric interval plus an optional string equality.
+struct Interval {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool lo_open = false;
+  bool hi_open = false;
+  bool has_str_eq = false;
+  std::string str_eq;
+  bool contradiction = false;
+  ExprPtr last;  // most recent conjunct, for the warning's location
+
+  void Tighten(BinaryOp op, const Value& v) {
+    if (v.is_string()) {
+      if (op != BinaryOp::kEq) return;
+      if (has_str_eq && str_eq != v.string_value()) contradiction = true;
+      has_str_eq = true;
+      str_eq = v.string_value();
+      return;
+    }
+    if (!v.is_numeric()) return;
+    const double x = v.AsDouble();
+    switch (op) {
+      case BinaryOp::kEq:
+        TightenLo(x, false);
+        TightenHi(x, false);
+        break;
+      case BinaryOp::kLt: TightenHi(x, true); break;
+      case BinaryOp::kLe: TightenHi(x, false); break;
+      case BinaryOp::kGt: TightenLo(x, true); break;
+      case BinaryOp::kGe: TightenLo(x, false); break;
+      default: break;  // kNe prunes a point, never empties an interval
+    }
+    if (lo > hi || (lo == hi && (lo_open || hi_open))) contradiction = true;
+  }
+
+ private:
+  void TightenLo(double x, bool open) {
+    if (x > lo || (x == lo && open)) {
+      lo = x;
+      lo_open = open;
+    }
+  }
+  void TightenHi(double x, bool open) {
+    if (x < hi || (x == hi && open)) {
+      hi = x;
+      hi_open = open;
+    }
+  }
+};
+
+// Normalizes `conjunct` to (attr, op, literal) when it is a range
+// comparison between one attribute and one constant. Returns false for
+// any other shape.
+bool AsRangeConjunct(const ExprPtr& conjunct, const Expr** attr,
+                     BinaryOp* op, const Value** literal) {
+  const Expr& e = *conjunct;
+  if (e.kind() != ExprKind::kBinary) return false;
+  switch (e.binary_op()) {
+    case BinaryOp::kEq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      break;
+    default:
+      return false;
+  }
+  const ExprPtr& l = e.left();
+  const ExprPtr& r = e.right();
+  if (l->kind() == ExprKind::kAttrRef && r->kind() == ExprKind::kLiteral) {
+    *attr = l.get();
+    *op = e.binary_op();
+    *literal = &r->literal();
+    return true;
+  }
+  if (l->kind() == ExprKind::kLiteral && r->kind() == ExprKind::kAttrRef) {
+    *attr = r.get();
+    *literal = &l->literal();
+    switch (e.binary_op()) {  // 5 < x  ==  x > 5
+      case BinaryOp::kLt: *op = BinaryOp::kGt; break;
+      case BinaryOp::kLe: *op = BinaryOp::kGe; break;
+      case BinaryOp::kGt: *op = BinaryOp::kLt; break;
+      case BinaryOp::kGe: *op = BinaryOp::kLe; break;
+      default: *op = e.binary_op(); break;
+    }
+    return true;
+  }
+  return false;
+}
+
+// Lints one AND-group: constant conjuncts (W0001/W0004), duplicate
+// conjuncts (W0005), and per-attribute interval contradictions
+// (W0001). `scope` names the group in messages.
+void LintGroup(const std::vector<ExprPtr>& conjuncts,
+               const std::string& scope, std::vector<LintWarning>* out) {
+  std::set<std::string> seen;
+  std::map<std::pair<int, int>, Interval> intervals;
+  for (const ExprPtr& c : conjuncts) {
+    switch (FoldComparison(*c)) {
+      case Fold::kFalse:
+        AddWarning(out, errc::kLintUnsatisfiable,
+                   scope + ": conjunct " + c->ToString() +
+                       " is always false; the query can never match",
+                   c);
+        continue;
+      case Fold::kTrue:
+        AddWarning(out, errc::kLintTautology,
+                   scope + ": conjunct " + c->ToString() +
+                       " is always true and filters nothing",
+                   c);
+        continue;
+      case Fold::kUnknown:
+        break;
+    }
+    if (!seen.insert(c->ToString()).second) {
+      AddWarning(out, errc::kLintDuplicateConjunct,
+                 scope + ": duplicate conjunct " + c->ToString(), c);
+    }
+    const Expr* attr = nullptr;
+    BinaryOp op = BinaryOp::kEq;
+    const Value* literal = nullptr;
+    if (AsRangeConjunct(c, &attr, &op, &literal)) {
+      Interval& iv =
+          intervals[std::make_pair(attr->class_idx(), attr->field_idx())];
+      if (iv.contradiction) continue;  // one report per attribute
+      iv.Tighten(op, *literal);
+      iv.last = c;
+      if (iv.contradiction) {
+        AddWarning(out, errc::kLintUnsatisfiable,
+                   scope + ": constraints on '" + attr->class_name() + "." +
+                       attr->field_name() +
+                       "' contradict each other; the query can never match",
+                   c);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Rules over the whole pattern
+// ---------------------------------------------------------------------
+
+void LintUnreferencedAliases(const Pattern& p, std::vector<LintWarning>* out) {
+  const int n = p.num_classes();
+  std::vector<bool> referenced(static_cast<size_t>(n), false);
+  for (const ExprPtr& pred : p.multi_predicates) {
+    for (int c : ReferencedClasses(pred)) {
+      if (c >= 0 && c < n) referenced[static_cast<size_t>(c)] = true;
+    }
+  }
+  for (const ReturnItem& item : p.return_items) {
+    if (item.expr == nullptr) {
+      if (item.class_idx >= 0 && item.class_idx < n) {
+        referenced[static_cast<size_t>(item.class_idx)] = true;
+      }
+      continue;
+    }
+    for (int c : ReferencedClasses(item.expr)) {
+      if (c >= 0 && c < n) referenced[static_cast<size_t>(c)] = true;
+    }
+  }
+  for (int c = 0; c < n; ++c) {
+    const EventClass& ec = p.classes[static_cast<size_t>(c)];
+    // Negated classes gate on absence: no predicate and no projection
+    // is their normal shape, not a smell.
+    if (ec.negated) continue;
+    if (ec.leaf_predicates.empty() && !referenced[static_cast<size_t>(c)]) {
+      AddWarning(out, errc::kLintUnreferencedAlias,
+                 "class '" + ec.alias +
+                     "' carries no predicate and is never returned; it only "
+                     "gates on an event of its type existing");
+    }
+  }
+}
+
+void LintCartesian(const Pattern& p, std::vector<LintWarning>* out) {
+  if (p.partition.has_value()) return;  // partition key correlates everything
+  const int n = p.num_classes();
+  std::vector<int> positive;
+  for (int c = 0; c < n; ++c) {
+    const EventClass& ec = p.classes[static_cast<size_t>(c)];
+    // Negated classes gate on absence; a Kleene class's group is
+    // anchored by its sequence neighbors. Neither multiplies matches by
+    // its own rate, so neither needs a correlating predicate.
+    if (!ec.negated && !ec.is_kleene()) positive.push_back(c);
+  }
+  if (positive.size() < 2) return;
+  // Union-find over positive classes; every multi-class predicate
+  // correlates the classes it touches.
+  std::vector<int> parent(static_cast<size_t>(n));
+  for (int c = 0; c < n; ++c) parent[static_cast<size_t>(c)] = c;
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      x = parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+    }
+    return x;
+  };
+  for (const ExprPtr& pred : p.multi_predicates) {
+    const std::set<int> refs = ReferencedClasses(pred);
+    int first = -1;
+    for (int c : refs) {
+      if (c < 0 || c >= n) continue;
+      if (first < 0) {
+        first = c;
+      } else {
+        parent[static_cast<size_t>(find(c))] = find(first);
+      }
+    }
+  }
+  std::set<int> components;
+  for (int c : positive) components.insert(find(c));
+  if (components.size() > 1) {
+    AddWarning(out, errc::kLintCartesian,
+               "no predicate correlates the pattern's " +
+                   std::to_string(positive.size()) +
+                   " positive classes (" + std::to_string(components.size()) +
+                   " independent groups); matches grow as the product of "
+                   "the class rates within the window");
+  }
+}
+
+}  // namespace
+
+std::string LintWarning::ToString() const {
+  std::string out = code;
+  if (line > 0) {
+    out += " [" + std::to_string(line) + ":" + std::to_string(column) + "]";
+  }
+  out += " " + message;
+  return out;
+}
+
+std::vector<LintWarning> LintPattern(const Pattern& pattern) {
+  std::vector<LintWarning> out;
+  for (const EventClass& ec : pattern.classes) {
+    std::vector<ExprPtr> conjuncts;
+    for (const ExprPtr& pred : ec.leaf_predicates) {
+      ConjunctsInto(pred, &conjuncts);
+    }
+    LintGroup(conjuncts, "class '" + ec.alias + "'", &out);
+    // Negation branches are ORed against each other, but conjuncts
+    // within one branch all have to hold, so each branch is a group.
+    for (const NegBranch& branch : ec.neg_branches) {
+      std::vector<ExprPtr> branch_conjuncts;
+      for (const ExprPtr& pred : branch.predicates) {
+        ConjunctsInto(pred, &branch_conjuncts);
+      }
+      LintGroup(branch_conjuncts, "negation branch '" + branch.alias + "'",
+                &out);
+    }
+  }
+  std::vector<ExprPtr> multi;
+  for (const ExprPtr& pred : pattern.multi_predicates) {
+    ConjunctsInto(pred, &multi);
+  }
+  LintGroup(multi, "WHERE clause", &out);
+  LintUnreferencedAliases(pattern, &out);
+  LintCartesian(pattern, &out);
+  return out;
+}
+
+}  // namespace zstream::verify

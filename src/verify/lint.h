@@ -1,0 +1,47 @@
+// Query linter (the ZS-W diagnostic family).
+//
+// Lint findings are warnings, not errors: the query is well-typed and
+// executable, but almost certainly not what the author meant. The
+// compile path never fails on them — they surface through
+// LintPattern() for tools (zstream_lint) and APIs that opt in.
+//
+//   ZS-W0001  unsatisfiable predicate: constant folding or interval
+//             reasoning over one attribute proves a conjunct false, so
+//             the query can never match.
+//   ZS-W0002  unreferenced alias: a positive class carries no
+//             predicate and is never projected; it only gates on
+//             existence, which is usually an orphaned pattern slot.
+//   ZS-W0003  cartesian pattern: no equality predicate (or partition
+//             key) links the pattern's positive classes, so matches
+//             grow as the product of the class rates.
+//   ZS-W0004  tautological predicate: a conjunct is statically true
+//             and filters nothing.
+//   ZS-W0005  duplicate conjunct: the same predicate is applied twice.
+#ifndef ZSTREAM_VERIFY_LINT_H_
+#define ZSTREAM_VERIFY_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/pattern.h"
+
+namespace zstream::verify {
+
+/// One lint finding.
+struct LintWarning {
+  std::string code;     // stable ZS-W**** code
+  std::string message;
+  int line = 0;    // 1-based; 0 when the source location is unknown
+  int column = 0;
+
+  /// "ZS-W0001 [3:14] message" (location omitted when unknown).
+  std::string ToString() const;
+};
+
+/// Runs every lint rule over an analyzed pattern. Returns findings in
+/// rule order; an empty vector means a clean bill.
+std::vector<LintWarning> LintPattern(const Pattern& pattern);
+
+}  // namespace zstream::verify
+
+#endif  // ZSTREAM_VERIFY_LINT_H_

@@ -1,0 +1,840 @@
+#include "verify/plan_verifier.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "expr/analysis.h"
+#include "query/error_codes.h"
+
+namespace zstream::verify {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Shared pass context
+// ---------------------------------------------------------------------
+
+struct Ctx {
+  const Pattern& pattern;
+  const PhysicalPlan& plan;
+  int n = 0;
+  // rel[a][b]: PatternOp of the lowest common ancestor of classes a and
+  // b in the pattern's structure tree — the relation the plan must
+  // realize for that pair (kClass used as "no relation" sentinel).
+  std::vector<std::vector<PatternOp>> rel;
+  // Classes consumed by a NegFilter wrapper anywhere in the plan. They
+  // have no position in the join tree, so adjacency/order checks treat
+  // them as transparent.
+  std::vector<bool> filter_handled;
+};
+
+std::string Alias(const Ctx& ctx, int c) {
+  if (c < 0 || c >= ctx.n) return "#" + std::to_string(c);
+  return ctx.pattern.classes[static_cast<size_t>(c)].alias;
+}
+
+// Covered classes of a subtree with NegFilter targets excluded.
+void EffCoverInto(const PhysNode* node, const Ctx& ctx,
+                  std::vector<int>* out) {
+  if (node == nullptr) return;
+  if (node->is_leaf()) {
+    if (node->class_idx < 0 || node->class_idx >= ctx.n ||
+        !ctx.filter_handled[static_cast<size_t>(node->class_idx)]) {
+      out->push_back(node->class_idx);
+    }
+    return;
+  }
+  for (const auto& c : node->children) EffCoverInto(c.get(), ctx, out);
+}
+
+std::vector<int> EffCover(const PhysNode* node, const Ctx& ctx) {
+  std::vector<int> out;
+  EffCoverInto(node, ctx, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Walk(const PhysNode* node,
+          const std::function<void(const PhysNode*)>& fn) {
+  if (node == nullptr) return;
+  fn(node);
+  for (const auto& c : node->children) Walk(c.get(), fn);
+}
+
+void Add(VerifyReport* report, const char* invariant, const char* code,
+         std::string message, bool not_supported = false) {
+  report->violations.push_back(
+      Violation{invariant, code, std::move(message), not_supported});
+}
+
+bool SeqRelated(const Ctx& ctx, int a, int b) {
+  return ctx.rel[static_cast<size_t>(a)][static_cast<size_t>(b)] ==
+         PatternOp::kSeq;
+}
+
+// True when every class strictly between `lo` and `hi` that is
+// sequence-related to `anchor` is consumed by a NegFilter (and thus
+// legitimately absent from the local join neighborhood).
+bool GapIsFilterHandled(const Ctx& ctx, int lo, int hi, int anchor) {
+  for (int x = lo + 1; x < hi; ++x) {
+    if (!SeqRelated(ctx, x, anchor)) continue;
+    if (!ctx.filter_handled[static_cast<size_t>(x)]) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Invariant passes
+// ---------------------------------------------------------------------
+
+void CheckPlanNonEmpty(const Ctx& ctx, VerifyReport* report) {
+  if (ctx.pattern.num_classes() == 0) {
+    Add(report, "plan-nonempty", errc::kVerifyEmptyPlan,
+        "pattern has no event classes");
+  }
+  if (ctx.plan.root == nullptr) {
+    Add(report, "plan-nonempty", errc::kVerifyEmptyPlan,
+        "physical plan has no root");
+  }
+}
+
+void CheckNodeShape(const Ctx& ctx, VerifyReport* report) {
+  Walk(ctx.plan.root.get(), [&](const PhysNode* node) {
+    const size_t arity = node->children.size();
+    switch (node->op) {
+      case PhysOp::kLeaf:
+        if (arity != 0) {
+          Add(report, "node-shape", errc::kVerifyNodeShape,
+              "LEAF node has children");
+        }
+        if (node->class_idx < 0 || node->class_idx >= ctx.n) {
+          Add(report, "node-shape", errc::kVerifyNodeShape,
+              "LEAF class index " + std::to_string(node->class_idx) +
+                  " out of range [0, " + std::to_string(ctx.n) + ")");
+        }
+        break;
+      case PhysOp::kSeq:
+      case PhysOp::kConj:
+      case PhysOp::kDisj:
+      case PhysOp::kNSeq:
+        if (arity != 2 || node->children[0] == nullptr ||
+            node->children[1] == nullptr) {
+          Add(report, "node-shape", errc::kVerifyNodeShape,
+              std::string(PhysOpName(node->op)) +
+                  " node must have exactly two operands");
+        }
+        break;
+      case PhysOp::kKSeq:
+        if (arity != 3 || node->children[1] == nullptr) {
+          Add(report, "node-shape", errc::kVerifyNodeShape,
+              "KSEQ node must have three operands with a closure middle");
+        }
+        break;
+      case PhysOp::kNegFilter:
+        if (arity != 1 || node->children[0] == nullptr) {
+          Add(report, "node-shape", errc::kVerifyNodeShape,
+              "NEG filter must have exactly one input");
+        }
+        if (node->class_idx < 0 || node->class_idx >= ctx.n) {
+          Add(report, "node-shape", errc::kVerifyNodeShape,
+              "NEG filter class index " + std::to_string(node->class_idx) +
+                  " out of range [0, " + std::to_string(ctx.n) + ")");
+        }
+        break;
+    }
+  });
+}
+
+void CheckCoverage(const Ctx& ctx, VerifyReport* report) {
+  const std::vector<int> covered = ctx.plan.root->CoveredClasses();
+  std::vector<int> expected(static_cast<size_t>(ctx.n));
+  for (int i = 0; i < ctx.n; ++i) expected[static_cast<size_t>(i)] = i;
+  if (covered != expected) {
+    std::string got = "{";
+    for (size_t i = 0; i < covered.size(); ++i) {
+      if (i > 0) got += ", ";
+      got += std::to_string(covered[i]);
+    }
+    got += "}";
+    Add(report, "class-coverage", errc::kVerifyCoverage,
+        "plan must consume each of the " + std::to_string(ctx.n) +
+            " classes exactly once, covers " + got);
+  }
+}
+
+// The MLIR-style structural check: every pair of classes joined by an
+// internal node must be related by the same operator in the pattern's
+// structure tree, and temporal joins must respect pattern order. This
+// is the invariant PR 5's bug #4 violated (a CONJ/DISJ pattern
+// flattened into a SEQ chain imposes an order the pattern doesn't
+// have).
+void CheckStructure(const Ctx& ctx, VerifyReport* report) {
+  const auto pair_op = [&](int a, int b) {
+    return ctx.rel[static_cast<size_t>(a)][static_cast<size_t>(b)];
+  };
+  const auto check_pairs = [&](const PhysNode* node,
+                               const std::vector<int>& earlier,
+                               const std::vector<int>& later,
+                               bool temporal) {
+    for (int a : earlier) {
+      for (int b : later) {
+        const PatternOp want = pair_op(a, b);
+        const PatternOp have =
+            temporal ? PatternOp::kSeq
+                     : (node->op == PhysOp::kConj ? PatternOp::kConj
+                                                  : PatternOp::kDisj);
+        if (want != have) {
+          Add(report, "structure-compat", errc::kVerifyStructure,
+              std::string(PhysOpName(node->op)) + " node joins '" +
+                  Alias(ctx, a) + "' and '" + Alias(ctx, b) +
+                  "' but the pattern relates them differently");
+          return;
+        }
+        if (temporal && a > b) {
+          Add(report, "structure-compat", errc::kVerifyStructure,
+              std::string(PhysOpName(node->op)) + " node orders '" +
+                  Alias(ctx, a) + "' before '" + Alias(ctx, b) +
+                  "', violating pattern order");
+          return;
+        }
+      }
+    }
+  };
+  Walk(ctx.plan.root.get(), [&](const PhysNode* node) {
+    switch (node->op) {
+      case PhysOp::kLeaf:
+      case PhysOp::kNegFilter:
+        // A NEG filter joins its class with everything below it and
+        // imposes no order; nothing structural to check.
+        return;
+      case PhysOp::kSeq:
+      case PhysOp::kNSeq:
+        check_pairs(node, EffCover(node->children[0].get(), ctx),
+                    EffCover(node->children[1].get(), ctx),
+                    /*temporal=*/true);
+        return;
+      case PhysOp::kConj:
+      case PhysOp::kDisj:
+        check_pairs(node, EffCover(node->children[0].get(), ctx),
+                    EffCover(node->children[1].get(), ctx),
+                    /*temporal=*/false);
+        return;
+      case PhysOp::kKSeq: {
+        const std::vector<int> start = EffCover(node->children[0].get(), ctx);
+        const std::vector<int> mid = EffCover(node->children[1].get(), ctx);
+        const std::vector<int> end = EffCover(node->children[2].get(), ctx);
+        check_pairs(node, start, mid, /*temporal=*/true);
+        check_pairs(node, mid, end, /*temporal=*/true);
+        check_pairs(node, start, end, /*temporal=*/true);
+        return;
+      }
+    }
+  });
+}
+
+const PhysNode* NSeqNegChild(const PhysNode* node) {
+  return node->neg_left ? node->children[0].get() : node->children[1].get();
+}
+const PhysNode* NSeqOtherChild(const PhysNode* node) {
+  return node->neg_left ? node->children[1].get() : node->children[0].get();
+}
+
+void CheckNSeqLeaf(const Ctx& ctx, VerifyReport* report) {
+  Walk(ctx.plan.root.get(), [&](const PhysNode* node) {
+    if (node->op != PhysOp::kNSeq) return;
+    const PhysNode* neg = NSeqNegChild(node);
+    if (!neg->is_leaf() || neg->class_idx < 0 || neg->class_idx >= ctx.n ||
+        !ctx.pattern.classes[static_cast<size_t>(neg->class_idx)].negated) {
+      Add(report, "nseq-negated-leaf", errc::kVerifyNseqLeaf,
+          "NSEQ's negated operand must be a negated-class leaf");
+    }
+  });
+}
+
+// The negated class must sit temporally adjacent to the other operand:
+// NSEQ(!B, rest) checks that no B occurs between B's pattern neighbors,
+// which is only sound when the plan keeps them adjacent (classes
+// consumed by a NEG filter are transparent here).
+void CheckNSeqAdjacency(const Ctx& ctx, VerifyReport* report) {
+  Walk(ctx.plan.root.get(), [&](const PhysNode* node) {
+    if (node->op != PhysOp::kNSeq) return;
+    const PhysNode* neg = NSeqNegChild(node);
+    if (!neg->is_leaf() || neg->class_idx < 0 || neg->class_idx >= ctx.n) {
+      return;  // nseq-negated-leaf already reported
+    }
+    const int nc = neg->class_idx;
+    std::vector<int> other;
+    for (int x : EffCover(NSeqOtherChild(node), ctx)) {
+      if (SeqRelated(ctx, x, nc)) other.push_back(x);
+    }
+    if (other.empty()) return;
+    if (node->neg_left) {
+      const int m = other.front();
+      if (m < nc || !GapIsFilterHandled(ctx, nc, m, nc)) {
+        Add(report, "nseq-adjacency", errc::kVerifyNseqAdjacency,
+            "NSEQ negated class '" + Alias(ctx, nc) +
+                "' is not adjacent to its right operand");
+      }
+    } else {
+      const int m = other.back();
+      if (m > nc || !GapIsFilterHandled(ctx, m, nc, nc)) {
+        Add(report, "nseq-adjacency", errc::kVerifyNseqAdjacency,
+            "NSEQ negated class '" + Alias(ctx, nc) +
+                "' is not adjacent to its left operand");
+      }
+    }
+  });
+}
+
+// Mirrors Engine::Build's Section 4.4.2 restriction: a predicate
+// referencing the NSEQ's negated class must be attachable at (or
+// below) the NSEQ itself; spanning further up would change which event
+// negates. Capability limit => NotSupported.
+void CheckNSeqPredScope(const Ctx& ctx, VerifyReport* report) {
+  Walk(ctx.plan.root.get(), [&](const PhysNode* node) {
+    if (node->op != PhysOp::kNSeq) return;
+    const PhysNode* neg = NSeqNegChild(node);
+    if (!neg->is_leaf() || neg->class_idx < 0 || neg->class_idx >= ctx.n) {
+      return;
+    }
+    const int nc = neg->class_idx;
+    const std::vector<int> cover = node->CoveredClasses();
+    for (const ExprPtr& pred : ctx.pattern.multi_predicates) {
+      const std::set<int> refs = ReferencedClasses(pred);
+      if (refs.count(nc) == 0) continue;
+      const bool inside = std::all_of(refs.begin(), refs.end(), [&](int c) {
+        return std::binary_search(cover.begin(), cover.end(), c);
+      });
+      if (!inside) {
+        Add(report, "nseq-pred-scope", errc::kVerifyNseqPredScope,
+            "negated class '" + Alias(ctx, nc) +
+                "' has predicates spanning classes outside its NSEQ; use a "
+                "negation filter on top",
+            /*not_supported=*/true);
+        return;
+      }
+    }
+  });
+}
+
+void CheckKSeqShape(const Ctx& ctx, VerifyReport* report) {
+  Walk(ctx.plan.root.get(), [&](const PhysNode* node) {
+    if (node->op != PhysOp::kKSeq) return;
+    const PhysNode* mid = node->children[1].get();
+    if (mid == nullptr || !mid->is_leaf() || mid->class_idx < 0 ||
+        mid->class_idx >= ctx.n ||
+        !ctx.pattern.classes[static_cast<size_t>(mid->class_idx)]
+             .is_kleene()) {
+      Add(report, "kseq-shape", errc::kVerifyKseqShape,
+          "KSEQ's middle operand must be the Kleene-class leaf");
+    }
+  });
+}
+
+// KSEQ assembles the closure group between its start and end operands,
+// so the closure class's sequence neighbors must live exactly there:
+// a missing or mis-anchored operand silently truncates groups.
+void CheckKSeqAdjacency(const Ctx& ctx, VerifyReport* report) {
+  Walk(ctx.plan.root.get(), [&](const PhysNode* node) {
+    if (node->op != PhysOp::kKSeq) return;
+    const PhysNode* mid = node->children[1].get();
+    if (mid == nullptr || !mid->is_leaf() || mid->class_idx < 0 ||
+        mid->class_idx >= ctx.n) {
+      return;  // kseq-shape already reported
+    }
+    const int kc = mid->class_idx;
+    const auto seq_neighbors = [&](const PhysNode* child) {
+      std::vector<int> out;
+      for (int x : EffCover(child, ctx)) {
+        if (SeqRelated(ctx, x, kc)) out.push_back(x);
+      }
+      return out;
+    };
+    const std::vector<int> start = seq_neighbors(node->children[0].get());
+    const std::vector<int> end = seq_neighbors(node->children[2].get());
+    if (start.empty()) {
+      // No earlier sequence-related class may exist outside the node.
+      if (!GapIsFilterHandled(ctx, -1, kc, kc)) {
+        Add(report, "kseq-adjacency", errc::kVerifyKseqAdjacency,
+            "KSEQ for '" + Alias(ctx, kc) +
+                "' lacks a start operand although earlier sequence classes "
+                "exist");
+      }
+    } else if (start.back() > kc ||
+               !GapIsFilterHandled(ctx, start.back(), kc, kc)) {
+      Add(report, "kseq-adjacency", errc::kVerifyKseqAdjacency,
+          "KSEQ start operand for '" + Alias(ctx, kc) +
+              "' is not temporally adjacent to the closure class");
+    }
+    if (end.empty()) {
+      if (!GapIsFilterHandled(ctx, kc, ctx.n, kc)) {
+        Add(report, "kseq-adjacency", errc::kVerifyKseqAdjacency,
+            "KSEQ for '" + Alias(ctx, kc) +
+                "' lacks an end operand although later sequence classes "
+                "exist");
+      }
+    } else if (end.front() < kc ||
+               !GapIsFilterHandled(ctx, kc, end.front(), kc)) {
+      Add(report, "kseq-adjacency", errc::kVerifyKseqAdjacency,
+          "KSEQ end operand for '" + Alias(ctx, kc) +
+              "' is not temporally adjacent to the closure class");
+    }
+  });
+}
+
+// Mirrors Engine::Build's Algorithm 4 restriction (PR 5's bug #9): a
+// non-aggregate predicate on the closure class can only filter closure
+// events while the group is assembled, i.e. when all its classes are
+// inside the KSEQ. Capability limit => NotSupported.
+void CheckKSeqPredScope(const Ctx& ctx, VerifyReport* report) {
+  Walk(ctx.plan.root.get(), [&](const PhysNode* node) {
+    if (node->op != PhysOp::kKSeq) return;
+    const PhysNode* mid = node->children[1].get();
+    if (mid == nullptr || !mid->is_leaf() || mid->class_idx < 0 ||
+        mid->class_idx >= ctx.n) {
+      return;
+    }
+    const int kc = mid->class_idx;
+    const std::vector<int> cover = node->CoveredClasses();
+    for (const ExprPtr& pred : ctx.pattern.multi_predicates) {
+      const std::set<int> refs = ReferencedClasses(pred);
+      if (refs.count(kc) == 0 || ContainsAggregate(pred)) continue;
+      const bool inside = std::all_of(refs.begin(), refs.end(), [&](int c) {
+        return std::binary_search(cover.begin(), cover.end(), c);
+      });
+      if (!inside) {
+        Add(report, "kseq-pred-scope", errc::kVerifyKseqPredScope,
+            "closure class '" + Alias(ctx, kc) +
+                "' has a non-aggregate predicate spanning classes outside "
+                "the KSEQ operands",
+            /*not_supported=*/true);
+        return;
+      }
+    }
+  });
+}
+
+void CheckKleeneLegal(const Ctx& ctx, VerifyReport* report) {
+  int kleene_count = 0;
+  for (int c = 0; c < ctx.n; ++c) {
+    const EventClass& ec = ctx.pattern.classes[static_cast<size_t>(c)];
+    if (!ec.is_kleene()) continue;
+    ++kleene_count;
+    if (ec.kleene == KleeneKind::kCount && ec.kleene_count <= 0) {
+      Add(report, "kleene-legal", errc::kVerifyKleeneLegal,
+          "Kleene count closure on '" + ec.alias +
+              "' must repeat a positive number of times");
+    }
+  }
+  if (kleene_count > 1) {
+    Add(report, "kleene-legal", errc::kVerifyKleeneLegal,
+        "at most one Kleene class is supported, pattern has " +
+            std::to_string(kleene_count));
+  }
+  // Every Kleene-class leaf must be consumed as a KSEQ middle; a plain
+  // join would treat single events as the whole group.
+  std::function<void(const PhysNode*, bool)> walk = [&](const PhysNode* node,
+                                                        bool as_kseq_mid) {
+    if (node == nullptr) return;
+    if (node->is_leaf()) {
+      if (node->class_idx >= 0 && node->class_idx < ctx.n &&
+          ctx.pattern.classes[static_cast<size_t>(node->class_idx)]
+              .is_kleene() &&
+          !as_kseq_mid) {
+        Add(report, "kleene-legal", errc::kVerifyKleeneLegal,
+            "Kleene class '" + Alias(ctx, node->class_idx) +
+                "' must be consumed as a KSEQ closure operand");
+      }
+      return;
+    }
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      walk(node->children[i].get(), node->op == PhysOp::kKSeq && i == 1);
+    }
+  };
+  walk(ctx.plan.root.get(), false);
+}
+
+// Push-mask consistency: each negated class is consumed exactly once,
+// either fused into an NSEQ or applied as a NEG filter — never joined
+// as a plain positive leaf (PR 5's bug #5 family).
+void CheckNegationHandled(const Ctx& ctx, VerifyReport* report) {
+  std::vector<int> handled(static_cast<size_t>(ctx.n), 0);
+  std::function<void(const PhysNode*, bool)> walk = [&](const PhysNode* node,
+                                                        bool as_nseq_neg) {
+    if (node == nullptr) return;
+    if (node->is_leaf()) {
+      if (node->class_idx >= 0 && node->class_idx < ctx.n) {
+        const EventClass& ec =
+            ctx.pattern.classes[static_cast<size_t>(node->class_idx)];
+        if (ec.negated && as_nseq_neg) {
+          handled[static_cast<size_t>(node->class_idx)] += 1;
+        } else if (ec.negated) {
+          Add(report, "negation-handled", errc::kVerifyNegationHandled,
+              "negated class '" + ec.alias +
+                  "' is joined as a plain leaf; it must be an NSEQ operand "
+                  "or a NEG filter");
+        }
+      }
+      return;
+    }
+    if (node->op == PhysOp::kNegFilter) {
+      if (node->class_idx >= 0 && node->class_idx < ctx.n) {
+        handled[static_cast<size_t>(node->class_idx)] += 1;
+      }
+      walk(node->children[0].get(), false);
+      return;
+    }
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      const bool neg_side =
+          node->op == PhysOp::kNSeq &&
+          ((node->neg_left && i == 0) || (!node->neg_left && i == 1));
+      walk(node->children[i].get(), neg_side);
+    }
+  };
+  walk(ctx.plan.root.get(), false);
+  for (int c = 0; c < ctx.n; ++c) {
+    if (!ctx.pattern.classes[static_cast<size_t>(c)].negated) continue;
+    if (handled[static_cast<size_t>(c)] != 1) {
+      Add(report, "negation-handled", errc::kVerifyNegationHandled,
+          "negated class '" + Alias(ctx, c) + "' is consumed " +
+              std::to_string(handled[static_cast<size_t>(c)]) +
+              " times (expected exactly once, as NSEQ operand or NEG "
+              "filter)");
+    }
+  }
+}
+
+void CheckNegFilterTarget(const Ctx& ctx, VerifyReport* report) {
+  Walk(ctx.plan.root.get(), [&](const PhysNode* node) {
+    if (node->op != PhysOp::kNegFilter) return;
+    if (node->class_idx < 0 || node->class_idx >= ctx.n ||
+        !ctx.pattern.classes[static_cast<size_t>(node->class_idx)].negated) {
+      Add(report, "negfilter-target", errc::kVerifyNegFilterTarget,
+          "NEG filter must name a negated class, got '" +
+              Alias(ctx, node->class_idx) + "'");
+    }
+  });
+}
+
+void CheckWindowPositive(const Ctx& ctx, VerifyReport* report) {
+  if (ctx.pattern.window <= 0) {
+    Add(report, "within-positive", errc::kVerifyWindowPositive,
+        "WITHIN window must be positive, got " +
+            std::to_string(ctx.pattern.window));
+  }
+}
+
+// Partition-key soundness (PR 5's bug #8 family): the installed spec
+// must name one attribute present — with one consistent type — in
+// every class's schema at the recorded index. The equality-chain
+// reasoning itself lives in the analyzer (MaterializeEqualityChains);
+// what survives in the Pattern must at least be structurally coherent,
+// because the runtime routes events by raw field index.
+void CheckPartitionKey(const Ctx& ctx, VerifyReport* report) {
+  if (!ctx.pattern.partition.has_value()) return;
+  const PartitionSpec& spec = *ctx.pattern.partition;
+  if (static_cast<int>(spec.field_indices.size()) != ctx.n) {
+    Add(report, "partition-key", errc::kVerifyPartitionKey,
+        "partition spec has " + std::to_string(spec.field_indices.size()) +
+            " field indices for " + std::to_string(ctx.n) + " classes");
+    return;
+  }
+  ValueType key_type = ValueType::kNull;
+  for (int c = 0; c < ctx.n; ++c) {
+    const EventClass& ec = ctx.pattern.classes[static_cast<size_t>(c)];
+    const int fidx = spec.field_indices[static_cast<size_t>(c)];
+    if (ec.schema == nullptr || fidx < 0 || fidx >= ec.schema->num_fields()) {
+      Add(report, "partition-key", errc::kVerifyPartitionKey,
+          "partition key index " + std::to_string(fidx) +
+              " is out of range for class '" + ec.alias + "'");
+      return;
+    }
+    const Field& field = ec.schema->field(fidx);
+    if (field.name != spec.field_name) {
+      Add(report, "partition-key", errc::kVerifyPartitionKey,
+          "partition key for class '" + ec.alias + "' resolves to '" +
+              field.name + "', spec names '" + spec.field_name + "'");
+      return;
+    }
+    if (c == 0) {
+      key_type = field.type;
+    } else if (field.type != key_type) {
+      Add(report, "partition-key", errc::kVerifyPartitionKey,
+          "partition key '" + spec.field_name +
+              "' has inconsistent types across classes");
+      return;
+    }
+  }
+}
+
+// Every predicate must reference classes that exist, leaf predicates
+// must stay within their own class, and every multi-class predicate
+// must be attachable somewhere (root coverage makes that "all refs in
+// range" once class-coverage holds).
+void CheckPredicateScope(const Ctx& ctx, VerifyReport* report) {
+  const auto refs_in_range = [&](const ExprPtr& pred) {
+    for (int c : ReferencedClasses(pred)) {
+      if (c < 0 || c >= ctx.n) return false;
+    }
+    return true;
+  };
+  for (int c = 0; c < ctx.n; ++c) {
+    const EventClass& ec = ctx.pattern.classes[static_cast<size_t>(c)];
+    for (const ExprPtr& pred : ec.leaf_predicates) {
+      const std::set<int> refs = ReferencedClasses(pred);
+      const bool own = std::all_of(refs.begin(), refs.end(),
+                                   [&](int r) { return r == c; });
+      if (!own) {
+        Add(report, "predicate-scope", errc::kVerifyPredicateScope,
+            "leaf predicate of class '" + ec.alias +
+                "' references other classes: " + pred->ToString());
+      }
+      if (ContainsAggregate(pred)) {
+        Add(report, "predicate-scope", errc::kVerifyPredicateScope,
+            "leaf predicate of class '" + ec.alias +
+                "' contains an aggregate (aggregates evaluate over "
+                "assembled groups): " + pred->ToString());
+      }
+    }
+  }
+  for (const ExprPtr& pred : ctx.pattern.multi_predicates) {
+    if (ReferencedClasses(pred).empty()) {
+      Add(report, "predicate-scope", errc::kVerifyPredicateScope,
+          "multi-class predicate references no event class: " +
+              pred->ToString());
+    } else if (!refs_in_range(pred)) {
+      Add(report, "predicate-scope", errc::kVerifyPredicateScope,
+          "predicate references a class outside the pattern: " +
+              pred->ToString());
+    }
+  }
+}
+
+void CheckReturnItems(const Ctx& ctx, VerifyReport* report) {
+  for (const ReturnItem& item : ctx.pattern.return_items) {
+    if (item.expr != nullptr) continue;  // typechecked separately
+    if (item.class_idx < 0 || item.class_idx >= ctx.n) {
+      Add(report, "return-items", errc::kVerifyReturnItems,
+          "RETURN item '" + item.label + "' references class index " +
+              std::to_string(item.class_idx) + " out of range");
+      continue;
+    }
+    if (ctx.pattern.classes[static_cast<size_t>(item.class_idx)].negated) {
+      Add(report, "return-items", errc::kVerifyReturnItems,
+          "RETURN item '" + item.label +
+              "' references a negated class (never bound in a match)");
+    }
+  }
+}
+
+void CheckNegBranches(const Ctx& ctx, VerifyReport* report) {
+  for (int c = 0; c < ctx.n; ++c) {
+    const EventClass& ec = ctx.pattern.classes[static_cast<size_t>(c)];
+    if (ec.neg_branches.empty()) continue;
+    if (!ec.negated) {
+      Add(report, "neg-branch", errc::kVerifyNegBranch,
+          "class '" + ec.alias +
+              "' carries negation branches but is not negated");
+      continue;
+    }
+    for (const NegBranch& branch : ec.neg_branches) {
+      for (const ExprPtr& pred : branch.predicates) {
+        for (int r : ReferencedClasses(pred)) {
+          if (r != c) {
+            Add(report, "neg-branch", errc::kVerifyNegBranch,
+                "branch '" + branch.alias + "' of '" + ec.alias +
+                    "' references class '" + Alias(ctx, r) +
+                    "' outside the merged negation");
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Registry + runner
+// ---------------------------------------------------------------------
+
+using PassFn = void (*)(const Ctx&, VerifyReport*);
+
+struct Pass {
+  InvariantInfo info;
+  PassFn fn;
+  bool needs_tree;  // skip when the plan tree is absent or malformed
+};
+
+const std::vector<Pass>& Passes() {
+  static const std::vector<Pass> passes = {
+      {{"plan-nonempty", errc::kVerifyEmptyPlan,
+        "pattern has classes and the plan has a root"},
+       CheckPlanNonEmpty, false},
+      {{"node-shape", errc::kVerifyNodeShape,
+        "every node has the arity and operand kinds of its operator"},
+       CheckNodeShape, true},
+      {{"class-coverage", errc::kVerifyCoverage,
+        "the plan consumes every pattern class exactly once"},
+       CheckCoverage, true},
+      {{"structure-compat", errc::kVerifyStructure,
+        "joined class pairs realize the pattern's SEQ/CONJ/DISJ relation "
+        "and temporal order"},
+       CheckStructure, true},
+      {{"nseq-negated-leaf", errc::kVerifyNseqLeaf,
+        "NSEQ's negated operand is a negated-class leaf"},
+       CheckNSeqLeaf, true},
+      {{"nseq-adjacency", errc::kVerifyNseqAdjacency,
+        "NSEQ keeps the negated class adjacent to its other operand"},
+       CheckNSeqAdjacency, true},
+      {{"nseq-pred-scope", errc::kVerifyNseqPredScope,
+        "predicates on an NSEQ's negated class stay inside the NSEQ"},
+       CheckNSeqPredScope, true},
+      {{"kseq-shape", errc::kVerifyKseqShape,
+        "KSEQ's middle operand is the Kleene-class leaf"},
+       CheckKSeqShape, true},
+      {{"kseq-adjacency", errc::kVerifyKseqAdjacency,
+        "KSEQ's start/end operands anchor the closure's sequence "
+        "neighbors"},
+       CheckKSeqAdjacency, true},
+      {{"kseq-pred-scope", errc::kVerifyKseqPredScope,
+        "non-aggregate closure predicates stay inside the KSEQ"},
+       CheckKSeqPredScope, true},
+      {{"kleene-legal", errc::kVerifyKleeneLegal,
+        "at most one Kleene class, positive counts, consumed as KSEQ "
+        "closure"},
+       CheckKleeneLegal, true},
+      {{"negation-handled", errc::kVerifyNegationHandled,
+        "each negated class is consumed exactly once, as NSEQ operand or "
+        "NEG filter (push-mask consistency)"},
+       CheckNegationHandled, true},
+      {{"negfilter-target", errc::kVerifyNegFilterTarget,
+        "NEG filters name negated classes"},
+       CheckNegFilterTarget, true},
+      {{"within-positive", errc::kVerifyWindowPositive,
+        "the WITHIN window is positive"},
+       CheckWindowPositive, false},
+      {{"partition-key", errc::kVerifyPartitionKey,
+        "the partition spec names one attribute, present with one type in "
+        "every class schema"},
+       CheckPartitionKey, false},
+      {{"predicate-scope", errc::kVerifyPredicateScope,
+        "predicates reference existing classes; leaf predicates stay on "
+        "their own class"},
+       CheckPredicateScope, false},
+      {{"return-items", errc::kVerifyReturnItems,
+        "RETURN items reference existing, non-negated classes"},
+       CheckReturnItems, false},
+      {{"neg-branch", errc::kVerifyNegBranch,
+        "negation branches live on negated classes and reference only "
+        "their merged class"},
+       CheckNegBranches, false},
+  };
+  return passes;
+}
+
+// rel[a][b] as described on Ctx. Children of one structure node relate
+// all their cross pairs by that node's operator.
+std::vector<std::vector<PatternOp>> BuildRelation(const Pattern& p) {
+  const size_t n = static_cast<size_t>(p.num_classes());
+  std::vector<std::vector<PatternOp>> rel(
+      n, std::vector<PatternOp>(n, PatternOp::kClass));
+  std::function<std::vector<int>(const PatternNodePtr&)> walk =
+      [&](const PatternNodePtr& node) -> std::vector<int> {
+    if (node == nullptr) return {};
+    if (node->is_class()) {
+      if (node->class_idx < 0 || node->class_idx >= p.num_classes()) {
+        return {};
+      }
+      return {node->class_idx};
+    }
+    std::vector<std::vector<int>> covers;
+    covers.reserve(node->children.size());
+    for (const auto& child : node->children) covers.push_back(walk(child));
+    std::vector<int> all;
+    for (size_t i = 0; i < covers.size(); ++i) {
+      for (size_t j = i + 1; j < covers.size(); ++j) {
+        for (int a : covers[i]) {
+          for (int b : covers[j]) {
+            rel[static_cast<size_t>(a)][static_cast<size_t>(b)] = node->op;
+            rel[static_cast<size_t>(b)][static_cast<size_t>(a)] = node->op;
+          }
+        }
+      }
+      all.insert(all.end(), covers[i].begin(), covers[i].end());
+    }
+    return all;
+  };
+  walk(p.root);
+  return rel;
+}
+
+std::vector<bool> CollectFilterHandled(const Pattern& p,
+                                       const PhysNodePtr& root) {
+  std::vector<bool> handled(static_cast<size_t>(p.num_classes()), false);
+  Walk(root.get(), [&](const PhysNode* node) {
+    if (node->op == PhysOp::kNegFilter && node->class_idx >= 0 &&
+        node->class_idx < p.num_classes()) {
+      handled[static_cast<size_t>(node->class_idx)] = true;
+    }
+  });
+  return handled;
+}
+
+}  // namespace
+
+const std::vector<InvariantInfo>& Invariants() {
+  static const std::vector<InvariantInfo> infos = [] {
+    std::vector<InvariantInfo> out;
+    for (const Pass& pass : Passes()) out.push_back(pass.info);
+    return out;
+  }();
+  return infos;
+}
+
+Status VerifyReport::ToStatus() const {
+  if (violations.empty()) return Status::OK();
+  // Prefer reporting corruption over capability limits: NotSupported
+  // invites callers to fall back to another shape, which is wrong when
+  // the plan is also structurally broken.
+  const Violation* first = &violations.front();
+  for (const Violation& v : violations) {
+    if (!v.not_supported) {
+      first = &v;
+      break;
+    }
+  }
+  const std::string msg =
+      "plan verifier: [" + first->invariant + "] " + first->message;
+  Status st = first->not_supported ? Status::NotSupported(msg)
+                                   : Status::SemanticError(msg);
+  return st.WithErrorCode(first->code);
+}
+
+VerifyReport VerifyPlanReport(const Pattern& pattern,
+                              const PhysicalPlan& plan) {
+  VerifyReport report;
+  Ctx ctx{pattern, plan, pattern.num_classes(), BuildRelation(pattern),
+          CollectFilterHandled(pattern, plan.root)};
+  for (const Pass& pass : Passes()) {
+    if (pass.needs_tree) {
+      if (plan.root == nullptr) continue;
+      // Arity violations make deeper passes unsafe to run.
+      if (pass.fn != CheckNodeShape &&
+          std::any_of(report.violations.begin(), report.violations.end(),
+                      [](const Violation& v) {
+                        return v.invariant == "node-shape";
+                      })) {
+        continue;
+      }
+    }
+    pass.fn(ctx, &report);
+  }
+  return report;
+}
+
+Status VerifyPlan(const Pattern& pattern, const PhysicalPlan& plan) {
+  return VerifyPlanReport(pattern, plan).ToStatus();
+}
+
+}  // namespace zstream::verify

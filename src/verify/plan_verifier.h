@@ -1,0 +1,67 @@
+// Plan verifier: a pass framework of named invariants over
+// (Pattern, PhysicalPlan), in the spirit of an MLIR operation verifier.
+//
+// Every plan-producing seam — query compile, BuildPlan and the
+// fixed-shape strategies, the DP planner, adaptive re-planning and the
+// runtime's plan switches — gates its output through VerifyPlan before
+// the plan reaches an engine. Each invariant has a stable name and a
+// stable ZS-V**** diagnostic code (query/error_codes.h); PR 5's nine
+// fuzz bugs are each a violation of one of these invariants, stated
+// here statically instead of surfacing as a match-set divergence.
+//
+// Two invariants (nseq-pred-scope, kseq-pred-scope) describe capability
+// limits rather than corruption: the plan shape is coherent but the
+// engine cannot attach the pattern's predicates to it. Those surface as
+// NotSupported (matching the engine's own behavior so callers that
+// fall back to another shape keep working); every other violation is a
+// SemanticError.
+#ifndef ZSTREAM_VERIFY_PLAN_VERIFIER_H_
+#define ZSTREAM_VERIFY_PLAN_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/pattern.h"
+#include "plan/physical_plan.h"
+
+namespace zstream::verify {
+
+/// One entry of the invariant registry.
+struct InvariantInfo {
+  const char* name;     // stable, kebab-case, e.g. "class-coverage"
+  const char* code;     // stable ZS-V**** diagnostic code
+  const char* summary;  // one-line description (docs/diagnostics.md)
+};
+
+/// The full registry of named invariants, in check order.
+const std::vector<InvariantInfo>& Invariants();
+
+/// One invariant violation found in a plan.
+struct Violation {
+  std::string invariant;  // registry name
+  std::string code;       // ZS-V**** code
+  std::string message;
+  bool not_supported = false;  // capability limit, not corruption
+};
+
+/// Result of running every invariant pass over one plan.
+struct VerifyReport {
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// OK, or the first violation as a coded Status (NotSupported for
+  /// capability-limit invariants, SemanticError otherwise).
+  Status ToStatus() const;
+};
+
+/// Runs every invariant pass and returns all violations found.
+VerifyReport VerifyPlanReport(const Pattern& pattern,
+                              const PhysicalPlan& plan);
+
+/// Convenience gate: OK iff the plan satisfies every invariant.
+Status VerifyPlan(const Pattern& pattern, const PhysicalPlan& plan);
+
+}  // namespace zstream::verify
+
+#endif  // ZSTREAM_VERIFY_PLAN_VERIFIER_H_

@@ -1,0 +1,233 @@
+#include "verify/typecheck.h"
+
+#include <string>
+
+#include "query/error_codes.h"
+
+namespace zstream::verify {
+
+namespace {
+
+// Type categories for comparison compatibility. kNull belongs to every
+// category (the evaluator null-propagates instead of erroring).
+enum class Category { kNull, kBool, kNumeric, kString };
+
+Category CategoryOf(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return Category::kNull;
+    case ValueType::kBool: return Category::kBool;
+    case ValueType::kInt64:
+    case ValueType::kDouble: return Category::kNumeric;
+    case ValueType::kString: return Category::kString;
+  }
+  return Category::kNull;
+}
+
+bool Compatible(Category a, Category b) {
+  return a == Category::kNull || b == Category::kNull || a == b;
+}
+
+const char* TypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "null";
+    case ValueType::kBool: return "bool";
+    case ValueType::kInt64: return "int64";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+  }
+  return "?";
+}
+
+Status TypeError(const Expr& e, const char* code, const std::string& msg) {
+  return Status::SemanticError(msg)
+      .WithErrorCode(code)
+      .WithLocation(e.line(), e.column());
+}
+
+// Validates the class index and (when `field` >= 0) the field index of
+// an attribute-like node, returning the class's schema.
+Result<SchemaPtr> CheckClassRef(const Expr& e, const Pattern& p) {
+  if (e.class_idx() < 0 || e.class_idx() >= p.num_classes()) {
+    return TypeError(e, errc::kTypeBadClassIndex,
+                     "expression references class index " +
+                         std::to_string(e.class_idx()) + " but pattern has " +
+                         std::to_string(p.num_classes()) + " classes");
+  }
+  return p.classes[static_cast<size_t>(e.class_idx())].schema;
+}
+
+Result<ValueType> Infer(const ExprPtr& expr, const Pattern& p) {
+  const Expr& e = *expr;
+  switch (e.kind()) {
+    case ExprKind::kLiteral:
+      return e.literal().type();
+    case ExprKind::kAttrRef: {
+      ZS_ASSIGN_OR_RETURN(SchemaPtr schema, CheckClassRef(e, p));
+      if (e.field_idx() < 0 || e.field_idx() >= schema->num_fields()) {
+        return TypeError(e, errc::kTypeUnknownAttribute,
+                         "attribute '" + e.class_name() + "." +
+                             e.field_name() + "' is not in schema " +
+                             schema->ToString());
+      }
+      return schema->field(e.field_idx()).type;
+    }
+    case ExprKind::kTimeRef:
+      ZS_RETURN_IF_ERROR(CheckClassRef(e, p).status());
+      return ValueType::kInt64;
+    case ExprKind::kIsNull:
+      ZS_RETURN_IF_ERROR(CheckClassRef(e, p).status());
+      return ValueType::kBool;
+    case ExprKind::kUnary: {
+      ZS_ASSIGN_OR_RETURN(const ValueType t, Infer(e.operand(), p));
+      const Category c = CategoryOf(t);
+      if (e.unary_op() == UnaryOp::kNot) {
+        if (!Compatible(c, Category::kBool)) {
+          return TypeError(e, errc::kTypeNonBoolLogic,
+                           std::string("NOT requires a boolean operand, got ") +
+                               TypeName(t));
+        }
+        return ValueType::kBool;
+      }
+      // kNegate.
+      if (!Compatible(c, Category::kNumeric)) {
+        return TypeError(e, errc::kTypeNonNumericArith,
+                         std::string("unary '-' requires a numeric operand, "
+                                     "got ") +
+                             TypeName(t));
+      }
+      return t;
+    }
+    case ExprKind::kBinary: {
+      ZS_ASSIGN_OR_RETURN(const ValueType lt, Infer(e.left(), p));
+      ZS_ASSIGN_OR_RETURN(const ValueType rt, Infer(e.right(), p));
+      const Category lc = CategoryOf(lt);
+      const Category rc = CategoryOf(rt);
+      switch (e.binary_op()) {
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          if (!Compatible(lc, rc)) {
+            return TypeError(e, errc::kTypeIncomparable,
+                             std::string("cannot compare ") + TypeName(lt) +
+                                 " with " + TypeName(rt) + " in " +
+                                 e.ToString());
+          }
+          return ValueType::kBool;
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          if (!Compatible(lc, Category::kBool) ||
+              !Compatible(rc, Category::kBool)) {
+            return TypeError(
+                e, errc::kTypeNonBoolLogic,
+                std::string(e.binary_op() == BinaryOp::kAnd ? "AND" : "OR") +
+                    " requires boolean operands, got " + TypeName(lt) +
+                    " and " + TypeName(rt));
+          }
+          return ValueType::kBool;
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          if (!Compatible(lc, Category::kNumeric) ||
+              !Compatible(rc, Category::kNumeric)) {
+            return TypeError(e, errc::kTypeNonNumericArith,
+                             std::string("arithmetic '") +
+                                 BinaryOpName(e.binary_op()) +
+                                 "' requires numeric operands, got " +
+                                 TypeName(lt) + " and " + TypeName(rt));
+          }
+          if (lt == ValueType::kNull || rt == ValueType::kNull) {
+            return ValueType::kNull;
+          }
+          // int64 op int64 stays int64; any double widens.
+          return (lt == ValueType::kDouble || rt == ValueType::kDouble)
+                     ? ValueType::kDouble
+                     : ValueType::kInt64;
+      }
+      return Status::Internal("unreachable binary operator");
+    }
+    case ExprKind::kAggregate: {
+      ZS_ASSIGN_OR_RETURN(SchemaPtr schema, CheckClassRef(e, p));
+      const EventClass& ec = p.classes[static_cast<size_t>(e.class_idx())];
+      if (!ec.is_kleene()) {
+        return TypeError(e, errc::kTypeAggNonKleene,
+                         std::string(AggFnName(e.agg_fn())) +
+                             "() aggregates over non-Kleene class '" +
+                             ec.alias + "'");
+      }
+      if (e.agg_fn() == AggFn::kCount) {
+        return ValueType::kInt64;
+      }
+      if (e.field_idx() < 0) {
+        return TypeError(e, errc::kTypeAggMissingField,
+                         std::string(AggFnName(e.agg_fn())) +
+                             "() requires an attribute argument");
+      }
+      if (e.field_idx() >= schema->num_fields()) {
+        return TypeError(e, errc::kTypeUnknownAttribute,
+                         "attribute '" + e.class_name() + "." +
+                             e.field_name() + "' is not in schema " +
+                             schema->ToString());
+      }
+      const ValueType ft = schema->field(e.field_idx()).type;
+      if (e.agg_fn() == AggFn::kSum || e.agg_fn() == AggFn::kAvg) {
+        if (!Compatible(CategoryOf(ft), Category::kNumeric)) {
+          return TypeError(e, errc::kTypeAggNonNumeric,
+                           std::string(AggFnName(e.agg_fn())) +
+                               "() requires a numeric attribute, got " +
+                               TypeName(ft) + " '" + e.field_name() + "'");
+        }
+        return ValueType::kDouble;
+      }
+      // min/max keep the attribute's own type.
+      return ft;
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+}  // namespace
+
+Result<ValueType> InferExprType(const ExprPtr& expr, const Pattern& pattern) {
+  if (expr == nullptr) return Status::InvalidArgument("null expression");
+  return Infer(expr, pattern);
+}
+
+Status TypecheckPredicate(const ExprPtr& expr, const Pattern& pattern) {
+  ZS_ASSIGN_OR_RETURN(const ValueType t, InferExprType(expr, pattern));
+  if (t != ValueType::kBool && t != ValueType::kNull) {
+    return Status::SemanticError("predicate must be boolean, got " +
+                                 std::string(TypeName(t)) + " in " +
+                                 expr->ToString())
+        .WithErrorCode(errc::kTypeNonBoolPredicate)
+        .WithLocation(expr->line(), expr->column());
+  }
+  return Status::OK();
+}
+
+Status TypecheckPattern(const Pattern& pattern) {
+  for (const EventClass& ec : pattern.classes) {
+    for (const ExprPtr& pred : ec.leaf_predicates) {
+      ZS_RETURN_IF_ERROR(TypecheckPredicate(pred, pattern));
+    }
+    for (const NegBranch& branch : ec.neg_branches) {
+      for (const ExprPtr& pred : branch.predicates) {
+        ZS_RETURN_IF_ERROR(TypecheckPredicate(pred, pattern));
+      }
+    }
+  }
+  for (const ExprPtr& pred : pattern.multi_predicates) {
+    ZS_RETURN_IF_ERROR(TypecheckPredicate(pred, pattern));
+  }
+  for (const ReturnItem& item : pattern.return_items) {
+    if (item.expr == nullptr) continue;  // bare class: plan verifier's job
+    ZS_RETURN_IF_ERROR(InferExprType(item.expr, pattern).status());
+  }
+  return Status::OK();
+}
+
+}  // namespace zstream::verify

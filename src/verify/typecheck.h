@@ -1,0 +1,47 @@
+// Static expression typechecker (the ZS-T diagnostic family).
+//
+// Infers a ValueType for every Expr tree against the schemas bound in a
+// Pattern and rejects — before any event flows — the errors that the
+// three-valued evaluator would otherwise silently turn into nulls at
+// match time: attributes missing from the schema, comparisons across
+// incomparable type categories, arithmetic over non-numeric operands,
+// and malformed aggregate usage. Errors carry the stable ZS-T**** code
+// plus the 1-based line/column threaded through UExpr resolution (0/0
+// for programmatically built expressions).
+//
+// The type system mirrors expr/eval.cc exactly:
+//   * kNull is a wildcard: it unifies with every type (the evaluator
+//     propagates nulls, so a null operand is never a static error);
+//   * int64 and double form one numeric category and coerce freely;
+//     int64 op int64 stays int64, any double widens the result;
+//   * comparisons require both sides in one category (bool, numeric,
+//     string) and produce bool;
+//   * AND / OR / NOT require bool operands and produce bool;
+//   * sum/avg need a numeric attribute and produce double, count
+//     produces int64, min/max produce the attribute's own type.
+#ifndef ZSTREAM_VERIFY_TYPECHECK_H_
+#define ZSTREAM_VERIFY_TYPECHECK_H_
+
+#include "common/result.h"
+#include "common/value.h"
+#include "expr/expr.h"
+#include "plan/pattern.h"
+
+namespace zstream::verify {
+
+/// Infers the result type of `expr` against `pattern`'s class schemas.
+/// Returns kNull for expressions that statically evaluate to null.
+Result<ValueType> InferExprType(const ExprPtr& expr, const Pattern& pattern);
+
+/// Typechecks one predicate: it must infer to bool (or null — a
+/// statically-null predicate is well-typed, just never satisfied).
+Status TypecheckPredicate(const ExprPtr& expr, const Pattern& pattern);
+
+/// Typechecks every expression a pattern carries: per-class leaf
+/// predicates, negation-branch predicates, multi-class predicates
+/// (all must be boolean) and RETURN projections (any type).
+Status TypecheckPattern(const Pattern& pattern);
+
+}  // namespace zstream::verify
+
+#endif  // ZSTREAM_VERIFY_TYPECHECK_H_

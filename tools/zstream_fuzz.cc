@@ -15,9 +15,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "api/zstream.h"
+#include "query/analyzer.h"
 #include "testing/differential.h"
+#include "testing/plan_mutator.h"
+#include "verify/plan_verifier.h"
 
 namespace {
 
@@ -44,6 +49,12 @@ struct Args {
   std::string paths;    // csv of {tree,nfa,runtime,net} or one exact path
   bool minimize = true;
   bool verbose = false;
+  /// Static modes (no trace execution): --verify-only runs every
+  /// strategy's plan through the verifier and fails on any rejection of
+  /// a planner-produced plan; --mutate-plans corrupts each plan with a
+  /// seeded mutation and fails unless >= 95% of mutants are rejected.
+  bool verify_only = false;
+  bool mutate_plans = false;
 };
 
 void Usage(const char* argv0) {
@@ -52,7 +63,8 @@ void Usage(const char* argv0) {
       "usage: %s [--seed N] [--cases N] [--case-start N] [--max-depth N]\n"
       "          [--max-classes N] [--events N] [--max-seconds S]\n"
       "          [--paths tree,nfa,runtime,net | --paths <exact-path>]\n"
-      "          [--no-minimize] [--verbose]\n",
+      "          [--no-minimize] [--verbose] [--verify-only]\n"
+      "          [--mutate-plans]\n",
       argv0);
 }
 
@@ -96,6 +108,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->paths = v;
     } else if (arg == "--no-minimize") {
       args->minimize = false;
+    } else if (arg == "--verify-only") {
+      args->verify_only = true;
+    } else if (arg == "--mutate-plans") {
+      args->mutate_plans = true;
     } else if (arg == "--verbose") {
       args->verbose = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -135,6 +151,82 @@ DifferentialOptions PathOptions(const std::string& spec) {
   return options;
 }
 
+// Tallies for the static (no-trace) modes.
+struct StaticStats {
+  long long plans = 0;    // planner-produced plans verified
+  long long mutants = 0;  // corrupted plans fed to the verifier
+  long long rejected = 0; // ... of which the verifier refused
+  int failures = 0;
+};
+
+// Runs one case in --verify-only / --mutate-plans mode: builds the plan
+// under every applicable strategy, asserts the verifier accepts each
+// (false rejections are bugs), and optionally asserts it refuses a
+// seeded corruption of each.
+void RunStaticCase(const Args& args, int c, uint64_t case_seed,
+                   const GeneratedPattern& pattern, StaticStats* stats) {
+  auto analyzed = zstream::AnalyzeQuery(pattern.text, pattern.schema);
+  if (!analyzed.ok()) {
+    ++stats->failures;
+    std::printf("ANALYZE-FAIL case=%d: %s\n  query: %s\n", c,
+                analyzed.status().ToString().c_str(), pattern.text.c_str());
+    return;
+  }
+  const zstream::PatternPtr p = *analyzed;
+
+  std::vector<std::pair<std::string, zstream::PlanStrategy>> strategies = {
+      {"optimal", zstream::PlanStrategy::kOptimal},
+      {"left-deep", zstream::PlanStrategy::kLeftDeep},
+      {"right-deep", zstream::PlanStrategy::kRightDeep},
+  };
+  if (!p->NegatedClasses().empty()) {
+    strategies.emplace_back("negation-top",
+                            zstream::PlanStrategy::kNegationTop);
+  }
+  uint64_t salt = 0;
+  for (const auto& [name, strategy] : strategies) {
+    ++salt;
+    zstream::CompileOptions options;
+    options.strategy = strategy;
+    // BuildPlan typechecks the pattern and verifies the plan itself; a
+    // NotSupported outcome is a legitimate capability skip, anything
+    // else is a verifier false-rejection (or a broken builder).
+    auto plan = zstream::BuildPlan(p, options);
+    if (!plan.ok()) {
+      if (plan.status().code() == zstream::StatusCode::kNotSupported) {
+        continue;
+      }
+      ++stats->failures;
+      std::printf("VERIFY-REJECT case=%d strategy=%s: %s\n  query: %s\n", c,
+                  name.c_str(), plan.status().ToString().c_str(),
+                  pattern.text.c_str());
+      continue;
+    }
+    ++stats->plans;
+    if (!args.mutate_plans) continue;
+
+    auto mutation = zstream::testing::MutatePlan(
+        *p, *plan, case_seed ^ (salt * 0xa0761d6478bd642fULL));
+    if (!mutation.has_value()) continue;
+    ++stats->mutants;
+    const zstream::Status verdict =
+        zstream::verify::VerifyPlan(mutation->pattern, mutation->plan);
+    if (!verdict.ok()) {
+      ++stats->rejected;
+      if (args.verbose) {
+        std::printf("case %d [%s] %s -> %s\n", c, name.c_str(),
+                    mutation->description.c_str(),
+                    verdict.ToString().c_str());
+      }
+    } else {
+      std::printf("SURVIVING-MUTANT case=%d strategy=%s mutation=%s\n"
+                  "  query: %s\n",
+                  c, name.c_str(), mutation->description.c_str(),
+                  pattern.text.c_str());
+    }
+  }
+}
+
 void DumpTrace(const std::vector<EventPtr>& events) {
   for (const EventPtr& e : events) {
     std::string row = "    @";
@@ -172,6 +264,7 @@ int main(int argc, char** argv) {
   int ran = 0;
   long long paths_total = 0;
   long long matches_total = 0;
+  StaticStats static_stats;
 
   for (int c = args.case_start; c < args.case_start + args.cases; ++c) {
     if (args.max_seconds > 0 && elapsed_s() >= args.max_seconds) break;
@@ -185,6 +278,18 @@ int main(int argc, char** argv) {
     pg_options.max_classes = args.max_classes;
     PatternGen pattern_gen(case_seed, pg_options);
     const GeneratedPattern pattern = pattern_gen.Next();
+
+    if (args.verify_only || args.mutate_plans) {
+      ++ran;
+      RunStaticCase(args, c, case_seed, pattern, &static_stats);
+      if (ran % 500 == 0) {
+        std::printf("... %d cases, %lld plans verified, %lld/%lld mutants "
+                    "rejected\n",
+                    ran, static_stats.plans, static_stats.rejected,
+                    static_stats.mutants);
+      }
+      continue;
+    }
 
     TraceGenOptions tg_options;
     tg_options.num_events = args.events;
@@ -252,6 +357,25 @@ int main(int argc, char** argv) {
                   minimal.size(), trace.events.size());
       DumpTrace(minimal);
     }
+  }
+
+  if (args.verify_only || args.mutate_plans) {
+    failures += static_stats.failures;
+    if (args.mutate_plans && static_stats.mutants > 0) {
+      const double rate = static_cast<double>(static_stats.rejected) /
+                          static_cast<double>(static_stats.mutants);
+      std::printf("%d case(s), %lld plans verified, %lld/%lld mutants "
+                  "rejected (%.1f%%), %d failure(s) [%.1fs]\n",
+                  ran, static_stats.plans, static_stats.rejected,
+                  static_stats.mutants, rate * 100.0, failures, elapsed_s());
+      // The acceptance bar: a corrupted plan slipping past the verifier
+      // more than 1 time in 20 means the invariant set has a hole.
+      if (rate < 0.95) return 1;
+    } else {
+      std::printf("%d case(s), %lld plans verified, %d failure(s) [%.1fs]\n",
+                  ran, static_stats.plans, failures, elapsed_s());
+    }
+    return failures == 0 ? 0 : 1;
   }
 
   std::printf("%d case(s), %lld path runs, %lld oracle matches, "

@@ -1,0 +1,231 @@
+// zstream_lint: static checker for .zsql query scripts.
+//
+//   zstream_lint [--strict] [--quiet] FILE...
+//   zstream_lint --query "PATTERN ..." --stream "sym STRING, price INT"
+//
+// A script is a sequence of statements (CREATE STREAM / CREATE QUERY /
+// bare PATTERN queries), one per paragraph: statements are separated by
+// blank lines, and lines starting with `--` are comments. Every
+// statement is parsed and analyzed exactly like the server would;
+// parse/analyze/typecheck failures print as errors (ZS-P/L/S/T codes
+// with file:line:column), and clean queries run the ZS-W lint rules
+// (verify/lint.h).
+//
+// Exit status: 0 clean, 1 any error (or any warning with --strict),
+// 2 usage/IO problems.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "query/analyzer.h"
+#include "query/ddl.h"
+#include "verify/lint.h"
+
+namespace {
+
+using zstream::DdlKind;
+using zstream::DdlStatement;
+using zstream::Field;
+using zstream::ParseDdl;
+using zstream::PatternPtr;
+using zstream::Schema;
+using zstream::SchemaPtr;
+using zstream::Status;
+using zstream::verify::LintPattern;
+using zstream::verify::LintWarning;
+
+struct Block {
+  std::string text;
+  int start_line = 1;  // 1-based line of the block's first line
+};
+
+// Splits a script into paragraph statements, dropping `--` comments but
+// preserving line numbers for diagnostics.
+std::vector<Block> SplitBlocks(const std::string& content) {
+  std::vector<Block> blocks;
+  std::istringstream in(content);
+  std::string line;
+  Block current;
+  int lineno = 0;
+  bool in_block = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string stripped = line;
+    const size_t comment = stripped.find("--");
+    if (comment != std::string::npos) stripped.resize(comment);
+    const bool blank =
+        stripped.find_first_not_of(" \t\r") == std::string::npos;
+    if (blank && !in_block) continue;
+    if (blank) {
+      blocks.push_back(current);
+      current = Block{};
+      in_block = false;
+      continue;
+    }
+    if (!in_block) {
+      current.start_line = lineno;
+      in_block = true;
+    } else {
+      current.text += "\n";
+    }
+    current.text += stripped;
+  }
+  if (in_block) blocks.push_back(current);
+  return blocks;
+}
+
+struct Counters {
+  int errors = 0;
+  int warnings = 0;
+  int queries = 0;
+};
+
+void PrintDiag(const std::string& file, int block_start, const char* severity,
+               const std::string& code, int line, int column,
+               const std::string& message) {
+  // Block-relative line -> file line (column is already file-accurate
+  // since comments are stripped, not reflowed).
+  const int file_line = line > 0 ? block_start + line - 1 : block_start;
+  if (line > 0) {
+    std::printf("%s:%d:%d: %s: %s %s\n", file.c_str(), file_line, column,
+                severity, code.empty() ? "ZS-????" : code.c_str(),
+                message.c_str());
+  } else {
+    std::printf("%s:%d: %s: %s %s\n", file.c_str(), file_line, severity,
+                code.empty() ? "ZS-????" : code.c_str(), message.c_str());
+  }
+}
+
+void LintQueryPattern(const std::string& file, const Block& block,
+                      const PatternPtr& pattern, Counters* counters) {
+  ++counters->queries;
+  for (const LintWarning& w : LintPattern(*pattern)) {
+    ++counters->warnings;
+    PrintDiag(file, block.start_line, "warning", w.code, w.line, w.column,
+              w.message);
+  }
+}
+
+// Lints one script against `streams` (shared across files, so a schema
+// file can precede query files on the command line).
+void LintFile(const std::string& file, const std::string& content,
+              std::map<std::string, SchemaPtr>* streams,
+              Counters* counters) {
+  for (const Block& block : SplitBlocks(content)) {
+    auto stmt = ParseDdl(block.text);
+    if (!stmt.ok()) {
+      ++counters->errors;
+      const Status& st = stmt.status();
+      PrintDiag(file, block.start_line, "error", st.error_code(), st.line(),
+                st.column(), st.message());
+      continue;
+    }
+    switch (stmt->kind) {
+      case DdlKind::kCreateStream:
+        (*streams)[stmt->name] = Schema::Make(stmt->fields);
+        continue;
+      case DdlKind::kCreateQuery:
+      case DdlKind::kSelect: {
+        const std::string stream =
+            stmt->kind == DdlKind::kSelect ? "default" : stmt->stream;
+        auto found = streams->find(stream);
+        if (found == streams->end()) {
+          ++counters->errors;
+          PrintDiag(file, block.start_line, "error", "ZS-D0001",
+                    stmt->name_line, stmt->name_column,
+                    "unknown stream '" + stream +
+                        "' (declare it with CREATE STREAM first)");
+          continue;
+        }
+        auto pattern = zstream::Analyze(*stmt->query, found->second);
+        if (!pattern.ok()) {
+          ++counters->errors;
+          const Status& st = pattern.status();
+          PrintDiag(file, block.start_line, "error", st.error_code(),
+                    st.line(), st.column(), st.message());
+          continue;
+        }
+        LintQueryPattern(file, block, *pattern, counters);
+        continue;
+      }
+      default:
+        // DROP/SHOW have no static content to lint.
+        continue;
+    }
+  }
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: zstream_lint [--strict] [--quiet] FILE...\n"
+               "       zstream_lint [--strict] --query TEXT "
+               "--stream \"name TYPE, ...\"\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict = false;
+  bool quiet = false;
+  std::string inline_query;
+  std::string inline_stream;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--query" && i + 1 < argc) {
+      inline_query = argv[++i];
+    } else if (arg == "--stream" && i + 1 < argc) {
+      inline_stream = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty() && inline_query.empty()) return Usage();
+
+  std::map<std::string, SchemaPtr> streams;
+  Counters counters;
+
+  if (!inline_query.empty()) {
+    // --stream "sym STRING, price INT" declares the default stream.
+    std::string ddl = "CREATE STREAM default (" +
+                      (inline_stream.empty() ? "sym STRING, val INT"
+                                             : inline_stream) +
+                      ")";
+    LintFile("<stream>", ddl, &streams, &counters);
+    LintFile("<query>", inline_query, &streams, &counters);
+  }
+
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    LintFile(file, buffer.str(), &streams, &counters);
+  }
+
+  if (!quiet) {
+    std::printf("%d quer%s linted, %d error(s), %d warning(s)\n",
+                counters.queries, counters.queries == 1 ? "y" : "ies",
+                counters.errors, counters.warnings);
+  }
+  if (counters.errors > 0) return 1;
+  if (strict && counters.warnings > 0) return 1;
+  return 0;
+}
