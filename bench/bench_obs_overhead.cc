@@ -1,0 +1,137 @@
+// Observability overhead: bounds the cost of the compiled-in engine
+// instrumentation (per-node event/match counters, pair counts, buffer
+// gauges, slow-event clocking) against a build with it compiled out.
+//
+// The engine workload is Figure 8's Query 4 (PATTERN IBM;Sun;Oracle,
+// left-deep plan) at three predicate selectivities. The series label is
+// baked in at compile time — "instrumented" normally, "stripped" under
+// -DZSTREAM_OBS_STRIP=ON — so running this binary once from each build
+// tree yields the A/B in one merged BENCH_baseline.json
+// (scripts/run_benches.sh picks up a build-obs-strip/ tree
+// automatically). Target: instrumented throughput within 3% of
+// stripped.
+//
+// A second table microbenchmarks the obs primitives themselves
+// (relaxed-atomic counter increments, histogram observes, labeled
+// registry lookups) so a regression in the registry shows up here
+// before it shows up as engine noise.
+#include <chrono>
+#include <cstdint>
+
+#include "bench_util.h"
+#include "obs/metrics.h"
+
+namespace zstream::bench {
+namespace {
+
+#ifdef ZSTREAM_OBS_STRIPPED
+constexpr char kSeries[] = "stripped";
+#else
+constexpr char kSeries[] = "instrumented";
+#endif
+
+constexpr char kQuery[] =
+    "PATTERN IBM;Sun;Oracle "
+    "WHERE IBM.name='IBM' AND Sun.name='Sun' AND Oracle.name='Oracle' "
+    "AND IBM.price > Sun.price WITHIN 200";
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// One primitive op measured in a tight loop; records ops/s in the
+// RunResult throughput slot so it merges into the baseline like any
+// other series.
+template <typename Fn>
+RunResult TimeOp(uint64_t iters, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < iters; ++i) fn(i);
+  RunResult result;
+  result.elapsed_s = SecondsSince(start);
+  result.throughput =
+      result.elapsed_s > 0 ? static_cast<double>(iters) / result.elapsed_s
+                           : 0.0;
+  return result;
+}
+
+int Run() {
+  Banner("Observability overhead",
+         std::string("Query 4 left-deep throughput with engine "
+                     "instrumentation ") +
+             kSeries + ", plus obs primitive costs");
+
+  auto pattern = AnalyzeQuery(kQuery, StockSchema());
+  if (!pattern.ok()) {
+    std::fprintf(stderr, "%s\n", pattern.status().ToString().c_str());
+    return 1;
+  }
+  const PatternPtr p = *pattern;
+  const PhysicalPlan left = LeftDeepPlan(*p);
+
+  Table engine_table(
+      {"selectivity", std::string(kSeries) + " (ev/s)", "matches"});
+  for (int denom : {1, 4, 16}) {
+    const double sel = 1.0 / denom;
+    StockGenOptions gen;
+    gen.names = {"IBM", "Sun", "Oracle"};
+    gen.weights = {1, 1, 1};
+    gen.num_events = 60000;
+    gen.seed = 8;  // Figure 8's seed: identical workload across builds
+    gen.fixed_price = {{"Sun", FixedPriceForSelectivity(sel, 0, 100)}};
+    const auto events = GenerateStockTrades(gen);
+
+    const RunResult r = RunTreePlan(p, left, events);
+    const std::string sel_label = IndexedName("1/", denom);
+    RecordResult("obs_overhead", kSeries, sel_label, r);
+    engine_table.AddRow({sel_label, FormatThroughput(r.throughput),
+                         std::to_string(r.matches)});
+  }
+  engine_table.Print();
+
+  // -------------------------------------------------------------------
+  // Registry primitives. The counter/histogram loops exercise the exact
+  // instruments the engine hot path touches; the lookup loop is the
+  // slow path (name + label match under the registry mutex) that only
+  // registration and scrapes pay.
+  // -------------------------------------------------------------------
+  obs::Registry registry;
+  obs::Counter* counter =
+      registry.GetCounter("bench_ops_total", {}, "bench counter");
+  obs::Histogram* histogram = registry.GetHistogram(
+      "bench_latency_seconds", {}, "bench histogram", 1e-9);
+
+  constexpr uint64_t kHotIters = 20'000'000;
+  constexpr uint64_t kLookupIters = 1'000'000;
+  const RunResult inc =
+      TimeOp(kHotIters, [&](uint64_t) { counter->Inc(); });
+  const RunResult observe = TimeOp(
+      kHotIters, [&](uint64_t i) { histogram->Observe(i & 0xffff); });
+  const RunResult lookup = TimeOp(kLookupIters, [&](uint64_t) {
+    registry.GetCounter("bench_ops_total", {}, "bench counter")->Inc();
+  });
+
+  RecordResult("obs_primitives", kSeries, "counter_inc", inc);
+  RecordResult("obs_primitives", kSeries, "histogram_observe", observe);
+  RecordResult("obs_primitives", kSeries, "registry_lookup", lookup);
+
+  Table prim_table({"primitive", "ops/s", "ns/op"});
+  const auto ns_per_op = [](const RunResult& r) {
+    return FormatDouble(r.throughput > 0 ? 1e9 / r.throughput : 0.0, 2);
+  };
+  prim_table.AddRow({"counter_inc", FormatThroughput(inc.throughput),
+                     ns_per_op(inc)});
+  prim_table.AddRow({"histogram_observe",
+                     FormatThroughput(observe.throughput),
+                     ns_per_op(observe)});
+  prim_table.AddRow({"registry_lookup", FormatThroughput(lookup.throughput),
+                     ns_per_op(lookup)});
+  prim_table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace zstream::bench
+
+int main() { return zstream::bench::Run(); }

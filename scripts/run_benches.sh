@@ -27,10 +27,11 @@ else
   # The figure benches that anchor the perf trajectory (paper Figures
   # 8, 10 and 12): plan-shape throughput under selectivity sweeps, rate
   # skew, and the complex Query 6 regimes — plus the StreamRuntime
-  # shard-count sweep so the trajectory captures multi-core scaling, and
-  # the loopback-vs-in-process network ingest sweep so it captures the
-  # serving layer's wire overhead.
-  BENCHES=${BENCHES:-"bench_fig08_selectivity bench_fig10_rates bench_fig12_complex bench_runtime_scaling bench_net_ingest"}
+  # shard-count sweep so the trajectory captures multi-core scaling, the
+  # loopback-vs-in-process network ingest sweep so it captures the
+  # serving layer's wire overhead, and the observability-instrumentation
+  # overhead bound.
+  BENCHES=${BENCHES:-"bench_fig08_selectivity bench_fig10_rates bench_fig12_complex bench_runtime_scaling bench_net_ingest bench_obs_overhead"}
 fi
 
 for b in $BENCHES; do
@@ -47,6 +48,19 @@ for b in $BENCHES; do
   echo "== running $b =="
   ZS_BENCH_JSON="$scratch/$b.jsonl" "$BIN_DIR/$b"
 done
+
+# Observability overhead A/B: bench_obs_overhead labels its series by
+# build flavor ("instrumented" vs "stripped"), so when a
+# -DZSTREAM_OBS_STRIP=ON tree is present (default: build-obs-strip,
+# override with STRIP_BUILD_DIR) run its copy too — the merged baseline
+# then carries both sides of the comparison.
+STRIP_BUILD_DIR=${STRIP_BUILD_DIR:-build-obs-strip}
+if [[ " $BENCHES " == *" bench_obs_overhead "* &&
+      -x "$STRIP_BUILD_DIR/bin/bench_obs_overhead" ]]; then
+  echo "== running bench_obs_overhead (stripped build) =="
+  ZS_BENCH_JSON="$scratch/zz_bench_obs_overhead_stripped.jsonl" \
+    "$STRIP_BUILD_DIR/bin/bench_obs_overhead"
+fi
 
 shopt -s nullglob
 jsonl_files=("$scratch"/*.jsonl)

@@ -89,6 +89,11 @@ std::string Query::CurrentPlan() const {
                                  : engine_->ExplainPlan();
 }
 
+std::string Query::ExplainAnalyze() const {
+  return partitioned_ != nullptr ? partitioned_->ExplainAnalyze()
+                                 : engine_->ExplainAnalyze();
+}
+
 uint64_t Query::plan_switches() const {
   return partitioned_ != nullptr ? partitioned_->plan_switches()
                                  : engine_->plan_switches();
@@ -203,6 +208,9 @@ Result<DdlResult> ZStream::Execute(const std::string& statement,
       ZS_ASSIGN_OR_RETURN(std::unique_ptr<Query> compiled,
                           CompileParsed(stream, *stmt.query, options));
       compiled->name_ = name;
+      // Metric labels and slow-event logs identify the query by its
+      // catalog name (unless the caller already chose a label).
+      if (options.engine.label.empty()) compiled->core()->SetLabel(name);
       ZS_RETURN_IF_ERROR(catalog_.AddQuery(QueryInfo{
           name, stream, stmt.query_text, compiled->pattern_}));
       result.name = name;
@@ -225,7 +233,8 @@ Result<DdlResult> ZStream::Execute(const std::string& statement,
       result.message = "stream '" + stmt.name + "' dropped";
       return result;
     }
-    case DdlKind::kShowPlan: {
+    case DdlKind::kShowPlan:
+    case DdlKind::kExplainAnalyze: {
       auto it = queries_.find(stmt.name);
       if (it == queries_.end()) {
         return Status::NotFound("no query named '" + stmt.name + "'")
@@ -234,7 +243,9 @@ Result<DdlResult> ZStream::Execute(const std::string& statement,
       }
       result.name = stmt.name;
       result.query = it->second.get();
-      result.message = it->second->Explain();
+      result.message = stmt.kind == DdlKind::kExplainAnalyze
+                           ? it->second->ExplainAnalyze()
+                           : it->second->Explain();
       return result;
     }
     case DdlKind::kShowStreams: {

@@ -99,6 +99,10 @@ class Query {
   std::string CurrentPlan() const;
   uint64_t plan_switches() const;
 
+  /// The live plan tree annotated with per-node counters and timings
+  /// (EXPLAIN ANALYZE; see exec/node_profile.h for the row format).
+  std::string ExplainAnalyze() const;
+
   MemoryTracker& memory();
   bool partitioned() const { return partitioned_ != nullptr; }
 
@@ -163,7 +167,7 @@ class ZStream {
 
   /// Executes one DDL statement (CREATE STREAM / CREATE QUERY / DROP
   /// QUERY / DROP STREAM / SHOW STREAMS / SHOW QUERIES / SHOW PLAN
-  /// <query>). A bare
+  /// <query> / EXPLAIN [ANALYZE] <query>). A bare
   /// `PATTERN ...` query text is also accepted: it compiles against
   /// stream "default" and registers under an auto-generated name.
   /// `options` applies to statements that compile a query.

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "expr/analysis.h"
+#include "obs/metrics.h"
 #include "verify/plan_verifier.h"
 
 namespace zstream {
@@ -61,6 +62,9 @@ Engine::Engine(PatternPtr pattern, const EngineOptions& options,
   // Hash-equality routing must avoid classes that may be unbound in a
   // record (see BuildNode).
   optional_class_ = pattern_->OptionalClasses();
+#ifndef ZSTREAM_OBS_STRIPPED
+  profiling_ = options_.profile || options_.slow_event_ns > 0;
+#endif
 }
 
 Engine::~Engine() = default;
@@ -90,14 +94,14 @@ Status Engine::Build(const PhysicalPlan& plan, bool initial) {
       // Bucket the window so rate changes show up within a few windows.
       const Duration bucket =
           std::max<Duration>(pattern_->window, 1);
-      runtime_stats_ = std::make_unique<RuntimeStats>(
+      windowed_stats_ = std::make_unique<WindowedClassStats>(
           n, static_cast<int>(pattern_->multi_predicates.size()), bucket);
     }
     leaves_.clear();
     for (int c = 0; c < n; ++c) {
       leaves_.push_back(std::make_unique<LeafNode>(pattern_.get(), c,
                                                    tracker_));
-      leaves_.back()->set_runtime_stats(runtime_stats_.get());
+      leaves_.back()->set_runtime_stats(windowed_stats_.get());
     }
     if (options_.adaptive) {
       adaptive_ = std::make_unique<AdaptiveController>(
@@ -196,7 +200,7 @@ Result<OperatorNode*> Engine::BuildNode(const PhysNodePtr& node,
                                         tracker_);
       }
       op->set_covered(node->CoveredClasses());
-      op->set_runtime_stats(runtime_stats_.get());
+      op->set_runtime_stats(windowed_stats_.get());
 
       // Attach predicates newly covered here; route the first equality
       // predicate through a hash index when enabled.
@@ -288,7 +292,7 @@ Result<OperatorNode*> Engine::BuildNode(const PhysNodePtr& node,
       auto op = std::make_unique<NSeqNode>(pattern_.get(), neg, other,
                                            node->neg_left, tracker_);
       op->set_covered(node->CoveredClasses());
-      op->set_runtime_stats(runtime_stats_.get());
+      op->set_runtime_stats(windowed_stats_.get());
 
       // NSEQ-local predicates: everything covered here and not already
       // attached deeper. Predicates referencing this negated class plus
@@ -325,7 +329,7 @@ Result<OperatorNode*> Engine::BuildNode(const PhysNodePtr& node,
       auto op = std::make_unique<KSeqNode>(pattern_.get(), start, closure,
                                            end, tracker_);
       op->set_covered(node->CoveredClasses());
-      op->set_runtime_stats(runtime_stats_.get());
+      op->set_runtime_stats(windowed_stats_.get());
       AttachPredicates(op.get(), unattached);
       // A non-aggregate predicate on the closure class filters closure
       // events one by one (Algorithm 4's qualification step), which is
@@ -358,7 +362,7 @@ Result<OperatorNode*> Engine::BuildNode(const PhysNodePtr& node,
       auto op = std::make_unique<NegFilterNode>(
           pattern_.get(), input, neg_leaf, node->class_idx, tracker_);
       op->set_covered(node->CoveredClasses());
-      op->set_runtime_stats(runtime_stats_.get());
+      op->set_runtime_stats(windowed_stats_.get());
       AttachPredicates(op.get(), unattached);
       OperatorNode* raw = op.get();
       internal_nodes_.push_back(std::move(op));
@@ -379,13 +383,27 @@ void Engine::Offer(const EventPtr& event) {
     return;
   }
   max_ts_seen_ = std::max(max_ts_seen_, event->timestamp());
-  if (runtime_stats_ != nullptr) runtime_stats_->OnEvent(event->timestamp());
+  if (windowed_stats_ != nullptr) windowed_stats_->OnEvent(event->timestamp());
   for (auto& leaf : leaves_) {
     leaf->Offer(event);
   }
 }
 
 void Engine::PushOrdered(const EventPtr& event) {
+#ifndef ZSTREAM_OBS_STRIPPED
+  if (options_.slow_event_ns > 0) {
+    const uint64_t t0 = obs::MonotonicNanos();
+    Offer(event);
+    if (++pending_in_batch_ >= options_.batch_size) {
+      AssemblyRound();
+    }
+    const uint64_t elapsed = obs::MonotonicNanos() - t0;
+    if (elapsed >= static_cast<uint64_t>(options_.slow_event_ns)) {
+      LogSlowEvent(elapsed);
+    }
+    return;
+  }
+#endif
   Offer(event);
   if (++pending_in_batch_ >= options_.batch_size) {
     AssemblyRound();
@@ -427,10 +445,28 @@ void Engine::AssemblyRound() {
     leaf->set_horizon(horizon);
     leaf->output()->PurgeBefore(eat);
   }
+#ifndef ZSTREAM_OBS_STRIPPED
+  if (profiling_) {
+    uint64_t t0 = obs::MonotonicNanos();
+    for (OperatorNode* op : assembly_order_) {
+      op->set_horizon(horizon);
+      op->Assemble(eat);
+      const uint64_t t1 = obs::MonotonicNanos();
+      op->add_eval_ns(t1 - t0);
+      t0 = t1;
+    }
+  } else {
+    for (OperatorNode* op : assembly_order_) {
+      op->set_horizon(horizon);
+      op->Assemble(eat);
+    }
+  }
+#else
   for (OperatorNode* op : assembly_order_) {
     op->set_horizon(horizon);
     op->Assemble(eat);
   }
+#endif
   DrainRoot(eat);
   ++assembly_rounds_;
   if (rebuild_round_pending_) rebuild_round_pending_ = false;
@@ -460,7 +496,7 @@ void Engine::DrainRoot(Timestamp eat) {
 }
 
 void Engine::MaybeAdapt() {
-  if (adaptive_ == nullptr || runtime_stats_ == nullptr) return;
+  if (adaptive_ == nullptr || windowed_stats_ == nullptr) return;
   if (assembly_rounds_ %
           static_cast<uint64_t>(
               std::max(options_.adaptive_options.check_every_rounds, 1)) !=
@@ -469,7 +505,7 @@ void Engine::MaybeAdapt() {
   }
   const StatsCatalog defaults(pattern_->num_classes(),
                               static_cast<double>(pattern_->window));
-  const StatsCatalog current = runtime_stats_->Snapshot(*pattern_, defaults);
+  const StatsCatalog current = windowed_stats_->Snapshot(*pattern_, defaults);
   std::optional<PhysicalPlan> next = adaptive_->MaybeReplan(current);
   if (next.has_value()) {
     const Status st = SwitchPlan(*next);
@@ -499,8 +535,8 @@ Status Engine::SwitchPlan(const PhysicalPlan& plan) {
 }
 
 StatsCatalog Engine::StatsSnapshot(const StatsCatalog& defaults) const {
-  if (runtime_stats_ == nullptr) return defaults;
-  return runtime_stats_->Snapshot(*pattern_, defaults);
+  if (windowed_stats_ == nullptr) return defaults;
+  return windowed_stats_->Snapshot(*pattern_, defaults);
 }
 
 uint64_t Engine::pairs_tried() const {
@@ -509,6 +545,95 @@ uint64_t Engine::pairs_tried() const {
     total += op->pairs_tried();
   }
   return total;
+}
+
+namespace {
+
+NodeProfile ProfileNode(const Pattern& pattern, const OperatorNode& node) {
+  NodeProfile out;
+  out.records_out = node.records_emitted();
+  out.pairs_tried = node.pairs_tried();
+  out.buffer_records = node.output()->size();
+  out.eval_ns = node.eval_ns();
+  if (node.is_leaf()) {
+    const auto& leaf = static_cast<const LeafNode&>(node);
+    out.label =
+        std::string("LEAF ") +
+        pattern.classes[static_cast<size_t>(leaf.class_idx())].alias;
+    out.events_in = leaf.offered();
+    return out;
+  }
+  out.label = PhysOpName(node.op());
+  for (const OperatorNode* child : node.children()) {
+    out.children.push_back(ProfileNode(pattern, *child));
+    // A node consumes exactly what its children emit; summing the
+    // children's output counters here keeps the hot path free of a
+    // second per-record counter.
+    out.events_in += out.children.back().records_out;
+  }
+  return out;
+}
+
+}  // namespace
+
+NodeProfile Engine::Profile() const {
+  if (root_ == nullptr) return NodeProfile{};
+  return ProfileNode(*pattern_, *root_);
+}
+
+std::string Engine::ExplainAnalyze() const {
+  std::ostringstream os;
+  if (!options_.label.empty()) os << "query=" << options_.label << " ";
+  os << "plan=" << plan_.Explain(*pattern_);
+  os.precision(6);
+  os << " cost_est=" << plan_.estimated_cost
+     << " observed_pairs=" << pairs_tried() << "\n";
+  os << "events_pushed=" << events_pushed_ << " matches=" << num_matches_
+     << " rounds=" << assembly_rounds_ << " plan_switches=" << plan_switches_
+     << " late=" << late_events_;
+  if (options_.slow_event_ns > 0) os << " slow_events=" << slow_events_;
+  os << "\n" << RenderNodeProfile(Profile());
+  return os.str();
+}
+
+void Engine::LogSlowEvent(uint64_t elapsed_ns) {
+  ++slow_events_;
+  const std::string& name = options_.label.empty() ? "?" : options_.label;
+  obs::Registry::Default()
+      .GetCounter("zstream_slow_events_total", {{"query", name}},
+                  "Events whose processing exceeded the slow-event "
+                  "threshold")
+      ->Inc();
+  // At most one log line per second per engine; the rest are counted
+  // and reported with the next line.
+  constexpr uint64_t kLogPeriodNs = 1000000000ULL;
+  const uint64_t now = obs::MonotonicNanos();
+  if (last_slow_log_ns_ != 0 && now - last_slow_log_ns_ < kLogPeriodNs) {
+    ++slow_suppressed_;
+    return;
+  }
+  last_slow_log_ns_ = now;
+  // slow_event_ns > 0 implies profiling_, so cumulative eval times are
+  // live; the hottest node is the best single suspect to name.
+  const OperatorNode* hottest = nullptr;
+  for (const OperatorNode* op : assembly_order_) {
+    if (hottest == nullptr || op->eval_ns() > hottest->eval_ns()) {
+      hottest = op;
+    }
+  }
+  std::ostringstream line;
+  line << "slow event in query '" << name << "': "
+       << static_cast<double>(elapsed_ns) / 1e6 << " ms (threshold "
+       << static_cast<double>(options_.slow_event_ns) / 1e6 << " ms)";
+  if (hottest != nullptr) {
+    line << ", hottest node " << PhysOpName(hottest->op()) << " (cum "
+         << static_cast<double>(hottest->eval_ns()) / 1e6 << " ms)";
+  }
+  if (slow_suppressed_ > 0) {
+    line << "; " << slow_suppressed_ << " similar suppressed";
+    slow_suppressed_ = 0;
+  }
+  ZS_LOG(Warn) << line.str();
 }
 
 }  // namespace zstream

@@ -60,6 +60,18 @@ struct EngineOptions {
   /// reordering operator); 0 means input must arrive in order, and
   /// out-of-order events are dropped and counted.
   Duration reorder_slack = 0;
+  /// Per-node assembly timing (EXPLAIN ANALYZE `time=` column): two
+  /// clock reads per operator per assembly round. Off by default; the
+  /// per-node counters are always on (and near-free, see
+  /// bench_obs_overhead).
+  bool profile = false;
+  /// Slow-event log threshold in wall nanoseconds: a Push whose
+  /// processing (including any assembly round it triggers) exceeds this
+  /// emits one rate-limited ZS_LOG(Warn) naming the query and its
+  /// hottest plan node. 0 disables; > 0 implies per-node timing.
+  int64_t slow_event_ns = 0;
+  /// Query name used in slow-event logs and metric labels.
+  std::string label;
 };
 
 /// \brief Single-partition query engine.
@@ -104,14 +116,27 @@ class Engine : public EngineCore {
   const PhysicalPlan& current_plan() const { return plan_; }
   std::string ExplainPlan() const { return plan_.Explain(*pattern_); }
 
+  /// Live per-node counter tree (see node_profile.h).
+  NodeProfile Profile() const override;
+  /// Renders the plan tree annotated with live counters/timings, plus
+  /// engine totals and predicted-vs-observed cost.
+  std::string ExplainAnalyze() const;
+
+  void SetLabel(const std::string& label) override {
+    options_.label = label;
+  }
+  const std::string& label() const { return options_.label; }
+
   uint64_t num_matches() const override { return num_matches_; }
   uint64_t events_pushed() const override { return events_pushed_; }
   uint64_t assembly_rounds() const { return assembly_rounds_; }
   uint64_t plan_switches() const { return plan_switches_; }
   /// Events dropped for arriving out of order beyond the slack.
   uint64_t late_events() const { return late_events_; }
+  /// Events whose processing exceeded EngineOptions::slow_event_ns.
+  uint64_t slow_events() const { return slow_events_; }
   MemoryTracker& memory() override { return *tracker_; }
-  RuntimeStats* runtime_stats() { return runtime_stats_.get(); }
+  WindowedClassStats* windowed_stats() { return windowed_stats_.get(); }
 
   /// Total operator input combinations tried in the current plan
   /// (the empirical analogue of the cost model's Ci terms).
@@ -128,6 +153,7 @@ class Engine : public EngineCore {
   void AttachPredicates(OperatorNode* op, std::vector<ExprPtr>* unattached);
   void DrainRoot(Timestamp eat);
   void MaybeAdapt();
+  void LogSlowEvent(uint64_t elapsed_ns);
 
   PatternPtr pattern_;
   EngineOptions options_;
@@ -146,7 +172,7 @@ class Engine : public EngineCore {
   /// a disjunction branch); such classes are excluded from hash routing.
   std::vector<bool> optional_class_;
 
-  std::unique_ptr<RuntimeStats> runtime_stats_;
+  std::unique_ptr<WindowedClassStats> windowed_stats_;
   std::unique_ptr<AdaptiveController> adaptive_;
   std::unique_ptr<ReorderStage> reorder_;
 
@@ -159,6 +185,12 @@ class Engine : public EngineCore {
   uint64_t assembly_rounds_ = 0;
   uint64_t plan_switches_ = 0;
   bool rebuild_round_pending_ = false;
+  /// Per-node timing active (options_.profile or a slow-event
+  /// threshold); resolved once at construction.
+  bool profiling_ = false;
+  uint64_t slow_events_ = 0;
+  uint64_t slow_suppressed_ = 0;
+  uint64_t last_slow_log_ns_ = 0;
 };
 
 }  // namespace zstream

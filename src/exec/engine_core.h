@@ -11,9 +11,11 @@
 #define ZSTREAM_EXEC_ENGINE_CORE_H_
 
 #include <functional>
+#include <string>
 
 #include "common/status.h"
 #include "event/event.h"
+#include "exec/node_profile.h"
 
 namespace zstream {
 
@@ -53,6 +55,13 @@ class EngineCore {
   virtual uint64_t events_pushed() const = 0;
   virtual const Pattern& pattern() const = 0;
   virtual MemoryTracker& memory() = 0;
+
+  /// Live per-plan-node counters for EXPLAIN ANALYZE (see
+  /// node_profile.h). Partitioned/sharded engines merge their parts.
+  virtual NodeProfile Profile() const = 0;
+
+  /// Human-readable query name for slow-event logs and metric labels.
+  virtual void SetLabel(const std::string& label) = 0;
 };
 
 }  // namespace zstream

@@ -31,6 +31,9 @@ KSeqNode::KSeqNode(const Pattern* pattern, OperatorNode* start,
       pattern->classes[static_cast<size_t>(closure->class_idx())];
   kind_ = kc.kleene;
   count_ = kc.kleene_count;
+  if (start != nullptr) children_.push_back(start);
+  children_.push_back(closure);
+  if (end != nullptr) children_.push_back(end);
 }
 
 // Splits the attached predicates into:

@@ -1,0 +1,73 @@
+#include "exec/node_profile.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace zstream {
+
+bool NodeProfile::SameShape(const NodeProfile& other) const {
+  if (label != other.label || children.size() != other.children.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (!children[i].SameShape(other.children[i])) return false;
+  }
+  return true;
+}
+
+Status MergeNodeProfile(NodeProfile* into, const NodeProfile& from) {
+  if (!into->SameShape(from)) {
+    return Status::Internal("cannot merge node profiles: plan shapes "
+                            "differ ('" + into->label + "' vs '" +
+                            from.label + "')");
+  }
+  into->events_in += from.events_in;
+  into->records_out += from.records_out;
+  into->pairs_tried += from.pairs_tried;
+  into->buffer_records += from.buffer_records;
+  into->eval_ns += from.eval_ns;
+  for (size_t i = 0; i < into->children.size(); ++i) {
+    // Shape already verified for the whole tree; recursion cannot fail.
+    (void)MergeNodeProfile(&into->children[i], from.children[i]);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void RenderTime(std::ostringstream& os, uint64_t ns) {
+  os << " time=";
+  os << std::fixed << std::setprecision(3);
+  if (ns >= 1000000000ULL) {
+    os << static_cast<double>(ns) / 1e9 << "s";
+  } else if (ns >= 1000000ULL) {
+    os << static_cast<double>(ns) / 1e6 << "ms";
+  } else {
+    os << static_cast<double>(ns) / 1e3 << "us";
+  }
+  os.unsetf(std::ios::fixed);
+}
+
+void RenderNode(std::ostringstream& os, const NodeProfile& node,
+                int depth) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+  os << node.label << " in=" << node.events_in << " out="
+     << node.records_out;
+  if (node.pairs_tried > 0) os << " pairs=" << node.pairs_tried;
+  os << " buf=" << node.buffer_records;
+  if (node.eval_ns > 0) RenderTime(os, node.eval_ns);
+  os << "\n";
+  for (const NodeProfile& child : node.children) {
+    RenderNode(os, child, depth + 1);
+  }
+}
+
+}  // namespace
+
+std::string RenderNodeProfile(const NodeProfile& root) {
+  std::ostringstream os;
+  RenderNode(os, root, 0);
+  return os.str();
+}
+
+}  // namespace zstream

@@ -65,6 +65,9 @@ LeafNode::LeafNode(const Pattern* pattern, int class_idx,
 }
 
 bool LeafNode::Offer(const EventPtr& event) {
+#ifndef ZSTREAM_OBS_STRIPPED
+  ++offered_;
+#endif
   // Probe with a non-owning alias in the reused slot vector: most
   // events are rejected by the pushed-down predicates, and rejecting
   // must not pay for a Record (slots allocation + refcount up/down on
@@ -105,6 +108,9 @@ bool LeafNode::Offer(const EventPtr& event) {
 
   output_.Append(
       Record::FromEvent(class_idx_, pattern_->num_classes(), event));
+#ifndef ZSTREAM_OBS_STRIPPED
+  ++records_emitted_;
+#endif
   if (stats_ != nullptr) stats_->OnClassAdmit(class_idx_);
   return true;
 }
@@ -117,7 +123,9 @@ SeqNode::SeqNode(const Pattern* pattern, OperatorNode* left,
                  OperatorNode* right, MemoryTracker* tracker)
     : OperatorNode(pattern, PhysOp::kSeq, tracker),
       left_(left),
-      right_(right) {}
+      right_(right) {
+  children_ = {left, right};
+}
 
 void SeqNode::SetHashEquality(const EqualityJoin& eq) {
   hash_eq_ = eq;
@@ -213,7 +221,10 @@ NSeqNode::NSeqNode(const Pattern* pattern, LeafNode* neg, OperatorNode* other,
     : OperatorNode(pattern, PhysOp::kNSeq, tracker),
       neg_(neg),
       other_(other),
-      neg_left_(neg_left) {}
+      neg_left_(neg_left) {
+  children_ = neg_left ? std::vector<OperatorNode*>{neg, other}
+                       : std::vector<OperatorNode*>{other, neg};
+}
 
 void NSeqNode::Assemble(Timestamp eat) {
   Buffer& nbuf = *neg_->output();
@@ -283,7 +294,9 @@ ConjNode::ConjNode(const Pattern* pattern, OperatorNode* left,
                    OperatorNode* right, MemoryTracker* tracker)
     : OperatorNode(pattern, PhysOp::kConj, tracker),
       left_(left),
-      right_(right) {}
+      right_(right) {
+  children_ = {left, right};
+}
 
 void ConjNode::SetHashEquality(const EqualityJoin& eq) {
   hash_eq_ = eq;
@@ -373,7 +386,9 @@ DisjNode::DisjNode(const Pattern* pattern, OperatorNode* left,
                    OperatorNode* right, MemoryTracker* tracker)
     : OperatorNode(pattern, PhysOp::kDisj, tracker),
       left_(left),
-      right_(right) {}
+      right_(right) {
+  children_ = {left, right};
+}
 
 void DisjNode::Assemble(Timestamp eat) {
   Buffer& lbuf = *left_->output();
@@ -415,7 +430,9 @@ NegFilterNode::NegFilterNode(const Pattern* pattern, OperatorNode* input,
     : OperatorNode(pattern, PhysOp::kNegFilter, tracker),
       input_(input),
       neg_leaf_(neg_leaf),
-      neg_class_(neg_class) {}
+      neg_class_(neg_class) {
+  children_ = {input, neg_leaf};
+}
 
 void NegFilterNode::Assemble(Timestamp eat) {
   Buffer& in = *input_->output();

@@ -60,10 +60,19 @@ class OperatorNode {
   const std::vector<int>& covered() const { return covered_; }
   void set_covered(std::vector<int> c) { covered_ = std::move(c); }
 
-  void set_runtime_stats(RuntimeStats* stats) { stats_ = stats; }
+  void set_runtime_stats(WindowedClassStats* stats) { stats_ = stats; }
 
   uint64_t pairs_tried() const { return pairs_tried_; }
   uint64_t records_emitted() const { return records_emitted_; }
+
+  /// Child operators in plan order (leaves included); set at
+  /// construction, used only for profile-tree traversal.
+  const std::vector<OperatorNode*>& children() const { return children_; }
+
+  /// Cumulative wall time spent in Assemble. Charged by the engine's
+  /// assembly loop when profiling is on; stays 0 otherwise.
+  uint64_t eval_ns() const { return eval_ns_; }
+  void add_eval_ns(uint64_t ns) { eval_ns_ += ns; }
 
  protected:
   struct AttachedPred {
@@ -88,9 +97,11 @@ class OperatorNode {
   int group_class_;  // pattern's Kleene class (or -1)
   Duration window_;
   Timestamp horizon_ = kMaxTimestamp;
-  RuntimeStats* stats_ = nullptr;
+  WindowedClassStats* stats_ = nullptr;
   uint64_t pairs_tried_ = 0;
   uint64_t records_emitted_ = 0;
+  uint64_t eval_ns_ = 0;
+  std::vector<OperatorNode*> children_;
 };
 
 /// \brief Leaf buffer for one event class, with pushed-down single-class
@@ -104,10 +115,15 @@ class LeafNode : public OperatorNode {
   /// Offers an incoming primitive event; returns true when admitted.
   bool Offer(const EventPtr& event);
 
+  /// Primitive events offered (before predicate admission); admitted
+  /// events are records_emitted().
+  uint64_t offered() const { return offered_; }
+
   void Assemble(Timestamp) override {}
 
  private:
   int class_idx_;
+  uint64_t offered_ = 0;
   const EventClass* event_class_;
   /// Scratch slot vector for the admission probe: sized once, holding a
   /// non-owning alias of the offered event while predicates run, so a

@@ -1,5 +1,7 @@
 #include "exec/partitioned_engine.h"
 
+#include <sstream>
+
 #include "verify/plan_verifier.h"
 
 namespace zstream {
@@ -136,12 +138,54 @@ StatsCatalog PartitionedEngine::StatsSnapshot(
   parts.reserve(partitions_.size());
   weights.reserve(partitions_.size());
   for (const auto& [key, part] : partitions_) {
-    if (part.engine->runtime_stats() == nullptr) continue;
+    if (part.engine->windowed_stats() == nullptr) continue;
     parts.push_back(part.engine->StatsSnapshot(defaults));
     weights.push_back(static_cast<double>(part.engine->events_pushed()));
   }
   if (parts.empty()) return defaults;
   return MergeStatsCatalogs(parts, weights);
+}
+
+NodeProfile PartitionedEngine::Profile() const {
+  NodeProfile merged;
+  bool first = true;
+  for (const auto& [key, part] : partitions_) {
+    if (first) {
+      merged = part.engine->Profile();
+      first = false;
+      continue;
+    }
+    const Status st = MergeNodeProfile(&merged, part.engine->Profile());
+    if (!st.ok()) return merged;  // unreachable: partitions share plan_
+  }
+  return merged;
+}
+
+std::string PartitionedEngine::ExplainAnalyze() const {
+  std::ostringstream os;
+  if (!options_.label.empty()) os << "query=" << options_.label << " ";
+  os << "plan=" << plan_.Explain(*pattern_);
+  os.precision(6);
+  os << " cost_est=" << plan_.estimated_cost << " [hash-partitioned on "
+     << pattern_->partition->field_name << ", " << partitions_.size()
+     << " partitions]\n";
+  os << "events_pushed=" << events_pushed_
+     << " matches=" << num_matches()
+     << " plan_switches=" << plan_switches_ << " late=" << late_events()
+     << "\n";
+  if (partitions_.empty()) {
+    os << "(no partitions instantiated yet)\n";
+  } else {
+    os << RenderNodeProfile(Profile());
+  }
+  return os.str();
+}
+
+void PartitionedEngine::SetLabel(const std::string& label) {
+  options_.label = label;
+  for (auto& [key, part] : partitions_) {
+    part.engine->SetLabel(label);
+  }
 }
 
 }  // namespace zstream

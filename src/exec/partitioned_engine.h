@@ -62,6 +62,15 @@ class PartitionedEngine : public EngineCore {
   MemoryTracker& memory() override { return *tracker_; }
   const Pattern& pattern() const override { return *pattern_; }
 
+  /// Structural merge of every partition's node profile (all partitions
+  /// share one plan shape); empty profile before the first partition.
+  NodeProfile Profile() const override;
+  /// Merged plan tree with live counters, plus engine totals.
+  std::string ExplainAnalyze() const;
+
+  /// Propagates to existing partitions and seeds future ones.
+  void SetLabel(const std::string& label) override;
+
  private:
   PartitionedEngine(PatternPtr pattern, PhysicalPlan plan,
                     const EngineOptions& options, MemoryTracker* tracker);

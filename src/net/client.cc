@@ -274,6 +274,15 @@ Result<std::string> Client::StatsJson() {
   return frame.payload;
 }
 
+Result<std::string> Client::Metrics(uint8_t format) {
+  std::string payload;
+  PutU8(&payload, format);
+  ZS_RETURN_IF_ERROR(SendFrame(MsgType::kMetricsRequest, 0, payload));
+  ZS_ASSIGN_OR_RETURN(FrameParser::Frame frame,
+                      ReadUntil(MsgType::kMetrics));
+  return frame.payload;
+}
+
 // ---------------------------------------------------------------------
 // Matches
 // ---------------------------------------------------------------------

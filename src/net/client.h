@@ -79,6 +79,11 @@ class Client {
   /// The server's stats document (runtime + per-connection JSON).
   Result<std::string> StatsJson();
 
+  /// The server's metrics registry snapshot: Prometheus text by default
+  /// (kMetricsFormatPrometheus), or the stable JSON rendering — the
+  /// same documents the HTTP /metrics side port serves.
+  Result<std::string> Metrics(uint8_t format = kMetricsFormatPrometheus);
+
   /// Matches received so far (drained; arrival order = server delivery
   /// order).
   std::vector<NetMatch> TakeMatches();

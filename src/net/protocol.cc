@@ -69,13 +69,15 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kFlush: return "FLUSH";
     case MsgType::kFlushAck: return "FLUSH_ACK";
     case MsgType::kError: return "ERROR";
+    case MsgType::kMetricsRequest: return "METRICS_REQUEST";
+    case MsgType::kMetrics: return "METRICS";
   }
   return "UNKNOWN";
 }
 
 bool IsValidMsgType(uint8_t raw) {
   return raw >= static_cast<uint8_t>(MsgType::kDdl) &&
-         raw <= static_cast<uint8_t>(MsgType::kError);
+         raw <= static_cast<uint8_t>(MsgType::kMetrics);
 }
 
 // ---------------------------------------------------------------------

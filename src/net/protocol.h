@@ -35,6 +35,10 @@
 //   kFlush         c->s  empty; barrier over the runtime
 //   kFlushAck      s->c  per-query match counts
 //   kError         s->c  coded Status (code, ZS-xxxx, line/column, text)
+//   kMetricsRequest c->s u8 format (0 Prometheus text, 1 JSON; an empty
+//                        payload means 0)
+//   kMetrics       s->c  the rendered metrics registry snapshot (same
+//                        document the HTTP /metrics side port serves)
 //
 // This header is the single source of truth for the layout; see
 // docs/protocol.md for the prose version.
@@ -84,7 +88,13 @@ enum class MsgType : uint8_t {
   kFlush = 12,
   kFlushAck = 13,
   kError = 14,
+  kMetricsRequest = 15,
+  kMetrics = 16,
 };
+
+/// kMetricsRequest payload: the requested exposition format.
+inline constexpr uint8_t kMetricsFormatPrometheus = 0;
+inline constexpr uint8_t kMetricsFormatJson = 1;
 
 const char* MsgTypeName(MsgType type);
 bool IsValidMsgType(uint8_t raw);

@@ -74,6 +74,17 @@ struct Server::Connection {
   }
 };
 
+/// \brief One HTTP/1.0 scrape connection on the metrics side port:
+/// read one GET request, write one response, close. No keep-alive.
+struct Server::HttpConnection {
+  int fd = -1;
+  std::string in;
+  std::string out;
+  size_t out_off = 0;
+  bool responded = false;
+  bool closing = false;
+};
+
 // ---------------------------------------------------------------------
 // FanoutSink
 // ---------------------------------------------------------------------
@@ -120,35 +131,62 @@ Result<std::unique_ptr<Server>> Server::Create(
 
 Server::~Server() { Stop(); }
 
-Status Server::Listen() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return Errno("socket");
+namespace {
+
+/// Opens a non-blocking listening socket on (address, port); writes the
+/// resolved port (ephemeral bind) to *bound_port.
+Result<int> OpenListener(const std::string& address, uint16_t port,
+                         int backlog, uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    return Status::InvalidArgument("bad bind address '" +
-                                   options_.bind_address + "'");
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address '" + address + "'");
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    return Errno("bind");
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st = Errno("bind");
+    ::close(fd);
+    return st;
   }
-  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
-    return Errno("listen");
+  if (::listen(fd, backlog) < 0) {
+    const Status st = Errno("listen");
+    ::close(fd);
+    return st;
   }
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
-      0) {
-    return Errno("getsockname");
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const Status st = Errno("getsockname");
+    ::close(fd);
+    return st;
   }
-  port_ = ntohs(bound.sin_port);
-  ZS_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+  *bound_port = ntohs(bound.sin_port);
+  if (Status st = SetNonBlocking(fd); !st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  return fd;
+}
+
+}  // namespace
+
+Status Server::Listen() {
+  ZS_ASSIGN_OR_RETURN(listen_fd_,
+                      OpenListener(options_.bind_address, options_.port,
+                                   options_.listen_backlog, &port_));
+  if (options_.metrics_port >= 0) {
+    ZS_ASSIGN_OR_RETURN(
+        http_fd_,
+        OpenListener(options_.bind_address,
+                     static_cast<uint16_t>(options_.metrics_port),
+                     options_.listen_backlog, &metrics_port_));
+  }
 
   int pipe_fds[2];
   if (::pipe(pipe_fds) < 0) return Errno("pipe");
@@ -183,9 +221,13 @@ Status Server::RegisterOnRuntime(const std::string& query_name) {
                       session_->catalog().stream(info.stream));
   runtime::QueryOptions qopts;
   qopts.sink = &sink_;
+  // Label the runtime engines with the catalog name so metrics series
+  // and EXPLAIN ANALYZE report "rally", not the runtime's "q<id>".
+  CompileOptions copts;
+  copts.engine.label = query_name;
   ZS_ASSIGN_OR_RETURN(runtime::QueryId id,
-                      runtime_->RegisterQuery(info.stream, info.text, {},
-                                              qopts));
+                      runtime_->RegisterQuery(info.stream, info.text,
+                                              copts, qopts));
   queries_[query_name] = QueryEntry{id, info.stream, std::move(schema)};
   query_names_[id] = query_name;
   query_order_.push_back(query_name);
@@ -213,10 +255,13 @@ void Server::Stop() {
   if (runtime_ != nullptr) runtime_->Stop();
   for (auto& [fd, conn] : connections_) ::close(fd);
   connections_.clear();
+  for (auto& [fd, conn] : http_connections_) ::close(fd);
+  http_connections_.clear();
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (http_fd_ >= 0) ::close(http_fd_);
   if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
   if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
-  listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+  listen_fd_ = http_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
 }
 
 // ---------------------------------------------------------------------
@@ -226,16 +271,31 @@ void Server::Stop() {
 void Server::PollLoop() {
   std::vector<pollfd> fds;
   std::vector<Connection*> polled;
+  std::vector<HttpConnection*> http_polled;
   while (running_.load(std::memory_order_relaxed)) {
     fds.clear();
     polled.clear();
+    http_polled.clear();
     fds.push_back(pollfd{wake_read_fd_, POLLIN, 0});
     fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    size_t http_listen_idx = 0;
+    if (http_fd_ >= 0) {
+      http_listen_idx = fds.size();
+      fds.push_back(pollfd{http_fd_, POLLIN, 0});
+    }
+    const size_t conn_base = fds.size();
     for (auto& [fd, conn] : connections_) {
       short events = POLLIN;
       if (conn->out.size() > conn->out_off) events |= POLLOUT;
       fds.push_back(pollfd{fd, events, 0});
       polled.push_back(conn.get());
+    }
+    const size_t http_base = fds.size();
+    for (auto& [fd, conn] : http_connections_) {
+      short events = POLLIN;
+      if (conn->out.size() > conn->out_off) events |= POLLOUT;
+      fds.push_back(pollfd{fd, events, 0});
+      http_polled.push_back(conn.get());
     }
 
     const int rc = ::poll(fds.data(), fds.size(), /*timeout=*/-1);
@@ -254,13 +314,24 @@ void Server::PollLoop() {
     DrainMatches();
 
     if ((fds[1].revents & POLLIN) != 0) AcceptPending();
+    if (http_fd_ >= 0 && (fds[http_listen_idx].revents & POLLIN) != 0) {
+      AcceptHttpPending();
+    }
 
-    for (size_t i = 2; i < fds.size(); ++i) {
-      Connection* conn = polled[i - 2];
+    for (size_t i = conn_base; i < http_base; ++i) {
+      Connection* conn = polled[i - conn_base];
       if (conn->closing) continue;
       if ((fds[i].revents & POLLOUT) != 0) FlushWrites(conn);
       if ((fds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
         HandleReadable(conn);
+      }
+    }
+    for (size_t i = http_base; i < fds.size(); ++i) {
+      HttpConnection* conn = http_polled[i - http_base];
+      if (conn->closing) continue;
+      if ((fds[i].revents & POLLOUT) != 0) FlushHttpWrites(conn);
+      if ((fds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+        HandleHttpReadable(conn);
       }
     }
 
@@ -268,6 +339,15 @@ void Server::PollLoop() {
       if (it->second->closing) {
         ::close(it->second->fd);
         it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = http_connections_.begin();
+         it != http_connections_.end();) {
+      if (it->second->closing) {
+        ::close(it->second->fd);
+        it = http_connections_.erase(it);
       } else {
         ++it;
       }
@@ -368,6 +448,9 @@ void Server::DispatchFrame(Connection* conn,
     case MsgType::kStatsRequest:
       HandleStatsRequest(conn);
       return;
+    case MsgType::kMetricsRequest:
+      HandleMetricsRequest(conn, frame.payload);
+      return;
     case MsgType::kFlush:
       HandleFlush(conn);
       return;
@@ -423,6 +506,21 @@ void Server::HandleDdl(Connection* conn, const std::string& text) {
         // Keep catalog and runtime in sync: undo the session-side
         // registration the Execute above performed.
         (void)session_->Execute("DROP QUERY " + result->name);
+      }
+      break;
+    }
+    case DdlKind::kExplainAnalyze: {
+      // The session's compiled engine never sees served traffic — the
+      // runtime's per-shard engines do. Replace the session's (empty)
+      // profile with the live merged one when the query is served.
+      auto it = queries_.find(result->name);
+      if (it != queries_.end()) {
+        auto profile = runtime_->ExplainAnalyze(it->second.id);
+        if (!profile.ok()) {
+          post = profile.status();
+        } else {
+          result->message = std::move(*profile);
+        }
       }
       break;
     }
@@ -555,6 +653,28 @@ void Server::HandleUnsubscribe(Connection* conn,
 
 void Server::HandleStatsRequest(Connection* conn) {
   Send(conn, MsgType::kStats, 0, BuildStatsJson());
+}
+
+void Server::HandleMetricsRequest(Connection* conn,
+                                  const std::string& payload) {
+  uint8_t format = kMetricsFormatPrometheus;
+  if (!payload.empty()) {
+    PayloadReader reader(payload);
+    auto f = reader.ReadU8();
+    if (!f.ok()) {
+      SendError(conn, f.status());
+      return;
+    }
+    format = *f;
+  }
+  if (format != kMetricsFormatPrometheus && format != kMetricsFormatJson) {
+    SendError(conn, Status::InvalidArgument(
+                        "unknown metrics format " + std::to_string(format))
+                        .WithErrorCode(errc::kNetUnexpectedMessage));
+    return;
+  }
+  Send(conn, MsgType::kMetrics, 0,
+       format == kMetricsFormatJson ? MetricsJsonDoc() : MetricsText());
 }
 
 void Server::HandleFlush(Connection* conn) {
@@ -701,6 +821,122 @@ std::string Server::BuildStatsJson() const {
   }
   out += "], \"runtime\": " + runtime_->Stats().ToJson() + "}";
   return out;
+}
+
+// ---------------------------------------------------------------------
+// Metrics exposition (wire kMetrics + HTTP side port)
+// ---------------------------------------------------------------------
+
+std::string Server::MetricsText() {
+  obs::Registry& reg = runtime_->metrics_registry();
+  reg.GetGauge("zstream_server_connections", {},
+               "Open protocol connections")
+      ->Set(static_cast<int64_t>(connections_.size()));
+  reg.GetCounter("zstream_server_frames_dispatched_total", {},
+                 "Protocol frames dispatched")
+      ->Store(frames_dispatched_.load(std::memory_order_relaxed));
+  reg.GetCounter("zstream_server_matches_fanned_out_total", {},
+                 "Match frames queued to subscribers")
+      ->Store(matches_fanned_out_.load(std::memory_order_relaxed));
+  // The runtime registry (shard/query series + the server series just
+  // mirrored) and the process-wide registry (planner, verifier,
+  // slow-event counters) have disjoint family names, so the Prometheus
+  // documents concatenate into one valid exposition.
+  return runtime_->MetricsPrometheus() +
+         obs::Registry::Default().RenderPrometheus();
+}
+
+std::string Server::MetricsJsonDoc() {
+  MetricsText();  // mirror the server + runtime series first
+  return "{\"runtime\": " + runtime_->metrics_registry().RenderJson() +
+         ", \"process\": " + obs::Registry::Default().RenderJson() + "}";
+}
+
+void Server::AcceptHttpPending() {
+  while (true) {
+    const int fd = ::accept(http_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      ZS_LOG(Warn) << "metrics accept failed: " << std::strerror(errno);
+      return;
+    }
+    if (static_cast<int>(http_connections_.size()) >=
+        options_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<HttpConnection>();
+    conn->fd = fd;
+    http_connections_.emplace(fd, std::move(conn));
+  }
+}
+
+void Server::HandleHttpReadable(HttpConnection* conn) {
+  char buf[4096];
+  while (!conn->closing) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      conn->closing = true;
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      conn->closing = true;
+      return;
+    }
+    conn->in.append(buf, static_cast<size_t>(n));
+    if (conn->in.size() > 8192) {  // a GET request line is tiny
+      conn->closing = true;
+      return;
+    }
+  }
+  if (conn->responded || conn->in.find("\r\n") == std::string::npos) {
+    return;  // headers may still be in flight; the request line suffices
+  }
+  conn->responded = true;
+  const std::string line = conn->in.substr(0, conn->in.find("\r\n"));
+  std::string body;
+  std::string status = "200 OK";
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  if (line.rfind("GET /metrics.json", 0) == 0) {
+    body = MetricsJsonDoc();
+    content_type = "application/json";
+  } else if (line.rfind("GET /metrics", 0) == 0) {
+    body = MetricsText();
+  } else if (line.rfind("GET /healthz", 0) == 0) {
+    body = "ok\n";
+  } else {
+    status = "404 Not Found";
+    body = "not found\n";
+  }
+  conn->out = "HTTP/1.0 " + status + "\r\nContent-Type: " + content_type +
+              "\r\nContent-Length: " + std::to_string(body.size()) +
+              "\r\nConnection: close\r\n\r\n" + body;
+  conn->out_off = 0;
+  FlushHttpWrites(conn);
+}
+
+void Server::FlushHttpWrites(HttpConnection* conn) {
+  while (conn->out_off < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + conn->out_off,
+               conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      conn->closing = true;
+      return;
+    }
+    conn->out_off += static_cast<size_t>(n);
+  }
+  // One response per connection: done once fully written.
+  if (conn->responded) conn->closing = true;
 }
 
 }  // namespace zstream::net

@@ -55,6 +55,10 @@ struct ServerOptions {
   /// A connection whose unsent output exceeds this is dropped (slow or
   /// stalled match subscriber).
   size_t max_write_buffer_bytes = 64u << 20;
+  /// HTTP side port serving GET /metrics (Prometheus text),
+  /// /metrics.json and /healthz on the same poll loop. -1 disables;
+  /// 0 binds an ephemeral port — read the outcome from metrics_port().
+  int metrics_port = -1;
 };
 
 /// \brief The TCP serving layer over one ZStream session and one
@@ -84,6 +88,8 @@ class Server {
 
   /// The bound TCP port (resolved when ServerOptions::port was 0).
   uint16_t port() const { return port_; }
+  /// The bound HTTP metrics port (0 when the side port is disabled).
+  uint16_t metrics_port() const { return metrics_port_; }
   const std::string& bind_address() const { return options_.bind_address; }
 
   runtime::StreamRuntime& runtime() { return *runtime_; }
@@ -98,6 +104,7 @@ class Server {
 
  private:
   struct Connection;
+  struct HttpConnection;
 
   /// Thread-safe match funnel: shard workers publish, the poll loop
   /// drains (woken through the self-pipe).
@@ -136,8 +143,18 @@ class Server {
   void HandleSubscribe(Connection* conn, const std::string& payload);
   void HandleUnsubscribe(Connection* conn, const std::string& payload);
   void HandleStatsRequest(Connection* conn);
+  void HandleMetricsRequest(Connection* conn, const std::string& payload);
   void HandleFlush(Connection* conn);
   void DrainMatches();
+
+  /// The full metrics document: server-level series mirrored into the
+  /// runtime registry, then runtime + process-default registries
+  /// rendered (Prometheus families concatenate; both sets are disjoint).
+  std::string MetricsText();
+  std::string MetricsJsonDoc();
+  void AcceptHttpPending();
+  void HandleHttpReadable(HttpConnection* conn);
+  void FlushHttpWrites(HttpConnection* conn);
 
   /// Appends one frame to the connection's write buffer (drops the
   /// connection on overrun) without flushing — fanout queues many and
@@ -154,8 +171,10 @@ class Server {
   ZStream* session_;
   ServerOptions options_;
   uint16_t port_ = 0;
+  uint16_t metrics_port_ = 0;
 
   int listen_fd_ = -1;
+  int http_fd_ = -1;
   int wake_read_fd_ = -1;
   int wake_write_fd_ = -1;
 
@@ -164,6 +183,7 @@ class Server {
 
   /// Poll-thread-owned state (no locks: one thread).
   std::map<int, std::unique_ptr<Connection>> connections_;
+  std::map<int, std::unique_ptr<HttpConnection>> http_connections_;
   /// Streams bound on the runtime, by name. The runtime keeps a stream
   /// binding for the life of the server (it has no stream removal), so
   /// after DROP STREAM a re-CREATE must carry the identical schema —

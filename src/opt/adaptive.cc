@@ -1,8 +1,38 @@
 #include "opt/adaptive.h"
 
+#include "obs/metrics.h"
 #include "verify/plan_verifier.h"
 
 namespace zstream {
+
+namespace {
+
+// Process-wide adaptation tallies (the per-query engine counters track
+// switches; these see every controller in the process, including ones
+// whose candidate never reached SwitchPlan).
+obs::Counter* ReplanEvalCounter() {
+  static obs::Counter* c = obs::Registry::Default().GetCounter(
+      "zstream_replan_evaluations_total", {},
+      "Re-plans evaluated after statistics drifted past threshold");
+  return c;
+}
+
+obs::Counter* ReplanRejectedCounter() {
+  static obs::Counter* c = obs::Registry::Default().GetCounter(
+      "zstream_replan_candidates_rejected_total", {},
+      "Replan candidates refused by the plan verifier (or planner error)");
+  return c;
+}
+
+obs::Counter* ReplanSwitchCounter() {
+  static obs::Counter* c = obs::Registry::Default().GetCounter(
+      "zstream_replan_switches_total", {},
+      "Replan candidates that beat the improvement threshold and were "
+      "handed to SwitchPlan");
+  return c;
+}
+
+}  // namespace
 
 AdaptiveController::AdaptiveController(PatternPtr pattern,
                                        AdaptiveOptions options)
@@ -22,6 +52,7 @@ std::optional<PhysicalPlan> AdaptiveController::MaybeReplan(
   if (drift <= options_.drift_threshold) return std::nullopt;
 
   ++replan_evaluations_;
+  ReplanEvalCounter()->Inc();
   PlannerOptions popts;
   popts.cost_params = options_.cost_params;
   Planner planner(pattern_, &current, popts);
@@ -33,6 +64,7 @@ std::optional<PhysicalPlan> AdaptiveController::MaybeReplan(
   // running engine would tear down state for a plan it then refuses.
   if (!candidate.ok() ||
       !verify::VerifyPlan(*pattern_, *candidate).ok()) {
+    ReplanRejectedCounter()->Inc();
     return std::nullopt;
   }
 
@@ -41,6 +73,7 @@ std::optional<PhysicalPlan> AdaptiveController::MaybeReplan(
   if (candidate->estimated_cost <
       current_cost * (1.0 - options_.improvement_threshold)) {
     installed_ = *candidate;
+    ReplanSwitchCounter()->Inc();
     return *candidate;
   }
   return std::nullopt;

@@ -46,14 +46,14 @@ double StatsCatalog::MaxRelativeChange(const StatsCatalog& other) const {
   return drift;
 }
 
-RuntimeStats::RuntimeStats(int num_classes, int num_predicates,
+WindowedClassStats::WindowedClassStats(int num_classes, int num_predicates,
                            Duration bucket_width, int num_buckets)
     : num_classes_(num_classes),
       num_predicates_(num_predicates),
       bucket_width_(std::max<Duration>(bucket_width, 1)),
       num_buckets_(static_cast<size_t>(std::max(num_buckets, 2))) {}
 
-void RuntimeStats::Roll(Timestamp ts) {
+void WindowedClassStats::Roll(Timestamp ts) {
   if (buckets_.empty()) {
     Bucket b;
     b.start = ts;
@@ -74,24 +74,24 @@ void RuntimeStats::Roll(Timestamp ts) {
   }
 }
 
-void RuntimeStats::OnEvent(Timestamp ts) {
+void WindowedClassStats::OnEvent(Timestamp ts) {
   Roll(ts);
   ++buckets_.back().events;
   ++total_events_;
 }
 
-void RuntimeStats::OnClassAdmit(int cls) {
+void WindowedClassStats::OnClassAdmit(int cls) {
   if (buckets_.empty()) return;
   ++buckets_.back().admits[static_cast<size_t>(cls)];
 }
 
-void RuntimeStats::OnPredicateEval(int pred_idx, bool passed) {
+void WindowedClassStats::OnPredicateEval(int pred_idx, bool passed) {
   if (buckets_.empty() || pred_idx < 0 || pred_idx >= num_predicates_) return;
   ++buckets_.back().pred_evals[static_cast<size_t>(pred_idx)];
   if (passed) ++buckets_.back().pred_passes[static_cast<size_t>(pred_idx)];
 }
 
-StatsCatalog RuntimeStats::Snapshot(const Pattern& pattern,
+StatsCatalog WindowedClassStats::Snapshot(const Pattern& pattern,
                                     const StatsCatalog& defaults) const {
   StatsCatalog out(pattern.num_classes(),
                    static_cast<double>(pattern.window));

@@ -6,7 +6,7 @@
 // rate_E * TW), pairwise multi-class predicate selectivities P_{E1,E2},
 // and pairwise time selectivities Pt_{E1,E2} (default 1/2).
 //
-// A RuntimeStats collector maintains windowed estimates of the same
+// A WindowedClassStats collector maintains windowed estimates of the same
 // quantities from live execution, using simple windowed averages over
 // event-time buckets, as the paper describes.
 #ifndef ZSTREAM_OPT_STATS_H_
@@ -84,11 +84,11 @@ StatsCatalog MergeStatsCatalogs(const std::vector<StatsCatalog>& parts,
 /// Counts are kept in fixed-width event-time buckets; estimates average
 /// over the most recent `num_buckets` full buckets, so the estimator
 /// tracks rate and selectivity changes with bounded lag.
-class RuntimeStats {
+class WindowedClassStats {
  public:
   /// `bucket_width` is in event-time units; `num_predicates` is the size
   /// of the pattern's multi-predicate list.
-  RuntimeStats(int num_classes, int num_predicates, Duration bucket_width,
+  WindowedClassStats(int num_classes, int num_predicates, Duration bucket_width,
                int num_buckets = 8);
 
   void OnEvent(Timestamp ts);

@@ -215,6 +215,27 @@ Result<DdlStatement> DdlParser::Parse() {
     }
     return stmt;
   }
+  if (Peek().IsKeyword("EXPLAIN")) {
+    Advance();
+    DdlStatement stmt;
+    // Bare EXPLAIN is the static plan (same as SHOW PLAN); ANALYZE
+    // asks the live engine for its counter-annotated tree.
+    if (Peek().IsKeyword("ANALYZE")) {
+      Advance();
+      stmt.kind = DdlKind::kExplainAnalyze;
+    } else {
+      stmt.kind = DdlKind::kShowPlan;
+    }
+    const Token name_tok = Peek();
+    ZS_ASSIGN_OR_RETURN(stmt.name, ExpectIdent("query name"));
+    stmt.name_line = name_tok.line;
+    stmt.name_column = name_tok.column;
+    if (Peek().type != TokenType::kEnd) {
+      return Err("unexpected trailing input after EXPLAIN",
+                 errc::kParseTrailingInput);
+    }
+    return stmt;
+  }
   if (Peek().IsKeyword("PATTERN")) {
     DdlStatement stmt;
     stmt.kind = DdlKind::kSelect;
@@ -224,7 +245,7 @@ Result<DdlStatement> DdlParser::Parse() {
     stmt.query = std::move(query);
     return stmt;
   }
-  return Err("expected CREATE, DROP, SHOW or PATTERN",
+  return Err("expected CREATE, DROP, SHOW, EXPLAIN or PATTERN",
              errc::kDdlUnknownStatement);
 }
 

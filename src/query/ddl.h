@@ -7,6 +7,8 @@
 //   SHOW QUERIES
 //   SHOW STREAMS
 //   SHOW PLAN q
+//   EXPLAIN q            (alias for SHOW PLAN q)
+//   EXPLAIN ANALYZE q
 //
 // A bare `PATTERN ...` query is also accepted (kSelect) so one entry
 // point handles both DDL and ad-hoc queries. Statements are parsed with
@@ -36,6 +38,9 @@ enum class DdlKind : char {
   kShowStreams,
   kShowQueries,
   kShowPlan,  // SHOW PLAN <query>: the registered query's Explain() text
+  /// EXPLAIN ANALYZE <query>: the plan tree annotated with live
+  /// per-node counters and timings from the running engine.
+  kExplainAnalyze,
   kSelect,    // a bare PATTERN query (no surrounding DDL)
 };
 

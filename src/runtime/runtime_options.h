@@ -42,6 +42,11 @@ struct RuntimeOptions {
   /// RuntimeStats::pending). 0 disables the stage: events reach the
   /// engines in queue order.
   Duration reorder_slack = 0;
+  /// Default slow-event log threshold (wall nanoseconds) applied to
+  /// every engine registered without its own EngineOptions::slow_event_ns.
+  /// An event whose processing exceeds it emits one rate-limited
+  /// ZS_LOG(Warn) naming the query and its hottest plan node. 0 disables.
+  int64_t slow_event_ns = 0;
 };
 
 }  // namespace zstream::runtime

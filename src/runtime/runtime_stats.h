@@ -28,9 +28,10 @@ struct ShardStats {
   size_t pending = 0;
 };
 
-/// \brief Snapshot of the whole runtime (note: the name deliberately
-/// mirrors zstream::RuntimeStats, the per-engine windowed estimator;
-/// this one lives in the runtime namespace and aggregates shards).
+/// \brief Snapshot of the whole runtime. (The per-engine windowed
+/// estimator that used to share this name is now
+/// zstream::WindowedClassStats in opt/stats.h; this class aggregates
+/// shard-level serving counters and is unrelated to cost estimation.)
 class RuntimeStats {
  public:
   std::vector<ShardStats> shards;

@@ -1,6 +1,8 @@
 #include "runtime/stream_runtime.h"
 
 #include <algorithm>
+#include <functional>
+#include <sstream>
 #include <thread>
 #include <unordered_map>
 
@@ -63,6 +65,15 @@ struct StreamRuntime::CollectCtx {
   std::vector<double> weights;
 };
 
+/// Profile collection rendezvous for ExplainAnalyze: each shard worker
+/// merges its engine's node profile at a message boundary.
+struct StreamRuntime::ProfileCtx {
+  std::mutex mu;
+  bool has = false;
+  NodeProfile merged;
+  uint64_t events_pushed = 0;
+};
+
 /// One registered query. Engines are indexed by shard and driven only by
 /// that shard's worker; everything cross-thread is atomic or immutable
 /// after registration.
@@ -78,6 +89,17 @@ struct StreamRuntime::QueryState {
   int num_shards = 1;
   MatchSink* sink = nullptr;
   std::atomic<uint64_t> matches{0};
+  /// Metric label / slow-event log name ("q<id>" unless the caller set
+  /// EngineOptions::label).
+  std::string label;
+  /// Ingest-to-emission latency for this query, owned by the runtime's
+  /// registry (null only if registration raced Stop()).
+  obs::Histogram* latency = nullptr;
+  /// The installed plan's estimated cost (refreshed by ReplanQuery) and
+  /// the observed operator-pairs total (refreshed at ExplainAnalyze
+  /// barriers) — the predicted-vs-observed pair in /metrics.
+  std::atomic<double> plan_cost{0.0};
+  std::atomic<uint64_t> observed_pairs{0};
   /// Shared by every shard engine (MemoryTracker is thread-safe).
   std::unique_ptr<MemoryTracker> tracker;
   std::vector<std::unique_ptr<EngineCore>> engines;  // [shard] or null
@@ -123,12 +145,16 @@ struct StreamRuntime::ShardMsg {
     kFinishAll,     // flush barrier: Finish every engine on the shard
     kSwitchPlan,
     kCollectStats,
+    kCollectProfile,  // EXPLAIN ANALYZE: merge node profiles at a barrier
     kGate,
   };
 
   Kind kind = Kind::kEvent;
   StreamId stream = -1;
   EventPtr event;
+  /// kEvent: MonotonicNanos at Ingest — the start of the detection
+  /// latency measured when this event's processing emits a match.
+  uint64_t arrival_ns = 0;
   /// Router-computed key hash for kEvent (see QueryState::AcceptsOn);
   /// field -1 when no hash route was evaluated.
   int key_hint_field = -1;
@@ -137,6 +163,7 @@ struct StreamRuntime::ShardMsg {
   std::shared_ptr<SyncPoint> sync;
   std::shared_ptr<const PhysicalPlan> plan;
   std::shared_ptr<CollectCtx> collect;
+  std::shared_ptr<ProfileCtx> profile;
   std::shared_ptr<Gate> gate;
 };
 
@@ -160,6 +187,12 @@ struct StreamRuntime::Shard {
     EngineCore* engine;
   };
   std::vector<Entry> entries;
+
+  // Worker-thread-local: arrival stamp of the event currently being
+  // dispatched; match callbacks (same thread) read it to compute
+  // detection latency. 0 outside event dispatch (Finish-time matches
+  // have no single triggering arrival and are not observed).
+  uint64_t current_arrival_ns = 0;
 
   // Worker-thread-local: one Section-4.1 reorder stage per stream,
   // created lazily when RuntimeOptions::reorder_slack > 0. Sits between
@@ -266,6 +299,10 @@ void StreamRuntime::WorkerLoop(Shard* shard) {
     for (ShardMsg& msg : batch) {
       switch (msg.kind) {
         case ShardMsg::Kind::kEvent: {
+          // Matches emitted while this event is processed (including
+          // reorder releases it triggers) measure latency from its
+          // arrival — the emission-triggering ingest.
+          shard->current_arrival_ns = msg.arrival_ns;
           if (reordering) {
             auto it = shard->reorder.find(msg.stream);
             if (it == shard->reorder.end()) {
@@ -286,6 +323,7 @@ void StreamRuntime::WorkerLoop(Shard* shard) {
             DispatchEvent(shard, msg.stream, msg.event, msg.key_hint_field,
                           msg.key_hint_hash);
           }
+          shard->current_arrival_ns = 0;
           shard->events_processed.fetch_add(1, std::memory_order_relaxed);
           break;
         }
@@ -355,6 +393,31 @@ void StreamRuntime::WorkerLoop(Shard* shard) {
             std::lock_guard<std::mutex> lock(msg.collect->mu);
             msg.collect->parts.push_back(std::move(part));
             msg.collect->weights.push_back(weight);
+          }
+          msg.sync->Arrive();
+          break;
+        }
+        case ShardMsg::Kind::kCollectProfile: {
+          const QueryId id = msg.query->id;
+          for (Shard::Entry& entry : shard->entries) {
+            if (entry.query->id != id) continue;
+            NodeProfile part = entry.engine->Profile();
+            const uint64_t pushed = entry.engine->events_pushed();
+            std::lock_guard<std::mutex> lock(msg.profile->mu);
+            msg.profile->events_pushed += pushed;
+            if (!msg.profile->has) {
+              msg.profile->merged = std::move(part);
+              msg.profile->has = true;
+            } else {
+              // Same query, same plan on every shard -> same shape; a
+              // failed merge would mean shard engines desynchronized.
+              const Status st =
+                  MergeNodeProfile(&msg.profile->merged, part);
+              if (!st.ok()) {
+                ZS_LOG(Warn) << "shard " << shard->index
+                             << " profile merge failed: " << st.ToString();
+              }
+            }
           }
           msg.sync->Arrive();
           break;
@@ -453,6 +516,7 @@ bool StreamRuntime::Ingest(StreamId stream, const EventPtr& event) {
     }
   }
   events_ingested_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t arrival_ns = obs::MonotonicNanos();
   bool ok = true;
   for (size_t s = 0; mask != 0; ++s, mask >>= 1) {
     if ((mask & 1) == 0) continue;
@@ -460,6 +524,7 @@ bool StreamRuntime::Ingest(StreamId stream, const EventPtr& event) {
     msg.kind = ShardMsg::Kind::kEvent;
     msg.stream = stream;
     msg.event = event;
+    msg.arrival_ns = arrival_ns;
     msg.key_hint_field = hint_field;
     msg.key_hint_hash = hint_hash;
     if (options_.backpressure == BackpressurePolicy::kBlock) {
@@ -481,6 +546,9 @@ bool StreamRuntime::Ingest(const std::string& stream_name,
 uint64_t StreamRuntime::IngestBatch(StreamId stream,
                                     const std::vector<EventPtr>& events) {
   if (stopped_.load(std::memory_order_relaxed)) return events.size();
+  // One stamp per batch: latency for a batch's matches is measured from
+  // the batch's enqueue, which is what a producer of that batch observes.
+  const uint64_t arrival_ns = obs::MonotonicNanos();
   std::vector<std::vector<ShardMsg>> per_shard(shards_.size());
   {
     std::shared_lock<std::shared_mutex> lock(route_mu_);
@@ -501,6 +569,7 @@ uint64_t StreamRuntime::IngestBatch(StreamId stream,
         msg.kind = ShardMsg::Kind::kEvent;
         msg.stream = stream;
         msg.event = event;
+        msg.arrival_ns = arrival_ns;
         msg.key_hint_field = hint_field;
         msg.key_hint_hash = hint_hash;
         per_shard[s].push_back(std::move(msg));
@@ -645,6 +714,14 @@ Result<QueryId> StreamRuntime::RegisterCompiled(
   }
 
   EngineOptions eopts = engine_options;
+  if (eopts.slow_event_ns == 0) eopts.slow_event_ns = options_.slow_event_ns;
+  qs->label = eopts.label.empty() ? "q" + std::to_string(qs->id)
+                                  : eopts.label;
+  eopts.label = qs->label;
+  qs->plan_cost.store(plan.estimated_cost, std::memory_order_relaxed);
+  qs->latency = registry_.GetHistogram(
+      "zstream_detection_latency_seconds", {{"query", qs->label}},
+      "Ingest-to-emission latency of each match", 1e-9);
   if (options.enable_replan) {
     eopts.collect_stats = true;
     qs->controller =
@@ -668,8 +745,15 @@ Result<QueryId> StreamRuntime::RegisterCompiled(
       engine = std::move(se);
     }
     engine->SetMatchCallback(
-        [raw = qs.get(), s, sink = options.sink](Match&& m) {
+        [raw = qs.get(), s, sink = options.sink,
+         shard = shards_[static_cast<size_t>(s)].get()](Match&& m) {
           raw->matches.fetch_add(1, std::memory_order_relaxed);
+          // Same thread as the worker that set the stamp; 0 outside
+          // event dispatch (e.g. Finish-time matches).
+          if (shard->current_arrival_ns != 0) {
+            raw->latency->Observe(obs::MonotonicNanos() -
+                                  shard->current_arrival_ns);
+          }
           if (sink != nullptr) {
             sink->Publish(RuntimeMatch{raw->id, s, std::move(m)});
           }
@@ -838,7 +922,134 @@ Result<bool> StreamRuntime::ReplanQuery(QueryId id) {
   switch_msg.plan = std::make_shared<const PhysicalPlan>(*next);
   SyncShards(TargetShards(*qs), std::move(switch_msg));
   qs->plan = *next;
+  qs->plan_cost.store(next->estimated_cost, std::memory_order_relaxed);
   return true;
+}
+
+Result<std::string> StreamRuntime::ExplainAnalyze(QueryId id) {
+  if (stopped_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("runtime is stopped");
+  }
+  std::shared_ptr<QueryState> qs;
+  {
+    std::lock_guard<std::mutex> control(control_mu_);
+    auto it = queries_.find(id);
+    if (it == queries_.end()) {
+      return Status::NotFound("no query with that id");
+    }
+    qs = it->second;
+  }
+  auto profile = std::make_shared<ProfileCtx>();
+  ShardMsg msg;
+  msg.kind = ShardMsg::Kind::kCollectProfile;
+  msg.query = qs;
+  msg.profile = profile;
+  if (!SyncShards(TargetShards(*qs), std::move(msg))) {
+    return Status::FailedPrecondition("runtime stopped during profile");
+  }
+
+  std::ostringstream os;
+  os << "query=" << qs->label;
+  {
+    // qs->plan is only mutated under replan_mu (ReplanQuery).
+    std::lock_guard<std::mutex> replan(qs->replan_mu);
+    os << " plan=" << qs->plan.Explain(*qs->pattern);
+    os.precision(6);
+    os << " cost_est=" << qs->plan.estimated_cost;
+  }
+  uint64_t pairs = 0;
+  if (profile->has) {
+    // The observed analogue of the cost estimate: total operator input
+    // combinations tried, summed over the merged tree.
+    std::function<void(const NodeProfile&)> sum =
+        [&](const NodeProfile& n) {
+          pairs += n.pairs_tried;
+          for (const NodeProfile& c : n.children) sum(c);
+        };
+    sum(profile->merged);
+  }
+  qs->observed_pairs.store(pairs, std::memory_order_relaxed);
+  os << " observed_pairs=" << pairs << " shards="
+     << TargetShards(*qs).size() << "\n";
+  os << "events_pushed=" << profile->events_pushed << " matches="
+     << qs->matches.load(std::memory_order_relaxed) << "\n";
+  if (profile->has) {
+    os << RenderNodeProfile(profile->merged);
+  } else {
+    os << "(no engine profile collected)\n";
+  }
+  return os.str();
+}
+
+void StreamRuntime::UpdateMetrics() {
+  const RuntimeStats stats = Stats();
+  obs::Registry& reg = registry_;
+  reg.GetGauge("zstream_uptime_seconds", {},
+               "Seconds since the runtime was created")
+      ->Set(static_cast<int64_t>(stats.elapsed_s));
+  reg.GetCounter("zstream_events_ingested_total", {},
+                 "Events accepted by Ingest/IngestBatch")
+      ->Store(stats.events_ingested);
+  reg.GetCounter("zstream_matches_total", {},
+                 "Matches emitted across all registered queries")
+      ->Store(stats.matches);
+  reg.GetGauge("zstream_queries", {}, "Currently registered queries")
+      ->Set(static_cast<int64_t>(stats.num_queries));
+  for (const ShardStats& s : stats.shards) {
+    const obs::Labels labels = {{"shard", std::to_string(s.shard)}};
+    reg.GetCounter("zstream_shard_events_processed_total", labels,
+                   "Events dispatched to engines, per shard")
+        ->Store(s.events_processed);
+    reg.GetCounter("zstream_shard_batches_total", labels,
+                   "Queue batches popped, per shard")
+        ->Store(s.batches);
+    reg.GetCounter("zstream_shard_events_dropped_total", labels,
+                   "Events dropped on a full queue (kDropNewest)")
+        ->Store(s.events_dropped);
+    reg.GetCounter("zstream_shard_reorder_late_total", labels,
+                   "Events dropped for arriving beyond the reorder slack")
+        ->Store(s.late_dropped);
+    reg.GetGauge("zstream_shard_queue_depth", labels,
+                 "Messages waiting in the shard's ring queue")
+        ->Set(static_cast<int64_t>(s.queue_depth));
+    reg.GetGauge("zstream_shard_reorder_pending", labels,
+                 "Events buffered in the shard's reorder stages")
+        ->Set(static_cast<int64_t>(s.pending));
+  }
+  std::vector<std::shared_ptr<QueryState>> queries;
+  {
+    std::lock_guard<std::mutex> control(control_mu_);
+    queries.reserve(queries_.size());
+    for (const auto& [qid, qstate] : queries_) queries.push_back(qstate);
+  }
+  for (const auto& qs : queries) {
+    const obs::Labels labels = {{"query", qs->label}};
+    reg.GetCounter("zstream_query_matches_total", labels,
+                   "Matches emitted by the query")
+        ->Store(qs->matches.load(std::memory_order_relaxed));
+    reg.GetGauge("zstream_query_plan_cost_estimate", labels,
+                 "Estimated cost of the installed plan (rounded; "
+                 "refreshed on adaptive switches)")
+        ->Set(static_cast<int64_t>(
+            qs->plan_cost.load(std::memory_order_relaxed)));
+    reg.GetCounter("zstream_query_pairs_observed_total", labels,
+                   "Operator input combinations tried (refreshed at "
+                   "ExplainAnalyze barriers)")
+        ->Store(qs->observed_pairs.load(std::memory_order_relaxed));
+    reg.GetGauge("zstream_query_peak_bytes", labels,
+                 "Peak tracked engine memory across the query's shards")
+        ->Set(qs->tracker->peak_bytes());
+  }
+}
+
+std::string StreamRuntime::MetricsPrometheus() {
+  UpdateMetrics();
+  return registry_.RenderPrometheus();
+}
+
+std::string StreamRuntime::MetricsJson() {
+  UpdateMetrics();
+  return registry_.RenderJson();
 }
 
 RuntimeStats StreamRuntime::Stats() const {

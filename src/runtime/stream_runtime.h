@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "api/zstream.h"
+#include "obs/metrics.h"
 #include "opt/adaptive.h"
 #include "runtime/match_sink.h"
 #include "runtime/runtime_options.h"
@@ -157,6 +158,27 @@ class StreamRuntime {
   /// Snapshot of the runtime counters (see runtime_stats.h).
   RuntimeStats Stats() const;
 
+  /// The query's merged plan tree annotated with live per-node counters
+  /// (EXPLAIN ANALYZE). A barrier: every shard worker snapshots its
+  /// engine's profile at a message boundary, so counters are consistent
+  /// with everything processed so far. Also refreshes the query's
+  /// observed-pairs metric.
+  Result<std::string> ExplainAnalyze(QueryId id);
+
+  /// This runtime's metrics registry (shard/queue/query series, see
+  /// docs/observability.md). Instrument pointers stay valid for the
+  /// runtime's lifetime.
+  obs::Registry& metrics_registry() { return registry_; }
+
+  /// Mirrors the live shard and query counters into the registry (the
+  /// registry otherwise only sees latency observations, which are
+  /// written in-line). Called by the renderers below; cheap, lock-light.
+  void UpdateMetrics();
+
+  /// UpdateMetrics + render: Prometheus text exposition / stable JSON.
+  std::string MetricsPrometheus();
+  std::string MetricsJson();
+
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
   /// Test/diagnostic hook: enqueues a gate on `shard`'s queue and
@@ -168,6 +190,7 @@ class StreamRuntime {
   struct QueryState;   // defined in stream_runtime.cc
   struct ShardMsg;     // defined in stream_runtime.cc
   struct CollectCtx;   // defined in stream_runtime.cc
+  struct ProfileCtx;   // defined in stream_runtime.cc
 
   /// Routing entry snapshot used by Ingest without touching QueryState.
   struct RouteEntry {
@@ -225,6 +248,11 @@ class StreamRuntime {
   std::atomic<uint64_t> events_ingested_{0};
   std::atomic<bool> stopped_{false};
   std::chrono::steady_clock::time_point start_time_;
+
+  /// Per-runtime (not process-global) so concurrent runtimes — and
+  /// tests — never see each other's series. Owns the per-query
+  /// detection-latency histograms, written by shard workers in-line.
+  obs::Registry registry_;
 
   /// Gates handed out by PauseShard; Stop() opens any still closed so a
   /// forgotten gate can never deadlock worker join.

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "expr/analysis.h"
+#include "obs/metrics.h"
 #include "query/error_codes.h"
 
 namespace zstream::verify {
@@ -834,7 +835,24 @@ VerifyReport VerifyPlanReport(const Pattern& pattern,
 }
 
 Status VerifyPlan(const Pattern& pattern, const PhysicalPlan& plan) {
-  return VerifyPlanReport(pattern, plan).ToStatus();
+  const VerifyReport report = VerifyPlanReport(pattern, plan);
+  obs::Registry& reg = obs::Registry::Default();
+  reg.GetCounter("zstream_plan_verifications_total", {},
+                 "Plans checked by the static plan verifier")
+      ->Inc();
+  if (!report.violations.empty()) {
+    reg.GetCounter("zstream_plan_verifier_rejections_total", {},
+                   "Plans the verifier refused (one per plan, however "
+                   "many invariants it violated)")
+        ->Inc();
+    for (const Violation& v : report.violations) {
+      reg.GetCounter("zstream_plan_verifier_violations_total",
+                     {{"code", v.code}},
+                     "Invariant violations found, by ZS-V diagnostic code")
+          ->Inc();
+    }
+  }
+  return report.ToStatus();
 }
 
 }  // namespace zstream::verify

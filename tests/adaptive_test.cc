@@ -109,8 +109,8 @@ TEST(AdaptiveEngine, SwitchesPlansAndKeepsMatchSetExact) {
   EXPECT_GE((*engine)->plan_switches(), 1u);
 }
 
-TEST(RuntimeStatsTest, WindowedRatesFollowPhaseChanges) {
-  RuntimeStats stats(2, 0, /*bucket_width=*/100, /*num_buckets=*/4);
+TEST(WindowedClassStatsTest, WindowedRatesFollowPhaseChanges) {
+  WindowedClassStats stats(2, 0, /*bucket_width=*/100, /*num_buckets=*/4);
   // Phase 1: class 0 dominant.
   for (Timestamp ts = 0; ts < 1000; ++ts) {
     stats.OnEvent(ts);

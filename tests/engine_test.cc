@@ -133,7 +133,7 @@ TEST(Engine, ProjectionEvaluatesReturnClause) {
   EXPECT_DOUBLE_EQ(rows[0][2].AsDouble(), 18.0);
 }
 
-TEST(Engine, RuntimeStatsTrackRatesAndSelectivities) {
+TEST(Engine, WindowedStatsTrackRatesAndSelectivities) {
   const PatternPtr p = MustAnalyze(
       "PATTERN A;B WHERE A.name='A' AND B.name='B' AND A.price > B.price "
       "WITHIN 50");
@@ -147,10 +147,10 @@ TEST(Engine, RuntimeStatsTrackRatesAndSelectivities) {
                           rng.Uniform(100), i));
   }
   (*engine)->Finish();
-  ASSERT_NE((*engine)->runtime_stats(), nullptr);
+  ASSERT_NE((*engine)->windowed_stats(), nullptr);
   const StatsCatalog defaults(2, 50.0);
   const StatsCatalog snap =
-      (*engine)->runtime_stats()->Snapshot(*p, defaults);
+      (*engine)->windowed_stats()->Snapshot(*p, defaults);
   EXPECT_NEAR(snap.rate(0) / snap.rate(1), 2.0, 0.5);
   // Uniform independent prices: P(A.price > B.price) ~ 0.5.
   EXPECT_NEAR(snap.PairSel(0, 1), 0.5, 0.15);

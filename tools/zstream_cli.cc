@@ -8,6 +8,8 @@
 //   zstream_cli [--host H] [--port N] tail QUERY [--count N]
 //               [--timeout-ms N]
 //   zstream_cli [--host H] [--port N] stats
+//               [--watch [--interval-ms N] [--ticks N]]
+//   zstream_cli [--host H] [--port N] metrics [--json]
 //   zstream_cli [--host H] [--port N] flush
 //
 // `replay` regenerates the deterministic stock/weblog workload (same
@@ -15,11 +17,22 @@
 // it then prints `query NAME matches=N` for every served query, and
 // --expect QUERY=COUNT turns the run into an assertion (exit 1 on
 // mismatch) — the CI smoke test's hook.
+//
+// `stats --watch` polls the server's stats document on an interval and
+// prints one delta line per tick (ingest rate, match rate, aggregate
+// shard queue depth) — a poor man's `top` for a running server.
+// `metrics` fetches the observability registry snapshot over the wire
+// (the same document the HTTP /metrics side port serves).
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "net/protocol.h"
 
 #include "net/client.h"
 #include "workload/net_replay.h"
@@ -33,7 +46,7 @@ using namespace zstream;
 int Usage() {
   std::fprintf(stderr,
                "usage: zstream_cli [--host H] [--port N] "
-               "exec|replay|tail|stats|flush ...\n");
+               "exec|replay|tail|stats|metrics|flush ...\n");
   return 2;
 }
 
@@ -214,6 +227,144 @@ int RunTail(net::Client& client, std::vector<std::string> args) {
   return 0;
 }
 
+// Pulls the first `"key": <integer>` value out of a stats JSON
+// document at or after `from`. The server renders stats itself with a
+// stable field order (runtime_stats.cc / BuildStatsJson), so a real
+// JSON parser would be overkill here. Returns false when absent.
+bool FindJsonU64(const std::string& json, const char* key, size_t from,
+                 uint64_t* out, size_t* next) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t at = json.find(needle, from);
+  if (at == std::string::npos) return false;
+  size_t pos = at + needle.size();
+  while (pos < json.size() && json[pos] == ' ') ++pos;
+  if (pos >= json.size() || std::isdigit(json[pos]) == 0) return false;
+  *out = std::strtoull(json.c_str() + pos, nullptr, 10);
+  if (next != nullptr) *next = pos;
+  return true;
+}
+
+// One sampled reading of the counters the watch ticker reports.
+struct WatchSample {
+  uint64_t ingested = 0;
+  uint64_t matches = 0;
+  uint64_t dropped = 0;
+  uint64_t queue_depth = 0;  // summed over shards
+};
+
+bool ParseWatchSample(const std::string& json, WatchSample* s) {
+  // The stats document nests the runtime object last, so scan for its
+  // fields from the start; the "runtime" totals appear before the
+  // per-shard array, whose queue_depth entries we sum.
+  const size_t rt = json.find("\"runtime\":");
+  const size_t base = rt == std::string::npos ? 0 : rt;
+  if (!FindJsonU64(json, "events_ingested", base, &s->ingested, nullptr)) {
+    return false;
+  }
+  if (!FindJsonU64(json, "matches", base, &s->matches, nullptr)) {
+    return false;
+  }
+  FindJsonU64(json, "events_dropped", base, &s->dropped, nullptr);
+  size_t pos = base;
+  uint64_t depth = 0;
+  s->queue_depth = 0;
+  while (FindJsonU64(json, "queue_depth", pos, &depth, &pos)) {
+    s->queue_depth += depth;
+    ++pos;
+  }
+  return true;
+}
+
+int RunStatsWatch(net::Client& client, int interval_ms, int64_t ticks) {
+  WatchSample prev;
+  {
+    auto json = client.StatsJson();
+    if (!json.ok()) return Fail(json.status());
+    if (!ParseWatchSample(*json, &prev)) {
+      std::fprintf(stderr, "cannot parse stats document\n");
+      return 1;
+    }
+  }
+  std::printf("%10s %12s %12s %10s %10s\n", "t", "ev/s", "matches/s",
+              "dropped", "queue");
+  std::fflush(stdout);
+  const auto start = std::chrono::steady_clock::now();
+  auto last = start;
+  for (int64_t tick = 0; ticks < 0 || tick < ticks; ++tick) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    auto json = client.StatsJson();
+    if (!json.ok()) return Fail(json.status());
+    WatchSample cur;
+    if (!ParseWatchSample(*json, &cur)) {
+      std::fprintf(stderr, "cannot parse stats document\n");
+      return 1;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const double dt =
+        std::chrono::duration<double>(now - last).count();
+    const double t =
+        std::chrono::duration<double>(now - start).count();
+    last = now;
+    const double ev_s =
+        dt > 0 ? (cur.ingested - prev.ingested) / dt : 0.0;
+    const double match_s =
+        dt > 0 ? (cur.matches - prev.matches) / dt : 0.0;
+    std::printf("%9.1fs %12.0f %12.1f %10llu %10llu\n", t, ev_s,
+                match_s,
+                static_cast<unsigned long long>(cur.dropped),
+                static_cast<unsigned long long>(cur.queue_depth));
+    std::fflush(stdout);
+    prev = cur;
+  }
+  return 0;
+}
+
+int RunStats(net::Client& client, const std::vector<std::string>& args) {
+  bool watch = false;
+  int interval_ms = 1000;
+  int64_t ticks = -1;  // watch forever by default
+  for (size_t i = 0; i < args.size(); ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < args.size() ? args[++i].c_str() : nullptr;
+    };
+    if (args[i] == "--watch") {
+      watch = true;
+    } else if (args[i] == "--interval-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      interval_ms = std::atoi(v);
+      if (interval_ms <= 0) interval_ms = 1000;
+    } else if (args[i] == "--ticks") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      ticks = std::atoll(v);
+    } else {
+      return Usage();
+    }
+  }
+  if (watch) return RunStatsWatch(client, interval_ms, ticks);
+  auto json = client.StatsJson();
+  if (!json.ok()) return Fail(json.status());
+  std::printf("%s\n", json->c_str());
+  return 0;
+}
+
+int RunMetrics(net::Client& client, const std::vector<std::string>& args) {
+  uint8_t format = net::kMetricsFormatPrometheus;
+  for (const std::string& arg : args) {
+    if (arg == "--json") {
+      format = net::kMetricsFormatJson;
+    } else {
+      return Usage();
+    }
+  }
+  auto doc = client.Metrics(format);
+  if (!doc.ok()) return Fail(doc.status());
+  std::printf("%s", doc->c_str());
+  if (!doc->empty() && doc->back() != '\n') std::printf("\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -240,12 +391,8 @@ int main(int argc, char** argv) {
   if (command == "exec") return RunExec(**client, args);
   if (command == "replay") return RunReplay(**client, host, port, args);
   if (command == "tail") return RunTail(**client, args);
-  if (command == "stats") {
-    auto json = (*client)->StatsJson();
-    if (!json.ok()) return Fail(json.status());
-    std::printf("%s\n", json->c_str());
-    return 0;
-  }
+  if (command == "stats") return RunStats(**client, args);
+  if (command == "metrics") return RunMetrics(**client, args);
   if (command == "flush") {
     auto ack = (*client)->Flush();
     if (!ack.ok()) return Fail(ack.status());

@@ -2,7 +2,8 @@
 //
 //   zstream_server [--port N] [--bind ADDR] [--shards N]
 //                  [--queue-capacity N] [--drop-policy block|drop]
-//                  [--reorder-slack N] [--ddl "STATEMENT"]...
+//                  [--reorder-slack N] [--metrics-port N]
+//                  [--slow-event-ms N] [--ddl "STATEMENT"]...
 //
 // Starts an empty session (optionally seeded with --ddl statements,
 // applied in order), binds the sharded runtime, and serves the framed
@@ -10,6 +11,16 @@
 // chosen port is printed on the "listening" line, which scripts parse:
 //
 //   zstream_server listening on 127.0.0.1:41873 (shards=2, ...)
+//
+// --metrics-port N opens the HTTP observability side port (GET
+// /metrics, /metrics.json, /healthz); 0 picks an ephemeral port. The
+// bound port is printed on its own line, which scripts parse:
+//
+//   zstream_server metrics on http://127.0.0.1:45127/metrics
+//
+// --slow-event-ms N arms the slow-event log: any single event whose
+// evaluation in a plan exceeds the threshold is reported (rate-limited)
+// through ZS_LOG(Warn).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -33,7 +44,8 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--port N] [--bind ADDR] [--shards N]\n"
       "          [--queue-capacity N] [--drop-policy block|drop]\n"
-      "          [--reorder-slack N] [--ddl \"STATEMENT\"]...\n",
+      "          [--reorder-slack N] [--metrics-port N]\n"
+      "          [--slow-event-ms N] [--ddl \"STATEMENT\"]...\n",
       argv0);
   return 2;
 }
@@ -86,6 +98,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       runtime_options.reorder_slack = std::atoll(v);
+    } else if (arg == "--metrics-port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      server_options.metrics_port = std::atoi(v);
+    } else if (arg == "--slow-event-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      runtime_options.slow_event_ns = std::atoll(v) * 1000000;
     } else if (arg == "--ddl") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -125,6 +145,11 @@ int main(int argc, char** argv) {
           ? "block"
           : "drop",
       static_cast<long long>(runtime_options.reorder_slack));
+  if ((*server)->metrics_port() != 0) {
+    std::printf("zstream_server metrics on http://%s:%u/metrics\n",
+                (*server)->bind_address().c_str(),
+                (*server)->metrics_port());
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, OnSignal);
