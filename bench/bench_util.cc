@@ -6,6 +6,8 @@
 namespace zstream::bench {
 
 int Repetitions() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once before any bench
+  // threads start; nothing in the harness calls setenv.
   const char* env = std::getenv("ZS_BENCH_REPS");
   if (env != nullptr) return std::max(1, std::atoi(env));
   return 2;
@@ -128,6 +130,8 @@ std::string JsonEscape(const std::string& s) {
 
 void RecordResult(const std::string& experiment, const std::string& series,
                   const std::string& x, const RunResult& result) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): bench workers have joined by
+  // the time results are recorded; getenv races with nothing here.
   const char* path = std::getenv("ZS_BENCH_JSON");
   if (path == nullptr || path[0] == '\0') return;
   std::FILE* f = std::fopen(path, "a");

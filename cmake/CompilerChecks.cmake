@@ -39,6 +39,15 @@ endif()
 
 unset(_zstream_cxx_requirement)
 
+# Clang thread-safety analysis (-Wthread-safety). The annotations in
+# src/common/sync.h compile away everywhere, but only Clang can check
+# them; probe for the flag instead of testing the compiler id so the
+# gate follows the toolchain, not our guess about it. The result is
+# exported so tests/CMakeLists.txt can register the compile-fail
+# harness only where the analysis actually runs.
+include(CheckCXXCompilerFlag)
+check_cxx_compiler_flag(-Wthread-safety ZSTREAM_HAVE_WTHREAD_SAFETY)
+
 # Translates the ZSTREAM_SANITIZE cache value into compile/link flags on
 # `target`:
 #   OFF            -- nothing

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
-# Static-analysis gate, as run by the CI lint job: clang-tidy over every
-# first-party translation unit with the curated profile in .clang-tidy
-# (WarningsAsErrors: '*', so any finding fails the job).
+# Static-analysis gate, as run by the CI lint job:
+#   1. hotpath_lint.py — heap allocations inside ZS_HOT functions must
+#      stay within the committed budget (BENCH_hotpath_allocs.json).
+#      Pure Python, so it always runs, even where clang is absent.
+#   2. clang-tidy over every first-party translation unit with the
+#      curated profile in .clang-tidy (WarningsAsErrors: '*', so any
+#      finding fails the job).
 #
-# Needs a configured build tree for compile_commands.json; configures a
-# fresh one if the directory does not exist yet. On machines without
-# clang-tidy installed the script says so and exits 0 — the enforcement
-# point is CI, where the tool is always present; a missing local binary
-# must not block building or testing.
+# clang-tidy needs a configured build tree for compile_commands.json;
+# configures a fresh one if the directory does not exist yet. On
+# machines without clang-tidy installed the script says so and exits
+# after the hotpath lint — the enforcement point is CI, where the tool
+# is always present; a missing local binary must not block building or
+# testing.
 #
 # Usage: scripts/lint.sh [BUILD_DIR]    (default: build)
 set -euo pipefail
@@ -15,6 +20,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${1:-${BUILD_DIR:-build}}
+
+echo "== hotpath allocation lint =="
+python3 scripts/hotpath_lint.py --check
 
 TIDY=${CLANG_TIDY:-}
 if [[ -z "$TIDY" ]]; then

@@ -1,11 +1,15 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace zstream {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic: SetLogLevel races with concurrent LogMessage construction on
+// shard workers / the poll thread (a plain global here was a genuine
+// data race, surfaced by the PR 8 concurrency audit).
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,13 +26,18 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() {
+  return g_level.load(std::memory_order_relaxed);
+}
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_level), level_(level) {
+    : enabled_(level >= g_level.load(std::memory_order_relaxed)),
+      level_(level) {
   if (enabled_) {
     const char* base = file;
     for (const char* p = file; *p; ++p) {

@@ -39,4 +39,15 @@
 #define ZS_UNLIKELY(x) (x)
 #endif
 
+// Marks a function as per-event hot-path code. Besides the optimizer
+// hint, scripts/hotpath_lint.py treats every ZS_HOT function body as an
+// allocation-budget scope: heap allocations inside one are counted
+// against the committed BENCH_hotpath_allocs.json baseline, and new ones
+// fail the lint. Place it on the definition, before the return type.
+#if defined(__GNUC__) || defined(__clang__)
+#define ZS_HOT __attribute__((hot))
+#else
+#define ZS_HOT
+#endif
+
 #endif  // ZSTREAM_COMMON_MACROS_H_

@@ -1,5 +1,7 @@
 #include "common/string_util.h"
 
+#include <string.h>
+
 #include <algorithm>
 #include <cctype>
 
@@ -47,6 +49,27 @@ std::string Join(const std::vector<std::string>& parts,
     out += parts[i];
   }
   return out;
+}
+
+namespace {
+
+// strerror_r has two incompatible signatures; overloads on the return
+// type of the one the libc actually provided pick the right unpacking.
+// GNU: returns char* (possibly a static string, buf maybe unused).
+[[maybe_unused]] const char* StrerrorResult(char* ret, const char*) {
+  return ret;
+}
+// XSI/POSIX: returns int (0 on success), message always written to buf.
+[[maybe_unused]] const char* StrerrorResult(int ret, const char* buf) {
+  return ret == 0 ? buf : "Unknown error";
+}
+
+}  // namespace
+
+std::string ErrnoToString(int errnum) {
+  char buf[256];
+  buf[0] = '\0';
+  return StrerrorResult(strerror_r(errnum, buf, sizeof(buf)), buf);
 }
 
 bool EqualsIgnoreCase(std::string_view a, std::string_view b) {

@@ -16,6 +16,11 @@ std::string Join(const std::vector<std::string>& parts,
                  const std::string& sep);
 bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 
+/// Thread-safe strerror: strerror_r into a local buffer (std::strerror
+/// shares one static buffer across threads, which races when shard
+/// workers and the poll loop report errors concurrently).
+std::string ErrnoToString(int errnum);
+
 }  // namespace zstream
 
 #endif  // ZSTREAM_COMMON_STRING_UTIL_H_

@@ -1,8 +1,10 @@
 #include "exec/buffer.h"
 
+#include "common/macros.h"
+
 namespace zstream {
 
-RecordId Buffer::Append(Record record) {
+ZS_HOT RecordId Buffer::Append(Record record) {
   ZS_DCHECK(records_.empty() || record.end_ts >= records_.back().end_ts);
   const RecordId id = end_id();
   Account(record);

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/macros.h"
 #include "expr/analysis.h"
 #include "obs/metrics.h"
 #include "verify/plan_verifier.h"
@@ -373,7 +374,7 @@ Result<OperatorNode*> Engine::BuildNode(const PhysNodePtr& node,
   return Status::Internal("unreachable physical operator");
 }
 
-void Engine::Offer(const EventPtr& event) {
+ZS_HOT void Engine::Offer(const EventPtr& event) {
   ++events_pushed_;
   if (event->timestamp() < max_ts_seen_) {
     // Leaf buffers require timestamp order; without a reorder stage,
@@ -389,7 +390,7 @@ void Engine::Offer(const EventPtr& event) {
   }
 }
 
-void Engine::PushOrdered(const EventPtr& event) {
+ZS_HOT void Engine::PushOrdered(const EventPtr& event) {
 #ifndef ZSTREAM_OBS_STRIPPED
   if (options_.slow_event_ns > 0) {
     const uint64_t t0 = obs::MonotonicNanos();
@@ -410,7 +411,7 @@ void Engine::PushOrdered(const EventPtr& event) {
   }
 }
 
-void Engine::Push(const EventPtr& event) {
+ZS_HOT void Engine::Push(const EventPtr& event) {
   if (reorder_ != nullptr) {
     reorder_->Push(event);
     return;
@@ -423,7 +424,7 @@ void Engine::Finish() {
   AssemblyRound();
 }
 
-void Engine::AssemblyRound() {
+ZS_HOT void Engine::AssemblyRound() {
   pending_in_batch_ = 0;
   // Idle round unless a trigger class has an unconsumed instance
   // (Section 4.3, steps 1-2).
@@ -473,7 +474,7 @@ void Engine::AssemblyRound() {
   MaybeAdapt();
 }
 
-void Engine::DrainRoot(Timestamp eat) {
+ZS_HOT void Engine::DrainRoot(Timestamp eat) {
   Buffer& out = *root_->output();
   for (RecordId id = out.watermark(); id < out.end_id(); ++id) {
     const Record& rec = out.Get(id);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/macros.h"
 #include "expr/analysis.h"
 
 namespace zstream {
@@ -28,7 +29,7 @@ void OperatorNode::AttachPredicate(ExprPtr pred, int pred_idx) {
   preds_.push_back(std::move(p));
 }
 
-bool OperatorNode::EvalOnePred(const AttachedPred& p, const Record& rec) {
+ZS_HOT bool OperatorNode::EvalOnePred(const AttachedPred& p, const Record& rec) {
   // Vacuous pass when a referenced slot is unbound (disjunction
   // branches). The Kleene class binds through the group instead.
   for (int c : p.classes) {
@@ -44,7 +45,7 @@ bool OperatorNode::EvalOnePred(const AttachedPred& p, const Record& rec) {
   return pass;
 }
 
-bool OperatorNode::EvalPreds(const Record& rec) {
+ZS_HOT bool OperatorNode::EvalPreds(const Record& rec) {
   for (const AttachedPred& p : preds_) {
     if (!EvalOnePred(p, rec)) return false;
   }
@@ -64,7 +65,7 @@ LeafNode::LeafNode(const Pattern* pattern, int class_idx,
   set_covered({class_idx});
 }
 
-bool LeafNode::Offer(const EventPtr& event) {
+ZS_HOT bool LeafNode::Offer(const EventPtr& event) {
 #ifndef ZSTREAM_OBS_STRIPPED
   ++offered_;
 #endif
@@ -136,7 +137,7 @@ void SeqNode::AddNegGuard(int neg_class, bool neg_bound_on_right) {
   guards_.push_back(NegGuard{neg_class, neg_bound_on_right});
 }
 
-bool SeqNode::PassesGuards(const Record& l, const Record& r) const {
+ZS_HOT bool SeqNode::PassesGuards(const Record& l, const Record& r) const {
   for (const NegGuard& g : guards_) {
     const size_t nc = static_cast<size_t>(g.neg_class);
     if (g.neg_bound_on_right) {
@@ -158,7 +159,7 @@ bool SeqNode::PassesGuards(const Record& l, const Record& r) const {
   return true;
 }
 
-void SeqNode::TryCombine(const Record& l, const Record& r) {
+ZS_HOT void SeqNode::TryCombine(const Record& l, const Record& r) {
   ++pairs_tried_;
   if (!PassesGuards(l, r)) return;
   Record merged = Record::MergeSpanning(l, r);
@@ -167,7 +168,7 @@ void SeqNode::TryCombine(const Record& l, const Record& r) {
   ++records_emitted_;
 }
 
-void SeqNode::Assemble(Timestamp eat) {
+ZS_HOT void SeqNode::Assemble(Timestamp eat) {
   Buffer& lbuf = *left_->output();
   Buffer& rbuf = *right_->output();
   lbuf.PurgeBefore(eat);
@@ -226,7 +227,7 @@ NSeqNode::NSeqNode(const Pattern* pattern, LeafNode* neg, OperatorNode* other,
                        : std::vector<OperatorNode*>{other, neg};
 }
 
-void NSeqNode::Assemble(Timestamp eat) {
+ZS_HOT void NSeqNode::Assemble(Timestamp eat) {
   Buffer& nbuf = *neg_->output();
   Buffer& obuf = *other_->output();
   nbuf.PurgeBefore(eat);
@@ -304,7 +305,7 @@ void ConjNode::SetHashEquality(const EqualityJoin& eq) {
   right_->output()->EnableHashIndex(eq.right_class, eq.right_field);
 }
 
-void ConjNode::CombineWithEarlier(const Record& pivot, Buffer& partner,
+ZS_HOT void ConjNode::CombineWithEarlier(const Record& pivot, Buffer& partner,
                                   RecordId limit, bool pivot_is_left,
                                   Timestamp eat) {
   const auto try_one = [&](const Record& br) {
@@ -345,7 +346,7 @@ void ConjNode::CombineWithEarlier(const Record& pivot, Buffer& partner,
   }
 }
 
-void ConjNode::Assemble(Timestamp eat) {
+ZS_HOT void ConjNode::Assemble(Timestamp eat) {
   Buffer& lbuf = *left_->output();
   Buffer& rbuf = *right_->output();
   lbuf.PurgeBefore(eat);
@@ -390,7 +391,7 @@ DisjNode::DisjNode(const Pattern* pattern, OperatorNode* left,
   children_ = {left, right};
 }
 
-void DisjNode::Assemble(Timestamp eat) {
+ZS_HOT void DisjNode::Assemble(Timestamp eat) {
   Buffer& lbuf = *left_->output();
   Buffer& rbuf = *right_->output();
 
@@ -434,7 +435,7 @@ NegFilterNode::NegFilterNode(const Pattern* pattern, OperatorNode* input,
   children_ = {input, neg_leaf};
 }
 
-void NegFilterNode::Assemble(Timestamp eat) {
+ZS_HOT void NegFilterNode::Assemble(Timestamp eat) {
   Buffer& in = *input_->output();
   Buffer& nbuf = *neg_leaf_->output();
   nbuf.PurgeBefore(eat);

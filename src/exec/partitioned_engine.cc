@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/macros.h"
 #include "verify/plan_verifier.h"
 
 namespace zstream {
@@ -65,7 +66,7 @@ Result<PartitionedEngine::Partition*> PartitionedEngine::GetOrCreate(
   return &pos->second;
 }
 
-void PartitionedEngine::Push(const EventPtr& event) {
+ZS_HOT void PartitionedEngine::Push(const EventPtr& event) {
   if (reorder_ != nullptr) {
     reorder_->Push(event);
     return;
@@ -73,7 +74,7 @@ void PartitionedEngine::Push(const EventPtr& event) {
   PushOrdered(event);
 }
 
-void PartitionedEngine::PushOrdered(const EventPtr& event) {
+ZS_HOT void PartitionedEngine::PushOrdered(const EventPtr& event) {
   ++events_pushed_;
   const Value& key = event->value(key_field_);
   if (key.is_null()) return;

@@ -2,9 +2,11 @@
 
 #include <sstream>
 
+#include "common/macros.h"
+
 namespace zstream {
 
-Record Record::FromEvent(int class_idx, int num_classes,
+ZS_HOT Record Record::FromEvent(int class_idx, int num_classes,
                          const EventPtr& event) {
   Record r;
   r.start_ts = event->timestamp();
@@ -14,7 +16,7 @@ Record Record::FromEvent(int class_idx, int num_classes,
   return r;
 }
 
-Record Record::Merge(const Record& a, const Record& b, Timestamp start,
+ZS_HOT Record Record::Merge(const Record& a, const Record& b, Timestamp start,
                      Timestamp end) {
   Record r;
   r.start_ts = start;

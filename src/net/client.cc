@@ -13,13 +13,15 @@
 #include <chrono>
 #include <cstring>
 
+#include "common/string_util.h"
+
 namespace zstream::net {
 
 namespace {
 
 Status Errno(const char* what) {
   return Status::Internal(std::string(what) + ": " +
-                          std::strerror(errno));
+                          ErrnoToString(errno));
 }
 
 Status ConnectionClosed() {
@@ -39,6 +41,8 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
   const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
                                &hints, &results);
   if (rc != 0) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): gai_strerror returns
+    // pointers to immutable static strings on glibc (MT-Safe).
     return Status::InvalidArgument("cannot resolve host '" + host +
                                    "': " + ::gai_strerror(rc));
   }

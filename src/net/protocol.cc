@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/macros.h"
 #include "query/error_codes.h"
 
 namespace zstream::net {
@@ -473,11 +474,11 @@ void AppendFrame(std::string* out, MsgType type, uint8_t flags,
   out->append(payload.data(), payload.size());
 }
 
-void FrameParser::Append(const char* data, size_t n) {
+ZS_HOT void FrameParser::Append(const char* data, size_t n) {
   buf_.append(data, n);
 }
 
-void FrameParser::Consume(size_t n) {
+ZS_HOT void FrameParser::Consume(size_t n) {
   consumed_ += n;
   if (consumed_ == buf_.size()) {
     buf_.clear();
@@ -488,7 +489,7 @@ void FrameParser::Consume(size_t n) {
   }
 }
 
-Result<std::optional<FrameParser::Frame>> FrameParser::Next() {
+ZS_HOT Result<std::optional<FrameParser::Frame>> FrameParser::Next() {
   if (!fatal_.ok()) return fatal_;
   if (skip_ > 0) {
     const size_t take = static_cast<size_t>(

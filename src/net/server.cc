@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "query/error_codes.h"
 
 namespace zstream::net {
@@ -21,7 +22,7 @@ namespace {
 
 Status Errno(const char* what) {
   return Status::Internal(std::string(what) + ": " +
-                          std::strerror(errno));
+                          ErrnoToString(errno));
 }
 
 Status SetNonBlocking(int fd) {
@@ -92,7 +93,7 @@ struct Server::HttpConnection {
 void Server::FanoutSink::Publish(runtime::RuntimeMatch&& match) {
   bool signal = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    zs::MutexLock lock(mu_);
     pending_.push_back(std::move(match));
     if (!signaled_) {
       signaled_ = true;
@@ -301,7 +302,7 @@ void Server::PollLoop() {
     const int rc = ::poll(fds.data(), fds.size(), /*timeout=*/-1);
     if (rc < 0) {
       if (errno == EINTR) continue;
-      ZS_LOG(Warn) << "poll failed: " << std::strerror(errno);
+      ZS_LOG(Warn) << "poll failed: " << ErrnoToString(errno);
       break;
     }
     if (!running_.load(std::memory_order_relaxed)) break;
@@ -361,7 +362,7 @@ void Server::AcceptPending() {
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
-      ZS_LOG(Warn) << "accept failed: " << std::strerror(errno);
+      ZS_LOG(Warn) << "accept failed: " << ErrnoToString(errno);
       return;
     }
     if (static_cast<int>(connections_.size()) >= options_.max_connections) {
@@ -704,7 +705,7 @@ void Server::HandleFlush(Connection* conn) {
 void Server::DrainMatches() {
   std::vector<runtime::RuntimeMatch> pending;
   {
-    std::lock_guard<std::mutex> lock(sink_.mu_);
+    zs::MutexLock lock(sink_.mu_);
     sink_.signaled_ = false;
     pending.swap(sink_.pending_);
   }
@@ -858,7 +859,7 @@ void Server::AcceptHttpPending() {
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
-      ZS_LOG(Warn) << "metrics accept failed: " << std::strerror(errno);
+      ZS_LOG(Warn) << "metrics accept failed: " << ErrnoToString(errno);
       return;
     }
     if (static_cast<int>(http_connections_.size()) >=

@@ -32,12 +32,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/zstream.h"
+#include "common/sync.h"
 #include "net/protocol.h"
 #include "runtime/match_sink.h"
 #include "runtime/stream_runtime.h"
@@ -116,9 +116,9 @@ class Server {
    private:
     friend class Server;
     Server* server_;
-    std::mutex mu_;
-    bool signaled_ = false;
-    std::vector<runtime::RuntimeMatch> pending_;
+    zs::Mutex mu_;
+    bool signaled_ ZS_GUARDED_BY(mu_) = false;
+    std::vector<runtime::RuntimeMatch> pending_ ZS_GUARDED_BY(mu_);
   };
 
   /// Runtime-side registration of one served query.

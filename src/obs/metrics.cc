@@ -138,7 +138,7 @@ Registry::Series* Registry::GetSeries(const std::string& name,
                                       const std::string& help,
                                       MetricType type, double scale) {
   const std::string key = RenderLabels(labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  zs::MutexLock lock(mu_);
   Family& fam = families_[name];
   auto it = fam.series.find(key);
   if (it == fam.series.end()) {
@@ -187,7 +187,7 @@ Histogram* Registry::GetHistogram(const std::string& name,
 }
 
 std::string Registry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  zs::MutexLock lock(mu_);
   std::ostringstream os;
   for (const auto& [name, fam] : families_) {
     if (!fam.help.empty()) os << "# HELP " << name << " " << fam.help << "\n";
@@ -239,7 +239,7 @@ std::string Registry::RenderPrometheus() const {
 }
 
 std::string Registry::RenderJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  zs::MutexLock lock(mu_);
   std::ostringstream os;
   os << "{";
   bool first_fam = true;

@@ -27,12 +27,12 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/sync.h"
 
 namespace zstream::obs {
 
@@ -172,13 +172,14 @@ class Registry {
   Series* GetSeries(const std::string& name, const Labels& labels,
                     const std::string& help, MetricType type, double scale);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Family> families_;
+  mutable zs::Mutex mu_;
+  std::map<std::string, Family> families_ ZS_GUARDED_BY(mu_);
   // Instrument storage: deques never relocate elements, so pointers
-  // handed out under mu_ stay valid without further locking.
-  std::deque<Counter> counters_;
-  std::deque<Gauge> gauges_;
-  std::deque<Histogram> histograms_;
+  // handed out under mu_ stay valid without further locking (the
+  // instruments themselves are relaxed atomics, deliberately unguarded).
+  std::deque<Counter> counters_ ZS_GUARDED_BY(mu_);
+  std::deque<Gauge> gauges_ ZS_GUARDED_BY(mu_);
+  std::deque<Histogram> histograms_ ZS_GUARDED_BY(mu_);
 };
 
 /// Canonical `{a="b",c="d"}` rendering ("" when empty) used for both

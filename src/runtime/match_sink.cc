@@ -34,19 +34,19 @@ bool RuntimeMatchLess(const RuntimeMatch& a, const std::string& key_a,
 }
 
 void CollectingMatchSink::Publish(RuntimeMatch&& match) {
-  std::lock_guard<std::mutex> lock(mu_);
+  zs::MutexLock lock(mu_);
   matches_.push_back(std::move(match));
 }
 
 size_t CollectingMatchSink::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  zs::MutexLock lock(mu_);
   return matches_.size();
 }
 
 std::vector<RuntimeMatch> CollectingMatchSink::Take() {
   std::vector<RuntimeMatch> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    zs::MutexLock lock(mu_);
     out.swap(matches_);
   }
   // Decorate-sort-undecorate: build each canonical key once instead of
@@ -72,7 +72,7 @@ std::vector<RuntimeMatch> CollectingMatchSink::Take() {
 std::vector<std::string> CollectingMatchSink::SortedKeys() const {
   std::vector<std::string> keys;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    zs::MutexLock lock(mu_);
     keys.reserve(matches_.size());
     for (const RuntimeMatch& m : matches_) {
       keys.push_back(CanonicalMatchKey(m.match));

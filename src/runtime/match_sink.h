@@ -11,10 +11,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "exec/engine.h"
 
 namespace zstream::runtime {
@@ -65,8 +65,8 @@ class CollectingMatchSink : public MatchSink {
   std::vector<std::string> SortedKeys() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<RuntimeMatch> matches_;
+  mutable zs::Mutex mu_;
+  std::vector<RuntimeMatch> matches_ ZS_GUARDED_BY(mu_);
 };
 
 /// \brief Serializes an arbitrary callback behind a mutex (for sinks
@@ -77,13 +77,13 @@ class CallbackMatchSink : public MatchSink {
       : fn_(std::move(fn)) {}
 
   void Publish(RuntimeMatch&& match) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    zs::MutexLock lock(mu_);
     fn_(std::move(match));
   }
 
  private:
-  std::mutex mu_;
-  std::function<void(RuntimeMatch&&)> fn_;
+  zs::Mutex mu_;
+  std::function<void(RuntimeMatch&&)> fn_ ZS_GUARDED_BY(mu_);
 };
 
 }  // namespace zstream::runtime

@@ -9,16 +9,17 @@
 //
 // A mutex + two condition variables keep this simple and provably
 // TSan-clean; the queue is not the bottleneck (engine assembly is), so a
-// lock-free ring would buy complexity, not throughput.
+// lock-free ring would buy complexity, not throughput. The lock state is
+// verified at compile time by Clang thread-safety analysis (see
+// common/sync.h): every mutable field is guarded by mu_.
 #ifndef ZSTREAM_RUNTIME_MPSC_QUEUE_H_
 #define ZSTREAM_RUNTIME_MPSC_QUEUE_H_
 
-#include <condition_variable>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/sync.h"
 
 namespace zstream::runtime {
 
@@ -26,28 +27,29 @@ template <typename T>
 class MpscRingQueue {
  public:
   explicit MpscRingQueue(size_t capacity)
-      : ring_(capacity < 1 ? 1 : capacity) {}
+      : capacity_(capacity < 1 ? 1 : capacity), ring_(capacity_) {}
   ZS_DISALLOW_COPY_AND_ASSIGN(MpscRingQueue);
 
   /// Blocks while full; returns false (dropping `item`) once closed.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return count_ < ring_.size() || closed_; });
-    if (closed_) return false;
-    Place(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+  ZS_HOT bool Push(T item) {
+    {
+      zs::MutexLock lock(mu_);
+      while (count_ >= capacity_ && !closed_) not_full_.Wait(mu_);
+      if (closed_) return false;
+      Place(std::move(item));
+    }
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Non-blocking; returns false when full or closed.
-  bool TryPush(T&& item) {
+  ZS_HOT bool TryPush(T&& item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (closed_ || count_ >= ring_.size()) return false;
+      zs::MutexLock lock(mu_);
+      if (closed_ || count_ >= capacity_) return false;
       Place(std::move(item));
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
@@ -55,72 +57,76 @@ class MpscRingQueue {
   /// waiting for space as needed, and returns how many were placed —
   /// fewer than items->size() only when the queue closed mid-batch
   /// (items already placed are still drained by the consumer).
-  size_t PushAll(std::vector<T>* items) {
+  ZS_HOT size_t PushAll(std::vector<T>* items) {
     size_t placed = 0;
-    std::unique_lock<std::mutex> lock(mu_);
-    for (T& item : *items) {
-      not_full_.wait(lock, [&] { return count_ < ring_.size() || closed_; });
-      if (closed_) break;
-      Place(std::move(item));
-      ++placed;
-      if (count_ == 1) {
-        // First item after empty: wake the consumer while we keep
-        // filling; later items ride the same wake-up.
-        not_empty_.notify_one();
+    {
+      zs::MutexLock lock(mu_);
+      for (T& item : *items) {
+        while (count_ >= capacity_ && !closed_) not_full_.Wait(mu_);
+        if (closed_) break;
+        Place(std::move(item));
+        ++placed;
+        if (count_ == 1) {
+          // First item after empty: wake the consumer while we keep
+          // filling; later items ride the same wake-up.
+          not_empty_.NotifyOne();
+        }
       }
     }
-    lock.unlock();
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return placed;
   }
 
   /// Pops up to `max_items` into `*out` (cleared first), blocking until
   /// at least one item is available or the queue is closed AND drained —
   /// the only case that returns 0.
-  size_t PopBatch(std::vector<T>* out, size_t max_items) {
+  ZS_HOT size_t PopBatch(std::vector<T>* out, size_t max_items) {
     out->clear();
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return count_ > 0 || closed_; });
-    const size_t n = count_ < max_items ? count_ : max_items;
-    for (size_t i = 0; i < n; ++i) {
-      out->push_back(std::move(ring_[head_]));
-      head_ = (head_ + 1) % ring_.size();
+    size_t n = 0;
+    {
+      zs::MutexLock lock(mu_);
+      while (count_ == 0 && !closed_) not_empty_.Wait(mu_);
+      n = count_ < max_items ? count_ : max_items;
+      for (size_t i = 0; i < n; ++i) {
+        out->push_back(std::move(ring_[head_]));  // zs-hotpath-allow(consumer-side batch buffer is reused across PopBatch calls; push_back reallocates only until it reaches batch size)
+        head_ = (head_ + 1) % capacity_;
+      }
+      count_ -= n;
     }
-    count_ -= n;
-    lock.unlock();
-    if (n > 0) not_full_.notify_all();
+    if (n > 0) not_full_.NotifyAll();
     return n;
   }
 
   /// Wakes all waiters; subsequent pushes fail, pops drain what remains.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      zs::MutexLock lock(mu_);
       closed_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    zs::MutexLock lock(mu_);
     return count_;
   }
-  size_t capacity() const { return ring_.size(); }
+  size_t capacity() const { return capacity_; }
 
  private:
-  void Place(T&& item) {
-    ring_[(head_ + count_) % ring_.size()] = std::move(item);
+  ZS_HOT void Place(T&& item) ZS_REQUIRES(mu_) {
+    ring_[(head_ + count_) % capacity_] = std::move(item);
     ++count_;
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::vector<T> ring_;
-  size_t head_ = 0;
-  size_t count_ = 0;
-  bool closed_ = false;
+  const size_t capacity_;
+  mutable zs::Mutex mu_;
+  zs::CondVar not_empty_;
+  zs::CondVar not_full_;
+  std::vector<T> ring_ ZS_GUARDED_BY(mu_);
+  size_t head_ ZS_GUARDED_BY(mu_) = 0;
+  size_t count_ ZS_GUARDED_BY(mu_) = 0;
+  bool closed_ ZS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace zstream::runtime

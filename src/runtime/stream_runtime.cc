@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/sync.h"
 #include "exec/reorder.h"
 #include "runtime/mpsc_queue.h"
 #include "verify/plan_verifier.h"
@@ -24,54 +25,56 @@ struct SyncPoint {
   explicit SyncPoint(int n) : remaining(n) {}
 
   void Arrive() {
-    std::lock_guard<std::mutex> lock(mu);
-    if (--remaining <= 0) cv.notify_all();
+    zs::MutexLock lock(mu);
+    if (--remaining <= 0) cv.NotifyAll();
   }
   void Wait() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return remaining <= 0; });
+    zs::MutexLock lock(mu);
+    while (remaining > 0) cv.Wait(mu);
   }
 
-  std::mutex mu;
-  std::condition_variable cv;
-  int remaining;
+  zs::Mutex mu;
+  zs::CondVar cv;
+  int remaining ZS_GUARDED_BY(mu);
 };
 
 }  // namespace
 
 void Gate::Park() {
-  std::unique_lock<std::mutex> lock(mu_);
+  zs::MutexLock lock(mu_);
   parked_ = true;
-  cv_.notify_all();
-  cv_.wait(lock, [&] { return open_; });
+  cv_.NotifyAll();
+  while (!open_) cv_.Wait(mu_);
 }
 
 void Gate::WaitParked() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return parked_; });
+  zs::MutexLock lock(mu_);
+  while (!parked_) cv_.Wait(mu_);
 }
 
 void Gate::Open() {
-  std::lock_guard<std::mutex> lock(mu_);
+  zs::MutexLock lock(mu_);
   open_ = true;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 /// Merged-stats collection rendezvous for ReplanQuery.
 struct StreamRuntime::CollectCtx {
+  /// Written once by the control plane before the collect message is
+  /// published; read-only for workers afterwards, so unguarded.
   StatsCatalog defaults;
-  std::mutex mu;
-  std::vector<StatsCatalog> parts;
-  std::vector<double> weights;
+  zs::Mutex mu;
+  std::vector<StatsCatalog> parts ZS_GUARDED_BY(mu);
+  std::vector<double> weights ZS_GUARDED_BY(mu);
 };
 
 /// Profile collection rendezvous for ExplainAnalyze: each shard worker
 /// merges its engine's node profile at a message boundary.
 struct StreamRuntime::ProfileCtx {
-  std::mutex mu;
-  bool has = false;
-  NodeProfile merged;
-  uint64_t events_pushed = 0;
+  zs::Mutex mu;
+  bool has ZS_GUARDED_BY(mu) = false;
+  NodeProfile merged ZS_GUARDED_BY(mu);
+  uint64_t events_pushed ZS_GUARDED_BY(mu) = 0;
 };
 
 /// One registered query. Engines are indexed by shard and driven only by
@@ -82,7 +85,6 @@ struct StreamRuntime::QueryState {
   StreamId stream = -1;
   std::string text;
   PatternPtr pattern;
-  PhysicalPlan plan;  // control-plane view of the current plan
   RoutePolicy route = RoutePolicy::kPinned;
   int key_field = -1;
   int pinned_shard = 0;
@@ -103,12 +105,15 @@ struct StreamRuntime::QueryState {
   /// Shared by every shard engine (MemoryTracker is thread-safe).
   std::unique_ptr<MemoryTracker> tracker;
   std::vector<std::unique_ptr<EngineCore>> engines;  // [shard] or null
-  std::unique_ptr<AdaptiveController> controller;    // enable_replan only
   /// Serializes ReplanQuery's controller + plan updates without holding
   /// the runtime-wide control_mu_ across worker barriers (a worker
   /// blocked on control_mu_ inside a MatchSink callback must never be
   /// one we are waiting on).
-  std::mutex replan_mu;
+  zs::Mutex replan_mu;
+  PhysicalPlan plan ZS_GUARDED_BY(replan_mu);  // control-plane plan view
+  /// enable_replan only; the pointer itself is set once at registration,
+  /// the controller's mutable state is driven only under replan_mu.
+  std::unique_ptr<AdaptiveController> controller ZS_PT_GUARDED_BY(replan_mu);
 
   /// Worker-side re-filter: several queries can route one event to the
   /// same shard, so each engine checks that the event is its own. The
@@ -255,7 +260,7 @@ void StreamRuntime::Stop() {
   {
     // A worker parked at a forgotten PauseShard gate would never see
     // the queue close; open every outstanding gate before joining.
-    std::lock_guard<std::mutex> lock(gates_mu_);
+    zs::MutexLock lock(gates_mu_);
     for (const std::weak_ptr<Gate>& weak : gates_) {
       if (auto gate = weak.lock()) gate->Open();
     }
@@ -270,9 +275,9 @@ void StreamRuntime::Stop() {
 // Worker loop
 // ---------------------------------------------------------------------
 
-void StreamRuntime::DispatchEvent(Shard* shard, StreamId stream,
-                                  const EventPtr& event, int hint_field,
-                                  size_t hint_hash) {
+ZS_HOT void StreamRuntime::DispatchEvent(Shard* shard, StreamId stream,
+                                         const EventPtr& event,
+                                         int hint_field, size_t hint_hash) {
   for (Shard::Entry& entry : shard->entries) {
     if (entry.query->stream != stream) continue;
     if (!entry.query->AcceptsOn(shard->index, event, hint_field,
@@ -288,7 +293,7 @@ void StreamRuntime::FlushReorder(Shard* shard) {
   shard->PublishReorderCounters();
 }
 
-void StreamRuntime::WorkerLoop(Shard* shard) {
+ZS_HOT void StreamRuntime::WorkerLoop(Shard* shard) {
   const bool reordering = options_.reorder_slack > 0;
   std::vector<ShardMsg> batch;
   batch.reserve(static_cast<size_t>(options_.shard_batch_size));
@@ -386,13 +391,13 @@ void StreamRuntime::WorkerLoop(Shard* shard) {
           const QueryId id = msg.query->id;
           for (Shard::Entry& entry : shard->entries) {
             if (entry.query->id != id) continue;
-            StatsCatalog part =
-                entry.engine->StatsSnapshot(msg.collect->defaults);
+            CollectCtx* ctx = msg.collect.get();
+            StatsCatalog part = entry.engine->StatsSnapshot(ctx->defaults);
             const double weight =
                 static_cast<double>(entry.engine->events_pushed());
-            std::lock_guard<std::mutex> lock(msg.collect->mu);
-            msg.collect->parts.push_back(std::move(part));
-            msg.collect->weights.push_back(weight);
+            zs::MutexLock lock(ctx->mu);
+            ctx->parts.push_back(std::move(part));
+            ctx->weights.push_back(weight);
           }
           msg.sync->Arrive();
           break;
@@ -401,18 +406,18 @@ void StreamRuntime::WorkerLoop(Shard* shard) {
           const QueryId id = msg.query->id;
           for (Shard::Entry& entry : shard->entries) {
             if (entry.query->id != id) continue;
+            ProfileCtx* ctx = msg.profile.get();
             NodeProfile part = entry.engine->Profile();
             const uint64_t pushed = entry.engine->events_pushed();
-            std::lock_guard<std::mutex> lock(msg.profile->mu);
-            msg.profile->events_pushed += pushed;
-            if (!msg.profile->has) {
-              msg.profile->merged = std::move(part);
-              msg.profile->has = true;
+            zs::MutexLock lock(ctx->mu);
+            ctx->events_pushed += pushed;
+            if (!ctx->has) {
+              ctx->merged = std::move(part);
+              ctx->has = true;
             } else {
               // Same query, same plan on every shard -> same shape; a
               // failed merge would mean shard engines desynchronized.
-              const Status st =
-                  MergeNodeProfile(&msg.profile->merged, part);
+              const Status st = MergeNodeProfile(&ctx->merged, part);
               if (!st.ok()) {
                 ZS_LOG(Warn) << "shard " << shard->index
                              << " profile merge failed: " << st.ToString();
@@ -444,7 +449,7 @@ Result<StreamId> StreamRuntime::AddStream(const std::string& name,
   if (schema == nullptr) {
     return Status::InvalidArgument("stream schema must not be null");
   }
-  std::unique_lock<std::shared_mutex> lock(route_mu_);
+  zs::WriterMutexLock lock(route_mu_);
   for (const StreamInfo& info : streams_) {
     if (info.name == name) {
       return Status::InvalidArgument("stream '" + name +
@@ -456,7 +461,7 @@ Result<StreamId> StreamRuntime::AddStream(const std::string& name,
 }
 
 Result<StreamId> StreamRuntime::stream(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  zs::ReaderMutexLock lock(route_mu_);
   for (size_t i = 0; i < streams_.size(); ++i) {
     if (streams_[i].name == name) return static_cast<StreamId>(i);
   }
@@ -464,16 +469,17 @@ Result<StreamId> StreamRuntime::stream(const std::string& name) const {
 }
 
 std::vector<std::string> StreamRuntime::StreamNames() const {
-  std::shared_lock<std::shared_mutex> lock(route_mu_);
+  zs::ReaderMutexLock lock(route_mu_);
   std::vector<std::string> names;
   names.reserve(streams_.size());
   for (const StreamInfo& info : streams_) names.push_back(info.name);
   return names;
 }
 
-uint64_t StreamRuntime::TargetMask(const RouteEntry& entry,
-                                   const EventPtr& event, int* hint_field,
-                                   size_t* hint_hash) const {
+ZS_HOT uint64_t StreamRuntime::TargetMask(const RouteEntry& entry,
+                                          const EventPtr& event,
+                                          int* hint_field,
+                                          size_t* hint_hash) const {
   switch (entry.route) {
     case RoutePolicy::kHashKey: {
       const size_t hash = *hint_field == entry.key_field
@@ -498,7 +504,7 @@ uint64_t StreamRuntime::TargetMask(const RouteEntry& entry,
 // Ingest
 // ---------------------------------------------------------------------
 
-bool StreamRuntime::Ingest(StreamId stream, const EventPtr& event) {
+ZS_HOT bool StreamRuntime::Ingest(StreamId stream, const EventPtr& event) {
   if (stopped_.load(std::memory_order_relaxed) || event == nullptr) {
     return false;
   }
@@ -506,7 +512,7 @@ bool StreamRuntime::Ingest(StreamId stream, const EventPtr& event) {
   int hint_field = -1;
   size_t hint_hash = 0;
   {
-    std::shared_lock<std::shared_mutex> lock(route_mu_);
+    zs::ReaderMutexLock lock(route_mu_);
     if (stream < 0 || static_cast<size_t>(stream) >= streams_.size()) {
       return false;
     }
@@ -543,15 +549,15 @@ bool StreamRuntime::Ingest(const std::string& stream_name,
   return id.ok() && Ingest(*id, event);
 }
 
-uint64_t StreamRuntime::IngestBatch(StreamId stream,
-                                    const std::vector<EventPtr>& events) {
+ZS_HOT uint64_t StreamRuntime::IngestBatch(
+    StreamId stream, const std::vector<EventPtr>& events) {
   if (stopped_.load(std::memory_order_relaxed)) return events.size();
   // One stamp per batch: latency for a batch's matches is measured from
   // the batch's enqueue, which is what a producer of that batch observes.
   const uint64_t arrival_ns = obs::MonotonicNanos();
   std::vector<std::vector<ShardMsg>> per_shard(shards_.size());
   {
-    std::shared_lock<std::shared_mutex> lock(route_mu_);
+    zs::ReaderMutexLock lock(route_mu_);
     if (stream < 0 || static_cast<size_t>(stream) >= streams_.size()) {
       return events.size();
     }
@@ -634,7 +640,7 @@ Result<QueryId> StreamRuntime::RegisterQuery(StreamId stream,
                                              const QueryOptions& options) {
   SchemaPtr schema;
   {
-    std::shared_lock<std::shared_mutex> lock(route_mu_);
+    zs::ReaderMutexLock lock(route_mu_);
     if (stream < 0 || static_cast<size_t>(stream) >= streams_.size()) {
       return Status::InvalidArgument("unknown stream id");
     }
@@ -661,7 +667,7 @@ Result<QueryId> StreamRuntime::RegisterQuery(StreamId stream,
                                              const EngineOptions& engine,
                                              const QueryOptions& options) {
   {
-    std::shared_lock<std::shared_mutex> lock(route_mu_);
+    zs::ReaderMutexLock lock(route_mu_);
     if (stream < 0 || static_cast<size_t>(stream) >= streams_.size()) {
       return Status::InvalidArgument("unknown stream id");
     }
@@ -693,17 +699,23 @@ Result<QueryId> StreamRuntime::RegisterCompiled(
   // through a MatchSink callback (sink -> query_matches), so waiting on
   // workers while holding it would deadlock.
   auto qs = std::make_shared<QueryState>();
+  QueryState* q = qs.get();
   {
-    std::lock_guard<std::mutex> control(control_mu_);
-    qs->id = next_query_id_++;
+    zs::MutexLock control(control_mu_);
+    q->id = next_query_id_++;
     if (route == RoutePolicy::kPinned) {
-      qs->pinned_shard = next_pin_++ % static_cast<int>(shards_.size());
+      q->pinned_shard = next_pin_++ % static_cast<int>(shards_.size());
     }
   }
   qs->stream = stream;
   qs->text = std::move(text);
   qs->pattern = pattern;
-  qs->plan = plan;
+  {
+    // No concurrent access yet (qs is unpublished); the lock satisfies
+    // the plan field's replan_mu guard.
+    zs::MutexLock replan(q->replan_mu);
+    q->plan = plan;
+  }
   qs->route = route;
   qs->num_shards = static_cast<int>(shards_.size());
   qs->sink = options.sink;
@@ -724,11 +736,12 @@ Result<QueryId> StreamRuntime::RegisterCompiled(
       "Ingest-to-emission latency of each match", 1e-9);
   if (options.enable_replan) {
     eopts.collect_stats = true;
-    qs->controller =
-        std::make_unique<AdaptiveController>(pattern, options.replan);
     const StatsCatalog defaults(pattern->num_classes(),
                                 static_cast<double>(pattern->window));
-    qs->controller->OnPlanInstalled(plan, defaults);
+    zs::MutexLock replan(q->replan_mu);
+    q->controller =
+        std::make_unique<AdaptiveController>(pattern, options.replan);
+    q->controller->OnPlanInstalled(plan, defaults);
   }
 
   const std::vector<int> targets = TargetShards(*qs);
@@ -776,13 +789,13 @@ Result<QueryId> StreamRuntime::RegisterCompiled(
   // Only now publish the route: nothing can reach a shard that has not
   // installed the engine yet.
   {
-    std::unique_lock<std::shared_mutex> lock(route_mu_);
+    zs::WriterMutexLock lock(route_mu_);
     streams_[static_cast<size_t>(stream)].routes.push_back(RouteEntry{
         qs->id, qs->route, qs->key_field, qs->pinned_shard});
   }
   const QueryId id = qs->id;
   {
-    std::lock_guard<std::mutex> control(control_mu_);
+    zs::MutexLock control(control_mu_);
     queries_.emplace(id, std::move(qs));
   }
   return id;
@@ -791,7 +804,7 @@ Result<QueryId> StreamRuntime::RegisterCompiled(
 Result<uint64_t> StreamRuntime::UnregisterQuery(QueryId id) {
   std::shared_ptr<QueryState> qs;
   {
-    std::lock_guard<std::mutex> control(control_mu_);
+    zs::MutexLock control(control_mu_);
     auto it = queries_.find(id);
     if (it == queries_.end()) {
       return Status::NotFound("no query with that id");
@@ -799,7 +812,7 @@ Result<uint64_t> StreamRuntime::UnregisterQuery(QueryId id) {
     qs = it->second;
   }
   {
-    std::unique_lock<std::shared_mutex> lock(route_mu_);
+    zs::WriterMutexLock lock(route_mu_);
     auto& routes = streams_[static_cast<size_t>(qs->stream)].routes;
     routes.erase(std::remove_if(routes.begin(), routes.end(),
                                 [id](const RouteEntry& e) {
@@ -820,7 +833,7 @@ Result<uint64_t> StreamRuntime::UnregisterQuery(QueryId id) {
   }
   const uint64_t final_matches = qs->matches.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> control(control_mu_);
+    zs::MutexLock control(control_mu_);
     queries_.erase(id);
   }
   return final_matches;
@@ -848,21 +861,21 @@ Status StreamRuntime::Flush() {
 }
 
 Result<uint64_t> StreamRuntime::query_matches(QueryId id) const {
-  std::lock_guard<std::mutex> control(control_mu_);
+  zs::MutexLock control(control_mu_);
   auto it = queries_.find(id);
   if (it == queries_.end()) return Status::NotFound("no query with that id");
   return it->second->matches.load(std::memory_order_relaxed);
 }
 
 Result<int64_t> StreamRuntime::query_peak_bytes(QueryId id) const {
-  std::lock_guard<std::mutex> control(control_mu_);
+  zs::MutexLock control(control_mu_);
   auto it = queries_.find(id);
   if (it == queries_.end()) return Status::NotFound("no query with that id");
   return it->second->tracker->peak_bytes();
 }
 
 Result<int> StreamRuntime::query_shard_count(QueryId id) const {
-  std::lock_guard<std::mutex> control(control_mu_);
+  zs::MutexLock control(control_mu_);
   auto it = queries_.find(id);
   if (it == queries_.end()) return Status::NotFound("no query with that id");
   return static_cast<int>(TargetShards(*it->second).size());
@@ -874,55 +887,66 @@ Result<bool> StreamRuntime::ReplanQuery(QueryId id) {
   }
   std::shared_ptr<QueryState> qs;
   {
-    std::lock_guard<std::mutex> control(control_mu_);
+    zs::MutexLock control(control_mu_);
     auto it = queries_.find(id);
     if (it == queries_.end()) {
       return Status::NotFound("no query with that id");
     }
     qs = it->second;
   }
-  if (qs->controller == nullptr) {
+  QueryState* q = qs.get();
+  if (q->controller == nullptr) {
     return Status::FailedPrecondition(
         "query was not registered with QueryOptions::enable_replan");
   }
   // Controller/plan updates serialize on the query's own mutex;
   // control_mu_ must not be held across the worker barriers below.
-  std::lock_guard<std::mutex> replan(qs->replan_mu);
+  zs::MutexLock replan(q->replan_mu);
 
   auto collect = std::make_shared<CollectCtx>();
-  collect->defaults = StatsCatalog(qs->pattern->num_classes(),
-                                   static_cast<double>(qs->pattern->window));
+  CollectCtx* cctx = collect.get();
+  cctx->defaults = StatsCatalog(q->pattern->num_classes(),
+                                static_cast<double>(q->pattern->window));
   ShardMsg msg;
   msg.kind = ShardMsg::Kind::kCollectStats;
   msg.query = qs;
   msg.collect = collect;
   SyncShards(TargetShards(*qs), std::move(msg));
 
-  if (collect->parts.empty()) return false;
-  StatsCatalog merged = MergeStatsCatalogs(collect->parts, collect->weights);
-  if (qs->route == RoutePolicy::kBroadcast && collect->parts.size() > 1) {
+  // The barrier above ordered every worker's writes before this point;
+  // the (now uncontended) lock makes that visible to the analysis.
+  size_t num_parts = 0;
+  std::optional<StatsCatalog> merged_opt;
+  {
+    zs::MutexLock lock(cctx->mu);
+    if (cctx->parts.empty()) return false;
+    num_parts = cctx->parts.size();
+    merged_opt = MergeStatsCatalogs(cctx->parts, cctx->weights);
+  }
+  StatsCatalog merged = std::move(*merged_opt);
+  if (q->route == RoutePolicy::kBroadcast && num_parts > 1) {
     // MergeStatsCatalogs sums rates assuming disjoint stream slices;
     // broadcast shards each saw the FULL stream, so undo the N-fold
     // inflation (selectivity averages remain correct either way).
     for (int c = 0; c < merged.num_classes(); ++c) {
-      merged.set_rate(
-          c, merged.rate(c) / static_cast<double>(collect->parts.size()));
+      merged.set_rate(c,
+                      merged.rate(c) / static_cast<double>(num_parts));
     }
   }
-  std::optional<PhysicalPlan> next = qs->controller->MaybeReplan(merged);
+  std::optional<PhysicalPlan> next = q->controller->MaybeReplan(merged);
   if (!next.has_value()) return false;
   // The controller already verified the candidate, but a plan is about
   // to be broadcast to every shard — re-check at the last seam so a
   // future controller bug cannot desynchronize shard engines.
-  ZS_RETURN_IF_ERROR(verify::VerifyPlan(*qs->pattern, *next));
+  ZS_RETURN_IF_ERROR(verify::VerifyPlan(*q->pattern, *next));
 
   ShardMsg switch_msg;
   switch_msg.kind = ShardMsg::Kind::kSwitchPlan;
   switch_msg.query = qs;
   switch_msg.plan = std::make_shared<const PhysicalPlan>(*next);
   SyncShards(TargetShards(*qs), std::move(switch_msg));
-  qs->plan = *next;
-  qs->plan_cost.store(next->estimated_cost, std::memory_order_relaxed);
+  q->plan = *next;
+  q->plan_cost.store(next->estimated_cost, std::memory_order_relaxed);
   return true;
 }
 
@@ -932,14 +956,16 @@ Result<std::string> StreamRuntime::ExplainAnalyze(QueryId id) {
   }
   std::shared_ptr<QueryState> qs;
   {
-    std::lock_guard<std::mutex> control(control_mu_);
+    zs::MutexLock control(control_mu_);
     auto it = queries_.find(id);
     if (it == queries_.end()) {
       return Status::NotFound("no query with that id");
     }
     qs = it->second;
   }
+  QueryState* q = qs.get();
   auto profile = std::make_shared<ProfileCtx>();
+  ProfileCtx* pctx = profile.get();
   ShardMsg msg;
   msg.kind = ShardMsg::Kind::kCollectProfile;
   msg.query = qs;
@@ -949,32 +975,43 @@ Result<std::string> StreamRuntime::ExplainAnalyze(QueryId id) {
   }
 
   std::ostringstream os;
-  os << "query=" << qs->label;
+  os << "query=" << q->label;
   {
-    // qs->plan is only mutated under replan_mu (ReplanQuery).
-    std::lock_guard<std::mutex> replan(qs->replan_mu);
-    os << " plan=" << qs->plan.Explain(*qs->pattern);
+    // q->plan is only mutated under replan_mu (ReplanQuery).
+    zs::MutexLock replan(q->replan_mu);
+    os << " plan=" << q->plan.Explain(*q->pattern);
     os.precision(6);
-    os << " cost_est=" << qs->plan.estimated_cost;
+    os << " cost_est=" << q->plan.estimated_cost;
   }
+  // The SyncShards barrier ordered the workers' profile writes before
+  // this point; the uncontended lock makes that visible to the analysis.
   uint64_t pairs = 0;
-  if (profile->has) {
-    // The observed analogue of the cost estimate: total operator input
-    // combinations tried, summed over the merged tree.
-    std::function<void(const NodeProfile&)> sum =
-        [&](const NodeProfile& n) {
-          pairs += n.pairs_tried;
-          for (const NodeProfile& c : n.children) sum(c);
-        };
-    sum(profile->merged);
+  uint64_t events_pushed = 0;
+  bool has_profile = false;
+  std::string rendered;
+  {
+    zs::MutexLock lock(pctx->mu);
+    has_profile = pctx->has;
+    events_pushed = pctx->events_pushed;
+    if (pctx->has) {
+      // The observed analogue of the cost estimate: total operator input
+      // combinations tried, summed over the merged tree.
+      std::function<void(const NodeProfile&)> sum =
+          [&](const NodeProfile& n) {
+            pairs += n.pairs_tried;
+            for (const NodeProfile& c : n.children) sum(c);
+          };
+      sum(pctx->merged);
+      rendered = RenderNodeProfile(pctx->merged);
+    }
   }
-  qs->observed_pairs.store(pairs, std::memory_order_relaxed);
+  q->observed_pairs.store(pairs, std::memory_order_relaxed);
   os << " observed_pairs=" << pairs << " shards="
      << TargetShards(*qs).size() << "\n";
-  os << "events_pushed=" << profile->events_pushed << " matches="
-     << qs->matches.load(std::memory_order_relaxed) << "\n";
-  if (profile->has) {
-    os << RenderNodeProfile(profile->merged);
+  os << "events_pushed=" << events_pushed << " matches="
+     << q->matches.load(std::memory_order_relaxed) << "\n";
+  if (has_profile) {
+    os << rendered;
   } else {
     os << "(no engine profile collected)\n";
   }
@@ -1018,7 +1055,7 @@ void StreamRuntime::UpdateMetrics() {
   }
   std::vector<std::shared_ptr<QueryState>> queries;
   {
-    std::lock_guard<std::mutex> control(control_mu_);
+    zs::MutexLock control(control_mu_);
     queries.reserve(queries_.size());
     for (const auto& [qid, qstate] : queries_) queries.push_back(qstate);
   }
@@ -1081,7 +1118,7 @@ RuntimeStats StreamRuntime::Stats() const {
     out.shards.push_back(s);
   }
   {
-    std::lock_guard<std::mutex> control(control_mu_);
+    zs::MutexLock control(control_mu_);
     out.num_queries = queries_.size();
     for (const auto& [id, qs] : queries_) {
       out.matches += qs->matches.load(std::memory_order_relaxed);
@@ -1097,7 +1134,7 @@ std::shared_ptr<Gate> StreamRuntime::PauseShard(int shard) {
   }
   auto gate = std::make_shared<Gate>();
   {
-    std::lock_guard<std::mutex> lock(gates_mu_);
+    zs::MutexLock lock(gates_mu_);
     gates_.push_back(gate);
   }
   ShardMsg msg;

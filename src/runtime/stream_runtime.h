@@ -28,15 +28,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "api/zstream.h"
+#include "common/sync.h"
 #include "obs/metrics.h"
 #include "opt/adaptive.h"
 #include "runtime/match_sink.h"
@@ -69,10 +67,10 @@ class Gate {
   void Open();
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool parked_ = false;
-  bool open_ = false;
+  zs::Mutex mu_;
+  zs::CondVar cv_;
+  bool parked_ ZS_GUARDED_BY(mu_) = false;
+  bool open_ ZS_GUARDED_BY(mu_) = false;
 };
 
 /// \brief The sharded multi-query runtime.
@@ -237,13 +235,14 @@ class StreamRuntime {
   RuntimeOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  mutable std::shared_mutex route_mu_;  // streams_ (incl. routes)
-  std::vector<StreamInfo> streams_;
+  mutable zs::SharedMutex route_mu_;
+  std::vector<StreamInfo> streams_ ZS_GUARDED_BY(route_mu_);
 
-  mutable std::mutex control_mu_;  // queries_, registration round-robin
-  std::unordered_map<QueryId, std::shared_ptr<QueryState>> queries_;
-  QueryId next_query_id_ = 1;
-  int next_pin_ = 0;
+  mutable zs::Mutex control_mu_;  // queries_, registration round-robin
+  std::unordered_map<QueryId, std::shared_ptr<QueryState>> queries_
+      ZS_GUARDED_BY(control_mu_);
+  QueryId next_query_id_ ZS_GUARDED_BY(control_mu_) = 1;
+  int next_pin_ ZS_GUARDED_BY(control_mu_) = 0;
 
   std::atomic<uint64_t> events_ingested_{0};
   std::atomic<bool> stopped_{false};
@@ -256,8 +255,8 @@ class StreamRuntime {
 
   /// Gates handed out by PauseShard; Stop() opens any still closed so a
   /// forgotten gate can never deadlock worker join.
-  std::mutex gates_mu_;
-  std::vector<std::weak_ptr<Gate>> gates_;
+  zs::Mutex gates_mu_;
+  std::vector<std::weak_ptr<Gate>> gates_ ZS_GUARDED_BY(gates_mu_);
 };
 
 }  // namespace zstream::runtime

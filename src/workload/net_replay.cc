@@ -2,12 +2,32 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <thread>
 
+#include "common/sync.h"
 #include "net/client.h"
 
 namespace zstream {
+
+namespace {
+
+/// First-error rendezvous for the sender threads (locals cannot carry
+/// ZS_GUARDED_BY, so the pair lives in a small annotated struct).
+struct ErrorCollector {
+  zs::Mutex mu;
+  Status first ZS_GUARDED_BY(mu);
+
+  void Record(const Status& status) {
+    zs::MutexLock lock(mu);
+    if (first.ok()) first = status;
+  }
+  Status Take() {
+    zs::MutexLock lock(mu);
+    return first;
+  }
+};
+
+}  // namespace
 
 Result<NetReplayResult> ReplayOverWire(const std::string& host,
                                        uint16_t port,
@@ -37,8 +57,7 @@ Result<NetReplayResult> ReplayOverWire(const std::string& host,
   std::atomic<uint64_t> accepted{0};
   std::atomic<uint64_t> dropped{0};
   std::atomic<bool> throttled{false};
-  std::mutex error_mu;
-  Status first_error;
+  ErrorCollector errors;
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> senders;
@@ -66,8 +85,7 @@ Result<NetReplayResult> ReplayOverWire(const std::string& host,
       auto ack = clients[static_cast<size_t>(c)]->Ingest(
           stream, slice, options.batch_size);
       if (!ack.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (first_error.ok()) first_error = ack.status();
+        errors.Record(ack.status());
         return;
       }
       accepted.fetch_add(ack->accepted, std::memory_order_relaxed);
@@ -76,7 +94,7 @@ Result<NetReplayResult> ReplayOverWire(const std::string& host,
     });
   }
   for (std::thread& t : senders) t.join();
-  ZS_RETURN_IF_ERROR(first_error);
+  ZS_RETURN_IF_ERROR(errors.Take());
 
   result.elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <thread>
 
+#include "common/string_util.h"
 #include "net/client.h"
 #include "net/protocol.h"
 #include "net/server.h"
@@ -77,7 +78,7 @@ class RawConn {
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     EXPECT_EQ(
         ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
-        << std::strerror(errno);
+        << ErrnoToString(errno);
   }
   ~RawConn() {
     if (fd_ >= 0) ::close(fd_);
@@ -88,7 +89,7 @@ class RawConn {
     while (sent < bytes.size()) {
       const ssize_t n =
           ::send(fd_, bytes.data() + sent, bytes.size() - sent, 0);
-      ASSERT_GT(n, 0) << std::strerror(errno);
+      ASSERT_GT(n, 0) << ErrnoToString(errno);
       sent += static_cast<size_t>(n);
     }
   }

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <thread>
 
+#include "common/string_util.h"
 #include "exec/partitioned_engine.h"
 #include "net/client.h"
 #include "net/server.h"
@@ -322,7 +323,7 @@ std::string HttpGet(uint16_t port, const std::string& path) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   EXPECT_EQ(
       ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
-      << std::strerror(errno);
+      << ErrnoToString(errno);
   const std::string request =
       "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
   EXPECT_EQ(::send(fd, request.data(), request.size(), 0),

@@ -1,0 +1,60 @@
+# Compile-fail driver for the sync.h thread-safety annotations, invoked
+# by CTest as `cmake -DCXX=... -DSRC=... -DINC=... -DEXPECT=... -P
+# check.cmake` (see tests/CMakeLists.txt).
+#
+# EXPECT=fail asserts BOTH directions a naive harness gets wrong:
+#   1. the source is rejected, AND the diagnostic really comes from the
+#      thread-safety analysis (not an unrelated syntax error), and
+#   2. the same source compiles clean once the analysis is off — so the
+#      case tests the annotation, not broken C++.
+# EXPECT=pass is the positive control: correctly locked code must be
+# accepted with the analysis on, proving the gate can distinguish.
+
+foreach(var CXX SRC INC EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+set(_base_cmd "${CXX}" -std=c++20 -fsyntax-only "-I${INC}" "${SRC}")
+
+execute_process(
+  COMMAND ${_base_cmd} -Wthread-safety -Werror=thread-safety
+  RESULT_VARIABLE _rc
+  ERROR_VARIABLE _err
+  OUTPUT_QUIET)
+
+if(EXPECT STREQUAL "fail")
+  if(_rc EQUAL 0)
+    message(FATAL_ERROR
+      "expected a thread-safety diagnostic for ${SRC}, but it compiled "
+      "clean — the annotation under test is not being enforced")
+  endif()
+  if(NOT _err MATCHES "thread-safety")
+    message(FATAL_ERROR
+      "${SRC} failed to compile, but not from the thread-safety "
+      "analysis; the case is broken C++, not a negative test:\n${_err}")
+  endif()
+  execute_process(
+    COMMAND ${_base_cmd} -Wno-thread-safety
+    RESULT_VARIABLE _rc_off
+    ERROR_VARIABLE _err_off
+    OUTPUT_QUIET)
+  if(NOT _rc_off EQUAL 0)
+    message(FATAL_ERROR
+      "${SRC} does not compile even with the analysis disabled; the "
+      "case must be valid C++ apart from the locking defect:\n${_err_off}")
+  endif()
+  message(STATUS "OK: ${SRC} rejected by -Wthread-safety as intended")
+elseif(EXPECT STREQUAL "pass")
+  if(NOT _rc EQUAL 0)
+    message(FATAL_ERROR
+      "positive control ${SRC} was rejected under -Wthread-safety; "
+      "either sync.h annotations regressed or the analysis is "
+      "misconfigured:\n${_err}")
+  endif()
+  message(STATUS "OK: ${SRC} accepted under -Wthread-safety")
+else()
+  message(FATAL_ERROR "check.cmake: EXPECT must be 'fail' or 'pass', "
+    "got '${EXPECT}'")
+endif()

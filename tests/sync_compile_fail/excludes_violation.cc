@@ -1,0 +1,29 @@
+// Negative test: calling a ZS_EXCLUDES(mu_) method while holding mu_
+// must be rejected by -Wthread-safety. This is the self-deadlock shape
+// (public API re-entered from under its own lock) that EXCLUDES
+// annotations on StreamRuntime's public methods guard against.
+#include "common/sync.h"
+
+class Worker {
+ public:
+  void Publish() ZS_EXCLUDES(mu_) {
+    zs::MutexLock lock(mu_);
+    ++published_;
+  }
+
+  // Defect: Publish would deadlock re-acquiring the held mu_.
+  void Broken() {
+    zs::MutexLock lock(mu_);
+    Publish();
+  }
+
+ private:
+  zs::Mutex mu_;
+  int published_ ZS_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Worker w;
+  w.Broken();
+  return 0;
+}

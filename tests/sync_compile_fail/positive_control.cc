@@ -1,0 +1,61 @@
+// Positive control: correctly annotated and correctly locked code must
+// compile clean under -Wthread-safety. Exercises the full vocabulary
+// the negative cases reject one piece of — guarded fields under
+// zs::MutexLock, a ZS_REQUIRES helper called with the lock held, an
+// explicit CondVar wait loop, and reader/writer locking. If this file
+// starts failing, the harness (or sync.h) broke, not the callers.
+#include "common/sync.h"
+
+class Mailbox {
+ public:
+  void Put(int v) ZS_EXCLUDES(mu_) {
+    {
+      zs::MutexLock lock(mu_);
+      value_ = v;
+      StampLocked();
+      ready_ = true;
+    }
+    cv_.NotifyOne();
+  }
+
+  int Take() ZS_EXCLUDES(mu_) {
+    zs::MutexLock lock(mu_);
+    while (!ready_) cv_.Wait(mu_);
+    ready_ = false;
+    return value_;
+  }
+
+ private:
+  void StampLocked() ZS_REQUIRES(mu_) { ++stamps_; }
+
+  zs::Mutex mu_;
+  zs::CondVar cv_;
+  bool ready_ ZS_GUARDED_BY(mu_) = false;
+  int value_ ZS_GUARDED_BY(mu_) = 0;
+  int stamps_ ZS_GUARDED_BY(mu_) = 0;
+};
+
+class Routes {
+ public:
+  void Add(int r) ZS_EXCLUDES(mu_) {
+    zs::WriterMutexLock lock(mu_);
+    last_ = r;
+  }
+
+  int last() const ZS_EXCLUDES(mu_) {
+    zs::ReaderMutexLock lock(mu_);
+    return last_;
+  }
+
+ private:
+  mutable zs::SharedMutex mu_;
+  int last_ ZS_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Mailbox m;
+  m.Put(7);
+  Routes r;
+  r.Add(3);
+  return m.Take() == 7 && r.last() == 3 ? 0 : 1;
+}

@@ -1,0 +1,23 @@
+// Negative test: calling a ZS_REQUIRES(mu_) method without holding the
+// mutex must be rejected by -Wthread-safety. This is the contract the
+// *Locked-style helpers in src/runtime/ (e.g. MpscRingQueue::Place)
+// rely on instead of re-acquiring internally.
+#include "common/sync.h"
+
+class Table {
+ public:
+  void RehashLocked() ZS_REQUIRES(mu_) { ++generation_; }
+
+  // Defect: caller promises nothing but invokes the locked helper.
+  void Broken() { RehashLocked(); }
+
+ private:
+  zs::Mutex mu_;
+  int generation_ ZS_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Table t;
+  t.Broken();
+  return 0;
+}

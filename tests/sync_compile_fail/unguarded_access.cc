@@ -1,0 +1,26 @@
+// Negative test: writing a ZS_GUARDED_BY field without holding its
+// mutex must be rejected by -Wthread-safety. This is the bread-and-
+// butter defect the guarded-field annotations in src/runtime/ and
+// src/obs/ exist to catch.
+#include "common/sync.h"
+
+class Account {
+ public:
+  // Defect: no zs::MutexLock on mu_ before touching balance_.
+  void Deposit(int amount) { balance_ += amount; }
+
+  int balance() const {
+    zs::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  mutable zs::Mutex mu_;
+  int balance_ ZS_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Account a;
+  a.Deposit(1);
+  return a.balance();
+}

@@ -1,0 +1,15 @@
+// Negative test: releasing a capability that is not held must be
+// rejected by -Wthread-safety. Catches the double-unlock / early-return
+// family of bugs that scoped zs::MutexLock makes structurally
+// impossible — this case bypasses the guard on purpose.
+#include "common/sync.h"
+
+void Broken() {
+  zs::Mutex mu;
+  mu.Unlock();  // defect: mu was never locked on this path
+}
+
+int main() {
+  Broken();
+  return 0;
+}
