@@ -9,7 +9,9 @@
 # assertion). Along the way it scrapes /metrics and /healthz before and
 # after the replay, asserting the Prometheus document is present and
 # the ingest counter is monotone, and renders EXPLAIN ANALYZE over the
-# wire.
+# wire. The server runs with --trace-sample 1 so the smoke also asserts
+# GET /trace serves a non-empty chrome://tracing document after the
+# replay.
 #
 # Usage: scripts/net_smoke.sh [BUILD_DIR]    (default: build)
 set -euo pipefail
@@ -28,7 +30,8 @@ for tool in zstream_server zstream_cli; do
 done
 
 log=$(mktemp)
-"$BIN/zstream_server" --port 0 --shards 2 --metrics-port 0 >"$log" 2>&1 &
+"$BIN/zstream_server" --port 0 --shards 2 --metrics-port 0 \
+  --trace-sample 1 >"$log" 2>&1 &
 server_pid=$!
 trap 'kill "$server_pid" 2>/dev/null || true; rm -f "$log"' EXIT
 
@@ -109,6 +112,20 @@ case "$("$BIN/zstream_cli" --port "$port" metrics --json)" in
   *) echo "error: metrics --json did not return the JSON document" >&2
      exit 1 ;;
 esac
+
+echo "== GET /trace (chrome://tracing export) =="
+if command -v curl >/dev/null; then
+  trace_doc=$(http_get /trace)
+else
+  # Same document over the framed protocol (kTraceRequest).
+  trace_doc=$("$BIN/zstream_cli" --port "$port" trace)
+fi
+case "$trace_doc" in
+  *'"traceEvents"'*'"ph"'*) ;;
+  *) echo "error: /trace did not serve a non-empty trace document:" >&2
+     printf '%s\n' "$trace_doc" | head -3 >&2; exit 1 ;;
+esac
+echo "trace document: ${#trace_doc} bytes"
 
 echo "== EXPLAIN ANALYZE over the wire =="
 analyze=$("$BIN/zstream_cli" --port "$port" exec "EXPLAIN ANALYZE rally")

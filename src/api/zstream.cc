@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/trace.h"
 #include "opt/cost_model.h"
 #include "query/error_codes.h"
 #include "query/parser.h"
@@ -231,6 +232,22 @@ Result<DdlResult> ZStream::Execute(const std::string& statement,
       ZS_RETURN_IF_ERROR(catalog_.DropStream(stmt.name));
       result.name = stmt.name;
       result.message = "stream '" + stmt.name + "' dropped";
+      return result;
+    }
+    case DdlKind::kExplainTrace: {
+      auto it = queries_.find(stmt.name);
+      if (it == queries_.end()) {
+        return Status::NotFound("no query named '" + stmt.name + "'")
+            .WithErrorCode(errc::kCatalogUnknownQuery)
+            .WithLocation(stmt.name_line, stmt.name_column);
+      }
+      result.name = stmt.name;
+      result.query = it->second.get();
+      // Provenance is keyed by the engine label, which defaults to the
+      // catalog name (SetLabel above); the tracer is process-global, so
+      // this sees served-runtime matches too.
+      result.message =
+          obs::Tracer::Global().RenderProvenance(stmt.name);
       return result;
     }
     case DdlKind::kShowPlan:

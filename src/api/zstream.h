@@ -167,7 +167,7 @@ class ZStream {
 
   /// Executes one DDL statement (CREATE STREAM / CREATE QUERY / DROP
   /// QUERY / DROP STREAM / SHOW STREAMS / SHOW QUERIES / SHOW PLAN
-  /// <query> / EXPLAIN [ANALYZE] <query>). A bare
+  /// <query> / EXPLAIN [ANALYZE | TRACE] <query>). A bare
   /// `PATTERN ...` query text is also accepted: it compiles against
   /// stream "default" and registers under an auto-generated name.
   /// `options` applies to statements that compile a query.

@@ -1,5 +1,6 @@
 #include "event/event.h"
 
+#include <atomic>
 #include <sstream>
 
 namespace zstream {
@@ -10,10 +11,18 @@ size_t ValueBytes(const Value& v) {
   if (v.is_string()) b += v.string_value().capacity();
   return b;
 }
+
+uint64_t NextEventId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 }  // namespace
 
 Event::Event(SchemaPtr schema, std::vector<Value> values, Timestamp ts)
-    : schema_(std::move(schema)), values_(std::move(values)), ts_(ts) {
+    : schema_(std::move(schema)),
+      values_(std::move(values)),
+      ts_(ts),
+      id_(NextEventId()) {
   ZS_DCHECK(static_cast<int>(values_.size()) == schema_->num_fields());
   byte_size_ = sizeof(Event);
   for (const Value& v : values_) byte_size_ += ValueBytes(v);

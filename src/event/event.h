@@ -7,6 +7,7 @@
 #ifndef ZSTREAM_EVENT_EVENT_H_
 #define ZSTREAM_EVENT_EVENT_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +28,13 @@ class Event {
   const SchemaPtr& schema() const { return schema_; }
   Timestamp timestamp() const { return ts_; }
 
+  /// Process-unique sequence id, assigned at construction from a
+  /// relaxed atomic counter. Match provenance (obs/trace.h) records the
+  /// ids of a sampled match's contributing events, so "which events
+  /// produced this match" survives after the events themselves are
+  /// evicted from operator buffers.
+  uint64_t id() const { return id_; }
+
   const Value& value(int field_idx) const {
     return values_[static_cast<size_t>(field_idx)];
   }
@@ -45,6 +53,7 @@ class Event {
   std::vector<Value> values_;
   Timestamp ts_;
   size_t byte_size_;
+  uint64_t id_;
 };
 
 using EventPtr = std::shared_ptr<const Event>;

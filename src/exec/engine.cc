@@ -6,7 +6,9 @@
 #include "common/logging.h"
 #include "common/macros.h"
 #include "expr/analysis.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "verify/plan_verifier.h"
 
 namespace zstream {
@@ -128,6 +130,12 @@ Status Engine::Build(const PhysicalPlan& plan, bool initial) {
                             unattached.front()->ToString());
   }
   plan_ = plan;
+  // One render per plan install: the fingerprint hashes it and the
+  // provenance path caches it, so per-match recording never re-renders
+  // (Explain allocates — far too hot for the sampled-match path).
+  const std::string shape = plan_.Explain(*pattern_);
+  plan_fingerprint_ = obs::Fnv1a64(shape);
+  obs::CopyLabel(op_path_, shape.c_str());
   trigger_classes_ = pattern_->TriggerClasses();
   if (initial && adaptive_ != nullptr) {
     const StatsCatalog defaults(n, static_cast<double>(pattern_->window));
@@ -447,15 +455,25 @@ ZS_HOT void Engine::AssemblyRound() {
     leaf->output()->PurgeBefore(eat);
   }
 #ifndef ZSTREAM_OBS_STRIPPED
-  if (profiling_) {
-    uint64_t t0 = obs::MonotonicNanos();
+  // The timed loop runs for profiling (EXPLAIN ANALYZE / slow-event
+  // attribution) and for traced rounds; `add_eval_ns` stays gated on
+  // profiling_ alone so tracing never perturbs the `time=` column.
+  const uint64_t trace = obs::CurrentTraceId();
+  if (profiling_ || trace != 0) {
+    const uint64_t round_t0 = obs::MonotonicNanos();
+    uint64_t t0 = round_t0;
     for (OperatorNode* op : assembly_order_) {
       op->set_horizon(horizon);
       op->Assemble(eat);
       const uint64_t t1 = obs::MonotonicNanos();
-      op->add_eval_ns(t1 - t0);
+      if (profiling_) op->add_eval_ns(t1 - t0);
+      obs::TraceRecord(obs::CurrentLane(), obs::SpanKind::kOperator, trace,
+                       t0, t1, PhysOpName(op->op()), op->records_emitted());
       t0 = t1;
     }
+    obs::TraceRecord(obs::CurrentLane(), obs::SpanKind::kExec, trace,
+                     round_t0, obs::MonotonicNanos(), options_.label.c_str(),
+                     plan_fingerprint_);
   } else {
     for (OperatorNode* op : assembly_order_) {
       op->set_horizon(horizon);
@@ -476,10 +494,12 @@ ZS_HOT void Engine::AssemblyRound() {
 
 ZS_HOT void Engine::DrainRoot(Timestamp eat) {
   Buffer& out = *root_->output();
+  const uint64_t trace = obs::CurrentTraceId();
   for (RecordId id = out.watermark(); id < out.end_id(); ++id) {
     const Record& rec = out.Get(id);
     if (rec.start_ts < eat) continue;
     ++num_matches_;
+    if (trace != 0) RecordMatchTrace(trace, rec);
     if (callback_) {
       Match m;
       m.span = TimeSpan{rec.start_ts, rec.end_ts};
@@ -494,6 +514,44 @@ ZS_HOT void Engine::DrainRoot(Timestamp eat) {
   } else {
     out.PurgeBefore(eat);
   }
+}
+
+void Engine::RecordMatchTrace(uint64_t trace_id, const Record& rec) {
+  const uint64_t now = obs::MonotonicNanos();
+  obs::TraceRecord(obs::CurrentLane(), obs::SpanKind::kMatch, trace_id, now,
+                   now, options_.label.c_str(), plan_fingerprint_);
+  // The span above is per match (tests reconcile the kMatch counter
+  // against sink totals); full provenance is capped per traced batch —
+  // the global ring holds 256 entries, so recording every match of a
+  // high-rate query (tens of thousands per batch) would be almost
+  // entirely overwritten work, and it is what pushed 1-in-100 sampling
+  // past the overhead budget.
+  if (trace_id != prov_trace_) {
+    prov_trace_ = trace_id;
+    prov_in_trace_ = 0;
+  }
+  if (prov_in_trace_ >= kProvenancePerTrace) return;
+  ++prov_in_trace_;
+  obs::MatchProvenance p;
+  p.trace_id = trace_id;
+  p.plan_fingerprint = plan_fingerprint_;
+  p.match_start_ts = rec.start_ts;
+  p.match_end_ts = rec.end_ts;
+  obs::CopyLabel(p.label, options_.label.c_str());
+  obs::CopyLabel(p.op_path, op_path_);
+  auto add_event = [&p](const EventPtr& e) {
+    if (e == nullptr) return;
+    if (p.num_events < obs::MatchProvenance::kMaxEvents) {
+      p.event_ids[p.num_events] = e->id();
+      p.event_ts[p.num_events] = e->timestamp();
+    }
+    ++p.num_events;
+  };
+  for (const EventPtr& e : rec.slots) add_event(e);
+  if (rec.group != nullptr) {
+    for (const EventPtr& e : *rec.group) add_event(e);
+  }
+  obs::Tracer::Global().RecordProvenance(p);
 }
 
 void Engine::MaybeAdapt() {
@@ -630,11 +688,20 @@ void Engine::LogSlowEvent(uint64_t elapsed_ns) {
     line << ", hottest node " << PhysOpName(hottest->op()) << " (cum "
          << static_cast<double>(hottest->eval_ns()) / 1e6 << " ms)";
   }
+  // A traced slow event is directly inspectable: name the trace id so
+  // the log line joins against GET /trace output, and snapshot the
+  // span rings (flight recorder rate-limits to one dump per window) so
+  // "what else was running" survives for post-mortem.
+  const uint64_t trace = obs::CurrentTraceId();
+  if (trace != 0) {
+    line << ", trace=0x" << std::hex << trace << std::dec;
+  }
   if (slow_suppressed_ > 0) {
     line << "; " << slow_suppressed_ << " similar suppressed";
     slow_suppressed_ = 0;
   }
   ZS_LOG(Warn) << line.str();
+  obs::FlightRecorder::Global().TriggerDump("slow-event");
 }
 
 }  // namespace zstream

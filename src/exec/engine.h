@@ -127,6 +127,10 @@ class Engine : public EngineCore {
   }
   const std::string& label() const { return options_.label; }
 
+  /// FNV-1a 64 of the installed plan's Explain rendering (refreshed on
+  /// every Build/SwitchPlan); see EngineCore::plan_fingerprint.
+  uint64_t plan_fingerprint() const override { return plan_fingerprint_; }
+
   uint64_t num_matches() const override { return num_matches_; }
   uint64_t events_pushed() const override { return events_pushed_; }
   uint64_t assembly_rounds() const { return assembly_rounds_; }
@@ -154,6 +158,10 @@ class Engine : public EngineCore {
   void DrainRoot(Timestamp eat);
   void MaybeAdapt();
   void LogSlowEvent(uint64_t elapsed_ns);
+  /// Cold path for sampled matches: records the kMatch span and the
+  /// match's provenance (contributing event ids, operator path, plan
+  /// fingerprint) into the global tracer.
+  void RecordMatchTrace(uint64_t trace_id, const Record& rec);
 
   PatternPtr pattern_;
   EngineOptions options_;
@@ -191,6 +199,16 @@ class Engine : public EngineCore {
   uint64_t slow_events_ = 0;
   uint64_t slow_suppressed_ = 0;
   uint64_t last_slow_log_ns_ = 0;
+  uint64_t plan_fingerprint_ = 0;
+  /// Cached Explain rendering of the installed plan (refreshed with
+  /// plan_fingerprint_), so per-match provenance recording copies a
+  /// fixed buffer instead of re-rendering the plan.
+  char op_path_[96] = {};
+  /// Provenance throttle: at most kProvenancePerTrace full provenance
+  /// records per traced batch (kMatch spans stay per match).
+  static constexpr uint32_t kProvenancePerTrace = 16;
+  uint64_t prov_trace_ = 0;
+  uint32_t prov_in_trace_ = 0;
 };
 
 }  // namespace zstream

@@ -62,6 +62,12 @@ class EngineCore {
 
   /// Human-readable query name for slow-event logs and metric labels.
   virtual void SetLabel(const std::string& label) = 0;
+
+  /// FNV-1a 64 hash of the installed plan's Explain rendering. Spans
+  /// and match provenance (obs/trace.h) carry this so a match stays
+  /// attributable to the exact plan shape that produced it even after
+  /// an adaptive switch. 0 when no plan is installed yet.
+  virtual uint64_t plan_fingerprint() const { return 0; }
 };
 
 }  // namespace zstream

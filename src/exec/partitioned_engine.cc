@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/macros.h"
+#include "obs/trace.h"
 #include "verify/plan_verifier.h"
 
 namespace zstream {
@@ -18,6 +19,7 @@ PartitionedEngine::PartitionedEngine(PatternPtr pattern, PhysicalPlan plan,
     owned_tracker_ = std::make_unique<MemoryTracker>();
     tracker_ = owned_tracker_.get();
   }
+  plan_fingerprint_ = obs::Fnv1a64(plan_.Explain(*pattern_));
   if (options_.reorder_slack > 0) {
     reorder_ = std::make_unique<ReorderStage>(
         options_.reorder_slack,
@@ -128,6 +130,7 @@ Status PartitionedEngine::SwitchPlan(const PhysicalPlan& plan) {
     ZS_RETURN_IF_ERROR(part.engine->SwitchPlan(plan));
   }
   plan_ = plan;
+  plan_fingerprint_ = obs::Fnv1a64(plan_.Explain(*pattern_));
   ++plan_switches_;
   return Status::OK();
 }

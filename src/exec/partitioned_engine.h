@@ -71,6 +71,10 @@ class PartitionedEngine : public EngineCore {
   /// Propagates to existing partitions and seeds future ones.
   void SetLabel(const std::string& label) override;
 
+  /// All partitions share one plan shape, so the partition-level plan's
+  /// fingerprint stands for every sub-engine (refreshed by SwitchPlan).
+  uint64_t plan_fingerprint() const override { return plan_fingerprint_; }
+
  private:
   PartitionedEngine(PatternPtr pattern, PhysicalPlan plan,
                     const EngineOptions& options, MemoryTracker* tracker);
@@ -102,6 +106,7 @@ class PartitionedEngine : public EngineCore {
   int pending_in_batch_ = 0;
   uint64_t events_pushed_ = 0;
   uint64_t plan_switches_ = 0;
+  uint64_t plan_fingerprint_ = 0;
   Engine::MatchCallback callback_;
 };
 

@@ -14,6 +14,8 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace zstream::net {
 
@@ -137,7 +139,13 @@ void Client::QueueMatch(const FrameParser::Frame& frame) {
   if (schema_it == schemas_.end()) return;
   PayloadReader reader(frame.payload);
   auto match = ReadMatch(&reader, schema_it->second);
-  if (match.ok()) matches_.push_back(std::move(*match));
+  if (!match.ok()) return;
+  if (match->trace_id != 0) {
+    const uint64_t now = obs::MonotonicNanos();
+    obs::TraceRecord(0, obs::SpanKind::kDeliver, match->trace_id, now, now,
+                     match->query.c_str());
+  }
+  matches_.push_back(std::move(*match));
 }
 
 Result<FrameParser::Frame> Client::ReadUntil(MsgType expected) {
@@ -201,11 +209,17 @@ Result<IngestAck> Client::Ingest(const std::string& stream,
 
   const auto flush_batch = [&]() -> Status {
     if (count == 0) return Status::OK();
+    // Per-batch sampling decision; a sampled batch's trace id travels in
+    // the frame so the server's spans join the client's (obs/trace.h).
+    const uint64_t trace_id = obs::TraceSampleBatch();
+    const uint64_t t0 = trace_id != 0 ? obs::MonotonicNanos() : 0;
     std::string payload;
-    payload.reserve(rows.size() + stream.size() + 16);
+    payload.reserve(rows.size() + stream.size() + 24);
     PutString(&payload, stream);
+    PutU64(&payload, trace_id);
     PutU32(&payload, static_cast<uint32_t>(count));
     payload += rows;
+    const uint64_t batch_events = count;
     rows.clear();
     count = 0;
     ZS_RETURN_IF_ERROR(SendFrame(MsgType::kEventBatch, 0, payload));
@@ -217,6 +231,8 @@ Result<IngestAck> Client::Ingest(const std::string& stream,
     total.accepted += accepted;
     total.dropped += dropped;
     total.throttled |= (frame.header.flags & kFlagThrottle) != 0;
+    obs::TraceRecord(0, obs::SpanKind::kIngest, trace_id, t0,
+                     obs::MonotonicNanos(), stream.c_str(), batch_events);
     return Status::OK();
   };
 
@@ -284,6 +300,13 @@ Result<std::string> Client::Metrics(uint8_t format) {
   ZS_RETURN_IF_ERROR(SendFrame(MsgType::kMetricsRequest, 0, payload));
   ZS_ASSIGN_OR_RETURN(FrameParser::Frame frame,
                       ReadUntil(MsgType::kMetrics));
+  return frame.payload;
+}
+
+Result<std::string> Client::Trace() {
+  ZS_RETURN_IF_ERROR(SendFrame(MsgType::kTraceRequest, 0, ""));
+  ZS_ASSIGN_OR_RETURN(FrameParser::Frame frame,
+                      ReadUntil(MsgType::kTrace));
   return frame.payload;
 }
 

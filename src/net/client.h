@@ -84,6 +84,10 @@ class Client {
   /// same documents the HTTP /metrics side port serves.
   Result<std::string> Metrics(uint8_t format = kMetricsFormatPrometheus);
 
+  /// The server's trace window as a chrome://tracing / Perfetto JSON
+  /// document — the same document the HTTP /trace side port serves.
+  Result<std::string> Trace();
+
   /// Matches received so far (drained; arrival order = server delivery
   /// order).
   std::vector<NetMatch> TakeMatches();

@@ -72,13 +72,15 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kError: return "ERROR";
     case MsgType::kMetricsRequest: return "METRICS_REQUEST";
     case MsgType::kMetrics: return "METRICS";
+    case MsgType::kTraceRequest: return "TRACE_REQUEST";
+    case MsgType::kTrace: return "TRACE";
   }
   return "UNKNOWN";
 }
 
 bool IsValidMsgType(uint8_t raw) {
   return raw >= static_cast<uint8_t>(MsgType::kDdl) &&
-         raw <= static_cast<uint8_t>(MsgType::kMetrics);
+         raw <= static_cast<uint8_t>(MsgType::kTrace);
 }
 
 // ---------------------------------------------------------------------
@@ -293,15 +295,17 @@ Result<EventPtr> ReadEvent(PayloadReader* in, const SchemaPtr& schema) {
 
 void AppendEventBatch(std::string* out, std::string_view stream,
                       const std::vector<EventPtr>& events, size_t from,
-                      size_t count) {
+                      size_t count, uint64_t trace_id) {
   PutString(out, stream);
+  PutU64(out, trace_id);
   PutU32(out, static_cast<uint32_t>(count));
   for (size_t i = from; i < from + count; ++i) AppendEvent(out, *events[i]);
 }
 
 void AppendMatch(std::string* out, std::string_view query,
-                 const Match& match) {
+                 const Match& match, uint64_t trace_id) {
   PutString(out, query);
+  PutU64(out, trace_id);
   PutI64(out, match.span.start);
   PutI64(out, match.span.end);
   PutU32(out, static_cast<uint32_t>(match.slots.size()));
@@ -322,6 +326,7 @@ void AppendMatch(std::string* out, std::string_view query,
 Result<NetMatch> ReadMatch(PayloadReader* in, const SchemaPtr& schema) {
   NetMatch out;
   ZS_ASSIGN_OR_RETURN(out.query, in->ReadString());
+  ZS_ASSIGN_OR_RETURN(out.trace_id, in->ReadU64());
   ZS_ASSIGN_OR_RETURN(out.match.span.start, in->ReadI64());
   ZS_ASSIGN_OR_RETURN(out.match.span.end, in->ReadI64());
   ZS_ASSIGN_OR_RETURN(uint32_t nslots, in->ReadU32());

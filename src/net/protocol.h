@@ -39,6 +39,9 @@
 //                        payload means 0)
 //   kMetrics       s->c  the rendered metrics registry snapshot (same
 //                        document the HTTP /metrics side port serves)
+//   kTraceRequest  c->s  empty
+//   kTrace         s->c  Chrome-trace JSON document (same document the
+//                        HTTP /trace side port serves)
 //
 // This header is the single source of truth for the layout; see
 // docs/protocol.md for the prose version.
@@ -63,10 +66,13 @@ namespace zstream::net {
 
 /// Version history: 1 = initial framed protocol; 2 = kMatch carries a
 /// group-presence byte before the group count (an empty-but-present
-/// Kleene group is distinct from "no group"). The layout change is
+/// Kleene group is distinct from "no group"); 3 = kEventBatch and
+/// kMatch carry a u64 trace id (0 = unsampled) so a sampled ingest's
+/// spans join across client and server (obs/trace.h), plus the
+/// kTraceRequest/kTrace message pair. Each layout change is
 /// incompatible, so mixed-version peers must be rejected at the
-/// version byte rather than misparse match frames.
-inline constexpr uint8_t kProtocolVersion = 2;
+/// version byte rather than misparse frames.
+inline constexpr uint8_t kProtocolVersion = 3;
 inline constexpr size_t kFrameHeaderSize = 8;
 /// Hard upper bound on one frame's payload (16 MiB).
 inline constexpr uint32_t kMaxFramePayload = 16u << 20;
@@ -90,6 +96,8 @@ enum class MsgType : uint8_t {
   kError = 14,
   kMetricsRequest = 15,
   kMetrics = 16,
+  kTraceRequest = 17,
+  kTrace = 18,
 };
 
 /// kMetricsRequest payload: the requested exposition format.
@@ -168,10 +176,11 @@ void AppendEvent(std::string* out, const Event& event);
 /// declared type (ZS-N0006 otherwise).
 Result<EventPtr> ReadEvent(PayloadReader* in, const SchemaPtr& schema);
 
-/// kEventBatch payload: string stream name, u32 count, event rows.
+/// kEventBatch payload: string stream name, u64 trace id (0 =
+/// unsampled batch), u32 count, event rows.
 void AppendEventBatch(std::string* out, std::string_view stream,
                       const std::vector<EventPtr>& events, size_t from,
-                      size_t count);
+                      size_t count, uint64_t trace_id = 0);
 
 /// \brief Decoded kMatch frame: a full Match whose slot/group events
 /// were rebuilt against the subscription's schema, so client-side code
@@ -179,11 +188,14 @@ void AppendEventBatch(std::string* out, std::string_view stream,
 /// local match.
 struct NetMatch {
   std::string query;
+  /// Trace id of the sampled ingest that emitted the match (0 =
+  /// untraced); lets the client's delivery span join the trace.
+  uint64_t trace_id = 0;
   Match match;
 };
 
 void AppendMatch(std::string* out, std::string_view query,
-                 const Match& match);
+                 const Match& match, uint64_t trace_id = 0);
 Result<NetMatch> ReadMatch(PayloadReader* in, const SchemaPtr& schema);
 
 // ---------------------------------------------------------------------

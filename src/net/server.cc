@@ -14,6 +14,8 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/error_codes.h"
 
 namespace zstream::net {
@@ -452,6 +454,10 @@ void Server::DispatchFrame(Connection* conn,
     case MsgType::kMetricsRequest:
       HandleMetricsRequest(conn, frame.payload);
       return;
+    case MsgType::kTraceRequest:
+      Send(conn, MsgType::kTrace, 0,
+           obs::Tracer::Global().RenderChromeJson());
+      return;
     case MsgType::kFlush:
       HandleFlush(conn);
       return;
@@ -556,11 +562,14 @@ void Server::HandleDdl(Connection* conn, const std::string& text) {
 
 void Server::HandleEventBatch(Connection* conn,
                               const std::string& payload) {
+  const uint64_t decode_t0 = obs::MonotonicNanos();
   PayloadReader reader(payload);
   std::string stream_name;
+  uint64_t trace_id = 0;
   uint32_t count = 0;
   Status st = [&]() -> Status {
     ZS_ASSIGN_OR_RETURN(stream_name, reader.ReadString());
+    ZS_ASSIGN_OR_RETURN(trace_id, reader.ReadU64());
     ZS_ASSIGN_OR_RETURN(count, reader.ReadU32());
     return Status::OK();
   }();
@@ -568,6 +577,11 @@ void Server::HandleEventBatch(Connection* conn,
     SendError(conn, st);
     return;
   }
+  // A client that never armed its own tracer stamps 0 on every batch;
+  // when this server samples (--trace-sample), take the per-batch
+  // decision here instead, so server-side spans still appear without
+  // client cooperation. A client-stamped id is always adopted as-is.
+  if (trace_id == 0) trace_id = obs::TraceSampleBatch();
   if (count > kMaxBatchEvents) {
     SendError(conn, Status::InvalidArgument(
                         "event batch of " + std::to_string(count) +
@@ -600,7 +614,10 @@ void Server::HandleEventBatch(Connection* conn,
     SendError(conn, end);
     return;
   }
-  const uint64_t dropped = runtime_->IngestBatch(*stream_id, events);
+  obs::TraceRecord(0, obs::SpanKind::kWireDecode, trace_id, decode_t0,
+                   obs::MonotonicNanos(), stream_name.c_str(), count);
+  const uint64_t dropped =
+      runtime_->IngestBatch(*stream_id, events, trace_id);
   const uint64_t accepted =
       dropped >= events.size() ? 0 : events.size() - dropped;
   conn->events_ingested += accepted;
@@ -729,12 +746,21 @@ void Server::DrainMatches() {
     const auto name_it = query_names_.find(m.query);
     if (name_it == query_names_.end()) continue;  // dropped query
     payload.clear();
-    AppendMatch(&payload, name_it->second, m.match);
+    AppendMatch(&payload, name_it->second, m.match, m.trace_id);
+    const uint64_t fanout_t0 =
+        m.trace_id != 0 ? obs::MonotonicNanos() : 0;
+    uint64_t fanned = 0;
     for (auto& [fd, conn] : connections_) {
       if (conn->closing || !conn->SubscribedTo(name_it->second)) continue;
       Queue(conn.get(), MsgType::kMatch, 0, payload);
       ++conn->matches_sent;
+      ++fanned;
       matches_fanned_out_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (m.trace_id != 0) {
+      obs::TraceRecord(0, obs::SpanKind::kFanout, m.trace_id, fanout_t0,
+                       obs::MonotonicNanos(), name_it->second.c_str(),
+                       fanned);
     }
   }
   for (auto& [fd, conn] : connections_) {
@@ -910,6 +936,9 @@ void Server::HandleHttpReadable(HttpConnection* conn) {
     content_type = "application/json";
   } else if (line.rfind("GET /metrics", 0) == 0) {
     body = MetricsText();
+  } else if (line.rfind("GET /trace", 0) == 0) {
+    body = obs::Tracer::Global().RenderChromeJson();
+    content_type = "application/json";
   } else if (line.rfind("GET /healthz", 0) == 0) {
     body = "ok\n";
   } else {

@@ -1,0 +1,101 @@
+#include "obs/flight_recorder.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <csignal>
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace zstream::obs {
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Configure(std::string dump_dir,
+                               uint64_t min_interval_ns) {
+  if (!dump_dir.empty()) {
+    // Best effort; Dump reports the real error if the directory is
+    // still unusable when a snapshot fires.
+    ::mkdir(dump_dir.c_str(), 0755);
+  }
+  zs::MutexLock lock(mu_);
+  dump_dir_ = std::move(dump_dir);
+  min_interval_ns_.store(min_interval_ns, std::memory_order_relaxed);
+  last_dump_ns_.store(0, std::memory_order_relaxed);
+  armed_.store(!dump_dir_.empty(), std::memory_order_relaxed);
+}
+
+bool FlightRecorder::armed() const {
+  return armed_.load(std::memory_order_relaxed);
+}
+
+Result<std::string> FlightRecorder::Dump(const std::string& reason) {
+  std::string dir;
+  {
+    zs::MutexLock lock(mu_);
+    dir = dump_dir_;
+  }
+  if (dir.empty()) {
+    return Status::FailedPrecondition(
+        "flight recorder not armed (no dump directory configured)");
+  }
+  uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  char name[96];
+  std::snprintf(name, sizeof(name), "trace-%s-%llu.json", reason.c_str(),
+                static_cast<unsigned long long>(seq));
+  std::string path = dir + "/" + name;
+  std::string doc = Tracer::Global().RenderChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("flight recorder cannot write " + path);
+  }
+  size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  if (written != doc.size()) {
+    return Status::Internal("flight recorder short write to " + path);
+  }
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+  return path;
+}
+
+void FlightRecorder::TriggerDump(const char* reason) {
+  if (!armed_.load(std::memory_order_relaxed)) return;
+  uint64_t now = MonotonicNanos();
+  uint64_t last = last_dump_ns_.load(std::memory_order_relaxed);
+  if (last != 0 &&
+      now - last < min_interval_ns_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  // One winner per window; losers skip (another dump is in flight).
+  if (!last_dump_ns_.compare_exchange_strong(last, now,
+                                             std::memory_order_relaxed)) {
+    return;
+  }
+  (void)Dump(reason == nullptr ? "trigger" : reason);
+}
+
+namespace {
+
+void FatalSignalHandler(int sig) {
+  // Not async-signal-safe by design — see the header. Re-arm the
+  // default disposition first so a second fault inside the dump still
+  // terminates the process instead of recursing.
+  std::signal(sig, SIG_DFL);
+  (void)FlightRecorder::Global().Dump("signal");
+  std::raise(sig);
+}
+
+}  // namespace
+
+void FlightRecorder::InstallSignalHandler() {
+  std::signal(SIGSEGV, FatalSignalHandler);
+  std::signal(SIGABRT, FatalSignalHandler);
+  std::signal(SIGBUS, FatalSignalHandler);
+}
+
+}  // namespace zstream::obs

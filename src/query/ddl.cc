@@ -219,10 +219,14 @@ Result<DdlStatement> DdlParser::Parse() {
     Advance();
     DdlStatement stmt;
     // Bare EXPLAIN is the static plan (same as SHOW PLAN); ANALYZE
-    // asks the live engine for its counter-annotated tree.
+    // asks the live engine for its counter-annotated tree; TRACE asks
+    // the tracer for recent sampled-match provenance.
     if (Peek().IsKeyword("ANALYZE")) {
       Advance();
       stmt.kind = DdlKind::kExplainAnalyze;
+    } else if (Peek().IsKeyword("TRACE")) {
+      Advance();
+      stmt.kind = DdlKind::kExplainTrace;
     } else {
       stmt.kind = DdlKind::kShowPlan;
     }

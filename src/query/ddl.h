@@ -9,6 +9,7 @@
 //   SHOW PLAN q
 //   EXPLAIN q            (alias for SHOW PLAN q)
 //   EXPLAIN ANALYZE q
+//   EXPLAIN TRACE q
 //
 // A bare `PATTERN ...` query is also accepted (kSelect) so one entry
 // point handles both DDL and ad-hoc queries. Statements are parsed with
@@ -41,6 +42,10 @@ enum class DdlKind : char {
   /// EXPLAIN ANALYZE <query>: the plan tree annotated with live
   /// per-node counters and timings from the running engine.
   kExplainAnalyze,
+  /// EXPLAIN TRACE <query>: recent sampled-match provenance — the
+  /// contributing event ids, operator path, and plan fingerprint from
+  /// the tracer's provenance ring (obs/trace.h).
+  kExplainTrace,
   kSelect,    // a bare PATTERN query (no surrounding DDL)
 };
 

@@ -26,6 +26,10 @@ using QueryId = int64_t;
 struct RuntimeMatch {
   QueryId query = 0;
   int shard = 0;
+  /// Trace id of the sampled ingest whose processing emitted this
+  /// match (obs/trace.h); 0 when untraced or emitted at a Finish
+  /// barrier. Carried through fanout so server and client spans join.
+  uint64_t trace_id = 0;
   Match match;
 };
 

@@ -34,6 +34,7 @@ std::string RuntimeStats::ToJson() const {
   std::string out = "{";
   AppendDouble(&out, "elapsed_s", elapsed_s, /*first=*/true);
   AppendField(&out, "events_ingested", events_ingested);
+  AppendField(&out, "events_traced", events_traced);
   AppendField(&out, "events_processed", events_processed);
   AppendField(&out, "events_dropped", events_dropped);
   AppendField(&out, "matches", matches);

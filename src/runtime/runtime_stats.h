@@ -37,6 +37,9 @@ class RuntimeStats {
   std::vector<ShardStats> shards;
   double elapsed_s = 0.0;
   uint64_t events_ingested = 0;
+  /// Events ingested carrying a sampled trace id (obs/trace.h); drives
+  /// the CLI stats watcher's traced/s column.
+  uint64_t events_traced = 0;
   uint64_t events_processed = 0;
   uint64_t events_dropped = 0;
   uint64_t matches = 0;

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/sync.h"
 #include "exec/reorder.h"
+#include "obs/trace.h"
 #include "runtime/mpsc_queue.h"
 #include "verify/plan_verifier.h"
 
@@ -160,6 +161,10 @@ struct StreamRuntime::ShardMsg {
   /// kEvent: MonotonicNanos at Ingest — the start of the detection
   /// latency measured when this event's processing emits a match.
   uint64_t arrival_ns = 0;
+  /// kEvent: trace id of the sampled ingest batch this event belongs
+  /// to (obs/trace.h); 0 = untraced. The shard worker sets it as the
+  /// thread's current trace around dispatch.
+  uint64_t trace_id = 0;
   /// Router-computed key hash for kEvent (see QueryState::AcceptsOn);
   /// field -1 when no hash route was evaluated.
   int key_hint_field = -1;
@@ -295,6 +300,9 @@ void StreamRuntime::FlushReorder(Shard* shard) {
 
 ZS_HOT void StreamRuntime::WorkerLoop(Shard* shard) {
   const bool reordering = options_.reorder_slack > 0;
+  // Spans recorded from this thread (queue wait, exec, operator, match)
+  // land in the shard's own ring lane; lane 0 stays the control lane.
+  obs::SetCurrentLane(static_cast<uint32_t>(1 + shard->index));
   std::vector<ShardMsg> batch;
   batch.reserve(static_cast<size_t>(options_.shard_batch_size));
   while (shard->queue.PopBatch(&batch,
@@ -308,6 +316,13 @@ ZS_HOT void StreamRuntime::WorkerLoop(Shard* shard) {
           // reorder releases it triggers) measure latency from its
           // arrival — the emission-triggering ingest.
           shard->current_arrival_ns = msg.arrival_ns;
+          obs::SetCurrentTrace(msg.trace_id);
+          // Queue residency: enqueue stamp to dequeue, on this shard's
+          // lane. The dominant latency contributor under load.
+          obs::TraceRecord(obs::CurrentLane(), obs::SpanKind::kQueueWait,
+                           msg.trace_id, msg.arrival_ns,
+                           obs::MonotonicNanos(), nullptr,
+                           static_cast<uint64_t>(shard->index));
           if (reordering) {
             auto it = shard->reorder.find(msg.stream);
             if (it == shard->reorder.end()) {
@@ -329,6 +344,7 @@ ZS_HOT void StreamRuntime::WorkerLoop(Shard* shard) {
                           msg.key_hint_hash);
           }
           shard->current_arrival_ns = 0;
+          obs::SetCurrentTrace(0);
           shard->events_processed.fetch_add(1, std::memory_order_relaxed);
           break;
         }
@@ -505,6 +521,12 @@ ZS_HOT uint64_t StreamRuntime::TargetMask(const RouteEntry& entry,
 // ---------------------------------------------------------------------
 
 ZS_HOT bool StreamRuntime::Ingest(StreamId stream, const EventPtr& event) {
+  // A single-event ingest is its own sampling batch.
+  return Ingest(stream, event, obs::TraceSampleBatch());
+}
+
+ZS_HOT bool StreamRuntime::Ingest(StreamId stream, const EventPtr& event,
+                                  uint64_t trace_id) {
   if (stopped_.load(std::memory_order_relaxed) || event == nullptr) {
     return false;
   }
@@ -522,6 +544,9 @@ ZS_HOT bool StreamRuntime::Ingest(StreamId stream, const EventPtr& event) {
     }
   }
   events_ingested_.fetch_add(1, std::memory_order_relaxed);
+  if (trace_id != 0) {
+    events_traced_.fetch_add(1, std::memory_order_relaxed);
+  }
   const uint64_t arrival_ns = obs::MonotonicNanos();
   bool ok = true;
   for (size_t s = 0; mask != 0; ++s, mask >>= 1) {
@@ -531,6 +556,7 @@ ZS_HOT bool StreamRuntime::Ingest(StreamId stream, const EventPtr& event) {
     msg.stream = stream;
     msg.event = event;
     msg.arrival_ns = arrival_ns;
+    msg.trace_id = trace_id;
     msg.key_hint_field = hint_field;
     msg.key_hint_hash = hint_hash;
     if (options_.backpressure == BackpressurePolicy::kBlock) {
@@ -551,6 +577,11 @@ bool StreamRuntime::Ingest(const std::string& stream_name,
 
 ZS_HOT uint64_t StreamRuntime::IngestBatch(
     StreamId stream, const std::vector<EventPtr>& events) {
+  return IngestBatch(stream, events, obs::TraceSampleBatch());
+}
+
+ZS_HOT uint64_t StreamRuntime::IngestBatch(
+    StreamId stream, const std::vector<EventPtr>& events, uint64_t trace_id) {
   if (stopped_.load(std::memory_order_relaxed)) return events.size();
   // One stamp per batch: latency for a batch's matches is measured from
   // the batch's enqueue, which is what a producer of that batch observes.
@@ -576,6 +607,7 @@ ZS_HOT uint64_t StreamRuntime::IngestBatch(
         msg.stream = stream;
         msg.event = event;
         msg.arrival_ns = arrival_ns;
+        msg.trace_id = trace_id;
         msg.key_hint_field = hint_field;
         msg.key_hint_hash = hint_hash;
         per_shard[s].push_back(std::move(msg));
@@ -583,6 +615,9 @@ ZS_HOT uint64_t StreamRuntime::IngestBatch(
     }
   }
   events_ingested_.fetch_add(events.size(), std::memory_order_relaxed);
+  if (trace_id != 0) {
+    events_traced_.fetch_add(events.size(), std::memory_order_relaxed);
+  }
   uint64_t drops = 0;
   for (size_t s = 0; s < per_shard.size(); ++s) {
     if (per_shard[s].empty()) continue;
@@ -768,7 +803,12 @@ Result<QueryId> StreamRuntime::RegisterCompiled(
                                   shard->current_arrival_ns);
           }
           if (sink != nullptr) {
-            sink->Publish(RuntimeMatch{raw->id, s, std::move(m)});
+            // Published on the worker thread, so the thread-local trace
+            // id still names the sampled ingest that emitted this match;
+            // fanout/delivery spans downstream join the same trace.
+            sink->Publish(
+                RuntimeMatch{raw->id, s, obs::CurrentTraceId(),
+                             std::move(m)});
           }
         });
     qs->engines[static_cast<size_t>(s)] = std::move(engine);
@@ -903,6 +943,16 @@ Result<bool> StreamRuntime::ReplanQuery(QueryId id) {
   // control_mu_ must not be held across the worker barriers below.
   zs::MutexLock replan(q->replan_mu);
 
+  // Adaptive decisions are control-plane work: give each evaluation its
+  // own trace (lane 0) so plan churn is auditable next to event spans.
+  const uint64_t replan_trace = obs::Tracer::Global().NewTraceId();
+  const uint64_t replan_t0 = obs::MonotonicNanos();
+  auto end_replan = [&](bool switched) {
+    obs::TraceRecord(0, obs::SpanKind::kReplan, replan_trace, replan_t0,
+                     obs::MonotonicNanos(), q->label.c_str(),
+                     switched ? 1 : 0);
+  };
+
   auto collect = std::make_shared<CollectCtx>();
   CollectCtx* cctx = collect.get();
   cctx->defaults = StatsCatalog(q->pattern->num_classes(),
@@ -919,7 +969,10 @@ Result<bool> StreamRuntime::ReplanQuery(QueryId id) {
   std::optional<StatsCatalog> merged_opt;
   {
     zs::MutexLock lock(cctx->mu);
-    if (cctx->parts.empty()) return false;
+    if (cctx->parts.empty()) {
+      end_replan(false);
+      return false;
+    }
     num_parts = cctx->parts.size();
     merged_opt = MergeStatsCatalogs(cctx->parts, cctx->weights);
   }
@@ -934,7 +987,10 @@ Result<bool> StreamRuntime::ReplanQuery(QueryId id) {
     }
   }
   std::optional<PhysicalPlan> next = q->controller->MaybeReplan(merged);
-  if (!next.has_value()) return false;
+  if (!next.has_value()) {
+    end_replan(false);
+    return false;
+  }
   // The controller already verified the candidate, but a plan is about
   // to be broadcast to every shard — re-check at the last seam so a
   // future controller bug cannot desynchronize shard engines.
@@ -944,9 +1000,14 @@ Result<bool> StreamRuntime::ReplanQuery(QueryId id) {
   switch_msg.kind = ShardMsg::Kind::kSwitchPlan;
   switch_msg.query = qs;
   switch_msg.plan = std::make_shared<const PhysicalPlan>(*next);
+  const uint64_t switch_t0 = obs::MonotonicNanos();
   SyncShards(TargetShards(*qs), std::move(switch_msg));
+  obs::TraceRecord(0, obs::SpanKind::kPlanSwitch, replan_trace, switch_t0,
+                   obs::MonotonicNanos(), q->label.c_str(),
+                   obs::Fnv1a64(next->Explain(*q->pattern)));
   q->plan = *next;
   q->plan_cost.store(next->estimated_cost, std::memory_order_relaxed);
+  end_replan(true);
   return true;
 }
 
@@ -1030,6 +1091,9 @@ void StreamRuntime::UpdateMetrics() {
   reg.GetCounter("zstream_matches_total", {},
                  "Matches emitted across all registered queries")
       ->Store(stats.matches);
+  reg.GetCounter("zstream_events_traced_total", {},
+                 "Events ingested carrying a sampled trace id")
+      ->Store(stats.events_traced);
   reg.GetGauge("zstream_queries", {}, "Currently registered queries")
       ->Set(static_cast<int64_t>(stats.num_queries));
   for (const ShardStats& s : stats.shards) {
@@ -1097,6 +1161,7 @@ RuntimeStats StreamRuntime::Stats() const {
           .count();
   out.elapsed_s = elapsed;
   out.events_ingested = events_ingested_.load(std::memory_order_relaxed);
+  out.events_traced = events_traced_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     ShardStats s;
     s.shard = shard->index;

@@ -128,6 +128,14 @@ class StreamRuntime {
   /// shard. Returns the number of (event, shard) deliveries dropped.
   uint64_t IngestBatch(StreamId stream, const std::vector<EventPtr>& events);
 
+  /// Ingest with an externally-minted trace id (obs/trace.h) — the
+  /// server passes the id decoded from the wire so client and server
+  /// spans share one trace; 0 means untraced. The two-argument
+  /// overloads sample locally via the global tracer.
+  bool Ingest(StreamId stream, const EventPtr& event, uint64_t trace_id);
+  uint64_t IngestBatch(StreamId stream, const std::vector<EventPtr>& events,
+                       uint64_t trace_id);
+
   /// Barrier: every event enqueued before this call is processed and
   /// every engine has flushed (Engine::Finish), so match counters and
   /// sinks are complete for everything ingested so far.
@@ -245,6 +253,9 @@ class StreamRuntime {
   int next_pin_ ZS_GUARDED_BY(control_mu_) = 0;
 
   std::atomic<uint64_t> events_ingested_{0};
+  /// Events ingested carrying a nonzero trace id (sampled locally or
+  /// propagated from the wire).
+  std::atomic<uint64_t> events_traced_{0};
   std::atomic<bool> stopped_{false};
   std::chrono::steady_clock::time_point start_time_;
 

@@ -729,6 +729,7 @@ TEST(NetServer, TruncatedEventBatchOverWireIsCodedError) {
   // nothing is ingested.
   std::string payload;
   net::PutString(&payload, "stock");
+  net::PutU64(&payload, 0);  // v3: trace id (unsampled)
   net::PutU32(&payload, 3);
   net::AppendEvent(&payload, *Stock("IBM", 9.5, 1));
   std::string frame;
@@ -741,6 +742,7 @@ TEST(NetServer, TruncatedEventBatchOverWireIsCodedError) {
   // Follow with a well-formed single-event batch on the same socket.
   std::string ok_payload;
   net::PutString(&ok_payload, "stock");
+  net::PutU64(&ok_payload, 0);  // v3: trace id (unsampled)
   net::PutU32(&ok_payload, 1);
   net::AppendEvent(&ok_payload, *Stock("IBM", 9.5, 2));
   std::string ok_frame;

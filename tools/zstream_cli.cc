@@ -10,6 +10,7 @@
 //   zstream_cli [--host H] [--port N] stats
 //               [--watch [--interval-ms N] [--ticks N]]
 //   zstream_cli [--host H] [--port N] metrics [--json]
+//   zstream_cli [--host H] [--port N] trace [--out FILE]
 //   zstream_cli [--host H] [--port N] flush
 //
 // `replay` regenerates the deterministic stock/weblog workload (same
@@ -23,6 +24,9 @@
 // shard queue depth) — a poor man's `top` for a running server.
 // `metrics` fetches the observability registry snapshot over the wire
 // (the same document the HTTP /metrics side port serves).
+// `trace` fetches the server's span window as chrome://tracing /
+// Perfetto JSON (the /trace side-port document); --out writes it to a
+// file ready to load into a trace viewer.
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -46,7 +50,7 @@ using namespace zstream;
 int Usage() {
   std::fprintf(stderr,
                "usage: zstream_cli [--host H] [--port N] "
-               "exec|replay|tail|stats|metrics|flush ...\n");
+               "exec|replay|tail|stats|metrics|trace|flush ...\n");
   return 2;
 }
 
@@ -247,6 +251,7 @@ bool FindJsonU64(const std::string& json, const char* key, size_t from,
 // One sampled reading of the counters the watch ticker reports.
 struct WatchSample {
   uint64_t ingested = 0;
+  uint64_t traced = 0;
   uint64_t matches = 0;
   uint64_t dropped = 0;
   uint64_t queue_depth = 0;  // summed over shards
@@ -261,6 +266,7 @@ bool ParseWatchSample(const std::string& json, WatchSample* s) {
   if (!FindJsonU64(json, "events_ingested", base, &s->ingested, nullptr)) {
     return false;
   }
+  FindJsonU64(json, "events_traced", base, &s->traced, nullptr);
   if (!FindJsonU64(json, "matches", base, &s->matches, nullptr)) {
     return false;
   }
@@ -285,8 +291,8 @@ int RunStatsWatch(net::Client& client, int interval_ms, int64_t ticks) {
       return 1;
     }
   }
-  std::printf("%10s %12s %12s %10s %10s\n", "t", "ev/s", "matches/s",
-              "dropped", "queue");
+  std::printf("%10s %12s %10s %12s %10s %10s\n", "t", "ev/s", "traced/s",
+              "matches/s", "dropped", "queue");
   std::fflush(stdout);
   const auto start = std::chrono::steady_clock::now();
   auto last = start;
@@ -307,10 +313,12 @@ int RunStatsWatch(net::Client& client, int interval_ms, int64_t ticks) {
     last = now;
     const double ev_s =
         dt > 0 ? (cur.ingested - prev.ingested) / dt : 0.0;
+    const double traced_s =
+        dt > 0 ? (cur.traced - prev.traced) / dt : 0.0;
     const double match_s =
         dt > 0 ? (cur.matches - prev.matches) / dt : 0.0;
-    std::printf("%9.1fs %12.0f %12.1f %10llu %10llu\n", t, ev_s,
-                match_s,
+    std::printf("%9.1fs %12.0f %10.0f %12.1f %10llu %10llu\n", t, ev_s,
+                traced_s, match_s,
                 static_cast<unsigned long long>(cur.dropped),
                 static_cast<unsigned long long>(cur.queue_depth));
     std::fflush(stdout);
@@ -365,6 +373,38 @@ int RunMetrics(net::Client& client, const std::vector<std::string>& args) {
   return 0;
 }
 
+int RunTrace(net::Client& client, const std::vector<std::string>& args) {
+  std::string out_path;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else {
+      return Usage();
+    }
+  }
+  auto doc = client.Trace();
+  if (!doc.ok()) return Fail(doc.status());
+  if (out_path.empty()) {
+    std::printf("%s\n", doc->c_str());
+    return 0;
+  }
+  std::FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  const size_t written = std::fwrite(doc->data(), 1, doc->size(), f);
+  std::fclose(f);
+  if (written != doc->size()) {
+    std::fprintf(stderr, "short write to %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu bytes to %s (load in chrome://tracing or "
+              "https://ui.perfetto.dev)\n",
+              doc->size(), out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -393,6 +433,7 @@ int main(int argc, char** argv) {
   if (command == "tail") return RunTail(**client, args);
   if (command == "stats") return RunStats(**client, args);
   if (command == "metrics") return RunMetrics(**client, args);
+  if (command == "trace") return RunTrace(**client, args);
   if (command == "flush") {
     auto ack = (*client)->Flush();
     if (!ack.ok()) return Fail(ack.status());

@@ -3,7 +3,9 @@
 //   zstream_server [--port N] [--bind ADDR] [--shards N]
 //                  [--queue-capacity N] [--drop-policy block|drop]
 //                  [--reorder-slack N] [--metrics-port N]
-//                  [--slow-event-ms N] [--ddl "STATEMENT"]...
+//                  [--slow-event-ms N] [--trace-sample N]
+//                  [--trace-ring-mb N] [--trace-dump-dir DIR]
+//                  [--ddl "STATEMENT"]...
 //
 // Starts an empty session (optionally seeded with --ddl statements,
 // applied in order), binds the sharded runtime, and serves the framed
@@ -20,7 +22,16 @@
 //
 // --slow-event-ms N arms the slow-event log: any single event whose
 // evaluation in a plan exceeds the threshold is reported (rate-limited)
-// through ZS_LOG(Warn).
+// through ZS_LOG(Warn), tagged with the event's trace id when sampled,
+// and triggers a flight-recorder ring snapshot when --trace-dump-dir
+// is set.
+//
+// --trace-sample N arms end-to-end tracing: every Nth ingest batch is
+// traced through decode, queueing, evaluation and fanout (1 = every
+// batch). The window is served at GET /trace on the metrics port and
+// over the kTraceRequest frame (zstream_cli trace). --trace-ring-mb
+// bounds the in-memory span window; --trace-dump-dir DIR arms the
+// flight recorder (ring snapshots on slow events and fatal signals).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +43,8 @@
 
 #include "api/zstream.h"
 #include "net/server.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -45,7 +58,9 @@ int Usage(const char* argv0) {
       "usage: %s [--port N] [--bind ADDR] [--shards N]\n"
       "          [--queue-capacity N] [--drop-policy block|drop]\n"
       "          [--reorder-slack N] [--metrics-port N]\n"
-      "          [--slow-event-ms N] [--ddl \"STATEMENT\"]...\n",
+      "          [--slow-event-ms N] [--trace-sample N]\n"
+      "          [--trace-ring-mb N] [--trace-dump-dir DIR]\n"
+      "          [--ddl \"STATEMENT\"]...\n",
       argv0);
   return 2;
 }
@@ -60,6 +75,9 @@ int main(int argc, char** argv) {
   runtime::RuntimeOptions runtime_options;
   runtime_options.num_shards = 2;
   std::vector<std::string> bootstrap_ddl;
+  uint32_t trace_sample = 0;
+  size_t trace_ring_mb = 4;
+  std::string trace_dump_dir;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -106,6 +124,19 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       runtime_options.slow_event_ns = std::atoll(v) * 1000000;
+    } else if (arg == "--trace-sample") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      trace_sample = static_cast<uint32_t>(std::atoll(v));
+    } else if (arg == "--trace-ring-mb") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      trace_ring_mb = static_cast<size_t>(std::atoll(v));
+      if (trace_ring_mb == 0) trace_ring_mb = 1;
+    } else if (arg == "--trace-dump-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      trace_dump_dir = v;
     } else if (arg == "--ddl") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -113,6 +144,23 @@ int main(int argc, char** argv) {
     } else {
       return Usage(argv[0]);
     }
+  }
+
+  if (trace_sample > 0) {
+    obs::TraceOptions topts;
+    topts.sample_every = trace_sample;
+    // 1 control/net lane + one per shard worker; split the requested
+    // window evenly across lanes (64 bytes per span slot).
+    topts.num_lanes = static_cast<uint32_t>(
+        1 + (runtime_options.num_shards > 0 ? runtime_options.num_shards
+                                            : 1));
+    topts.ring_slots =
+        (trace_ring_mb << 20) / sizeof(obs::Span) / topts.num_lanes;
+    obs::Tracer::Global().Configure(topts);
+  }
+  if (!trace_dump_dir.empty()) {
+    obs::FlightRecorder::Global().Configure(trace_dump_dir);
+    obs::FlightRecorder::InstallSignalHandler();
   }
 
   ZStream session;
@@ -149,6 +197,12 @@ int main(int argc, char** argv) {
     std::printf("zstream_server metrics on http://%s:%u/metrics\n",
                 (*server)->bind_address().c_str(),
                 (*server)->metrics_port());
+  }
+  if (trace_sample > 0) {
+    std::printf(
+        "zstream_server tracing 1-in-%u batches (ring=%zuMB, dump=%s)\n",
+        trace_sample, trace_ring_mb,
+        trace_dump_dir.empty() ? "off" : trace_dump_dir.c_str());
   }
   std::fflush(stdout);
 
