@@ -12,6 +12,8 @@
 // Expected shape (paper): left-deep wins and the gap grows as the
 // predicate gets more selective (up to ~5x at 1/32); the NFA tracks the
 // right-deep plan.
+#include <cstdlib>
+
 #include "bench_util.h"
 
 namespace zstream::bench {
@@ -21,6 +23,25 @@ constexpr char kQuery[] =
     "PATTERN IBM;Sun;Oracle "
     "WHERE IBM.name='IBM' AND Sun.name='Sun' AND Oracle.name='Oracle' "
     "AND IBM.price > Sun.price WITHIN 200";
+
+// Selectivity sweep 1/d for each denominator; defaults to the paper's
+// 1..1/32. ZS_FIG08_DENOMS overrides with a comma-separated list —
+// scripts/bench_guard.py pins {1,5,50} for the CI regression gate.
+std::vector<int> Denominators() {
+  std::vector<int> denoms;
+  if (const char* env = std::getenv("ZS_FIG08_DENOMS")) {
+    const char* s = env;
+    while (*s != '\0') {
+      char* end = nullptr;
+      const long d = std::strtol(s, &end, 10);
+      if (end == s) break;
+      if (d > 0) denoms.push_back(static_cast<int>(d));
+      s = (*end == ',') ? end + 1 : end;
+    }
+  }
+  if (denoms.empty()) denoms = {1, 2, 4, 8, 16, 32};
+  return denoms;
+}
 
 int Run() {
   Banner("Figure 8",
@@ -38,7 +59,7 @@ int Run() {
 
   Table table({"selectivity", "left-deep (ev/s)", "right-deep (ev/s)",
                "NFA (ev/s)", "matches", "left/right speedup"});
-  for (int denom : {1, 2, 4, 8, 16, 32}) {
+  for (int denom : Denominators()) {
     const double sel = 1.0 / denom;
     StockGenOptions gen;
     gen.names = {"IBM", "Sun", "Oracle"};

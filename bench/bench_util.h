@@ -32,6 +32,8 @@ struct RunResult {
 
 /// Repetitions per measurement (the paper averages 30 runs; we default
 /// lower to keep the full suite fast — override with ZS_BENCH_REPS).
+/// When more than one rep runs, the first is treated as warmup and
+/// excluded from the reported mean.
 int Repetitions();
 
 /// Pushes `events` through a fresh tree engine `reps` times; returns the

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Bench regression guard: the tree engine must keep beating the NFA.
+
+Runs bench_fig08_selectivity at the guarded selectivity points
+(default 1/1, 1/5, 1/50 — peak load, the paper's mid sweep, and a
+highly selective predicate) and fails if, at any point,
+
+  1. the best tree plan's events/s falls below the NFA measured in the
+     SAME run (machine-speed independent — this is the paper's central
+     claim and the one check that never needs a slack factor), or
+  2. a series' events/s falls below `slack` x the committed
+     BENCH_baseline.json value for the same experiment/series/x
+     (catches absolute regressions in the tree engine, and in the NFA
+     baseline itself so check 1 can't pass by the comparison rotting;
+     the slack absorbs host variance between the baseline machine and
+     CI).
+
+Only points present in the committed baseline get check 2; check 1
+applies to every point run. The right-deep plan is exempt from check 1:
+it is the deliberately bad plan the figure contrasts against, and the
+paper itself expects the NFA to track it.
+
+Usage:
+  scripts/bench_guard.py                     # CI gate
+  scripts/bench_guard.py --denoms 1,2,4      # custom selectivity points
+  ZS_BENCH_GUARD_SLACK=0.3 scripts/bench_guard.py   # looser baseline gate
+
+Knobs (environment):
+  ZS_BENCH_GUARD_SLACK  baseline multiplier, default 0.5
+  ZS_BENCH_REPS         forwarded to the bench binary, default 2
+                        (first rep is warmup, excluded from the mean)
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+TREE_SERIES = ("left_deep", "right_deep")
+# The figure's intentionally mis-ordered plan; NFA parity is expected,
+# not a regression (the fig08 header comment spells this out).
+BAD_PLAN_SERIES = ("right_deep",)
+
+
+def load_baseline(path):
+    """Returns {(experiment, series, x): throughput_eps} or {}."""
+    if not os.path.exists(path):
+        return {}
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        (r["experiment"], r["series"], r["x"]): r["throughput_eps"]
+        for r in doc.get("results", [])
+    }
+
+
+def run_bench(binary, denoms, reps):
+    """Runs the fig08 bench, returns the parsed JSON-lines records."""
+    with tempfile.TemporaryDirectory() as scratch:
+        out = os.path.join(scratch, "fig08.jsonl")
+        env = dict(os.environ)
+        env["ZS_BENCH_JSON"] = out
+        env["ZS_FIG08_DENOMS"] = ",".join(str(d) for d in denoms)
+        env.setdefault("ZS_BENCH_REPS", str(reps))
+        subprocess.run([binary], env=env, check=True)
+        with open(out) as f:
+            return [json.loads(line) for line in f if line.strip()]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build", default="build",
+                        help="CMake build tree holding bin/ (default: build)")
+    parser.add_argument("--baseline", default="BENCH_baseline.json",
+                        help="committed baseline (default: %(default)s)")
+    parser.add_argument("--denoms", default="1,5,50",
+                        help="selectivity denominators (default: %(default)s)")
+    parser.add_argument("--reps", type=int, default=2,
+                        help="bench repetitions incl. warmup (default: 2)")
+    args = parser.parse_args()
+
+    binary = os.path.join(args.build, "bin", "bench_fig08_selectivity")
+    if not os.path.exists(binary):
+        print(f"error: {binary} not built", file=sys.stderr)
+        return 2
+
+    slack = float(os.environ.get("ZS_BENCH_GUARD_SLACK", "0.5"))
+    denoms = [int(d) for d in args.denoms.split(",") if d]
+    baseline = load_baseline(args.baseline)
+    records = run_bench(binary, denoms, args.reps)
+
+    by_x = {}
+    for r in records:
+        by_x.setdefault(r["x"], {})[r["series"]] = r["throughput_eps"]
+
+    failures = []
+    for x, series in sorted(by_x.items()):
+        nfa = series.get("nfa")
+        best_tree = max((series[s] for s in TREE_SERIES if s in series),
+                        default=None)
+        if nfa is None or best_tree is None:
+            failures.append(f"{x}: missing series in bench output "
+                            f"(got {sorted(series)})")
+            continue
+        # Check 1: the tree engine beats the NFA on the same run.
+        if best_tree < nfa:
+            failures.append(
+                f"{x}: best tree plan {best_tree:.0f} ev/s < NFA "
+                f"{nfa:.0f} ev/s on the same run")
+        else:
+            print(f"ok  {x}: tree {best_tree:.0f} ev/s >= "
+                  f"NFA {nfa:.0f} ev/s")
+        # Check 2: no absolute collapse vs the committed baseline.
+        for s, eps in sorted(series.items()):
+            if s in BAD_PLAN_SERIES:
+                continue
+            committed = baseline.get(("fig08_selectivity", s, x))
+            if committed is None:
+                continue
+            floor = slack * committed
+            if eps < floor:
+                failures.append(
+                    f"{x}/{s}: {eps:.0f} ev/s < {slack} x committed "
+                    f"baseline {committed:.0f} ev/s")
+            else:
+                print(f"ok  {x}/{s}: {eps:.0f} ev/s >= {slack} x "
+                      f"baseline {committed:.0f} ev/s")
+
+    if failures:
+        print("\nBENCH REGRESSION:", file=sys.stderr)
+        for f in failures:
+            print(f"  FAIL {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench guard: all {len(by_x)} selectivity points pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

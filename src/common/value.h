@@ -54,8 +54,13 @@ class Value {
   }
 
   /// True when the value is usable as a predicate outcome and is true.
-  /// Nulls and non-bool values are not truthy.
-  bool IsTruthy() const { return is_bool() && bool_value(); }
+  /// Nulls and non-bool values are not truthy. get_if (not
+  /// holds_alternative + get) so GCC 12 at -O2 with sanitizers can see
+  /// there is no exception path (-Wmaybe-uninitialized, PR80635 family).
+  bool IsTruthy() const {
+    const bool* b = std::get_if<bool>(&rep_);
+    return b != nullptr && *b;
+  }
 
   /// Three-way comparison for ordering; values must be comparable
   /// (both numeric, or both strings, or both bools). Nulls and mixed

@@ -80,15 +80,32 @@ Result<std::unique_ptr<Engine>> Engine::Create(PatternPtr pattern,
   ZS_RETURN_IF_ERROR(verify::VerifyPlan(*pattern, plan));
   auto engine =
       std::unique_ptr<Engine>(new Engine(std::move(pattern), options, tracker));
-  ZS_RETURN_IF_ERROR(engine->Build(plan, /*initial=*/true));
+  ZS_RETURN_IF_ERROR(engine->Build(plan, /*initial=*/true,
+                                   /*pre_verified=*/true));
   return engine;
 }
 
-Status Engine::Build(const PhysicalPlan& plan, bool initial) {
+Result<std::unique_ptr<Engine>> Engine::CreateTrusted(
+    PatternPtr pattern, const PhysicalPlan& plan, const EngineOptions& options,
+    MemoryTracker* tracker) {
+  auto engine =
+      std::unique_ptr<Engine>(new Engine(std::move(pattern), options, tracker));
+  ZS_RETURN_IF_ERROR(engine->Build(plan, /*initial=*/true,
+                                   /*pre_verified=*/true));
+  return engine;
+}
+
+Status Engine::Build(const PhysicalPlan& plan, bool initial,
+                     bool pre_verified) {
   // Full invariant pass, not just the plan-layer ValidatePlan: every
   // plan reaching an engine (initial build or a SwitchPlan from the
-  // adaptive path) satisfies the verifier or is refused here.
-  ZS_RETURN_IF_ERROR(verify::VerifyPlan(*pattern_, plan));
+  // adaptive path) satisfies the verifier or is refused here — except
+  // when the caller proved this exact pattern/plan pair already
+  // (Create's own pre-check, or PartitionedEngine verifying once for
+  // hundreds of partitions).
+  if (!pre_verified) {
+    ZS_RETURN_IF_ERROR(verify::VerifyPlan(*pattern_, plan));
+  }
   const int n = pattern_->num_classes();
 
   if (initial) {
@@ -125,6 +142,11 @@ Status Engine::Build(const PhysicalPlan& plan, bool initial) {
   }
 
   ZS_ASSIGN_OR_RETURN(root_, BuildNode(plan.root, &unattached));
+  // Internal roots stream matches straight to the engine instead of
+  // materializing them (leaf roots keep the buffer: the leaf must
+  // retain its events for purging semantics anyway, and DrainRoot
+  // consumes it by watermark).
+  if (!root_->is_leaf()) root_->SetSink(this);
   if (!unattached.empty()) {
     return Status::Internal("predicate not attachable to plan: " +
                             unattached.front()->ToString());
@@ -427,6 +449,64 @@ ZS_HOT void Engine::Push(const EventPtr& event) {
   PushOrdered(event);
 }
 
+ZS_HOT void Engine::OfferSpan(const EventPtr* events, size_t n) {
+  size_t i = 0;
+  while (i < n) {
+    // Longest in-order run starting at i: offered to every leaf as one
+    // columnar batch.
+    size_t j = i;
+    Timestamp run_max = max_ts_seen_;
+    while (j < n) {
+      const Timestamp t = events[j]->timestamp();
+      if (t < run_max) break;
+      run_max = t;
+      ++j;
+    }
+    if (j > i) {
+      events_pushed_ += j - i;
+      max_ts_seen_ = run_max;
+      if (windowed_stats_ != nullptr) {
+        for (size_t k = i; k < j; ++k) {
+          windowed_stats_->OnEvent(events[k]->timestamp());
+        }
+      }
+      for (auto& leaf : leaves_) {
+        leaf->OfferBatch(events + i, static_cast<int>(j - i));
+      }
+      i = j;
+    }
+    // Late stragglers inside the span: dropped and counted, like Offer.
+    while (i < n && events[i]->timestamp() < max_ts_seen_) {
+      ++events_pushed_;
+      ++late_events_;
+      ++i;
+    }
+  }
+}
+
+ZS_HOT void Engine::PushBatch(const EventBatch& batch) {
+  if (reorder_ != nullptr || options_.slow_event_ns > 0) {
+    // Reordering and per-event slow-event timing are inherently
+    // record-at-a-time; fall back.
+    for (size_t i = 0; i < batch.count; ++i) Push(batch.data[i]);
+    return;
+  }
+  size_t i = 0;
+  while (i < batch.count) {
+    if (pending_in_batch_ >= options_.batch_size) {
+      AssemblyRound();
+      continue;
+    }
+    const size_t room =
+        static_cast<size_t>(options_.batch_size - pending_in_batch_);
+    const size_t take = std::min(batch.count - i, room);
+    OfferSpan(batch.data + i, take);
+    pending_in_batch_ += static_cast<int>(take);
+    i += take;
+  }
+  if (pending_in_batch_ >= options_.batch_size) AssemblyRound();
+}
+
 void Engine::Finish() {
   if (reorder_ != nullptr) reorder_->Flush();
   AssemblyRound();
@@ -450,6 +530,10 @@ ZS_HOT void Engine::AssemblyRound() {
 
   const Timestamp eat = min_end - pattern_->window;
   const Timestamp horizon = max_ts_seen_ + 1;
+  // Streaming-sink state for the round: OnMatch filters against the
+  // round's EAT and records provenance under the sampled trace id.
+  round_eat_ = eat;
+  cur_trace_ = obs::CurrentTraceId();
   for (auto& leaf : leaves_) {
     leaf->set_horizon(horizon);
     leaf->output()->PurgeBefore(eat);
@@ -458,7 +542,7 @@ ZS_HOT void Engine::AssemblyRound() {
   // The timed loop runs for profiling (EXPLAIN ANALYZE / slow-event
   // attribution) and for traced rounds; `add_eval_ns` stays gated on
   // profiling_ alone so tracing never perturbs the `time=` column.
-  const uint64_t trace = obs::CurrentTraceId();
+  const uint64_t trace = cur_trace_;
   if (profiling_ || trace != 0) {
     const uint64_t round_t0 = obs::MonotonicNanos();
     uint64_t t0 = round_t0;
@@ -492,21 +576,39 @@ ZS_HOT void Engine::AssemblyRound() {
   MaybeAdapt();
 }
 
-ZS_HOT void Engine::DrainRoot(Timestamp eat) {
-  Buffer& out = *root_->output();
-  const uint64_t trace = obs::CurrentTraceId();
-  for (RecordId id = out.watermark(); id < out.end_id(); ++id) {
-    const Record& rec = out.Get(id);
-    if (rec.start_ts < eat) continue;
-    ++num_matches_;
-    if (trace != 0) RecordMatchTrace(trace, rec);
-    if (callback_) {
-      Match m;
-      m.span = TimeSpan{rec.start_ts, rec.end_ts};
-      m.slots = rec.slots;
-      m.group = rec.group;
-      callback_(std::move(m));
+ZS_HOT bool Engine::NeedsPayload() const {
+  return static_cast<bool>(callback_) || cur_trace_ != 0;
+}
+
+ZS_HOT void Engine::OnMatch(Timestamp start_ts, Timestamp end_ts,
+                            const EventPtr* slots, int num_slots,
+                            const EventGroupPtr* group) {
+  // Replicates DrainRoot's EAT filter: operators already skip stale
+  // inputs, this is the defensive boundary for the streamed path.
+  if (start_ts < round_eat_) return;
+  ++num_matches_;
+  if (cur_trace_ != 0) {
+    RecordMatchTrace(cur_trace_, start_ts, end_ts, slots, num_slots,
+                     group != nullptr ? group->get() : nullptr);
+  }
+  if (callback_) {
+    Match m;
+    m.span = TimeSpan{start_ts, end_ts};
+    if (slots != nullptr) {
+      m.slots.assign(slots, slots + num_slots);  // zs-hotpath-allow(match payload copy, only with a consumer installed)
     }
+    if (group != nullptr) m.group = *group;
+    callback_(std::move(m));
+  }
+}
+
+ZS_HOT void Engine::DrainRoot(Timestamp eat) {
+  // Internal roots stream through OnMatch and keep their buffer empty;
+  // this loop only does work for leaf roots (single-class patterns).
+  Buffer& out = *root_->output();
+  for (RecordId id = out.watermark(); id < out.end_id(); ++id) {
+    const RecordRef rec = out.Get(id);
+    OnMatch(rec.start_ts, rec.end_ts, rec.slots, rec.num_slots, rec.group_sp);
   }
   out.SetWatermark(out.end_id());
   if (!root_->is_leaf()) {
@@ -516,7 +618,9 @@ ZS_HOT void Engine::DrainRoot(Timestamp eat) {
   }
 }
 
-void Engine::RecordMatchTrace(uint64_t trace_id, const Record& rec) {
+void Engine::RecordMatchTrace(uint64_t trace_id, Timestamp start_ts,
+                              Timestamp end_ts, const EventPtr* slots,
+                              int num_slots, const EventGroup* group) {
   const uint64_t now = obs::MonotonicNanos();
   obs::TraceRecord(obs::CurrentLane(), obs::SpanKind::kMatch, trace_id, now,
                    now, options_.label.c_str(), plan_fingerprint_);
@@ -535,8 +639,8 @@ void Engine::RecordMatchTrace(uint64_t trace_id, const Record& rec) {
   obs::MatchProvenance p;
   p.trace_id = trace_id;
   p.plan_fingerprint = plan_fingerprint_;
-  p.match_start_ts = rec.start_ts;
-  p.match_end_ts = rec.end_ts;
+  p.match_start_ts = start_ts;
+  p.match_end_ts = end_ts;
   obs::CopyLabel(p.label, options_.label.c_str());
   obs::CopyLabel(p.op_path, op_path_);
   auto add_event = [&p](const EventPtr& e) {
@@ -547,9 +651,9 @@ void Engine::RecordMatchTrace(uint64_t trace_id, const Record& rec) {
     }
     ++p.num_events;
   };
-  for (const EventPtr& e : rec.slots) add_event(e);
-  if (rec.group != nullptr) {
-    for (const EventPtr& e : *rec.group) add_event(e);
+  for (int i = 0; i < num_slots; ++i) add_event(slots[i]);
+  if (group != nullptr) {
+    for (const EventPtr& e : *group) add_event(e);
   }
   obs::Tracer::Global().RecordProvenance(p);
 }

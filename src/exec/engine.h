@@ -75,7 +75,11 @@ struct EngineOptions {
 };
 
 /// \brief Single-partition query engine.
-class Engine : public EngineCore {
+///
+/// The engine is its own MatchSink: the plan root streams completed
+/// matches straight into OnMatch (count / trace / callback) instead of
+/// materializing them into a root buffer that DrainRoot would discard.
+class Engine : public EngineCore, private MatchSink {
  public:
   using MatchCallback = zstream::MatchCallback;
 
@@ -85,11 +89,23 @@ class Engine : public EngineCore {
       PatternPtr pattern, const PhysicalPlan& plan,
       const EngineOptions& options = {}, MemoryTracker* tracker = nullptr);
 
+  /// Like Create, but for a pattern + plan pair the caller has already
+  /// validated/verified (PartitionedEngine proves them once, then
+  /// instantiates per partition without paying verification again).
+  static Result<std::unique_ptr<Engine>> CreateTrusted(
+      PatternPtr pattern, const PhysicalPlan& plan,
+      const EngineOptions& options = {}, MemoryTracker* tracker = nullptr);
+
   ~Engine() override;
   ZS_DISALLOW_COPY_AND_ASSIGN(Engine);
 
   /// Streams one event in; may trigger an assembly round.
   void Push(const EventPtr& event) override;
+
+  /// Columnar ingest: offers in-order runs of the span to every leaf as
+  /// a batch (term-major predicate admission), triggering assembly
+  /// rounds at batch boundaries exactly as repeated Push would.
+  void PushBatch(const EventBatch& batch) override;
 
   /// Offers an event without round-triggering (PartitionedEngine drives
   /// rounds itself).
@@ -150,18 +166,30 @@ class Engine : public EngineCore {
   Engine(PatternPtr pattern, const EngineOptions& options,
          MemoryTracker* tracker);
 
-  Status Build(const PhysicalPlan& plan, bool initial);
+  Status Build(const PhysicalPlan& plan, bool initial,
+               bool pre_verified = false);
   void PushOrdered(const EventPtr& event);
+  /// Offers an ordered span to every leaf (batch admission); late
+  /// events inside the span are dropped and counted like Offer does.
+  void OfferSpan(const EventPtr* events, size_t n);
   Result<OperatorNode*> BuildNode(const PhysNodePtr& node,
                                   std::vector<ExprPtr>* unattached);
   void AttachPredicates(OperatorNode* op, std::vector<ExprPtr>* unattached);
   void DrainRoot(Timestamp eat);
   void MaybeAdapt();
   void LogSlowEvent(uint64_t elapsed_ns);
+
+  // MatchSink: the plan root calls straight into the engine.
+  bool NeedsPayload() const override;
+  void OnMatch(Timestamp start_ts, Timestamp end_ts, const EventPtr* slots,
+               int num_slots, const EventGroupPtr* group) override;
+
   /// Cold path for sampled matches: records the kMatch span and the
   /// match's provenance (contributing event ids, operator path, plan
   /// fingerprint) into the global tracer.
-  void RecordMatchTrace(uint64_t trace_id, const Record& rec);
+  void RecordMatchTrace(uint64_t trace_id, Timestamp start_ts,
+                        Timestamp end_ts, const EventPtr* slots,
+                        int num_slots, const EventGroup* group);
 
   PatternPtr pattern_;
   EngineOptions options_;
@@ -187,6 +215,12 @@ class Engine : public EngineCore {
   MatchCallback callback_;
   int pending_in_batch_ = 0;
   Timestamp max_ts_seen_ = kMinTimestamp;
+  /// EAT of the assembly round in flight: OnMatch drops matches that
+  /// start before it (mirrors DrainRoot's filter for buffered roots).
+  Timestamp round_eat_ = kMinTimestamp;
+  /// Trace id sampled at round start; nonzero makes sinks assemble
+  /// payloads so provenance can be recorded.
+  uint64_t cur_trace_ = 0;
   uint64_t late_events_ = 0;
   uint64_t events_pushed_ = 0;
   uint64_t num_matches_ = 0;

@@ -28,6 +28,13 @@ class StatsCatalog;
 /// Consumes one completed match (moved in).
 using MatchCallback = std::function<void(Match&&)>;
 
+/// \brief A borrowed span of events for columnar ingest. The pointers
+/// stay owned by the producer; the span must outlive the PushBatch call.
+struct EventBatch {
+  const EventPtr* data = nullptr;
+  size_t count = 0;
+};
+
 /// \brief Uniform driving interface over Engine / PartitionedEngine.
 class EngineCore {
  public:
@@ -35,6 +42,13 @@ class EngineCore {
 
   /// Streams one event in; may trigger assembly rounds.
   virtual void Push(const EventPtr& event) = 0;
+
+  /// Streams a span of events in; may trigger assembly rounds. The
+  /// default forwards event-at-a-time; engines with a columnar ingest
+  /// path override this to amortize per-event dispatch.
+  virtual void PushBatch(const EventBatch& batch) {
+    for (size_t i = 0; i < batch.count; ++i) Push(batch.data[i]);
+  }
 
   /// Flushes pending state (reorder stages, partial batches). The engine
   /// remains usable afterwards; Finish is a barrier, not a shutdown.

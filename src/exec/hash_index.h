@@ -37,6 +37,13 @@ class HashIndex {
     buckets_[std::move(key)].push_back(id);
   }
 
+  /// Columnar-buffer path: the caller extracted the key from the chunk's
+  /// slot column (null keys are not indexed).
+  void Insert(Value key, uint64_t id) {
+    if (key.is_null()) return;
+    buckets_[std::move(key)].push_back(id);
+  }
+
   /// Ids (ascending) of records whose key equals `key`; may contain ids
   /// below the buffer's base id (purged) — callers skip those.
   const std::vector<uint64_t>& Probe(const Value& key) const {

@@ -14,6 +14,10 @@
 // the pattern there is no end trigger; each new closure event acts as
 // the end point (groups grow incrementally — a documented deviation, as
 // Algorithm 4 requires an end class).
+//
+// Candidate (start, end, mid) combinations are probed through aliasing
+// views (BaseView / MidQualifies): no record is materialized until a
+// group survives the window and group predicates.
 #include "exec/operators.h"
 
 #include "expr/analysis.h"
@@ -26,7 +30,8 @@ KSeqNode::KSeqNode(const Pattern* pattern, OperatorNode* start,
     : OperatorNode(pattern, PhysOp::kKSeq, tracker),
       start_(start),
       closure_(closure),
-      end_(end) {
+      end_(end),
+      base_slots_(static_cast<size_t>(pattern->num_classes())) {
   const EventClass& kc =
       pattern->classes[static_cast<size_t>(closure->class_idx())];
   kind_ = kc.kleene;
@@ -59,73 +64,114 @@ void KSeqNode::SplitPreds() {
   }
 }
 
-bool KSeqNode::MidQualifies(const EventPtr& m, const Record& base) {
-  if (per_mid_preds_.empty()) return true;
-  Record probe = base;
-  probe.slots[static_cast<size_t>(closure_->class_idx())] = m;
-  for (const AttachedPred& p : per_mid_preds_) {
-    if (!EvalOnePred(p, probe)) return false;
+// Aliasing view of the (start, end) base pair in base_slots_; end wins
+// ties (the operands cover disjoint classes, so none occur). Kept in its
+// own slot vector so MidQualifies can bind closure events while the
+// base stays live.
+EvalInput KSeqNode::BaseView(const RecordRef* sr, const RecordRef& er) {
+  const int n = er.num_slots;
+  for (int i = 0; i < n; ++i) {
+    const Event* raw = er.slots[i] != nullptr
+                           ? er.slots[i].get()
+                           : (sr != nullptr ? sr->slots[i].get() : nullptr);
+    base_slots_[static_cast<size_t>(i)] = EventPtr(EventPtr(), raw);
   }
-  return true;
+  EvalInput in;
+  in.slots = base_slots_.data();
+  in.num_slots = n;
+  in.group = nullptr;
+  in.group_class = group_class_;
+  return in;
 }
 
-void KSeqNode::EmitOne(const Record* sr, const Record& er,
-                       EventGroup group) {
-  Record out;
-  const Timestamp group_start =
-      group.empty() ? er.start_ts : group.front()->timestamp();
-  out.start_ts = sr != nullptr ? sr->start_ts : group_start;
-  out.end_ts = er.end_ts;
-  if (out.end_ts - out.start_ts > window_) return;
-  out.slots = er.slots;
-  if (sr != nullptr) {
-    for (size_t i = 0; i < out.slots.size(); ++i) {
-      if (out.slots[i] == nullptr) out.slots[i] = sr->slots[i];
+bool KSeqNode::MidQualifies(const EventPtr& m, const EvalInput& base) {
+  if (per_mid_preds_.empty()) return true;
+  // `base` views base_slots_; bind the closure slot in place, probe,
+  // unbind. No copies.
+  const size_t kc = static_cast<size_t>(closure_->class_idx());
+  base_slots_[kc] = EventPtr(EventPtr(), m.get());
+  bool ok = true;
+  for (const AttachedPred& p : per_mid_preds_) {
+    if (!EvalOnePred(p, base)) {
+      ok = false;
+      break;
     }
   }
-  out.group = std::make_shared<EventGroup>(std::move(group));
-  for (const AttachedPred& p : group_preds_) {
-    if (!EvalOnePred(p, out)) return;
+  base_slots_[kc] = nullptr;
+  return ok;
+}
+
+void KSeqNode::EmitOne(const RecordRef* sr, const RecordRef& er,
+                       EventGroup group) {
+  const Timestamp group_start =
+      group.empty() ? er.start_ts : group.front()->timestamp();
+  const Timestamp start_ts = sr != nullptr ? sr->start_ts : group_start;
+  const Timestamp end_ts = er.end_ts;
+  if (end_ts - start_ts > window_) return;
+  // Group predicates run on an aliasing view before materialization.
+  if (!group_preds_.empty()) {
+    EvalInput view =
+        sr != nullptr ? MergedView(er, *sr) : er.ToEvalInput(group_class_);
+    view.group = &group;
+    view.group_class = group_class_;
+    for (const AttachedPred& p : group_preds_) {
+      if (!EvalOnePred(p, view)) return;
+    }
   }
-  output_.Append(std::move(out));
+  if (sink_ != nullptr && !sink_->NeedsPayload()) {
+    sink_->OnMatch(start_ts, end_ts, nullptr, 0, nullptr);
+    ++records_emitted_;
+    return;
+  }
+  const int n = er.num_slots;
+  for (int i = 0; i < n; ++i) {
+    emit_slots_[static_cast<size_t>(i)] =
+        er.slots[i] != nullptr
+            ? er.slots[i]
+            : (sr != nullptr ? sr->slots[i] : EventPtr());
+  }
+  const EventGroupPtr gp = std::make_shared<EventGroup>(std::move(group));
+  if (sink_ != nullptr) {
+    sink_->OnMatch(start_ts, end_ts, emit_slots_.data(), n, &gp);
+  } else {
+    output_.AppendSlots(start_ts, end_ts, emit_slots_.data(), n, gp);
+  }
   ++records_emitted_;
 }
 
 // Collects qualifying closure events in (lo, hi) and emits the group(s)
 // for the (sr, er) pair.
-void KSeqNode::EmitGroups(const Record* sr, const Record& er, Timestamp lo,
-                          Timestamp hi, Timestamp eat) {
+void KSeqNode::EmitGroups(const RecordRef* sr, const RecordRef& er,
+                          Timestamp lo, Timestamp hi, Timestamp eat) {
   Buffer& mbuf = *closure_->output();
-  Record base = er;
-  if (sr != nullptr) {
-    base = Record::Merge(*sr, er, sr->start_ts, er.end_ts);
-  }
+  const EvalInput base = BaseView(sr, er);
+  const size_t kc = static_cast<size_t>(closure_->class_idx());
 
-  EventGroup qualifying;
+  qualifying_.clear();
   for (RecordId mid = mbuf.base_id(); mid < mbuf.end_id(); ++mid) {
-    const Record& mr = mbuf.Get(mid);
+    const RecordRef mr = mbuf.Get(mid);
     ++pairs_tried_;
     if (mr.end_ts >= hi) break;  // leaf buffer: sorted by timestamp
     if (mr.start_ts < eat || mr.start_ts <= lo) continue;
-    const EventPtr& m = mr.slots[static_cast<size_t>(closure_->class_idx())];
+    const EventPtr& m = mr.slots[kc];
     if (!MidQualifies(m, base)) continue;
-    qualifying.push_back(m);
+    qualifying_.push_back(m);
   }
 
   switch (kind_) {
     case KleeneKind::kStar:
-      EmitOne(sr, er, std::move(qualifying));
+      EmitOne(sr, er, std::move(qualifying_));
       break;
     case KleeneKind::kPlus:
-      if (!qualifying.empty()) EmitOne(sr, er, std::move(qualifying));
+      if (!qualifying_.empty()) EmitOne(sr, er, std::move(qualifying_));
       break;
     case KleeneKind::kCount: {
       const size_t cc = static_cast<size_t>(count_);
-      if (qualifying.size() < cc) break;
-      for (size_t i = 0; i + cc <= qualifying.size(); ++i) {
+      if (qualifying_.size() < cc) break;
+      for (size_t i = 0; i + cc <= qualifying_.size(); ++i) {
         EmitOne(sr, er,
-                EventGroup(qualifying.begin() + static_cast<long>(i),
-                           qualifying.begin() + static_cast<long>(i + cc)));
+                EventGroup(qualifying_.begin() + static_cast<long>(i),
+                           qualifying_.begin() + static_cast<long>(i + cc)));
       }
       break;
     }
@@ -142,16 +188,19 @@ void KSeqNode::AssembleWithEnd(Timestamp eat) {
   if (sbuf != nullptr) sbuf->PurgeBefore(eat);
 
   for (RecordId eid = ebuf.watermark(); eid < ebuf.end_id(); ++eid) {
-    const Record& er = ebuf.Get(eid);
+    const RecordRef er = ebuf.Get(eid);
     if (er.start_ts < eat) continue;
 
     if (sbuf == nullptr) {
       // Closure at pattern start: bounded below by the window only.
       bool base_ok = true;
-      for (const AttachedPred& p : base_preds_) {
-        if (!EvalOnePred(p, er)) {
-          base_ok = false;
-          break;
+      if (!base_preds_.empty()) {
+        const EvalInput base = BaseView(nullptr, er);
+        for (const AttachedPred& p : base_preds_) {
+          if (!EvalOnePred(p, base)) {
+            base_ok = false;
+            break;
+          }
         }
       }
       if (base_ok) {
@@ -161,16 +210,18 @@ void KSeqNode::AssembleWithEnd(Timestamp eat) {
     }
 
     for (RecordId sid = sbuf->base_id(); sid < sbuf->end_id(); ++sid) {
-      const Record& sr = sbuf->Get(sid);
+      const RecordRef sr = sbuf->Get(sid);
       if (sr.end_ts >= er.start_ts) break;
       if (sr.start_ts < eat) continue;
       if (er.end_ts - sr.start_ts > window_) continue;
-      Record base = Record::Merge(sr, er, sr.start_ts, er.end_ts);
       bool base_ok = true;
-      for (const AttachedPred& p : base_preds_) {
-        if (!EvalOnePred(p, base)) {
-          base_ok = false;
-          break;
+      if (!base_preds_.empty()) {
+        const EvalInput base = BaseView(&sr, er);
+        for (const AttachedPred& p : base_preds_) {
+          if (!EvalOnePred(p, base)) {
+            base_ok = false;
+            break;
+          }
         }
       }
       if (!base_ok) continue;
@@ -192,35 +243,31 @@ void KSeqNode::AssembleAtPatternEnd(Timestamp eat) {
   Buffer& mbuf = *closure_->output();
   Buffer* sbuf = start_ != nullptr ? start_->output() : nullptr;
   if (sbuf != nullptr) sbuf->PurgeBefore(eat);
+  const size_t kc = static_cast<size_t>(closure_->class_idx());
 
   for (RecordId mid = mbuf.watermark(); mid < mbuf.end_id(); ++mid) {
-    const Record& mr = mbuf.Get(mid);
+    const RecordRef mr = mbuf.Get(mid);
     if (mr.start_ts < eat) continue;
 
-    const auto emit_for_start = [&](const Record* sr) {
+    const auto emit_for_start = [&](const RecordRef* sr) {
       const Timestamp lo = sr != nullptr ? sr->end_ts : kMinTimestamp;
-      Record base = mr;
-      if (sr != nullptr) {
-        base = Record::Merge(*sr, mr, sr->start_ts, mr.end_ts);
-      }
+      const EvalInput base = BaseView(sr, mr);
       for (const AttachedPred& p : base_preds_) {
         if (!EvalOnePred(p, base)) return;
       }
       // Walk back over qualifying closure events ending at mr.
       EventGroup group;
-      const EventPtr& m_last =
-          mr.slots[static_cast<size_t>(closure_->class_idx())];
+      const EventPtr& m_last = mr.slots[kc];
       if (!MidQualifies(m_last, base)) return;
       group.push_back(m_last);
       for (RecordId prev = mid; prev-- > mbuf.base_id();) {
-        const Record& pr = mbuf.Get(prev);
+        const RecordRef pr = mbuf.Get(prev);
         if (pr.start_ts <= lo || pr.start_ts < eat) break;
         if (kind_ == KleeneKind::kCount &&
             group.size() >= static_cast<size_t>(count_)) {
           break;
         }
-        const EventPtr& m =
-            pr.slots[static_cast<size_t>(closure_->class_idx())];
+        const EventPtr& m = pr.slots[kc];
         if (!MidQualifies(m, base)) continue;
         group.push_back(m);
       }
@@ -236,7 +283,7 @@ void KSeqNode::AssembleAtPatternEnd(Timestamp eat) {
       emit_for_start(nullptr);
     } else {
       for (RecordId sid = sbuf->base_id(); sid < sbuf->end_id(); ++sid) {
-        const Record& sr = sbuf->Get(sid);
+        const RecordRef sr = sbuf->Get(sid);
         if (sr.end_ts >= mr.start_ts) break;
         if (sr.start_ts < eat) continue;
         if (mr.end_ts - sr.start_ts > window_) continue;

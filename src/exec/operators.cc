@@ -15,41 +15,103 @@ OperatorNode::OperatorNode(const Pattern* pattern, PhysOp op,
                            MemoryTracker* tracker, bool leaf_buffer)
     : pattern_(pattern),
       op_(op),
-      output_(tracker, leaf_buffer),
+      output_(tracker, leaf_buffer, pattern->num_classes()),
       group_class_(pattern->KleeneClass()),
-      window_(pattern->window) {}
+      window_(pattern->window),
+      scratch_(static_cast<size_t>(pattern->num_classes())),
+      emit_slots_(static_cast<size_t>(pattern->num_classes())) {}
 
 void OperatorNode::AttachPredicate(ExprPtr pred, int pred_idx) {
   AttachedPred p;
   const std::set<int> classes = ReferencedClasses(pred);
   p.classes.assign(classes.begin(), classes.end());
   p.has_aggregate = ContainsAggregate(pred);
+  // AND-of-comparison shapes take the flat compiled path; everything
+  // else (OR, NOT, arithmetic, aggregates) keeps the tree walker.
+  p.compiled = CompiledPredicate::Compile(pred);
   p.expr = std::move(pred);
   p.pred_idx = pred_idx;
   preds_.push_back(std::move(p));
 }
 
-ZS_HOT bool OperatorNode::EvalOnePred(const AttachedPred& p, const Record& rec) {
+ZS_HOT bool OperatorNode::EvalOnePred(const AttachedPred& p,
+                                      const EvalInput& in) {
   // Vacuous pass when a referenced slot is unbound (disjunction
   // branches). The Kleene class binds through the group instead.
   for (int c : p.classes) {
-    const bool bound =
-        rec.slots[static_cast<size_t>(c)] != nullptr ||
-        (c == group_class_ && rec.group != nullptr);
+    const bool bound = in.slots[c] != nullptr ||
+                       (c == group_class_ && in.group != nullptr);
     if (!bound) return true;
   }
-  const bool pass = p.expr->EvalPredicate(rec.ToEvalInput(group_class_));
+  const bool pass = p.compiled.has_value() ? p.compiled->Eval(in)
+                                           : p.expr->EvalPredicate(in);
   if (stats_ != nullptr && p.pred_idx >= 0) {
     stats_->OnPredicateEval(p.pred_idx, pass);
   }
   return pass;
 }
 
-ZS_HOT bool OperatorNode::EvalPreds(const Record& rec) {
+ZS_HOT bool OperatorNode::EvalPreds(const EvalInput& in) {
   for (const AttachedPred& p : preds_) {
-    if (!EvalOnePred(p, rec)) return false;
+    if (!EvalOnePred(p, in)) return false;
   }
   return true;
+}
+
+ZS_HOT EvalInput OperatorNode::MergedView(const RecordRef& a,
+                                          const RecordRef& b) {
+  // Non-owning aliases: evaluating a candidate pair touches no
+  // refcounts; rejected pairs cost nothing beyond the predicate itself.
+  const int n = a.num_slots;
+  for (int i = 0; i < n; ++i) {
+    const Event* raw =
+        a.slots[i] != nullptr ? a.slots[i].get() : b.slots[i].get();
+    scratch_[static_cast<size_t>(i)] = EventPtr(EventPtr(), raw);
+  }
+  EvalInput in;
+  in.slots = scratch_.data();
+  in.num_slots = n;
+  in.group = a.has_group() ? a.group() : b.group();
+  in.group_class = group_class_;
+  return in;
+}
+
+ZS_HOT void OperatorNode::EmitMerged(const RecordRef& a, const RecordRef& b,
+                                     Timestamp start_ts, Timestamp end_ts) {
+  if (sink_ != nullptr) {
+    if (!sink_->NeedsPayload()) {
+      sink_->OnMatch(start_ts, end_ts, nullptr, 0, nullptr);
+      return;
+    }
+    // The sink copies what it keeps, so it must see owning pointers:
+    // stage the union in the owning scratch vector (the inputs' chunk
+    // slots are owning; the MergedView aliases are not).
+    const int n = a.num_slots;
+    for (int i = 0; i < n; ++i) {
+      emit_slots_[static_cast<size_t>(i)] =
+          a.slots[i] != nullptr ? a.slots[i] : b.slots[i];
+    }
+    const EventGroupPtr* g =
+        (a.group_sp != nullptr && *a.group_sp != nullptr) ? a.group_sp
+                                                          : b.group_sp;
+    sink_->OnMatch(start_ts, end_ts, emit_slots_.data(), n, g);
+    return;
+  }
+  output_.AppendMerged(a, b, start_ts, end_ts);
+}
+
+ZS_HOT void OperatorNode::EmitRef(const RecordRef& r) {
+  if (sink_ != nullptr) {
+    if (!sink_->NeedsPayload()) {
+      sink_->OnMatch(r.start_ts, r.end_ts, nullptr, 0, nullptr);
+    } else {
+      // r's slots live in chunk storage (owning) and stay valid for the
+      // duration of the call; the sink copies from them directly.
+      sink_->OnMatch(r.start_ts, r.end_ts, r.slots, r.num_slots, r.group_sp);
+    }
+    return;
+  }
+  output_.AppendRef(r);
 }
 
 // ---------------------------------------------------------------------
@@ -63,16 +125,23 @@ LeafNode::LeafNode(const Pattern* pattern, int class_idx,
       event_class_(&pattern->classes[static_cast<size_t>(class_idx)]),
       probe_slots_(static_cast<size_t>(pattern->num_classes())) {
   set_covered({class_idx});
+  batchable_ = event_class_->neg_branches.empty();
+  for (const ExprPtr& pred : event_class_->leaf_predicates) {
+    LeafPred lp;
+    lp.expr = pred.get();
+    lp.compiled = CompiledPredicate::Compile(pred);
+    if (lp.compiled.has_value() && !lp.compiled->SingleClass(class_idx_)) {
+      lp.compiled.reset();
+    }
+    if (!lp.compiled.has_value()) batchable_ = false;
+    leaf_preds_.push_back(std::move(lp));
+  }
 }
 
-ZS_HOT bool LeafNode::Offer(const EventPtr& event) {
-#ifndef ZSTREAM_OBS_STRIPPED
-  ++offered_;
-#endif
+ZS_HOT bool LeafNode::Admit(const EventPtr& event) {
   // Probe with a non-owning alias in the reused slot vector: most
   // events are rejected by the pushed-down predicates, and rejecting
-  // must not pay for a Record (slots allocation + refcount up/down on
-  // the event).
+  // must not pay for materialization (refcount up/down on the event).
   probe_slots_[static_cast<size_t>(class_idx_)] =
       EventPtr(EventPtr(), event.get());
   EvalInput in;
@@ -81,8 +150,10 @@ ZS_HOT bool LeafNode::Offer(const EventPtr& event) {
   in.group = nullptr;
   in.group_class = group_class_;
   bool admitted = true;
-  for (const ExprPtr& pred : event_class_->leaf_predicates) {
-    if (!pred->EvalPredicate(in)) {
+  for (const LeafPred& lp : leaf_preds_) {
+    const bool pass = lp.compiled.has_value() ? lp.compiled->Eval(in)
+                                              : lp.expr->EvalPredicate(in);
+    if (!pass) {
       admitted = false;
       break;
     }
@@ -106,14 +177,42 @@ ZS_HOT bool LeafNode::Offer(const EventPtr& event) {
   }
   probe_slots_[static_cast<size_t>(class_idx_)] = nullptr;
   if (!admitted) return false;
+  Accept(event);
+  return true;
+}
 
-  output_.Append(
-      Record::FromEvent(class_idx_, pattern_->num_classes(), event));
+ZS_HOT void LeafNode::Accept(const EventPtr& event) {
+  output_.AppendEvent(class_idx_, event);
 #ifndef ZSTREAM_OBS_STRIPPED
   ++records_emitted_;
 #endif
   if (stats_ != nullptr) stats_->OnClassAdmit(class_idx_);
-  return true;
+}
+
+ZS_HOT bool LeafNode::Offer(const EventPtr& event) {
+#ifndef ZSTREAM_OBS_STRIPPED
+  ++offered_;
+#endif
+  return Admit(event);
+}
+
+ZS_HOT void LeafNode::OfferBatch(const EventPtr* events, int n) {
+#ifndef ZSTREAM_OBS_STRIPPED
+  offered_ += static_cast<uint64_t>(n);
+#endif
+  if (!batchable_) {
+    for (int i = 0; i < n; ++i) Admit(events[i]);
+    return;
+  }
+  // Term-major admission: each compiled predicate sweeps the whole
+  // batch narrowing the selection mask, then survivors append.
+  mask_.assign(static_cast<size_t>(n), 1);  // zs-hotpath-allow(amortized: capacity reused across batches)
+  for (const LeafPred& lp : leaf_preds_) {
+    lp.compiled->FilterBatch(events, n, mask_.data());
+  }
+  for (int i = 0; i < n; ++i) {
+    if (mask_[static_cast<size_t>(i)] != 0) Accept(events[i]);
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -137,9 +236,10 @@ void SeqNode::AddNegGuard(int neg_class, bool neg_bound_on_right) {
   guards_.push_back(NegGuard{neg_class, neg_bound_on_right});
 }
 
-ZS_HOT bool SeqNode::PassesGuards(const Record& l, const Record& r) const {
+ZS_HOT bool SeqNode::PassesGuards(const RecordRef& l,
+                                  const RecordRef& r) const {
   for (const NegGuard& g : guards_) {
-    const size_t nc = static_cast<size_t>(g.neg_class);
+    const int nc = g.neg_class;
     if (g.neg_bound_on_right) {
       // Pattern ...A;!B;C...: right side carries (b, c); survival
       // requires a.ts >= b.ts (Figure 4's T1.ts >= T2.ts).
@@ -159,12 +259,13 @@ ZS_HOT bool SeqNode::PassesGuards(const Record& l, const Record& r) const {
   return true;
 }
 
-ZS_HOT void SeqNode::TryCombine(const Record& l, const Record& r) {
+ZS_HOT void SeqNode::TryCombine(const RecordRef& l, const RecordRef& r) {
   ++pairs_tried_;
   if (!PassesGuards(l, r)) return;
-  Record merged = Record::MergeSpanning(l, r);
-  if (!EvalPreds(merged)) return;
-  output_.Append(std::move(merged));
+  // Evaluate before materializing: a rejected pair allocates nothing.
+  if (!preds_.empty() && !EvalPreds(MergedView(l, r))) return;
+  EmitMerged(l, r, std::min(l.start_ts, r.start_ts),
+             std::max(l.end_ts, r.end_ts));
   ++records_emitted_;
 }
 
@@ -174,7 +275,7 @@ ZS_HOT void SeqNode::Assemble(Timestamp eat) {
   lbuf.PurgeBefore(eat);
 
   for (RecordId rid = rbuf.watermark(); rid < rbuf.end_id(); ++rid) {
-    const Record& rr = rbuf.Get(rid);
+    const RecordRef rr = rbuf.Get(rid);
     if (rr.start_ts < eat) continue;
     // Window bound: combined span rr.end - lr.start must fit.
     const Timestamp min_start = rr.end_ts - window_;
@@ -184,20 +285,20 @@ ZS_HOT void SeqNode::Assemble(Timestamp eat) {
     // take the scan path instead (the predicate vacuous-passes there).
     const EventPtr* hash_key_event =
         hash_eq_.has_value() && lbuf.has_hash_index()
-            ? &rr.slots[static_cast<size_t>(hash_eq_->right_class)]
+            ? &rr.slots[hash_eq_->right_class]
             : nullptr;
     if (hash_key_event != nullptr && *hash_key_event != nullptr) {
       const Value key = (*hash_key_event)->value(hash_eq_->right_field);
       for (uint64_t lid : lbuf.hash_index()->Probe(key)) {
         if (lid < lbuf.base_id()) continue;
-        const Record& lr = lbuf.Get(lid);
+        const RecordRef lr = lbuf.Get(lid);
         if (lr.end_ts >= rr.start_ts) break;
         if (lr.start_ts < eat || lr.start_ts < min_start) continue;
         TryCombine(lr, rr);
       }
     } else {
       for (RecordId lid = lbuf.base_id(); lid < lbuf.end_id(); ++lid) {
-        const Record& lr = lbuf.Get(lid);
+        const RecordRef lr = lbuf.Get(lid);
         if (lr.end_ts >= rr.start_ts) break;
         if (lr.start_ts < eat || lr.start_ts < min_start) continue;
         TryCombine(lr, rr);
@@ -234,7 +335,7 @@ ZS_HOT void NSeqNode::Assemble(Timestamp eat) {
 
   RecordId consumed_to = obuf.end_id();
   for (RecordId oid = obuf.watermark(); oid < obuf.end_id(); ++oid) {
-    const Record& orec = obuf.Get(oid);
+    const RecordRef orec = obuf.Get(oid);
     if (!neg_left_ && orec.end_ts + window_ >= horizon_) {
       // A negator that matters for this record could still arrive
       // (Section 4.4.2's "B;!C" direction); hold it for a later round.
@@ -247,33 +348,29 @@ ZS_HOT void NSeqNode::Assemble(Timestamp eat) {
     if (neg_left_) {
       // Find the latest negator strictly before orec, newest first.
       for (RecordId nid = nbuf.end_id(); nid-- > nbuf.base_id();) {
-        const Record& nr = nbuf.Get(nid);
+        const RecordRef nr = nbuf.Get(nid);
         ++pairs_tried_;
         if (nr.end_ts >= orec.start_ts) continue;
         if (nr.start_ts < eat) break;  // leaf: older ids are even earlier
-        Record merged =
-            Record::Merge(nr, orec, orec.start_ts, orec.end_ts);
-        if (!EvalPreds(merged)) continue;
-        output_.Append(std::move(merged));
+        if (!preds_.empty() && !EvalPreds(MergedView(nr, orec))) continue;
+        EmitMerged(nr, orec, orec.start_ts, orec.end_ts);
         emitted = true;
         break;
       }
     } else {
       // Find the first negator strictly after orec, oldest first.
       for (RecordId nid = nbuf.base_id(); nid < nbuf.end_id(); ++nid) {
-        const Record& nr = nbuf.Get(nid);
+        const RecordRef nr = nbuf.Get(nid);
         ++pairs_tried_;
         if (nr.start_ts <= orec.end_ts) continue;
-        Record merged =
-            Record::Merge(nr, orec, orec.start_ts, orec.end_ts);
-        if (!EvalPreds(merged)) continue;
-        output_.Append(std::move(merged));
+        if (!preds_.empty() && !EvalPreds(MergedView(nr, orec))) continue;
+        EmitMerged(nr, orec, orec.start_ts, orec.end_ts);
         emitted = true;
         break;
       }
     }
     if (!emitted) {
-      output_.Append(Record(orec));  // (NULL, Rr)
+      EmitRef(orec);  // (NULL, Rr)
     }
     ++records_emitted_;
   }
@@ -305,19 +402,25 @@ void ConjNode::SetHashEquality(const EqualityJoin& eq) {
   right_->output()->EnableHashIndex(eq.right_class, eq.right_field);
 }
 
-ZS_HOT void ConjNode::CombineWithEarlier(const Record& pivot, Buffer& partner,
-                                  RecordId limit, bool pivot_is_left,
-                                  Timestamp eat) {
-  const auto try_one = [&](const Record& br) {
+ZS_HOT void ConjNode::CombineWithEarlier(const RecordRef& pivot,
+                                         Buffer& partner, RecordId limit,
+                                         bool pivot_is_left, Timestamp eat) {
+  const auto try_one = [&](const RecordRef& br) {
     ++pairs_tried_;
     if (br.start_ts < eat) return;
     const Timestamp start = std::min(pivot.start_ts, br.start_ts);
     const Timestamp end = std::max(pivot.end_ts, br.end_ts);
     if (end - start > window_) return;
-    Record merged = pivot_is_left ? Record::Merge(pivot, br, start, end)
-                                  : Record::Merge(br, pivot, start, end);
-    if (!EvalPreds(merged)) return;
-    output_.Append(std::move(merged));
+    if (!preds_.empty()) {
+      const EvalInput view = pivot_is_left ? MergedView(pivot, br)
+                                           : MergedView(br, pivot);
+      if (!EvalPreds(view)) return;
+    }
+    if (pivot_is_left) {
+      EmitMerged(pivot, br, start, end);
+    } else {
+      EmitMerged(br, pivot, start, end);
+    }
     ++records_emitted_;
   };
 
@@ -328,7 +431,7 @@ ZS_HOT void ConjNode::CombineWithEarlier(const Record& pivot, Buffer& partner,
         pivot_is_left ? hash_eq_->left_class : hash_eq_->right_class;
     const int key_field =
         pivot_is_left ? hash_eq_->left_field : hash_eq_->right_field;
-    const EventPtr& key_event = pivot.slots[static_cast<size_t>(key_class)];
+    const EventPtr& key_event = pivot.slots[key_class];
     // A pivot that leaves the key class unbound (disjunction branch)
     // falls through to the scan: the predicate vacuous-passes.
     if (key_event != nullptr) {
@@ -364,12 +467,12 @@ ZS_HOT void ConjNode::Assemble(Timestamp eat) {
       pick_right = lbuf.Get(li).end_ts > rbuf.Get(ri).end_ts;
     }
     if (pick_right) {
-      const Record& pivot = rbuf.Get(ri);
+      const RecordRef pivot = rbuf.Get(ri);
       ++ri;
       if (pivot.start_ts < eat) continue;
       CombineWithEarlier(pivot, lbuf, li, /*pivot_is_left=*/false, eat);
     } else {
-      const Record& pivot = lbuf.Get(li);
+      const RecordRef pivot = lbuf.Get(li);
       ++li;
       if (pivot.start_ts < eat) continue;
       CombineWithEarlier(pivot, rbuf, ri, /*pivot_is_left=*/true, eat);
@@ -406,12 +509,12 @@ ZS_HOT void DisjNode::Assemble(Timestamp eat) {
     } else {
       pick_right = rbuf.Get(ri).end_ts <= lbuf.Get(li).end_ts;
     }
-    const Record& rec = pick_right ? rbuf.Get(ri) : lbuf.Get(li);
+    const RecordRef rec = pick_right ? rbuf.Get(ri) : lbuf.Get(li);
     (pick_right ? ri : li) += 1;
     ++pairs_tried_;
     if (rec.start_ts < eat) continue;
-    if (!EvalPreds(rec)) continue;
-    output_.Append(Record(rec));
+    if (!EvalPreds(rec.ToEvalInput(group_class_))) continue;
+    EmitRef(rec);
     ++records_emitted_;
   }
   lbuf.SetWatermark(li);
@@ -440,9 +543,9 @@ ZS_HOT void NegFilterNode::Assemble(Timestamp eat) {
   Buffer& nbuf = *neg_leaf_->output();
   nbuf.PurgeBefore(eat);
 
-  const size_t nc = static_cast<size_t>(neg_class_);
+  const int nc = neg_class_;
   for (RecordId id = in.watermark(); id < in.end_id(); ++id) {
-    const Record& rec = in.Get(id);
+    const RecordRef rec = in.Get(id);
     if (rec.start_ts < eat) continue;
     // The negation position is enclosed by classes nc-1 and nc+1. A
     // record that binds neither enclosing class (the negation lives in
@@ -451,7 +554,7 @@ ZS_HOT void NegFilterNode::Assemble(Timestamp eat) {
     const EventPtr& a = rec.slots[nc - 1];
     const EventPtr& c = rec.slots[nc + 1];
     if (a == nullptr && c == nullptr) {
-      output_.Append(Record(rec));
+      EmitRef(rec);
       ++records_emitted_;
       continue;
     }
@@ -460,22 +563,17 @@ ZS_HOT void NegFilterNode::Assemble(Timestamp eat) {
 
     bool negated = false;
     for (RecordId bid = nbuf.end_id(); bid-- > nbuf.base_id();) {
-      const Record& br = nbuf.Get(bid);
+      const RecordRef br = nbuf.Get(bid);
       ++pairs_tried_;
       if (br.end_ts >= hi) continue;
       if (br.end_ts <= lo) break;  // leaf: sorted, all older from here
-      if (preds_.empty()) {
-        negated = true;
-        break;
-      }
-      Record merged = Record::Merge(br, rec, rec.start_ts, rec.end_ts);
-      if (EvalPreds(merged)) {
+      if (preds_.empty() || EvalPreds(MergedView(br, rec))) {
         negated = true;
         break;
       }
     }
     if (!negated) {
-      output_.Append(Record(rec));
+      EmitRef(rec);
       ++records_emitted_;
     }
   }

@@ -1,7 +1,13 @@
-// Operator nodes of a tree plan (Section 4.4).
+// Operator nodes of a tree plan (Section 4.4), batch-oriented edition.
 //
-// Every internal node owns an output buffer and implements one assembly
-// round over its children's buffers. Consumption rules follow the paper:
+// Every internal node owns a columnar output buffer and implements one
+// assembly round over its children's buffers. Candidate combinations
+// are evaluated *before* materialization: the slot-wise union of a pair
+// is assembled as a scratch view of non-owning aliases, predicates run
+// against that view, and only surviving results are copied into the
+// output chunk (or streamed to the engine's MatchSink when this node is
+// the plan root — completed matches never materialize at all).
+// Consumption rules follow the paper:
 //
 //   * SEQ  (Alg 1): outer loop = new right records; right internal
 //     buffers are cleared after the round; left buffers persist
@@ -25,11 +31,28 @@
 #include <vector>
 
 #include "exec/buffer.h"
+#include "expr/compiled.h"
 #include "opt/stats.h"
 #include "plan/pattern.h"
 #include "plan/physical_plan.h"
 
 namespace zstream {
+
+/// \brief Streaming consumer of completed matches (installed on the plan
+/// root by the Engine). `slots` point at owning storage that remains
+/// valid for the duration of the call; `group` is null when the match
+/// carries no Kleene group.
+class MatchSink {
+ public:
+  virtual ~MatchSink() = default;
+  /// When false the sink only counts: emitters may pass null slots and
+  /// group and skip assembling the payload entirely (the count-only
+  /// benchmark path pays zero refcount traffic per match).
+  virtual bool NeedsPayload() const { return true; }
+  virtual void OnMatch(Timestamp start_ts, Timestamp end_ts,
+                       const EventPtr* slots, int num_slots,
+                       const EventGroupPtr* group) = 0;
+};
 
 /// \brief Base class for all plan-tree nodes.
 class OperatorNode {
@@ -51,6 +74,10 @@ class OperatorNode {
   /// Set by the engine before each assembly round; right-side negation
   /// uses it to avoid finalizing pairings a future negator could change.
   void set_horizon(Timestamp h) { horizon_ = h; }
+
+  /// Installs a streaming sink: results bypass the output buffer and go
+  /// straight to the consumer (set on the plan root only).
+  void SetSink(MatchSink* sink) { sink_ = sink; }
 
   /// Attaches a multi-class predicate (with its pattern-level index for
   /// runtime selectivity tracking; -1 when untracked).
@@ -77,21 +104,38 @@ class OperatorNode {
  protected:
   struct AttachedPred {
     ExprPtr expr;
+    /// Fast path for AND-of-comparison shapes; nullopt falls back to the
+    /// tree-walking interpreter.
+    std::optional<CompiledPredicate> compiled;
     std::vector<int> classes;  // referenced classes
     bool has_aggregate = false;
     int pred_idx = -1;
   };
 
-  /// True when all attached predicates pass on `rec`. A predicate whose
-  /// referenced slots are not all bound (disjunction branches) passes
-  /// vacuously; aggregate predicates check group presence instead of the
-  /// Kleene class's slot.
-  bool EvalPreds(const Record& rec);
-  bool EvalOnePred(const AttachedPred& p, const Record& rec);
+  /// True when all attached predicates pass on the record view. A
+  /// predicate whose referenced slots are not all bound (disjunction
+  /// branches) passes vacuously; aggregate predicates check group
+  /// presence instead of the Kleene class's slot.
+  bool EvalPreds(const EvalInput& in);
+  bool EvalOnePred(const AttachedPred& p, const EvalInput& in);
+
+  /// Scratch slot-union view of two records (disjoint class sets, `a`
+  /// wins ties), built from non-owning aliases: evaluating a candidate
+  /// pair costs no allocation and no refcount traffic. The view is valid
+  /// until the next MergedView call on this node.
+  EvalInput MergedView(const RecordRef& a, const RecordRef& b);
+
+  /// Emits the union of `a` and `b` with an explicit span: streams to
+  /// the sink when installed, otherwise materializes into output().
+  void EmitMerged(const RecordRef& a, const RecordRef& b, Timestamp start_ts,
+                  Timestamp end_ts);
+  /// Emits a copy of an existing record (pass-through operators).
+  void EmitRef(const RecordRef& r);
 
   const Pattern* pattern_;
   PhysOp op_;
   Buffer output_;
+  MatchSink* sink_ = nullptr;
   std::vector<AttachedPred> preds_;
   std::vector<int> covered_;
   int group_class_;  // pattern's Kleene class (or -1)
@@ -102,6 +146,10 @@ class OperatorNode {
   uint64_t records_emitted_ = 0;
   uint64_t eval_ns_ = 0;
   std::vector<OperatorNode*> children_;
+  /// Non-owning alias slots backing MergedView.
+  std::vector<EventPtr> scratch_;
+  /// Owning slots staged for sink emission of merged results.
+  std::vector<EventPtr> emit_slots_;
 };
 
 /// \brief Leaf buffer for one event class, with pushed-down single-class
@@ -115,6 +163,12 @@ class LeafNode : public OperatorNode {
   /// Offers an incoming primitive event; returns true when admitted.
   bool Offer(const EventPtr& event);
 
+  /// Columnar admission: evaluates the pushed-down predicates term-major
+  /// over the whole batch (compiled single-class shapes narrow a
+  /// selection mask), then appends survivors. Falls back to per-event
+  /// admission when a predicate did not compile.
+  void OfferBatch(const EventPtr* events, int n);
+
   /// Primitive events offered (before predicate admission); admitted
   /// events are records_emitted().
   uint64_t offered() const { return offered_; }
@@ -122,9 +176,20 @@ class LeafNode : public OperatorNode {
   void Assemble(Timestamp) override {}
 
  private:
+  struct LeafPred {
+    const Expr* expr;
+    std::optional<CompiledPredicate> compiled;
+  };
+
+  bool Admit(const EventPtr& event);
+  void Accept(const EventPtr& event);
+
   int class_idx_;
   uint64_t offered_ = 0;
   const EventClass* event_class_;
+  std::vector<LeafPred> leaf_preds_;
+  bool batchable_ = false;  // every pred compiled, no neg branches
+  std::vector<uint8_t> mask_;
   /// Scratch slot vector for the admission probe: sized once, holding a
   /// non-owning alias of the offered event while predicates run, so a
   /// rejected event costs no allocation and no shared_ptr refcounting.
@@ -151,8 +216,8 @@ class SeqNode : public OperatorNode {
   void Assemble(Timestamp eat) override;
 
  private:
-  bool PassesGuards(const Record& l, const Record& r) const;
-  void TryCombine(const Record& l, const Record& r);
+  bool PassesGuards(const RecordRef& l, const RecordRef& r) const;
+  void TryCombine(const RecordRef& l, const RecordRef& r);
 
   OperatorNode* left_;
   OperatorNode* right_;
@@ -193,7 +258,7 @@ class ConjNode : public OperatorNode {
   void Assemble(Timestamp eat) override;
 
  private:
-  void CombineWithEarlier(const Record& pivot, Buffer& partner,
+  void CombineWithEarlier(const RecordRef& pivot, Buffer& partner,
                           RecordId limit, bool pivot_is_left, Timestamp eat);
 
   OperatorNode* left_;
@@ -243,10 +308,12 @@ class KSeqNode : public OperatorNode {
  private:
   void AssembleWithEnd(Timestamp eat);
   void AssembleAtPatternEnd(Timestamp eat);
-  void EmitGroups(const Record* sr, const Record& er, Timestamp lo,
+  void EmitGroups(const RecordRef* sr, const RecordRef& er, Timestamp lo,
                   Timestamp hi, Timestamp eat);
-  bool MidQualifies(const EventPtr& m, const Record& base);
-  void EmitOne(const Record* sr, const Record& er, EventGroup group);
+  /// Builds the base view (er slots, filled from sr) into base_slots_.
+  EvalInput BaseView(const RecordRef* sr, const RecordRef& er);
+  bool MidQualifies(const EventPtr& m, const EvalInput& base);
+  void EmitOne(const RecordRef* sr, const RecordRef& er, EventGroup group);
 
   OperatorNode* start_;  // nullable
   LeafNode* closure_;
@@ -260,6 +327,11 @@ class KSeqNode : public OperatorNode {
   std::vector<AttachedPred> group_preds_;
   std::vector<AttachedPred> base_preds_;
   void SplitPreds();
+  /// Scratch for the (start, end) base view during group assembly; kept
+  /// separate from scratch_ so MidQualifies can probe while the base is
+  /// live.
+  std::vector<EventPtr> base_slots_;
+  EventGroup qualifying_;  // reused across EmitGroups calls
 };
 
 }  // namespace zstream

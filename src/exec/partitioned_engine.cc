@@ -56,8 +56,12 @@ Result<PartitionedEngine::Partition*> PartitionedEngine::GetOrCreate(
     const Value& key) {
   auto it = partitions_.find(key);
   if (it != partitions_.end()) return &it->second;
-  ZS_ASSIGN_OR_RETURN(std::unique_ptr<Engine> sub,
-                      Engine::Create(pattern_, plan_, options_, tracker_));
+  // The (pattern, plan, options) combination was validated, verified and
+  // probe-instantiated once in Create; lazily-created partitions run on
+  // the hot path (a new key arrives mid-stream) and skip re-proving it.
+  ZS_ASSIGN_OR_RETURN(
+      std::unique_ptr<Engine> sub,
+      Engine::CreateTrusted(pattern_, plan_, options_, tracker_));
   // Unconditional: partitions created after SetMatchCallback inherit the
   // stored callback, including an explicitly cleared (empty) one.
   sub->SetMatchCallback(callback_);

@@ -31,10 +31,9 @@ ZS_HOT Record Record::Merge(const Record& a, const Record& b, Timestamp start,
 }
 
 size_t Record::ByteSize(bool count_events) const {
+  // The group *handle* is part of sizeof(Record); the shared payload is
+  // deliberately not charged here — see GroupByteSize.
   size_t bytes = sizeof(Record) + slots.capacity() * sizeof(EventPtr);
-  if (group != nullptr) {
-    bytes += sizeof(EventGroup) + group->capacity() * sizeof(EventPtr);
-  }
   if (count_events) {
     for (const EventPtr& e : slots) {
       if (e != nullptr) bytes += e->ByteSize();

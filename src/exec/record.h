@@ -57,7 +57,18 @@ struct Record {
   /// Approximate resident bytes (used for the Tables 3/5 peak-memory
   /// accounting). `count_events` adds the pointed-to events' bytes and is
   /// set for leaf buffers, which "own" event residency.
+  ///
+  /// Excludes the Kleene group's payload: one EventGroup is shared by
+  /// every record derived from the same closure, so charging it per
+  /// holder would inflate peak_mb by the fan-out factor. Containers
+  /// charge GroupByteSize once per distinct resident group instead
+  /// (see Buffer's group accounting).
   size_t ByteSize(bool count_events = false) const;
+
+  /// Resident bytes of a group payload, charged once per distinct group.
+  static size_t GroupByteSize(const EventGroup& g) {
+    return sizeof(EventGroup) + g.capacity() * sizeof(EventPtr);
+  }
 
   std::string ToString() const;
 };

@@ -77,8 +77,8 @@ const char* SpanKindName(SpanKind kind) {
 
 #ifndef ZSTREAM_OBS_STRIPPED
 namespace trace_internal {
-thread_local uint64_t tls_trace_id = 0;
-thread_local uint32_t tls_lane = 0;
+thread_local constinit uint64_t tls_trace_id = 0;
+thread_local constinit uint32_t tls_lane = 0;
 }  // namespace trace_internal
 #endif
 

@@ -238,8 +238,12 @@ class Tracer {
 #ifndef ZSTREAM_OBS_STRIPPED
 
 namespace trace_internal {
-extern thread_local uint64_t tls_trace_id;
-extern thread_local uint32_t tls_lane;
+// constinit lets the compiler access the TLS slots directly instead of
+// through the thread-wrapper function an extern thread_local otherwise
+// requires — GCC resolves the wrapper's weak symbol to null under
+// -fsanitize=undefined, turning every access into a null store/load.
+extern thread_local constinit uint64_t tls_trace_id;
+extern thread_local constinit uint32_t tls_lane;
 }  // namespace trace_internal
 
 /// Trace id attached to the work the current thread is executing

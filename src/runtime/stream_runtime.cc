@@ -204,6 +204,12 @@ struct StreamRuntime::Shard {
   // have no single triggering arrival and are not observed).
   uint64_t current_arrival_ns = 0;
 
+  // Worker-thread-local scratch for DispatchRun: the contiguous event
+  // span handed to PushBatch, and the per-query filtered subset for
+  // hash-routed queries. Reused across runs to stay allocation-free.
+  std::vector<EventPtr> span_scratch;
+  std::vector<EventPtr> filter_scratch;
+
   // Worker-thread-local: one Section-4.1 reorder stage per stream,
   // created lazily when RuntimeOptions::reorder_slack > 0. Sits between
   // the shard queue and the engines, so every engine on the shard sees
@@ -293,6 +299,50 @@ ZS_HOT void StreamRuntime::DispatchEvent(Shard* shard, StreamId stream,
   }
 }
 
+ZS_HOT void StreamRuntime::DispatchRun(Shard* shard, const ShardMsg* msgs,
+                                       size_t count) {
+  // All messages in a run share arrival_ns (same ingest batch), so the
+  // latency stamp is exact for every match the run emits.
+  shard->current_arrival_ns = msgs[0].arrival_ns;
+  const StreamId stream = msgs[0].stream;
+  std::vector<EventPtr>& span = shard->span_scratch;
+  span.clear();
+  for (size_t i = 0; i < count; ++i) {
+    span.push_back(msgs[i].event);  // zs-hotpath-allow(amortized: scratch capacity reused across runs)
+  }
+  for (Shard::Entry& entry : shard->entries) {
+    const QueryState* q = entry.query;
+    if (q->stream != stream) continue;
+    switch (q->route) {
+      case RoutePolicy::kPinned:
+        if (shard->index != q->pinned_shard) continue;
+        break;
+      case RoutePolicy::kBroadcast:
+        break;
+      case RoutePolicy::kHashKey: {
+        // Membership varies per event: filter the run down to this
+        // query's keys, reusing the router's hash hints.
+        std::vector<EventPtr>& mine = shard->filter_scratch;
+        mine.clear();
+        for (size_t i = 0; i < count; ++i) {
+          if (q->AcceptsOn(shard->index, msgs[i].event,
+                           msgs[i].key_hint_field, msgs[i].key_hint_hash)) {
+            mine.push_back(msgs[i].event);  // zs-hotpath-allow(amortized: scratch capacity reused across runs)
+          }
+        }
+        if (!mine.empty()) {
+          entry.engine->PushBatch(EventBatch{mine.data(), mine.size()});
+        }
+        continue;
+      }
+      case RoutePolicy::kAuto:
+        continue;  // resolved at registration
+    }
+    entry.engine->PushBatch(EventBatch{span.data(), span.size()});
+  }
+  shard->current_arrival_ns = 0;
+}
+
 void StreamRuntime::FlushReorder(Shard* shard) {
   for (auto& [stream, stage] : shard->reorder) stage->Flush();
   shard->PublishReorderCounters();
@@ -309,9 +359,32 @@ ZS_HOT void StreamRuntime::WorkerLoop(Shard* shard) {
                                static_cast<size_t>(
                                    options_.shard_batch_size)) > 0) {
     shard->batches.fetch_add(1, std::memory_order_relaxed);
-    for (ShardMsg& msg : batch) {
+    for (size_t bi = 0; bi < batch.size(); ++bi) {
+      ShardMsg& msg = batch[bi];
       switch (msg.kind) {
         case ShardMsg::Kind::kEvent: {
+          // Columnar fast path: hand consecutive untraced events from
+          // the same ingest batch to the engines as one span. Traced
+          // events keep the per-event path so queue-wait spans and
+          // trace ids stay per event; reordering keeps it because the
+          // reorder stage is inherently event-at-a-time.
+          if (!reordering && msg.trace_id == 0) {
+            size_t run_end = bi + 1;
+            while (run_end < batch.size() &&
+                   batch[run_end].kind == ShardMsg::Kind::kEvent &&
+                   batch[run_end].stream == msg.stream &&
+                   batch[run_end].trace_id == 0 &&
+                   batch[run_end].arrival_ns == msg.arrival_ns) {
+              ++run_end;
+            }
+            if (run_end - bi > 1) {
+              DispatchRun(shard, &batch[bi], run_end - bi);
+              shard->events_processed.fetch_add(
+                  run_end - bi, std::memory_order_relaxed);
+              bi = run_end - 1;
+              break;
+            }
+          }
           // Matches emitted while this event is processed (including
           // reorder releases it triggers) measure latency from its
           // arrival — the emission-triggering ingest.

@@ -219,6 +219,11 @@ class StreamRuntime {
   /// stage).
   void DispatchEvent(Shard* shard, StreamId stream, const EventPtr& event,
                      int hint_field, size_t hint_hash);
+  /// Offers a run of consecutive untraced events (same stream, same
+  /// ingest batch) to every engine on `shard` as one columnar span
+  /// (EngineCore::PushBatch). Hash-routed queries filter the run per
+  /// event first; pinned/broadcast queries take the span whole.
+  void DispatchRun(Shard* shard, const ShardMsg* msgs, size_t count);
   /// Drains the shard's reorder stages (stream end / flush barrier) and
   /// refreshes the shard's published reorder counters.
   void FlushReorder(Shard* shard);

@@ -82,6 +82,90 @@ TEST(Buffer, MemoryAccountingLeafCountsEvents) {
   EXPECT_GT(t_leaf.current_bytes(), t_internal.current_bytes());
 }
 
+Record RecWithGroup(Timestamp ts, const EventGroupPtr& g) {
+  Record r = Rec(ts, ts);
+  r.group = g;
+  return r;
+}
+
+TEST(Buffer, SharedKleeneGroupChargedOncePerBuffer) {
+  // Regression: many records referencing one Kleene group used to charge
+  // the group payload once per record, inflating peak_mb by the group's
+  // fan-out. The payload must be charged once per distinct resident
+  // group, and released when the last referencing record goes away.
+  auto group = std::make_shared<EventGroup>();
+  for (int i = 0; i < 8; ++i) {
+    group->push_back(EventBuilder(StockSchema()).At(i).Build());
+  }
+  const size_t group_bytes = Record::GroupByteSize(*group);
+  ASSERT_GT(group_bytes, 0u);
+
+  MemoryTracker t;
+  Buffer b(&t);
+  b.Append(Rec(1, 1));
+  const int64_t before = t.current_bytes();
+  b.Append(RecWithGroup(2, group));
+  const int64_t first = t.current_bytes() - before;
+  b.Append(RecWithGroup(3, group));
+  b.Append(RecWithGroup(4, group));
+  const int64_t all = t.current_bytes() - before;
+  // The first referencing record pays the payload...
+  EXPECT_GE(first, static_cast<int64_t>(group_bytes));
+  // ...and two more references add strictly less than two more payloads.
+  EXPECT_LT(all - first, 2 * static_cast<int64_t>(group_bytes));
+
+  // A distinct group is a new payload.
+  auto other = std::make_shared<EventGroup>(*group);
+  const int64_t before_other = t.current_bytes();
+  b.Append(RecWithGroup(5, other));
+  EXPECT_GE(t.current_bytes() - before_other,
+            static_cast<int64_t>(Record::GroupByteSize(*other)));
+
+  b.Clear();
+  EXPECT_EQ(t.current_bytes(), 0);
+}
+
+TEST(Buffer, SharedGroupReleasedOnPartialPurge) {
+  // Purging only some of the records sharing a group must keep the
+  // payload charged; purging the last reference releases it.
+  auto group = std::make_shared<EventGroup>();
+  group->push_back(EventBuilder(StockSchema()).At(0).Build());
+  const auto group_bytes =
+      static_cast<int64_t>(Record::GroupByteSize(*group));
+
+  MemoryTracker t;
+  Buffer b(&t);
+  b.Append(RecWithGroup(1, group));
+  b.Append(RecWithGroup(10, group));
+  const int64_t with_both = t.current_bytes();
+  // Dropping one of the two referencing records must NOT release the
+  // payload (the survivor still references it); with internal buffers
+  // not charging event bytes, nothing is released at all.
+  b.PurgeBefore(5);
+  const int64_t with_one = t.current_bytes();
+  EXPECT_EQ(with_one, with_both);
+  EXPECT_GE(with_one, group_bytes);
+  b.PurgeBefore(20);  // last reference gone -> payload released
+  EXPECT_GE(with_one - t.current_bytes(), group_bytes);
+  b.Clear();
+  EXPECT_EQ(t.current_bytes(), 0);
+}
+
+TEST(Record, ByteSizeExcludesSharedGroupPayload) {
+  // Record::ByteSize charges the handle only; the payload is accounted
+  // by the owning buffer (once), not per referencing record.
+  auto group = std::make_shared<EventGroup>();
+  for (int i = 0; i < 4; ++i) {
+    group->push_back(EventBuilder(StockSchema()).At(i).Build());
+  }
+  Record plain = Rec(1, 1);
+  Record with_group = Rec(1, 1);
+  with_group.group = group;
+  EXPECT_EQ(plain.ByteSize(), with_group.ByteSize());
+  EXPECT_EQ(plain.ByteSize(/*count_events=*/true),
+            with_group.ByteSize(/*count_events=*/true));
+}
+
 TEST(Buffer, HashIndexProbeFindsMatchingRecords) {
   MemoryTracker t;
   Buffer b(&t);
